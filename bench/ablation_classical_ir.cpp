@@ -1,0 +1,47 @@
+// Ablation: classical mixed-precision iterative refinement (Algorithm 1)
+// across precision combinations and condition numbers — the baseline whose
+// theory (contraction u_l * kappa, limiting accuracy set by u) the paper
+// transplants to the CPU/QPU setting.
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "linalg/dd128.hpp"
+#include "linalg/half.hpp"
+#include "linalg/iterative_refinement.hpp"
+#include "linalg/random_matrix.hpp"
+
+int main() {
+  using namespace mpqls;
+  using namespace mpqls::linalg;
+
+  std::printf("=== Ablation: classical Algorithm 1 across precisions ===\n\n");
+  TextTable table({"kappa", "u_l (factor)", "u (residual)", "iters", "final omega",
+                   "converged"});
+
+  Xoshiro256 rng(81);
+  for (double kappa : {10.0, 100.0, 1000.0}) {
+    const auto A = random_with_cond(rng, 32, kappa);
+    const auto b = random_unit_vector(rng, 32);
+    ClassicalIrOptions opts;
+    opts.target_scaled_residual = 1e-13;
+    opts.max_iterations = 80;
+
+    const auto r16 = classical_iterative_refinement<double, half>(A, b, opts);
+    table.add_row({fmt_fix(kappa, 0), "fp16", "fp64", std::to_string(r16.iterations),
+                   fmt_sci(r16.scaled_residuals.back()), r16.converged ? "yes" : "no"});
+    const auto r32 = classical_iterative_refinement<double, float>(A, b, opts);
+    table.add_row({fmt_fix(kappa, 0), "fp32", "fp64", std::to_string(r32.iterations),
+                   fmt_sci(r32.scaled_residuals.back()), r32.converged ? "yes" : "no"});
+    const auto r3p = classical_iterative_refinement<double, float, dd128>(A, b, opts);
+    table.add_row({fmt_fix(kappa, 0), "fp32", "dd128 (3-precision)",
+                   std::to_string(r3p.iterations), fmt_sci(r3p.scaled_residuals.back()),
+                   r3p.converged ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  std::printf("\nfp16 factorization needs u_l * kappa < 1, so it degrades as kappa grows\n"
+              "(and fails near kappa ~ 1/u_l ~ 1000), while fp32 sails through —\n"
+              "the same eps_l * kappa < 1 frontier Theorem III.1 imposes on the QSVT.\n");
+  return 0;
+}

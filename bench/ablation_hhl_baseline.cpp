@@ -1,0 +1,70 @@
+// Ablation: HHL baseline vs the QSVT solver on the same systems. HHL's
+// accuracy is set by the clock-register resolution (exponential qubit cost
+// per digit), while QSVT+IR buys digits with cheap classical iterations —
+// the motivation for the paper's choice of QSVT as the quantum kernel.
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "hhl/hhl.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/random_matrix.hpp"
+#include "solver/qsvt_ir.hpp"
+
+int main() {
+  using namespace mpqls;
+
+  // Symmetric positive-definite 4x4 test system.
+  Xoshiro256 rng(91);
+  auto G = linalg::random_gaussian(rng, 4, 4);
+  auto A = linalg::gemm(G, linalg::transpose(G));
+  for (std::size_t i = 0; i < 4; ++i) A(i, i) += 2.0;
+  const auto b = linalg::random_unit_vector(rng, 4);
+  const auto x_true = linalg::lu_solve(A, b);
+  const double x_norm = linalg::nrm2(x_true);
+
+  auto rel_err = [&](const linalg::Vector<double>& x) {
+    double e = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) e += (x[i] - x_true[i]) * (x[i] - x_true[i]);
+    return std::sqrt(e) / x_norm;
+  };
+
+  std::printf("=== Ablation: HHL baseline vs QSVT (+IR) ===\n\n");
+  TextTable table({"method", "qubits", "rel. error", "success prob", "notes"});
+  for (std::uint32_t m : {4u, 6u, 8u, 10u}) {
+    hhl::HhlOptions opts;
+    opts.clock_qubits = m;
+    const auto res = hhl::hhl_solve(A, b, opts);
+    table.add_row({"HHL, m=" + std::to_string(m) + " clock", std::to_string(res.total_qubits),
+                   fmt_sci(rel_err(res.x), 2), fmt_sci(res.success_probability, 2),
+                   "accuracy ~ 2^-m"});
+  }
+  {
+    solver::QsvtIrOptions opt;
+    opt.eps = 1e-4;
+    opt.qsvt.eps_l = 1e-2;
+    opt.qsvt.backend = qsvt::Backend::kGateLevel;
+    const auto rep = solver::solve_qsvt_ir(A, b, opt);
+    table.add_row({"QSVT single solve", "5", fmt_sci(rep.scaled_residuals.front(), 2),
+                   fmt_sci(rep.solves.front().success_probability, 2),
+                   "degree " + std::to_string(rep.poly_degree)});
+    table.add_row({"QSVT + IR (eps 1e-4)", "5", fmt_sci(rep.scaled_residuals.back(), 2), "-",
+                   std::to_string(rep.iterations) + " refinement iterations"});
+  }
+  {
+    solver::QsvtIrOptions opt;
+    opt.eps = 1e-11;
+    opt.qsvt.eps_l = 1e-2;
+    opt.qsvt.backend = qsvt::Backend::kGateLevel;
+    const auto rep = solver::solve_qsvt_ir(A, b, opt);
+    table.add_row({"QSVT + IR (eps 1e-11)", "5", fmt_sci(rep.scaled_residuals.back(), 2), "-",
+                   std::to_string(rep.iterations) + " refinement iterations"});
+  }
+  table.print(std::cout);
+  std::printf("\nEach extra digit costs HHL ~3.3 clock qubits (and deeper QPE), while the\n"
+              "hybrid solver adds cheap classical iterations at fixed quantum width —\n"
+              "the paper's argument for QSVT + mixed-precision refinement.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: polynomial construction choices. Compares the paper's
+// analytic Eq. (4) expansion against numeric interpolation + truncation
+// (degree and achieved accuracy), and the rectangle-window route against
+// plain rescaling for enforcing |P| <= 1 (DESIGN.md's design-choice note).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "poly/inverse_poly.hpp"
+
+int main() {
+  using namespace mpqls;
+  using namespace mpqls::poly;
+
+  std::printf("=== Ablation: inverse-polynomial construction ===\n\n");
+  TextTable table({"kappa", "eps", "analytic degree", "interp degree", "analytic err",
+                   "interp err", "interp time (ms)"});
+  for (double kappa : {2.0, 10.0, 50.0, 200.0}) {
+    for (double eps : {1e-2, 1e-4}) {
+      Timer t;
+      const auto pa = inverse_poly_analytic(kappa, eps);
+      const auto pi = inverse_poly_interpolated(kappa, eps);
+      const double ms = t.milliseconds();
+      table.add_row({fmt_fix(kappa, 0), fmt_sci(eps, 0), std::to_string(pa.series.degree()),
+                     std::to_string(pi.series.degree()), fmt_sci(pa.achieved_error, 2),
+                     fmt_sci(pi.achieved_error, 2), fmt_fix(ms, 1)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nInterpolation + tail truncation reaches the same accuracy at a fraction\n"
+              "of the Eq. (4) degree bound — this is what keeps large-kappa instances\n"
+              "tractable (the paper reaches for the [32] estimation pipeline instead).\n\n");
+
+  std::printf("=== Ablation: |P| <= 1 enforcement: window vs rescale ===\n\n");
+  TextTable wtable({"kappa", "raw max|P|", "windowed max|P|", "window degree overhead",
+                    "windowed err at 1/kappa", "rescale err at 1/kappa"});
+  for (double kappa : {20.0, 50.0, 100.0}) {
+    const double eps = 1e-3;
+    const auto p = inverse_poly_interpolated(kappa, eps);
+    const auto w = rect_window(1.0 / kappa, eps * 0.1);
+    const auto windowed = (p.series * w).truncated(1e-14);
+    const double x0 = 1.0 / kappa;
+    const double target = 1.0 / (2.0 * kappa * x0);
+    const double win_err = std::fabs(windowed.evaluate(x0) - target) * 2.0 * kappa;
+    // Rescaled polynomial: scale drops out after un-scaling -> the error is
+    // just the raw polynomial's.
+    const double scale_err = std::fabs(p.series.evaluate(x0) - target) * 2.0 * kappa;
+    wtable.add_row({fmt_fix(kappa, 0), fmt_fix(p.max_abs, 3),
+                    fmt_fix(windowed.max_abs_on(-1.0, 1.0), 3),
+                    std::to_string(windowed.degree() - p.series.degree()),
+                    fmt_sci(win_err, 2), fmt_sci(scale_err, 2)});
+  }
+  wtable.print(std::cout);
+  std::printf("\nThe window pays extra degree and loses accuracy right at the domain edge\n"
+              "(its transition band abuts 1/kappa); rescaling costs only success\n"
+              "probability. The solver uses rescaling (see qsvt/solve.cpp).\n");
+  return 0;
+}

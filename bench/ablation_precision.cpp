@@ -1,0 +1,65 @@
+// Ablation: floating-point precision of the QPU simulation (the
+// "mixed precision native" axis). Runs the same gate-level solve with a
+// float and a double statevector and compares residual trajectories; also
+// shows the classical Algorithm 1 analogue across half/float LU.
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "linalg/half.hpp"
+#include "linalg/iterative_refinement.hpp"
+#include "linalg/random_matrix.hpp"
+#include "solver/qsvt_ir.hpp"
+
+int main() {
+  using namespace mpqls;
+
+  Xoshiro256 rng(71);
+  const double kappa = 5.0;
+  const auto A = linalg::random_with_cond(rng, 16, kappa);
+  const auto b = linalg::random_unit_vector(rng, 16);
+
+  std::printf("=== Ablation: QPU statevector precision (kappa = 5, eps_l = 1e-2) ===\n\n");
+  std::vector<solver::QsvtIrReport> runs;
+  for (auto precision : {qsvt::QpuPrecision::kDouble, qsvt::QpuPrecision::kSingle}) {
+    solver::QsvtIrOptions opt;
+    opt.eps = 1e-12;
+    opt.qsvt.eps_l = 1e-2;
+    opt.qsvt.backend = qsvt::Backend::kGateLevel;
+    opt.qsvt.precision = precision;
+    runs.push_back(solver::solve_qsvt_ir(A, b, opt));
+  }
+  TextTable table({"solve", "double statevector", "float statevector"});
+  const std::size_t rows =
+      std::max(runs[0].scaled_residuals.size(), runs[1].scaled_residuals.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    auto cell = [&](std::size_t k) {
+      return i < runs[k].scaled_residuals.size() ? fmt_sci(runs[k].scaled_residuals[i])
+                                                 : std::string("-");
+    };
+    table.add_row({i == 0 ? "first" : std::to_string(i), cell(0), cell(1)});
+  }
+  table.print(std::cout);
+  std::printf("\nBoth reach the CPU-precision target: the float QPU's roundoff (~1e-7 per\n"
+              "solve) is absorbed exactly like the algorithmic eps_l — the limiting\n"
+              "accuracy depends only on the high precision u (paper Section II-B).\n\n");
+
+  std::printf("=== Classical analogue: Algorithm 1 with fp16/fp32 factorization ===\n\n");
+  linalg::ClassicalIrOptions copts;
+  copts.target_scaled_residual = 1e-12;
+  const auto rhalf = linalg::classical_iterative_refinement<double, linalg::half>(A, b, copts);
+  const auto rfloat = linalg::classical_iterative_refinement<double, float>(A, b, copts);
+  TextTable ctable({"solve", "LU fp16", "LU fp32"});
+  const std::size_t crows =
+      std::max(rhalf.scaled_residuals.size(), rfloat.scaled_residuals.size());
+  for (std::size_t i = 0; i < crows; ++i) {
+    auto cell = [&](const std::vector<double>& v) {
+      return i < v.size() ? fmt_sci(v[i]) : std::string("-");
+    };
+    ctable.add_row({i == 0 ? "first" : std::to_string(i), cell(rhalf.scaled_residuals),
+                    cell(rfloat.scaled_residuals)});
+  }
+  ctable.print(std::cout);
+  return 0;
+}

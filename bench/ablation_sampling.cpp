@@ -1,0 +1,46 @@
+// Ablation: finite-sampling readout. The paper's experiments read exact
+// amplitudes (its 1e-11 residuals would otherwise need ~1e22 shots); the
+// complexity analysis nevertheless charges O(1/eps_l^2) samples per solve.
+// This bench runs the solver under the multinomial shot model and shows
+// (a) the per-solve accuracy floor ~ 1/sqrt(shots), and (b) that the
+// refinement loop keeps contracting through fresh noise.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "linalg/random_matrix.hpp"
+#include "solver/qsvt_ir.hpp"
+
+int main() {
+  using namespace mpqls;
+
+  Xoshiro256 rng(31);
+  const double kappa = 10.0;
+  const auto A = linalg::random_with_cond(rng, 16, kappa);
+  const auto b = linalg::random_unit_vector(rng, 16);
+
+  std::printf("=== Ablation: shot-based readout (kappa = 10, eps = 1e-6) ===\n\n");
+  TextTable table({"shots", "first-solve residual", "iterations", "final residual",
+                   "converged"});
+  for (std::uint64_t shots : {std::uint64_t{0}, std::uint64_t{10'000}, std::uint64_t{100'000},
+                              std::uint64_t{1'000'000}, std::uint64_t{10'000'000}}) {
+    solver::QsvtIrOptions opt;
+    opt.eps = 1e-6;
+    opt.max_iterations = 40;
+    opt.qsvt.eps_l = 1e-3;
+    opt.qsvt.backend = qsvt::Backend::kMatrixFunction;
+    opt.qsvt.shots = shots;
+    opt.qsvt.seed = 123;
+    const auto rep = solver::solve_qsvt_ir(A, b, opt);
+    table.add_row({shots == 0 ? "exact" : fmt_int(shots),
+                   fmt_sci(rep.scaled_residuals.front()), std::to_string(rep.iterations),
+                   fmt_sci(rep.scaled_residuals.back()), rep.converged ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  std::printf("\nThe first-solve residual floors at ~kappa/sqrt(shots); refinement still\n"
+              "contracts because every iteration draws fresh samples. The exact-readout\n"
+              "row reproduces the paper's simulator setting.\n");
+  return 0;
+}

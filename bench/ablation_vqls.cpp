@@ -1,0 +1,65 @@
+// Ablation: VQLS baseline (the third quantum-linear-solver family from
+// the paper's introduction) against the QSVT pipeline on the same
+// problems: solution quality, cost-function evaluations (each of which is
+// a batch of Hadamard-test circuits on hardware) and scaling behaviour.
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/random_matrix.hpp"
+#include "solver/qsvt_ir.hpp"
+#include "vqls/vqls.hpp"
+
+int main() {
+  using namespace mpqls;
+
+  std::printf("=== Ablation: VQLS baseline vs QSVT(+IR) ===\n\n");
+  TextTable table({"problem", "method", "rel. error", "cost evals / BE calls",
+                   "time (ms)"});
+
+  Xoshiro256 rng(61);
+  for (double kappa : {3.0, 10.0}) {
+    const auto A = linalg::random_with_cond(rng, 4, kappa);
+    const auto b = linalg::random_unit_vector(rng, 4);
+    const auto x_true = linalg::lu_solve(A, b);
+    const double x_norm = linalg::nrm2(x_true);
+    auto rel_err = [&](const linalg::Vector<double>& x) {
+      double e = 0.0;
+      for (std::size_t i = 0; i < 4; ++i) e += (x[i] - x_true[i]) * (x[i] - x_true[i]);
+      return std::sqrt(e) / x_norm;
+    };
+    const std::string tag = "4x4, kappa=" + std::to_string(static_cast<int>(kappa));
+
+    {
+      Timer t;
+      vqls::VqlsOptions vopt;
+      vopt.layers = 3;
+      vopt.restarts = 4;
+      const auto res = vqls::vqls_solve(A, b, vopt);
+      table.add_row({tag, "VQLS (3 layers)", fmt_sci(rel_err(res.x), 2),
+                     fmt_int(static_cast<unsigned long long>(res.evaluations)),
+                     fmt_fix(t.milliseconds(), 1)});
+    }
+    {
+      Timer t;
+      solver::QsvtIrOptions opt;
+      opt.eps = 1e-10;
+      opt.qsvt.eps_l = 1e-2;
+      opt.qsvt.backend = qsvt::Backend::kGateLevel;
+      const auto rep = solver::solve_qsvt_ir(A, b, opt);
+      table.add_row({tag, "QSVT + IR", fmt_sci(rel_err(rep.x), 2),
+                     fmt_int(rep.total_be_calls), fmt_fix(t.milliseconds(), 1)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nVQLS has no accuracy knob: reaching a target error means retraining a\n"
+              "deeper ansatz against a flattening cost landscape, and every cost\n"
+              "evaluation is a fresh batch of circuits. The QSVT+IR pipeline instead\n"
+              "buys accuracy with classical iterations at a fixed, analyzable quantum\n"
+              "cost — the paper's motivation for building on QSVT.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 5 of the paper: block-encoding-call complexity of the linear
+// solve at kappa = 2, comparing plain QSVT (extrapolated from the Table I
+// formulas — running it would require intractably deep polynomials, same
+// reason as the paper) against QSVT + mixed-precision iterative refinement
+// (measured, gate-level, eps_l ~ 1/kappa). Reported with and without the
+// O(1/eps^2) sampling repetitions.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "linalg/random_matrix.hpp"
+#include "poly/inverse_poly.hpp"
+#include "solver/qsvt_ir.hpp"
+
+int main() {
+  using namespace mpqls;
+
+  const double kappa = 2.0;
+  const double eps_l = 0.45;  // ~ 1/kappa, the paper's choice
+  Xoshiro256 rng(55);
+  const auto A = linalg::random_with_cond(rng, 16, kappa);
+  const auto b = linalg::random_unit_vector(rng, 16);
+
+  std::printf("=== Fig. 5: complexity in calls to the block-encoding, kappa = 2 ===\n");
+  std::printf("IR measured at eps_l = %.2f (gate level); plain QSVT extrapolated from\n"
+              "the polynomial degree the target accuracy would require.\n\n",
+              eps_l);
+
+  // Reuse one solver context across the eps sweep (BE + phases compiled once).
+  qsvt::QsvtOptions qopt;
+  qopt.eps_l = eps_l;
+  qopt.backend = qsvt::Backend::kGateLevel;
+  const auto ctx = qsvt::prepare_qsvt_solver(A, qopt);
+
+  TextTable table({"eps", "QSVT-only BE calls", "IR BE calls (measured)",
+                   "QSVT-only x samples", "IR x samples", "advantage (x samples)"});
+  for (int p = 2; p <= 12; ++p) {
+    const double eps = std::pow(10.0, -p);
+    // Plain QSVT: one solve at polynomial accuracy eps -> degree d(eps).
+    const auto poly_full = poly::inverse_poly_interpolated(kappa * 1.05, eps);
+    const double qsvt_only = poly_full.series.degree();
+    const double qsvt_only_sampled = qsvt_only / (eps * eps);
+
+    solver::QsvtIrOptions opt;
+    opt.eps = eps;
+    opt.qsvt = qopt;
+    opt.max_iterations = 200;
+    const auto rep = solver::solve_qsvt_ir(ctx, b, opt);
+    const double ir_calls = static_cast<double>(rep.total_be_calls);
+    const double ir_sampled = ir_calls / (eps_l * eps_l);
+
+    table.add_row({fmt_sci(eps, 0), fmt_fix(qsvt_only, 0), fmt_fix(ir_calls, 0),
+                   fmt_sci(qsvt_only_sampled, 2), fmt_sci(ir_sampled, 2),
+                   fmt_sci(qsvt_only_sampled / ir_sampled, 1)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nPaper shape check: the curves meet near eps = eps_l and diverge as eps\n"
+              "shrinks — the 1/eps^2 sampling term makes full-accuracy QSVT blow up\n"
+              "while IR keeps paying only 1/eps_l^2 per (cheap) solve. Larger kappa\n"
+              "widens the gap (Table I).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Microbenchmarks of the symmetric-QSP phase solver (google-benchmark):
+// cost versus polynomial degree, using the actual inversion targets the
+// linear solver generates. This is the classical "compilation" cost the
+// paper's Section III-C2 assigns to the CPU.
+#include <benchmark/benchmark.h>
+
+#include "poly/inverse_poly.hpp"
+#include "qsp/symmetric_qsp.hpp"
+
+namespace {
+
+using namespace mpqls;
+
+void BM_PhaseFindingInverseTarget(benchmark::State& state) {
+  const double kappa = static_cast<double>(state.range(0));
+  const auto inv = poly::inverse_poly_interpolated(kappa, 1e-2);
+  const double scale = (inv.max_abs > 0.9) ? 0.9 / inv.max_abs : 1.0;
+  const auto target = inv.series.scaled(scale).parity_projected(poly::Parity::kOdd);
+  for (auto _ : state) {
+    const auto res = qsp::solve_symmetric_qsp(target);
+    benchmark::DoNotOptimize(res.residual);
+  }
+  state.counters["degree"] = target.degree();
+}
+BENCHMARK(BM_PhaseFindingInverseTarget)->Arg(2)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ResponseEvaluation(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  std::vector<double> phases(d + 1, 0.01);
+  phases.front() = phases.back() = M_PI / 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qsp::qsp_response(phases, 0.5));
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_ResponseEvaluation)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ChebCoefficientExtraction(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  std::vector<double> phases(d + 1, 0.01);
+  phases.front() = phases.back() = M_PI / 4;
+  for (auto _ : state) {
+    const auto coeffs = qsp::response_cheb_coeffs(phases, d);
+    benchmark::DoNotOptimize(coeffs[0]);
+  }
+}
+BENCHMARK(BM_ChebCoefficientExtraction)->Arg(100)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

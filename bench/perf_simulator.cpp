@@ -1,0 +1,80 @@
+// Microbenchmarks of the statevector simulator kernels (google-benchmark):
+// single-qubit layers, CNOT ladders, dense two-qubit payloads and the
+// dense block-encoding application that dominates QSVT runs, in float and
+// double precision.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "linalg/random_matrix.hpp"
+#include "qsim/statevector.hpp"
+
+namespace {
+
+using namespace mpqls;
+
+template <typename T>
+void BM_HadamardLayer(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  qsim::Statevector<T> sv(n);
+  qsim::Circuit layer(n);
+  for (std::uint32_t q = 0; q < n; ++q) layer.h(q);
+  for (auto _ : state) {
+    sv.apply(layer);
+    benchmark::DoNotOptimize(sv[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * n * (std::int64_t{1} << n));
+}
+BENCHMARK_TEMPLATE(BM_HadamardLayer, double)->Arg(10)->Arg(16)->Arg(20);
+BENCHMARK_TEMPLATE(BM_HadamardLayer, float)->Arg(10)->Arg(16)->Arg(20);
+
+template <typename T>
+void BM_CnotLadder(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  qsim::Statevector<T> sv(n);
+  qsim::Circuit ladder(n);
+  for (std::uint32_t q = 0; q + 1 < n; ++q) ladder.cx(q, q + 1);
+  for (auto _ : state) {
+    sv.apply(ladder);
+    benchmark::DoNotOptimize(sv[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1) * (std::int64_t{1} << n));
+}
+BENCHMARK_TEMPLATE(BM_CnotLadder, double)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_DenseBlockEncodingApply(benchmark::State& state) {
+  // A 2^5-dimensional dense payload on the low 5 qubits of an n-qubit
+  // register: the exact shape of one block-encoding call in the solver.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Xoshiro256 rng(5);
+  const auto Q = linalg::haar_orthogonal(rng, 32);
+  linalg::Matrix<qsim::c64> U(32, 32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 32; ++j) U(i, j) = Q(i, j);
+  }
+  qsim::Circuit c(n);
+  c.unitary({0, 1, 2, 3, 4}, std::move(U));
+  qsim::Statevector<double> sv(n);
+  for (auto _ : state) {
+    sv.apply(c);
+    benchmark::DoNotOptimize(sv[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * (std::int64_t{1} << n));
+}
+BENCHMARK(BM_DenseBlockEncodingApply)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_RotationLayer(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  qsim::Statevector<double> sv(n);
+  qsim::Circuit layer(n);
+  for (std::uint32_t q = 0; q < n; ++q) layer.ry(q, 0.1 + q);
+  for (auto _ : state) {
+    sv.apply(layer);
+    benchmark::DoNotOptimize(sv[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * n * (std::int64_t{1} << n));
+}
+BENCHMARK(BM_RotationLayer)->Arg(10)->Arg(16)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Side-by-side: classical mixed-precision iterative refinement
+// (Algorithm 1: LU in float/half, refinement in double — the CPU/GPU
+// pattern) against the hybrid CPU/QPU variant (Algorithm 2: QSVT solves at
+// accuracy eps_l). Both display the same geometric residual contraction;
+// the contraction rate is u_l*kappa classically and eps_l*kappa
+// quantumly — the exact correspondence the paper builds on.
+//
+//   build/examples/classical_vs_quantum_ir
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "linalg/half.hpp"
+#include "linalg/iterative_refinement.hpp"
+#include "linalg/random_matrix.hpp"
+#include "solver/qsvt_ir.hpp"
+
+int main() {
+  using namespace mpqls;
+
+  Xoshiro256 rng(3);
+  const double kappa = 10.0;
+  const auto A = linalg::random_with_cond(rng, 16, kappa);
+  const auto b = linalg::random_unit_vector(rng, 16);
+
+  // Classical: LU in half (u_l ~ 9.8e-4) and single (u_l ~ 6e-8).
+  linalg::ClassicalIrOptions copts;
+  copts.target_scaled_residual = 1e-11;
+  const auto half_run = linalg::classical_iterative_refinement<double, linalg::half>(A, b, copts);
+  const auto single_run = linalg::classical_iterative_refinement<double, float>(A, b, copts);
+
+  // Quantum: QSVT at eps_l = 1e-3.
+  solver::QsvtIrOptions qopts;
+  qopts.eps = 1e-11;
+  qopts.qsvt.eps_l = 1e-3;
+  qopts.qsvt.backend = qsvt::Backend::kGateLevel;
+  const auto quantum_run = solver::solve_qsvt_ir(A, b, qopts);
+
+  std::printf("Scaled residual per refinement iteration (kappa = %.0f):\n\n", kappa);
+  TextTable table({"solve", "LU fp16 (u_l~1e-3)", "LU fp32 (u_l~6e-8)", "QSVT eps_l=1e-3"});
+  const std::size_t rows = std::max({half_run.scaled_residuals.size(),
+                                     single_run.scaled_residuals.size(),
+                                     quantum_run.scaled_residuals.size()});
+  auto cell = [](const std::vector<double>& v, std::size_t i) {
+    return i < v.size() ? fmt_sci(v[i]) : std::string("-");
+  };
+  for (std::size_t i = 0; i < rows; ++i) {
+    table.add_row({i == 0 ? "first" : std::to_string(i), cell(half_run.scaled_residuals, i),
+                   cell(single_run.scaled_residuals, i),
+                   cell(quantum_run.scaled_residuals, i)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nBoth the fp16 LU and the eps_l=1e-3 QSVT contract at ~1e-2 per step\n"
+              "(u_l*kappa resp. eps_l*kappa); fp32 LU contracts much faster. The\n"
+              "limiting accuracy is set by the double-precision residual (u), not by\n"
+              "the low-precision solver — Section II-B of the paper.\n");
+  return 0;
+}

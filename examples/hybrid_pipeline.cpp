@@ -1,0 +1,49 @@
+// Visualize the CPU/QPU communication pattern of Fig. 1: the one-off
+// transfers (BE(A^T), the phase vector Phi, SP(b)) versus the light
+// per-iteration traffic (SP(r_i) down, sampled x_{i+1} up).
+//
+//   build/examples/hybrid_pipeline
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "linalg/random_matrix.hpp"
+#include "solver/qsvt_ir.hpp"
+
+int main() {
+  using namespace mpqls;
+
+  Xoshiro256 rng(17);
+  const auto A = linalg::random_with_cond(rng, 16, 10.0);
+  const auto b = linalg::random_unit_vector(rng, 16);
+
+  solver::QsvtIrOptions options;
+  options.eps = 1e-10;
+  options.qsvt.eps_l = 1e-2;
+  options.qsvt.backend = qsvt::Backend::kGateLevel;
+  const auto rep = solver::solve_qsvt_ir(A, b, options);
+
+  std::printf("CPU-QPU transfer timeline (Fig. 1 of the paper):\n\n");
+  TextTable table({"#", "direction", "payload", "bytes", "phase"});
+  int idx = 0;
+  for (const auto& e : rep.comm.events()) {
+    table.add_row({std::to_string(idx++),
+                   e.direction == hybrid::Direction::kCpuToQpu ? "CPU -> QPU" : "QPU -> CPU",
+                   e.payload, fmt_int(e.bytes),
+                   e.iteration < 0 ? "setup/first solve"
+                                   : ("iteration " + std::to_string(e.iteration))});
+  }
+  table.print(std::cout);
+
+  const auto setup = rep.comm.setup_bytes();
+  const auto down = rep.comm.total_bytes(hybrid::Direction::kCpuToQpu);
+  const auto up = rep.comm.total_bytes(hybrid::Direction::kQpuToCpu);
+  std::printf("\nsetup bytes (incl. first solve): %s\n", fmt_int(setup).c_str());
+  std::printf("total CPU->QPU: %s, QPU->CPU: %s\n", fmt_int(down).c_str(),
+              fmt_int(up).c_str());
+  std::printf("\nThe block-encoding circuit dominates the setup transfer and is sent\n"
+              "exactly once; each refinement iteration only ships a state-preparation\n"
+              "for r_i and reads back N amplitudes — the paper's Section III-C3 point.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// 2-D Poisson on an 8x8 interior grid (N = 64): the sparse classical path
+// (CSR + conjugate gradients, O(nnz) per iteration) next to the hybrid
+// QSVT + refinement solver — the comparison behind the paper's closing
+// caveat that classical solvers already handle Poisson systems in O(N)
+// while kappa = O(N^2) makes them expensive for QSVT.
+//
+//   build/examples/poisson2d
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/jacobi_svd.hpp"
+#include "linalg/sparse.hpp"
+#include "solver/qsvt_ir.hpp"
+
+int main() {
+  using namespace mpqls;
+
+  const std::size_t nx = 8, ny = 8, N = nx * ny;
+  const auto A_csr = linalg::CsrMatrix::dirichlet_laplacian_2d(nx, ny);
+  const auto A = A_csr.to_dense();
+
+  // Right-hand side: a point source in the grid interior.
+  linalg::Vector<double> b(N, 0.0);
+  b[3 * nx + 4] = 1.0;
+
+  const double kappa = linalg::cond2(A);
+  std::printf("2-D Poisson, %zux%zu grid (N = %zu), nnz = %zu, kappa = %.1f\n\n", nx, ny, N,
+              A_csr.nonzeros(), kappa);
+
+  // Classical sparse path.
+  Timer t_cg;
+  const auto cg = linalg::cg_solve(A_csr, b);
+  const double cg_ms = t_cg.milliseconds();
+
+  // Hybrid path (matrix-function backend; the gate-level register would
+  // need 6 data qubits + ancillas, also fine but slower).
+  Timer t_q;
+  solver::QsvtIrOptions opt;
+  opt.eps = 1e-10;
+  opt.qsvt.eps_l = 2e-2;
+  opt.qsvt.backend = qsvt::Backend::kMatrixFunction;
+  const auto rep = solver::solve_qsvt_ir(A, b, opt);
+  const double q_ms = t_q.milliseconds();
+
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < N; ++i) {
+    max_diff = std::fmax(max_diff, std::fabs(cg.x[i] - rep.x[i]));
+  }
+
+  TextTable table({"solver", "iterations", "residual", "time (ms)"});
+  table.add_row({"CG (sparse, classical)", std::to_string(cg.iterations),
+                 fmt_sci(cg.relative_residual), fmt_fix(cg_ms, 1)});
+  table.add_row({"QSVT + IR (poly degree " + std::to_string(rep.poly_degree) + ")",
+                 std::to_string(rep.iterations), fmt_sci(rep.scaled_residuals.back()),
+                 fmt_fix(q_ms, 1)});
+  table.print(std::cout);
+  std::printf("\nsolutions agree to %.2e\n", max_diff);
+  std::printf("\nCG needs ~sqrt(kappa) ~ %.0f matvecs of %zu flops each; the QSVT pays a\n"
+              "polynomial of degree ~kappa log kappa per solve. With kappa = O(N^2) and\n"
+              "no preconditioning, Poisson is classical solvers' home turf — the paper\n"
+              "flags exactly this in Section III-C4.\n",
+              std::sqrt(kappa), 2 * A_csr.nonzeros());
+  return rep.converged && cg.converged ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Sweep the QSVT accuracy eps_l and watch the trade-off the paper's
+// Table I formalizes: cruder (cheaper) QSVT solves need more refinement
+// iterations but each costs far fewer block-encoding calls — and the
+// quantum cost including the O(1/eps_l^2) sampling factor tilts strongly
+// toward crude solves.
+//
+//   build/examples/precision_sweep
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "linalg/random_matrix.hpp"
+#include "solver/qsvt_ir.hpp"
+
+int main() {
+  using namespace mpqls;
+
+  Xoshiro256 rng(7);
+  const double kappa = 10.0;
+  const auto A = linalg::random_with_cond(rng, 16, kappa);
+  const auto b = linalg::random_unit_vector(rng, 16);
+
+  std::printf("kappa = %.0f, target eps = 1e-11; sweeping eps_l\n\n", kappa);
+  TextTable table({"eps_l", "poly degree", "iters", "bound", "BE calls (total)",
+                   "BE calls x samples"});
+
+  for (double eps_l : {3e-2, 1e-2, 1e-3, 1e-4, 1e-5}) {
+    solver::QsvtIrOptions options;
+    options.eps = 1e-11;
+    options.qsvt.eps_l = eps_l;
+    options.qsvt.backend = qsvt::Backend::kGateLevel;
+    const auto rep = solver::solve_qsvt_ir(A, b, options);
+    const double with_sampling =
+        static_cast<double>(rep.total_be_calls) / (eps_l * eps_l);
+    table.add_row({fmt_sci(eps_l, 0), std::to_string(rep.poly_degree),
+                   std::to_string(rep.iterations),
+                   std::to_string(rep.theoretical_iteration_bound),
+                   fmt_int(rep.total_be_calls), fmt_sci(with_sampling, 2)});
+  }
+  table.print(std::cout);
+  std::printf("\nReading guide: per-solve degree shrinks with eps_l like "
+              "kappa*log(kappa/eps_l);\niterations grow like "
+              "log(eps)/log(eps_l*kappa); the sampling-inclusive cost\n"
+              "(last column) is minimized at crude eps_l — the paper's core "
+              "argument.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Beyond inversion: the same QSVT machinery applies any bounded-parity
+// polynomial to a block-encoded matrix (the "grand unification" view of
+// Martyn et al. that the paper builds on). This example uses the library's
+// pipeline to implement a smooth sign function of a Hermitian matrix —
+// i.e. spectral projection — at gate level, and checks it against the
+// eigendecomposition.
+//
+//   build/examples/qsvt_matrix_functions
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "blockenc/dense_embedding.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/jacobi_eig.hpp"
+#include "linalg/jacobi_svd.hpp"
+#include "linalg/random_matrix.hpp"
+#include "poly/chebyshev.hpp"
+#include "qsim/statevector.hpp"
+#include "qsp/symmetric_qsp.hpp"
+#include "qsvt/qsvt_circuit.hpp"
+
+int main() {
+  using namespace mpqls;
+
+  // A symmetric matrix with eigenvalues on both sides of zero, scaled
+  // inside the unit disk so alpha = 1 block-encodes it directly.
+  Xoshiro256 rng(12);
+  auto G = linalg::random_gaussian(rng, 8, 8);
+  linalg::Matrix<double> S(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) S(i, j) = 0.5 * (G(i, j) + G(j, i));
+  }
+  const double s_norm = linalg::norm2(S);
+  linalg::Matrix<double> A(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) A(i, j) = 0.8 * S(i, j) / s_norm;
+  }
+  const auto eig = linalg::jacobi_eigensymmetric(A);
+  std::printf("eigenvalues:");
+  for (double l : eig.values) std::printf(" %.3f", l);
+  std::printf("\n\n");
+
+  // Odd polynomial ~ 0.9*sign(x) away from a gap around 0 (erf smoothing).
+  const double sharpness = 18.0;
+  auto target_fn = [sharpness](double x) { return 0.9 * std::erf(sharpness * x); };
+  auto target = poly::cheb_interpolate(target_fn, 121)
+                    .parity_projected(poly::Parity::kOdd)
+                    .truncated(1e-12);
+  std::printf("sign-polynomial degree: %d, max|P| = %.3f\n", target.degree(),
+              target.max_abs_on(-1.0, 1.0));
+
+  const auto phases = qsp::solve_symmetric_qsp(target);
+  std::printf("QSP phases: %zu, residual %.2e (%s)\n\n", phases.phases.size(),
+              phases.residual, phases.method.c_str());
+
+  // Gate-level QSVT of sign(A) applied to a test vector.
+  const auto be = blockenc::dense_embedding(A, 1.0);
+  const auto qc = qsvt::build_qsvt_circuit(be, phases.phases);
+  const auto v = linalg::random_unit_vector(rng, 8);
+
+  qsim::Statevector<double> sv(qc.circuit.num_qubits());
+  for (std::size_t i = 0; i < 8; ++i) sv[i] = v[i];
+  sv[0] = v[0];
+  sv.apply(qc.circuit);
+  // Read the block amplitudes: r = 1, signal/ancilla = 0.
+  linalg::Vector<double> result(8);
+  const std::size_t r_bit = std::size_t{1} << qc.realpart_qubit;
+  for (std::size_t i = 0; i < 8; ++i) {
+    result[i] = sv[i | r_bit].real();
+  }
+
+  // Reference: 0.9 * sign(A) v via the eigendecomposition (the smooth sign
+  // equals +-0.9 on eigenvalues outside the erf transition).
+  linalg::Vector<double> expected(8, 0.0);
+  for (std::size_t k = 0; k < 8; ++k) {
+    double proj = 0.0;
+    for (std::size_t i = 0; i < 8; ++i) proj += eig.vectors(i, k) * v[i];
+    const double s = target_fn(eig.values[k]);
+    for (std::size_t i = 0; i < 8; ++i) expected[i] += s * proj * eig.vectors(i, k);
+  }
+
+  TextTable table({"i", "QSVT [0.9 sign(A) v]_i", "eigendecomposition"});
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    table.add_row({std::to_string(i), fmt_fix(result[i], 6), fmt_fix(expected[i], 6)});
+    max_err = std::fmax(max_err, std::fabs(result[i] - expected[i]));
+  }
+  table.print(std::cout);
+  std::printf("\nmax deviation: %.2e — the identical phase/gadget pipeline that solves\n"
+              "linear systems implements any other singular-value transform; only the\n"
+              "Chebyshev target changes.\n",
+              max_err);
+  return max_err < 1e-6 ? 0 : 1;
+}

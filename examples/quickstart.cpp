@@ -1,0 +1,64 @@
+// Quickstart: solve a random linear system with the mixed-precision
+// QSVT + iterative-refinement solver (Algorithm 2 of the paper) and print
+// the per-iteration scaled residuals next to the Theorem III.1 bound.
+//
+//   build/examples/quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/random_matrix.hpp"
+#include "solver/qsvt_ir.hpp"
+
+int main() {
+  using namespace mpqls;
+
+  // A 16 x 16 random system with condition number 10 (the paper's Fig. 3
+  // setting), solved to scaled residual 1e-11 using a QSVT that is only
+  // ~1e-3 accurate per solve.
+  Xoshiro256 rng(2025);
+  const std::size_t n = 16;
+  const double kappa = 10.0;
+  const auto A = linalg::random_with_cond(rng, n, kappa);
+  const auto b = linalg::random_unit_vector(rng, n);
+
+  solver::QsvtIrOptions options;
+  options.eps = 1e-11;
+  options.qsvt.eps_l = 1e-3;
+  options.qsvt.backend = qsvt::Backend::kGateLevel;
+
+  std::printf("Solving a %zux%zu system, kappa = %.0f, with QSVT accuracy "
+              "eps_l = %.0e and target eps = %.0e\n\n",
+              n, n, kappa, options.qsvt.eps_l, options.eps);
+  const auto report = solver::solve_qsvt_ir(A, b, options);
+
+  TextTable table({"solve", "scaled residual", "mu", "success prob", "BE calls"});
+  for (std::size_t i = 0; i < report.scaled_residuals.size(); ++i) {
+    table.add_row({i == 0 ? "first" : ("iter " + std::to_string(i)),
+                   fmt_sci(report.scaled_residuals[i]),
+                   fmt_sci(report.solves[i].mu, 2),
+                   fmt_fix(report.solves[i].success_probability, 4),
+                   fmt_int(report.solves[i].be_calls)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nconverged:        %s after %d refinement iterations\n",
+              report.converged ? "yes" : "no", report.iterations);
+  std::printf("Theorem III.1:    <= %llu iterations (contraction eps_l*kappa = %.3g)\n",
+              static_cast<unsigned long long>(report.theoretical_iteration_bound),
+              report.eps_l_effective);
+  std::printf("polynomial:       degree %d, measured accuracy %.2e\n", report.poly_degree,
+              report.eps_l_effective);
+  std::printf("total BE calls:   %llu\n",
+              static_cast<unsigned long long>(report.total_be_calls));
+
+  // Cross-check against a classical LU solve.
+  const auto x_lu = linalg::lu_solve(A, b);
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) err = std::max(err, std::fabs(report.x[i] - x_lu[i]));
+  std::printf("max |x - x_LU|:   %.2e\n", err);
+  return report.converged ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+#include "blockenc/arith/adders.hpp"
+
+#include "common/contracts.hpp"
+
+namespace mpqls::blockenc {
+
+void append_increment(qsim::Circuit& circuit, const std::vector<std::uint32_t>& qubits) {
+  // Ripple cascade: the top bit flips iff all lower bits are 1, and so on
+  // down; finally the lowest bit always flips.
+  const std::size_t k = qubits.size();
+  for (std::size_t t = k; t-- > 1;) {
+    std::vector<std::uint32_t> controls(qubits.begin(), qubits.begin() + t);
+    circuit.mcx(std::move(controls), qubits[t]);
+  }
+  circuit.x(qubits[0]);
+}
+
+void append_decrement(qsim::Circuit& circuit, const std::vector<std::uint32_t>& qubits) {
+  // Inverse of increment: X on the lowest bit, then rising cascades.
+  const std::size_t k = qubits.size();
+  circuit.x(qubits[0]);
+  for (std::size_t t = 1; t < k; ++t) {
+    std::vector<std::uint32_t> controls(qubits.begin(), qubits.begin() + t);
+    circuit.mcx(std::move(controls), qubits[t]);
+  }
+}
+
+void append_increment_carry(qsim::Circuit& circuit, const std::vector<std::uint32_t>& qubits,
+                            const std::vector<std::uint32_t>& carries) {
+  const std::size_t n = qubits.size();
+  if (n <= 2) {
+    append_increment(circuit, qubits);
+    return;
+  }
+  expects(carries.size() >= n - 2, "increment_carry: need n-2 carry ancillas");
+
+  // Compute carries: c_k = q_0 & q_1 & ... & q_{k+1} for k = 0..n-3.
+  circuit.ccx(qubits[0], qubits[1], carries[0]);
+  for (std::size_t k = 1; k + 2 < n; ++k) {
+    circuit.ccx(carries[k - 1], qubits[k + 1], carries[k]);
+  }
+  // Flip top-down, uncomputing each carry after its single use. The
+  // interleave is what keeps it reversible: carry c_{k} is uncomputed
+  // (using the still-original q_{k+1}) before q_{k+1} is flipped.
+  circuit.cx(carries[n - 3], qubits[n - 1]);
+  for (std::size_t t = n - 2; t >= 2; --t) {
+    circuit.ccx(carries[t - 2], qubits[t], carries[t - 1]);  // uncompute c_{t-1}
+    circuit.cx(carries[t - 2], qubits[t]);                   // flip q_t
+  }
+  circuit.ccx(qubits[0], qubits[1], carries[0]);
+  circuit.cx(qubits[0], qubits[1]);
+  circuit.x(qubits[0]);
+}
+
+void append_decrement_carry(qsim::Circuit& circuit, const std::vector<std::uint32_t>& qubits,
+                            const std::vector<std::uint32_t>& carries) {
+  // Adjoint of the increment: emit it into a scratch circuit and reverse.
+  qsim::Circuit scratch(circuit.num_qubits());
+  append_increment_carry(scratch, qubits, carries);
+  circuit.append(scratch.dagger());
+}
+
+}  // namespace mpqls::blockenc

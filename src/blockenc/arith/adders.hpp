@@ -1,0 +1,33 @@
+// Quantum integer arithmetic: modular increment / decrement circuits.
+// Two constructions:
+//  * cascade — multi-controlled-X ladder, no ancillas, O(n^2) T-cost;
+//  * carry   — Toffoli carry chain with n-2 clean ancillas, O(n) T-cost
+//    (the linear scaling the paper's Table II assumes via [34]).
+// These are the cyclic-shift operators inside the banded block-encoding of
+// the Poisson matrix (Section III-C4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qsim/circuit.hpp"
+
+namespace mpqls::blockenc {
+
+/// |j> -> |j + 1 mod 2^k> via the ancilla-free MCX cascade.
+void append_increment(qsim::Circuit& circuit, const std::vector<std::uint32_t>& qubits);
+
+/// |j> -> |j - 1 mod 2^k> (inverse cascade).
+void append_decrement(qsim::Circuit& circuit, const std::vector<std::uint32_t>& qubits);
+
+/// Linear-T-cost increment using clean carry ancillas. Requires
+/// carries.size() >= qubits.size() - 2; ancillas must be |0> and are
+/// returned to |0>.
+void append_increment_carry(qsim::Circuit& circuit, const std::vector<std::uint32_t>& qubits,
+                            const std::vector<std::uint32_t>& carries);
+
+/// Linear-T-cost decrement (adjoint of the carry increment).
+void append_decrement_carry(qsim::Circuit& circuit, const std::vector<std::uint32_t>& qubits,
+                            const std::vector<std::uint32_t>& carries);
+
+}  // namespace mpqls::blockenc

@@ -1,0 +1,24 @@
+#include "blockenc/block_encoding.hpp"
+
+#include "qsim/statevector.hpp"
+
+namespace mpqls::blockenc {
+
+linalg::Matrix<std::complex<double>> encoded_block(const BlockEncoding& be) {
+  const std::size_t dim = std::size_t{1} << be.n_data;
+  linalg::Matrix<std::complex<double>> block(dim, dim);
+  // Column j of the block: apply U to |0>_a |j> and read the ancilla-zero
+  // amplitudes (cheaper than building the full unitary).
+  for (std::size_t j = 0; j < dim; ++j) {
+    qsim::Statevector<double> sv(be.total_qubits());
+    sv[0] = 0.0;
+    sv[j] = 1.0;
+    sv.apply(be.circuit);
+    for (std::size_t i = 0; i < dim; ++i) {
+      block(i, j) = std::complex<double>(sv[i].real(), sv[i].imag()) * be.alpha;
+    }
+  }
+  return block;
+}
+
+}  // namespace mpqls::blockenc

@@ -1,0 +1,55 @@
+#include "blockenc/fable.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "qsim/synth/ucr.hpp"
+
+namespace mpqls::blockenc {
+
+FableEncoding fable_block_encoding(const linalg::Matrix<double>& A, double threshold) {
+  const std::size_t N = A.rows();
+  expects(N == A.cols(), "fable: square matrix required");
+  expects(std::has_single_bit(N), "fable: dimension must be 2^n");
+  const auto n = static_cast<std::uint32_t>(std::countr_zero(N));
+
+  // Qubit layout (low to high): data/column j [0, n), row ancillas i
+  // [n, 2n), rotation ancilla at 2n. The oracle rotates the flag qubit by
+  // theta_ij = 2 arccos(a_ij) addressed by (i, j).
+  FableEncoding out;
+  out.be.n_data = n;
+  out.be.n_anc = n + 1;
+  out.be.alpha = static_cast<double>(N);
+  out.be.method = "fable";
+  qsim::Circuit& c = out.be.circuit = qsim::Circuit(2 * n + 1);
+
+  const std::uint32_t rot = 2 * n;
+  for (std::uint32_t q = n; q < 2 * n; ++q) c.h(q);
+
+  // UCRY index bits: row bits are the low controls, column bits the high
+  // ones -> angle index x = i | (j << n), value arccos(A(i, j)).
+  std::vector<std::uint32_t> controls(2 * n);
+  for (std::uint32_t b = 0; b < n; ++b) {
+    controls[b] = n + b;      // row register
+    controls[n + b] = b;      // column register
+  }
+  std::vector<double> angles(N * N);
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = 0; j < N; ++j) {
+      const double a = A(i, j);
+      expects(std::fabs(a) <= 1.0 + 1e-12, "fable: entries must satisfy |a_ij| <= 1");
+      angles[i | (j << n)] = 2.0 * std::acos(std::fmin(1.0, std::fmax(-1.0, a)));
+    }
+  }
+  out.rotations_total = angles.size();
+  out.rotations_kept = qsim::append_ucry_pruned(c, controls, rot, angles, threshold);
+  out.be.classical_flops = static_cast<std::uint64_t>(N) * N * std::max(1u, 2 * n);
+
+  // Swap row and column registers, then H on the rows.
+  for (std::uint32_t b = 0; b < n; ++b) c.swap(b, n + b);
+  for (std::uint32_t q = n; q < 2 * n; ++q) c.h(q);
+  return out;
+}
+
+}  // namespace mpqls::blockenc

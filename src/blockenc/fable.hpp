@@ -1,0 +1,23 @@
+// FABLE: Fast Approximate BLock Encoding (Camps & Van Beeumen, QCE 2022 —
+// the paper's reference [10]). Encodes a real matrix with |a_ij| <= 1 at
+// subnormalization alpha = N via one compressed uniformly-controlled RY
+// over the (row, column) register; the compression threshold trades gate
+// count against encoding error, which is FABLE's headline feature.
+#pragma once
+
+#include "blockenc/block_encoding.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mpqls::blockenc {
+
+struct FableEncoding {
+  BlockEncoding be;
+  std::size_t rotations_kept = 0;    ///< after threshold pruning
+  std::size_t rotations_total = 0;   ///< 4^n before pruning
+};
+
+/// Block-encode A/N (N = 2^n). `threshold` prunes Gray-walk angles with
+/// |theta| below it (0 = exact). Requires max |a_ij| <= 1.
+FableEncoding fable_block_encoding(const linalg::Matrix<double>& A, double threshold = 0.0);
+
+}  // namespace mpqls::blockenc

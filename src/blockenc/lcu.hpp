@@ -1,0 +1,20 @@
+// Linear-Combination-of-Unitaries block-encoding (Childs & Wiebe 2012,
+// the paper's reference [12]) over a Pauli decomposition: PREPARE loads
+// the coefficient magnitudes on ceil(log2 L) ancillas, SELECT applies the
+// j-th (phase-folded) Pauli string controlled on ancilla value j, and
+// PREPARE^dagger closes the encoding with alpha = sum_j |c_j|.
+#pragma once
+
+#include "blockenc/block_encoding.hpp"
+#include "blockenc/pauli.hpp"
+
+namespace mpqls::blockenc {
+
+/// Block-encode sum_j c_j P_j for `n_data` data qubits. Complex phases of
+/// the coefficients are folded into the selected unitaries.
+BlockEncoding lcu_block_encoding(const std::vector<PauliTerm>& terms, std::uint32_t n_data);
+
+/// One-call variant: tree-decompose A (with optional pruning) then LCU.
+BlockEncoding lcu_block_encoding(const linalg::Matrix<double>& A, double prune_tol = 0.0);
+
+}  // namespace mpqls::blockenc

@@ -1,0 +1,143 @@
+#include "blockenc/pauli.hpp"
+
+#include <bit>
+
+#include "common/contracts.hpp"
+
+namespace mpqls::blockenc {
+
+namespace {
+
+using c64 = std::complex<double>;
+using CMatrix = linalg::Matrix<c64>;
+
+CMatrix pauli_1q(char op) {
+  switch (op) {
+    case 'I': return CMatrix{{1, 0}, {0, 1}};
+    case 'X': return CMatrix{{0, 1}, {1, 0}};
+    case 'Y': return CMatrix{{0, c64(0, -1)}, {c64(0, 1), 0}};
+    case 'Z': return CMatrix{{1, 0}, {0, -1}};
+    default: break;
+  }
+  throw contract_violation("pauli_1q: unknown operator");
+}
+
+double max_abs(const CMatrix& m) {
+  double v = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) v = std::fmax(v, std::abs(m(i, j)));
+  }
+  return v;
+}
+
+// Recursive quadrant descent. `prefix` accumulates the Pauli characters of
+// the already-processed (most significant) qubits, MSB first.
+void decompose_rec(const CMatrix& block, std::vector<char>& prefix, double prune_tol,
+                   std::vector<PauliTerm>& out) {
+  const std::size_t dim = block.rows();
+  if (dim == 1) {
+    const c64 c = block(0, 0);
+    if (std::abs(c) > prune_tol) {
+      PauliTerm term;
+      // prefix is MSB-first; PauliString stores LSB-first.
+      term.string.ops.assign(prefix.rbegin(), prefix.rend());
+      term.coefficient = c;
+      out.push_back(std::move(term));
+    }
+    return;
+  }
+  const std::size_t h = dim / 2;
+  // Quadrants indexed by the top qubit: A = sum_{s,t} |s><t| (x) A_st and
+  // |0><0| = (I+Z)/2, |1><1| = (I-Z)/2, |0><1| = (X+iY)/2, |1><0| = (X-iY)/2.
+  CMatrix comb_i(h, h), comb_z(h, h), comb_x(h, h), comb_y(h, h);
+  for (std::size_t i = 0; i < h; ++i) {
+    for (std::size_t j = 0; j < h; ++j) {
+      const c64 a00 = block(i, j);
+      const c64 a01 = block(i, j + h);
+      const c64 a10 = block(i + h, j);
+      const c64 a11 = block(i + h, j + h);
+      comb_i(i, j) = 0.5 * (a00 + a11);
+      comb_z(i, j) = 0.5 * (a00 - a11);
+      comb_x(i, j) = 0.5 * (a01 + a10);
+      comb_y(i, j) = 0.5 * c64(0, 1) * (a01 - a10);
+    }
+  }
+  const std::pair<char, const CMatrix*> children[4] = {
+      {'I', &comb_i}, {'X', &comb_x}, {'Y', &comb_y}, {'Z', &comb_z}};
+  for (const auto& [op, child] : children) {
+    // Tree pruning: a (near-)zero combination block kills its whole
+    // subtree — with prune_tol = 0 only exactly-zero blocks are cut, so
+    // the decomposition stays exact.
+    if (max_abs(*child) <= prune_tol) continue;
+    prefix.push_back(op);
+    decompose_rec(*child, prefix, prune_tol, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+CMatrix pauli_matrix(const PauliString& p) {
+  CMatrix m = CMatrix::identity(1);
+  // Prepend successively higher qubits on the left so qubit 0 ends up as
+  // the least significant tensor factor.
+  for (std::size_t q = 0; q < p.ops.size(); ++q) {
+    const CMatrix g = pauli_1q(p.ops[q]);
+    CMatrix next(m.rows() * 2, m.cols() * 2);
+    for (std::size_t a = 0; a < 2; ++a) {
+      for (std::size_t b = 0; b < 2; ++b) {
+        for (std::size_t i = 0; i < m.rows(); ++i) {
+          for (std::size_t j = 0; j < m.cols(); ++j) {
+            next(a * m.rows() + i, b * m.cols() + j) = g(a, b) * m(i, j);
+          }
+        }
+      }
+    }
+    m = std::move(next);
+  }
+  return m;
+}
+
+std::vector<PauliTerm> tree_pauli_decompose(const CMatrix& A, double prune_tol) {
+  expects(A.rows() == A.cols(), "pauli decomposition: square matrix required");
+  expects(std::has_single_bit(A.rows()), "pauli decomposition: dimension must be 2^n");
+  std::vector<PauliTerm> out;
+  std::vector<char> prefix;
+  decompose_rec(A, prefix, prune_tol, out);
+  return out;
+}
+
+std::vector<PauliTerm> tree_pauli_decompose(const linalg::Matrix<double>& A,
+                                            double prune_tol) {
+  CMatrix Ac(A.rows(), A.cols());
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    for (std::size_t j = 0; j < A.cols(); ++j) Ac(i, j) = A(i, j);
+  }
+  return tree_pauli_decompose(Ac, prune_tol);
+}
+
+CMatrix pauli_reconstruct(const std::vector<PauliTerm>& terms, std::uint32_t n_qubits) {
+  const std::size_t dim = std::size_t{1} << n_qubits;
+  CMatrix acc(dim, dim);
+  for (const auto& t : terms) {
+    const CMatrix m = pauli_matrix(t.string);
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t j = 0; j < dim; ++j) acc(i, j) += t.coefficient * m(i, j);
+    }
+  }
+  return acc;
+}
+
+void append_pauli(qsim::Circuit& circuit, const PauliString& p) {
+  for (std::uint32_t q = 0; q < p.ops.size(); ++q) {
+    switch (p.ops[q]) {
+      case 'I': break;
+      case 'X': circuit.x(q); break;
+      case 'Y': circuit.y(q); break;
+      case 'Z': circuit.z(q); break;
+      default: throw contract_violation("append_pauli: unknown operator");
+    }
+  }
+}
+
+}  // namespace mpqls::blockenc

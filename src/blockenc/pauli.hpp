@@ -1,0 +1,60 @@
+// Pauli-string algebra and the tree-based Pauli decomposition of an
+// arbitrary matrix (Koska, Baboulin, Gazda, ISC 2024 — the paper's
+// reference [25], by the same authors). The decomposition feeds the LCU
+// block-encoding and its pruning is what makes dense decompositions
+// tractable: zero sub-blocks are cut off entire subtrees.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "qsim/circuit.hpp"
+
+namespace mpqls::blockenc {
+
+/// A tensor product of single-qubit Paulis, qubit q = character ops[q]
+/// (so ops[0] acts on the least significant qubit).
+struct PauliString {
+  std::vector<char> ops;  ///< each of 'I', 'X', 'Y', 'Z'
+
+  std::string label() const {  ///< MSB-first label, e.g. "ZIX"
+    return std::string(ops.rbegin(), ops.rend());
+  }
+  std::uint32_t weight() const {
+    std::uint32_t w = 0;
+    for (char c : ops) w += (c != 'I');
+    return w;
+  }
+};
+
+struct PauliTerm {
+  PauliString string;
+  std::complex<double> coefficient;
+};
+
+/// Dense matrix of a Pauli string (tests; O(4^n)).
+linalg::Matrix<std::complex<double>> pauli_matrix(const PauliString& p);
+
+/// Tree (recursive quadrant) Pauli decomposition: A = sum_j c_j P_j.
+/// Subtrees whose max-norm falls below `prune_tol` are dropped, which is
+/// exact for prune_tol = 0 and yields the tree method's speedup on sparse
+/// or structured inputs. Complexity O(N^2 log N) worst case.
+std::vector<PauliTerm> tree_pauli_decompose(
+    const linalg::Matrix<std::complex<double>>& A, double prune_tol = 0.0);
+
+/// Convenience overload for real matrices.
+std::vector<PauliTerm> tree_pauli_decompose(const linalg::Matrix<double>& A,
+                                            double prune_tol = 0.0);
+
+/// Reconstruct sum_j c_j P_j (tests).
+linalg::Matrix<std::complex<double>> pauli_reconstruct(const std::vector<PauliTerm>& terms,
+                                                       std::uint32_t n_qubits);
+
+/// Append the (phase-free) Pauli string as gates on `circuit`, acting on
+/// data qubits [0, n).
+void append_pauli(qsim::Circuit& circuit, const PauliString& p);
+
+}  // namespace mpqls::blockenc

@@ -1,0 +1,28 @@
+// Gate-level block-encoding of the Dirichlet tridiagonal Toeplitz matrix
+// T = tridiag(-1, 2, -1) — the 1-D Poisson stiffness matrix of Section
+// III-C4 (up to the classical 1/h^2 scale). The paper cites the
+// double-log-depth construction of Ty et al. [37]; we build the same
+// matrix as an exact 5-term LCU over elementary unitaries
+//
+//   T = 1.5 I - C_up - C_down + S + 0.5 D,
+//
+// where C_up/C_down are the modular increment/decrement (ripple-adder
+// circuits, Camps et al. [9] style), S swaps the two boundary basis states
+// |0..0> <-> |1..1| via a flag ancilla, and D = 2(P_0 + P_{N-1}) - I is a
+// product of two boundary reflections. All five are exact circuits, so the
+// encoding error is zero and alpha = 5. (Substitution note in DESIGN.md:
+// same encoded matrix and ancilla structure as [37], different depth
+// constant.)
+#pragma once
+
+#include <cstdint>
+
+#include "blockenc/block_encoding.hpp"
+
+namespace mpqls::blockenc {
+
+/// Block-encode tridiag(-1, 2, -1) / 5 on n data qubits (N = 2^n >= 4).
+/// Ancillas: 3 LCU selection qubits + 1 boundary flag.
+BlockEncoding tridiagonal_block_encoding(std::uint32_t n_data);
+
+}  // namespace mpqls::blockenc

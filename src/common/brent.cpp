@@ -1,0 +1,148 @@
+#include "common/brent.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace mpqls {
+
+BrentResult brent_minimize(const std::function<double(double)>& f, double a, double b,
+                           double tol, int max_iter) {
+  expects(a < b, "brent_minimize requires a < b");
+  constexpr double kGolden = 0.3819660112501051;  // (3 - sqrt(5)) / 2
+  constexpr double kTiny = 1e-21;
+
+  double x = a + kGolden * (b - a);
+  double w = x, v = x;
+  double fx = f(x), fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+
+  BrentResult res;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    const double xm = 0.5 * (a + b);
+    const double tol1 = tol * std::fabs(x) + kTiny;
+    const double tol2 = 2.0 * tol1;
+    if (std::fabs(x - xm) <= tol2 - 0.5 * (b - a)) {
+      res.converged = true;
+      res.iterations = iter;
+      break;
+    }
+    bool use_golden = true;
+    if (std::fabs(e) > tol1) {
+      // Fit a parabola through (v,fv), (w,fw), (x,fx).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::fabs(q);
+      const double etemp = e;
+      e = d;
+      // Accept the parabolic step only if it falls inside (a,b) and moves
+      // less than half the step before last.
+      if (std::fabs(p) < std::fabs(0.5 * q * etemp) && p > q * (a - x) && p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) d = std::copysign(tol1, xm - x);
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x >= xm) ? a - x : b - x;
+      d = kGolden * e;
+    }
+    const double u = (std::fabs(d) >= tol1) ? x + d : x + std::copysign(tol1, d);
+    const double fu = f(u);
+    if (fu <= fx) {
+      if (u >= x) a = x; else b = x;
+      v = w; w = x; x = u;
+      fv = fw; fw = fx; fx = fu;
+    } else {
+      if (u < x) a = u; else b = u;
+      if (fu <= fw || w == x) {
+        v = w; w = u;
+        fv = fw; fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+    res.iterations = iter + 1;
+  }
+  res.x = x;
+  res.fx = fx;
+  return res;
+}
+
+BrentResult brent_root(const std::function<double(double)>& f, double a, double b,
+                       double tol, int max_iter) {
+  double fa = f(a), fb = f(b);
+  expects(fa * fb <= 0.0, "brent_root requires a sign change on [a,b]");
+  if (std::fabs(fa) < std::fabs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+
+  BrentResult res;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol1 = 2.0 * 1e-16 * std::fabs(b) + 0.5 * tol;
+    const double xm = 0.5 * (c - b);
+    if (std::fabs(xm) <= tol1 || fb == 0.0) {
+      res.converged = true;
+      res.iterations = iter;
+      break;
+    }
+    if (std::fabs(e) >= tol1 && std::fabs(fa) > std::fabs(fb)) {
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        // Secant step.
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        // Inverse quadratic interpolation.
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      const double min1 = 3.0 * xm * q - std::fabs(tol1 * q);
+      const double min2 = std::fabs(e * q);
+      if (2.0 * p < std::fmin(min1, min2)) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    b += (std::fabs(d) > tol1) ? d : std::copysign(tol1, xm);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+    res.iterations = iter + 1;
+  }
+  res.x = b;
+  res.fx = fb;
+  return res;
+}
+
+}  // namespace mpqls

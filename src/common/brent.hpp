@@ -1,0 +1,30 @@
+// Brent's derivative-free 1-D algorithms (R. P. Brent, "Algorithms for
+// Minimization without Derivatives", 1973). The paper's Remark 2 uses
+// Brent's method for the de-normalization step that recovers ||x|| from the
+// sampled quantum state.
+#pragma once
+
+#include <functional>
+
+namespace mpqls {
+
+/// Result of a 1-D search.
+struct BrentResult {
+  double x = 0.0;        ///< abscissa of the minimum / root
+  double fx = 0.0;       ///< function value there
+  int iterations = 0;    ///< iterations used
+  bool converged = false;
+};
+
+/// Minimize f over [a, b] to absolute x-tolerance `tol` using Brent's
+/// combination of golden-section and successive parabolic interpolation.
+BrentResult brent_minimize(const std::function<double(double)>& f, double a, double b,
+                           double tol = 1e-12, int max_iter = 200);
+
+/// Find a root of f in [a, b] (f(a) and f(b) must bracket a sign change)
+/// with Brent's combination of bisection, secant and inverse quadratic
+/// interpolation.
+BrentResult brent_root(const std::function<double(double)>& f, double a, double b,
+                       double tol = 1e-14, int max_iter = 200);
+
+}  // namespace mpqls

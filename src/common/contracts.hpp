@@ -1,0 +1,39 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()"). Violations throw rather
+// than abort so that tests can assert on them.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace mpqls {
+
+/// Thrown when a precondition, postcondition or invariant is violated.
+class contract_violation : public std::logic_error {
+ public:
+  explicit contract_violation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* msg,
+                                       const std::source_location& loc) {
+  throw contract_violation(std::string(kind) + " failed: " + msg + " [" +
+                           loc.file_name() + ":" + std::to_string(loc.line()) + " in " +
+                           loc.function_name() + "]");
+}
+}  // namespace detail
+
+/// Precondition check: call at function entry.
+inline void expects(bool cond, const char* msg = "precondition",
+                    const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::contract_fail("Expects", msg, loc);
+}
+
+/// Postcondition check: call before returning a result.
+inline void ensures(bool cond, const char* msg = "postcondition",
+                    const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::contract_fail("Ensures", msg, loc);
+}
+
+}  // namespace mpqls

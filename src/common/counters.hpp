@@ -1,0 +1,67 @@
+// Operation counters used to report the classical/quantum cost breakdowns
+// of Table II and the communication volumes of Fig. 1. Counters are plain
+// value types passed explicitly (no global mutable state), per Core
+// Guidelines I.2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpqls {
+
+/// Counts classical floating-point work, attributed to named phases
+/// ("residual", "state-prep tree", "de-normalization", ...).
+class FlopCounter {
+ public:
+  void add(std::uint64_t flops) { total_ += flops; }
+  std::uint64_t total() const { return total_; }
+  void reset() { total_ = 0; }
+
+ private:
+  std::uint64_t total_ = 0;
+};
+
+/// Aggregate cost record for one phase of the hybrid algorithm.
+struct PhaseCost {
+  std::string phase;              ///< e.g. "SP", "BE", "QSVT", "Solution"
+  std::uint64_t classical_flops = 0;
+  std::uint64_t quantum_gates = 0;    ///< total gate count
+  std::uint64_t quantum_tgates = 0;   ///< logical T-gate estimate
+  std::uint64_t be_calls = 0;         ///< calls to the block-encoding U / U^dagger
+};
+
+/// Ordered collection of per-phase costs (First solve, then iterations).
+class CostLedger {
+ public:
+  PhaseCost& phase(const std::string& name) {
+    for (auto& p : entries_) {
+      if (p.phase == name) return p;
+    }
+    entries_.push_back(PhaseCost{name, 0, 0, 0, 0});
+    return entries_.back();
+  }
+
+  const std::vector<PhaseCost>& entries() const { return entries_; }
+
+  std::uint64_t total_classical_flops() const {
+    std::uint64_t s = 0;
+    for (const auto& p : entries_) s += p.classical_flops;
+    return s;
+  }
+  std::uint64_t total_tgates() const {
+    std::uint64_t s = 0;
+    for (const auto& p : entries_) s += p.quantum_tgates;
+    return s;
+  }
+  std::uint64_t total_be_calls() const {
+    std::uint64_t s = 0;
+    for (const auto& p : entries_) s += p.be_calls;
+    return s;
+  }
+
+ private:
+  std::vector<PhaseCost> entries_;
+};
+
+}  // namespace mpqls

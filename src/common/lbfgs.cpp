@@ -1,0 +1,116 @@
+#include "common/lbfgs.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "common/contracts.hpp"
+
+namespace mpqls {
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace
+
+LbfgsResult lbfgs_minimize(
+    const std::function<double(const std::vector<double>&, std::vector<double>&)>& value_and_grad,
+    std::vector<double> x0, const LbfgsOptions& opts) {
+  expects(!x0.empty(), "lbfgs needs a nonempty start point");
+  const std::size_t n = x0.size();
+
+  LbfgsResult res;
+  std::vector<double> x = std::move(x0);
+  std::vector<double> g(n), g_new(n), x_new(n), direction(n);
+  double fx = value_and_grad(x, g);
+
+  // History of s = x_{k+1} - x_k and y = g_{k+1} - g_k.
+  std::deque<std::vector<double>> s_hist, y_hist;
+  std::deque<double> rho_hist;
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    const double gnorm = norm2(g);
+    if (gnorm <= opts.gradient_tolerance) {
+      res.converged = true;
+      res.iterations = iter;
+      break;
+    }
+
+    // Two-loop recursion for the search direction -H*g.
+    direction = g;
+    std::vector<double> alpha(s_hist.size());
+    for (std::size_t i = s_hist.size(); i-- > 0;) {
+      alpha[i] = rho_hist[i] * dot(s_hist[i], direction);
+      for (std::size_t j = 0; j < n; ++j) direction[j] -= alpha[i] * y_hist[i][j];
+    }
+    if (!s_hist.empty()) {
+      const double gamma = dot(s_hist.back(), y_hist.back()) / dot(y_hist.back(), y_hist.back());
+      for (auto& d : direction) d *= gamma;
+    }
+    for (std::size_t i = 0; i < s_hist.size(); ++i) {
+      const double beta = rho_hist[i] * dot(y_hist[i], direction);
+      for (std::size_t j = 0; j < n; ++j) direction[j] += (alpha[i] - beta) * s_hist[i][j];
+    }
+    for (auto& d : direction) d = -d;
+
+    double dir_dot_g = dot(direction, g);
+    if (dir_dot_g >= 0.0) {
+      // Not a descent direction (can happen after a degenerate update):
+      // fall back to steepest descent.
+      for (std::size_t j = 0; j < n; ++j) direction[j] = -g[j];
+      dir_dot_g = -gnorm * gnorm;
+    }
+
+    // Armijo backtracking line search.
+    double step = opts.initial_step;
+    double fx_new = fx;
+    bool accepted = false;
+    for (int ls = 0; ls < opts.max_line_search; ++ls) {
+      for (std::size_t j = 0; j < n; ++j) x_new[j] = x[j] + step * direction[j];
+      fx_new = value_and_grad(x_new, g_new);
+      if (fx_new <= fx + opts.armijo_c1 * step * dir_dot_g) {
+        accepted = true;
+        break;
+      }
+      step *= opts.backtrack_factor;
+    }
+    if (!accepted) {
+      res.iterations = iter;
+      break;  // line search failed; return best point so far
+    }
+
+    std::vector<double> s(n), y(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      s[j] = x_new[j] - x[j];
+      y[j] = g_new[j] - g[j];
+    }
+    const double sy = dot(s, y);
+    if (sy > 1e-14) {
+      s_hist.push_back(std::move(s));
+      y_hist.push_back(std::move(y));
+      rho_hist.push_back(1.0 / sy);
+      if (static_cast<int>(s_hist.size()) > opts.history) {
+        s_hist.pop_front();
+        y_hist.pop_front();
+        rho_hist.pop_front();
+      }
+    }
+    x.swap(x_new);
+    g.swap(g_new);
+    fx = fx_new;
+    res.iterations = iter + 1;
+  }
+
+  res.x = std::move(x);
+  res.fx = fx;
+  res.gradient_norm = norm2(g);
+  return res;
+}
+
+}  // namespace mpqls

@@ -1,0 +1,36 @@
+// Limited-memory BFGS with Armijo backtracking, used as the fallback phase
+// solver for symmetric quantum signal processing when the fixed-point
+// iteration stalls near the unit-norm boundary (Dong et al., SIAM J. Sci.
+// Comput. 2024 use the same two-stage strategy).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace mpqls {
+
+struct LbfgsOptions {
+  int max_iterations = 500;
+  int history = 10;            ///< number of (s, y) pairs kept
+  double gradient_tolerance = 1e-12;
+  double initial_step = 1.0;
+  double armijo_c1 = 1e-4;
+  double backtrack_factor = 0.5;
+  int max_line_search = 40;
+};
+
+struct LbfgsResult {
+  std::vector<double> x;
+  double fx = 0.0;
+  double gradient_norm = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimize f(x) given an oracle returning the value and writing the
+/// gradient. `x0` is the starting point.
+LbfgsResult lbfgs_minimize(
+    const std::function<double(const std::vector<double>&, std::vector<double>&)>& value_and_grad,
+    std::vector<double> x0, const LbfgsOptions& opts = {});
+
+}  // namespace mpqls

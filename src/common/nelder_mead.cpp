@@ -1,0 +1,99 @@
+#include "common/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace mpqls {
+
+NelderMeadResult nelder_mead_minimize(const std::function<double(const std::vector<double>&)>& f,
+                                      std::vector<double> x0, const NelderMeadOptions& opts) {
+  expects(!x0.empty(), "nelder_mead: empty start point");
+  const std::size_t n = x0.size();
+
+  // Standard coefficients: reflection, expansion, contraction, shrink.
+  constexpr double kAlpha = 1.0, kGamma = 2.0, kRho = 0.5, kSigma = 0.5;
+
+  NelderMeadResult res;
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) simplex[i + 1][i] += opts.initial_step;
+  std::vector<double> fx(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    fx[i] = f(simplex[i]);
+    ++res.evaluations;
+  }
+
+  std::vector<std::size_t> order(n + 1);
+  std::vector<double> centroid(n), candidate(n);
+  while (res.evaluations < opts.max_evaluations) {
+    for (std::size_t i = 0; i <= n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&fx](std::size_t a, std::size_t b) { return fx[a] < fx[b]; });
+    const std::size_t best = order[0], worst = order[n], second_worst = order[n - 1];
+    if (std::fabs(fx[worst] - fx[best]) <= opts.tolerance * (std::fabs(fx[best]) + 1e-12)) {
+      res.converged = true;
+      break;
+    }
+
+    // Centroid of all points but the worst.
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (auto& c : centroid) c /= static_cast<double>(n);
+
+    auto point_at = [&](double coeff) {
+      for (std::size_t j = 0; j < n; ++j) {
+        candidate[j] = centroid[j] + coeff * (centroid[j] - simplex[worst][j]);
+      }
+      return f(candidate);
+    };
+
+    const double f_reflect = point_at(kAlpha);
+    ++res.evaluations;
+    if (f_reflect < fx[order[0]]) {
+      const auto reflected = candidate;
+      const double f_expand = point_at(kAlpha * kGamma);
+      ++res.evaluations;
+      if (f_expand < f_reflect) {
+        simplex[worst] = candidate;
+        fx[worst] = f_expand;
+      } else {
+        simplex[worst] = reflected;
+        fx[worst] = f_reflect;
+      }
+    } else if (f_reflect < fx[second_worst]) {
+      simplex[worst] = candidate;
+      fx[worst] = f_reflect;
+    } else {
+      const double f_contract = point_at(-kRho);
+      ++res.evaluations;
+      if (f_contract < fx[worst]) {
+        simplex[worst] = candidate;
+        fx[worst] = f_contract;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (std::size_t j = 0; j < n; ++j) {
+            simplex[i][j] = simplex[best][j] + kSigma * (simplex[i][j] - simplex[best][j]);
+          }
+          fx[i] = f(simplex[i]);
+          ++res.evaluations;
+        }
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (fx[i] < fx[best]) best = i;
+  }
+  res.x = simplex[best];
+  res.fx = fx[best];
+  return res;
+}
+
+}  // namespace mpqls

@@ -1,0 +1,28 @@
+// Nelder-Mead downhill simplex (derivative-free), used by the VQLS
+// baseline whose cost function is a ratio of quantum expectation values
+// (no cheap exact gradient).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace mpqls {
+
+struct NelderMeadOptions {
+  int max_evaluations = 20000;
+  double tolerance = 1e-10;      ///< simplex spread (function values)
+  double initial_step = 0.25;    ///< initial simplex edge length
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double fx = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+NelderMeadResult nelder_mead_minimize(const std::function<double(const std::vector<double>&)>& f,
+                                      std::vector<double> x0,
+                                      const NelderMeadOptions& opts = {});
+
+}  // namespace mpqls

@@ -1,0 +1,81 @@
+#include "common/special.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace mpqls {
+
+double log_binomial(std::uint64_t n, std::uint64_t k) {
+  expects(k <= n, "log_binomial requires k <= n");
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+namespace {
+
+// Continued fraction for the incomplete beta function (Lentz's method).
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 500;
+  constexpr double kEps = 3e-16;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  expects(a > 0.0 && b > 0.0, "incomplete_beta requires a,b > 0");
+  expects(x >= 0.0 && x <= 1.0, "incomplete_beta requires x in [0,1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // The continued fraction converges rapidly for x < (a+1)/(a+b+2);
+  // otherwise use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double binomial_tail_half(std::uint64_t n, std::int64_t k) {
+  if (k <= 0) return 1.0;
+  if (static_cast<std::uint64_t>(k) > n) return 0.0;
+  const double a = static_cast<double>(k);
+  const double b = static_cast<double>(n - static_cast<std::uint64_t>(k)) + 1.0;
+  return incomplete_beta(a, b, 0.5);
+}
+
+}  // namespace mpqls

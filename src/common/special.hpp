@@ -1,0 +1,24 @@
+// Special functions needed by the polynomial-approximation module:
+// log-binomials, the regularized incomplete beta function (for stable
+// binomial tail probabilities in Eq. (4) of the paper), and erf helpers.
+#pragma once
+
+#include <cstdint>
+
+namespace mpqls {
+
+/// log(C(n, k)) computed via lgamma; exact enough for n up to ~1e15.
+double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// Regularized incomplete beta function I_x(a, b) for a,b > 0, 0 <= x <= 1,
+/// evaluated with the Lentz continued-fraction algorithm (Numerical-Recipes
+/// style). Relative accuracy ~1e-14 away from the endpoints.
+double incomplete_beta(double a, double b, double x);
+
+/// Tail of a symmetric binomial: P[X >= k] for X ~ Binomial(n, 1/2).
+/// Uses the identity P[X >= k] = I_{1/2}(k, n-k+1), which stays accurate
+/// for n up to ~1e9 where direct summation of C(n,i) 2^{-n} would overflow
+/// or lose all precision. Returns 1 for k <= 0 and 0 for k > n.
+double binomial_tail_half(std::uint64_t n, std::int64_t k);
+
+}  // namespace mpqls

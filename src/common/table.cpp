@@ -1,0 +1,65 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/contracts.hpp"
+
+namespace mpqls {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  expects(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  expects(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << row[c] << std::string(width[c] - row[c].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << "|" << std::string(width[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_sci(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", digits, v);
+  return buf;
+}
+
+std::string fmt_fix(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_int(unsigned long long v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mpqls

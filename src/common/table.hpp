@@ -1,0 +1,33 @@
+// Minimal fixed-width table printer used by the benchmark harnesses to
+// emit the rows/series of the paper's tables and figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mpqls {
+
+/// Collects rows of string cells and prints them with aligned columns.
+/// Numeric formatting is the caller's responsibility (use `fmt_sci` /
+/// `fmt_fix` below for consistency across benches).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Scientific notation with `digits` significant digits, e.g. 1.23e-05.
+std::string fmt_sci(double v, int digits = 3);
+/// Fixed notation with `digits` decimals.
+std::string fmt_fix(double v, int digits = 3);
+/// Integer with thousands separators, e.g. 1,234,567.
+std::string fmt_int(unsigned long long v);
+
+}  // namespace mpqls

@@ -1,0 +1,27 @@
+// Wall-clock timing helper for benchmarks and telemetry.
+#pragma once
+
+#include <chrono>
+
+namespace mpqls {
+
+/// Monotonic stopwatch. Starts on construction; `seconds()` reads the
+/// elapsed time without stopping.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mpqls

@@ -1,0 +1,46 @@
+// HHL baseline solver (Harrow-Hassidim-Lloyd 2009, the paper's reference
+// [18]): quantum phase estimation over U = e^{iAt}, a controlled
+// eigenvalue-inversion rotation, and QPE uncomputation. Included as the
+// comparator the paper's introduction positions QSVT against (and the
+// subject of its iterative-refinement prior work [36], [39]).
+//
+// The controlled powers U^{2^k} are applied as dense payloads computed
+// from the eigendecomposition (exact Hamiltonian simulation — an
+// oracle-level substitution consistent with the dense block-encoding used
+// by the QSVT pipeline; see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace mpqls::hhl {
+
+struct HhlOptions {
+  std::uint32_t clock_qubits = 6;
+  /// Evolution time; 0 = auto (maps the spectrum into the signed clock
+  /// window with a one-bin margin).
+  double evolution_time = 0.0;
+  /// Rotation constant C in angle = 2 asin(C/lambda); 0 = auto
+  /// (0.9 * min |lambda|).
+  double rotation_constant = 0.0;
+};
+
+struct HhlResult {
+  linalg::Vector<double> x;          ///< de-normalized solution estimate
+  linalg::Vector<double> direction;  ///< unit-norm solution direction
+  double success_probability = 0.0;  ///< P(ancilla = 1, clock = 0)
+  std::uint32_t total_qubits = 0;
+  std::uint64_t circuit_gates = 0;
+  std::uint64_t oracle_gates = 0;    ///< dense e^{iAt 2^k} payloads
+};
+
+/// Solve A x = b for symmetric A via HHL.
+HhlResult hhl_solve(const linalg::Matrix<double>& A, const linalg::Vector<double>& b,
+                    const HhlOptions& options = {});
+
+/// General (non-symmetric) A via the Hermitian dilation [[0, A], [A^T, 0]].
+HhlResult hhl_solve_general(const linalg::Matrix<double>& A, const linalg::Vector<double>& b,
+                            const HhlOptions& options = {});
+
+}  // namespace mpqls::hhl

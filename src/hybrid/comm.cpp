@@ -1,0 +1,12 @@
+#include "hybrid/comm.hpp"
+
+namespace mpqls::hybrid {
+
+std::uint64_t circuit_wire_bytes(std::uint64_t gate_count) {
+  // opcode (2) + up to three qubit indices (3*4) + one double parameter (8).
+  return gate_count * 22;
+}
+
+std::uint64_t vector_wire_bytes(std::uint64_t length) { return length * 8; }
+
+}  // namespace mpqls::hybrid

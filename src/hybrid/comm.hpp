@@ -1,0 +1,67 @@
+// CPU <-> QPU communication accounting (Section III-C3 / Fig. 1 of the
+// paper). The solver records one event per transferred artifact — BE(A+),
+// SP(b), the phase vector, SP(r_i), and each sampled solution — so the
+// benchmarks can print the Fig. 1 timeline and measure data volumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpqls::hybrid {
+
+enum class Direction { kCpuToQpu, kQpuToCpu };
+
+struct CommEvent {
+  Direction direction;
+  std::string payload;     ///< e.g. "BE(A^T)", "SP(r_1)", "x_2"
+  std::uint64_t bytes;     ///< estimated wire size
+  int iteration;           ///< -1 for setup, otherwise refinement index
+};
+
+class CommLog {
+ public:
+  void record(Direction dir, std::string payload, std::uint64_t bytes, int iteration) {
+    events_.push_back({dir, std::move(payload), bytes, iteration});
+  }
+
+  const std::vector<CommEvent>& events() const { return events_; }
+
+  std::uint64_t total_bytes(Direction dir) const {
+    std::uint64_t s = 0;
+    for (const auto& e : events_) {
+      if (e.direction == dir) s += e.bytes;
+    }
+    return s;
+  }
+
+  /// Bytes moved during setup (iteration < 0) — the one-off BE/phase
+  /// transfer the paper contrasts with the per-iteration SP(r_i) traffic.
+  std::uint64_t setup_bytes() const {
+    std::uint64_t s = 0;
+    for (const auto& e : events_) {
+      if (e.iteration < 0) s += e.bytes;
+    }
+    return s;
+  }
+
+  std::uint64_t per_iteration_bytes(int iteration) const {
+    std::uint64_t s = 0;
+    for (const auto& e : events_) {
+      if (e.iteration == iteration) s += e.bytes;
+    }
+    return s;
+  }
+
+ private:
+  std::vector<CommEvent> events_;
+};
+
+/// Crude wire-size model for a circuit description: opcode + qubits +
+/// parameter per gate (the paper's point is relative volume, not bytes).
+std::uint64_t circuit_wire_bytes(std::uint64_t gate_count);
+
+/// Wire size of a length-n real vector at double precision.
+std::uint64_t vector_wire_bytes(std::uint64_t length);
+
+}  // namespace mpqls::hybrid

@@ -1,0 +1,129 @@
+// Double-double ("dd128") arithmetic: an unevaluated sum of two doubles
+// giving ~106 bits (~32 decimal digits) of precision. Used as the extra-high
+// precision u_r = u^2 in the three-precision Carson-Higham refinement
+// variant and to compute reference solutions/residuals beyond double
+// precision. Algorithms follow Dekker (1971) and Knuth TAOCP vol. 2;
+// products rely on FMA (enabled with -mfma in the build flags).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+namespace mpqls::linalg {
+
+class dd128 {
+ public:
+  dd128() = default;
+  dd128(double x) : hi_(x), lo_(0.0) {}  // NOLINT(google-explicit-constructor)
+  dd128(double hi, double lo) : hi_(hi), lo_(lo) {}
+  dd128(int x) : hi_(x), lo_(0.0) {}     // NOLINT(google-explicit-constructor)
+
+  double hi() const { return hi_; }
+  double lo() const { return lo_; }
+  explicit operator double() const { return hi_; }
+  explicit operator float() const { return static_cast<float>(hi_); }
+
+  friend dd128 operator+(dd128 a, dd128 b) {
+    auto [s, e] = two_sum(a.hi_, b.hi_);
+    e += a.lo_ + b.lo_;
+    return quick_renorm(s, e);
+  }
+  friend dd128 operator-(dd128 a, dd128 b) { return a + (-b); }
+  friend dd128 operator-(dd128 a) { return dd128(-a.hi_, -a.lo_); }
+
+  friend dd128 operator*(dd128 a, dd128 b) {
+    auto [p, e] = two_prod(a.hi_, b.hi_);
+    e += a.hi_ * b.lo_ + a.lo_ * b.hi_;
+    return quick_renorm(p, e);
+  }
+
+  friend dd128 operator/(dd128 a, dd128 b) {
+    // One Newton step on the double quotient recovers full dd accuracy.
+    const double q1 = a.hi_ / b.hi_;
+    dd128 r = a - dd128(q1) * b;
+    const double q2 = r.hi_ / b.hi_;
+    r = r - dd128(q2) * b;
+    const double q3 = r.hi_ / b.hi_;
+    auto [s, e] = two_sum(q1, q2);
+    return quick_renorm(s, e + q3);
+  }
+
+  dd128& operator+=(dd128 o) { *this = *this + o; return *this; }
+  dd128& operator-=(dd128 o) { *this = *this - o; return *this; }
+  dd128& operator*=(dd128 o) { *this = *this * o; return *this; }
+  dd128& operator/=(dd128 o) { *this = *this / o; return *this; }
+
+  friend bool operator==(dd128 a, dd128 b) { return a.hi_ == b.hi_ && a.lo_ == b.lo_; }
+  friend bool operator!=(dd128 a, dd128 b) { return !(a == b); }
+  friend bool operator<(dd128 a, dd128 b) {
+    return a.hi_ < b.hi_ || (a.hi_ == b.hi_ && a.lo_ < b.lo_);
+  }
+  friend bool operator>(dd128 a, dd128 b) { return b < a; }
+  friend bool operator<=(dd128 a, dd128 b) { return !(b < a); }
+  friend bool operator>=(dd128 a, dd128 b) { return !(a < b); }
+
+  /// Decimal string with ~31 significant digits (for diagnostics).
+  std::string to_string() const {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g%+.17g", hi_, lo_);
+    return buf;
+  }
+
+ private:
+  // Error-free transformation: s + e == a + b exactly.
+  static std::pair<double, double> two_sum(double a, double b) {
+    const double s = a + b;
+    const double bb = s - a;
+    const double e = (a - (s - bb)) + (b - bb);
+    return {s, e};
+  }
+  // Error-free product via FMA: p + e == a * b exactly.
+  static std::pair<double, double> two_prod(double a, double b) {
+    const double p = a * b;
+    const double e = std::fma(a, b, -p);
+    return {p, e};
+  }
+  static dd128 quick_renorm(double s, double e) {
+    const double hi = s + e;
+    const double lo = e - (hi - s);
+    return dd128(hi, lo);
+  }
+
+  double hi_ = 0.0;
+  double lo_ = 0.0;
+};
+
+inline dd128 abs(dd128 x) { return (x.hi() < 0.0 || (x.hi() == 0.0 && x.lo() < 0.0)) ? -x : x; }
+
+inline dd128 sqrt(dd128 x) {
+  if (x.hi() <= 0.0) return dd128(std::sqrt(x.hi()));
+  // Newton iteration on y = 1/sqrt(x), seeded from double precision.
+  const double y0 = 1.0 / std::sqrt(x.hi());
+  dd128 y(y0);
+  const dd128 half_dd(0.5);
+  // Two iterations take the seed's 53 bits to > 106 bits.
+  for (int it = 0; it < 2; ++it) {
+    y = y + y * (dd128(1.0) - x * y * y) * half_dd;
+  }
+  return x * y;
+}
+
+inline bool isfinite(dd128 x) { return std::isfinite(x.hi()); }
+
+}  // namespace mpqls::linalg
+
+namespace std {
+template <>
+struct numeric_limits<mpqls::linalg::dd128> {
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_signed = true;
+  static constexpr bool is_integer = false;
+  static constexpr bool is_exact = false;
+  static constexpr int digits = 106;
+  static mpqls::linalg::dd128 epsilon() { return {4.93038065763132e-32}; }  // 2^-104
+  static mpqls::linalg::dd128 min() { return {numeric_limits<double>::min()}; }
+  static mpqls::linalg::dd128 max() { return {numeric_limits<double>::max()}; }
+};
+}  // namespace std

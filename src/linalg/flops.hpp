@@ -1,0 +1,40 @@
+// Thread-local flop ledger. Benchmarks that reproduce the classical-cost
+// columns of Table II open a FlopScope around a phase; the BLAS kernels
+// then report into it. When no scope is active the counting hook is a
+// single branch, so the overhead in normal runs is negligible.
+#pragma once
+
+#include <cstdint>
+
+namespace mpqls::linalg {
+
+namespace detail {
+inline thread_local std::uint64_t* active_flop_sink = nullptr;
+}
+
+/// Record `n` floating-point operations in the enclosing FlopScope, if any.
+inline void count_flops(std::uint64_t n) {
+  if (detail::active_flop_sink != nullptr) *detail::active_flop_sink += n;
+}
+
+/// RAII measurement window. Nested scopes each observe the flops issued
+/// while they are innermost-active plus those of scopes nested inside them
+/// (inner counts are added to the outer scope on destruction).
+class FlopScope {
+ public:
+  FlopScope() : parent_(detail::active_flop_sink) { detail::active_flop_sink = &count_; }
+  ~FlopScope() {
+    detail::active_flop_sink = parent_;
+    if (parent_ != nullptr) *parent_ += count_;
+  }
+  FlopScope(const FlopScope&) = delete;
+  FlopScope& operator=(const FlopScope&) = delete;
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t* parent_;
+};
+
+}  // namespace mpqls::linalg

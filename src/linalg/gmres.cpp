@@ -1,0 +1,104 @@
+#include "linalg/gmres.hpp"
+
+namespace mpqls::linalg {
+
+GmresResult gmres_solve(const Matrix<double>& A, const Vector<double>& b,
+                        const GmresOptions& opts,
+                        const std::function<Vector<double>(const Vector<double>&)>*
+                            preconditioner) {
+  const std::size_t n = A.rows();
+  expects(n == A.cols() && n == b.size(), "gmres: dimension mismatch");
+  const int m = opts.restart;
+
+  auto precond = [&](Vector<double> v) {
+    return (preconditioner != nullptr) ? (*preconditioner)(v) : v;
+  };
+
+  GmresResult res;
+  res.x.assign(n, 0.0);
+  const Vector<double> pb = precond(b);
+  const double norm_pb = nrm2(pb);
+  if (norm_pb == 0.0) {
+    res.converged = true;
+    return res;
+  }
+
+  while (res.iterations < opts.max_iterations) {
+    // (Preconditioned) residual and restart basis.
+    Vector<double> r = precond(residual(A, res.x, b));
+    const double beta = nrm2(r);
+    res.relative_residual = beta / norm_pb;
+    if (res.relative_residual <= opts.tolerance) {
+      res.converged = true;
+      return res;
+    }
+
+    // Arnoldi with modified Gram-Schmidt; H stored (m+1) x m.
+    std::vector<Vector<double>> V;
+    V.reserve(m + 1);
+    Vector<double> v0 = r;
+    for (auto& x : v0) x /= beta;
+    V.push_back(std::move(v0));
+    Matrix<double> H(m + 1, m);
+    // Givens rotation pairs and the rotated rhs g.
+    std::vector<double> cs(m, 0.0), sn(m, 0.0), g(m + 1, 0.0);
+    g[0] = beta;
+
+    int k = 0;
+    for (; k < m && res.iterations < opts.max_iterations; ++k) {
+      ++res.iterations;
+      Vector<double> w = precond(matvec(A, V[k]));
+      for (int i = 0; i <= k; ++i) {
+        H(i, k) = dot(V[i], w);
+        axpy(-H(i, k), V[i], w);
+      }
+      H(k + 1, k) = nrm2(w);
+      // "Happy breakdown": the Krylov space is invariant and the exact
+      // solution lies in the current basis.
+      const bool breakdown = H(k + 1, k) <= 1e-300;
+      if (!breakdown) {
+        for (auto& x : w) x /= H(k + 1, k);
+        V.push_back(std::move(w));
+      }
+      // Apply previous rotations to the new column, then a new rotation.
+      for (int i = 0; i < k; ++i) {
+        const double t = cs[i] * H(i, k) + sn[i] * H(i + 1, k);
+        H(i + 1, k) = -sn[i] * H(i, k) + cs[i] * H(i + 1, k);
+        H(i, k) = t;
+      }
+      const double denom = std::hypot(H(k, k), H(k + 1, k));
+      cs[k] = H(k, k) / denom;
+      sn[k] = H(k + 1, k) / denom;
+      H(k, k) = denom;
+      H(k + 1, k) = 0.0;
+      g[k + 1] = -sn[k] * g[k];
+      g[k] *= cs[k];
+      res.relative_residual = std::fabs(g[k + 1]) / norm_pb;
+      if (res.relative_residual <= opts.tolerance || breakdown) {
+        ++k;  // include this column in the back-substitution
+        break;
+      }
+    }
+
+    // Back-substitute the k x k triangular system and update x.
+    Vector<double> y(k, 0.0);
+    for (int i = k - 1; i >= 0; --i) {
+      double s = g[i];
+      for (int j = i + 1; j < k; ++j) s -= H(i, j) * y[j];
+      y[i] = s / H(i, i);
+    }
+    for (int i = 0; i < k; ++i) axpy(y[i], V[i], res.x);
+
+    if (res.relative_residual <= opts.tolerance) {
+      res.converged = true;
+      return res;
+    }
+    if (k == 0) break;  // no progress possible
+  }
+  // Final true residual.
+  res.relative_residual = nrm2(precond(residual(A, res.x, b))) / norm_pb;
+  res.converged = res.relative_residual <= opts.tolerance;
+  return res;
+}
+
+}  // namespace mpqls::linalg

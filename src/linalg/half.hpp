@@ -1,0 +1,142 @@
+// Software IEEE 754 binary16 ("half") arithmetic. Used as the extreme
+// low-precision point u_l ~ 9.8e-4 in the classical mixed-precision
+// iterative-refinement baseline (Algorithm 1 of the paper). Storage is a
+// 16-bit pattern; arithmetic routes through float with round-to-nearest-even
+// on conversion, which is exactly the behaviour of hardware fp16 units for
+// individually rounded operations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mpqls::linalg {
+
+class half {
+ public:
+  half() = default;
+  half(float f) : bits_(float_to_bits(f)) {}           // NOLINT(google-explicit-constructor)
+  half(double d) : half(static_cast<float>(d)) {}      // NOLINT(google-explicit-constructor)
+  half(int i) : half(static_cast<float>(i)) {}         // NOLINT(google-explicit-constructor)
+
+  operator float() const { return bits_to_float(bits_); }   // NOLINT
+  operator double() const { return bits_to_float(bits_); }  // NOLINT
+
+  static half from_bits(std::uint16_t b) {
+    half h;
+    h.bits_ = b;
+    return h;
+  }
+  std::uint16_t bits() const { return bits_; }
+
+  half& operator+=(half o) { *this = half(float(*this) + float(o)); return *this; }
+  half& operator-=(half o) { *this = half(float(*this) - float(o)); return *this; }
+  half& operator*=(half o) { *this = half(float(*this) * float(o)); return *this; }
+  half& operator/=(half o) { *this = half(float(*this) / float(o)); return *this; }
+
+  friend half operator+(half a, half b) { return half(float(a) + float(b)); }
+  friend half operator-(half a, half b) { return half(float(a) - float(b)); }
+  friend half operator*(half a, half b) { return half(float(a) * float(b)); }
+  friend half operator/(half a, half b) { return half(float(a) / float(b)); }
+  friend half operator-(half a) { return from_bits(static_cast<std::uint16_t>(a.bits_ ^ 0x8000u)); }
+
+  friend bool operator==(half a, half b) { return float(a) == float(b); }
+  friend bool operator!=(half a, half b) { return float(a) != float(b); }
+  friend bool operator<(half a, half b) { return float(a) < float(b); }
+  friend bool operator>(half a, half b) { return float(a) > float(b); }
+  friend bool operator<=(half a, half b) { return float(a) <= float(b); }
+  friend bool operator>=(half a, half b) { return float(a) >= float(b); }
+
+ private:
+  // Round-to-nearest-even float -> binary16, handling subnormals, overflow
+  // to infinity, and NaN payload preservation (quieting).
+  static std::uint16_t float_to_bits(float f) {
+    std::uint32_t x;
+    static_assert(sizeof(float) == 4);
+    __builtin_memcpy(&x, &f, 4);
+    const std::uint32_t sign = (x >> 16) & 0x8000u;
+    x &= 0x7FFFFFFFu;
+    if (x >= 0x7F800000u) {  // Inf or NaN
+      const std::uint32_t mant = x & 0x007FFFFFu;
+      return static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x0200u | (mant >> 13) : 0));
+    }
+    if (x >= 0x477FF000u) {  // overflows half range after rounding
+      return static_cast<std::uint16_t>(sign | 0x7C00u);
+    }
+    if (x < 0x38800000u) {  // subnormal half (or zero)
+      if (x < 0x33000000u) return static_cast<std::uint16_t>(sign);  // underflow to 0
+      // Result is round(v * 2^24): with v = mant * 2^(e_f - 150) and the
+      // implicit bit restored, that is mant >> (126 - e_f), e_f = biased
+      // float exponent. The flush threshold above bounds the shift by 25.
+      const int shift = 126 - static_cast<int>(x >> 23);
+      std::uint32_t mant = (x & 0x007FFFFFu) | 0x00800000u;
+      const std::uint32_t lsb = 1u << shift;
+      const std::uint32_t round = (lsb >> 1);
+      const std::uint32_t rem = mant & (lsb - 1);
+      mant >>= shift;
+      if (rem > round || (rem == round && (mant & 1u))) ++mant;
+      return static_cast<std::uint16_t>(sign | mant);
+    }
+    // Normalized: re-bias exponent from 127 to 15, round mantissa 23 -> 10.
+    std::uint32_t half_val = sign | (((x >> 23) - 112) << 10) | ((x & 0x007FFFFFu) >> 13);
+    const std::uint32_t rem = x & 0x1FFFu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half_val & 1u))) ++half_val;
+    return static_cast<std::uint16_t>(half_val);
+  }
+
+  static float bits_to_float(std::uint16_t h) {
+    const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+    const std::uint32_t exp = (h >> 10) & 0x1Fu;
+    const std::uint32_t mant = h & 0x3FFu;
+    std::uint32_t x;
+    if (exp == 0) {
+      if (mant == 0) {
+        x = sign;  // +-0
+      } else {
+        // Subnormal: normalize.
+        int e = -1;
+        std::uint32_t m = mant;
+        do {
+          ++e;
+          m <<= 1;
+        } while ((m & 0x400u) == 0);
+        x = sign | ((112 - e) << 23) | ((m & 0x3FFu) << 13);
+      }
+    } else if (exp == 0x1Fu) {
+      x = sign | 0x7F800000u | (mant << 13);  // Inf / NaN
+    } else {
+      x = sign | ((exp + 112) << 23) | (mant << 13);
+    }
+    float f;
+    __builtin_memcpy(&f, &x, 4);
+    return f;
+  }
+
+  std::uint16_t bits_ = 0;
+};
+
+inline half abs(half h) { return half(std::fabs(float(h))); }
+inline half sqrt(half h) { return half(std::sqrt(float(h))); }
+inline bool isfinite(half h) { return std::isfinite(float(h)); }
+
+}  // namespace mpqls::linalg
+
+namespace std {
+template <>
+struct numeric_limits<mpqls::linalg::half> {
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_signed = true;
+  static constexpr bool is_integer = false;
+  static constexpr bool is_exact = false;
+  static constexpr int digits = 11;  // implicit bit + 10 mantissa bits
+  static mpqls::linalg::half epsilon() { return mpqls::linalg::half(9.765625e-4f); }  // 2^-10
+  static mpqls::linalg::half min() { return mpqls::linalg::half(6.103515625e-5f); }   // 2^-14
+  static mpqls::linalg::half max() { return mpqls::linalg::half(65504.0f); }
+  static mpqls::linalg::half infinity() {
+    return mpqls::linalg::half::from_bits(0x7C00u);
+  }
+  static mpqls::linalg::half quiet_NaN() {
+    return mpqls::linalg::half::from_bits(0x7E00u);
+  }
+};
+}  // namespace std

@@ -1,0 +1,93 @@
+// Cyclic Jacobi eigensolver for real symmetric matrices. Quadratically
+// convergent and accurate to working precision — exactly what is needed to
+// build e^{iAt} for the HHL baseline and reference spectra in tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mpqls::linalg {
+
+struct SymmetricEig {
+  Vector<double> values;   ///< ascending
+  Matrix<double> vectors;  ///< column j is the eigenvector of values[j]
+  int sweeps = 0;
+};
+
+/// Eigendecomposition A = V diag(values) V^T of a real symmetric matrix.
+/// `tol` bounds the off-diagonal Frobenius mass relative to ||A||_F.
+inline SymmetricEig jacobi_eigensymmetric(Matrix<double> A, double tol = 1e-14,
+                                          int max_sweeps = 60) {
+  expects(A.rows() == A.cols(), "jacobi_eigensymmetric: square matrix required");
+  const std::size_t n = A.rows();
+  Matrix<double> V = Matrix<double>::identity(n);
+
+  auto off_norm = [&A, n] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) s += 2.0 * A(i, j) * A(i, j);
+    }
+    return std::sqrt(s);
+  };
+  double a_norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a_norm += A(i, j) * A(i, j);
+  }
+  a_norm = std::sqrt(a_norm);
+  if (a_norm == 0.0) a_norm = 1.0;
+
+  SymmetricEig out;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_norm() <= tol * a_norm) break;
+    out.sweeps = sweep + 1;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = A(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        // Symmetric Schur rotation annihilating A(p,q).
+        const double theta = (A(q, q) - A(p, p)) / (2.0 * apq);
+        const double t = std::copysign(1.0, theta) /
+                         (std::fabs(theta) + std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = A(k, p);
+          const double akq = A(k, q);
+          A(k, p) = c * akp - s * akq;
+          A(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = A(p, k);
+          const double aqk = A(q, k);
+          A(p, k) = c * apk - s * aqk;
+          A(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = V(k, p);
+          const double vkq = V(k, q);
+          V(k, p) = c * vkp - s * vkq;
+          V(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending, permuting eigenvectors to match.
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(),
+            [&A](std::size_t a, std::size_t b) { return A(a, a) < A(b, b); });
+  out.values.resize(n);
+  out.vectors = Matrix<double>(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = A(idx[j], idx[j]);
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = V(i, idx[j]);
+  }
+  return out;
+}
+
+}  // namespace mpqls::linalg

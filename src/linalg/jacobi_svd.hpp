@@ -1,0 +1,111 @@
+// One-sided Jacobi (Hestenes) SVD for real matrices. High relative accuracy
+// on small singular values, which matters here: the QSVT polynomial acts on
+// the singular values near 1/kappa, so the reference decomposition must
+// resolve them well.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mpqls::linalg {
+
+struct Svd {
+  Matrix<double> U;        ///< m x n, orthonormal columns
+  Vector<double> sigma;    ///< descending, non-negative
+  Matrix<double> V;        ///< n x n orthogonal
+  int sweeps = 0;
+};
+
+/// A = U diag(sigma) V^T for an m x n real matrix with m >= n.
+inline Svd jacobi_svd(Matrix<double> A, double tol = 1e-15, int max_sweeps = 60) {
+  const std::size_t m = A.rows();
+  const std::size_t n = A.cols();
+  expects(m >= n, "jacobi_svd: requires rows >= cols");
+
+  Matrix<double> V = Matrix<double>::identity(n);
+  Svd out;
+
+  // One-sided Jacobi: orthogonalize pairs of columns of A by plane
+  // rotations applied on the right; V accumulates the rotations.
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    out.sweeps = sweep + 1;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          app += A(i, p) * A(i, p);
+          aqq += A(i, q) * A(i, q);
+          apq += A(i, p) * A(i, q);
+        }
+        if (std::fabs(apq) <= tol * std::sqrt(app * aqq) || apq == 0.0) continue;
+        converged = false;
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(1.0, theta) /
+                         (std::fabs(theta) + std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double aip = A(i, p);
+          const double aiq = A(i, q);
+          A(i, p) = c * aip - s * aiq;
+          A(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = V(i, p);
+          const double viq = V(i, q);
+          V(i, p) = c * vip - s * viq;
+          V(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Column norms are the singular values; normalize columns into U.
+  Vector<double> sigma(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < m; ++i) s += A(i, j) * A(i, j);
+    sigma[j] = std::sqrt(s);
+  }
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(),
+            [&sigma](std::size_t a, std::size_t b) { return sigma[a] > sigma[b]; });
+
+  out.U = Matrix<double>(m, n);
+  out.V = Matrix<double>(n, n);
+  out.sigma.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t k = idx[j];
+    out.sigma[j] = sigma[k];
+    const double inv = (sigma[k] > 0.0) ? 1.0 / sigma[k] : 0.0;
+    for (std::size_t i = 0; i < m; ++i) out.U(i, j) = A(i, k) * inv;
+    for (std::size_t i = 0; i < n; ++i) out.V(i, j) = V(i, k);
+  }
+  return out;
+}
+
+/// Spectral norm ||A||_2 (largest singular value).
+inline double norm2(const Matrix<double>& A) {
+  if (A.rows() >= A.cols()) return jacobi_svd(A).sigma.front();
+  Matrix<double> At(A.cols(), A.rows());
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    for (std::size_t j = 0; j < A.cols(); ++j) At(j, i) = A(i, j);
+  }
+  return jacobi_svd(At).sigma.front();
+}
+
+/// 2-norm condition number sigma_max / sigma_min.
+inline double cond2(const Matrix<double>& A) {
+  const auto svd = jacobi_svd(A);
+  expects(svd.sigma.back() > 0.0, "cond2: singular matrix");
+  return svd.sigma.front() / svd.sigma.back();
+}
+
+}  // namespace mpqls::linalg

@@ -1,0 +1,113 @@
+// LU factorization with partial pivoting, templated on scalar type so the
+// classical mixed-precision baseline (Algorithm 1) can factor in half or
+// single precision and refine in double — the paper's CPU/GPU analogue of
+// the QSVT solver.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mpqls::linalg {
+
+/// Compact LU factorization P*A = L*U. L has a unit diagonal and is stored
+/// in the strict lower triangle of `lu`; U occupies the upper triangle.
+template <typename T>
+struct LuFactorization {
+  Matrix<T> lu;
+  std::vector<std::size_t> perm;  ///< row i of PA is row perm[i] of A
+  bool singular = false;
+};
+
+template <typename T>
+LuFactorization<T> lu_factor(Matrix<T> A) {
+  expects(A.rows() == A.cols(), "lu_factor: square matrix required");
+  const std::size_t n = A.rows();
+  LuFactorization<T> f;
+  f.perm.resize(n);
+  std::iota(f.perm.begin(), f.perm.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: largest |a_ik| on or below the diagonal.
+    std::size_t piv = k;
+    double best = detail::abs_as_double(A(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = detail::abs_as_double(A(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best == 0.0) {
+      f.singular = true;
+      break;
+    }
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(A(k, j), A(piv, j));
+      std::swap(f.perm[k], f.perm[piv]);
+    }
+    const T pivot = A(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const T lik = A(i, k) / pivot;
+      A(i, k) = lik;
+      for (std::size_t j = k + 1; j < n; ++j) A(i, j) -= lik * A(k, j);
+    }
+    count_flops((n - k - 1) * (2 * (n - k - 1) + 1));
+  }
+  f.lu = std::move(A);
+  return f;
+}
+
+/// Solve A x = b using a precomputed factorization (forward + back
+/// substitution, O(n^2) flops — this is what makes refinement iterations
+/// cheap once the O(n^3) factorization exists).
+template <typename T>
+Vector<T> lu_solve(const LuFactorization<T>& f, const Vector<T>& b) {
+  expects(!f.singular, "lu_solve: matrix is singular");
+  const std::size_t n = f.lu.rows();
+  expects(b.size() == n, "lu_solve: size mismatch");
+  Vector<T> x(n);
+  // Apply the permutation, then L y = Pb.
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[f.perm[i]];
+  for (std::size_t i = 0; i < n; ++i) {
+    T s = x[i];
+    for (std::size_t j = 0; j < i; ++j) s -= f.lu(i, j) * x[j];
+    x[i] = s;
+  }
+  // U x = y.
+  for (std::size_t i = n; i-- > 0;) {
+    T s = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= f.lu(i, j) * x[j];
+    x[i] = s / f.lu(i, i);
+  }
+  count_flops(2 * n * n);
+  return x;
+}
+
+/// Convenience one-shot solve.
+template <typename T>
+Vector<T> lu_solve(const Matrix<T>& A, const Vector<T>& b) {
+  return lu_solve(lu_factor(A), b);
+}
+
+/// Dense inverse via n solves (tests and small reference computations only).
+template <typename T>
+Matrix<T> lu_inverse(const Matrix<T>& A) {
+  const std::size_t n = A.rows();
+  const auto f = lu_factor(A);
+  Matrix<T> inv(n, n);
+  Vector<T> e(n, T{});
+  for (std::size_t j = 0; j < n; ++j) {
+    e[j] = T{1};
+    const auto col = lu_solve(f, e);
+    for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    e[j] = T{};
+  }
+  return inv;
+}
+
+}  // namespace mpqls::linalg

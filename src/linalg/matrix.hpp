@@ -1,0 +1,91 @@
+// Dense row-major matrix and vector containers, templated on the scalar
+// type so the same code runs in half, float, double, double-double and
+// complex precision. This is the CPU side of the hybrid solver.
+#pragma once
+
+#include <complex>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace mpqls::linalg {
+
+template <typename T>
+using Vector = std::vector<T>;
+
+template <typename T>
+class Matrix {
+ public:
+  using value_type = T;
+
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Row-major construction from a nested brace list (tests/examples).
+  Matrix(std::initializer_list<std::initializer_list<T>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ ? rows.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& r : rows) {
+      expects(r.size() == cols_, "ragged initializer for Matrix");
+      data_.insert(data_.end(), r.begin(), r.end());
+    }
+  }
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  const T& operator()(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T* row(std::size_t i) { return data_.data() + i * cols_; }
+  const T* row(std::size_t i) const { return data_.data() + i * cols_; }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Element-wise precision conversion for vectors (e.g. double -> half).
+template <typename To, typename From>
+Vector<To> convert_vector(const Vector<From>& v) {
+  Vector<To> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = static_cast<To>(v[i]);
+  return out;
+}
+
+/// Element-wise precision conversion for matrices.
+template <typename To, typename From>
+Matrix<To> convert_matrix(const Matrix<From>& m) {
+  Matrix<To> out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) out(i, j) = static_cast<To>(m(i, j));
+  }
+  return out;
+}
+
+template <typename T>
+struct is_complex : std::false_type {};
+template <typename T>
+struct is_complex<std::complex<T>> : std::true_type {};
+template <typename T>
+inline constexpr bool is_complex_v = is_complex<T>::value;
+
+}  // namespace mpqls::linalg

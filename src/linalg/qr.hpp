@@ -1,0 +1,121 @@
+// Householder QR factorization (real scalars). Used for least-squares
+// solves and to generate Haar-distributed random orthogonal matrices for
+// the prescribed-condition-number test problems of Section IV.
+#pragma once
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mpqls::linalg {
+
+/// Householder QR of an m x n matrix with m >= n. Reflectors are stored
+/// below the diagonal of `qr`; R occupies the upper triangle; `tau` holds
+/// the reflector scalars.
+template <typename T>
+struct QrFactorization {
+  Matrix<T> qr;
+  Vector<T> tau;
+};
+
+template <typename T>
+QrFactorization<T> qr_factor(Matrix<T> A) {
+  const std::size_t m = A.rows();
+  const std::size_t n = A.cols();
+  expects(m >= n, "qr_factor: requires rows >= cols");
+  QrFactorization<T> f;
+  f.tau.assign(n, T{});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Norm of the column below (and including) the diagonal.
+    double ssq = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      const double v = static_cast<double>(A(i, k));
+      ssq += v * v;
+    }
+    const double alpha = std::sqrt(ssq);
+    if (alpha == 0.0) continue;
+    const double akk = static_cast<double>(A(k, k));
+    const double beta = (akk >= 0.0) ? -alpha : alpha;
+    // v = x - beta*e1, normalized so v_k = 1.
+    const double vk = akk - beta;
+    for (std::size_t i = k + 1; i < m; ++i) A(i, k) = static_cast<T>(static_cast<double>(A(i, k)) / vk);
+    f.tau[k] = static_cast<T>((beta - akk) / beta);
+    A(k, k) = static_cast<T>(beta);
+    // Apply the reflector to the trailing columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = static_cast<double>(A(k, j));
+      for (std::size_t i = k + 1; i < m; ++i) {
+        s += static_cast<double>(A(i, k)) * static_cast<double>(A(i, j));
+      }
+      s *= static_cast<double>(f.tau[k]);
+      A(k, j) = static_cast<T>(static_cast<double>(A(k, j)) - s);
+      for (std::size_t i = k + 1; i < m; ++i) {
+        A(i, j) = static_cast<T>(static_cast<double>(A(i, j)) -
+                                 s * static_cast<double>(A(i, k)));
+      }
+    }
+    count_flops(4 * (m - k) * (n - k));
+  }
+  f.qr = std::move(A);
+  return f;
+}
+
+/// Form the thin orthogonal factor Q (m x n).
+template <typename T>
+Matrix<T> qr_q(const QrFactorization<T>& f) {
+  const std::size_t m = f.qr.rows();
+  const std::size_t n = f.qr.cols();
+  Matrix<T> Q(m, n);
+  for (std::size_t j = 0; j < n; ++j) Q(j, j) = T{1};
+  // Accumulate reflectors in reverse order: Q = H_0 H_1 ... H_{n-1} I.
+  for (std::size_t k = n; k-- > 0;) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = static_cast<double>(Q(k, j));
+      for (std::size_t i = k + 1; i < m; ++i) {
+        s += static_cast<double>(f.qr(i, k)) * static_cast<double>(Q(i, j));
+      }
+      s *= static_cast<double>(f.tau[k]);
+      Q(k, j) = static_cast<T>(static_cast<double>(Q(k, j)) - s);
+      for (std::size_t i = k + 1; i < m; ++i) {
+        Q(i, j) = static_cast<T>(static_cast<double>(Q(i, j)) -
+                                 s * static_cast<double>(f.qr(i, k)));
+      }
+    }
+  }
+  return Q;
+}
+
+/// Least-squares solve min ||A x - b||_2 for m >= n via QR.
+template <typename T>
+Vector<T> qr_solve_ls(const Matrix<T>& A, const Vector<T>& b) {
+  const std::size_t m = A.rows();
+  const std::size_t n = A.cols();
+  expects(b.size() == m, "qr_solve_ls: size mismatch");
+  auto f = qr_factor(A);
+  // y = Q^T b, applied reflector by reflector.
+  Vector<T> y = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    double s = static_cast<double>(y[k]);
+    for (std::size_t i = k + 1; i < m; ++i) {
+      s += static_cast<double>(f.qr(i, k)) * static_cast<double>(y[i]);
+    }
+    s *= static_cast<double>(f.tau[k]);
+    y[k] = static_cast<T>(static_cast<double>(y[k]) - s);
+    for (std::size_t i = k + 1; i < m; ++i) {
+      y[i] = static_cast<T>(static_cast<double>(y[i]) - s * static_cast<double>(f.qr(i, k)));
+    }
+  }
+  // Back-substitute R x = y[0..n).
+  Vector<T> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    T s = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= f.qr(i, j) * x[j];
+    x[i] = s / f.qr(i, i);
+  }
+  return x;
+}
+
+}  // namespace mpqls::linalg

@@ -1,0 +1,118 @@
+// Generators for the test problems of Section IV: random matrices with a
+// prescribed 2-norm condition number (via U diag(sigma) V^T with Haar
+// orthogonal factors) and the 1-D Poisson matrix of Section III-C4.
+#pragma once
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+
+namespace mpqls::linalg {
+
+/// m x n matrix of i.i.d. standard normals.
+inline Matrix<double> random_gaussian(Xoshiro256& rng, std::size_t m, std::size_t n) {
+  Matrix<double> A(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) A(i, j) = rng.normal();
+  }
+  return A;
+}
+
+/// Haar-distributed random orthogonal matrix: QR of a Gaussian matrix with
+/// the sign convention R_ii > 0 (Mezzadri, Notices AMS 2007).
+inline Matrix<double> haar_orthogonal(Xoshiro256& rng, std::size_t n) {
+  auto f = qr_factor(random_gaussian(rng, n, n));
+  Matrix<double> Q = qr_q(f);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (f.qr(j, j) < 0.0) {
+      for (std::size_t i = 0; i < n; ++i) Q(i, j) = -Q(i, j);
+    }
+  }
+  return Q;
+}
+
+enum class SigmaSpacing {
+  kLogarithmic,  ///< sigma_k log-spaced in [1/kappa, 1] (default; hardest)
+  kLinear,       ///< sigma_k linearly spaced in [1/kappa, 1]
+  kClustered,    ///< one small singular value 1/kappa, the rest at 1
+};
+
+/// Random nonsingular matrix with ||A||_2 = 1 and cond_2(A) = kappa.
+inline Matrix<double> random_with_cond(Xoshiro256& rng, std::size_t n, double kappa,
+                                       SigmaSpacing spacing = SigmaSpacing::kLogarithmic) {
+  expects(kappa >= 1.0, "random_with_cond: kappa must be >= 1");
+  Vector<double> sigma(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = (n == 1) ? 0.0 : static_cast<double>(k) / static_cast<double>(n - 1);
+    switch (spacing) {
+      case SigmaSpacing::kLogarithmic:
+        sigma[k] = std::pow(kappa, -t);
+        break;
+      case SigmaSpacing::kLinear:
+        sigma[k] = 1.0 - t * (1.0 - 1.0 / kappa);
+        break;
+      case SigmaSpacing::kClustered:
+        sigma[k] = (k + 1 == n) ? 1.0 / kappa : 1.0;
+        break;
+    }
+  }
+  const Matrix<double> U = haar_orthogonal(rng, n);
+  const Matrix<double> V = haar_orthogonal(rng, n);
+  Matrix<double> US(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) US(i, j) = U(i, j) * sigma[j];
+  }
+  return gemm(US, transpose(V));
+}
+
+/// Random unit-norm right-hand side.
+inline Vector<double> random_unit_vector(Xoshiro256& rng, std::size_t n) {
+  Vector<double> b(n);
+  for (auto& v : b) v = rng.normal();
+  const double nb = nrm2(b);
+  for (auto& v : b) v /= nb;
+  return b;
+}
+
+/// 1-D Poisson (Dirichlet) stiffness matrix of Section III-C4:
+/// tridiag(-1, 2, -1) / h^2 with h = 1/(N+1).
+inline Matrix<double> poisson1d(std::size_t n_points) {
+  expects(n_points >= 2, "poisson1d: need at least 2 interior points");
+  const double h = 1.0 / static_cast<double>(n_points + 1);
+  const double inv_h2 = 1.0 / (h * h);
+  Matrix<double> A(n_points, n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    A(i, i) = 2.0 * inv_h2;
+    if (i + 1 < n_points) {
+      A(i, i + 1) = -inv_h2;
+      A(i + 1, i) = -inv_h2;
+    }
+  }
+  return A;
+}
+
+/// Unscaled tridiag(-1, 2, -1): the matrix the block-encoding of Section
+/// III-C4 actually encodes (the 1/h^2 factor is classical rescaling).
+inline Matrix<double> dirichlet_laplacian(std::size_t n_points) {
+  Matrix<double> A = poisson1d(n_points);
+  const double h = 1.0 / static_cast<double>(n_points + 1);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    for (std::size_t j = 0; j < n_points; ++j) A(i, j) *= h * h;
+  }
+  return A;
+}
+
+/// Exact eigenvalues of tridiag(-1,2,-1) (size N): 2 - 2 cos(k pi/(N+1)),
+/// giving the analytic condition number used to cross-check cond2.
+inline double dirichlet_laplacian_cond(std::size_t n_points) {
+  const double N = static_cast<double>(n_points);
+  const double lmin = 2.0 - 2.0 * std::cos(M_PI / (N + 1.0));
+  const double lmax = 2.0 - 2.0 * std::cos(N * M_PI / (N + 1.0));
+  return lmax / lmin;
+}
+
+}  // namespace mpqls::linalg

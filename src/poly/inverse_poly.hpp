@@ -1,0 +1,63 @@
+// Polynomial approximations of the inverse function for QSVT matrix
+// inversion (Section II-A4 of the paper). Two construction paths:
+//
+//  1. `inverse_poly_analytic` — the closed form of Eq. (4): the Chebyshev
+//     expansion of f_{eps,kappa}(x) = (1 - (1 - x^2)^b) / x with
+//     b = ceil(kappa^2 log(kappa/eps)), truncated at degree
+//     2 D(eps,kappa) + 1 (Gilyen et al. 2019; Martyn et al. 2021). The
+//     binomial-tail coefficients are evaluated with the regularized
+//     incomplete beta function so large b stays stable.
+//
+//  2. `inverse_poly_interpolated` — numerical Chebyshev interpolation of
+//     the same target followed by adaptive tail truncation. Produces the
+//     same polynomial family at (often much) lower degree than the
+//     analytic bound — this is the practical path for large kappa, where
+//     the paper switches to the estimation pipeline of Novikau-Joseph [32].
+//
+// Both return an odd series approximating 1/(2 kappa x) on
+// [-1, -1/kappa] u [1/kappa, 1], i.e. the target whose QSVT implements
+// A^{-1} / (2 kappa) on the well-conditioned subspace.
+#pragma once
+
+#include <cstdint>
+
+#include "poly/chebyshev.hpp"
+
+namespace mpqls::poly {
+
+/// b(eps, kappa) = ceil(kappa^2 * log(kappa / eps))  [Gilyen et al.]
+std::uint64_t inverse_b_parameter(double kappa, double eps);
+
+/// D(eps, kappa) = ceil(sqrt(b * log(4 b / eps)))  [Martyn et al.]
+/// The resulting polynomial degree is 2D + 1.
+std::uint64_t inverse_degree_parameter(std::uint64_t b, double eps);
+
+/// The smooth inverse target f_{eps,kappa}(x) = (1 - (1 - x^2)^b)/x,
+/// evaluated stably (expm1/log1p) including x == 0.
+double smooth_inverse_target(double x, std::uint64_t b);
+
+struct InversePoly {
+  ChebSeries series;     ///< odd polynomial ~ 1/(2 kappa x) on the domain
+  double kappa = 1.0;
+  double eps = 0.0;      ///< requested approximation accuracy (of 1/(2k x))
+  std::uint64_t b = 0;   ///< smoothing parameter used
+  double max_abs = 0.0;  ///< max |P| on [-1, 1] (before any rescaling)
+  double achieved_error = 0.0;  ///< measured max |P(x) - 1/(2 kappa x)| on the domain
+};
+
+/// Eq. (4) of the paper: analytic Chebyshev coefficients, scaled by
+/// 1/(2 kappa) to make the target 1/(2 kappa x).
+InversePoly inverse_poly_analytic(double kappa, double eps);
+
+/// Numerically interpolated + truncated variant of the same target.
+/// `degree_margin` multiplies the truncation degree estimate (>= 1.0).
+InversePoly inverse_poly_interpolated(double kappa, double eps);
+
+/// Even polynomial window that is ~0 on |x| < gap/2 and ~1 on |x| > gap
+/// (erf-pair construction, Low-Chuang style smoothing), interpolated to
+/// accuracy ~eps. Multiplying an inverse approximation by this window
+/// enforces the |P| <= 1 QSVT constraint near the origin (Section II-A4's
+/// "rectangle" polynomial).
+ChebSeries rect_window(double gap, double eps);
+
+}  // namespace mpqls::poly

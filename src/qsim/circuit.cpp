@@ -1,0 +1,304 @@
+#include "qsim/circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace mpqls::qsim {
+
+linalg::Matrix<c64> gate_matrix_1q(GateKind kind, double param, bool adjoint) {
+  using M = linalg::Matrix<c64>;
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  const c64 i1(0.0, 1.0);
+  // For parameterized gates the adjoint is the negated angle; for S/T it is
+  // the dg partner; the rest are self-adjoint.
+  const double theta = adjoint ? -param : param;
+  switch (kind) {
+    case GateKind::kX: return M{{0, 1}, {1, 0}};
+    case GateKind::kY: return M{{0, -i1}, {i1, 0}};
+    case GateKind::kZ: return M{{1, 0}, {0, -1}};
+    case GateKind::kH: return M{{inv_sqrt2, inv_sqrt2}, {inv_sqrt2, -inv_sqrt2}};
+    case GateKind::kS: return adjoint ? M{{1, 0}, {0, -i1}} : M{{1, 0}, {0, i1}};
+    case GateKind::kSdg: return adjoint ? M{{1, 0}, {0, i1}} : M{{1, 0}, {0, -i1}};
+    case GateKind::kT:
+      return M{{1, 0}, {0, std::exp(i1 * (adjoint ? -M_PI / 4 : M_PI / 4))}};
+    case GateKind::kTdg:
+      return M{{1, 0}, {0, std::exp(i1 * (adjoint ? M_PI / 4 : -M_PI / 4))}};
+    case GateKind::kRx: {
+      const double c = std::cos(theta / 2), s = std::sin(theta / 2);
+      return M{{c, -i1 * s}, {-i1 * s, c}};
+    }
+    case GateKind::kRy: {
+      const double c = std::cos(theta / 2), s = std::sin(theta / 2);
+      return M{{c, -s}, {s, c}};
+    }
+    case GateKind::kRz: {
+      return M{{std::exp(-i1 * (theta / 2)), 0}, {0, std::exp(i1 * (theta / 2))}};
+    }
+    case GateKind::kPhase:
+      return M{{1, 0}, {0, std::exp(i1 * theta)}};
+    default:
+      break;
+  }
+  throw contract_violation("gate_matrix_1q: not a single-qubit named gate");
+}
+
+Circuit& Circuit::named(GateKind k, std::uint32_t q) {
+  Gate g;
+  g.kind = k;
+  g.targets = {q};
+  return push(std::move(g));
+}
+
+Circuit& Circuit::rotation(GateKind k, std::uint32_t q, double theta) {
+  Gate g;
+  g.kind = k;
+  g.targets = {q};
+  g.param = theta;
+  return push(std::move(g));
+}
+
+Circuit& Circuit::global_phase(double theta) {
+  Gate g;
+  g.kind = GateKind::kGlobalPhase;
+  g.param = theta;
+  return push(std::move(g));
+}
+
+Circuit& Circuit::cx(std::uint32_t control, std::uint32_t target) {
+  Gate g;
+  g.kind = GateKind::kX;
+  g.targets = {target};
+  g.controls = {control};
+  return push(std::move(g));
+}
+
+Circuit& Circuit::cz(std::uint32_t control, std::uint32_t target) {
+  Gate g;
+  g.kind = GateKind::kZ;
+  g.targets = {target};
+  g.controls = {control};
+  return push(std::move(g));
+}
+
+Circuit& Circuit::ccx(std::uint32_t c1, std::uint32_t c2, std::uint32_t target) {
+  return mcx({c1, c2}, target);
+}
+
+Circuit& Circuit::mcx(std::vector<std::uint32_t> controls, std::uint32_t target) {
+  Gate g;
+  g.kind = GateKind::kX;
+  g.targets = {target};
+  g.controls = std::move(controls);
+  return push(std::move(g));
+}
+
+Circuit& Circuit::mcz(std::vector<std::uint32_t> controls, std::uint32_t target) {
+  Gate g;
+  g.kind = GateKind::kZ;
+  g.targets = {target};
+  g.controls = std::move(controls);
+  return push(std::move(g));
+}
+
+Circuit& Circuit::mcphase(std::vector<std::uint32_t> controls, std::uint32_t target,
+                          double theta) {
+  Gate g;
+  g.kind = GateKind::kPhase;
+  g.targets = {target};
+  g.controls = std::move(controls);
+  g.param = theta;
+  return push(std::move(g));
+}
+
+Circuit& Circuit::cry(std::uint32_t control, std::uint32_t target, double theta) {
+  Gate g;
+  g.kind = GateKind::kRy;
+  g.targets = {target};
+  g.controls = {control};
+  g.param = theta;
+  return push(std::move(g));
+}
+
+Circuit& Circuit::crz(std::uint32_t control, std::uint32_t target, double theta) {
+  Gate g;
+  g.kind = GateKind::kRz;
+  g.targets = {target};
+  g.controls = {control};
+  g.param = theta;
+  return push(std::move(g));
+}
+
+Circuit& Circuit::swap(std::uint32_t q1, std::uint32_t q2) {
+  Gate g;
+  g.kind = GateKind::kSwap;
+  g.targets = {q1, q2};
+  return push(std::move(g));
+}
+
+Circuit& Circuit::unitary(std::vector<std::uint32_t> targets, linalg::Matrix<c64> matrix) {
+  const std::size_t dim = std::size_t{1} << targets.size();
+  expects(matrix.rows() == dim && matrix.cols() == dim, "unitary: payload dimension mismatch");
+  Gate g;
+  g.kind = GateKind::kUnitary;
+  g.targets = std::move(targets);
+  g.matrix = std::make_shared<const linalg::Matrix<c64>>(std::move(matrix));
+  return push(std::move(g));
+}
+
+Circuit& Circuit::diagonal_gate(std::vector<std::uint32_t> targets, std::vector<c64> entries) {
+  const std::size_t dim = std::size_t{1} << targets.size();
+  expects(entries.size() == dim, "diagonal_gate: payload dimension mismatch");
+  Gate g;
+  g.kind = GateKind::kDiagonal;
+  g.targets = std::move(targets);
+  g.diagonal = std::make_shared<const std::vector<c64>>(std::move(entries));
+  return push(std::move(g));
+}
+
+void Circuit::validate(const Gate& g) const {
+  auto in_range = [this](std::uint32_t q) { return q < num_qubits_; };
+  for (auto q : g.targets) expects(in_range(q), "gate target out of range");
+  for (auto q : g.controls) expects(in_range(q), "gate control out of range");
+  for (auto q : g.neg_controls) expects(in_range(q), "gate neg-control out of range");
+  // Targets and controls must be pairwise distinct qubits.
+  std::vector<std::uint32_t> all = g.targets;
+  all.insert(all.end(), g.controls.begin(), g.controls.end());
+  all.insert(all.end(), g.neg_controls.begin(), g.neg_controls.end());
+  std::sort(all.begin(), all.end());
+  expects(std::adjacent_find(all.begin(), all.end()) == all.end(),
+          "gate qubits must be distinct");
+}
+
+Circuit& Circuit::push(Gate g) {
+  validate(g);
+  gates_.push_back(std::move(g));
+  return *this;
+}
+
+Circuit Circuit::dagger() const {
+  Circuit out(num_qubits_);
+  out.gates_.reserve(gates_.size());
+  for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+    Gate g = *it;
+    g.adjoint = !g.adjoint;
+    // Self-adjoint kinds need no flag (keeps counts clean): X,Y,Z,H,Swap.
+    switch (g.kind) {
+      case GateKind::kX:
+      case GateKind::kY:
+      case GateKind::kZ:
+      case GateKind::kH:
+      case GateKind::kSwap:
+        g.adjoint = false;
+        break;
+      default:
+        break;
+    }
+    out.gates_.push_back(std::move(g));
+  }
+  return out;
+}
+
+Circuit Circuit::controlled(const std::vector<std::uint32_t>& pos_controls,
+                            const std::vector<std::uint32_t>& neg_controls) const {
+  // Widen the register so controls outside the subcircuit are legal.
+  std::uint32_t width = num_qubits_;
+  for (auto q : pos_controls) width = std::max(width, q + 1);
+  for (auto q : neg_controls) width = std::max(width, q + 1);
+  Circuit out(width);
+  out.gates_.reserve(gates_.size());
+  for (Gate g : gates_) {
+    if (g.kind == GateKind::kGlobalPhase) {
+      // A controlled global phase is a (multi-)controlled phase on one of
+      // the control qubits.
+      expects(!pos_controls.empty() || !neg_controls.empty(),
+              "controlled() requires at least one control");
+      Gate p;
+      p.kind = GateKind::kPhase;
+      p.param = g.adjoint ? -g.param : g.param;
+      p.adjoint = false;
+      if (!pos_controls.empty()) {
+        p.targets = {pos_controls.front()};
+        p.controls.assign(pos_controls.begin() + 1, pos_controls.end());
+        p.neg_controls = neg_controls;
+      } else {
+        // Phase fires when the (negated) control is 0: encode as neg
+        // controls on all but use an X-sandwich-free representation:
+        // diag(e^{i t}, 1) = global e^{i t} then phase(-t); simplest is a
+        // Diagonal gate on the first neg control.
+        Gate d;
+        d.kind = GateKind::kDiagonal;
+        d.targets = {neg_controls.front()};
+        d.neg_controls.assign(neg_controls.begin() + 1, neg_controls.end());
+        const c64 ph = std::exp(c64(0, g.adjoint ? -g.param : g.param));
+        d.diagonal = std::make_shared<const std::vector<c64>>(std::vector<c64>{ph, 1.0});
+        out.validate(d);
+        out.gates_.push_back(std::move(d));
+        continue;
+      }
+      out.validate(p);
+      out.gates_.push_back(std::move(p));
+      continue;
+    }
+    g.controls.insert(g.controls.end(), pos_controls.begin(), pos_controls.end());
+    g.neg_controls.insert(g.neg_controls.end(), neg_controls.begin(), neg_controls.end());
+    out.validate(g);
+    out.gates_.push_back(std::move(g));
+  }
+  return out;
+}
+
+Circuit& Circuit::append(const Circuit& other, const std::vector<std::uint32_t>& qubit_map) {
+  expects(qubit_map.size() >= other.num_qubits(), "append: qubit map too small");
+  for (Gate g : other.gates_) {
+    for (auto& q : g.targets) q = qubit_map[q];
+    for (auto& q : g.controls) q = qubit_map[q];
+    for (auto& q : g.neg_controls) q = qubit_map[q];
+    push(std::move(g));
+  }
+  return *this;
+}
+
+Circuit& Circuit::append(const Circuit& other) {
+  expects(other.num_qubits() <= num_qubits_, "append: register too small");
+  for (const Gate& g : other.gates_) push(g);
+  return *this;
+}
+
+Circuit::Counts Circuit::counts() const {
+  Counts c;
+  for (const auto& g : gates_) {
+    ++c.by_kind[g.kind];
+    ++c.total;
+    if (is_parameterized(g.kind)) ++c.rotations;
+    const std::size_t touched = g.targets.size() + g.controls.size() + g.neg_controls.size();
+    if (touched >= 2) ++c.two_qubit_plus;
+    if (g.kind == GateKind::kX && !(g.controls.empty() && g.neg_controls.empty())) {
+      ++c.mcx_by_controls[static_cast<std::uint32_t>(g.controls.size() +
+                                                     g.neg_controls.size())];
+    }
+  }
+  return c;
+}
+
+std::uint64_t Circuit::depth() const {
+  std::vector<std::uint64_t> busy_until(num_qubits_, 0);
+  std::uint64_t depth = 0;
+  for (const auto& g : gates_) {
+    if (g.kind == GateKind::kGlobalPhase) continue;
+    std::uint64_t layer = 0;
+    auto consider = [&](std::uint32_t q) { layer = std::max(layer, busy_until[q]); };
+    for (auto q : g.targets) consider(q);
+    for (auto q : g.controls) consider(q);
+    for (auto q : g.neg_controls) consider(q);
+    ++layer;
+    for (auto q : g.targets) busy_until[q] = layer;
+    for (auto q : g.controls) busy_until[q] = layer;
+    for (auto q : g.neg_controls) busy_until[q] = layer;
+    depth = std::max(depth, layer);
+  }
+  return depth;
+}
+
+}  // namespace mpqls::qsim

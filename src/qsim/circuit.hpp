@@ -1,0 +1,100 @@
+// Circuit IR: an ordered gate list on a fixed-width qubit register, with
+// the structural transformations the QSVT construction needs (dagger,
+// adding controls to a whole subcircuit, appending under a qubit mapping)
+// and resource queries (gate counts, multi-controlled-X histogram, depth).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qsim/gate.hpp"
+
+namespace mpqls::qsim {
+
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(std::uint32_t num_qubits) : num_qubits_(num_qubits) {}
+
+  std::uint32_t num_qubits() const { return num_qubits_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  std::size_t size() const { return gates_.size(); }
+  bool empty() const { return gates_.empty(); }
+
+  // --- single-qubit gates -------------------------------------------------
+  Circuit& x(std::uint32_t q) { return named(GateKind::kX, q); }
+  Circuit& y(std::uint32_t q) { return named(GateKind::kY, q); }
+  Circuit& z(std::uint32_t q) { return named(GateKind::kZ, q); }
+  Circuit& h(std::uint32_t q) { return named(GateKind::kH, q); }
+  Circuit& s(std::uint32_t q) { return named(GateKind::kS, q); }
+  Circuit& sdg(std::uint32_t q) { return named(GateKind::kSdg, q); }
+  Circuit& t(std::uint32_t q) { return named(GateKind::kT, q); }
+  Circuit& tdg(std::uint32_t q) { return named(GateKind::kTdg, q); }
+  Circuit& rx(std::uint32_t q, double theta) { return rotation(GateKind::kRx, q, theta); }
+  Circuit& ry(std::uint32_t q, double theta) { return rotation(GateKind::kRy, q, theta); }
+  Circuit& rz(std::uint32_t q, double theta) { return rotation(GateKind::kRz, q, theta); }
+  Circuit& phase(std::uint32_t q, double theta) { return rotation(GateKind::kPhase, q, theta); }
+  Circuit& global_phase(double theta);
+
+  // --- controlled / multi-qubit gates --------------------------------------
+  Circuit& cx(std::uint32_t control, std::uint32_t target);
+  Circuit& cz(std::uint32_t control, std::uint32_t target);
+  Circuit& ccx(std::uint32_t c1, std::uint32_t c2, std::uint32_t target);
+  Circuit& mcx(std::vector<std::uint32_t> controls, std::uint32_t target);
+  Circuit& mcz(std::vector<std::uint32_t> controls, std::uint32_t target);
+  Circuit& mcphase(std::vector<std::uint32_t> controls, std::uint32_t target, double theta);
+  Circuit& cry(std::uint32_t control, std::uint32_t target, double theta);
+  Circuit& crz(std::uint32_t control, std::uint32_t target, double theta);
+  Circuit& swap(std::uint32_t q1, std::uint32_t q2);
+
+  /// Dense unitary on `targets` (targets[0] = least significant bit of the
+  /// payload index). The matrix must be 2^k x 2^k.
+  Circuit& unitary(std::vector<std::uint32_t> targets, linalg::Matrix<c64> matrix);
+
+  /// Diagonal gate on `targets` (entries indexed by the targets' bits).
+  Circuit& diagonal_gate(std::vector<std::uint32_t> targets, std::vector<c64> entries);
+
+  /// Append a raw gate (validated against the register width).
+  Circuit& push(Gate g);
+
+  // --- structural transforms ----------------------------------------------
+  /// Reversed circuit of daggered gates: (this)^dagger.
+  Circuit dagger() const;
+
+  /// Same circuit with extra (positive / negative) controls attached to
+  /// every gate. A controlled global phase becomes a phase gate on the
+  /// (first) control, per the usual identity.
+  Circuit controlled(const std::vector<std::uint32_t>& pos_controls,
+                     const std::vector<std::uint32_t>& neg_controls = {}) const;
+
+  /// Append `other`, mapping its qubit i to `qubit_map[i]`.
+  Circuit& append(const Circuit& other, const std::vector<std::uint32_t>& qubit_map);
+  /// Append `other` on identical qubit indices.
+  Circuit& append(const Circuit& other);
+
+  // --- resource queries -----------------------------------------------------
+  struct Counts {
+    std::map<GateKind, std::uint64_t> by_kind;
+    /// histogram: #controls (pos+neg) -> count, for X-type gates only
+    std::map<std::uint32_t, std::uint64_t> mcx_by_controls;
+    std::uint64_t total = 0;
+    std::uint64_t rotations = 0;       ///< parameterized gates
+    std::uint64_t two_qubit_plus = 0;  ///< gates touching >= 2 qubits (incl. controls)
+  };
+  Counts counts() const;
+
+  /// Greedy qubit-availability depth (gates on disjoint qubits share a layer).
+  std::uint64_t depth() const;
+
+ private:
+  Circuit& named(GateKind k, std::uint32_t q);
+  Circuit& rotation(GateKind k, std::uint32_t q, double theta);
+  void validate(const Gate& g) const;
+
+  std::uint32_t num_qubits_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace mpqls::qsim

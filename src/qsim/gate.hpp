@@ -1,0 +1,53 @@
+// Gate intermediate representation for the statevector simulator. A gate is
+// a named operation (or a dense unitary payload) on target qubits, with
+// optional positive controls (fire on |1>) and negative controls (fire on
+// |0>). Negative controls make the QSVT projector reflections (controlled
+// on ancillas being all-zero) first-class without X-sandwich rewriting.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mpqls::qsim {
+
+using c64 = std::complex<double>;
+
+enum class GateKind : std::uint8_t {
+  kX, kY, kZ, kH, kS, kSdg, kT, kTdg,
+  kRx, kRy, kRz,
+  kPhase,        ///< diag(1, e^{i theta}) on the target
+  kGlobalPhase,  ///< e^{i theta} * I (no targets)
+  kSwap,
+  kUnitary,      ///< dense 2^k x 2^k payload on k targets
+  kDiagonal,     ///< diagonal payload (one entry per target-subspace index)
+};
+
+/// Returns true for kinds parameterized by an angle.
+constexpr bool is_parameterized(GateKind k) {
+  return k == GateKind::kRx || k == GateKind::kRy || k == GateKind::kRz ||
+         k == GateKind::kPhase || k == GateKind::kGlobalPhase;
+}
+
+struct Gate {
+  GateKind kind = GateKind::kX;
+  std::vector<std::uint32_t> targets;        ///< targets[0] = least significant
+  std::vector<std::uint32_t> controls;       ///< fire when all are |1>
+  std::vector<std::uint32_t> neg_controls;   ///< fire when all are |0>
+  double param = 0.0;
+  bool adjoint = false;  ///< apply the conjugate transpose (dagger) instead
+
+  /// Dense payload for kUnitary (row-major 2^k x 2^k); shared so circuit
+  /// copies stay cheap.
+  std::shared_ptr<const linalg::Matrix<c64>> matrix;
+  /// Diagonal payload for kDiagonal (size 2^k).
+  std::shared_ptr<const std::vector<c64>> diagonal;
+};
+
+/// 2x2 matrix of a named single-qubit gate (adjoint-resolved).
+linalg::Matrix<c64> gate_matrix_1q(GateKind kind, double param, bool adjoint);
+
+}  // namespace mpqls::qsim

@@ -1,0 +1,49 @@
+#include "qsim/synth/qft.hpp"
+
+#include <cmath>
+
+namespace mpqls::qsim {
+
+namespace {
+
+Circuit build_qft(std::uint32_t width, const std::vector<std::uint32_t>& qubits) {
+  Circuit qft(width);
+  const std::size_t m = qubits.size();
+  // Standard ladder, processing from the most significant qubit down.
+  for (std::size_t i = m; i-- > 0;) {
+    qft.h(qubits[i]);
+    for (std::size_t j = i; j-- > 0;) {
+      const double theta = M_PI / static_cast<double>(std::size_t{1} << (i - j));
+      qft.push([&] {
+        Gate g;
+        g.kind = GateKind::kPhase;
+        g.targets = {qubits[j]};
+        g.controls = {qubits[i]};
+        g.param = theta;
+        return g;
+      }());
+    }
+  }
+  // Bit reversal.
+  for (std::size_t i = 0; i < m / 2; ++i) qft.swap(qubits[i], qubits[m - 1 - i]);
+  return qft;
+}
+
+std::uint32_t max_qubit(const std::vector<std::uint32_t>& qubits) {
+  std::uint32_t mx = 0;
+  for (auto q : qubits) mx = std::max(mx, q);
+  return mx + 1;
+}
+
+}  // namespace
+
+void append_qft(Circuit& circuit, const std::vector<std::uint32_t>& qubits) {
+  circuit.append(build_qft(std::max(circuit.num_qubits(), max_qubit(qubits)), qubits));
+}
+
+void append_iqft(Circuit& circuit, const std::vector<std::uint32_t>& qubits) {
+  circuit.append(
+      build_qft(std::max(circuit.num_qubits(), max_qubit(qubits)), qubits).dagger());
+}
+
+}  // namespace mpqls::qsim

@@ -1,0 +1,19 @@
+// Quantum Fourier transform circuit (used by the HHL baseline's phase
+// estimation). Convention: QFT|j> = 2^{-m/2} sum_k e^{2 pi i jk / 2^m} |k>,
+// with qubit 0 the least significant bit of j on both sides.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qsim/circuit.hpp"
+
+namespace mpqls::qsim {
+
+/// Append a QFT on `qubits` (qubits[0] = least significant).
+void append_qft(Circuit& circuit, const std::vector<std::uint32_t>& qubits);
+
+/// Append the inverse QFT on `qubits`.
+void append_iqft(Circuit& circuit, const std::vector<std::uint32_t>& qubits);
+
+}  // namespace mpqls::qsim

@@ -1,0 +1,65 @@
+#include "qsvt/denormalize.hpp"
+
+#include <cmath>
+
+#include "common/brent.hpp"
+#include "common/contracts.hpp"
+#include "linalg/blas.hpp"
+
+namespace mpqls::qsvt {
+
+namespace {
+
+linalg::Vector<double> residual_at(const linalg::Matrix<double>& A,
+                                   const linalg::Vector<double>& x_base,
+                                   const linalg::Vector<double>& b) {
+  if (x_base.empty()) return b;
+  return linalg::residual(A, x_base, b);
+}
+
+}  // namespace
+
+StepFit fit_step_brent(const linalg::Matrix<double>& A, const linalg::Vector<double>& x_base,
+                       const linalg::Vector<double>& eta, const linalg::Vector<double>& b) {
+  const auto r = residual_at(A, x_base, b);
+  const auto a_eta = linalg::matvec(A, eta);
+  const double denom = linalg::nrm2(a_eta);
+  expects(denom > 0.0, "fit_step: A*eta vanishes");
+  // |mu*| <= ||r|| / ||A eta|| by Cauchy-Schwarz: bracket with headroom.
+  const double bound = 2.0 * linalg::nrm2(r) / denom + 1e-30;
+  auto objective = [&](double mu) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      const double d = mu * a_eta[i] - r[i];
+      s += d * d;
+    }
+    return s;
+  };
+  const auto res = brent_minimize(objective, -bound, bound, 1e-14);
+  StepFit fit;
+  fit.mu = res.x;
+  fit.residual_norm = std::sqrt(std::fmax(0.0, res.fx));
+  fit.brent_iterations = res.iterations;
+  return fit;
+}
+
+StepFit fit_step_closed_form(const linalg::Matrix<double>& A,
+                             const linalg::Vector<double>& x_base,
+                             const linalg::Vector<double>& eta,
+                             const linalg::Vector<double>& b) {
+  const auto r = residual_at(A, x_base, b);
+  const auto a_eta = linalg::matvec(A, eta);
+  const double denom = linalg::dot(a_eta, a_eta);
+  expects(denom > 0.0, "fit_step: A*eta vanishes");
+  StepFit fit;
+  fit.mu = linalg::dot(a_eta, r) / denom;
+  double s = 0.0;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const double d = fit.mu * a_eta[i] - r[i];
+    s += d * d;
+  }
+  fit.residual_norm = std::sqrt(s);
+  return fit;
+}
+
+}  // namespace mpqls::qsvt

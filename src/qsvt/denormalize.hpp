@@ -1,0 +1,28 @@
+// De-normalization (Remark 2 of the paper): quantum measurement yields only
+// the direction eta = x/||x||; the magnitude is recovered classically by
+// minimizing mu -> ||A (x_base + mu eta) - b|| with Brent's method. The
+// closed-form least-squares solution exists too and is used to cross-check.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace mpqls::qsvt {
+
+struct StepFit {
+  double mu = 0.0;
+  double residual_norm = 0.0;  ///< ||A(x_base + mu eta) - b|| at the optimum
+  int brent_iterations = 0;
+};
+
+/// Brent's-method fit (the paper's choice). `x_base` may be empty (treated
+/// as zero, i.e. the first solve).
+StepFit fit_step_brent(const linalg::Matrix<double>& A, const linalg::Vector<double>& x_base,
+                       const linalg::Vector<double>& eta, const linalg::Vector<double>& b);
+
+/// Closed-form least-squares mu = <A eta, r> / ||A eta||^2.
+StepFit fit_step_closed_form(const linalg::Matrix<double>& A,
+                             const linalg::Vector<double>& x_base,
+                             const linalg::Vector<double>& eta,
+                             const linalg::Vector<double>& b);
+
+}  // namespace mpqls::qsvt

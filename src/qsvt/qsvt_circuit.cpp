@@ -1,0 +1,93 @@
+#include "qsvt/qsvt_circuit.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace mpqls::qsvt {
+
+QsvtPhases qsvt_phases_from_qsp(const std::vector<double>& qsp_phases) {
+  expects(qsp_phases.size() >= 2, "need at least d+1 = 2 QSP phases");
+  const std::size_t d = qsp_phases.size() - 1;
+  QsvtPhases out;
+  out.phi.resize(d);
+  // Derived by matching the scalar block against the Wx response (see the
+  // d = 1, 2 worked examples in the tests): the leftmost reflection phase
+  // absorbs both QSP end phases plus (d-1) pi/2, interior phases shift by
+  // -pi/2.
+  out.phi[0] = qsp_phases.front() + qsp_phases.back() +
+               static_cast<double>(d - 1) * M_PI / 2.0;
+  for (std::size_t j = 1; j < d; ++j) {
+    out.phi[j] = qsp_phases[j] - M_PI / 2.0;
+  }
+  out.global_phase = 0.0;
+  return out;
+}
+
+namespace {
+
+// e^{i phi (2 Pi - I)} with Pi = |0..0><0..0| on the BE ancillas, with an
+// optional sign flip controlled on the real-part qubit.
+void append_phase_gadget(qsim::Circuit& c, const std::vector<std::uint32_t>& anc,
+                         std::uint32_t signal, double phi, std::uint32_t realpart,
+                         bool with_realpart_flip) {
+  auto cpix = [&] {
+    qsim::Gate g;
+    g.kind = qsim::GateKind::kX;
+    g.targets = {signal};
+    g.neg_controls = anc;
+    c.push(g);
+  };
+  if (anc.empty()) {
+    // Degenerate projector (no ancillas): 2 Pi - I = I.
+    c.global_phase(phi);
+    return;
+  }
+  cpix();
+  c.rz(signal, 2.0 * phi);
+  if (with_realpart_flip) c.crz(realpart, signal, -4.0 * phi);
+  cpix();
+}
+
+}  // namespace
+
+QsvtCircuit build_qsvt_circuit(const blockenc::BlockEncoding& be,
+                               const std::vector<double>& qsp_phases) {
+  const auto conv = qsvt_phases_from_qsp(qsp_phases);
+  const std::size_t d = conv.phi.size();
+
+  QsvtCircuit out;
+  out.n_data = be.n_data;
+  out.n_be_anc = be.n_anc;
+  out.signal_qubit = be.n_data + be.n_anc;
+  out.realpart_qubit = out.signal_qubit + 1;
+  out.be_calls = d;
+
+  const std::uint32_t width = out.realpart_qubit + 1;
+  qsim::Circuit c(width);
+  const auto anc = be.ancilla_qubits();
+
+  // Real-part LCU opens with H on r.
+  c.h(out.realpart_qubit);
+
+  // Apply the Eq. (2)/(3) sequence. Reading the equations right-to-left
+  // (application order): U first, then gadgets/adjoints alternating; the
+  // k-th applied block operator is U for odd k, U^dagger for even k; the
+  // gadget after the k-th operator carries phi[d - k].
+  const qsim::Circuit be_dag = be.circuit.dagger();
+  for (std::size_t k = 1; k <= d; ++k) {
+    c.append((k % 2 == 1) ? be.circuit : be_dag);
+    append_phase_gadget(c, anc, out.signal_qubit, conv.phi[d - k], out.realpart_qubit,
+                        /*with_realpart_flip=*/true);
+  }
+
+  // Close the LCU: H on r, postselect r = 1 handled by the caller; the
+  // -pi/2 global phase turns the i*P block into P.
+  c.h(out.realpart_qubit);
+  c.global_phase(conv.global_phase - M_PI / 2.0);
+
+  out.circuit = std::move(c);
+  return out;
+}
+
+}  // namespace mpqls::qsvt

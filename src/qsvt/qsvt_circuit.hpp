@@ -1,0 +1,59 @@
+// Quantum circuit for the QSVT (Section II-A3 of the paper, Eqs. (2)-(3)):
+// an alternating phase modulation sequence of the block-encoding U, its
+// adjoint, and projector-controlled phase operators e^{i phi (2 Pi - I)}.
+//
+// Construction notes:
+//  * The projector phase gadget uses one signal qubit s: CPiX(anc -> s),
+//    RZ(2 phi) on s, CPiX(anc -> s), where CPiX fires when all BE
+//    ancillas are |0> (negative controls — no X sandwiches).
+//  * The phases come from the symmetric-QSP solver in the Wx convention;
+//    `qsvt_phases_from_qsp` converts them to the reflection convention
+//    (the interior phases shift by -pi/2 and the two ends merge, plus a
+//    global phase) so that the encoded block is exactly the QSP response.
+//  * Because the response carries the target polynomial in its IMAGINARY
+//    part (Im<0|U_Phi|0> = P), the circuit wraps the sequence in a
+//    one-ancilla LCU of U_Phi and U_{-Phi}: an extra qubit r in |+>,
+//    sign-flipped gadget angles when r = 1, H, postselect r = 1. For a
+//    real block-encoding this implements the block i*P(A), and the global
+//    -pi/2 phase gate turns that into exactly P(A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blockenc/block_encoding.hpp"
+#include "qsim/circuit.hpp"
+
+namespace mpqls::qsvt {
+
+struct QsvtCircuit {
+  qsim::Circuit circuit;    ///< data + BE ancillas + signal + real-part qubit
+  std::uint32_t n_data = 0;
+  std::uint32_t n_be_anc = 0;
+  std::uint32_t signal_qubit = 0;
+  std::uint32_t realpart_qubit = 0;
+  std::uint64_t be_calls = 0;  ///< number of U / U^dagger applications (= degree)
+
+  /// Qubits that must be postselected to |0> (BE ancillas + signal).
+  std::vector<std::uint32_t> zero_postselect() const {
+    std::vector<std::uint32_t> q;
+    for (std::uint32_t i = n_data; i < n_data + n_be_anc; ++i) q.push_back(i);
+    q.push_back(signal_qubit);
+    return q;
+  }
+};
+
+/// Convert Wx-convention QSP phases (length d+1) to reflection-convention
+/// QSVT phases (length d) plus the global phase to apply.
+struct QsvtPhases {
+  std::vector<double> phi;  ///< length d, ordered as in Eqs. (2)-(3)
+  double global_phase = 0.0;
+};
+QsvtPhases qsvt_phases_from_qsp(const std::vector<double>& qsp_phases);
+
+/// Build the full QSVT circuit implementing the polynomial encoded by the
+/// (symmetric) QSP phases on the block-encoded operator.
+QsvtCircuit build_qsvt_circuit(const blockenc::BlockEncoding& be,
+                               const std::vector<double>& qsp_phases);
+
+}  // namespace mpqls::qsvt

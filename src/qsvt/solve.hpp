@@ -1,0 +1,90 @@
+// QSVT linear-solver engine: prepares the inversion polynomial, the QSP
+// phases and the block-encoding once (they are reused across all
+// refinement iterations — the paper's Section III-A point about circuit
+// synthesis being a one-off cost), then answers normalized solves
+// A x ~ rhs, returning the solution *direction* (a unit vector, exactly
+// what sampling a quantum state yields; Remark 2).
+//
+// Two interchangeable backends:
+//  * kGateLevel — builds SP(rhs) + U_Phi as circuits and runs them on the
+//    statevector simulator (float or double), postselecting ancillas.
+//  * kMatrixFunction — applies the same polynomial directly to the
+//    singular values (the ideal QSVT channel). Used for large kappa where
+//    the paper switches to estimated angles [32]; see DESIGN.md
+//    substitution #2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "blockenc/block_encoding.hpp"
+#include "common/rng.hpp"
+#include "linalg/jacobi_svd.hpp"
+#include "linalg/matrix.hpp"
+#include "poly/inverse_poly.hpp"
+#include "qsim/noise.hpp"
+#include "qsp/symmetric_qsp.hpp"
+#include "qsvt/qsvt_circuit.hpp"
+
+namespace mpqls::qsvt {
+
+enum class Backend { kGateLevel, kMatrixFunction };
+enum class QpuPrecision { kSingle, kDouble };
+enum class PolyMethod { kInterpolated, kAnalytic };
+enum class EncodingKind {
+  kDenseEmbedding,  ///< 1-ancilla SVD completion (oracle-level; default)
+  kLcuPauli,        ///< gate-level LCU over the tree Pauli decomposition
+  kTridiagonal,     ///< gate-level banded encoding (A must be tridiag(-1,2,-1))
+};
+
+struct QsvtOptions {
+  Backend backend = Backend::kGateLevel;
+  QpuPrecision precision = QpuPrecision::kDouble;
+  PolyMethod poly_method = PolyMethod::kInterpolated;
+  EncodingKind encoding = EncodingKind::kDenseEmbedding;
+  double eps_l = 1e-2;    ///< requested QSVT solve accuracy (relative)
+  double kappa = 0.0;     ///< condition estimate; 0 = compute from the SVD
+  double kappa_margin = 1.05;  ///< headroom multiplier on the estimate
+  /// Shot-based readout: 0 = exact amplitudes (what the paper's myQLM
+  /// experiments use — see DESIGN.md substitution #5), otherwise the
+  /// number of measurement samples for the multinomial model.
+  std::uint64_t shots = 0;
+  std::uint64_t seed = 1234;  ///< for the shot and noise models
+  /// Gate-level noise (trajectory-sampled); only honoured by kGateLevel.
+  /// The paper targets fault-tolerant hardware — the noise ablation bench
+  /// shows why NISQ rates break the refinement contraction.
+  qsim::NoiseModel noise = {};
+  qsp::SymQspOptions qsp_options = {};
+};
+
+/// Everything computed once per matrix.
+struct QsvtSolverContext {
+  QsvtOptions options;
+  linalg::Matrix<double> A;
+  linalg::Svd svd;                  ///< SVD of A (backend + kappa estimate)
+  double kappa_effective = 0.0;     ///< kappa used for the polynomial
+  blockenc::BlockEncoding be;       ///< block-encoding of A^T
+  poly::InversePoly inverse;        ///< unwindowed inverse approximation
+  poly::ChebSeries target;          ///< windowed + scaled QSP target
+  double poly_scale = 1.0;          ///< target = scale * (windowed inverse)
+  double eps_l_effective = 0.0;     ///< measured polynomial accuracy
+  qsp::SymQspResult phases;         ///< symmetric QSP phases (gate backend)
+  std::optional<QsvtCircuit> circuit;  ///< built for the gate backend
+  std::uint64_t prepare_classical_flops = 0;
+};
+
+/// One-off preparation: SVD, block-encoding, polynomial, phases, circuit.
+QsvtSolverContext prepare_qsvt_solver(linalg::Matrix<double> A, QsvtOptions options);
+
+struct QsvtSolveOutcome {
+  linalg::Vector<double> direction;  ///< unit vector ~ x / ||x||
+  double success_probability = 0.0;  ///< ancilla postselection probability
+  std::uint64_t be_calls = 0;        ///< block-encoding applications used
+  std::uint64_t circuit_gates = 0;   ///< gate count of the executed circuit
+};
+
+/// Solve A x ~ rhs (rhs need not be normalized) for the direction of x.
+QsvtSolveOutcome qsvt_solve_direction(const QsvtSolverContext& ctx,
+                                      const linalg::Vector<double>& rhs);
+
+}  // namespace mpqls::qsvt

@@ -1,0 +1,42 @@
+#include "resources/surface_code.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace mpqls::resources {
+
+SurfaceCodeEstimate surface_code_estimate(std::uint64_t t_count, std::uint32_t logical_qubits,
+                                          double target_failure,
+                                          const SurfaceCodeAssumptions& assume) {
+  expects(t_count > 0 && logical_qubits > 0, "surface_code_estimate: empty workload");
+  expects(assume.physical_error_rate < assume.threshold,
+          "surface_code_estimate: physical error rate above threshold");
+
+  // Spacetime volume in logical-qubit-rounds: each T gate costs ~d rounds
+  // (lattice-surgery consumption of one magic state).
+  // Find the smallest odd distance whose total failure stays in budget.
+  const double ratio = assume.physical_error_rate / assume.threshold;
+  SurfaceCodeEstimate est;
+  for (std::uint32_t d = 3; d <= 101; d += 2) {
+    const double p_logical_per_round = assume.prefactor * std::pow(ratio, (d + 1) / 2.0);
+    const double rounds = static_cast<double>(t_count) * d;
+    const double total_failure =
+        p_logical_per_round * rounds * static_cast<double>(logical_qubits);
+    if (total_failure <= target_failure) {
+      est.code_distance = d;
+      est.logical_failure_probability = total_failure;
+      const double patch = 2.0 * d * d;  // data + ancilla halves of a patch
+      const double routing = 0.5;        // routing overhead fraction
+      est.physical_qubits = static_cast<std::uint64_t>(
+          std::ceil(patch * logical_qubits * (1.0 + routing) +
+                    assume.factories * assume.factory_patches * d * d));
+      est.runtime_seconds = rounds / static_cast<double>(assume.factories) *
+                            assume.cycle_time_us * 1e-6;
+      return est;
+    }
+  }
+  throw contract_violation("surface_code_estimate: no distance <= 101 meets the budget");
+}
+
+}  // namespace mpqls::resources

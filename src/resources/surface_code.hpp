@@ -1,0 +1,36 @@
+// Surface-code footprint model (Horsman et al., New J. Phys. 14:123011 —
+// the paper's reference [21] for why deep QSVT circuits need fault
+// tolerance). Maps a logical workload (T count, logical qubit count,
+// target failure probability) to code distance, physical qubits and wall
+// time under the standard scaling p_L ~ A (p/p_th)^((d+1)/2).
+#pragma once
+
+#include <cstdint>
+
+namespace mpqls::resources {
+
+struct SurfaceCodeAssumptions {
+  double physical_error_rate = 1e-3;  ///< p
+  double threshold = 1e-2;            ///< p_th
+  double prefactor = 0.1;             ///< A
+  double cycle_time_us = 1.0;         ///< one stabilizer round
+  /// Physical qubits per magic-state factory, in units of d^2 patches
+  /// (a coarse 15-to-1 distillation footprint).
+  double factory_patches = 12.0;
+  std::uint32_t factories = 4;
+};
+
+struct SurfaceCodeEstimate {
+  std::uint32_t code_distance = 0;
+  std::uint64_t physical_qubits = 0;    ///< data patches + routing + factories
+  double runtime_seconds = 0.0;         ///< T-gate-limited wall time
+  double logical_failure_probability = 0.0;  ///< achieved for the whole run
+};
+
+/// Estimate the footprint of running `t_count` T gates on `logical_qubits`
+/// logical qubits with overall failure probability <= `target_failure`.
+SurfaceCodeEstimate surface_code_estimate(std::uint64_t t_count, std::uint32_t logical_qubits,
+                                          double target_failure = 1e-2,
+                                          const SurfaceCodeAssumptions& assume = {});
+
+}  // namespace mpqls::resources

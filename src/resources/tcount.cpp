@@ -1,0 +1,95 @@
+#include "resources/tcount.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace mpqls::resources {
+
+std::uint64_t tcount_mcx(std::uint32_t controls, McxModel model) {
+  if (controls <= 1) return 0;  // X / CNOT are Clifford
+  if (controls == 2) return 7;  // Toffoli
+  switch (model) {
+    case McxModel::kCleanAncilla:
+      return 7ull * (2ull * controls - 3ull);
+    case McxModel::kConditionallyClean:
+      // Khattar & Gidney (arXiv:2407.17966): 4(k-2) Toffoli-equivalent T
+      // plus the final Toffoli.
+      return 4ull * (controls - 2ull) + 7ull;
+  }
+  return 0;
+}
+
+std::uint64_t tcount_rotation(double synthesis_eps) {
+  const double bits = std::log2(1.0 / synthesis_eps);
+  return static_cast<std::uint64_t>(std::ceil(3.02 * bits + 9.2));
+}
+
+CircuitTCount circuit_tcount(const qsim::Circuit& circuit, const TCountOptions& opts) {
+  CircuitTCount out;
+  const std::uint64_t rot_cost = tcount_rotation(opts.rotation_synthesis_eps);
+  for (const auto& g : circuit.gates()) {
+    const auto k = static_cast<std::uint32_t>(g.controls.size() + g.neg_controls.size());
+    switch (g.kind) {
+      case qsim::GateKind::kT:
+      case qsim::GateKind::kTdg:
+        out.t_gates += (k == 0) ? 1 : 2 * rot_cost + 2 * tcount_mcx(k, opts.mcx_model);
+        break;
+      case qsim::GateKind::kX:
+      case qsim::GateKind::kY:
+      case qsim::GateKind::kZ:
+        out.t_gates += tcount_mcx(k, opts.mcx_model);
+        out.mcx_gates += (k >= 2);
+        break;
+      case qsim::GateKind::kH:
+      case qsim::GateKind::kS:
+      case qsim::GateKind::kSdg:
+        // Clifford when uncontrolled; controlled versions via 2 rotations.
+        if (k >= 1) out.t_gates += 2 * rot_cost + 2 * tcount_mcx(k, opts.mcx_model);
+        break;
+      case qsim::GateKind::kRx:
+      case qsim::GateKind::kRy:
+      case qsim::GateKind::kRz:
+      case qsim::GateKind::kPhase: {
+        ++out.rotation_gates;
+        // k-controlled rotation: 2 plain rotations + 2 C^k X.
+        out.t_gates += (k == 0) ? rot_cost : 2 * rot_cost + 2 * tcount_mcx(k, opts.mcx_model);
+        break;
+      }
+      case qsim::GateKind::kGlobalPhase:
+        break;
+      case qsim::GateKind::kSwap:
+        // 3 CNOTs; controlled swap = Fredkin-style.
+        if (k >= 1) out.t_gates += tcount_mcx(k + 1, opts.mcx_model) + 7;
+        break;
+      case qsim::GateKind::kDiagonal: {
+        const std::size_t dim = g.diagonal ? g.diagonal->size() : 0;
+        bool all_pm_one = true;
+        if (g.diagonal) {
+          for (const auto& v : *g.diagonal) {
+            if (std::abs(v.imag()) > 1e-15 || std::abs(std::abs(v.real()) - 1.0) > 1e-15) {
+              all_pm_one = false;
+            }
+          }
+        }
+        if (all_pm_one) {
+          // +-1 diagonal == multi-controlled Z up to relabeling.
+          out.t_gates += tcount_mcx(k + static_cast<std::uint32_t>(
+                                            dim > 1 ? std::bit_width(dim - 1) : 1) - 1,
+                                    opts.mcx_model);
+          out.mcx_gates += 1;
+        } else {
+          // General diagonal: one synthesized rotation per entry.
+          out.rotation_gates += dim;
+          out.t_gates += dim * rot_cost + 2 * tcount_mcx(k, opts.mcx_model);
+        }
+        break;
+      }
+      case qsim::GateKind::kUnitary:
+        ++out.oracle_gates;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mpqls::resources

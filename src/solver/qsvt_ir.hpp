@@ -1,0 +1,67 @@
+// Algorithm 2 of the paper: mixed-precision iterative refinement around
+// the QSVT linear solver. The QPU computes low-accuracy solution
+// directions (accuracy eps_l, optionally in single-precision arithmetic);
+// the CPU computes residuals and updates in high precision u, normalizes
+// each right-hand side before shipping it (Remark 2), de-normalizes the
+// returned direction with Brent's method, and stops on the scaled
+// residual omega = ||b - A x|| / ||b|| <= eps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hybrid/comm.hpp"
+#include "linalg/matrix.hpp"
+#include "qsvt/solve.hpp"
+
+namespace mpqls::solver {
+
+enum class ResidualPrecision {
+  kDouble,       ///< u = 2^-53 (the paper's setting with eps = 1e-11)
+  kDoubleDouble  ///< u ~ 2^-104 via dd128 (headroom ablation)
+};
+
+struct QsvtIrOptions {
+  double eps = 1e-11;    ///< target scaled residual
+  int max_iterations = 60;
+  bool use_brent = true;  ///< Brent de-normalization (paper) vs closed form
+  ResidualPrecision residual_precision = ResidualPrecision::kDouble;
+  qsvt::QsvtOptions qsvt = {};  ///< eps_l, backend, precision, shots, ...
+};
+
+struct SolveTelemetry {
+  double mu = 0.0;                  ///< de-normalization step length
+  double success_probability = 0.0;
+  std::uint64_t be_calls = 0;
+  std::uint64_t circuit_gates = 0;
+};
+
+struct QsvtIrReport {
+  linalg::Vector<double> x;
+  std::vector<double> scaled_residuals;  ///< omega after each solve (0 = first)
+  int iterations = 0;                    ///< refinement iterations
+  bool converged = false;
+
+  double kappa = 0.0;                  ///< condition estimate used
+  double eps_l_requested = 0.0;
+  double eps_l_effective = 0.0;        ///< measured polynomial accuracy
+  int poly_degree = 0;
+  double poly_scale = 1.0;
+  std::uint64_t theoretical_iteration_bound = 0;  ///< Theorem III.1
+  std::uint64_t total_be_calls = 0;
+
+  std::vector<SolveTelemetry> solves;  ///< per QSVT call (first + iterations)
+  hybrid::CommLog comm;                ///< Fig. 1 transfer timeline
+};
+
+/// Solve A x = b with Algorithm 2.
+QsvtIrReport solve_qsvt_ir(const linalg::Matrix<double>& A, const linalg::Vector<double>& b,
+                           const QsvtIrOptions& options = {});
+
+/// Variant reusing an existing solver context (the paper's point that
+/// BE(A^T) and the phases are compiled once and reused; also what the
+/// benchmarks use to sweep right-hand sides).
+QsvtIrReport solve_qsvt_ir(const qsvt::QsvtSolverContext& ctx, const linalg::Vector<double>& b,
+                           const QsvtIrOptions& options);
+
+}  // namespace mpqls::solver

@@ -1,0 +1,38 @@
+#include "solver/theory.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace mpqls::solver {
+
+std::uint64_t iteration_bound(double eps, double eps_l, double kappa) {
+  expects(eps > 0.0 && eps < 1.0, "iteration_bound: eps in (0,1)");
+  const double rho = eps_l * kappa;
+  expects(rho > 0.0 && rho < 1.0, "iteration_bound: requires eps_l * kappa < 1");
+  // The tiny slack keeps exact-boundary ratios (e.g. log 1e-11 / log 1e-1
+  // = 11 + 2 ulp) from ticking the ceil up a full iteration.
+  return static_cast<std::uint64_t>(std::ceil(std::log(eps) / std::log(rho) - 1e-9));
+}
+
+double contraction_factor(double eps_l, double kappa) { return eps_l * kappa; }
+
+QuantumCost qsvt_only_cost(double be_cost, double kappa, double eps) {
+  QuantumCost c;
+  c.solves = 1.0;
+  c.c_qsvt = be_cost * kappa * std::log(kappa / eps);
+  c.samples = 1.0 / (eps * eps);
+  c.total = c.solves * c.c_qsvt * c.samples;
+  return c;
+}
+
+QuantumCost qsvt_ir_cost(double be_cost, double kappa, double eps, double eps_l) {
+  QuantumCost c;
+  c.solves = static_cast<double>(iteration_bound(eps, eps_l, kappa));
+  c.c_qsvt = be_cost * kappa * std::log(kappa / eps_l);
+  c.samples = 1.0 / (eps_l * eps_l);
+  c.total = c.solves * c.c_qsvt * c.samples;
+  return c;
+}
+
+}  // namespace mpqls::solver

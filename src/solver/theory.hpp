@@ -1,0 +1,33 @@
+// Closed-form cost/convergence expressions from the paper: Theorem III.1's
+// iteration bound and the Table I quantum-cost comparison between plain
+// QSVT and QSVT + mixed-precision iterative refinement.
+#pragma once
+
+#include <cstdint>
+
+namespace mpqls::solver {
+
+/// Theorem III.1: ceil(log(eps) / log(eps_l * kappa)) refinement solves
+/// reach scaled residual eps, provided eps_l * kappa < 1.
+std::uint64_t iteration_bound(double eps, double eps_l, double kappa);
+
+/// Contraction factor of the scaled residual per iteration (= eps_l*kappa).
+double contraction_factor(double eps_l, double kappa);
+
+/// One row of Table I.
+struct QuantumCost {
+  double solves = 0.0;       ///< number of calls to the QSVT solver
+  double c_qsvt = 0.0;       ///< cost of one QSVT (block-encoding calls)
+  double samples = 0.0;      ///< measurement repetitions
+  double total = 0.0;        ///< product of the three
+};
+
+/// Plain QSVT at full accuracy eps: 1 solve, C = B kappa log(kappa/eps),
+/// 1/eps^2 samples.
+QuantumCost qsvt_only_cost(double be_cost, double kappa, double eps);
+
+/// QSVT with iterative refinement at low accuracy eps_l: the bound above
+/// times C = B kappa log(kappa/eps_l) times 1/eps_l^2 samples.
+QuantumCost qsvt_ir_cost(double be_cost, double kappa, double eps, double eps_l);
+
+}  // namespace mpqls::solver

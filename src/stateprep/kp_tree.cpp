@@ -1,0 +1,74 @@
+#include "stateprep/kp_tree.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "qsim/synth/ucr.hpp"
+
+namespace mpqls::stateprep {
+
+StatePreparation kp_state_preparation(const std::vector<double>& v) {
+  expects(!v.empty() && std::has_single_bit(v.size()), "kp: length must be a power of two");
+  const std::size_t len = v.size();
+  const std::uint32_t n = static_cast<std::uint32_t>(std::countr_zero(len));
+
+  StatePreparation out;
+  out.circuit = qsim::Circuit(std::max<std::uint32_t>(n, 1));
+  if (n == 0) {
+    return out;  // single amplitude: nothing to prepare
+  }
+
+  // Bottom-up tree of subtree masses: mass[l][j] = sum of v_i^2 over the
+  // subtree of node j at level l (level n = leaves).
+  std::vector<std::vector<double>> mass(n + 1);
+  mass[n].resize(len);
+  for (std::size_t i = 0; i < len; ++i) mass[n][i] = v[i] * v[i];
+  out.classical_flops += len;
+  for (std::uint32_t l = n; l-- > 0;) {
+    mass[l].resize(std::size_t{1} << l);
+    for (std::size_t j = 0; j < mass[l].size(); ++j) {
+      mass[l][j] = mass[l + 1][2 * j] + mass[l + 1][2 * j + 1];
+    }
+    out.classical_flops += mass[l].size();
+  }
+  expects(mass[0][0] > 0.0, "kp: cannot prepare the zero vector");
+
+  // Level l rotation targets qubit n-1-l, controlled by the l higher
+  // qubits. Angle for node j: split of its mass between children; at the
+  // leaf level the child signs extend the angle beyond [0, pi] so that
+  // cos/sin carry the amplitude signs.
+  for (std::uint32_t l = 0; l < n; ++l) {
+    const std::size_t nodes = std::size_t{1} << l;
+    std::vector<double> angles(nodes, 0.0);
+    for (std::size_t j = 0; j < nodes; ++j) {
+      const double left = mass[l + 1][2 * j];
+      const double right = mass[l + 1][2 * j + 1];
+      if (left + right <= 0.0) continue;  // dead branch: angle irrelevant
+      double theta = 2.0 * std::atan2(std::sqrt(right), std::sqrt(left));
+      if (l + 1 == n) {
+        const bool neg_left = v[2 * j] < 0.0;
+        const bool neg_right = v[2 * j + 1] < 0.0;
+        if (neg_left && neg_right) {
+          theta = 2.0 * M_PI + theta;
+        } else if (neg_left) {
+          theta = 2.0 * M_PI - theta;
+        } else if (neg_right) {
+          theta = -theta;
+        }
+      }
+      angles[j] = theta;
+    }
+    out.classical_flops += 6 * nodes;
+    // Node j at level l is the assignment of the l most significant
+    // qubits: bit b of j lives on qubit (n - l + b). With that control
+    // layout the UCR angle index equals j directly.
+    std::vector<std::uint32_t> controls(l);
+    for (std::uint32_t b = 0; b < l; ++b) controls[b] = n - l + b;
+    qsim::append_ucry(out.circuit, controls, n - 1 - l, angles);
+    out.rotation_count += nodes;
+  }
+  return out;
+}
+
+}  // namespace mpqls::stateprep

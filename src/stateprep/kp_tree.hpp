@@ -1,0 +1,28 @@
+// Tree-based state preparation (Kerenidis & Prakash, ITCS 2017 — the
+// paper's reference [23]): a binary tree of subtree masses is computed
+// classically in O(N) flops, then one uniformly controlled RY per level
+// prepares the amplitudes. Signs of a real vector are absorbed into the
+// leaf-level rotation angles, so the circuit is pure {RY, CNOT}.
+//
+// This is the SP(b) / SP(r_i) routine of the paper's Fig. 1: it runs once
+// per refinement iteration to load the normalized residual onto the QPU.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qsim/circuit.hpp"
+
+namespace mpqls::stateprep {
+
+struct StatePreparation {
+  qsim::Circuit circuit;           ///< on n = log2(len) qubits; |0..0> -> |v>
+  std::uint64_t classical_flops = 0;  ///< tree construction cost (O(N))
+  std::uint64_t rotation_count = 0;   ///< RY gates emitted
+};
+
+/// Build the preparation circuit for a real vector of power-of-two length.
+/// The vector is normalized internally (a zero vector is rejected).
+StatePreparation kp_state_preparation(const std::vector<double>& v);
+
+}  // namespace mpqls::stateprep

@@ -1,0 +1,93 @@
+#include "vqls/vqls.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/nelder_mead.hpp"
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "qsim/statevector.hpp"
+#include "qsvt/denormalize.hpp"
+
+namespace mpqls::vqls {
+
+namespace {
+
+// Hardware-efficient ansatz: initial RY layer, then `layers` blocks of
+// (CZ ring, RY layer). Parameter count: (layers + 1) * n.
+qsim::Circuit build_ansatz(std::uint32_t n, int layers, const std::vector<double>& theta) {
+  qsim::Circuit c(n);
+  std::size_t p = 0;
+  for (std::uint32_t q = 0; q < n; ++q) c.ry(q, theta[p++]);
+  for (int l = 0; l < layers; ++l) {
+    if (n > 1) {
+      for (std::uint32_t q = 0; q + 1 < n; ++q) c.cz(q, q + 1);
+      if (n > 2) c.cz(n - 1, 0);
+    }
+    for (std::uint32_t q = 0; q < n; ++q) c.ry(q, theta[p++]);
+  }
+  return c;
+}
+
+}  // namespace
+
+VqlsResult vqls_solve(const linalg::Matrix<double>& A, const linalg::Vector<double>& b,
+                      const VqlsOptions& options) {
+  const std::size_t N = A.rows();
+  expects(N == A.cols() && N == b.size(), "vqls: dimension mismatch");
+  expects(std::has_single_bit(N), "vqls: dimension must be 2^n");
+  const auto n = static_cast<std::uint32_t>(std::countr_zero(N));
+
+  // Normalized right-hand side (state |b>).
+  linalg::Vector<double> b_hat = b;
+  const double b_norm = linalg::nrm2(b_hat);
+  expects(b_norm > 0.0, "vqls: zero right-hand side");
+  for (auto& v : b_hat) v /= b_norm;
+
+  const int n_params = (options.layers + 1) * static_cast<int>(n);
+
+  // Global cost from the simulator state: the RY+CZ ansatz is real, so all
+  // quantities stay in real arithmetic.
+  auto cost = [&](const std::vector<double>& theta) {
+    qsim::Statevector<double> sv(n);
+    sv.apply(build_ansatz(n, options.layers, theta));
+    linalg::Vector<double> psi(N);
+    for (std::size_t i = 0; i < N; ++i) psi[i] = sv[i].real();
+    const auto a_psi = linalg::matvec(A, psi);
+    const double denom = linalg::dot(a_psi, a_psi);
+    if (denom <= 1e-300) return 1.0;
+    const double overlap = linalg::dot(b_hat, a_psi);
+    return 1.0 - overlap * overlap / denom;
+  };
+
+  VqlsResult best;
+  best.parameters = n_params;
+  Xoshiro256 rng(options.seed);
+  for (int r = 0; r < options.restarts; ++r) {
+    std::vector<double> theta0(static_cast<std::size_t>(n_params));
+    for (auto& t : theta0) t = rng.uniform(-M_PI, M_PI);
+    NelderMeadOptions nm;
+    nm.max_evaluations = options.max_evaluations;
+    nm.tolerance = options.cost_tolerance * 1e-2;
+    const auto run = nelder_mead_minimize(cost, std::move(theta0), nm);
+    best.evaluations += run.evaluations;
+    if (r == 0 || run.fx < best.cost) {
+      best.cost = run.fx;
+      qsim::Statevector<double> sv(n);
+      sv.apply(build_ansatz(n, options.layers, run.x));
+      best.direction.resize(N);
+      for (std::size_t i = 0; i < N; ++i) best.direction[i] = sv[i].real();
+    }
+    if (best.cost < options.cost_tolerance) break;
+  }
+
+  // De-normalize with the shared Remark 2 machinery.
+  const auto fit = qsvt::fit_step_closed_form(A, {}, best.direction, b);
+  best.x.resize(N);
+  for (std::size_t i = 0; i < N; ++i) best.x[i] = fit.mu * best.direction[i];
+  best.converged = best.cost < options.cost_tolerance;
+  return best;
+}
+
+}  // namespace mpqls::vqls

@@ -1,0 +1,43 @@
+// Variational Quantum Linear Solver baseline (Bravo-Prieto et al.,
+// Quantum 7:1188 — the paper's reference [6]): a hardware-efficient RY+CZ
+// ansatz |psi(theta)> is trained to minimize the normalized global cost
+//
+//   C(theta) = 1 - |<b|A|psi>|^2 / ||A|psi>||^2,
+//
+// which vanishes iff A|psi> is parallel to |b>. The magnitude is then
+// recovered classically exactly as in the QSVT pipeline (Remark 2).
+//
+// Substitution note (DESIGN.md): on hardware the two inner products are
+// estimated by Hadamard tests over the LCU terms of A; we evaluate them
+// from the simulator state — the same "exact expectation" level as the
+// rest of the evaluation. The optimizer is Nelder-Mead with restarts.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace mpqls::vqls {
+
+struct VqlsOptions {
+  int layers = 3;               ///< ansatz depth (RY layer + CZ ring each)
+  int restarts = 3;             ///< random restarts of the optimizer
+  int max_evaluations = 6000;   ///< cost evaluations per restart
+  double cost_tolerance = 1e-10;
+  std::uint64_t seed = 7;
+};
+
+struct VqlsResult {
+  linalg::Vector<double> x;          ///< de-normalized solution estimate
+  linalg::Vector<double> direction;  ///< |psi(theta*)| as a real vector
+  double cost = 1.0;                 ///< final global cost
+  int evaluations = 0;               ///< total cost-function evaluations
+  int parameters = 0;                ///< ansatz parameter count
+  bool converged = false;            ///< cost below tolerance
+};
+
+/// Solve A x = b variationally. A must be real and square (2^n x 2^n).
+VqlsResult vqls_solve(const linalg::Matrix<double>& A, const linalg::Vector<double>& b,
+                      const VqlsOptions& options = {});
+
+}  // namespace mpqls::vqls

@@ -1,0 +1,58 @@
+#include "common/brent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+#include <cmath>
+
+namespace mpqls {
+namespace {
+
+TEST(BrentMinimize, Quadratic) {
+  const auto r = brent_minimize([](double x) { return (x - 1.25) * (x - 1.25) + 3.0; }, -10, 10);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 1.25, 1e-9);
+  EXPECT_NEAR(r.fx, 3.0, 1e-12);
+}
+
+TEST(BrentMinimize, AsymmetricNonSmooth) {
+  const auto r = brent_minimize([](double x) { return std::fabs(x - 0.3) + 0.1 * x * x; }, -5, 5);
+  EXPECT_NEAR(r.x, 0.3, 1e-6);
+}
+
+TEST(BrentMinimize, BoundaryMinimum) {
+  // Monotone decreasing on the interval: minimum at the right edge.
+  const auto r = brent_minimize([](double x) { return -x; }, 0.0, 2.0);
+  EXPECT_NEAR(r.x, 2.0, 1e-6);
+}
+
+TEST(BrentMinimize, CosineWell) {
+  const auto r = brent_minimize([](double x) { return std::cos(x); }, 2.0, 5.0);
+  EXPECT_NEAR(r.x, M_PI, 1e-8);
+  EXPECT_NEAR(r.fx, -1.0, 1e-12);
+}
+
+TEST(BrentRoot, Linear) {
+  const auto r = brent_root([](double x) { return 2.0 * x - 3.0; }, 0.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 1.5, 1e-12);
+}
+
+TEST(BrentRoot, TranscendentalKnownRoot) {
+  const auto r = brent_root([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_NEAR(r.x, 0.7390851332151607, 1e-10);
+}
+
+TEST(BrentRoot, SteepFunction) {
+  const auto r = brent_root([](double x) { return std::exp(x) - 1e6; }, 0.0, 20.0);
+  EXPECT_NEAR(r.x, std::log(1e6), 1e-9);
+}
+
+TEST(BrentRoot, RequiresBracketing) {
+  EXPECT_THROW(brent_root([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               contract_violation);
+}
+
+}  // namespace
+}  // namespace mpqls

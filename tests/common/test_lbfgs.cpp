@@ -1,0 +1,70 @@
+#include "common/lbfgs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mpqls {
+namespace {
+
+TEST(Lbfgs, ConvexQuadratic) {
+  // f(x) = sum_i i * (x_i - i)^2
+  auto f = [](const std::vector<double>& x, std::vector<double>& g) {
+    double v = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double w = static_cast<double>(i + 1);
+      const double d = x[i] - w;
+      v += w * d * d;
+      g[i] = 2.0 * w * d;
+    }
+    return v;
+  };
+  const auto r = lbfgs_minimize(f, std::vector<double>(8, 0.0));
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < r.x.size(); ++i) EXPECT_NEAR(r.x[i], i + 1.0, 1e-7);
+}
+
+TEST(Lbfgs, Rosenbrock2D) {
+  auto f = [](const std::vector<double>& x, std::vector<double>& g) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    g[0] = -2.0 * a - 400.0 * x[0] * b;
+    g[1] = 200.0 * b;
+    return a * a + 100.0 * b * b;
+  };
+  LbfgsOptions opts;
+  opts.max_iterations = 2000;
+  opts.gradient_tolerance = 1e-10;
+  const auto r = lbfgs_minimize(f, {-1.2, 1.0}, opts);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-5);
+}
+
+TEST(Lbfgs, TrigObjective) {
+  // Smooth non-quadratic bowl: f = sum (sin(x_i) - 0.5)^2 near x_i = pi/6.
+  auto f = [](const std::vector<double>& x, std::vector<double>& g) {
+    double v = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = std::sin(x[i]) - 0.5;
+      v += d * d;
+      g[i] = 2.0 * d * std::cos(x[i]);
+    }
+    return v;
+  };
+  const auto r = lbfgs_minimize(f, std::vector<double>(5, 0.3));
+  EXPECT_LT(r.fx, 1e-16);
+}
+
+TEST(Lbfgs, AlreadyAtMinimum) {
+  auto f = [](const std::vector<double>& x, std::vector<double>& g) {
+    g[0] = 2.0 * x[0];
+    return x[0] * x[0];
+  };
+  const auto r = lbfgs_minimize(f, {0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+}  // namespace
+}  // namespace mpqls

@@ -1,0 +1,62 @@
+#include "common/nelder_mead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mpqls {
+namespace {
+
+TEST(NelderMead, Quadratic) {
+  auto f = [](const std::vector<double>& x) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - static_cast<double>(i);
+      s += (i + 1.0) * d * d;
+    }
+    return s;
+  };
+  const auto r = nelder_mead_minimize(f, std::vector<double>(4, 5.0));
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(r.x[i], static_cast<double>(i), 1e-4);
+}
+
+TEST(NelderMead, Rosenbrock) {
+  auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opts;
+  opts.max_evaluations = 50000;
+  const auto r = nelder_mead_minimize(f, {-1.2, 1.0}, opts);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, PeriodicCost) {
+  // Cost shaped like a variational-circuit landscape.
+  auto f = [](const std::vector<double>& x) {
+    double s = 2.0;
+    for (double v : x) s -= std::cos(v - 0.3);
+    return s;
+  };
+  const auto r = nelder_mead_minimize(f, {2.0, -2.0});
+  EXPECT_LT(r.fx, 1e-6);
+}
+
+TEST(NelderMead, RespectsEvaluationBudget) {
+  int evals = 0;
+  auto f = [&evals](const std::vector<double>& x) {
+    ++evals;
+    return x[0] * x[0];
+  };
+  NelderMeadOptions opts;
+  opts.max_evaluations = 50;
+  const auto r = nelder_mead_minimize(f, {100.0}, opts);
+  EXPECT_LE(evals, 60);  // small slack for the final shrink step
+  EXPECT_LE(r.evaluations, 60);
+}
+
+}  // namespace
+}  // namespace mpqls

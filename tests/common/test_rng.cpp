@@ -1,0 +1,67 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mpqls {
+namespace {
+
+TEST(Xoshiro256, DeterministicForFixedSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double mn = 1.0, mx = 0.0, sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    mn = std::fmin(mn, u);
+    mx = std::fmax(mx, u);
+    sum += u;
+  }
+  EXPECT_GE(mn, 0.0);
+  EXPECT_LT(mx, 1.0);
+  EXPECT_NEAR(sum / n, 0.5, 5e-3);
+}
+
+TEST(Xoshiro256, UniformIndexUnbiased) {
+  Xoshiro256 rng(11);
+  std::vector<int> hist(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++hist[rng.uniform_index(7)];
+  for (int c : hist) EXPECT_NEAR(static_cast<double>(c), n / 7.0, 5.0 * std::sqrt(n / 7.0));
+}
+
+TEST(Xoshiro256, NormalMomentsMatch) {
+  Xoshiro256 rng(13);
+  const int n = 400000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sumsq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 1e-2);
+  EXPECT_NEAR(sumsq / n, 1.0, 2e-2);
+}
+
+TEST(Xoshiro256, ReseedResetsStream) {
+  Xoshiro256 rng(5);
+  const auto x0 = rng();
+  rng.reseed(5);
+  EXPECT_EQ(rng(), x0);
+}
+
+}  // namespace
+}  // namespace mpqls

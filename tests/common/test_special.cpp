@@ -1,0 +1,92 @@
+#include "common/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mpqls {
+namespace {
+
+TEST(LogBinomial, SmallValuesExact) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial(10, 5)), 252.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(20, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial(20, 20)), 1.0, 1e-12);
+}
+
+TEST(LogBinomial, LargeValuesFinite) {
+  const double lb = log_binomial(2'000'000, 1'000'000);
+  EXPECT_TRUE(std::isfinite(lb));
+  // C(2m, m) ~ 4^m / sqrt(pi m): check against the Stirling estimate.
+  const double m = 1'000'000.0;
+  EXPECT_NEAR(lb, 2.0 * m * std::log(2.0) - 0.5 * std::log(M_PI * m), 1e-3);
+}
+
+TEST(IncompleteBeta, Endpoints) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1,1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.9}) EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-14);
+}
+
+TEST(IncompleteBeta, SymmetryIdentity) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double x : {0.2, 0.4, 0.6, 0.8}) {
+    EXPECT_NEAR(incomplete_beta(3.5, 2.25, x), 1.0 - incomplete_beta(2.25, 3.5, 1.0 - x), 1e-13);
+  }
+}
+
+TEST(IncompleteBeta, KnownValue) {
+  // I_{1/2}(2,2) = integral ratio = 0.5 by symmetry.
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, 0.5), 0.5, 1e-14);
+}
+
+double direct_binomial_tail(int n, int k) {
+  // Exact tail by direct summation (only viable for small n).
+  long double total = 0.0L;
+  for (int i = k; i <= n; ++i) {
+    long double c = 1.0L;
+    for (int j = 0; j < i; ++j) c = c * (n - j) / (j + 1);
+    total += c;
+  }
+  return static_cast<double>(total * std::pow(0.5L, n));
+}
+
+TEST(BinomialTailHalf, MatchesDirectSummation) {
+  for (int n : {4, 10, 17, 30}) {
+    for (int k = 0; k <= n; k += 3) {
+      EXPECT_NEAR(binomial_tail_half(n, k), direct_binomial_tail(n, k), 1e-12)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialTailHalf, EdgeCases) {
+  EXPECT_DOUBLE_EQ(binomial_tail_half(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_half(10, -3), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_half(10, 11), 0.0);
+  EXPECT_NEAR(binomial_tail_half(1, 1), 0.5, 1e-15);
+}
+
+TEST(BinomialTailHalf, LargeNStable) {
+  // For large n the tail at k = n/2 + c*sqrt(n)/2 approaches the normal
+  // tail Phi(-c). Check c = 2: Phi(-2) ~ 0.02275.
+  const std::uint64_t n = 1'000'000;
+  const std::int64_t k = static_cast<std::int64_t>(n / 2 + std::llround(2.0 * 0.5 * std::sqrt(n)));
+  EXPECT_NEAR(binomial_tail_half(n, k), 0.02275, 5e-4);
+}
+
+TEST(BinomialTailHalf, MonotoneInK) {
+  double prev = 1.0;
+  for (int k = 0; k <= 50; ++k) {
+    const double t = binomial_tail_half(50, k);
+    EXPECT_LE(t, prev + 1e-15);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace mpqls

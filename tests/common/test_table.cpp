@@ -1,0 +1,45 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace mpqls {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"eps_l", "iters"});
+  t.add_row({"1e-2", "5"});
+  t.add_row({"1e-4", "3"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("eps_l"), std::string::npos);
+  EXPECT_NE(s.find("1e-4"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(TextTable, RejectsRaggedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), contract_violation);
+}
+
+TEST(Fmt, Scientific) {
+  EXPECT_EQ(fmt_sci(1.2345e-5, 2), "1.23e-05");
+  EXPECT_EQ(fmt_sci(0.0, 1), "0.0e+00");
+}
+
+TEST(Fmt, Fixed) { EXPECT_EQ(fmt_fix(3.14159, 2), "3.14"); }
+
+TEST(Fmt, IntegerThousands) {
+  EXPECT_EQ(fmt_int(0), "0");
+  EXPECT_EQ(fmt_int(999), "999");
+  EXPECT_EQ(fmt_int(1000), "1,000");
+  EXPECT_EQ(fmt_int(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace mpqls

@@ -1,0 +1,108 @@
+#include "hhl/hhl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/random_matrix.hpp"
+
+namespace mpqls::hhl {
+namespace {
+
+double direction_error(const linalg::Vector<double>& got, const linalg::Vector<double>& want) {
+  linalg::Vector<double> w = want;
+  const double n = linalg::nrm2(w);
+  for (auto& v : w) v /= n;
+  double plus = 0.0, minus = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    plus = std::fmax(plus, std::fabs(got[i] - w[i]));
+    minus = std::fmax(minus, std::fabs(got[i] + w[i]));
+  }
+  return std::fmin(plus, minus);
+}
+
+TEST(Hhl, ExactWhenEigenvaluesOnClockGrid) {
+  // Eigenvalues at exact multiples of the clock resolution: QPE is exact
+  // and HHL recovers the solution to near machine precision.
+  const std::uint32_t m = 4;
+  const double t = 2.0 * M_PI / 16.0;  // bin size 1 in lambda units
+  linalg::Matrix<double> A{{3.0, 1.0}, {1.0, 3.0}};  // eigenvalues 2 and 4
+  linalg::Vector<double> b{1.0, 0.5};
+  HhlOptions opts;
+  opts.clock_qubits = m;
+  opts.evolution_time = t;
+  const auto res = hhl_solve(A, b, opts);
+  const auto x_true = linalg::lu_solve(A, b);
+  EXPECT_LT(direction_error(res.direction, x_true), 1e-10);
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_NEAR(res.x[i], x_true[i], 1e-9);
+  EXPECT_GT(res.success_probability, 0.01);
+}
+
+TEST(Hhl, NegativeEigenvaluesHandled) {
+  // Indefinite matrix: eigenvalues -1 and 3 on the grid.
+  linalg::Matrix<double> A{{1.0, 2.0}, {2.0, 1.0}};
+  linalg::Vector<double> b{0.8, -0.6};
+  HhlOptions opts;
+  opts.clock_qubits = 5;
+  opts.evolution_time = 2.0 * M_PI / 32.0;
+  const auto res = hhl_solve(A, b, opts);
+  const auto x_true = linalg::lu_solve(A, b);
+  EXPECT_LT(direction_error(res.direction, x_true), 1e-9);
+}
+
+TEST(Hhl, AccuracyImprovesWithClockQubits) {
+  Xoshiro256 rng(61);
+  // Generic symmetric matrix: off-grid eigenvalues, so accuracy is set by
+  // the clock resolution.
+  linalg::Matrix<double> A{{2.1, 0.4}, {0.4, 1.3}};
+  linalg::Vector<double> b{0.7, 0.3};
+  const auto x_true = linalg::lu_solve(A, b);
+  double prev_err = 1e9;
+  for (std::uint32_t m : {4u, 6u, 8u}) {
+    HhlOptions opts;
+    opts.clock_qubits = m;
+    const auto res = hhl_solve(A, b, opts);
+    const double err = direction_error(res.direction, x_true);
+    EXPECT_LT(err, prev_err * 1.5) << "m=" << m;  // no blow-up
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.05);
+}
+
+TEST(Hhl, GeneralMatrixViaDilation) {
+  linalg::Matrix<double> A{{1.0, 0.5}, {-0.2, 0.8}};  // non-symmetric
+  linalg::Vector<double> b{0.6, 0.4};
+  HhlOptions opts;
+  opts.clock_qubits = 8;
+  const auto res = hhl_solve_general(A, b, opts);
+  const auto x_true = linalg::lu_solve(A, b);
+  EXPECT_LT(direction_error(res.direction, x_true), 0.05);
+}
+
+TEST(Hhl, RejectsSingularAndNonSymmetric) {
+  linalg::Matrix<double> S{{1.0, 1.0}, {1.0, 1.0}};  // singular
+  linalg::Vector<double> b{1.0, 0.0};
+  EXPECT_THROW(hhl_solve(S, b), contract_violation);
+  linalg::Matrix<double> NS{{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_THROW(hhl_solve(NS, b), contract_violation);
+}
+
+TEST(Hhl, FourByFourSystem) {
+  Xoshiro256 rng(62);
+  // Symmetric PSD 4x4 with moderate conditioning.
+  auto G = linalg::random_gaussian(rng, 4, 4);
+  auto A = linalg::gemm(G, linalg::transpose(G));
+  for (std::size_t i = 0; i < 4; ++i) A(i, i) += 2.0;
+  const auto b = linalg::random_unit_vector(rng, 4);
+  HhlOptions opts;
+  opts.clock_qubits = 9;
+  const auto res = hhl_solve(A, b, opts);
+  const auto x_true = linalg::lu_solve(A, b);
+  EXPECT_LT(direction_error(res.direction, x_true), 0.03);
+}
+
+}  // namespace
+}  // namespace mpqls::hhl

@@ -1,0 +1,125 @@
+#include "linalg/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "linalg/flops.hpp"
+#include "linalg/half.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mpqls::linalg {
+namespace {
+
+TEST(Blas, DotRealAndComplex) {
+  Vector<double> x{1, 2, 3}, y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+
+  using C = std::complex<double>;
+  Vector<C> cx{{0, 1}, {1, 0}};
+  Vector<C> cy{{0, 1}, {2, 0}};
+  const C d = dot(cx, cy);  // conj(i)*i + 1*2 = 1 + 2
+  EXPECT_DOUBLE_EQ(d.real(), 3.0);
+  EXPECT_DOUBLE_EQ(d.imag(), 0.0);
+}
+
+TEST(Blas, AxpyAndScal) {
+  Vector<double> x{1, 1, 1}, y{1, 2, 3};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y, (Vector<double>{3, 4, 5}));
+  scal(0.5, y);
+  EXPECT_EQ(y, (Vector<double>{1.5, 2, 2.5}));
+}
+
+TEST(Blas, Nrm2AgreesWithDefinition) {
+  Vector<double> x{3, 4};
+  EXPECT_DOUBLE_EQ(nrm2(x), 5.0);
+}
+
+TEST(Blas, Nrm2HalfDoesNotOverflow) {
+  // Naive sum of squares would exceed the half max (65504).
+  Vector<half> x(100, half(300.0f));
+  EXPECT_NEAR(nrm2(x), 3000.0, 5.0);
+}
+
+TEST(Blas, MatvecAndTransposed) {
+  Matrix<double> A{{1, 2}, {3, 4}, {5, 6}};
+  Vector<double> x{1, 1};
+  EXPECT_EQ(matvec(A, x), (Vector<double>{3, 7, 11}));
+  Vector<double> y{1, 1, 1};
+  EXPECT_EQ(matvec_transposed(A, y), (Vector<double>{9, 12}));
+}
+
+TEST(Blas, MatvecTransposedConjugates) {
+  using C = std::complex<double>;
+  Matrix<C> A(1, 1);
+  A(0, 0) = C(0, 1);
+  Vector<C> x{C(1, 0)};
+  const auto y = matvec_transposed(A, x);
+  EXPECT_DOUBLE_EQ(y[0].imag(), -1.0);  // A^H
+}
+
+TEST(Blas, GemmSmallKnown) {
+  Matrix<double> A{{1, 2}, {3, 4}};
+  Matrix<double> B{{5, 6}, {7, 8}};
+  const auto C = gemm(A, B);
+  EXPECT_DOUBLE_EQ(C(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(C(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(C(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(C(1, 1), 50.0);
+}
+
+TEST(Blas, GemmIdentityIsNoop) {
+  Matrix<double> A{{1, 2}, {3, 4}};
+  EXPECT_EQ(gemm(A, Matrix<double>::identity(2)), A);
+  EXPECT_EQ(gemm(Matrix<double>::identity(2), A), A);
+}
+
+TEST(Blas, TransposeIsConjugateForComplex) {
+  using C = std::complex<double>;
+  Matrix<C> A(2, 2);
+  A(0, 1) = C(1, 2);
+  const auto At = transpose(A);
+  EXPECT_EQ(At(1, 0), C(1, -2));
+}
+
+TEST(Blas, ResidualKernel) {
+  Matrix<double> A{{2, 0}, {0, 2}};
+  Vector<double> x{1, 1}, b{3, 3};
+  EXPECT_EQ(residual(A, x, b), (Vector<double>{1, 1}));
+}
+
+TEST(Blas, PrecisionConversionRoundsEntries) {
+  Matrix<double> A(1, 1);
+  A(0, 0) = 1.0 + 1e-5;  // not representable in half
+  const auto Ah = convert_matrix<half>(A);
+  EXPECT_EQ(float(Ah(0, 0)), 1.0f);
+}
+
+TEST(FlopLedger, CountsInsideScopeOnly) {
+  Vector<double> x(10, 1.0), y(10, 1.0);
+  std::uint64_t counted = 0;
+  {
+    FlopScope scope;
+    (void)dot(x, y);
+    counted = scope.count();
+  }
+  EXPECT_EQ(counted, 20u);
+  // Outside any scope counting is inert (no crash, nothing recorded).
+  (void)dot(x, y);
+}
+
+TEST(FlopLedger, NestedScopesAccumulateOutward) {
+  Vector<double> x(8, 1.0), y(8, 1.0);
+  FlopScope outer;
+  {
+    FlopScope inner;
+    (void)dot(x, y);
+    EXPECT_EQ(inner.count(), 16u);
+  }
+  (void)dot(x, y);
+  EXPECT_EQ(outer.count(), 32u);
+}
+
+}  // namespace
+}  // namespace mpqls::linalg

@@ -1,0 +1,98 @@
+#include "linalg/iterative_refinement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "linalg/dd128.hpp"
+#include "linalg/half.hpp"
+#include "linalg/random_matrix.hpp"
+
+namespace mpqls::linalg {
+namespace {
+
+TEST(ClassicalIr, SingleToDoubleReachesDoubleAccuracy) {
+  Xoshiro256 rng(31);
+  const auto A = random_with_cond(rng, 16, 100.0);
+  const auto b = random_unit_vector(rng, 16);
+  ClassicalIrOptions opts;
+  opts.target_scaled_residual = 1e-14;
+  const auto r = classical_iterative_refinement<double, float>(A, b, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.scaled_residuals.back(), 1e-14);
+  // Must take at least one refinement step: a single-precision solve cannot
+  // reach 1e-14 alone.
+  EXPECT_GE(r.iterations, 1);
+}
+
+TEST(ClassicalIr, HalfToDoubleConvergesForWellConditioned) {
+  Xoshiro256 rng(32);
+  const auto A = random_with_cond(rng, 8, 5.0);
+  const auto b = random_unit_vector(rng, 8);
+  ClassicalIrOptions opts;
+  opts.target_scaled_residual = 1e-12;
+  opts.max_iterations = 60;
+  const auto r = classical_iterative_refinement<double, half>(A, b, opts);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(ClassicalIr, ResidualContractsGeometrically) {
+  Xoshiro256 rng(33);
+  const auto A = random_with_cond(rng, 16, 10.0);
+  const auto b = random_unit_vector(rng, 16);
+  ClassicalIrOptions opts;
+  opts.target_scaled_residual = 1e-15;
+  const auto r = classical_iterative_refinement<double, float>(A, b, opts);
+  // Each iteration should contract the residual by roughly u_l * kappa;
+  // we only assert monotone decrease by at least 10x until near the floor.
+  for (std::size_t i = 0; i + 1 < r.scaled_residuals.size(); ++i) {
+    if (r.scaled_residuals[i + 1] > 1e-14) {
+      EXPECT_LT(r.scaled_residuals[i + 1], r.scaled_residuals[i] / 10.0) << "step " << i;
+    }
+  }
+}
+
+TEST(ClassicalIr, ThreePrecisionResidualInDd) {
+  Xoshiro256 rng(34);
+  const auto A = random_with_cond(rng, 8, 10.0);
+  const auto b = random_unit_vector(rng, 8);
+  ClassicalIrOptions opts;
+  opts.target_scaled_residual = 1e-15;
+  const auto r = classical_iterative_refinement<double, float, dd128>(A, b, opts);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(ClassicalIr, FirstSolveAlreadyAccurateStopsImmediately) {
+  Xoshiro256 rng(35);
+  const auto A = random_with_cond(rng, 8, 2.0);
+  const auto b = random_unit_vector(rng, 8);
+  ClassicalIrOptions opts;
+  opts.target_scaled_residual = 1e-4;  // well within single-precision reach
+  const auto r = classical_iterative_refinement<double, float>(A, b, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+// Property sweep: convergence across condition numbers and seeds for the
+// float -> double configuration (u_l*kappa << 1 in all cases here).
+class ClassicalIrSweep : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(ClassicalIrSweep, Converges) {
+  const auto [kappa, seed] = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(seed));
+  const auto A = random_with_cond(rng, 16, kappa);
+  const auto b = random_unit_vector(rng, 16);
+  ClassicalIrOptions opts;
+  opts.target_scaled_residual = 1e-13;
+  const auto r = classical_iterative_refinement<double, float>(A, b, opts);
+  EXPECT_TRUE(r.converged) << "kappa=" << kappa << " seed=" << seed;
+  EXPECT_LE(r.scaled_residuals.back(), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(KappaSeeds, ClassicalIrSweep,
+                         ::testing::Combine(::testing::Values(2.0, 10.0, 100.0, 1000.0),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace mpqls::linalg

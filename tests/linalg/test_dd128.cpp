@@ -1,0 +1,90 @@
+#include "linalg/dd128.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mpqls::linalg {
+namespace {
+
+TEST(Dd128, AdditionIsExactForSplitValues) {
+  // 1 + 2^-80 is not representable in double but is in dd128.
+  const dd128 a(1.0);
+  const dd128 b(std::ldexp(1.0, -80));
+  const dd128 s = a + b;
+  EXPECT_EQ(s.hi(), 1.0);
+  EXPECT_EQ(s.lo(), std::ldexp(1.0, -80));
+  EXPECT_EQ(((s - a) - b).hi(), 0.0);
+}
+
+TEST(Dd128, MultiplicationCapturesRoundoff) {
+  // (1 + 2^-30)^2 = 1 + 2^-29 + 2^-60: the 2^-60 term is lost in double.
+  const dd128 x(1.0 + std::ldexp(1.0, -30));
+  const dd128 p = x * x;
+  const dd128 expected = dd128(1.0) + dd128(std::ldexp(1.0, -29)) + dd128(std::ldexp(1.0, -60));
+  EXPECT_EQ((p - expected).hi(), 0.0);
+}
+
+TEST(Dd128, DivisionRoundTrip) {
+  const dd128 a(3.0), b(7.0);
+  const dd128 q = a / b;
+  const dd128 r = q * b - a;
+  EXPECT_LT(std::fabs(r.hi()), 1e-30);
+}
+
+TEST(Dd128, SqrtAccuracy) {
+  const dd128 two(2.0);
+  const dd128 s = sqrt(two);
+  const dd128 err = s * s - two;
+  EXPECT_LT(std::fabs(err.hi()), 1e-30);
+}
+
+TEST(Dd128, SqrtOfSquareIsIdentity) {
+  for (double v : {0.25, 1.0, 9.0, 1e10, 1e-10}) {
+    const dd128 x(v);
+    const dd128 r = sqrt(x * x);
+    EXPECT_LT(std::fabs((r - x).hi()), 1e-26 * v) << v;
+  }
+}
+
+TEST(Dd128, ComparisonUsesBothLimbs) {
+  const dd128 a(1.0, 1e-20);
+  const dd128 b(1.0, 2e-20);
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_GT(b, a);
+}
+
+TEST(Dd128, AbsoluteValue) {
+  EXPECT_EQ(abs(dd128(-3.0)).hi(), 3.0);
+  EXPECT_EQ(abs(dd128(3.0)).hi(), 3.0);
+  // Sign decided by the low limb when hi == 0.
+  EXPECT_GT(abs(dd128(0.0, -1e-40)).lo(), 0.0);
+}
+
+TEST(Dd128, HarmonicSumBeatsDouble) {
+  // Summing 1e6 terms of 1/k: dd should match a Kahan-compensated
+  // reference far better than naive double summation error bounds.
+  dd128 s(0.0);
+  double naive = 0.0;
+  for (int k = 1; k <= 1000000; ++k) {
+    s += dd128(1.0) / dd128(static_cast<double>(k));
+    naive += 1.0 / static_cast<double>(k);
+  }
+  // Known value of H_1e6 to 20 digits.
+  const double h1e6 = 14.392726722865723631;
+  EXPECT_NEAR(s.hi(), h1e6, 1e-13);
+  EXPECT_NEAR(naive, h1e6, 1e-10);  // double is OK too, but dd is bit-accurate
+  EXPECT_LT(std::fabs(s.hi() - h1e6), std::fabs(naive - h1e6) + 1e-15);
+}
+
+TEST(Dd128, EpsilonOrderOfMagnitude) {
+  const dd128 one(1.0);
+  const dd128 eps = std::numeric_limits<dd128>::epsilon();
+  EXPECT_GT((one + eps), one);
+  EXPECT_LT(eps.hi(), 1e-31);
+}
+
+}  // namespace
+}  // namespace mpqls::linalg

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/jacobi_eig.hpp"
+#include "linalg/jacobi_svd.hpp"
+#include "linalg/random_matrix.hpp"
+
+namespace mpqls::linalg {
+namespace {
+
+TEST(JacobiEig, DiagonalMatrixIsFixedPoint) {
+  Matrix<double> A{{3, 0}, {0, 1}};
+  const auto e = jacobi_eigensymmetric(A);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-14);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-14);
+}
+
+TEST(JacobiEig, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+  Matrix<double> A{{2, 1}, {1, 2}};
+  const auto e = jacobi_eigensymmetric(A);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-13);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-13);
+}
+
+TEST(JacobiEig, ReconstructsMatrix) {
+  Xoshiro256 rng(8);
+  const auto G = random_gaussian(rng, 8, 8);
+  Matrix<double> A(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) A(i, j) = 0.5 * (G(i, j) + G(j, i));
+  }
+  const auto e = jacobi_eigensymmetric(A);
+  // A == V diag(w) V^T
+  Matrix<double> VD(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) VD(i, j) = e.vectors(i, j) * e.values[j];
+  }
+  EXPECT_LT(max_abs_diff(gemm(VD, transpose(e.vectors)), A), 1e-11);
+}
+
+TEST(JacobiEig, PoissonSpectrumMatchesAnalytic) {
+  const std::size_t N = 16;
+  const auto A = dirichlet_laplacian(N);
+  const auto e = jacobi_eigensymmetric(A);
+  for (std::size_t k = 0; k < N; ++k) {
+    const double expected =
+        2.0 - 2.0 * std::cos((k + 1) * M_PI / static_cast<double>(N + 1));
+    EXPECT_NEAR(e.values[k], expected, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(JacobiSvd, ReconstructsMatrix) {
+  Xoshiro256 rng(10);
+  const auto A = random_gaussian(rng, 9, 6);
+  const auto s = jacobi_svd(A);
+  Matrix<double> US(9, 6);
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) US(i, j) = s.U(i, j) * s.sigma[j];
+  }
+  EXPECT_LT(max_abs_diff(gemm(US, transpose(s.V)), A), 1e-12);
+}
+
+TEST(JacobiSvd, OrthonormalFactors) {
+  Xoshiro256 rng(11);
+  const auto A = random_gaussian(rng, 8, 8);
+  const auto s = jacobi_svd(A);
+  EXPECT_LT(max_abs_diff(gemm(transpose(s.U), s.U), Matrix<double>::identity(8)), 1e-12);
+  EXPECT_LT(max_abs_diff(gemm(transpose(s.V), s.V), Matrix<double>::identity(8)), 1e-12);
+}
+
+TEST(JacobiSvd, SingularValuesSortedNonnegative) {
+  Xoshiro256 rng(12);
+  const auto A = random_gaussian(rng, 10, 10);
+  const auto s = jacobi_svd(A);
+  for (std::size_t i = 0; i + 1 < s.sigma.size(); ++i) {
+    EXPECT_GE(s.sigma[i], s.sigma[i + 1]);
+  }
+  EXPECT_GE(s.sigma.back(), 0.0);
+}
+
+TEST(JacobiSvd, RecoversPrescribedConditionNumber) {
+  Xoshiro256 rng(13);
+  for (double kappa : {2.0, 10.0, 100.0, 1e4}) {
+    const auto A = random_with_cond(rng, 16, kappa);
+    EXPECT_NEAR(cond2(A) / kappa, 1.0, 1e-8) << "kappa=" << kappa;
+    EXPECT_NEAR(norm2(A), 1.0, 1e-10);
+  }
+}
+
+TEST(JacobiSvd, HighRelativeAccuracyOnTinySigma) {
+  // diag(1, 1e-12): one-sided Jacobi must resolve sigma_min accurately.
+  Matrix<double> A{{1.0, 0.0}, {0.0, 1e-12}};
+  const auto s = jacobi_svd(A);
+  EXPECT_NEAR(s.sigma[1] / 1e-12, 1.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace mpqls::linalg

@@ -1,0 +1,90 @@
+#include "linalg/half.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mpqls::linalg {
+namespace {
+
+TEST(Half, ExactSmallIntegers) {
+  for (int i = -2048; i <= 2048; ++i) {
+    EXPECT_EQ(float(half(static_cast<float>(i))), static_cast<float>(i)) << i;
+  }
+}
+
+TEST(Half, RoundTripPowersOfTwo) {
+  for (int e = -14; e <= 15; ++e) {
+    const float v = std::ldexp(1.0f, e);
+    EXPECT_EQ(float(half(v)), v) << "2^" << e;
+  }
+}
+
+TEST(Half, EpsilonIsCorrect) {
+  const half one(1.0f);
+  const half eps = std::numeric_limits<half>::epsilon();
+  EXPECT_GT(float(one + eps), 1.0f);
+  // Half of epsilon rounds back to 1 (round to nearest even).
+  EXPECT_EQ(float(one + half(float(eps) / 2.0f)), 1.0f);
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(std::isinf(float(half(1.0e6f))));
+  EXPECT_TRUE(std::isinf(float(half(-1.0e6f))));
+  EXPECT_EQ(float(std::numeric_limits<half>::max()), 65504.0f);
+  EXPECT_EQ(float(half(65504.0f)), 65504.0f);
+  EXPECT_TRUE(std::isinf(float(half(65536.0f))));
+}
+
+TEST(Half, SubnormalsRepresented) {
+  const float smallest_subnormal = std::ldexp(1.0f, -24);
+  EXPECT_EQ(float(half(smallest_subnormal)), smallest_subnormal);
+  // Below half the smallest subnormal: flush to zero.
+  EXPECT_EQ(float(half(std::ldexp(1.0f, -26))), 0.0f);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1 and 1+2^-10: ties to even -> 1.
+  EXPECT_EQ(float(half(1.0f + std::ldexp(1.0f, -11))), 1.0f);
+  // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: ties to even -> 1+2^-9.
+  EXPECT_EQ(float(half(1.0f + 3.0f * std::ldexp(1.0f, -11))), 1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(Half, ArithmeticRoundsPerOperation) {
+  const half a(1.0f), b(std::numeric_limits<half>::epsilon());
+  // (1 + eps/2) in half arithmetic: the float sum rounds back to 1 in half.
+  const half c = a + half(float(b) * 0.5f);
+  EXPECT_EQ(float(c), 1.0f);
+}
+
+TEST(Half, NegationFlipsSignBit) {
+  const half a(2.5f);
+  EXPECT_EQ(float(-a), -2.5f);
+  EXPECT_EQ((-a).bits(), a.bits() ^ 0x8000u);
+}
+
+TEST(Half, NanPropagates) {
+  const half n = std::numeric_limits<half>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(float(n)));
+  EXPECT_TRUE(std::isnan(float(n + half(1.0f))));
+}
+
+TEST(Half, ComparisonOperators) {
+  EXPECT_LT(half(1.0f), half(2.0f));
+  EXPECT_GT(half(-1.0f), half(-2.0f));
+  EXPECT_EQ(half(0.0f), half(-0.0f));  // +0 == -0
+}
+
+TEST(Half, ExhaustiveRoundTripThroughFloat) {
+  // Every finite half bit pattern must survive half -> float -> half.
+  for (std::uint32_t b = 0; b < 0x10000u; ++b) {
+    const half h = half::from_bits(static_cast<std::uint16_t>(b));
+    const float f = float(h);
+    if (std::isnan(f)) continue;
+    EXPECT_EQ(half(f).bits(), h.bits()) << "bits=" << b;
+  }
+}
+
+}  // namespace
+}  // namespace mpqls::linalg

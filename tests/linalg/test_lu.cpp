@@ -1,0 +1,76 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/random_matrix.hpp"
+
+namespace mpqls::linalg {
+namespace {
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix<double> A{{4, 3}, {6, 3}};
+  Vector<double> b{10, 12};
+  const auto x = lu_solve(A, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix<double> A{{0, 1}, {1, 0}};
+  Vector<double> b{2, 3};
+  const auto x = lu_solve(A, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(Lu, DetectsSingular) {
+  Matrix<double> A{{1, 2}, {2, 4}};
+  const auto f = lu_factor(A);
+  EXPECT_TRUE(f.singular);
+}
+
+TEST(Lu, RandomResidualSmall) {
+  Xoshiro256 rng(123);
+  for (std::size_t n : {4u, 16u, 64u}) {
+    const auto A = random_with_cond(rng, n, 50.0);
+    const auto b = random_unit_vector(rng, n);
+    const auto x = lu_solve(A, b);
+    EXPECT_LT(nrm2(residual(A, x, b)), 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Lu, FactorizationReuseMatchesOneShot) {
+  Xoshiro256 rng(9);
+  const auto A = random_with_cond(rng, 8, 10.0);
+  const auto f = lu_factor(A);
+  const auto b1 = random_unit_vector(rng, 8);
+  const auto b2 = random_unit_vector(rng, 8);
+  EXPECT_EQ(lu_solve(f, b1), lu_solve(A, b1));
+  EXPECT_LT(nrm2(residual(A, lu_solve(f, b2), b2)), 1e-13);
+}
+
+TEST(Lu, InverseTimesMatrixIsIdentity) {
+  Xoshiro256 rng(77);
+  const auto A = random_with_cond(rng, 8, 5.0);
+  const auto Ainv = lu_inverse(A);
+  EXPECT_LT(max_abs_diff(gemm(A, Ainv), Matrix<double>::identity(8)), 1e-12);
+}
+
+TEST(Lu, SinglePrecisionResidualMatchesPrecision) {
+  Xoshiro256 rng(5);
+  const auto A = random_with_cond(rng, 16, 10.0);
+  const auto b = random_unit_vector(rng, 16);
+  const auto Af = convert_matrix<float>(A);
+  const auto bf = convert_vector<float>(b);
+  const auto xf = lu_solve(Af, bf);
+  // Residual should be at the single-precision roundoff scale, far above
+  // double roundoff.
+  const double res = nrm2(residual(A, convert_vector<double>(xf), b));
+  EXPECT_LT(res, 1e-4);
+  EXPECT_GT(res, 1e-9);
+}
+
+}  // namespace
+}  // namespace mpqls::linalg

@@ -1,0 +1,53 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/random_matrix.hpp"
+
+namespace mpqls::linalg {
+namespace {
+
+TEST(Qr, ReconstructsMatrix) {
+  Xoshiro256 rng(3);
+  const auto A = random_gaussian(rng, 6, 4);
+  auto f = qr_factor(A);
+  const auto Q = qr_q(f);
+  // Build R from the factorization and check A = Q R.
+  Matrix<double> R(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i; j < 4; ++j) R(i, j) = f.qr(i, j);
+  }
+  EXPECT_LT(max_abs_diff(gemm(Q, R), A), 1e-12);
+}
+
+TEST(Qr, QHasOrthonormalColumns) {
+  Xoshiro256 rng(4);
+  const auto A = random_gaussian(rng, 10, 7);
+  const auto Q = qr_q(qr_factor(A));
+  const auto QtQ = gemm(transpose(Q), Q);
+  EXPECT_LT(max_abs_diff(QtQ, Matrix<double>::identity(7)), 1e-12);
+}
+
+TEST(Qr, LeastSquaresMatchesNormalEquations) {
+  Xoshiro256 rng(5);
+  const auto A = random_gaussian(rng, 12, 5);
+  Vector<double> b(12);
+  for (auto& v : b) v = rng.normal();
+  const auto x = qr_solve_ls(A, b);
+  // Normal equations: A^T(Ax - b) = 0.
+  const auto g = matvec_transposed(A, subtract(matvec(A, x), b));
+  EXPECT_LT(nrm2(g), 1e-11);
+}
+
+TEST(Qr, SquareSolveMatchesLu) {
+  Xoshiro256 rng(6);
+  const auto A = random_with_cond(rng, 8, 20.0);
+  const auto b = random_unit_vector(rng, 8);
+  const auto x_qr = qr_solve_ls(A, b);
+  EXPECT_LT(nrm2(residual(A, x_qr, b)), 1e-12);
+}
+
+}  // namespace
+}  // namespace mpqls::linalg

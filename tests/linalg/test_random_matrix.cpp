@@ -1,0 +1,66 @@
+#include "linalg/random_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.hpp"
+#include "linalg/jacobi_svd.hpp"
+
+namespace mpqls::linalg {
+namespace {
+
+TEST(RandomMatrix, HaarOrthogonalIsOrthogonal) {
+  Xoshiro256 rng(21);
+  for (std::size_t n : {2u, 8u, 16u}) {
+    const auto Q = haar_orthogonal(rng, n);
+    EXPECT_LT(max_abs_diff(gemm(transpose(Q), Q), Matrix<double>::identity(n)), 1e-12);
+  }
+}
+
+TEST(RandomMatrix, SpacingModesHitKappa) {
+  Xoshiro256 rng(22);
+  for (auto spacing :
+       {SigmaSpacing::kLogarithmic, SigmaSpacing::kLinear, SigmaSpacing::kClustered}) {
+    const auto A = random_with_cond(rng, 16, 100.0, spacing);
+    EXPECT_NEAR(cond2(A), 100.0, 1e-6);
+  }
+}
+
+TEST(RandomMatrix, UnitVectorHasUnitNorm) {
+  Xoshiro256 rng(23);
+  const auto b = random_unit_vector(rng, 32);
+  EXPECT_NEAR(nrm2(b), 1.0, 1e-14);
+}
+
+TEST(RandomMatrix, Poisson1dStructure) {
+  const auto A = poisson1d(8);
+  const double inv_h2 = 81.0;  // h = 1/9
+  EXPECT_NEAR(A(0, 0), 2.0 * inv_h2, 1e-12);
+  EXPECT_NEAR(A(0, 1), -inv_h2, 1e-12);
+  EXPECT_NEAR(A(3, 4), -inv_h2, 1e-12);
+  EXPECT_NEAR(A(4, 3), -inv_h2, 1e-12);
+  EXPECT_NEAR(A(0, 2), 0.0, 1e-12);
+}
+
+TEST(RandomMatrix, DirichletLaplacianCondMatchesFormula) {
+  for (std::size_t N : {8u, 16u, 32u}) {
+    const auto A = dirichlet_laplacian(N);
+    EXPECT_NEAR(cond2(A) / dirichlet_laplacian_cond(N), 1.0, 1e-8) << N;
+  }
+}
+
+TEST(RandomMatrix, CondGrowsQuadraticallyWithSize) {
+  // Paper Section III-C4: kappa = O(N^2) for the Poisson matrix.
+  const double c16 = dirichlet_laplacian_cond(16);
+  const double c32 = dirichlet_laplacian_cond(32);
+  EXPECT_NEAR(c32 / c16, 4.0, 0.5);
+}
+
+TEST(RandomMatrix, SeedsReproduce) {
+  Xoshiro256 rng1(99), rng2(99);
+  const auto A1 = random_with_cond(rng1, 8, 10.0);
+  const auto A2 = random_with_cond(rng2, 8, 10.0);
+  EXPECT_EQ(A1, A2);
+}
+
+}  // namespace
+}  // namespace mpqls::linalg

@@ -1,0 +1,139 @@
+#include "poly/inverse_poly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/special.hpp"
+
+namespace mpqls::poly {
+namespace {
+
+TEST(InversePoly, BParameterFormula) {
+  // b = ceil(kappa^2 log(kappa/eps)).
+  EXPECT_EQ(inverse_b_parameter(10.0, 1e-3), static_cast<std::uint64_t>(
+                                                 std::ceil(100.0 * std::log(1e4))));
+  EXPECT_GE(inverse_b_parameter(2.0, 0.5), 1u);
+}
+
+TEST(InversePoly, SmoothTargetApproachesInverse) {
+  const double kappa = 10.0;
+  const std::uint64_t b = inverse_b_parameter(kappa, 1e-6);
+  for (double x : {0.1, 0.3, 0.7, 1.0}) {  // x >= 1/kappa
+    EXPECT_NEAR(smooth_inverse_target(x, b) * x, 1.0, 1e-6) << x;
+  }
+  // Near zero the smoothing kills the singularity: f(0) finite and 0.
+  EXPECT_EQ(smooth_inverse_target(0.0, b), 0.0);
+  EXPECT_TRUE(std::isfinite(smooth_inverse_target(1e-6, b)));
+}
+
+TEST(InversePoly, SmoothTargetIsOdd) {
+  const std::uint64_t b = 100;
+  for (double x : {0.05, 0.3, 0.9}) {
+    EXPECT_NEAR(smooth_inverse_target(-x, b), -smooth_inverse_target(x, b), 1e-14);
+  }
+}
+
+TEST(InversePoly, AnalyticExpansionIsExactForSmallB) {
+  // Identity check for Eq. (4): f_{eps,kappa}(x) = (1-(1-x^2)^b)/x is a
+  // polynomial of degree 2b-1 whose full Chebyshev expansion has
+  // coefficient 4 (-1)^j P[X >= b+j+1] on T_{2j+1}. Build the FULL
+  // expansion (j = 0..b-1) and compare against the closed form.
+  for (const std::uint64_t b : {3u, 6u, 11u}) {
+    std::vector<double> coeffs(2 * b, 0.0);
+    for (std::uint64_t j = 0; j < b; ++j) {
+      const double tail = binomial_tail_half(2 * b, static_cast<std::int64_t>(b + j + 1));
+      coeffs[2 * j + 1] = 4.0 * ((j % 2 == 0) ? tail : -tail);
+    }
+    const ChebSeries full{std::move(coeffs)};
+    for (double x = -1.0; x <= 1.0; x += 0.05) {
+      EXPECT_NEAR(full.evaluate(x), smooth_inverse_target(x, b), 1e-12)
+          << "b=" << b << " x=" << x;
+    }
+  }
+}
+
+TEST(InversePoly, AnalyticMeetsRequestedAccuracy) {
+  for (double kappa : {2.0, 5.0, 10.0}) {
+    const double eps = 1e-4;
+    const auto p = inverse_poly_analytic(kappa, eps);
+    EXPECT_LE(p.achieved_error, eps) << "kappa=" << kappa;
+    EXPECT_EQ(p.series.parity(), Parity::kOdd);
+  }
+}
+
+TEST(InversePoly, InterpolatedMatchesAnalyticValues) {
+  const double kappa = 8.0, eps = 1e-5;
+  const auto pa = inverse_poly_analytic(kappa, eps);
+  const auto pi = inverse_poly_interpolated(kappa, eps);
+  for (double x : {0.125, 0.3, 0.6, 1.0}) {
+    EXPECT_NEAR(pa.series.evaluate(x), pi.series.evaluate(x), 5.0 * eps / kappa) << x;
+  }
+  EXPECT_LE(pi.achieved_error, eps);
+  // Adaptive truncation should not exceed the analytic bound's degree.
+  EXPECT_LE(pi.series.degree(), pa.series.degree());
+}
+
+TEST(InversePoly, DegreeGrowsWithKappaAndAccuracy) {
+  const auto p1 = inverse_poly_interpolated(5.0, 1e-2);
+  const auto p2 = inverse_poly_interpolated(20.0, 1e-2);
+  const auto p3 = inverse_poly_interpolated(5.0, 1e-8);
+  EXPECT_LT(p1.series.degree(), p2.series.degree());
+  EXPECT_LT(p1.series.degree(), p3.series.degree());
+}
+
+TEST(InversePoly, ValueAtDomainEdgeIsHalfOverKappaX) {
+  const double kappa = 10.0;
+  const auto p = inverse_poly_interpolated(kappa, 1e-6);
+  // At x = 1/kappa the target is 1/2; at x = 1 it is 1/(2 kappa).
+  EXPECT_NEAR(p.series.evaluate(1.0 / kappa), 0.5, 1e-4);
+  EXPECT_NEAR(p.series.evaluate(1.0), 1.0 / (2.0 * kappa), 1e-5);
+}
+
+TEST(InversePoly, MaxAbsReportsBumpBelowDomain) {
+  // The unwindowed inverse polynomial exceeds 1/2 inside (0, 1/kappa) —
+  // exactly the constraint violation the rectangle window fixes.
+  const auto p = inverse_poly_interpolated(20.0, 1e-6);
+  EXPECT_GT(p.max_abs, 0.5);
+}
+
+TEST(RectWindow, ShapeIsCorrect) {
+  const double gap = 0.1;
+  const auto w = rect_window(gap, 1e-6);
+  EXPECT_EQ(w.parity(), Parity::kEven);
+  EXPECT_NEAR(w.evaluate(0.0), 0.0, 1e-5);
+  EXPECT_NEAR(w.evaluate(gap / 4), 0.0, 1e-4);
+  EXPECT_NEAR(w.evaluate(gap), 1.0, 1e-4);
+  EXPECT_NEAR(w.evaluate(0.5), 1.0, 1e-5);
+  EXPECT_NEAR(w.evaluate(1.0), 1.0, 1e-5);
+}
+
+TEST(RectWindow, WindowedInverseIsBounded) {
+  const double kappa = 20.0;
+  const auto p = inverse_poly_interpolated(kappa, 1e-6);
+  const auto w = rect_window(1.0 / kappa, 1e-6);
+  const auto windowed = p.series * w;
+  // Bounded by ~1/2 plus a small transition bump — well inside the QSVT
+  // requirement |P| <= 1 (the unwindowed series exceeds it, see above).
+  EXPECT_LT(windowed.max_abs_on(-1.0, 1.0), 0.7);
+  // And it still matches the inverse on the domain.
+  EXPECT_NEAR(windowed.evaluate(0.5), 1.0 / (2.0 * kappa * 0.5), 1e-4);
+}
+
+class InversePolyAccuracySweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(InversePolyAccuracySweep, InterpolatedMeetsEps) {
+  const auto [kappa, eps] = GetParam();
+  const auto p = inverse_poly_interpolated(kappa, eps);
+  EXPECT_LE(p.achieved_error, eps) << "kappa=" << kappa << " eps=" << eps;
+  EXPECT_EQ(p.series.parity(), Parity::kOdd);
+}
+
+INSTANTIATE_TEST_SUITE_P(KappaEps, InversePolyAccuracySweep,
+                         ::testing::Combine(::testing::Values(2.0, 10.0, 50.0),
+                                            ::testing::Values(1e-2, 1e-4, 1e-6)));
+
+}  // namespace
+}  // namespace mpqls::poly

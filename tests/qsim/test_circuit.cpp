@@ -1,0 +1,136 @@
+#include "qsim/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/blas.hpp"
+#include "qsim/statevector.hpp"
+
+namespace mpqls::qsim {
+namespace {
+
+using linalg::Matrix;
+
+TEST(Circuit, DaggerInvertsCircuit) {
+  Circuit c(3);
+  c.h(0).t(1).cx(0, 1).ry(2, 0.9).s(2).ccx(0, 1, 2).rz(0, -1.3).global_phase(0.4);
+  Circuit id(3);
+  id.append(c).append(c.dagger());
+  const auto U = circuit_unitary(id);
+  EXPECT_LT(linalg::max_abs_diff(U, Matrix<c64>::identity(8)), 1e-14);
+}
+
+TEST(Circuit, DaggerOfDaggerIsOriginal) {
+  Circuit c(2);
+  c.t(0).sdg(1).rx(0, 0.3);
+  const auto U1 = circuit_unitary(c);
+  const auto U2 = circuit_unitary(c.dagger().dagger());
+  EXPECT_LT(linalg::max_abs_diff(U1, U2), 1e-15);
+}
+
+TEST(Circuit, ControlledSubcircuitEqualsControlledUnitary) {
+  Circuit sub(1);
+  sub.h(0).t(0);
+  const auto Usub = circuit_unitary(sub);
+
+  Circuit c(2);
+  c.append(sub.controlled({1}), {0, 1});
+  const auto U = circuit_unitary(c);
+
+  // Expected: |x0>|0>c -> unchanged; |x1>|1>c -> (U x)|1>.
+  Matrix<c64> expected = Matrix<c64>::identity(4);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      expected(2 + i, 2 + j) = Usub(i, j);
+      if (i == j) {
+        expected(2 + i, 2 + j) = Usub(i, j);
+      } else {
+        expected(2 + i, 2 + j) = Usub(i, j);
+      }
+    }
+  }
+  expected(2, 2) = Usub(0, 0);
+  expected(3, 3) = Usub(1, 1);
+  expected(2, 3) = Usub(0, 1);
+  expected(3, 2) = Usub(1, 0);
+  EXPECT_LT(linalg::max_abs_diff(U, expected), 1e-15);
+}
+
+TEST(Circuit, ControlledGlobalPhaseBecomesPhaseGate) {
+  Circuit sub(1);
+  sub.global_phase(0.77);
+  Circuit c(2);
+  c.append(sub.controlled({1}), {0, 1});
+  const auto U = circuit_unitary(c);
+  Matrix<c64> expected = Matrix<c64>::identity(4);
+  expected(2, 2) = std::exp(c64(0, 0.77));
+  expected(3, 3) = std::exp(c64(0, 0.77));
+  EXPECT_LT(linalg::max_abs_diff(U, expected), 1e-15);
+}
+
+TEST(Circuit, NegControlledSubcircuitFiresOnZero) {
+  Circuit sub(1);
+  sub.x(0);
+  Circuit c(2);
+  c.append(sub.controlled({}, {1}), {0, 1});
+  const auto U = circuit_unitary(c);
+  // Fires when qubit1 = 0: |00> <-> |01>.
+  EXPECT_NEAR(std::abs(U(1, 0)), 1.0, 1e-15);
+  EXPECT_NEAR(std::abs(U(2, 2)), 1.0, 1e-15);
+}
+
+TEST(Circuit, AppendWithQubitMap) {
+  Circuit sub(2);
+  sub.cx(0, 1);
+  Circuit c(3);
+  c.append(sub, {2, 0});  // control on qubit 2, target qubit 0
+  const auto U = circuit_unitary(c);
+  Statevector<double> sv(3);
+  sv[0] = 0;
+  sv[4] = 1;  // qubit2 = 1
+  sv.apply(c);
+  EXPECT_NEAR(std::abs(sv[5]), 1.0, 1e-15);  // qubit0 flipped
+}
+
+TEST(Circuit, RejectsOutOfRangeQubit) {
+  Circuit c(2);
+  EXPECT_THROW(c.x(2), contract_violation);
+  EXPECT_THROW(c.cx(0, 5), contract_violation);
+}
+
+TEST(Circuit, RejectsDuplicateQubits) {
+  Circuit c(2);
+  EXPECT_THROW(c.cx(1, 1), contract_violation);
+}
+
+TEST(Circuit, CountsTrackGates) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).ccx(0, 1, 2).mcx({0, 1}, 2).rz(1, 0.5).t(2);
+  const auto counts = c.counts();
+  EXPECT_EQ(counts.total, 6u);
+  EXPECT_EQ(counts.by_kind.at(GateKind::kH), 1u);
+  EXPECT_EQ(counts.by_kind.at(GateKind::kX), 3u);  // cx + 2 mcx
+  EXPECT_EQ(counts.rotations, 1u);
+  EXPECT_EQ(counts.mcx_by_controls.at(1), 1u);
+  EXPECT_EQ(counts.mcx_by_controls.at(2), 2u);
+}
+
+TEST(Circuit, DepthAccountsForParallelism) {
+  Circuit c(4);
+  c.h(0).h(1).h(2).h(3);  // one layer
+  EXPECT_EQ(c.depth(), 1u);
+  c.cx(0, 1).cx(2, 3);  // second layer
+  EXPECT_EQ(c.depth(), 2u);
+  c.cx(1, 2);  // third layer
+  EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, UnitaryPayloadDimensionChecked) {
+  Circuit c(2);
+  EXPECT_THROW(c.unitary({0, 1}, Matrix<c64>::identity(2)), contract_violation);
+}
+
+}  // namespace
+}  // namespace mpqls::qsim

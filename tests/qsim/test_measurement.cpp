@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "qsim/circuit.hpp"
+#include "qsim/statevector.hpp"
+
+namespace mpqls::qsim {
+namespace {
+
+TEST(Measurement, ProbabilitiesSumToOne) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).ry(2, 1.234);
+  Statevector<double> sv(3);
+  sv.apply(c);
+  const auto p = sv.probabilities();
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-14);
+}
+
+TEST(Measurement, BellStateMarginals) {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  Statevector<double> sv(2);
+  sv.apply(c);
+  EXPECT_NEAR(sv.probability(0, 0), 0.5, 1e-14);
+  EXPECT_NEAR(sv.probability(0, 1), 0.5, 1e-14);
+  EXPECT_NEAR(sv.probability(1, 1), 0.5, 1e-14);
+}
+
+TEST(Measurement, PostselectZeroProjects) {
+  Circuit c(2);
+  c.h(0).cx(0, 1);  // (|00> + |11>)/sqrt2
+  Statevector<double> sv(2);
+  sv.apply(c);
+  const double p = sv.postselect_zero({1});
+  EXPECT_NEAR(p, 0.5, 1e-14);
+  EXPECT_NEAR(std::abs(sv[0]), 1.0, 1e-14);
+  EXPECT_NEAR(std::abs(sv[3]), 0.0, 1e-14);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-14);
+}
+
+TEST(Measurement, PostselectZeroProbabilityThrows) {
+  Statevector<double> sv(1);
+  sv.apply(Circuit(1).x(0));
+  EXPECT_THROW(sv.postselect_zero({0}), contract_violation);
+}
+
+TEST(Measurement, ProbabilityAllZeroMatchesManual) {
+  Circuit c(3);
+  c.h(0).h(1).h(2);
+  Statevector<double> sv(3);
+  sv.apply(c);
+  EXPECT_NEAR(sv.probability_all_zero({0, 1, 2}), 1.0 / 8.0, 1e-14);
+  EXPECT_NEAR(sv.probability_all_zero({1}), 0.5, 1e-14);
+}
+
+TEST(Measurement, SamplingMatchesDistribution) {
+  Circuit c(2);
+  c.ry(0, 2.0 * std::asin(std::sqrt(0.3)));  // P(q0=1) = 0.3
+  Statevector<double> sv(2);
+  sv.apply(c);
+  Xoshiro256 rng(77);
+  const int shots = 100000;
+  int ones = 0;
+  for (int s = 0; s < shots; ++s) ones += (sv.sample(rng) & 1);
+  EXPECT_NEAR(static_cast<double>(ones) / shots, 0.3, 0.01);
+}
+
+TEST(Measurement, InnerProductOrthogonalStates) {
+  Statevector<double> a(1), b(1);
+  b.apply(Circuit(1).x(0));
+  EXPECT_NEAR(std::abs(a.inner(b)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(a.inner(a)), 1.0, 1e-15);
+}
+
+TEST(Measurement, FloatBackendAgreesWithDouble) {
+  Circuit c(4);
+  c.h(0).cx(0, 1).ry(2, 0.7).ccx(0, 2, 3).rz(1, -0.2).swap(1, 3);
+  Statevector<double> svd(4);
+  Statevector<float> svf(4);
+  svd.apply(c);
+  svf.apply(c);
+  for (std::size_t i = 0; i < svd.dim(); ++i) {
+    EXPECT_NEAR(svd[i].real(), static_cast<double>(svf[i].real()), 1e-6);
+    EXPECT_NEAR(svd[i].imag(), static_cast<double>(svf[i].imag()), 1e-6);
+  }
+}
+
+TEST(Measurement, FloatBackendAccumulatesMoreError) {
+  // A long random-ish circuit: float error should exceed double error but
+  // stay around 1e-5 — this is the "hardware low precision" axis.
+  Circuit c(3);
+  for (int rep = 0; rep < 200; ++rep) {
+    c.ry(rep % 3, 0.1 + 0.01 * rep).cx(rep % 3, (rep + 1) % 3).rz((rep + 2) % 3, -0.05);
+  }
+  Statevector<double> svd(3);
+  Statevector<float> svf(3);
+  svd.apply(c);
+  svf.apply(c);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < svd.dim(); ++i) {
+    max_err = std::max(max_err, std::abs(std::complex<double>(svd[i].real(), svd[i].imag()) -
+                                         std::complex<double>(svf[i].real(), svf[i].imag())));
+  }
+  EXPECT_GT(max_err, 1e-9);  // visibly above double roundoff
+  EXPECT_LT(max_err, 1e-3);  // but still a valid low-precision simulation
+}
+
+}  // namespace
+}  // namespace mpqls::qsim

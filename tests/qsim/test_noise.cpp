@@ -1,0 +1,82 @@
+#include "qsim/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "qsim/circuit.hpp"
+#include "qsim/statevector.hpp"
+
+namespace mpqls::qsim {
+namespace {
+
+TEST(Noise, ZeroNoiseMatchesCleanApplication) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).ry(1, 0.3);
+  Statevector<double> clean(2), noisy(2);
+  clean.apply(c);
+  Xoshiro256 rng(1);
+  apply_noisy(noisy, c, NoiseModel{}, rng);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(clean[i] - noisy[i]), 0.0, 1e-15);
+  }
+}
+
+TEST(Noise, AmplitudeDampingDecaysExcitedState) {
+  // |1> through k identity-ish gates with damping gamma: survival
+  // probability (1-gamma)^k on average.
+  const double gamma = 0.1;
+  const int k = 10, trials = 4000;
+  Xoshiro256 rng(2);
+  double p1_sum = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    Statevector<double> sv(1);
+    Circuit prep(1);
+    prep.x(0);
+    sv.apply(prep);
+    Circuit idle(1);
+    for (int g = 0; g < k; ++g) idle.rz(0, 0.0);
+    NoiseModel model;
+    model.damping_per_gate = gamma;
+    apply_noisy(sv, idle, model, rng);
+    p1_sum += sv.probability(0, 1);
+  }
+  const double expected = std::pow(1.0 - gamma, k);
+  EXPECT_NEAR(p1_sum / trials, expected, 0.03);
+}
+
+TEST(Noise, DepolarizingShrinksBlochVector) {
+  // <Z> of |0> after k noisy identity gates: contracts by (1 - 4p/3)^k on
+  // average under single-qubit depolarizing with Pauli probability p.
+  const double p = 0.05;
+  const int k = 8, trials = 6000;
+  Xoshiro256 rng(3);
+  double z_sum = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    Statevector<double> sv(1);
+    Circuit idle(1);
+    for (int g = 0; g < k; ++g) idle.rz(0, 0.0);
+    NoiseModel model;
+    model.depolarizing_per_gate = p;
+    apply_noisy(sv, idle, model, rng);
+    z_sum += sv.probability(0, 0) - sv.probability(0, 1);
+  }
+  const double expected = std::pow(1.0 - 4.0 * p / 3.0, k);
+  EXPECT_NEAR(z_sum / trials, expected, 0.04);
+}
+
+TEST(Noise, StateStaysNormalized) {
+  Circuit c(3);
+  for (int r = 0; r < 20; ++r) c.h(r % 3).cx(r % 3, (r + 1) % 3);
+  NoiseModel model;
+  model.depolarizing_per_gate = 0.02;
+  model.damping_per_gate = 0.02;
+  Xoshiro256 rng(4);
+  Statevector<double> sv(3);
+  apply_noisy(sv, c, model, rng);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mpqls::qsim

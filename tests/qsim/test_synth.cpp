@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "qsim/statevector.hpp"
+#include "qsim/synth/qft.hpp"
+#include "qsim/synth/ucr.hpp"
+
+namespace mpqls::qsim {
+namespace {
+
+using linalg::Matrix;
+
+Matrix<c64> expected_ucry(const std::vector<double>& angles, std::size_t k) {
+  // Block-diagonal over control value x: RY(angles[x]) on the target.
+  // Register layout: controls = qubits 0..k-1, target = qubit k.
+  const std::size_t dim = std::size_t{1} << (k + 1);
+  Matrix<c64> U(dim, dim);
+  for (std::size_t x = 0; x < (std::size_t{1} << k); ++x) {
+    const double c = std::cos(angles[x] / 2.0), s = std::sin(angles[x] / 2.0);
+    const std::size_t i0 = x;                        // target 0
+    const std::size_t i1 = x | (std::size_t{1} << k);  // target 1
+    U(i0, i0) = c;
+    U(i0, i1) = -s;
+    U(i1, i0) = s;
+    U(i1, i1) = c;
+  }
+  return U;
+}
+
+TEST(Ucr, SingleControlMatchesBlockDiagonal) {
+  std::vector<double> angles{0.3, -1.1};
+  Circuit c(2);
+  append_ucry(c, {0}, 1, angles);
+  EXPECT_LT(linalg::max_abs_diff(circuit_unitary(c), expected_ucry(angles, 1)), 1e-14);
+}
+
+TEST(Ucr, ThreeControlsMatchBlockDiagonal) {
+  Xoshiro256 rng(42);
+  std::vector<double> angles(8);
+  for (auto& a : angles) a = rng.uniform(-M_PI, M_PI);
+  Circuit c(4);
+  append_ucry(c, {0, 1, 2}, 3, angles);
+  EXPECT_LT(linalg::max_abs_diff(circuit_unitary(c), expected_ucry(angles, 3)), 1e-13);
+}
+
+TEST(Ucr, ZeroControlsIsPlainRotation) {
+  Circuit c(1);
+  append_ucry(c, {}, 0, {0.9});
+  EXPECT_LT(linalg::max_abs_diff(circuit_unitary(c), gate_matrix_1q(GateKind::kRy, 0.9, false)),
+            1e-15);
+}
+
+TEST(Ucr, GateCountIsTwoPowK) {
+  Circuit c(4);
+  append_ucry(c, {0, 1, 2}, 3, std::vector<double>(8, 0.1));
+  const auto counts = c.counts();
+  EXPECT_EQ(counts.by_kind.at(GateKind::kRy), 8u);
+  EXPECT_EQ(counts.by_kind.at(GateKind::kX), 8u);  // CNOTs
+}
+
+TEST(Ucr, UcrzMatchesDiagonal) {
+  Xoshiro256 rng(43);
+  std::vector<double> angles(4);
+  for (auto& a : angles) a = rng.uniform(-M_PI, M_PI);
+  Circuit c(3);
+  append_ucrz(c, {0, 1}, 2, angles);
+  const auto U = circuit_unitary(c);
+  // Expected: diag over x: RZ(angles[x]) = diag(e^{-i a/2}, e^{+i a/2}).
+  for (std::size_t x = 0; x < 4; ++x) {
+    EXPECT_NEAR(std::abs(U(x, x) - std::exp(c64(0, -angles[x] / 2))), 0.0, 1e-13);
+    EXPECT_NEAR(std::abs(U(x | 4, x | 4) - std::exp(c64(0, angles[x] / 2))), 0.0, 1e-13);
+  }
+}
+
+TEST(Qft, MatchesDftMatrix) {
+  const std::size_t m = 3;
+  Circuit c(m);
+  append_qft(c, {0, 1, 2});
+  const auto U = circuit_unitary(c);
+  const std::size_t dim = 8;
+  const double inv = 1.0 / std::sqrt(static_cast<double>(dim));
+  for (std::size_t j = 0; j < dim; ++j) {
+    for (std::size_t k = 0; k < dim; ++k) {
+      const c64 expected = inv * std::exp(c64(0, 2.0 * M_PI * static_cast<double>(j * k) / dim));
+      EXPECT_NEAR(std::abs(U(k, j) - expected), 0.0, 1e-13) << j << "," << k;
+    }
+  }
+}
+
+TEST(Qft, InverseUndoesQft) {
+  Circuit c(4);
+  append_qft(c, {0, 1, 2, 3});
+  append_iqft(c, {0, 1, 2, 3});
+  EXPECT_LT(linalg::max_abs_diff(circuit_unitary(c), Matrix<c64>::identity(16)), 1e-13);
+}
+
+TEST(Qft, PeriodicStateGivesSharpPeak) {
+  // QFT of the uniform superposition is |0>.
+  Circuit c(3);
+  c.h(0).h(1).h(2);
+  append_qft(c, {0, 1, 2});
+  Statevector<double> sv(3);
+  sv.apply(c);
+  EXPECT_NEAR(std::abs(sv[0]), 1.0, 1e-13);
+}
+
+}  // namespace
+}  // namespace mpqls::qsim

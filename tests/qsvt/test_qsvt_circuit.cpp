@@ -1,0 +1,166 @@
+// The make-or-break test of the whole pipeline: the QSVT circuit built
+// from Wx-convention QSP phases must reproduce the QSP response exactly on
+// a block-encoded diagonal matrix (whose singular values we control).
+#include "qsvt/qsvt_circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blockenc/dense_embedding.hpp"
+#include "common/rng.hpp"
+#include "poly/chebyshev.hpp"
+#include "qsim/statevector.hpp"
+#include "qsp/symmetric_qsp.hpp"
+
+namespace mpqls::qsvt {
+namespace {
+
+// Amplitude <r=1, s=0, anc=0, data=i | C | r=0, s=0, anc=0, data=j>: the
+// encoded polynomial block.
+std::complex<double> block_entry(const QsvtCircuit& qc, std::size_t i, std::size_t j) {
+  qsim::Statevector<double> sv(qc.circuit.num_qubits());
+  sv[0] = 0.0;
+  sv[j] = 1.0;
+  sv.apply(qc.circuit);
+  const std::size_t out_index = i | (std::size_t{1} << qc.realpart_qubit);
+  const auto a = sv[out_index];
+  return {a.real(), a.imag()};
+}
+
+TEST(QsvtCircuit, DiagonalBlockMatchesQspResponseOddDegrees) {
+  const std::vector<double> xs = {0.15, 0.7};
+  linalg::Matrix<double> A(2, 2);
+  A(0, 0) = xs[0];
+  A(1, 1) = xs[1];
+  const auto be = blockenc::dense_embedding(A, 1.0);
+
+  Xoshiro256 rng(11);
+  for (int d : {1, 3, 5, 9}) {
+    std::vector<double> phases(d + 1);
+    for (int j = 0; j <= d / 2; ++j) phases[j] = phases[d - j] = rng.uniform(-0.3, 0.3);
+    const auto qc = build_qsvt_circuit(be, phases);
+    EXPECT_EQ(qc.be_calls, static_cast<std::uint64_t>(d));
+    for (std::size_t k = 0; k < 2; ++k) {
+      const auto entry = block_entry(qc, k, k);
+      const double expected = qsp::qsp_response(phases, xs[k]);
+      EXPECT_NEAR(entry.real(), expected, 1e-12) << "d=" << d << " x=" << xs[k];
+      EXPECT_NEAR(entry.imag(), 0.0, 1e-12) << "d=" << d << " x=" << xs[k];
+    }
+    // Off-diagonal entries of a diagonal encoding stay zero.
+    EXPECT_NEAR(std::abs(block_entry(qc, 0, 1)), 0.0, 1e-12);
+  }
+}
+
+TEST(QsvtCircuit, DiagonalBlockMatchesQspResponseEvenDegrees) {
+  const std::vector<double> xs = {0.3, 0.85};
+  linalg::Matrix<double> A(2, 2);
+  A(0, 0) = xs[0];
+  A(1, 1) = xs[1];
+  const auto be = blockenc::dense_embedding(A, 1.0);
+
+  Xoshiro256 rng(12);
+  for (int d : {2, 4, 8}) {
+    std::vector<double> phases(d + 1);
+    for (int j = 0; j <= d / 2; ++j) phases[j] = phases[d - j] = rng.uniform(-0.25, 0.25);
+    const auto qc = build_qsvt_circuit(be, phases);
+    for (std::size_t k = 0; k < 2; ++k) {
+      const auto entry = block_entry(qc, k, k);
+      EXPECT_NEAR(entry.real(), qsp::qsp_response(phases, xs[k]), 1e-12)
+          << "d=" << d << " x=" << xs[k];
+    }
+  }
+}
+
+TEST(QsvtCircuit, ImplementsSolvedPolynomialTarget) {
+  // End-to-end: target polynomial -> phases -> circuit block == target.
+  poly::ChebSeries target({0.0, 0.45, 0.0, -0.3, 0.0, 0.15});
+  const auto sol = qsp::solve_symmetric_qsp(target);
+  ASSERT_TRUE(sol.converged);
+
+  const std::vector<double> xs = {0.2, 0.6};
+  linalg::Matrix<double> A(2, 2);
+  A(0, 0) = xs[0];
+  A(1, 1) = xs[1];
+  const auto be = blockenc::dense_embedding(A, 1.0);
+  const auto qc = build_qsvt_circuit(be, sol.phases);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_NEAR(block_entry(qc, k, k).real(), target.evaluate(xs[k]), 1e-9);
+  }
+}
+
+TEST(QsvtCircuit, NonDiagonalMatrixGetsSingularValueTransform) {
+  // For a symmetric PSD matrix A = Q diag(s) Q^T, the QSVT block must be
+  // Q P(s) Q^T.
+  linalg::Matrix<double> A{{0.5, 0.2}, {0.2, 0.4}};
+  const auto be = blockenc::dense_embedding(A, 1.0);
+  poly::ChebSeries target({0.0, 0.5, 0.0, 0.2});
+  const auto sol = qsp::solve_symmetric_qsp(target);
+  ASSERT_TRUE(sol.converged);
+  const auto qc = build_qsvt_circuit(be, sol.phases);
+
+  // Reference via eigen-decomposition of the 2x2.
+  const double tr = 0.9, det = 0.5 * 0.4 - 0.04;
+  const double disc = std::sqrt(tr * tr / 4.0 - det);
+  const double l1 = tr / 2 + disc, l2 = tr / 2 - disc;
+  // Eigenvectors.
+  auto evec = [&](double l) {
+    double vx = 0.2, vy = l - 0.5;
+    const double n = std::hypot(vx, vy);
+    return std::pair<double, double>{vx / n, vy / n};
+  };
+  const auto [v1x, v1y] = evec(l1);
+  const auto [v2x, v2y] = evec(l2);
+  const double p1 = target.evaluate(l1), p2 = target.evaluate(l2);
+  const double expected00 = p1 * v1x * v1x + p2 * v2x * v2x;
+  const double expected10 = p1 * v1y * v1x + p2 * v2y * v2x;
+  EXPECT_NEAR(block_entry(qc, 0, 0).real(), expected00, 1e-9);
+  EXPECT_NEAR(block_entry(qc, 1, 0).real(), expected10, 1e-9);
+}
+
+TEST(QsvtCircuit, PhaseConversionShapes) {
+  const auto conv = qsvt_phases_from_qsp({0.1, 0.2, 0.3, 0.4});
+  EXPECT_EQ(conv.phi.size(), 3u);
+  EXPECT_NEAR(conv.phi[0], 0.1 + 0.4 + M_PI, 1e-15);
+  EXPECT_NEAR(conv.phi[1], 0.2 - M_PI / 2, 1e-15);
+  EXPECT_NEAR(conv.phi[2], 0.3 - M_PI / 2, 1e-15);
+}
+
+// Property sweep: the circuit block equals the QSP response for every
+// degree, odd and even, with fresh random symmetric phases.
+class QsvtCircuitDegreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QsvtCircuitDegreeSweep, BlockMatchesResponse) {
+  const int d = GetParam();
+  const std::vector<double> xs = {0.25, 0.65};
+  linalg::Matrix<double> A(2, 2);
+  A(0, 0) = xs[0];
+  A(1, 1) = xs[1];
+  const auto be = blockenc::dense_embedding(A, 1.0);
+  Xoshiro256 rng(100 + static_cast<std::uint64_t>(d));
+  std::vector<double> phases(d + 1);
+  for (int j = 0; j <= d / 2; ++j) phases[j] = phases[d - j] = rng.uniform(-0.3, 0.3);
+  const auto qc = build_qsvt_circuit(be, phases);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_NEAR(block_entry(qc, k, k).real(), qsp::qsp_response(phases, xs[k]), 1e-11)
+        << "d=" << d << " x=" << xs[k];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, QsvtCircuitDegreeSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 7, 11, 16, 25, 40));
+
+TEST(QsvtCircuit, SignalAndAncillaReturnToZeroOnBlock) {
+  // The amplitude mass outside {anc=0, s=0} union the r-splitting must be
+  // unitary-consistent: total norm preserved.
+  linalg::Matrix<double> A{{0.6, 0.0}, {0.0, 0.3}};
+  const auto be = blockenc::dense_embedding(A, 1.0);
+  std::vector<double> phases = {M_PI / 4, 0.0, 0.0, M_PI / 4};  // T_3
+  const auto qc = build_qsvt_circuit(be, phases);
+  qsim::Statevector<double> sv(qc.circuit.num_qubits());
+  sv.apply(qc.circuit);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-13);
+}
+
+}  // namespace
+}  // namespace mpqls::qsvt

@@ -1,0 +1,56 @@
+#include "resources/surface_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace mpqls::resources {
+namespace {
+
+TEST(SurfaceCode, MeetsFailureBudget) {
+  const auto est = surface_code_estimate(1'000'000, 10, 1e-2);
+  EXPECT_GT(est.code_distance, 0u);
+  EXPECT_LE(est.logical_failure_probability, 1e-2);
+  EXPECT_GT(est.physical_qubits, 0u);
+  EXPECT_GT(est.runtime_seconds, 0.0);
+}
+
+TEST(SurfaceCode, DistanceGrowsWithWorkload) {
+  const auto small = surface_code_estimate(1'000, 5, 1e-2);
+  const auto large = surface_code_estimate(1'000'000'000, 5, 1e-2);
+  EXPECT_GT(large.code_distance, small.code_distance);
+}
+
+TEST(SurfaceCode, DistanceGrowsWithTighterBudget) {
+  const auto loose = surface_code_estimate(1'000'000, 5, 1e-1);
+  const auto tight = surface_code_estimate(1'000'000, 5, 1e-6);
+  EXPECT_GT(tight.code_distance, loose.code_distance);
+}
+
+TEST(SurfaceCode, BetterHardwareShrinksDistance) {
+  SurfaceCodeAssumptions good;
+  good.physical_error_rate = 1e-4;
+  const auto std_est = surface_code_estimate(1'000'000, 5, 1e-2);
+  const auto good_est = surface_code_estimate(1'000'000, 5, 1e-2, good);
+  EXPECT_LT(good_est.code_distance, std_est.code_distance);
+  EXPECT_LT(good_est.physical_qubits, std_est.physical_qubits);
+}
+
+TEST(SurfaceCode, MoreFactoriesShortenRuntime) {
+  SurfaceCodeAssumptions few;
+  few.factories = 1;
+  SurfaceCodeAssumptions many;
+  many.factories = 8;
+  const auto slow = surface_code_estimate(1'000'000, 5, 1e-2, few);
+  const auto fast = surface_code_estimate(1'000'000, 5, 1e-2, many);
+  EXPECT_GT(slow.runtime_seconds, fast.runtime_seconds);
+}
+
+TEST(SurfaceCode, RejectsAboveThresholdHardware) {
+  SurfaceCodeAssumptions bad;
+  bad.physical_error_rate = 0.5;
+  EXPECT_THROW(surface_code_estimate(1000, 1, 1e-2, bad), contract_violation);
+}
+
+}  // namespace
+}  // namespace mpqls::resources

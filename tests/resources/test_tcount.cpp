@@ -1,0 +1,110 @@
+#include "resources/tcount.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blockenc/arith/adders.hpp"
+#include "blockenc/tridiagonal.hpp"
+#include "qsim/circuit.hpp"
+
+namespace mpqls::resources {
+namespace {
+
+TEST(TCount, CliffordGatesAreFree) {
+  qsim::Circuit c(3);
+  c.h(0).s(1).cx(0, 1).x(2).z(0).swap(1, 2).sdg(2);
+  const auto tc = circuit_tcount(c);
+  EXPECT_EQ(tc.t_gates, 0u);
+}
+
+TEST(TCount, PlainTGateCostsOne) {
+  qsim::Circuit c(1);
+  c.t(0).tdg(0);
+  EXPECT_EQ(circuit_tcount(c).t_gates, 2u);
+}
+
+TEST(TCount, ToffoliCostsSeven) {
+  qsim::Circuit c(3);
+  c.ccx(0, 1, 2);
+  EXPECT_EQ(circuit_tcount(c).t_gates, 7u);
+}
+
+TEST(TCount, McxModelsOrdered) {
+  // Conditionally-clean ancillae [24] beat the clean-ancilla ladder.
+  for (std::uint32_t k = 3; k <= 10; ++k) {
+    EXPECT_LT(tcount_mcx(k, McxModel::kConditionallyClean),
+              tcount_mcx(k, McxModel::kCleanAncilla))
+        << k;
+  }
+  // Both agree on the Toffoli.
+  EXPECT_EQ(tcount_mcx(2, McxModel::kConditionallyClean),
+            tcount_mcx(2, McxModel::kCleanAncilla));
+}
+
+TEST(TCount, RotationSynthesisScalesLogarithmically) {
+  const auto t10 = tcount_rotation(1e-10);
+  const auto t5 = tcount_rotation(1e-5);
+  EXPECT_GT(t10, t5);
+  EXPECT_LT(t10, 2 * t5);  // logarithmic, not polynomial
+  EXPECT_NEAR(static_cast<double>(tcount_rotation(1e-10)), 3.02 * 33.2 + 9.2, 3.0);
+}
+
+TEST(TCount, RotationsCountedThroughOptions) {
+  qsim::Circuit c(2);
+  c.ry(0, 0.3).rz(1, -0.2).cry(0, 1, 0.5);
+  TCountOptions opts;
+  const auto tc = circuit_tcount(c, opts);
+  EXPECT_EQ(tc.rotation_gates, 3u);
+  const auto rot = tcount_rotation(opts.rotation_synthesis_eps);
+  // Two plain rotations + one controlled rotation (2 rot + 2 CX).
+  EXPECT_EQ(tc.t_gates, 2 * rot + 2 * rot + 0u);
+}
+
+TEST(TCount, OracleGatesFlaggedNotGuessed) {
+  qsim::Circuit c(2);
+  c.unitary({0, 1}, linalg::Matrix<qsim::c64>::identity(4));
+  const auto tc = circuit_tcount(c);
+  EXPECT_EQ(tc.oracle_gates, 1u);
+  EXPECT_EQ(tc.t_gates, 0u);
+}
+
+TEST(TCount, CarryAdderCostGrowsLinearly) {
+  // Carry-chain increment: 2(n-2) Toffolis -> T count linear in n.
+  auto cost = [](std::uint32_t n) {
+    qsim::Circuit c(2 * n);
+    std::vector<std::uint32_t> q(n), a(n - 2);
+    for (std::uint32_t i = 0; i < n; ++i) q[i] = i;
+    for (std::uint32_t i = 0; i + 2 < n; ++i) a[i] = n + i;
+    blockenc::append_increment_carry(c, q, a);
+    return circuit_tcount(c).t_gates;
+  };
+  const auto c4 = cost(4), c8 = cost(8), c16 = cost(16);
+  EXPECT_LE(c8, 3 * c4);
+  EXPECT_LE(c16, 3 * c8);
+  EXPECT_GT(c8, c4);
+  EXPECT_EQ(c16, 7u * 2u * 14u);  // 2(n-2) Toffolis at 7T
+}
+
+TEST(TCount, CascadeAdderCostGrowsQuadratically) {
+  // The ancilla-free MCX cascade pays ~n^2: this is exactly the gap the
+  // carry construction (and the paper's reference [34]) closes.
+  auto cost = [](std::uint32_t n) {
+    qsim::Circuit c(n);
+    std::vector<std::uint32_t> q(n);
+    for (std::uint32_t i = 0; i < n; ++i) q[i] = i;
+    blockenc::append_increment(c, q);
+    return circuit_tcount(c).t_gates;
+  };
+  const auto c8 = cost(8), c16 = cost(16);
+  EXPECT_GT(c16, 3 * c8);  // clearly super-linear
+}
+
+TEST(TCount, TridiagonalEncodingIsPolylogInN) {
+  // The paper's Table II: the BE cost should scale ~n (log N), not N.
+  const auto t3 = circuit_tcount(blockenc::tridiagonal_block_encoding(3).circuit).t_gates;
+  const auto t6 = circuit_tcount(blockenc::tridiagonal_block_encoding(6).circuit).t_gates;
+  EXPECT_GT(t3, 0u);
+  EXPECT_LT(t6, 3 * t3);  // doubling n far less than doubles the T count
+}
+
+}  // namespace
+}  // namespace mpqls::resources

@@ -1,0 +1,83 @@
+#include "stateprep/kp_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "qsim/statevector.hpp"
+
+namespace mpqls::stateprep {
+namespace {
+
+void expect_prepares(const std::vector<double>& v, double tol = 1e-12) {
+  const auto sp = kp_state_preparation(v);
+  qsim::Statevector<double> sv(sp.circuit.num_qubits());
+  sv.apply(sp.circuit);
+  // Normalize the reference.
+  double nv = 0.0;
+  for (double x : v) nv += x * x;
+  nv = std::sqrt(nv);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(sv[i].real(), v[i] / nv, tol) << "i=" << i;
+    EXPECT_NEAR(sv[i].imag(), 0.0, tol) << "i=" << i;
+  }
+}
+
+TEST(KpTree, PreparesUniformVector) { expect_prepares({1, 1, 1, 1}); }
+
+TEST(KpTree, PreparesBasisState) { expect_prepares({0, 0, 1, 0}); }
+
+TEST(KpTree, PreparesUnnormalizedInput) { expect_prepares({3, 4, 0, 0}); }
+
+TEST(KpTree, HandlesNegativeAmplitudes) {
+  expect_prepares({0.5, -0.5, 0.5, -0.5});
+  expect_prepares({-1, 2, -3, 4});
+  expect_prepares({-1, -1, -1, -1});
+}
+
+TEST(KpTree, HandlesZeroBlocks) {
+  expect_prepares({0, 0, 0, 0, 1, 2, -1, 0.5});
+}
+
+TEST(KpTree, RandomVectorsAcrossSizes) {
+  Xoshiro256 rng(55);
+  for (std::size_t len : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    std::vector<double> v(len);
+    for (auto& x : v) x = rng.normal();
+    expect_prepares(v, 1e-11);
+  }
+}
+
+TEST(KpTree, SingleAmplitudeIsTrivial) {
+  const auto sp = kp_state_preparation({2.0});
+  EXPECT_EQ(sp.circuit.size(), 0u);
+}
+
+TEST(KpTree, RejectsZeroVector) {
+  EXPECT_THROW(kp_state_preparation({0.0, 0.0}), contract_violation);
+}
+
+TEST(KpTree, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(kp_state_preparation({1.0, 2.0, 3.0}), contract_violation);
+}
+
+TEST(KpTree, ClassicalCostIsLinear) {
+  // O(N) tree: the flop count for N amplitudes should scale ~linearly.
+  std::vector<double> v64(64, 1.0), v256(256, 1.0);
+  const auto s64 = kp_state_preparation(v64);
+  const auto s256 = kp_state_preparation(v256);
+  EXPECT_LT(static_cast<double>(s256.classical_flops) / s64.classical_flops, 6.0);
+  EXPECT_GT(static_cast<double>(s256.classical_flops) / s64.classical_flops, 3.0);
+}
+
+TEST(KpTree, RotationCountIsNMinusOne) {
+  // Levels emit 1 + 2 + ... + N/2 = N-1 rotations.
+  const auto sp = kp_state_preparation(std::vector<double>(16, 0.25));
+  EXPECT_EQ(sp.rotation_count, 15u);
+}
+
+}  // namespace
+}  // namespace mpqls::stateprep
