@@ -1,0 +1,175 @@
+// The batched solver service end to end: read a JSON job file of mixed
+// scenarios (Poisson 1D/2D, tridiagonal with the banded encoding, random
+// systems across eps/eps_l/precision/backends, shot-based readout), queue
+// every job on the service, and print per-job telemetry — cache behaviour,
+// prepare vs solve wall clock, residuals and comm volumes.
+//
+//   build/examples/service_server [jobs.json] [--trace out.json]
+//   build/examples/service_server --emit-jobs examples/jobs/mixed.json
+//
+// Without a job file the embedded default workload runs; --emit-jobs
+// writes that workload out (it is the source examples/jobs/mixed.json is
+// generated from, so the two cannot drift). Jobs that share a matrix and
+// QSVT configuration hit the context cache: circuit synthesis happens
+// once.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "service/json_io.hpp"
+#include "service/solver_service.hpp"
+
+namespace {
+
+constexpr const char* kDefaultJobs = R"JSON({
+  "jobs": [
+    {
+      "id": "poisson1d-16-gate",
+      "matrix": {"scenario": "poisson1d", "n": 16},
+      "rhs": {"kind": "random", "count": 2, "seed": 11},
+      "options": {"eps": 1e-9, "qsvt": {"backend": "gate", "eps_l": 2e-2}}
+    },
+    {
+      "id": "poisson1d-16-gate-again",
+      "matrix": {"scenario": "poisson1d", "n": 16},
+      "rhs": {"kind": "point", "index": 7},
+      "options": {"eps": 1e-9, "qsvt": {"backend": "gate", "eps_l": 2e-2}}
+    },
+    {
+      "id": "poisson2d-8x8-matrix",
+      "matrix": {"scenario": "poisson2d", "nx": 8, "ny": 8},
+      "rhs": {"kind": "point", "index": 28},
+      "options": {"eps": 1e-10, "qsvt": {"backend": "matrix", "eps_l": 2e-2}}
+    },
+    {
+      "id": "tridiag-8-banded-encoding",
+      "matrix": {"scenario": "tridiagonal", "n": 8},
+      "rhs": {"kind": "random", "count": 2, "seed": 12},
+      "options": {"eps": 1e-8, "qsvt": {"backend": "gate", "encoding": "tridiagonal", "eps_l": 5e-2}}
+    },
+    {
+      "id": "random-16-k10-single-precision",
+      "matrix": {"scenario": "random", "n": 16, "kappa": 10.0, "seed": 3},
+      "rhs": {"kind": "random", "count": 3, "seed": 13},
+      "options": {"eps": 1e-6, "qsvt": {"backend": "gate", "precision": "single", "eps_l": 1e-2}}
+    },
+    {
+      "id": "random-16-k10-double-precision",
+      "matrix": {"scenario": "random", "n": 16, "kappa": 10.0, "seed": 3},
+      "rhs": {"kind": "random", "count": 3, "seed": 14},
+      "options": {"eps": 1e-11, "qsvt": {"backend": "gate", "precision": "double", "eps_l": 1e-2}}
+    },
+    {
+      "id": "random-16-k100-matrix",
+      "matrix": {"scenario": "random", "n": 16, "kappa": 100.0, "seed": 4},
+      "rhs": {"kind": "random", "count": 2, "seed": 15},
+      "options": {"eps": 1e-10, "qsvt": {"backend": "matrix", "eps_l": 1e-3}}
+    },
+    {
+      "id": "random-16-k10-shot-readout",
+      "matrix": {"scenario": "random", "n": 16, "kappa": 10.0, "seed": 5},
+      "rhs": {"kind": "random", "count": 1, "seed": 16},
+      "options": {"eps": 1e-2, "max_iterations": 25,
+                  "qsvt": {"backend": "matrix", "eps_l": 1e-2, "shots": 1000000, "seed": 99}}
+    }
+  ]
+})JSON";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open job file: %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace mpqls;
+
+  std::string jobs_text = kDefaultJobs;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--emit-jobs" && i + 1 < argc) {
+      const char* path = argv[++i];
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write job file: %s\n", path);
+        return 2;
+      }
+      // Normalized through the parser so the emitted file is valid JSON.
+      out << Json::parse(kDefaultJobs).dump(2) << "\n";
+      std::printf("default jobs written to %s\n", path);
+      return 0;
+    } else {
+      jobs_text = read_file(arg);
+    }
+  }
+
+  const auto jobs = service::jobs_from_json(Json::parse(jobs_text));
+  std::printf("service_server: %zu jobs\n\n", jobs.size());
+
+  service::SolverService svc({.cache_capacity = 8, .solve_threads = 0, .job_threads = 2});
+
+  Timer wall;
+  std::vector<std::future<service::SolveResult>> pending;
+  pending.reserve(jobs.size());
+  for (const auto& job : jobs) pending.push_back(svc.submit(job));
+
+  Json trace = Json::array();
+  TextTable table({"job", "n", "rhs", "cache", "prep (ms)", "solve (ms)", "residual", "ok"});
+  bool all_ok = true;
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    const auto result = pending[j].get();
+    double solve_ms = 0.0, worst_residual = 0.0;
+    for (const auto& s : result.solves) {
+      solve_ms += s.solve_seconds * 1e3;
+      worst_residual = std::max(worst_residual, s.report.scaled_residuals.back());
+    }
+    table.add_row({result.id, std::to_string(jobs[j].A.rows()),
+                   std::to_string(result.solves.size()), result.cache_hit ? "hit" : "miss",
+                   fmt_fix(result.prepare_seconds * 1e3, 1), fmt_fix(solve_ms, 1),
+                   fmt_sci(worst_residual), result.all_converged ? "yes" : "NO"});
+    all_ok = all_ok && result.all_converged;
+    trace.push_back(service::to_json(result));
+  }
+  table.print(std::cout);
+
+  const auto cache = svc.cache_stats();
+  const auto stats = svc.stats();
+  std::printf("\n%llu jobs, %llu right-hand sides in %.1f ms wall\n",
+              static_cast<unsigned long long>(stats.jobs),
+              static_cast<unsigned long long>(stats.rhs_solved), wall.milliseconds());
+  std::printf("context cache: %llu hits, %llu misses, %llu evictions, %zu resident\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.evictions), cache.size);
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace file: %s\n", trace_path.c_str());
+      return 2;
+    }
+    out << trace.dump(2) << "\n";
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+} catch (const std::exception& e) {
+  // Bad job files and failed preparations (e.g. singular matrices) land
+  // here; report cleanly instead of std::terminate.
+  std::fprintf(stderr, "service_server: %s\n", e.what());
+  return 2;
+}

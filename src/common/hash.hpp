@@ -1,0 +1,57 @@
+// FNV-1a content hashing for cache fingerprints. 64-bit, deterministic
+// across platforms (explicit byte order for scalar feeds), and cheap enough
+// to run over a full matrix on every service request.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace mpqls {
+
+/// Incremental FNV-1a 64-bit hasher. Feed scalars through the typed
+/// methods so the digest does not depend on host struct layout.
+class Fnv1a {
+ public:
+  Fnv1a& bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      state_ ^= p[i];
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fnv1a& u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= static_cast<unsigned char>(v >> (8 * i));
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fnv1a& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+
+  /// Hash the IEEE-754 bit pattern; -0.0 is canonicalized to +0.0 so equal
+  /// values hash equally.
+  Fnv1a& f64(double v) {
+    if (v == 0.0) v = 0.0;  // collapse -0.0
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    return u64(bits);
+  }
+
+  Fnv1a& str(std::string_view s) {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  static constexpr std::uint64_t kOffset = 0xCBF29CE484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001B3ull;
+  std::uint64_t state_ = kOffset;
+};
+
+}  // namespace mpqls

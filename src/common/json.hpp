@@ -1,0 +1,408 @@
+// Minimal header-only JSON value with a writer and a recursive-descent
+// parser — just enough for the solver service's job files and telemetry
+// traces (service/json_io). Numbers are IEEE doubles, written with
+// shortest-round-trip formatting so a dump -> parse cycle is lossless;
+// objects keep sorted keys so dumps are deterministic.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace mpqls {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double v) : value_(v) {}
+  Json(int v) : value_(static_cast<double>(v)) {}
+  // JSON numbers are doubles: integers above 2^53 would round silently, so
+  // refuse them loudly (64-bit hashes travel as hex strings instead).
+  Json(std::int64_t v) : value_(static_cast<double>(v)) {
+    expects(static_cast<std::int64_t>(std::get<double>(value_)) == v,
+            "Json: integer not representable as double");
+  }
+  Json(std::uint64_t v) : value_(static_cast<double>(v)) {
+    expects(std::get<double>(value_) < 0x1p64 &&
+                static_cast<std::uint64_t>(std::get<double>(value_)) == v,
+            "Json: integer not representable as double");
+  }
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  bool as_bool() const {
+    expects(is_bool(), "Json: not a bool");
+    return std::get<bool>(value_);
+  }
+  double as_number() const {
+    expects(is_number(), "Json: not a number");
+    return std::get<double>(value_);
+  }
+  /// Integer accessors validate range/finiteness first: casting an
+  /// untrusted out-of-range double to an integer type is UB.
+  std::int64_t as_int() const {
+    const double v = as_number();
+    expects(std::isfinite(v) && v >= -0x1p63 && v < 0x1p63, "Json: number out of int64 range");
+    return static_cast<std::int64_t>(v);
+  }
+  std::uint64_t as_uint() const {
+    const double v = as_number();
+    expects(std::isfinite(v) && v >= 0.0 && v < 0x1p64, "Json: number out of uint64 range");
+    return static_cast<std::uint64_t>(v);
+  }
+  const std::string& as_string() const {
+    expects(is_string(), "Json: not a string");
+    return std::get<std::string>(value_);
+  }
+  const Array& as_array() const {
+    expects(is_array(), "Json: not an array");
+    return std::get<Array>(value_);
+  }
+  Array& as_array() {
+    expects(is_array(), "Json: not an array");
+    return std::get<Array>(value_);
+  }
+  const Object& as_object() const {
+    expects(is_object(), "Json: not an object");
+    return std::get<Object>(value_);
+  }
+  Object& as_object() {
+    expects(is_object(), "Json: not an object");
+    return std::get<Object>(value_);
+  }
+
+  /// Object access, inserting null on first use (writer-side sugar).
+  Json& operator[](const std::string& key) { return as_object()[key]; }
+
+  /// Const object lookup; the key must exist.
+  const Json& at(const std::string& key) const {
+    const auto& o = as_object();
+    auto it = o.find(key);
+    expects(it != o.end(), "Json: missing key");
+    return it->second;
+  }
+
+  bool contains(const std::string& key) const {
+    return is_object() && as_object().count(key) > 0;
+  }
+
+  /// `at(key)` with a fallback when the key is absent.
+  double number_or(const std::string& key, double fallback) const {
+    return contains(key) ? at(key).as_number() : fallback;
+  }
+  std::int64_t int_or(const std::string& key, std::int64_t fallback) const {
+    return contains(key) ? at(key).as_int() : fallback;
+  }
+  std::uint64_t uint_or(const std::string& key, std::uint64_t fallback) const {
+    return contains(key) ? at(key).as_uint() : fallback;
+  }
+  bool bool_or(const std::string& key, bool fallback) const {
+    return contains(key) ? at(key).as_bool() : fallback;
+  }
+  std::string string_or(const std::string& key, std::string fallback) const {
+    return contains(key) ? at(key).as_string() : fallback;
+  }
+
+  void push_back(Json v) { as_array().push_back(std::move(v)); }
+
+  // --- writer ---------------------------------------------------------------
+
+  /// Serialize. indent < 0: compact one-liner; otherwise pretty-print with
+  /// `indent` spaces per level.
+  std::string dump(int indent = -1) const {
+    std::string out;
+    write(out, indent, 0);
+    return out;
+  }
+
+  // --- parser ---------------------------------------------------------------
+
+  /// Parse a complete JSON document; trailing non-whitespace is an error.
+  static Json parse(std::string_view text) {
+    Parser p{text, 0};
+    Json v = p.parse_value();
+    p.skip_ws();
+    expects(p.pos == text.size(), "Json: trailing characters after document");
+    return v;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+
+  static void write_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (unsigned char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (c < 0x20) {
+            const char* hex = "0123456789abcdef";
+            out += "\\u00";
+            out += hex[c >> 4];
+            out += hex[c & 0xF];
+          } else {
+            out += static_cast<char>(c);
+          }
+      }
+    }
+    out += '"';
+  }
+
+  static void write_number(std::string& out, double v) {
+    expects(std::isfinite(v), "Json: cannot serialize NaN/Inf");
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    out.append(buf, res.ptr);
+  }
+
+  void write(std::string& out, int indent, int depth) const {
+    const bool pretty = indent >= 0;
+    auto newline = [&](int d) {
+      if (!pretty) return;
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent) * d, ' ');
+    };
+    if (is_null()) {
+      out += "null";
+    } else if (is_bool()) {
+      out += as_bool() ? "true" : "false";
+    } else if (is_number()) {
+      write_number(out, as_number());
+    } else if (is_string()) {
+      write_escaped(out, as_string());
+    } else if (is_array()) {
+      const auto& a = as_array();
+      if (a.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        a[i].write(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+    } else {
+      const auto& o = as_object();
+      if (o.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : o) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        write_escaped(out, k);
+        out += pretty ? ": " : ":";
+        v.write(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+    }
+  }
+
+  struct Parser {
+    /// Recursion guard: a hostile document of repeated '[' would otherwise
+    /// overflow the stack instead of raising a catchable error.
+    static constexpr int kMaxDepth = 256;
+
+    std::string_view text;
+    std::size_t pos;
+    int depth = 0;
+
+    void skip_ws() {
+      while (pos < text.size() &&
+             (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' || text[pos] == '\r')) {
+        ++pos;
+      }
+    }
+
+    char peek() {
+      expects(pos < text.size(), "Json: unexpected end of input");
+      return text[pos];
+    }
+
+    void expect(char c) {
+      expects(pos < text.size() && text[pos] == c, "Json: unexpected character");
+      ++pos;
+    }
+
+    bool consume_literal(std::string_view lit) {
+      if (text.substr(pos, lit.size()) != lit) return false;
+      pos += lit.size();
+      return true;
+    }
+
+    Json parse_value() {
+      skip_ws();
+      expects(depth < kMaxDepth, "Json: nesting too deep");
+      ++depth;
+      Json v;
+      const char c = peek();
+      if (c == '{') {
+        v = parse_object();
+      } else if (c == '[') {
+        v = parse_array();
+      } else if (c == '"') {
+        v = Json(parse_string());
+      } else if (consume_literal("true")) {
+        v = Json(true);
+      } else if (consume_literal("false")) {
+        v = Json(false);
+      } else if (consume_literal("null")) {
+        v = Json(nullptr);
+      } else {
+        v = parse_number();
+      }
+      --depth;
+      return v;
+    }
+
+    Json parse_object() {
+      expect('{');
+      Json::Object o;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        return Json(std::move(o));
+      }
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        o[std::move(key)] = parse_value();
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        return Json(std::move(o));
+      }
+    }
+
+    Json parse_array() {
+      expect('[');
+      Json::Array a;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return Json(std::move(a));
+      }
+      for (;;) {
+        a.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        return Json(std::move(a));
+      }
+    }
+
+    std::string parse_string() {
+      expect('"');
+      std::string s;
+      for (;;) {
+        expects(pos < text.size(), "Json: unterminated string");
+        char c = text[pos++];
+        if (c == '"') return s;
+        if (c != '\\') {
+          s += c;
+          continue;
+        }
+        expects(pos < text.size(), "Json: unterminated escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'b': s += '\b'; break;
+          case 'f': s += '\f'; break;
+          case 'n': s += '\n'; break;
+          case 'r': s += '\r'; break;
+          case 't': s += '\t'; break;
+          case 'u': {
+            expects(pos + 4 <= text.size(), "Json: truncated \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else expects(false, "Json: bad hex digit in \\u escape");
+            }
+            // Encode the BMP code point as UTF-8 (surrogate pairs are passed
+            // through unpaired — the service never emits them).
+            if (cp < 0x80) {
+              s += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              s += static_cast<char>(0xC0 | (cp >> 6));
+              s += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              s += static_cast<char>(0xE0 | (cp >> 12));
+              s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              s += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default:
+            expects(false, "Json: unknown escape");
+        }
+      }
+    }
+
+    Json parse_number() {
+      const std::size_t start = pos;
+      if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+      while (pos < text.size() &&
+             ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' || text[pos] == 'e' ||
+              text[pos] == 'E' || text[pos] == '-' || text[pos] == '+')) {
+        ++pos;
+      }
+      double v = 0.0;
+      const auto res = std::from_chars(text.data() + start, text.data() + pos, v);
+      expects(res.ec == std::errc{} && res.ptr == text.data() + pos, "Json: bad number");
+      return Json(v);
+    }
+  };
+};
+
+}  // namespace mpqls

@@ -1,0 +1,31 @@
+// Multinomial sampling against a precomputed cumulative distribution: one
+// O(n) prefix-sum pass by the caller, O(log n) per draw here. Shared by the
+// statevector readout and the QSVT shot-noise model so the edge handling
+// (scaling by the total mass, end-of-range fallback) lives in one place.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace mpqls {
+
+/// Draw `shots` indices from the distribution whose inclusive prefix sums
+/// are `cdf` (cdf.back() is the total mass; it need not be 1).
+inline std::vector<std::size_t> sample_from_cdf(const std::vector<double>& cdf, Xoshiro256& rng,
+                                                std::uint64_t shots) {
+  expects(!cdf.empty(), "sample_from_cdf: empty distribution");
+  const double total = cdf.back();
+  std::vector<std::size_t> outcomes(shots);
+  for (auto& o : outcomes) {
+    const double u = rng.uniform() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    o = (it == cdf.end()) ? cdf.size() - 1 : static_cast<std::size_t>(it - cdf.begin());
+  }
+  return outcomes;
+}
+
+}  // namespace mpqls

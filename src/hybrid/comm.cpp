@@ -2,6 +2,20 @@
 
 namespace mpqls::hybrid {
 
+CommSummary summarize(const CommLog& log) {
+  CommSummary s;
+  for (const auto& e : log.events()) {
+    if (e.direction == Direction::kCpuToQpu) {
+      s.cpu_to_qpu_bytes += e.bytes;
+    } else {
+      s.qpu_to_cpu_bytes += e.bytes;
+    }
+    if (e.iteration < 0) s.setup_bytes += e.bytes;
+    ++s.events;
+  }
+  return s;
+}
+
 std::uint64_t circuit_wire_bytes(std::uint64_t gate_count) {
   // opcode (2) + up to three qubit indices (3*4) + one double parameter (8).
   return gate_count * 22;

@@ -57,6 +57,19 @@ class CommLog {
   std::vector<CommEvent> events_;
 };
 
+/// Aggregate view of one job's comm log — what the service layer ships in
+/// its JSON telemetry instead of the full event list. Each solve report
+/// carries its own CommLog, so per-job traffic stays separable even when
+/// many jobs run concurrently.
+struct CommSummary {
+  std::uint64_t cpu_to_qpu_bytes = 0;
+  std::uint64_t qpu_to_cpu_bytes = 0;
+  std::uint64_t setup_bytes = 0;  ///< one-off BE/phase/SP(b) transfers
+  std::uint64_t events = 0;
+};
+
+CommSummary summarize(const CommLog& log);
+
 /// Crude wire-size model for a circuit description: opcode + qubits +
 /// parameter per gate (the paper's point is relative volume, not bytes).
 std::uint64_t circuit_wire_bytes(std::uint64_t gate_count);

@@ -5,6 +5,7 @@
 // knob eps_l. Gate kernels are OpenMP-parallel over amplitude pairs.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 #include <cstdint>
@@ -12,6 +13,7 @@
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
+#include "common/sampling.hpp"
 #include "linalg/matrix.hpp"
 #include "qsim/circuit.hpp"
 #include "qsim/gate.hpp"
@@ -161,13 +163,20 @@ class Statevector {
   }
 
   /// Sample one computational-basis outcome.
-  std::size_t sample(Xoshiro256& rng) const {
-    double u = rng.uniform() * norm() * norm();
-    for (std::size_t i = 0; i + 1 < amps_.size(); ++i) {
-      u -= std::norm(std::complex<double>(amps_[i].real(), amps_[i].imag()));
-      if (u <= 0.0) return i;
+  std::size_t sample(Xoshiro256& rng) const { return sample(rng, 1)[0]; }
+
+  /// Sample `shots` outcomes with one O(2^n) cumulative-distribution pass
+  /// and an O(log 2^n) binary search per shot — the multi-shot readout
+  /// path. The single-shot overload routes through here, so multi-shot
+  /// draws are identical to sequential single draws by construction.
+  std::vector<std::size_t> sample(Xoshiro256& rng, std::uint64_t shots) const {
+    std::vector<double> cdf(amps_.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+      acc += std::norm(std::complex<double>(amps_[i].real(), amps_[i].imag()));
+      cdf[i] = acc;
     }
-    return amps_.size() - 1;
+    return sample_from_cdf(cdf, rng, shots);
   }
 
  private:

@@ -93,8 +93,7 @@ AmplitudeEstimationResult estimate_amplitude(const Circuit& v,
   Xoshiro256 rng(seed);
   std::map<std::uint64_t, std::uint64_t> histogram;
   const std::size_t bins = std::size_t{1} << clock_qubits;
-  for (std::uint64_t s = 0; s < shots; ++s) {
-    const std::size_t outcome = sv.sample(rng);
+  for (const std::size_t outcome : sv.sample(rng, shots)) {
     ++histogram[(outcome >> n) % bins];
   }
   std::uint64_t mode = 0, mode_count = 0;

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cmath>
 
+#include "common/sampling.hpp"
+
 #include "blockenc/dense_embedding.hpp"
 #include "blockenc/lcu.hpp"
 #include "blockenc/tridiagonal.hpp"
@@ -95,6 +97,12 @@ QsvtSolverContext prepare_qsvt_solver(linalg::Matrix<double> A, QsvtOptions opti
   return ctx;
 }
 
+std::shared_ptr<const QsvtSolverContext> prepare_qsvt_solver_shared(linalg::Matrix<double> A,
+                                                                    QsvtOptions options) {
+  return std::make_shared<const QsvtSolverContext>(
+      prepare_qsvt_solver(std::move(A), std::move(options)));
+}
+
 namespace {
 
 linalg::Vector<double> normalized(const linalg::Vector<double>& v) {
@@ -112,19 +120,16 @@ void apply_shot_noise(linalg::Vector<double>& direction, std::uint64_t shots,
                       std::uint64_t seed) {
   if (shots == 0) return;
   Xoshiro256 rng(seed);
-  std::vector<double> p(direction.size());
-  for (std::size_t i = 0; i < direction.size(); ++i) p[i] = direction[i] * direction[i];
-  std::vector<std::uint64_t> hist(direction.size(), 0);
-  for (std::uint64_t s = 0; s < shots; ++s) {
-    double u = rng.uniform();
-    for (std::size_t i = 0; i < p.size(); ++i) {
-      u -= p[i];
-      if (u <= 0.0 || i + 1 == p.size()) {
-        ++hist[i];
-        break;
-      }
-    }
+  // Cumulative distribution once, O(log n) binary search per shot (the
+  // per-shot linear scan used to dominate large multi-shot readouts).
+  std::vector<double> cdf(direction.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < direction.size(); ++i) {
+    acc += direction[i] * direction[i];
+    cdf[i] = acc;
   }
+  std::vector<std::uint64_t> hist(direction.size(), 0);
+  for (const std::size_t outcome : sample_from_cdf(cdf, rng, shots)) ++hist[outcome];
   for (std::size_t i = 0; i < direction.size(); ++i) {
     const double mag = std::sqrt(static_cast<double>(hist[i]) / static_cast<double>(shots));
     direction[i] = std::copysign(mag, direction[i]);

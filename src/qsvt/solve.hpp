@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "blockenc/block_encoding.hpp"
@@ -57,7 +58,10 @@ struct QsvtOptions {
   qsp::SymQspOptions qsp_options = {};
 };
 
-/// Everything computed once per matrix.
+/// Everything computed once per matrix. After preparation the context is
+/// immutable: `qsvt_solve_direction` only reads it, so a single (shared)
+/// context can serve many right-hand sides from many threads concurrently —
+/// the amortization the service layer's context cache builds on.
 struct QsvtSolverContext {
   QsvtOptions options;
   linalg::Matrix<double> A;
@@ -75,6 +79,12 @@ struct QsvtSolverContext {
 
 /// One-off preparation: SVD, block-encoding, polynomial, phases, circuit.
 QsvtSolverContext prepare_qsvt_solver(linalg::Matrix<double> A, QsvtOptions options);
+
+/// Shared-ownership variant for caches and concurrent consumers: the
+/// returned context is const, so every thread holding the pointer may call
+/// `qsvt_solve_direction` on it without synchronization.
+std::shared_ptr<const QsvtSolverContext> prepare_qsvt_solver_shared(linalg::Matrix<double> A,
+                                                                    QsvtOptions options);
 
 struct QsvtSolveOutcome {
   linalg::Vector<double> direction;  ///< unit vector ~ x / ||x||

@@ -1,0 +1,92 @@
+#include "service/context_cache.hpp"
+
+#include <optional>
+
+namespace mpqls::service {
+
+ContextCache::ContextCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+ContextCache::ContextPtr ContextCache::get_or_prepare(const linalg::Matrix<double>& A,
+                                                      const qsvt::QsvtOptions& options,
+                                                      bool* cache_hit) {
+  return get_or_prepare(fingerprint(A, options), A, options, cache_hit);
+}
+
+ContextCache::ContextPtr ContextCache::get_or_prepare(const Fingerprint& fp,
+                                                      const linalg::Matrix<double>& A,
+                                                      const qsvt::QsvtOptions& options,
+                                                      bool* cache_hit) {
+  std::promise<ContextPtr> promise;
+  std::uint64_t my_id = 0;
+  std::optional<Future> existing;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(fp);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      existing = it->second->future;
+    } else {
+      ++misses_;
+      my_id = next_entry_id_++;
+      Entry e;
+      e.fp = fp;
+      e.id = my_id;
+      e.future = promise.get_future().share();
+      lru_.push_front(std::move(e));
+      index_[fp] = lru_.begin();
+      while (index_.size() > capacity_) {
+        index_.erase(lru_.back().fp);
+        lru_.pop_back();
+        ++evictions_;
+      }
+    }
+  }
+  if (cache_hit != nullptr) *cache_hit = existing.has_value();
+
+  // Joining an existing entry: block outside the lock — the preparation
+  // may still be in flight on another thread. A failed preparation
+  // rethrows here too.
+  if (existing) return existing->get();
+
+  // We own the preparation; run it outside the lock so other keys stay
+  // serviceable meanwhile.
+  try {
+    auto ctx = qsvt::prepare_qsvt_solver_shared(A, options);
+    promise.set_value(ctx);
+    return ctx;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    {
+      // Drop the poisoned entry (matched by id — after an eviction a
+      // concurrent request may have inserted a fresh entry for the same
+      // key) so later requests re-prepare; waiters already holding the
+      // future see the exception.
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = index_.find(fp);
+      if (it != index_.end() && it->second->id == my_id) {
+        lru_.erase(it->second);
+        index_.erase(it);
+      }
+    }
+    throw;
+  }
+}
+
+ContextCache::Stats ContextCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {hits_, misses_, evictions_, index_.size(), capacity_};
+}
+
+bool ContextCache::contains(const Fingerprint& fp) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.count(fp) > 0;
+}
+
+void ContextCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace mpqls::service

@@ -1,0 +1,73 @@
+// LRU cache of prepared QSVT solver contexts, keyed by matrix/options
+// fingerprint. Concurrency-aware: when two threads request the same
+// uncached matrix, only one runs prepare_qsvt_solver — the other blocks on
+// the in-flight preparation and shares its result. Entries are
+// shared_ptr<const Context>, so an eviction never invalidates a context a
+// running solve still holds.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "linalg/matrix.hpp"
+#include "qsvt/solve.hpp"
+#include "service/fingerprint.hpp"
+
+namespace mpqls::service {
+
+class ContextCache {
+ public:
+  using ContextPtr = std::shared_ptr<const qsvt::QsvtSolverContext>;
+
+  /// `capacity` = max resident contexts (clamped to at least 1).
+  explicit ContextCache(std::size_t capacity);
+
+  /// Return the cached context for (A, options), preparing it on a miss.
+  /// `cache_hit` (optional) reports whether preparation was skipped —
+  /// joining an in-flight preparation started by another thread counts as
+  /// a hit. Throws whatever prepare_qsvt_solver throws; a failed
+  /// preparation is not cached.
+  ContextPtr get_or_prepare(const linalg::Matrix<double>& A, const qsvt::QsvtOptions& options,
+                            bool* cache_hit = nullptr);
+
+  /// Variant for callers that already computed the fingerprint (the hash
+  /// is an O(n^2) pass over the matrix — no need to pay it twice).
+  ContextPtr get_or_prepare(const Fingerprint& fp, const linalg::Matrix<double>& A,
+                            const qsvt::QsvtOptions& options, bool* cache_hit = nullptr);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+  };
+  Stats stats() const;
+
+  bool contains(const Fingerprint& fp) const;
+  void clear();
+
+ private:
+  using Future = std::shared_future<ContextPtr>;
+
+  struct Entry {
+    Fingerprint fp;
+    std::uint64_t id = 0;  ///< distinguishes re-inserted entries for the same key
+    Future future;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<Fingerprint, std::list<Entry>::iterator, FingerprintHasher> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t next_entry_id_ = 1;
+};
+
+}  // namespace mpqls::service

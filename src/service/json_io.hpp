@@ -1,0 +1,38 @@
+// JSON (de)serialization for the service's job API. Requests can carry a
+// dense matrix inline or name a scenario generator (poisson1d, poisson2d,
+// tridiagonal, random) — the mixed workloads examples/service_server
+// executes. Results serialize losslessly (solution vectors, residual
+// history, per-solve telemetry and the full comm-event log), so traces can
+// be archived and re-loaded.
+#pragma once
+
+#include "common/json.hpp"
+#include "service/request.hpp"
+
+namespace mpqls::service {
+
+// --- results ---------------------------------------------------------------
+
+Json to_json(const SolveResult& result);
+SolveResult result_from_json(const Json& j);
+
+// --- requests --------------------------------------------------------------
+
+/// Serialize with the matrix and right-hand sides inline (dense).
+Json to_json(const SolveRequest& request);
+
+/// Build a request from JSON. The "matrix" object is either
+///   {"scenario": "dense", "rows": [[...], ...]}
+///   {"scenario": "poisson1d", "n": 16}
+///   {"scenario": "poisson2d", "nx": 8, "ny": 8}
+///   {"scenario": "tridiagonal", "n": 16}          (unscaled tridiag(-1,2,-1))
+///   {"scenario": "random", "n": 16, "kappa": 10.0, "seed": 1}
+/// and "rhs" is either {"vectors": [[...], ...]},
+/// {"kind": "random", "count": 4, "seed": 7}, or
+/// {"kind": "point", "index": 3}. "options" mirrors QsvtIrOptions.
+SolveRequest request_from_json(const Json& j);
+
+/// Parse a job file: {"jobs": [<request>, ...]}.
+std::vector<SolveRequest> jobs_from_json(const Json& j);
+
+}  // namespace mpqls::service

@@ -1,0 +1,40 @@
+// Typed job descriptions for the solver service: one request = one matrix
+// plus any number of right-hand sides solved against the same prepared
+// (and cached) QSVT context. Results carry the full per-RHS QsvtIrReport
+// with its own CommLog, plus service-level telemetry: cache behaviour and
+// wall-clock per phase.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "service/fingerprint.hpp"
+#include "solver/qsvt_ir.hpp"
+
+namespace mpqls::service {
+
+struct SolveRequest {
+  std::string id;                           ///< caller-chosen job label
+  linalg::Matrix<double> A;                 ///< square system matrix
+  std::vector<linalg::Vector<double>> rhs;  ///< >= 1 right-hand sides
+  solver::QsvtIrOptions options;            ///< eps, refinement + QSVT knobs
+};
+
+/// Outcome for one right-hand side of a request.
+struct RhsResult {
+  solver::QsvtIrReport report;  ///< includes this solve's own CommLog
+  double solve_seconds = 0.0;   ///< wall clock of the refinement loop
+};
+
+struct SolveResult {
+  std::string id;
+  Fingerprint fp;
+  bool cache_hit = false;         ///< context served from the cache
+  double prepare_seconds = 0.0;   ///< time spent in get_or_prepare (~0 on a hit)
+  double total_seconds = 0.0;     ///< whole-job wall clock
+  std::vector<RhsResult> solves;  ///< one per request rhs, same order
+  bool all_converged = false;
+};
+
+}  // namespace mpqls::service

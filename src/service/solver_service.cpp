@@ -1,0 +1,93 @@
+#include "service/solver_service.hpp"
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/timer.hpp"
+
+namespace mpqls::service {
+
+namespace {
+
+std::size_t default_solve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 2 : hw;
+}
+
+}  // namespace
+
+SolverService::SolverService(ServiceOptions options)
+    : options_(options),
+      cache_(options.cache_capacity),
+      solve_pool_(default_solve_threads(options.solve_threads)),
+      job_pool_(options.job_threads) {}
+
+SolveResult SolverService::solve(const SolveRequest& request) {
+  expects(!request.rhs.empty(), "service: request needs at least one right-hand side");
+  expects(request.A.rows() == request.A.cols(), "service: square matrix required");
+
+  Timer total;
+  SolveResult result;
+  result.id = request.id;
+  result.fp = fingerprint(request.A, request.options.qsvt);
+
+  Timer prep;
+  bool hit = false;
+  auto ctx = cache_.get_or_prepare(result.fp, request.A, request.options.qsvt, &hit);
+  result.cache_hit = hit;
+  result.prepare_seconds = prep.seconds();
+
+  // Fan the right-hand sides out; each solve shares the immutable context.
+  std::vector<std::future<RhsResult>> pending;
+  pending.reserve(request.rhs.size());
+  for (const auto& b : request.rhs) {
+    pending.push_back(solve_pool_.submit([ctx, &b, &options = request.options] {
+      Timer t;
+      RhsResult r;
+      r.report = solver::solve_qsvt_ir(*ctx, b, options);
+      r.solve_seconds = t.seconds();
+      return r;
+    }));
+  }
+
+  result.all_converged = true;
+  result.solves.reserve(pending.size());
+  double solve_seconds = 0.0;
+  // Drain every future even if one throws: the queued tasks hold
+  // references into `request`, so none may outlive this frame.
+  std::exception_ptr first_error;
+  for (auto& f : pending) {
+    try {
+      result.solves.push_back(f.get());
+      result.all_converged = result.all_converged && result.solves.back().report.converged;
+      solve_seconds += result.solves.back().solve_seconds;
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  result.total_seconds = total.seconds();
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.jobs;
+    stats_.rhs_solved += result.solves.size();
+    stats_.solve_seconds_total += solve_seconds;
+  }
+  return result;
+}
+
+std::future<SolveResult> SolverService::submit(SolveRequest request) {
+  return job_pool_.submit(
+      [this, request = std::move(request)] { return solve(request); });
+}
+
+SolverService::Stats SolverService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace mpqls::service

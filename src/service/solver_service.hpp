@@ -1,0 +1,67 @@
+// The batched solver service (the deployment shape of the paper's
+// amortization argument): circuit synthesis — SVD, block-encoding,
+// inversion polynomial, QSP phases — happens once per distinct matrix and
+// is cached; every right-hand side after that pays only the per-solve
+// cost. Independent solves run concurrently on a worker pool; whole jobs
+// can be submitted asynchronously.
+//
+// Thread-safety: all public methods may be called from any thread. Cached
+// contexts are shared immutably (see QsvtSolverContext), and every solve
+// report carries its own CommLog, so concurrent jobs never interleave
+// telemetry.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+#include "service/context_cache.hpp"
+#include "service/request.hpp"
+
+namespace mpqls::service {
+
+struct ServiceOptions {
+  std::size_t cache_capacity = 8;  ///< max resident prepared contexts
+  /// Workers for per-RHS solves; 0 = hardware concurrency.
+  std::size_t solve_threads = 0;
+  /// Workers for submitted jobs (they orchestrate and wait on RHS solves,
+  /// which run on the solve pool — two pools keep that wait deadlock-free).
+  std::size_t job_threads = 2;
+};
+
+class SolverService {
+ public:
+  explicit SolverService(ServiceOptions options = {});
+
+  /// Execute a job synchronously: prepare-or-fetch the context, then fan
+  /// the right-hand sides out to the solve pool. Results are ordered like
+  /// `request.rhs` and bitwise-deterministic for a fixed seed regardless
+  /// of scheduling.
+  SolveResult solve(const SolveRequest& request);
+
+  /// Queue a whole job; returns immediately.
+  std::future<SolveResult> submit(SolveRequest request);
+
+  ContextCache::Stats cache_stats() const { return cache_.stats(); }
+
+  struct Stats {
+    std::uint64_t jobs = 0;
+    std::uint64_t rhs_solved = 0;
+    double solve_seconds_total = 0.0;  ///< summed per-RHS wall clock
+  };
+  Stats stats() const;
+
+ private:
+  ServiceOptions options_;
+  ContextCache cache_;
+  // The pools are declared last so they are destroyed FIRST (reverse
+  // declaration order): ~ThreadPool drains queued jobs, which still touch
+  // the cache and stats members above — those must outlive the pools.
+  mutable std::mutex stats_mutex_;
+  Stats stats_{};
+  ThreadPool solve_pool_;
+  ThreadPool job_pool_;
+};
+
+}  // namespace mpqls::service

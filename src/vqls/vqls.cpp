@@ -58,7 +58,9 @@ VqlsResult vqls_solve(const linalg::Matrix<double>& A, const linalg::Vector<doub
     const double denom = linalg::dot(a_psi, a_psi);
     if (denom <= 1e-300) return 1.0;
     const double overlap = linalg::dot(b_hat, a_psi);
-    return 1.0 - overlap * overlap / denom;
+    // Cauchy-Schwarz bounds overlap^2 <= denom; clamp the rounding slack so
+    // the returned cost is a valid squared distance (callers take sqrt).
+    return std::fmax(0.0, 1.0 - overlap * overlap / denom);
   };
 
   VqlsResult best;

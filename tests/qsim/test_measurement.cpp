@@ -70,6 +70,33 @@ TEST(Measurement, SamplingMatchesDistribution) {
   EXPECT_NEAR(static_cast<double>(ones) / shots, 0.3, 0.01);
 }
 
+TEST(Measurement, MultiShotSamplingMatchesSequentialDraws) {
+  // The CDF-based multi-shot path must draw the same outcomes as repeated
+  // single-shot sampling from an identical generator state.
+  Circuit c(4);
+  c.h(0).cx(0, 1).ry(2, 0.9).ry(3, 2.1).cx(2, 3);
+  Statevector<double> sv(4);
+  sv.apply(c);
+  Xoshiro256 rng_multi(123), rng_single(123);
+  const auto multi = sv.sample(rng_multi, 500);
+  ASSERT_EQ(multi.size(), 500u);
+  for (std::size_t s = 0; s < multi.size(); ++s) {
+    EXPECT_EQ(multi[s], sv.sample(rng_single)) << "shot " << s;
+  }
+}
+
+TEST(Measurement, MultiShotSamplingMatchesDistribution) {
+  Circuit c(2);
+  c.ry(0, 2.0 * std::asin(std::sqrt(0.3)));  // P(q0=1) = 0.3
+  Statevector<double> sv(2);
+  sv.apply(c);
+  Xoshiro256 rng(78);
+  const auto outcomes = sv.sample(rng, 100000);
+  int ones = 0;
+  for (auto o : outcomes) ones += static_cast<int>(o & 1);
+  EXPECT_NEAR(static_cast<double>(ones) / static_cast<double>(outcomes.size()), 0.3, 0.01);
+}
+
 TEST(Measurement, InnerProductOrthogonalStates) {
   Statevector<double> a(1), b(1);
   b.apply(Circuit(1).x(0));

@@ -188,7 +188,11 @@ TEST(Denormalize, BrentMatchesClosedForm) {
   const auto eta = linalg::random_unit_vector(rng, 8);
   const auto brent = fit_step_brent(A, {}, eta, b);
   const auto closed = fit_step_closed_form(A, {}, eta, b);
-  EXPECT_NEAR(brent.mu, closed.mu, 1e-9);
+  // Brent minimizes the (exactly quadratic) objective to x-resolution
+  // ~sqrt(machine eps): agreement beyond ~1e-8 on mu is not achievable by a
+  // function-value-only minimizer. The residual norms agree much tighter
+  // because the objective is flat at the minimum.
+  EXPECT_NEAR(brent.mu, closed.mu, 1e-7);
   EXPECT_NEAR(brent.residual_norm, closed.residual_norm, 1e-9);
 }
 

@@ -1,0 +1,135 @@
+// Context-cache behaviour: hit/miss accounting, LRU eviction order,
+// single-preparation under concurrent demand, and no caching of failed
+// preparations.
+#include "service/context_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "linalg/random_matrix.hpp"
+
+namespace mpqls::service {
+namespace {
+
+qsvt::QsvtOptions fast_options() {
+  qsvt::QsvtOptions o;
+  o.backend = qsvt::Backend::kMatrixFunction;  // no QSP phases: cheap prepares
+  o.eps_l = 1e-2;
+  return o;
+}
+
+TEST(ContextCache, MissThenHit) {
+  Xoshiro256 rng(11);
+  const auto A = linalg::random_with_cond(rng, 8, 5.0);
+  ContextCache cache(4);
+
+  bool hit = true;
+  const auto first = cache.get_or_prepare(A, fast_options(), &hit);
+  EXPECT_FALSE(hit);
+  const auto second = cache.get_or_prepare(A, fast_options(), &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());  // literally the same context
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(ContextCache, DifferingOptionsMissSeparately) {
+  Xoshiro256 rng(12);
+  const auto A = linalg::random_with_cond(rng, 8, 5.0);
+  ContextCache cache(4);
+
+  auto opts_a = fast_options();
+  auto opts_b = fast_options();
+  opts_b.eps_l = 1e-3;
+
+  const auto ctx_a = cache.get_or_prepare(A, opts_a);
+  const auto ctx_b = cache.get_or_prepare(A, opts_b);
+  EXPECT_NE(ctx_a.get(), ctx_b.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().size, 2u);
+}
+
+TEST(ContextCache, LruEvictionDropsLeastRecentlyUsed) {
+  Xoshiro256 rng(13);
+  const auto A = linalg::random_with_cond(rng, 8, 5.0);
+  const auto B = linalg::random_with_cond(rng, 8, 5.0);
+  const auto C = linalg::random_with_cond(rng, 8, 5.0);
+  const auto opts = fast_options();
+  ContextCache cache(2);
+
+  cache.get_or_prepare(A, opts);
+  cache.get_or_prepare(B, opts);
+  cache.get_or_prepare(A, opts);  // touch A: B becomes LRU
+  cache.get_or_prepare(C, opts);  // evicts B
+
+  EXPECT_TRUE(cache.contains(fingerprint(A, opts)));
+  EXPECT_FALSE(cache.contains(fingerprint(B, opts)));
+  EXPECT_TRUE(cache.contains(fingerprint(C, opts)));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+
+  // B was evicted, so it re-prepares (a fresh miss, not an error).
+  bool hit = true;
+  cache.get_or_prepare(B, opts, &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(ContextCache, ConcurrentRequestsPrepareOnce) {
+  Xoshiro256 rng(14);
+  const auto A = linalg::random_with_cond(rng, 16, 10.0);
+  const auto opts = fast_options();
+  ContextCache cache(4);
+
+  constexpr int kThreads = 8;
+  std::vector<ContextCache::ContextPtr> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { results[t] = cache.get_or_prepare(A, opts); });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(results[0].get(), results[t].get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);  // exactly one thread prepared
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(ContextCache, FailedPreparationIsNotCached) {
+  linalg::Matrix<double> singular(4, 4);  // all zeros
+  ContextCache cache(4);
+  EXPECT_THROW(cache.get_or_prepare(singular, fast_options()), contract_violation);
+  EXPECT_EQ(cache.stats().size, 0u);
+  // The poisoned entry was dropped: the next request retries (and fails
+  // again) instead of replaying a stale exception forever.
+  EXPECT_THROW(cache.get_or_prepare(singular, fast_options()), contract_violation);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(ContextCache, EvictedContextStaysUsableWhileHeld) {
+  Xoshiro256 rng(15);
+  const auto A = linalg::random_with_cond(rng, 8, 5.0);
+  const auto B = linalg::random_with_cond(rng, 8, 5.0);
+  const auto opts = fast_options();
+  ContextCache cache(1);
+
+  const auto held = cache.get_or_prepare(A, opts);
+  cache.get_or_prepare(B, opts);  // evicts A's entry
+  EXPECT_FALSE(cache.contains(fingerprint(A, opts)));
+  // shared_ptr ownership keeps the context alive and fully usable.
+  const auto b = linalg::random_unit_vector(rng, 8);
+  const auto outcome = qsvt::qsvt_solve_direction(*held, b);
+  EXPECT_GT(outcome.success_probability, 0.0);
+}
+
+}  // namespace
+}  // namespace mpqls::service

@@ -1,0 +1,179 @@
+// SolverService end to end: batch solves share one prepared context and
+// reproduce the single-solve path bitwise; concurrent scheduling does not
+// perturb results under a fixed seed; the cache spans jobs; async submit
+// works.
+#include "service/solver_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/random_matrix.hpp"
+
+namespace mpqls::service {
+namespace {
+
+solver::QsvtIrOptions ir_options(qsvt::Backend backend = qsvt::Backend::kGateLevel) {
+  solver::QsvtIrOptions o;
+  o.eps = 1e-10;
+  o.qsvt.eps_l = 1e-2;
+  o.qsvt.backend = backend;
+  return o;
+}
+
+SolveRequest make_request(std::string id, std::size_t n, std::size_t n_rhs,
+                          std::uint64_t seed,
+                          qsvt::Backend backend = qsvt::Backend::kGateLevel) {
+  Xoshiro256 rng(seed);
+  SolveRequest req;
+  req.id = std::move(id);
+  req.A = linalg::random_with_cond(rng, n, 10.0);
+  for (std::size_t k = 0; k < n_rhs; ++k) {
+    req.rhs.push_back(linalg::random_unit_vector(rng, n));
+  }
+  req.options = ir_options(backend);
+  return req;
+}
+
+TEST(SolverService, BatchMatchesSequentialBitwise) {
+  const auto req = make_request("batch-vs-seq", 8, 3, 100);
+
+  // Sequential reference: one prepared context, solves in order.
+  const auto ctx = qsvt::prepare_qsvt_solver(req.A, req.options.qsvt);
+  std::vector<solver::QsvtIrReport> reference;
+  for (const auto& b : req.rhs) reference.push_back(solver::solve_qsvt_ir(ctx, b, req.options));
+
+  SolverService service({.cache_capacity = 4, .solve_threads = 4, .job_threads = 1});
+  const auto result = service.solve(req);
+
+  ASSERT_EQ(result.solves.size(), reference.size());
+  EXPECT_TRUE(result.all_converged);
+  for (std::size_t k = 0; k < reference.size(); ++k) {
+    const auto& got = result.solves[k].report;
+    const auto& want = reference[k];
+    EXPECT_EQ(got.iterations, want.iterations);
+    ASSERT_EQ(got.x.size(), want.x.size());
+    for (std::size_t i = 0; i < want.x.size(); ++i) {
+      EXPECT_EQ(got.x[i], want.x[i]) << "rhs " << k << " component " << i;
+    }
+    ASSERT_EQ(got.scaled_residuals.size(), want.scaled_residuals.size());
+    for (std::size_t i = 0; i < want.scaled_residuals.size(); ++i) {
+      EXPECT_EQ(got.scaled_residuals[i], want.scaled_residuals[i]);
+    }
+  }
+}
+
+TEST(SolverService, ConcurrentBatchIsDeterministic) {
+  const auto req = make_request("determinism", 8, 6, 200);
+  SolverService a({.cache_capacity = 2, .solve_threads = 4, .job_threads = 1});
+  SolverService b({.cache_capacity = 2, .solve_threads = 1, .job_threads = 1});
+
+  const auto r1 = a.solve(req);
+  const auto r2 = b.solve(req);  // single worker = fully sequential schedule
+
+  ASSERT_EQ(r1.solves.size(), r2.solves.size());
+  for (std::size_t k = 0; k < r1.solves.size(); ++k) {
+    const auto& x1 = r1.solves[k].report.x;
+    const auto& x2 = r2.solves[k].report.x;
+    ASSERT_EQ(x1.size(), x2.size());
+    for (std::size_t i = 0; i < x1.size(); ++i) EXPECT_EQ(x1[i], x2[i]);
+  }
+}
+
+TEST(SolverService, SolutionsAreCorrectPerRhs) {
+  const auto req = make_request("correctness", 8, 4, 300);
+  SolverService service({.cache_capacity = 2, .solve_threads = 4, .job_threads = 1});
+  const auto result = service.solve(req);
+  ASSERT_TRUE(result.all_converged);
+  for (std::size_t k = 0; k < req.rhs.size(); ++k) {
+    const auto x_lu = linalg::lu_solve(req.A, req.rhs[k]);
+    double err = 0.0;
+    for (std::size_t i = 0; i < x_lu.size(); ++i) {
+      err = std::max(err, std::abs(result.solves[k].report.x[i] - x_lu[i]));
+    }
+    EXPECT_LT(err, 1e-8) << "rhs " << k;
+  }
+}
+
+TEST(SolverService, CacheSpansJobs) {
+  const auto req = make_request("cache-1", 8, 1, 400, qsvt::Backend::kMatrixFunction);
+  auto req2 = req;
+  req2.id = "cache-2";
+
+  SolverService service({.cache_capacity = 2, .solve_threads = 2, .job_threads = 1});
+  const auto first = service.solve(req);
+  const auto second = service.solve(req2);
+
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.fp, second.fp);
+  const auto cache = service.cache_stats();
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.hits, 1u);
+
+  // Same matrix, different refinement target: the context is reusable
+  // (same qsvt options), so it still hits.
+  auto req3 = req;
+  req3.id = "cache-3";
+  req3.options.eps = 1e-6;
+  const auto third = service.solve(req3);
+  EXPECT_TRUE(third.cache_hit);
+
+  // Different eps_l changes the fingerprint: miss.
+  auto req4 = req;
+  req4.id = "cache-4";
+  req4.options.qsvt.eps_l = 1e-3;
+  const auto fourth = service.solve(req4);
+  EXPECT_FALSE(fourth.cache_hit);
+}
+
+TEST(SolverService, SubmitRunsJobsAsynchronously) {
+  SolverService service({.cache_capacity = 4, .solve_threads = 2, .job_threads = 2});
+  std::vector<std::future<SolveResult>> futures;
+  for (int j = 0; j < 3; ++j) {
+    futures.push_back(service.submit(
+        make_request("async-" + std::to_string(j), 8, 2, 500 + j,
+                     qsvt::Backend::kMatrixFunction)));
+  }
+  for (auto& f : futures) {
+    const auto result = f.get();
+    EXPECT_TRUE(result.all_converged) << result.id;
+    EXPECT_EQ(result.solves.size(), 2u);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.jobs, 3u);
+  EXPECT_EQ(stats.rhs_solved, 6u);
+}
+
+TEST(SolverService, TelemetryIsPopulated) {
+  const auto req = make_request("telemetry", 8, 2, 600);
+  SolverService service({.cache_capacity = 2, .solve_threads = 2, .job_threads = 1});
+  const auto result = service.solve(req);
+
+  EXPECT_EQ(result.id, "telemetry");
+  EXPECT_GT(result.total_seconds, 0.0);
+  EXPECT_GE(result.prepare_seconds, 0.0);
+  for (const auto& s : result.solves) {
+    EXPECT_GT(s.solve_seconds, 0.0);
+    EXPECT_GT(s.report.total_be_calls, 0u);
+    // Per-job comm log: setup transfers plus one pair per iteration.
+    const auto comm = hybrid::summarize(s.report.comm);
+    EXPECT_GT(comm.setup_bytes, 0u);
+    EXPECT_GT(comm.cpu_to_qpu_bytes, comm.qpu_to_cpu_bytes);
+    EXPECT_EQ(comm.events, s.report.comm.events().size());
+  }
+}
+
+TEST(SolverService, RejectsEmptyRequest) {
+  SolverService service({.cache_capacity = 2, .solve_threads = 1, .job_threads = 1});
+  SolveRequest req;
+  req.A = linalg::Matrix<double>::identity(4);
+  EXPECT_THROW(service.solve(req), contract_violation);
+}
+
+}  // namespace
+}  // namespace mpqls::service
