@@ -129,7 +129,8 @@ int main(int argc, char** argv) try {
   for (const auto& job : jobs) pending.push_back(svc.submit(job));
 
   Json trace = Json::array();
-  TextTable table({"job", "n", "rhs", "cache", "prep (ms)", "solve (ms)", "residual", "ok"});
+  TextTable table({"job", "n", "rhs", "cache", "prep (ms)", "program", "compile (ms)",
+                   "solve (ms)", "residual", "ok"});
   bool all_ok = true;
   for (std::size_t j = 0; j < pending.size(); ++j) {
     const auto result = pending[j].get();
@@ -138,10 +139,18 @@ int main(int argc, char** argv) try {
       solve_ms += s.solve_seconds * 1e3;
       worst_residual = std::max(worst_residual, s.report.scaled_residuals.back());
     }
+    // Compiled-program telemetry is per context, so any solve reports it.
+    const auto& rep0 = result.solves.front().report;
+    const std::string program =
+        rep0.program_ops == 0 ? "-"
+                              : std::to_string(rep0.program_source_gates) + "->" +
+                                    std::to_string(rep0.program_ops) + " ops";
     table.add_row({result.id, std::to_string(jobs[j].A.rows()),
                    std::to_string(result.solves.size()), result.cache_hit ? "hit" : "miss",
-                   fmt_fix(result.prepare_seconds * 1e3, 1), fmt_fix(solve_ms, 1),
-                   fmt_sci(worst_residual), result.all_converged ? "yes" : "NO"});
+                   fmt_fix(result.prepare_seconds * 1e3, 1), program,
+                   rep0.program_ops == 0 ? "-" : fmt_fix(rep0.program_compile_seconds * 1e3, 1),
+                   fmt_fix(solve_ms, 1), fmt_sci(worst_residual),
+                   result.all_converged ? "yes" : "NO"});
     all_ok = all_ok && result.all_converged;
     trace.push_back(service::to_json(result));
   }

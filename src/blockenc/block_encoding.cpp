@@ -1,5 +1,7 @@
 #include "blockenc/block_encoding.hpp"
 
+#include "qsim/exec/compile.hpp"
+#include "qsim/exec/executor.hpp"
 #include "qsim/statevector.hpp"
 
 namespace mpqls::blockenc {
@@ -8,12 +10,15 @@ linalg::Matrix<std::complex<double>> encoded_block(const BlockEncoding& be) {
   const std::size_t dim = std::size_t{1} << be.n_data;
   linalg::Matrix<std::complex<double>> block(dim, dim);
   // Column j of the block: apply U to |0>_a |j> and read the ancilla-zero
-  // amplitudes (cheaper than building the full unitary).
+  // amplitudes (cheaper than building the full unitary). The circuit is
+  // compiled once and replayed for every column.
+  const auto program = qsim::exec::compile<double>(be.circuit);
+  const qsim::exec::Executor<double> executor;
   for (std::size_t j = 0; j < dim; ++j) {
     qsim::Statevector<double> sv(be.total_qubits());
     sv[0] = 0.0;
     sv[j] = 1.0;
-    sv.apply(be.circuit);
+    executor.run(program, sv);
     for (std::size_t i = 0; i < dim; ++i) {
       block(i, j) = std::complex<double>(sv[i].real(), sv[i].imag()) * be.alpha;
     }

@@ -2,10 +2,15 @@
 // O(n) prefix-sum pass by the caller, O(log n) per draw here. Shared by the
 // statevector readout and the QSVT shot-noise model so the edge handling
 // (scaling by the total mass, end-of-range fallback) lives in one place.
+//
+// `CdfSampler` is the reusable handle: build it once from a distribution
+// that is not changing (e.g. a statevector between gates) and draw any
+// number of shots without re-paying the O(n) pass per call.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -13,18 +18,61 @@
 
 namespace mpqls {
 
+/// One draw against inclusive prefix sums (binary search; no copy).
+inline std::size_t draw_from_cdf(const std::vector<double>& cdf, Xoshiro256& rng) {
+  expects(!cdf.empty(), "draw_from_cdf: empty distribution");
+  const double u = rng.uniform() * cdf.back();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return (it == cdf.end()) ? cdf.size() - 1 : static_cast<std::size_t>(it - cdf.begin());
+}
+
+/// Reusable sampling handle over inclusive prefix sums. The total mass
+/// (cdf.back()) need not be 1; draws are scaled by it.
+class CdfSampler {
+ public:
+  CdfSampler() = default;
+
+  /// Takes inclusive prefix sums of the (non-negative) weights.
+  explicit CdfSampler(std::vector<double> cdf) : cdf_(std::move(cdf)) {
+    expects(!cdf_.empty(), "CdfSampler: empty distribution");
+  }
+
+  /// Build from raw weights (one prefix-sum pass).
+  static CdfSampler from_weights(const std::vector<double>& weights) {
+    expects(!weights.empty(), "CdfSampler: empty distribution");
+    std::vector<double> cdf(weights.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      cdf[i] = acc;
+    }
+    return CdfSampler(std::move(cdf));
+  }
+
+  bool empty() const { return cdf_.empty(); }
+  std::size_t size() const { return cdf_.size(); }
+
+  /// Draw one index.
+  std::size_t draw(Xoshiro256& rng) const { return draw_from_cdf(cdf_, rng); }
+
+  /// Draw `shots` indices (identical to `shots` sequential single draws).
+  std::vector<std::size_t> draw(Xoshiro256& rng, std::uint64_t shots) const {
+    std::vector<std::size_t> outcomes(shots);
+    for (auto& o : outcomes) o = draw(rng);
+    return outcomes;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
 /// Draw `shots` indices from the distribution whose inclusive prefix sums
-/// are `cdf` (cdf.back() is the total mass; it need not be 1).
+/// are `cdf` (cdf.back() is the total mass; it need not be 1). One-shot
+/// convenience over CdfSampler for callers that do not reuse the handle.
 inline std::vector<std::size_t> sample_from_cdf(const std::vector<double>& cdf, Xoshiro256& rng,
                                                 std::uint64_t shots) {
-  expects(!cdf.empty(), "sample_from_cdf: empty distribution");
-  const double total = cdf.back();
   std::vector<std::size_t> outcomes(shots);
-  for (auto& o : outcomes) {
-    const double u = rng.uniform() * total;
-    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
-    o = (it == cdf.end()) ? cdf.size() - 1 : static_cast<std::size_t>(it - cdf.begin());
-  }
+  for (auto& o : outcomes) o = draw_from_cdf(cdf, rng);
   return outcomes;
 }
 

@@ -6,6 +6,8 @@
 #include "common/contracts.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/jacobi_eig.hpp"
+#include "qsim/exec/compile.hpp"
+#include "qsim/exec/executor.hpp"
 #include "qsim/statevector.hpp"
 #include "qsim/synth/qft.hpp"
 #include "qsim/synth/ucr.hpp"
@@ -114,9 +116,10 @@ HhlResult hhl_solve(const linalg::Matrix<double>& A, const linalg::Vector<double
   // Uncompute QPE.
   c.append(qpe.dagger());
 
-  // Execute and postselect {rotation = 1, clock = 0}.
+  // Compile (fusing the QPE ladders) and execute, then postselect
+  // {rotation = 1, clock = 0}.
   qsim::Statevector<double> sv(width);
-  sv.apply(c);
+  qsim::exec::Executor<double>().run(qsim::exec::compile<double>(c), sv);
   qsim::Circuit flip(width);
   flip.x(rot);
   sv.apply(flip);

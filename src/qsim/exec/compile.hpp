@@ -1,0 +1,117 @@
+// Circuit -> Program lowering. `lower_and_fuse` runs the precision-agnostic
+// passes (gate -> matrix materialization, adjoint resolution, target
+// sorting, single-qubit peephole fusion, <= k-qubit window fusion);
+// `specialize<T>` rounds the fused matrices to the execution precision once
+// and precomputes the kernel index tables. `compile<T>` is the one-call
+// front door and stamps the compile time into the program stats.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/timer.hpp"
+#include "qsim/circuit.hpp"
+#include "qsim/exec/program.hpp"
+
+namespace mpqls::qsim::exec {
+
+struct CompileOptions {
+  /// Master switch for the fusion passes; off = one op per gate (the
+  /// specialization and precomputed tables still apply).
+  bool fuse = true;
+  /// Fused dense windows cover at most this many qubits (targets and
+  /// folded-in controls combined). 2^k scratch per thread, 4^k matrix.
+  std::uint32_t max_fuse_qubits = 3;
+};
+
+/// Passes 1-2: lower gates to adjoint-resolved, target-sorted matrix ops
+/// and fuse neighbours. Deterministic; no precision loss (all double).
+FusedIr lower_and_fuse(const Circuit& circuit, const CompileOptions& options = {});
+
+/// Pass 3: round payloads to precision T and precompute per-op tables.
+template <typename T>
+Program<T> specialize(const FusedIr& ir) {
+  Program<T> program;
+  program.num_qubits = ir.num_qubits;
+  program.stats = ir.stats;
+  program.ops.reserve(ir.ops.size());
+  for (const auto& op : ir.ops) {
+    CompiledOp<T> c;
+    c.kind = op.kind;
+    c.pos_mask = op.pos_mask;
+    c.neg_mask = op.neg_mask;
+    c.set_mask = op.pos_mask;
+    // Bits the kernel loop must skip: control bits always; target bits for
+    // the pairwise/blockwise kinds (a diagonal visits targets in place).
+    std::uint64_t skip = op.pos_mask | op.neg_mask;
+    if (op.kind == OpKind::kApply1q || op.kind == OpKind::kDense) {
+      for (auto q : op.targets) skip |= std::uint64_t{1} << q;
+    }
+    for (std::uint32_t q = 0; q < 64 && (skip >> q) != 0; ++q) {
+      if (skip & (std::uint64_t{1} << q)) c.insert_bits.push_back(std::uint64_t{1} << q);
+    }
+    c.free_shift = static_cast<std::uint32_t>(c.insert_bits.size());
+    switch (op.kind) {
+      case OpKind::kApply1q:
+        c.target_bit = std::uint64_t{1} << op.targets[0];
+        c.m00 = std::complex<T>(static_cast<T>(op.payload[0].real()),
+                                static_cast<T>(op.payload[0].imag()));
+        c.m01 = std::complex<T>(static_cast<T>(op.payload[1].real()),
+                                static_cast<T>(op.payload[1].imag()));
+        c.m10 = std::complex<T>(static_cast<T>(op.payload[2].real()),
+                                static_cast<T>(op.payload[2].imag()));
+        c.m11 = std::complex<T>(static_cast<T>(op.payload[3].real()),
+                                static_cast<T>(op.payload[3].imag()));
+        break;
+      case OpKind::kGlobalPhase:
+        c.phase = std::complex<T>(static_cast<T>(op.payload[0].real()),
+                                  static_cast<T>(op.payload[0].imag()));
+        break;
+      case OpKind::kDense:
+      case OpKind::kDiagonal: {
+        c.num_targets = static_cast<std::uint32_t>(op.targets.size());
+        for (auto q : op.targets) {
+          const std::uint64_t bit = std::uint64_t{1} << q;
+          c.target_bits.push_back(bit);
+          c.target_mask |= bit;
+        }
+        c.payload.reserve(op.payload.size());
+        for (const auto& v : op.payload) {
+          c.payload.emplace_back(static_cast<T>(v.real()), static_cast<T>(v.imag()));
+        }
+        if (op.kind == OpKind::kDense) {
+          // Gather offsets: sub-state s lives at base | offsets[s].
+          const std::size_t sub_dim = std::size_t{1} << c.num_targets;
+          c.offsets.resize(sub_dim);
+          for (std::size_t s = 0; s < sub_dim; ++s) {
+            std::uint64_t off = 0;
+            for (std::uint32_t t = 0; t < c.num_targets; ++t) {
+              if (s & (std::size_t{1} << t)) off |= c.target_bits[t];
+            }
+            c.offsets[s] = off;
+          }
+          c.payload_re.reserve(c.payload.size());
+          c.payload_im.reserve(c.payload.size());
+          for (const auto& v : c.payload) {
+            c.payload_re.push_back(v.real());
+            c.payload_im.push_back(v.imag());
+          }
+        }
+        break;
+      }
+    }
+    program.ops.push_back(std::move(c));
+  }
+  return program;
+}
+
+/// Lower, fuse and specialize in one step.
+template <typename T>
+Program<T> compile(const Circuit& circuit, const CompileOptions& options = {}) {
+  Timer timer;
+  auto program = specialize<T>(lower_and_fuse(circuit, options));
+  program.stats.compile_seconds = timer.seconds();
+  return program;
+}
+
+}  // namespace mpqls::qsim::exec

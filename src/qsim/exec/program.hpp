@@ -1,0 +1,107 @@
+// Executable circuit IR. A `Circuit` is an interpretable gate list; a
+// `Program<T>` is what the execution engine actually runs: a flat sequence
+// of precision-specialized ops whose matrices were materialized once (in
+// the QPU precision T), whose control masks and gather offsets were
+// precomputed, and whose neighbouring gates were fused by the compiler.
+// Programs are immutable after compilation, so one compiled program can be
+// replayed concurrently against many statevectors — the per-RHS hot path
+// of the batched solver service.
+//
+// Two layers:
+//  * `FusedIr` — the precision-agnostic output of the fusion pass
+//    (double-precision matrices, sorted targets, controls as masks).
+//  * `Program<T>` — the `FusedIr` specialized to a statevector precision,
+//    with per-op kernels selected and index tables precomputed.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace mpqls::qsim::exec {
+
+enum class OpKind : std::uint8_t {
+  kApply1q,      ///< 2x2 matrix on one target qubit
+  kDense,        ///< dense 2^k x 2^k matrix on k sorted targets
+  kDiagonal,     ///< diagonal payload (2^k entries) on k sorted targets
+  kGlobalPhase,  ///< scalar multiplication of the whole register
+};
+
+/// One op of the precision-agnostic fused IR. Matrices are adjoint-resolved
+/// and target-sorted; controls that did not fold into a fused matrix remain
+/// as bit masks. `source_gates` counts the circuit gates this op absorbs.
+struct FusedOp {
+  OpKind kind = OpKind::kApply1q;
+  std::uint64_t pos_mask = 0;  ///< fire when all these bits are 1
+  std::uint64_t neg_mask = 0;  ///< fire when all these bits are 0
+  std::vector<std::uint32_t> targets;  ///< sorted ascending
+  /// kApply1q: 4 row-major entries; kDense: 2^k * 2^k row-major;
+  /// kDiagonal: 2^k entries; kGlobalPhase: 1 entry (the scalar).
+  std::vector<std::complex<double>> payload;
+  std::uint64_t source_gates = 1;
+};
+
+struct ProgramStats {
+  std::uint64_t source_gates = 0;  ///< gates in the compiled circuit
+  std::uint64_t ops = 0;           ///< ops after fusion
+  std::uint64_t fused_gates = 0;   ///< gates absorbed into another op (source - ops)
+  std::uint64_t depth = 0;         ///< greedy qubit-availability depth of the ops
+  std::uint64_t max_fused_span = 0;  ///< widest fused dense op (qubits)
+  double compile_seconds = 0.0;
+};
+
+struct FusedIr {
+  std::uint32_t num_qubits = 0;
+  std::vector<FusedOp> ops;
+  ProgramStats stats;
+};
+
+/// One executable op in precision T. The payload layout mirrors FusedOp;
+/// everything the kernel needs per amplitude-block is precomputed here.
+/// Controls are compiled away entirely: `insert_bits`/`set_mask` let the
+/// kernels enumerate exactly the amplitudes an op touches (positive
+/// controls set, negative controls and target bits zero), so a gate with c
+/// controls costs 2^-c of an uncontrolled sweep instead of a full sweep
+/// with a mask branch per index.
+template <typename T>
+struct CompiledOp {
+  OpKind kind = OpKind::kApply1q;
+  std::uint64_t pos_mask = 0;
+  std::uint64_t neg_mask = 0;
+
+  /// Sorted single-bit masks to re-insert as zeros when expanding a
+  /// compacted loop index (target bits + control bits; control bits only
+  /// for kDiagonal), then OR `set_mask` (the positive controls).
+  std::vector<std::uint64_t> insert_bits;
+  std::uint64_t set_mask = 0;
+  std::uint32_t free_shift = 0;  ///< loop count = dim >> free_shift
+
+  // kApply1q
+  std::uint64_t target_bit = 0;
+  std::complex<T> m00, m01, m10, m11;
+
+  // kDense / kDiagonal
+  std::uint32_t num_targets = 0;
+  std::uint64_t target_mask = 0;
+  std::vector<std::uint64_t> target_bits;  ///< sorted single-bit masks
+  std::vector<std::complex<T>> payload;    ///< dense matrix or diagonal
+  /// kDense: the matrix split into real/imaginary planes (row-major, same
+  /// indexing as payload) so the matmul inner loop vectorizes — the
+  /// interleaved complex layout defeats SIMD.
+  std::vector<T> payload_re, payload_im;
+  std::vector<std::uint64_t> offsets;      ///< dense: 2^k gather offsets
+
+  // kGlobalPhase
+  std::complex<T> phase;
+};
+
+template <typename T>
+struct Program {
+  std::uint32_t num_qubits = 0;
+  std::vector<CompiledOp<T>> ops;
+  ProgramStats stats;
+
+  bool empty() const { return ops.empty(); }
+};
+
+}  // namespace mpqls::qsim::exec

@@ -48,10 +48,25 @@ class Statevector {
   const std::vector<complex_type>& amplitudes() const { return amps_; }
   complex_type& operator[](std::size_t i) { return amps_[i]; }
   const complex_type& operator[](std::size_t i) const { return amps_[i]; }
+  /// Raw amplitude storage — the contract the execution engine's compiled
+  /// kernels (qsim/exec) run against.
+  complex_type* data() { return amps_.data(); }
+  const complex_type* data() const { return amps_.data(); }
 
+  // The reductions below (norm, probability, probability_all_zero) run in
+  // parallel for registers of >= 2^15 amplitudes. Parallel summation order
+  // depends on the OpenMP thread count, so their results — and everything
+  // downstream (postselect normalization, residuals) — are bitwise
+  // reproducible only for a fixed thread count. Below the threshold (all
+  // registers the test suite uses) the sums are serial and exact order is
+  // preserved.
   double norm() const {
+    const std::int64_t n = static_cast<std::int64_t>(amps_.size());
     double s = 0.0;
-    for (const auto& a : amps_) s += std::norm(std::complex<double>(a.real(), a.imag()));
+#pragma omp parallel for reduction(+ : s) if (n >= (1 << 15))
+    for (std::int64_t i = 0; i < n; ++i) {
+      s += std::norm(std::complex<double>(amps_[i].real(), amps_[i].imag()));
+    }
     return std::sqrt(s);
   }
 
@@ -113,8 +128,11 @@ class Statevector {
   /// Probability that qubit q measures `value`.
   double probability(std::uint32_t q, int value) const {
     const std::uint64_t bit = std::uint64_t{1} << q;
+    const std::int64_t n = static_cast<std::int64_t>(amps_.size());
     double p = 0.0;
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
+#pragma omp parallel for reduction(+ : p) if (n >= (1 << 15))
+    for (std::int64_t ii = 0; ii < n; ++ii) {
+      const std::uint64_t i = static_cast<std::uint64_t>(ii);
       if (((i & bit) != 0) == (value != 0)) {
         p += std::norm(std::complex<double>(amps_[i].real(), amps_[i].imag()));
       }
@@ -126,8 +144,11 @@ class Statevector {
   double probability_all_zero(const std::vector<std::uint32_t>& qubits) const {
     std::uint64_t mask = 0;
     for (auto q : qubits) mask |= std::uint64_t{1} << q;
+    const std::int64_t n = static_cast<std::int64_t>(amps_.size());
     double p = 0.0;
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
+#pragma omp parallel for reduction(+ : p) if (n >= (1 << 15))
+    for (std::int64_t ii = 0; ii < n; ++ii) {
+      const std::uint64_t i = static_cast<std::uint64_t>(ii);
       if ((i & mask) == 0) {
         p += std::norm(std::complex<double>(amps_[i].real(), amps_[i].imag()));
       }
@@ -155,28 +176,37 @@ class Statevector {
 
   /// Full measurement distribution |amp_i|^2.
   std::vector<double> probabilities() const {
+    const std::int64_t n = static_cast<std::int64_t>(amps_.size());
     std::vector<double> p(amps_.size());
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
+#pragma omp parallel for if (n >= (1 << 15))
+    for (std::int64_t i = 0; i < n; ++i) {
       p[i] = std::norm(std::complex<double>(amps_[i].real(), amps_[i].imag()));
     }
     return p;
   }
 
-  /// Sample one computational-basis outcome.
-  std::size_t sample(Xoshiro256& rng) const { return sample(rng, 1)[0]; }
-
-  /// Sample `shots` outcomes with one O(2^n) cumulative-distribution pass
-  /// and an O(log 2^n) binary search per shot — the multi-shot readout
-  /// path. The single-shot overload routes through here, so multi-shot
-  /// draws are identical to sequential single draws by construction.
-  std::vector<std::size_t> sample(Xoshiro256& rng, std::uint64_t shots) const {
+  /// Reusable readout handle: one O(2^n) cumulative-distribution pass, any
+  /// number of O(log 2^n) draws. Callers that sample repeatedly from an
+  /// unchanged state (shot batches between gates) should hold onto this
+  /// instead of calling `sample` per batch.
+  CdfSampler make_sampler() const {
     std::vector<double> cdf(amps_.size());
     double acc = 0.0;
     for (std::size_t i = 0; i < amps_.size(); ++i) {
       acc += std::norm(std::complex<double>(amps_[i].real(), amps_[i].imag()));
       cdf[i] = acc;
     }
-    return sample_from_cdf(cdf, rng, shots);
+    return CdfSampler(std::move(cdf));
+  }
+
+  /// Sample one computational-basis outcome.
+  std::size_t sample(Xoshiro256& rng) const { return sample(rng, 1)[0]; }
+
+  /// Sample `shots` outcomes through a freshly built sampler handle. The
+  /// single-shot overload routes through here, so multi-shot draws are
+  /// identical to sequential single draws by construction.
+  std::vector<std::size_t> sample(Xoshiro256& rng, std::uint64_t shots) const {
+    return make_sampler().draw(rng, shots);
   }
 
  private:

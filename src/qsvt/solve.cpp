@@ -12,6 +12,8 @@
 #include "linalg/random_matrix.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/flops.hpp"
+#include "qsim/exec/compile.hpp"
+#include "qsim/exec/executor.hpp"
 #include "qsim/statevector.hpp"
 #include "stateprep/kp_tree.hpp"
 
@@ -92,6 +94,16 @@ QsvtSolverContext prepare_qsvt_solver(linalg::Matrix<double> A, QsvtOptions opti
     ctx.phases = qsp::solve_symmetric_qsp(ctx.target, options.qsp_options);
     expects(ctx.phases.converged, "qsvt solver: QSP phase finding failed");
     ctx.circuit = build_qsvt_circuit(ctx.be, ctx.phases.phases);
+    // Lower the circuit to an executable program in the QPU precision.
+    // Like the circuit itself this is a one-off synthesis cost amortized
+    // across every right-hand side served from this context.
+    if (options.precision == QpuPrecision::kSingle) {
+      ctx.program_f32 = std::make_shared<const qsim::exec::Program<float>>(
+          qsim::exec::compile<float>(ctx.circuit->circuit));
+    } else {
+      ctx.program_f64 = std::make_shared<const qsim::exec::Program<double>>(
+          qsim::exec::compile<double>(ctx.circuit->circuit));
+    }
   }
   ctx.prepare_classical_flops = flops.count();
   return ctx;
@@ -104,6 +116,18 @@ std::shared_ptr<const QsvtSolverContext> prepare_qsvt_solver_shared(linalg::Matr
 }
 
 namespace {
+
+/// The context's compiled program in precision T (nullptr if absent).
+template <typename T>
+const qsim::exec::Program<T>* context_program(const QsvtSolverContext& ctx);
+template <>
+const qsim::exec::Program<float>* context_program<float>(const QsvtSolverContext& ctx) {
+  return ctx.program_f32.get();
+}
+template <>
+const qsim::exec::Program<double>* context_program<double>(const QsvtSolverContext& ctx) {
+  return ctx.program_f64.get();
+}
 
 linalg::Vector<double> normalized(const linalg::Vector<double>& v) {
   const double n = linalg::nrm2(v);
@@ -120,16 +144,18 @@ void apply_shot_noise(linalg::Vector<double>& direction, std::uint64_t shots,
                       std::uint64_t seed) {
   if (shots == 0) return;
   Xoshiro256 rng(seed);
-  // Cumulative distribution once, O(log n) binary search per shot (the
-  // per-shot linear scan used to dominate large multi-shot readouts).
+  // One cumulative-distribution pass held in a reusable handle, O(log n)
+  // binary search per shot (the per-shot linear scan used to dominate
+  // large multi-shot readouts).
   std::vector<double> cdf(direction.size());
   double acc = 0.0;
   for (std::size_t i = 0; i < direction.size(); ++i) {
     acc += direction[i] * direction[i];
     cdf[i] = acc;
   }
+  const CdfSampler sampler(std::move(cdf));
   std::vector<std::uint64_t> hist(direction.size(), 0);
-  for (const std::size_t outcome : sample_from_cdf(cdf, rng, shots)) ++hist[outcome];
+  for (const std::size_t outcome : sampler.draw(rng, shots)) ++hist[outcome];
   for (std::size_t i = 0; i < direction.size(); ++i) {
     const double mag = std::sqrt(static_cast<double>(hist[i]) / static_cast<double>(shots));
     direction[i] = std::copysign(mag, direction[i]);
@@ -165,8 +191,15 @@ QsvtSolveOutcome run_gate_level(const QsvtSolverContext& ctx,
     apply_noisy(sv, sp.circuit, ctx.options.noise, noise_rng);
     apply_noisy(sv, qc.circuit, ctx.options.noise, noise_rng);
   } else {
-    sv.apply(sp.circuit);
-    sv.apply(qc.circuit);
+    // Clean path: replay the cached compiled program; only SP(rhs) is
+    // compiled per solve (it depends on the right-hand side).
+    const qsim::exec::Executor<T> executor;
+    executor.run(qsim::exec::compile<T>(sp.circuit), sv);
+    if (const auto* program = context_program<T>(ctx)) {
+      executor.run(*program, sv);
+    } else {
+      sv.apply(qc.circuit);
+    }
   }
 
   // Postselect: BE ancillas and signal at |0>, real-part qubit at |1>
@@ -251,6 +284,12 @@ QsvtSolveOutcome run_matrix_function(const QsvtSolverContext& ctx,
 }
 
 }  // namespace
+
+const qsim::exec::ProgramStats* compiled_program_stats(const QsvtSolverContext& ctx) {
+  if (ctx.program_f32) return &ctx.program_f32->stats;
+  if (ctx.program_f64) return &ctx.program_f64->stats;
+  return nullptr;
+}
 
 QsvtSolveOutcome qsvt_solve_direction(const QsvtSolverContext& ctx,
                                       const linalg::Vector<double>& rhs) {

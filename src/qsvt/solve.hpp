@@ -23,6 +23,7 @@
 #include "linalg/jacobi_svd.hpp"
 #include "linalg/matrix.hpp"
 #include "poly/inverse_poly.hpp"
+#include "qsim/exec/program.hpp"
 #include "qsim/noise.hpp"
 #include "qsp/symmetric_qsp.hpp"
 #include "qsvt/qsvt_circuit.hpp"
@@ -74,8 +75,19 @@ struct QsvtSolverContext {
   double eps_l_effective = 0.0;     ///< measured polynomial accuracy
   qsp::SymQspResult phases;         ///< symmetric QSP phases (gate backend)
   std::optional<QsvtCircuit> circuit;  ///< built for the gate backend
+  /// The QSVT circuit lowered to an executable program in the context's
+  /// QPU precision (the other slot stays empty) — compiled once here,
+  /// replayed per right-hand side by the gate backend. Clean solves never
+  /// re-interpret the gate list; only noise trajectories do.
+  std::shared_ptr<const qsim::exec::Program<float>> program_f32;
+  std::shared_ptr<const qsim::exec::Program<double>> program_f64;
   std::uint64_t prepare_classical_flops = 0;
 };
+
+/// Stats of the context's compiled program (nullptr for the matrix-function
+/// backend or contexts prepared without a circuit) — telemetry surfaced in
+/// QsvtIrReport and the service job results.
+const qsim::exec::ProgramStats* compiled_program_stats(const QsvtSolverContext& ctx);
 
 /// One-off preparation: SVD, block-encoding, polynomial, phases, circuit.
 QsvtSolverContext prepare_qsvt_solver(linalg::Matrix<double> A, QsvtOptions options);

@@ -222,6 +222,14 @@ Json report_to_json(const solver::QsvtIrReport& r) {
   j["poly_scale"] = r.poly_scale;
   j["theoretical_iteration_bound"] = r.theoretical_iteration_bound;
   j["total_be_calls"] = r.total_be_calls;
+  // Execution-engine telemetry: how the cached circuit compiled (zeros for
+  // the matrix-function backend).
+  Json program = Json::object();
+  program["source_gates"] = r.program_source_gates;
+  program["ops"] = r.program_ops;
+  program["depth"] = r.program_depth;
+  program["compile_seconds"] = r.program_compile_seconds;
+  j["program"] = std::move(program);
   Json solves = Json::array();
   for (const auto& s : r.solves) {
     Json sj = Json::object();
@@ -251,6 +259,13 @@ solver::QsvtIrReport report_from_json(const Json& j) {
   r.poly_scale = j.at("poly_scale").as_number();
   r.theoretical_iteration_bound = j.at("theoretical_iteration_bound").as_uint();
   r.total_be_calls = j.at("total_be_calls").as_uint();
+  if (j.contains("program")) {  // absent in pre-exec-engine traces
+    const Json& program = j.at("program");
+    r.program_source_gates = program.uint_or("source_gates", 0);
+    r.program_ops = program.uint_or("ops", 0);
+    r.program_depth = program.uint_or("depth", 0);
+    r.program_compile_seconds = program.number_or("compile_seconds", 0.0);
+  }
   for (const auto& sj : j.at("solves").as_array()) {
     solver::SolveTelemetry s;
     s.mu = sj.at("mu").as_number();

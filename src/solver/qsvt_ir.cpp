@@ -49,6 +49,12 @@ QsvtIrReport solve_qsvt_ir(const qsvt::QsvtSolverContext& ctx, const linalg::Vec
   rep.eps_l_effective = ctx.eps_l_effective;
   rep.poly_degree = ctx.target.degree();
   rep.poly_scale = ctx.poly_scale;
+  if (const auto* program = qsvt::compiled_program_stats(ctx)) {
+    rep.program_source_gates = program->source_gates;
+    rep.program_ops = program->ops;
+    rep.program_depth = program->depth;
+    rep.program_compile_seconds = program->compile_seconds;
+  }
   // The measured polynomial error sup |2k P(x) - 1/x| bounds the residual
   // contraction per iteration directly: in the paper's notation this
   // quantity IS eps_l * kappa (their eps_l is the solution relative error

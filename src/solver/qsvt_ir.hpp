@@ -50,6 +50,14 @@ struct QsvtIrReport {
   std::uint64_t theoretical_iteration_bound = 0;  ///< Theorem III.1
   std::uint64_t total_be_calls = 0;
 
+  /// Compiled-program telemetry (gate backend; all zero for the
+  /// matrix-function backend): how the execution engine lowered the cached
+  /// QSVT circuit, and what the one-off compilation cost.
+  std::uint64_t program_source_gates = 0;  ///< gates before fusion
+  std::uint64_t program_ops = 0;           ///< executable ops after fusion
+  std::uint64_t program_depth = 0;         ///< greedy depth of the program
+  double program_compile_seconds = 0.0;
+
   std::vector<SolveTelemetry> solves;  ///< per QSVT call (first + iterations)
   hybrid::CommLog comm;                ///< Fig. 1 transfer timeline
 };

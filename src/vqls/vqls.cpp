@@ -48,7 +48,10 @@ VqlsResult vqls_solve(const linalg::Matrix<double>& A, const linalg::Vector<doub
   const int n_params = (options.layers + 1) * static_cast<int>(n);
 
   // Global cost from the simulator state: the RY+CZ ansatz is real, so all
-  // quantities stay in real arithmetic.
+  // quantities stay in real arithmetic. The ansatz is rebuilt with fresh
+  // thetas on every evaluation, so the exec engine's compile-once/replay-many
+  // economy never applies here — the gate-by-gate interpreter is faster than
+  // compile+run for a circuit that is executed exactly once.
   auto cost = [&](const std::vector<double>& theta) {
     qsim::Statevector<double> sv(n);
     sv.apply(build_ansatz(n, options.layers, theta));

@@ -1,7 +1,9 @@
 // SolverService end to end: batch solves share one prepared context and
 // reproduce the single-solve path bitwise; concurrent scheduling does not
 // perturb results under a fixed seed; the cache spans jobs; async submit
-// works.
+// works. (Bitwise holds at a fixed OpenMP thread count: registers of
+// >= 2^15 amplitudes reduce norms/probabilities in parallel, and the
+// summation order follows the thread count — see qsim/statevector.hpp.)
 #include "service/solver_service.hpp"
 
 #include <gtest/gtest.h>
