@@ -1,8 +1,17 @@
-// The batched solver service end to end: read a JSON job file of mixed
-// scenarios (Poisson 1D/2D, tridiagonal with the banded encoding, random
-// systems across eps/eps_l/precision/backends, shot-based readout), queue
-// every job on the service, and print per-job telemetry — cache behaviour,
-// prepare vs solve wall clock, residuals and comm volumes.
+// Entrypoint for the solver service, in two modes.
+//
+// Daemon mode — the networked front-end (src/net/):
+//
+//   build/examples/service_server serve [--port 8080] [--bind 127.0.0.1]
+//       [--solve-threads N] [--job-threads N] [--queue-depth N]
+//       [--cache-capacity N] [--retained-jobs N] [--max-body-mb N]
+//
+// serves POST /v1/jobs, GET /v1/jobs/{id}, /v1/healthz and /v1/metrics
+// until SIGINT/SIGTERM, then drains: admission closes (503), in-flight
+// jobs finish while clients keep polling, and the server stops.
+// `--port 0` picks an ephemeral port (printed on stdout).
+//
+// Batch mode — run a JSON job file in-process and exit:
 //
 //   build/examples/service_server [jobs.json] [--trace out.json]
 //   build/examples/service_server --emit-jobs examples/jobs/mixed.json
@@ -12,15 +21,20 @@
 // generated from, so the two cannot drift). Jobs that share a matrix and
 // QSVT configuration hit the context cache: circuit synthesis happens
 // once.
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/io.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "net/daemon.hpp"
 #include "service/json_io.hpp"
 #include "service/solver_service.hpp"
 
@@ -80,21 +94,116 @@ constexpr const char* kDefaultJobs = R"JSON({
   ]
 })JSON";
 
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open job file: %s\n", path.c_str());
+/// `--flag value` parser for the serve subcommand; exits on bad usage —
+/// a typo must not silently become 0 (for --queue-depth that would mean
+/// "admission control off").
+std::size_t flag_value(int argc, char** argv, int* i, const char* flag) {
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "%s needs a value\n", flag);
     std::exit(2);
   }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+  const char* text = argv[++*i];
+  char* end = nullptr;
+  errno = 0;
+  // Digits only up front: strtoull would silently wrap "-64" to ~2^64.
+  const unsigned long long v =
+      (text[0] >= '0' && text[0] <= '9') ? std::strtoull(text, &end, 10) : 0;
+  if (end == nullptr || end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "%s: not a number: %s\n", flag, text);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+int run_daemon(int argc, char** argv) {
+  using namespace mpqls;
+
+  net::DaemonOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port") {
+      const std::size_t port = flag_value(argc, argv, &i, "--port");
+      if (port > 65535) {
+        std::fprintf(stderr, "--port: out of range: %zu\n", port);
+        return 2;
+      }
+      options.port = static_cast<std::uint16_t>(port);
+    } else if (arg == "--bind") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--bind needs an address\n");
+        return 2;
+      }
+      options.bind_address = argv[++i];
+    } else if (arg == "--solve-threads") {
+      options.service.solve_threads = flag_value(argc, argv, &i, "--solve-threads");
+    } else if (arg == "--job-threads") {
+      options.service.job_threads = flag_value(argc, argv, &i, "--job-threads");
+    } else if (arg == "--queue-depth") {
+      options.service.max_pending_jobs = flag_value(argc, argv, &i, "--queue-depth");
+    } else if (arg == "--cache-capacity") {
+      options.service.cache_capacity = flag_value(argc, argv, &i, "--cache-capacity");
+    } else if (arg == "--retained-jobs") {
+      options.service.retained_jobs = flag_value(argc, argv, &i, "--retained-jobs");
+    } else if (arg == "--max-body-mb") {
+      options.limits.max_body_bytes = flag_value(argc, argv, &i, "--max-body-mb") << 20;
+    } else {
+      std::fprintf(stderr, "unknown serve flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // Block the shutdown signals before the daemon spawns threads (they
+  // inherit the mask), then take them synchronously with sigwait: the
+  // drain runs on the main thread with no async-signal-safety caveats.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  if (pthread_sigmask(SIG_BLOCK, &mask, nullptr) != 0) {
+    std::fprintf(stderr, "pthread_sigmask failed\n");
+    return 2;
+  }
+
+  net::SolverDaemon daemon(options);
+  daemon.start();
+  std::printf("solver daemon listening on %s:%u\n", options.bind_address.c_str(),
+              static_cast<unsigned>(daemon.port()));
+  std::printf("  POST /v1/jobs | GET /v1/jobs/{id} | GET /v1/healthz | GET /v1/metrics\n");
+  std::fflush(stdout);
+
+  int sig = 0;
+  if (sigwait(&mask, &sig) != 0) {
+    std::fprintf(stderr, "sigwait failed\n");
+    return 2;
+  }
+  std::printf("received %s, draining (in-flight jobs finish, polls keep working)...\n",
+              sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  std::fflush(stdout);
+
+  const bool drained = daemon.drain();
+  const auto queue = daemon.service().queue_stats();
+  std::printf("drained %s: %llu done, %llu failed, %llu rejected\n",
+              drained ? "cleanly" : "with timeout",
+              static_cast<unsigned long long>(queue.done),
+              static_cast<unsigned long long>(queue.failed),
+              static_cast<unsigned long long>(queue.rejected));
+  if (!drained) {
+    // Past the grace window the timeout must mean something: returning
+    // normally would run ~ThreadPool, which drains every remaining queued
+    // job to completion (and further signals stay blocked) — exit hard
+    // instead and let the OS reclaim.
+    std::fflush(stdout);
+    std::_Exit(1);
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) try {
   using namespace mpqls;
+
+  if (argc >= 2 && std::string(argv[1]) == "serve") return run_daemon(argc, argv);
 
   std::string jobs_text = kDefaultJobs;
   std::string trace_path;
@@ -114,7 +223,12 @@ int main(int argc, char** argv) try {
       std::printf("default jobs written to %s\n", path);
       return 0;
     } else {
-      jobs_text = read_file(arg);
+      auto text = read_text_file(arg);
+      if (!text) {
+        std::fprintf(stderr, "cannot open job file: %s\n", arg.c_str());
+        return 2;
+      }
+      jobs_text = *std::move(text);
     }
   }
 

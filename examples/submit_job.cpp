@@ -1,0 +1,144 @@
+// Remote job submission against a running solver daemon:
+//
+//   build/examples/service_server serve --port 8080 &
+//   build/examples/submit_job --port 8080 examples/jobs/mixed.json
+//
+// Reads a job file ({"jobs": [...]} or a single request object), POSTs
+// every job to /v1/jobs over one keep-alive connection, then polls
+// /v1/jobs/{id} until each is terminal and prints a summary table.
+// Backpressure is handled the way a well-behaved client should: 429
+// waits and resubmits, 503 (draining) gives up on the remaining jobs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/io.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "net/http_client.hpp"
+
+
+int main(int argc, char** argv) try {
+  using namespace mpqls;
+
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 8080;
+  int poll_ms = 100;
+  int timeout_s = 600;
+  std::string jobs_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::stoi(argv[++i]));
+    } else if (arg == "--poll-ms" && i + 1 < argc) {
+      poll_ms = std::stoi(argv[++i]);
+    } else if (arg == "--timeout-s" && i + 1 < argc) {
+      timeout_s = std::stoi(argv[++i]);
+    } else if (!arg.empty() && arg[0] != '-') {
+      jobs_path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: submit_job [--host H] [--port P] [--poll-ms N] [--timeout-s N] "
+                   "jobs.json\n");
+      return 2;
+    }
+  }
+  if (jobs_path.empty()) {
+    std::fprintf(stderr, "submit_job: no job file given\n");
+    return 2;
+  }
+
+  const auto jobs_text = read_text_file(jobs_path);
+  if (!jobs_text) {
+    std::fprintf(stderr, "cannot open job file: %s\n", jobs_path.c_str());
+    return 2;
+  }
+  const Json doc = Json::parse(*jobs_text);
+  std::vector<Json> jobs;
+  if (doc.contains("jobs")) {
+    for (const auto& j : doc.at("jobs").as_array()) jobs.push_back(j);
+  } else {
+    jobs.push_back(doc);
+  }
+
+  net::HttpClient client(host, port);
+  std::printf("submitting %zu jobs to %s:%u\n", jobs.size(), host.c_str(),
+              static_cast<unsigned>(port));
+
+  // One deadline bounds the whole run — 429 retries included, so a
+  // permanently saturated daemon cannot hang the client.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(timeout_s);
+
+  struct Submitted {
+    std::string label;
+    std::string job_id;
+  };
+  std::vector<Submitted> submitted;
+  for (const auto& job : jobs) {
+    const std::string label = job.string_or("id", "(unnamed)");
+    for (;;) {
+      const auto response = client.post("/v1/jobs", job.dump());
+      if (response.status == 202) {
+        const auto body = Json::parse(response.body);
+        submitted.push_back({label, body.at("job_id").as_string()});
+        break;
+      }
+      if (response.status == 429) {  // queue full: wait one beat and retry
+        if (std::chrono::steady_clock::now() > deadline) {
+          std::fprintf(stderr, "timed out waiting for queue capacity for '%s'\n", label.c_str());
+          return 4;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+        continue;
+      }
+      std::fprintf(stderr, "job '%s' refused (%d): %s", label.c_str(), response.status,
+                   response.body.c_str());
+      if (response.status == 503) return 3;  // daemon draining; stop submitting
+      break;                                 // 400 etc.: skip this job, keep going
+    }
+  }
+
+  TextTable table({"job", "job id", "state", "queue (ms)", "run (ms)", "converged"});
+  // Refused jobs (400 etc.) already failed the run even though we keep
+  // polling the ones that were admitted.
+  bool all_ok = submitted.size() == jobs.size();
+  for (const auto& s : submitted) {
+    Json status;
+    for (;;) {
+      const auto response = client.get("/v1/jobs/" + s.job_id);
+      if (response.status != 200) {
+        std::fprintf(stderr, "poll %s failed (%d)\n", s.job_id.c_str(), response.status);
+        all_ok = false;
+        break;
+      }
+      status = Json::parse(response.body);
+      const std::string state = status.at("state").as_string();
+      if (state == "done" || state == "failed") break;
+      if (std::chrono::steady_clock::now() > deadline) {
+        std::fprintf(stderr, "timed out waiting for %s\n", s.job_id.c_str());
+        return 4;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
+    if (!status.is_object()) continue;
+    const std::string state = status.at("state").as_string();
+    const bool converged =
+        state == "done" && status.at("result").at("all_converged").as_bool();
+    all_ok = all_ok && converged;
+    table.add_row({s.label, s.job_id, state,
+                   fmt_fix(status.at("queue_seconds").as_number() * 1e3, 1),
+                   fmt_fix(status.at("run_seconds").as_number() * 1e3, 1),
+                   state == "failed" ? status.string_or("error", "?") : (converged ? "yes" : "NO")});
+  }
+  table.print(std::cout);
+  return all_ok ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "submit_job: %s\n", e.what());
+  return 2;
+}

@@ -1,0 +1,20 @@
+// Whole-file text slurp shared by the example CLIs (job files, traces).
+#pragma once
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace mpqls {
+
+/// Read an entire file; nullopt when it cannot be opened.
+inline std::optional<std::string> read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace mpqls

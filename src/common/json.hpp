@@ -3,12 +3,19 @@
 // traces (service/json_io). Numbers are IEEE doubles, written with
 // shortest-round-trip formatting so a dump -> parse cycle is lossless;
 // objects keep sorted keys so dumps are deterministic.
+//
+// The parser is hardened for untrusted network input (the daemon feeds it
+// raw request bodies): trailing garbage after the top-level value is
+// rejected, nesting depth is capped, and every rejection throws
+// JsonParseError carrying the byte offset — so a 400 response can point at
+// the defect instead of silently truncating or overflowing the stack.
 #pragma once
 
 #include <charconv>
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <variant>
@@ -17,6 +24,20 @@
 #include "common/contracts.hpp"
 
 namespace mpqls {
+
+/// Malformed JSON text. `position()` is the byte offset into the parsed
+/// document where the defect was detected (0-based).
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& message, std::size_t position)
+      : std::runtime_error("Json: " + message + " at byte " + std::to_string(position)),
+        position_(position) {}
+
+  std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
 
 class Json {
  public:
@@ -141,12 +162,14 @@ class Json {
 
   // --- parser ---------------------------------------------------------------
 
-  /// Parse a complete JSON document; trailing non-whitespace is an error.
+  /// Parse a complete JSON document. Throws JsonParseError (with byte
+  /// position) on malformed input, trailing non-whitespace after the
+  /// top-level value, or nesting deeper than Parser::kMaxDepth.
   static Json parse(std::string_view text) {
     Parser p{text, 0};
     Json v = p.parse_value();
     p.skip_ws();
-    expects(p.pos == text.size(), "Json: trailing characters after document");
+    if (p.pos != text.size()) throw JsonParseError("trailing characters after document", p.pos);
     return v;
   }
 
@@ -244,6 +267,8 @@ class Json {
     std::size_t pos;
     int depth = 0;
 
+    [[noreturn]] void fail(const char* message) const { throw JsonParseError(message, pos); }
+
     void skip_ws() {
       while (pos < text.size() &&
              (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' || text[pos] == '\r')) {
@@ -252,12 +277,12 @@ class Json {
     }
 
     char peek() {
-      expects(pos < text.size(), "Json: unexpected end of input");
+      if (pos >= text.size()) fail("unexpected end of input");
       return text[pos];
     }
 
     void expect(char c) {
-      expects(pos < text.size() && text[pos] == c, "Json: unexpected character");
+      if (pos >= text.size() || text[pos] != c) fail("unexpected character");
       ++pos;
     }
 
@@ -269,7 +294,7 @@ class Json {
 
     Json parse_value() {
       skip_ws();
-      expects(depth < kMaxDepth, "Json: nesting too deep");
+      if (depth >= kMaxDepth) fail("nesting too deep");
       ++depth;
       Json v;
       const char c = peek();
@@ -340,14 +365,14 @@ class Json {
       expect('"');
       std::string s;
       for (;;) {
-        expects(pos < text.size(), "Json: unterminated string");
+        if (pos >= text.size()) fail("unterminated string");
         char c = text[pos++];
         if (c == '"') return s;
         if (c != '\\') {
           s += c;
           continue;
         }
-        expects(pos < text.size(), "Json: unterminated escape");
+        if (pos >= text.size()) fail("unterminated escape");
         const char e = text[pos++];
         switch (e) {
           case '"': s += '"'; break;
@@ -359,7 +384,7 @@ class Json {
           case 'r': s += '\r'; break;
           case 't': s += '\t'; break;
           case 'u': {
-            expects(pos + 4 <= text.size(), "Json: truncated \\u escape");
+            if (pos + 4 > text.size()) fail("truncated \\u escape");
             unsigned cp = 0;
             for (int i = 0; i < 4; ++i) {
               const char h = text[pos++];
@@ -367,7 +392,7 @@ class Json {
               if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
               else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
               else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
-              else expects(false, "Json: bad hex digit in \\u escape");
+              else fail("bad hex digit in \\u escape");
             }
             // Encode the BMP code point as UTF-8 (surrogate pairs are passed
             // through unpaired — the service never emits them).
@@ -384,7 +409,7 @@ class Json {
             break;
           }
           default:
-            expects(false, "Json: unknown escape");
+            fail("unknown escape");
         }
       }
     }
@@ -399,7 +424,9 @@ class Json {
       }
       double v = 0.0;
       const auto res = std::from_chars(text.data() + start, text.data() + pos, v);
-      expects(res.ec == std::errc{} && res.ptr == text.data() + pos, "Json: bad number");
+      if (res.ec != std::errc{} || res.ptr != text.data() + pos) {
+        throw JsonParseError("bad number", start);
+      }
       return Json(v);
     }
   };

@@ -1,0 +1,110 @@
+// Prometheus text-exposition writer (format 0.0.4) for the daemon's
+// /v1/metrics endpoint: turns the service's counters — cache hits/misses,
+// queue depth, per-stage wall clock, compiled-program stats — into the
+// `# HELP` / `# TYPE` / sample-line format every metrics scraper speaks.
+// Header-only and allocation-light; a fresh writer is built per scrape so
+// values are a consistent snapshot.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace mpqls {
+
+class MetricsWriter {
+ public:
+  using Label = std::pair<std::string_view, std::string_view>;
+
+  /// Monotone cumulative value (requests served, seconds spent, ...).
+  void counter(std::string_view name, std::string_view help, double value,
+               std::initializer_list<Label> labels = {}) {
+    sample(name, help, "counter", value, labels);
+  }
+  void counter(std::string_view name, std::string_view help, std::uint64_t value,
+               std::initializer_list<Label> labels = {}) {
+    sample(name, help, "counter", static_cast<double>(value), labels);
+  }
+
+  /// Point-in-time value (queue depth, resident contexts, ...).
+  void gauge(std::string_view name, std::string_view help, double value,
+             std::initializer_list<Label> labels = {}) {
+    sample(name, help, "gauge", value, labels);
+  }
+  void gauge(std::string_view name, std::string_view help, std::uint64_t value,
+             std::initializer_list<Label> labels = {}) {
+    sample(name, help, "gauge", static_cast<double>(value), labels);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void sample(std::string_view name, std::string_view help, std::string_view type, double value,
+              std::initializer_list<Label> labels) {
+    // HELP/TYPE preamble once per metric family; labelled series of one
+    // family arrive consecutively, so comparing against the previous name
+    // is enough.
+    if (name != last_name_) {
+      out_ += "# HELP ";
+      out_ += name;
+      out_ += ' ';
+      out_ += help;
+      out_ += "\n# TYPE ";
+      out_ += name;
+      out_ += ' ';
+      out_ += type;
+      out_ += '\n';
+      last_name_.assign(name);
+    }
+    out_ += name;
+    if (labels.size() > 0) {
+      out_ += '{';
+      bool first = true;
+      for (const auto& [k, v] : labels) {
+        if (!first) out_ += ',';
+        first = false;
+        out_ += k;
+        out_ += "=\"";
+        for (char c : v) {  // escape per the exposition format
+          if (c == '\\' || c == '"') out_ += '\\';
+          if (c == '\n') {
+            out_ += "\\n";
+            continue;
+          }
+          out_ += c;
+        }
+        out_ += '"';
+      }
+      out_ += '}';
+    }
+    out_ += ' ';
+    write_value(value);
+    out_ += '\n';
+  }
+
+  void write_value(double value) {
+    expects(!std::isnan(value), "metrics: NaN sample");
+    // Integral values print without exponent/fraction so counters read
+    // naturally; everything else uses shortest-round-trip formatting.
+    char buf[32];
+    if (value == std::floor(value) && std::abs(value) < 0x1p63) {
+      const auto res =
+          std::to_chars(buf, buf + sizeof buf, static_cast<std::int64_t>(value));
+      out_.append(buf, res.ptr);
+    } else {
+      const auto res = std::to_chars(buf, buf + sizeof buf, value);
+      out_.append(buf, res.ptr);
+    }
+  }
+
+  std::string out_;
+  std::string last_name_;
+};
+
+}  // namespace mpqls

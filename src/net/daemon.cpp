@@ -1,0 +1,189 @@
+#include "net/daemon.hpp"
+
+#include <utility>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "service/json_io.hpp"
+
+namespace mpqls::net {
+
+namespace {
+
+HttpResponse json_response(int status, Json body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = body.dump() + "\n";
+  return r;
+}
+
+HttpResponse error_json(int status, const std::string& message) {
+  Json j = Json::object();
+  j["error"] = message;
+  return json_response(status, std::move(j));
+}
+
+}  // namespace
+
+SolverDaemon::SolverDaemon(DaemonOptions options)
+    : options_(options),
+      service_(options.service),
+      server_(
+          HttpServer::Options{options.bind_address, options.port, options.limits,
+                              options.max_connections, options.idle_timeout},
+          [this](const HttpRequest& request) { return handle(request); }) {
+  router_.add("POST", "/v1/jobs",
+              [this](const HttpRequest& request, const PathParams&) { return submit_job(request); });
+  router_.add("GET", "/v1/jobs/{id}",
+              [this](const HttpRequest&, const PathParams& params) { return job_status(params); });
+  router_.add("GET", "/v1/healthz",
+              [this](const HttpRequest&, const PathParams&) { return healthz(); });
+  router_.add("GET", "/v1/metrics", [this](const HttpRequest&, const PathParams&) {
+    HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = metrics_text();
+    return r;
+  });
+}
+
+void SolverDaemon::start() { server_.start(); }
+
+bool SolverDaemon::drain(std::chrono::milliseconds grace) {
+  draining_.store(true);
+  const bool idle = service_.wait_idle(grace);
+  if (!stopped_.exchange(true)) server_.stop();
+  return idle;
+}
+
+// HttpServer owns keep-alive semantics (it combines every handler
+// response with the request's wishes), so dispatch is all that's left.
+HttpResponse SolverDaemon::handle(const HttpRequest& request) { return router_.dispatch(request); }
+
+HttpResponse SolverDaemon::submit_job(const HttpRequest& request) {
+  if (draining_.load()) return error_json(503, "daemon is draining; job admission closed");
+
+  // Only the (byte-capped) JSON parse runs here on the loop thread.
+  // Materializing the request — scenario matrices can be O(n^3) to
+  // generate — is deferred to the job worker, so a heavy or semantically
+  // bogus body can never stall the event loop: schema defects surface as
+  // state=failed with the validation message when the job is polled.
+  Json body;
+  try {
+    body = Json::parse(request.body);
+  } catch (const JsonParseError& e) {
+    return error_json(400, e.what());
+  }
+
+  // The render callback also runs on the worker, so a terminal result is
+  // serialized exactly once no matter how often it is polled.
+  const auto job_id = service_.submit_job(
+      std::function<service::SolveRequest()>(
+          [body = std::move(body)] { return service::request_from_json(body); }),
+      [](const service::SolveResult& result) { return service::to_json(result).dump(); });
+  if (!job_id) {
+    HttpResponse r = error_json(429, "job queue full; retry later");
+    r.headers.emplace_back("Retry-After", "1");
+    return r;
+  }
+
+  Json j = Json::object();
+  j["job_id"] = *job_id;
+  j["state"] = "queued";
+  j["status_url"] = "/v1/jobs/" + *job_id;
+  return json_response(202, std::move(j));
+}
+
+HttpResponse SolverDaemon::job_status(const PathParams& params) {
+  const auto status = service_.job_status(params.get("id"));
+  if (!status) return error_json(404, "unknown job id");
+
+  Json j = Json::object();
+  j["job_id"] = status->job_id;
+  j["state"] = service::to_string(status->state);
+  j["queue_seconds"] = status->queue_seconds;
+  j["run_seconds"] = status->run_seconds;
+  if (!status->error.empty()) j["error"] = status->error;
+
+  HttpResponse response;
+  response.body = j.dump();
+  if (status->rendered) {
+    // Splice the worker-rendered result in verbatim instead of
+    // re-serializing a potentially multi-MB SolveResult on the event-loop
+    // thread for every poll. The envelope dump is a non-empty object, so
+    // inserting before its closing '}' keeps the body valid JSON.
+    response.body.insert(response.body.size() - 1, ",\"result\":" + *status->rendered);
+  }
+  response.body += "\n";
+  return response;
+}
+
+HttpResponse SolverDaemon::healthz() const {
+  Json j = Json::object();
+  j["status"] = draining_.load() ? "draining" : "ok";
+  j["uptime_seconds"] = uptime_.seconds();
+  return json_response(200, std::move(j));
+}
+
+std::string SolverDaemon::metrics_text() const {
+  const auto cache = service_.cache_stats();
+  const auto stats = service_.stats();
+  const auto queue = service_.queue_stats();
+  const auto http = server_.stats();
+
+  MetricsWriter m;
+  m.gauge("mpqls_up", "1 while the daemon is serving.", std::uint64_t{1});
+  m.gauge("mpqls_draining", "1 once SIGTERM/SIGINT started the drain.",
+          std::uint64_t{draining_.load() ? 1u : 0u});
+  m.counter("mpqls_uptime_seconds", "Wall-clock seconds since daemon construction.",
+            uptime_.seconds());
+
+  m.counter("mpqls_jobs_completed_total", "Jobs fully solved (sync and async paths).",
+            stats.jobs);
+  m.counter("mpqls_rhs_solved_total", "Right-hand sides solved across all jobs.",
+            stats.rhs_solved);
+  m.counter("mpqls_solve_seconds_total", "Summed per-RHS refinement wall clock.",
+            stats.solve_seconds_total);
+  m.counter("mpqls_prepare_seconds_total",
+            "Summed context-preparation wall clock (cache hits cost ~0).",
+            stats.prepare_seconds_total);
+  m.counter("mpqls_program_compile_seconds_total",
+            "Summed circuit->program compile wall clock (one per prepared context).",
+            stats.program_compile_seconds_total);
+  m.counter("mpqls_program_ops_total", "Fused executor ops across compiled programs.",
+            stats.program_ops_total);
+
+  m.counter("mpqls_cache_hits_total", "Context-cache hits (includes in-flight joins).",
+            cache.hits);
+  m.counter("mpqls_cache_misses_total", "Context-cache misses (each runs a preparation).",
+            cache.misses);
+  m.counter("mpqls_cache_evictions_total", "Contexts evicted by LRU pressure.",
+            cache.evictions);
+  m.gauge("mpqls_cache_resident", "Prepared contexts currently cached.", cache.size);
+  m.gauge("mpqls_cache_capacity", "Context-cache capacity.", cache.capacity);
+
+  m.gauge("mpqls_queue_depth", "Jobs accepted but not yet picked up by a worker.",
+          queue.queued);
+  m.gauge("mpqls_jobs_running", "Jobs a worker is currently solving.", queue.running);
+  m.gauge("mpqls_jobs_in_flight", "Queued plus running jobs (admission-control load).",
+          queue.queued + queue.running);
+  m.gauge("mpqls_queue_capacity", "Admission bound for in-flight jobs (0 = unbounded).",
+          queue.max_pending);
+  m.counter("mpqls_jobs_accepted_total", "Jobs admitted by POST /v1/jobs.", queue.accepted);
+  m.counter("mpqls_jobs_rejected_total", "Jobs refused with 429 (queue full).",
+            queue.rejected);
+  m.counter("mpqls_jobs_done_total", "Async jobs that reached state done.", queue.done);
+  m.counter("mpqls_jobs_failed_total", "Async jobs that reached state failed.", queue.failed);
+
+  m.counter("mpqls_http_requests_total", "Fully parsed HTTP requests.", http.requests);
+  m.counter("mpqls_http_parse_errors_total",
+            "Requests rejected by the parser (400/413/431/501/505).", http.parse_errors);
+  m.counter("mpqls_http_connections_accepted_total", "TCP connections accepted.",
+            http.connections_accepted);
+  m.counter("mpqls_http_connections_rejected_total",
+            "TCP connections refused over the connection limit.", http.connections_rejected);
+  m.gauge("mpqls_http_connections_open", "Currently open TCP connections.",
+          http.connections_open);
+  return m.str();
+}
+
+}  // namespace mpqls::net

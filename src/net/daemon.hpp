@@ -1,0 +1,79 @@
+// The networked front-end of the solver service: routes
+//
+//   POST /v1/jobs       enqueue a JSON job     -> 202 {job_id}
+//                       queue full             -> 429 (+Retry-After)
+//                       draining               -> 503
+//                       malformed body         -> 400 (with byte offset)
+//   GET  /v1/jobs/{id}  poll status/result     -> 200 / 404
+//   GET  /v1/healthz    liveness               -> 200
+//   GET  /v1/metrics    Prometheus text        -> 200
+//
+// onto SolverService. Handlers run on the HTTP event-loop thread and only
+// parse (byte-capped), enqueue, or snapshot — request materialization
+// (scenario matrices are O(n^3) to generate) and every solve happen on
+// the service's pools, so the loop never blocks. Consequence: schema
+// defects in well-formed JSON are admitted and surface as state=failed
+// with the validation message, not as a 400.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/timer.hpp"
+#include "net/http_server.hpp"
+#include "net/router.hpp"
+#include "service/solver_service.hpp"
+
+namespace mpqls::net {
+
+struct DaemonOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 8080;  ///< 0 = ephemeral (tests); see port()
+  service::ServiceOptions service;
+  ParseLimits limits;  ///< request caps; bodies default to 8 MiB
+  std::size_t max_connections = 256;
+  std::chrono::seconds idle_timeout{60};
+};
+
+class SolverDaemon {
+ public:
+  explicit SolverDaemon(DaemonOptions options = {});
+
+  /// Bind and serve; returns once the listener is up.
+  void start();
+
+  /// Graceful shutdown (the SIGINT/SIGTERM path): stop admitting jobs
+  /// (POST answers 503), keep serving polls until every accepted job is
+  /// terminal or `grace` expires, then stop the HTTP server. Returns true
+  /// when the drain completed inside the grace window. Idempotent.
+  bool drain(std::chrono::milliseconds grace = std::chrono::milliseconds(30000));
+
+  std::uint16_t port() const { return server_.port(); }
+  bool draining() const { return draining_.load(); }
+  service::SolverService& service() { return service_; }
+
+  /// The /v1/metrics payload (exposed for tests and CLI dumps).
+  std::string metrics_text() const;
+
+ private:
+  HttpResponse handle(const HttpRequest& request);
+  HttpResponse submit_job(const HttpRequest& request);
+  HttpResponse job_status(const PathParams& params);
+  HttpResponse healthz() const;
+
+  DaemonOptions options_;
+  service::SolverService service_;
+  Router router_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  Timer uptime_;
+  // Declared last so it is destroyed FIRST: ~HttpServer joins the event
+  // loop, which may still be dispatching into handle() — every member it
+  // touches must outlive it (same pattern as SolverService's pools).
+  HttpServer server_;
+};
+
+}  // namespace mpqls::net

@@ -1,0 +1,134 @@
+// HTTP/1.1 message model and incremental parsers, dependency-free. The
+// server feeds whatever bytes arrived from the socket; the parser consumes
+// exactly one message and leaves pipelined leftovers to the caller.
+// Untrusted-input hardening is built in: request-line/header-section and
+// body size caps, header-count cap, strict Content-Length validation —
+// violations surface as a ready-to-send status code (400/413/431/501/505)
+// instead of unbounded buffering.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mpqls::net {
+
+using HeaderList = std::vector<std::pair<std::string, std::string>>;
+
+/// Case-insensitive header lookup; nullptr when absent.
+const std::string* find_header(const HeaderList& headers, std::string_view name);
+
+struct HttpRequest {
+  std::string method;  ///< uppercase token, e.g. "GET"
+  std::string target;  ///< raw request target ("/v1/jobs?limit=2")
+  std::string path;    ///< target before '?'
+  std::string query;   ///< target after '?' (no '?'; empty if none)
+  int version_minor = 1;
+  HeaderList headers;
+  std::string body;
+  bool keep_alive = true;
+
+  const std::string* header(std::string_view name) const {
+    return find_header(headers, name);
+  }
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  HeaderList headers;  ///< extra headers; Content-Length/Connection are added on serialize
+  std::string body;
+  bool keep_alive = true;
+};
+
+const char* status_reason(int status);
+
+/// Wire form of a response (adds Content-Length, Content-Type, Connection).
+std::string to_wire(const HttpResponse& response);
+
+/// Wire form of a client request (adds Host, Content-Length, Connection).
+std::string to_wire_request(const std::string& method, const std::string& target,
+                            const std::string& host, const std::string& body,
+                            const std::string& content_type, bool keep_alive);
+
+enum class ParseState {
+  kHead,      ///< accumulating request/status line + headers
+  kBody,      ///< head done, reading Content-Length bytes
+  kComplete,  ///< one full message parsed; leftover bytes belong to the next
+  kError,     ///< malformed or over-limit; see error_status()/error_message()
+};
+
+struct ParseLimits {
+  std::size_t max_head_bytes = 8192;          ///< request line + all headers
+  std::size_t max_headers = 64;               ///< header count
+  std::size_t max_body_bytes = 8u << 20;      ///< Content-Length cap (8 MiB)
+};
+
+/// Incremental HTTP/1.x request parser. Call consume() with whatever
+/// arrived; it returns how many bytes it ate (the rest belongs to the next
+/// pipelined request once state()==kComplete). On kError, error_status()
+/// is the response code the connection should answer before closing.
+class RequestParser {
+ public:
+  explicit RequestParser(ParseLimits limits = {}) : limits_(limits) {}
+
+  std::size_t consume(std::string_view data);
+
+  ParseState state() const { return state_; }
+  const HttpRequest& request() const { return request_; }
+  HttpRequest take_request() { return std::move(request_); }
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// Recycle for the next request on a keep-alive connection.
+  void reset();
+
+ private:
+  void fail(int status, std::string message);
+  void parse_head();
+
+  ParseLimits limits_;
+  ParseState state_ = ParseState::kHead;
+  std::string head_;
+  std::size_t body_expected_ = 0;
+  HttpRequest request_;
+  int error_status_ = 0;
+  std::string error_message_;
+};
+
+/// Incremental HTTP/1.x response parser for the blocking client. Bodies
+/// are delimited by Content-Length (the daemon always sends one); 204/304
+/// and HEAD-style bodiless responses parse with an implicit length of 0.
+class ResponseParser {
+ public:
+  explicit ResponseParser(ParseLimits limits = {}) : limits_(limits) {}
+
+  std::size_t consume(std::string_view data);
+
+  ParseState state() const { return state_; }
+  int status() const { return status_code_; }
+  const HeaderList& headers() const { return headers_; }
+  const std::string& body() const { return body_; }
+  bool keep_alive() const { return keep_alive_; }
+  const std::string& error_message() const { return error_message_; }
+
+  void reset();
+
+ private:
+  void fail(std::string message);
+  void parse_head();
+
+  ParseLimits limits_;
+  ParseState state_ = ParseState::kHead;
+  std::string head_;
+  std::size_t body_expected_ = 0;
+  int status_code_ = 0;
+  HeaderList headers_;
+  std::string body_;
+  bool keep_alive_ = true;
+  std::string error_message_;
+};
+
+}  // namespace mpqls::net

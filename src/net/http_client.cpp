@@ -1,0 +1,78 @@
+#include "net/http_client.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+namespace mpqls::net {
+
+namespace {
+
+/// A reused keep-alive connection turned out to be dead before a single
+/// response byte arrived — the one failure that is always safe to retry,
+/// because the server cannot have processed the request.
+struct StaleConnection : std::runtime_error {
+  StaleConnection() : std::runtime_error("HttpClient: stale keep-alive connection") {}
+};
+
+}  // namespace
+
+HttpClient::Response HttpClient::request(const std::string& method, const std::string& target,
+                                         std::string body, std::string content_type) {
+  const std::string wire = to_wire_request(method, target, host_, body, content_type,
+                                           /*keep_alive=*/true);
+  const bool reused = sock_.valid();
+  if (!reused) sock_ = connect_tcp(host_, port_);
+  try {
+    return round_trip(wire);
+  } catch (const StaleConnection&) {
+    sock_.close();
+    if (!reused) throw;
+    sock_ = connect_tcp(host_, port_);
+    return round_trip(wire);
+  }
+}
+
+HttpClient::Response HttpClient::round_trip(const std::string& wire) {
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(sock_.fd(), wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) throw StaleConnection{};
+      throw std::runtime_error("HttpClient: send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  ResponseParser parser;
+  char buf[16384];
+  std::size_t received = 0;
+  while (parser.state() != ParseState::kComplete) {
+    const ssize_t got = ::read(sock_.fd(), buf, sizeof buf);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("HttpClient: read failed");
+    }
+    if (got == 0) {
+      if (received == 0) throw StaleConnection{};  // server never saw the request
+      throw std::runtime_error("HttpClient: connection closed mid-response");
+    }
+    received += static_cast<std::size_t>(got);
+    parser.consume(std::string_view(buf, static_cast<std::size_t>(got)));
+    if (parser.state() == ParseState::kError) {
+      throw std::runtime_error("HttpClient: bad response: " + parser.error_message());
+    }
+  }
+
+  Response response;
+  response.status = parser.status();
+  response.headers = parser.headers();
+  response.body = parser.body();
+  if (!parser.keep_alive()) sock_.close();
+  return response;
+}
+
+}  // namespace mpqls::net

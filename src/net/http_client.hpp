@@ -1,0 +1,45 @@
+// Tiny blocking HTTP/1.1 client — just enough for the submit_job CLI and
+// the loopback integration tests: keep-alive connection reuse, one
+// in-flight request at a time, Content-Length bodies. Throws
+// std::runtime_error on transport or parse failures; HTTP error statuses
+// are returned, not thrown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/http.hpp"
+#include "net/socket.hpp"
+
+namespace mpqls::net {
+
+class HttpClient {
+ public:
+  struct Response {
+    int status = 0;
+    HeaderList headers;
+    std::string body;
+  };
+
+  HttpClient(std::string host, std::uint16_t port) : host_(std::move(host)), port_(port) {}
+
+  Response get(const std::string& target) { return request("GET", target, ""); }
+  Response post(const std::string& target, std::string body,
+                std::string content_type = "application/json") {
+    return request("POST", target, std::move(body), std::move(content_type));
+  }
+
+  /// Drop the cached connection; the next request reconnects.
+  void disconnect() { sock_.close(); }
+
+ private:
+  Response request(const std::string& method, const std::string& target, std::string body,
+                   std::string content_type = "application/json");
+  Response round_trip(const std::string& wire);
+
+  std::string host_;
+  std::uint16_t port_;
+  Socket sock_;
+};
+
+}  // namespace mpqls::net

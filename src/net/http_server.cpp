@@ -1,0 +1,347 @@
+#include "net/http_server.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace mpqls::net {
+
+namespace {
+
+HttpResponse error_response(int status, const std::string& message) {
+  HttpResponse r;
+  r.status = status;
+  // Through Json so the message is escaped — parser errors may echo
+  // request bytes one day, and the body must stay valid JSON regardless.
+  Json j = Json::object();
+  j["error"] = message;
+  r.body = j.dump() + "\n";
+  r.keep_alive = false;
+  return r;
+}
+
+}  // namespace
+
+struct HttpServer::Connection {
+  explicit Connection(Socket s, ParseLimits limits) : sock(std::move(s)), parser(limits) {}
+
+  Socket sock;
+  RequestParser parser;
+  std::string out;           ///< serialized responses awaiting write
+  std::size_t out_off = 0;   ///< bytes of `out` already written
+  bool want_close = false;   ///< close once `out` is flushed
+  bool peer_eof = false;     ///< peer shut down its write side
+  bool lingering = false;    ///< response flushed + FIN sent; draining reads
+  bool want_write = false;   ///< EPOLLOUT currently registered
+  std::chrono::steady_clock::time_point last_active = std::chrono::steady_clock::now();
+  /// Hard close time once want_close is set: bounds both a peer that
+  /// never reads its responses and the post-error linger drain.
+  std::chrono::steady_clock::time_point close_deadline{};
+
+  bool flushed() const { return out_off == out.size(); }
+};
+
+HttpServer::HttpServer(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  if (running_.load()) return;
+  listener_ = listen_tcp(options_.bind_address, options_.port);
+  set_nonblocking(listener_.fd());
+  port_ = local_port(listener_);
+
+  epoll_ = Socket(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_.valid()) throw std::system_error(errno, std::generic_category(), "epoll_create1");
+  wake_ = Socket(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_.valid()) throw std::system_error(errno, std::generic_category(), "eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listener_.fd();
+  if (::epoll_ctl(epoll_.fd(), EPOLL_CTL_ADD, listener_.fd(), &ev) != 0) {
+    throw std::system_error(errno, std::generic_category(), "epoll_ctl(listener)");
+  }
+  ev.data.fd = wake_.fd();
+  if (::epoll_ctl(epoll_.fd(), EPOLL_CTL_ADD, wake_.fd(), &ev) != 0) {
+    throw std::system_error(errno, std::generic_category(), "epoll_ctl(wake)");
+  }
+
+  stop_requested_.store(false);
+  running_.store(true);
+  loop_thread_ = std::thread([this] { run_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!loop_thread_.joinable()) return;
+  stop_requested_.store(true);
+  {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] auto r = ::write(wake_.fd(), &one, sizeof one);
+  }
+  loop_thread_.join();
+  connections_.clear();
+  connections_open_.store(0);
+  listener_.close();
+  epoll_.close();
+  wake_.close();
+  running_.store(false);
+}
+
+HttpServer::Stats HttpServer::stats() const {
+  Stats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_rejected = connections_rejected_.load();
+  s.requests = requests_.load();
+  s.parse_errors = parse_errors_.load();
+  s.connections_open = connections_open_.load();
+  return s;
+}
+
+void HttpServer::run_loop() {
+  bool listener_open = true;
+  std::chrono::steady_clock::time_point stop_deadline{};
+  std::vector<epoll_event> events(64);
+
+  for (;;) {
+    const int n = ::epoll_wait(epoll_.fd(), events.data(), static_cast<int>(events.size()), 250);
+    if (n < 0 && errno != EINTR) break;  // unrecoverable epoll failure
+
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_.fd()) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] auto r = ::read(wake_.fd(), &drained, sizeof drained);
+      } else if (fd == listener_.fd() && listener_open) {
+        accept_ready();
+      } else {
+        connection_io(fd, events[i].events);
+      }
+    }
+
+    if (stop_requested_.load() && listener_open) {
+      ::epoll_ctl(epoll_.fd(), EPOLL_CTL_DEL, listener_.fd(), nullptr);
+      listener_.close();
+      listener_open = false;
+    }
+
+    if (stop_requested_.load()) {
+      if (stop_deadline == std::chrono::steady_clock::time_point{}) {
+        stop_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+      }
+      // Let queued responses flush; past the deadline, cut connections.
+      std::vector<int> closable;
+      const bool force = std::chrono::steady_clock::now() >= stop_deadline;
+      for (const auto& [fd, conn] : connections_) {
+        if (force || conn->flushed()) closable.push_back(fd);
+      }
+      for (int fd : closable) close_connection(fd);
+      if (connections_.empty()) break;
+    } else {
+      sweep_idle();
+    }
+  }
+}
+
+void HttpServer::accept_ready() {
+  for (;;) {
+    Socket client(::accept4(listener_.fd(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC));
+    if (!client.valid()) {
+      // EAGAIN: accepted everything pending. Other errors (ECONNABORTED,
+      // EMFILE, ...) are per-connection; keep serving.
+      return;
+    }
+    if (connections_.size() >= options_.max_connections) {
+      ++connections_rejected_;
+      const std::string wire = to_wire(error_response(503, "connection limit reached"));
+      [[maybe_unused]] auto r = ::send(client.fd(), wire.data(), wire.size(), MSG_NOSIGNAL);
+      continue;  // client closes on scope exit
+    }
+    set_nodelay(client.fd());
+    const int fd = client.fd();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_.fd(), EPOLL_CTL_ADD, fd, &ev) != 0) continue;
+    connections_.emplace(fd, std::make_unique<Connection>(std::move(client), options_.limits));
+    ++connections_accepted_;
+    connections_open_.store(connections_.size());
+  }
+}
+
+void HttpServer::connection_io(int fd, std::uint32_t io_events) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;  // already closed this iteration
+  Connection& conn = *it->second;
+  conn.last_active = std::chrono::steady_clock::now();
+
+  if (io_events & (EPOLLHUP | EPOLLERR)) {
+    close_connection(fd);
+    return;
+  }
+
+  if (io_events & EPOLLIN) {
+    char buf[16384];
+    for (;;) {
+      const ssize_t got = ::read(conn.sock.fd(), buf, sizeof buf);
+      if (got > 0) {
+        // While lingering (or closing), keep reading but discard: leaving
+        // unread bytes in the receive queue would turn our close into a
+        // RST that can destroy the error response before the peer reads it.
+        if (!conn.lingering && !conn.want_close) {
+          feed(conn, std::string_view(buf, static_cast<std::size_t>(got)));
+        }
+        continue;
+      }
+      if (got == 0) {  // peer shut down its write side; nothing left to drain
+        conn.peer_eof = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_connection(fd);
+      return;
+    }
+  }
+
+  if (io_events & EPOLLOUT) flush(conn);
+  if (conn.peer_eof) {
+    // EOF read means the receive queue is drained: once our response is
+    // out (or undeliverable), a plain close sends FIN, not RST.
+    if (conn.flushed()) {
+      close_connection(fd);
+      return;
+    }
+    mark_want_close(conn);
+  }
+  if (conn.want_close && conn.flushed()) begin_linger(conn);
+  update_interest(conn);
+}
+
+void HttpServer::feed(Connection& conn, std::string_view data) {
+  while (!data.empty() && !conn.want_close) {
+    const std::size_t used = conn.parser.consume(data);
+    data.remove_prefix(used);
+
+    if (conn.parser.state() == ParseState::kComplete) {
+      ++requests_;
+      const HttpRequest request = conn.parser.take_request();
+      HttpResponse response;
+      try {
+        response = handler_(request);
+      } catch (...) {
+        response = error_response(500, "internal error");
+      }
+      response.keep_alive = response.keep_alive && request.keep_alive;
+      // Backpressure on the write side: the backlog is measured BEFORE
+      // appending this response, so a single large reply never trips it —
+      // only a peer that pipelines requests without reading what it
+      // already got, which gets cut off instead of growing `out`.
+      const std::size_t backlog = conn.out.size() - conn.out_off;
+      enqueue_response(conn, response);
+      if (!response.keep_alive || backlog > options_.max_write_buffer) {
+        mark_want_close(conn);  // pipelined leftovers are dropped by design
+      } else {
+        conn.parser.reset();
+      }
+    } else if (conn.parser.state() == ParseState::kError) {
+      ++parse_errors_;
+      enqueue_response(conn,
+                       error_response(conn.parser.error_status(), conn.parser.error_message()));
+      mark_want_close(conn);
+    } else {
+      break;  // kHead/kBody consumed everything and needs more bytes
+    }
+  }
+  flush(conn);
+  update_interest(conn);
+}
+
+void HttpServer::enqueue_response(Connection& conn, const HttpResponse& response) {
+  // Compact the buffer before it grows: everything before out_off is sent.
+  if (conn.out_off > 0 && conn.flushed()) {
+    conn.out.clear();
+    conn.out_off = 0;
+  }
+  conn.out += to_wire(response);
+}
+
+void HttpServer::flush(Connection& conn) {
+  while (!conn.flushed()) {
+    const ssize_t sent = ::send(conn.sock.fd(), conn.out.data() + conn.out_off,
+                                conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (sent > 0) {
+      conn.out_off += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (sent < 0 && errno == EINTR) continue;
+    // Peer vanished mid-write; drop what's left so the close path runs.
+    conn.out_off = conn.out.size();
+    conn.want_close = true;
+    return;
+  }
+}
+
+void HttpServer::update_interest(Connection& conn) {
+  const bool want_write = !conn.flushed();
+  if (want_write == conn.want_write) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn.sock.fd();
+  if (::epoll_ctl(epoll_.fd(), EPOLL_CTL_MOD, conn.sock.fd(), &ev) == 0) {
+    conn.want_write = want_write;
+  }
+}
+
+void HttpServer::mark_want_close(Connection& conn) {
+  if (conn.want_close) return;
+  conn.want_close = true;
+  // Bound the endgame: if the peer neither reads our response nor closes,
+  // the sweep cuts the connection at the deadline.
+  conn.close_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+}
+
+void HttpServer::begin_linger(Connection& conn) {
+  if (conn.lingering) return;
+  conn.lingering = true;
+  // Everything we owe the peer is flushed; announce it with a FIN while
+  // keeping the read side open to drain whatever is still in flight (a
+  // close with unread data would RST the response away). The peer's own
+  // EOF — or a short deadline — finishes the close.
+  ::shutdown(conn.sock.fd(), SHUT_WR);
+  conn.close_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(1);
+}
+
+void HttpServer::close_connection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  ::epoll_ctl(epoll_.fd(), EPOLL_CTL_DEL, fd, nullptr);
+  connections_.erase(it);
+  connections_open_.store(connections_.size());
+}
+
+void HttpServer::sweep_idle() {
+  if (connections_.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : connections_) {
+    // Unflushed bytes don't protect an idle connection: a peer that
+    // stopped reading mid-response would otherwise pin its slot forever.
+    const bool idle = now - conn->last_active > options_.idle_timeout;
+    const bool overdue = conn->want_close && now >= conn->close_deadline;
+    if (idle || overdue) expired.push_back(fd);
+  }
+  for (int fd : expired) close_connection(fd);
+}
+
+}  // namespace mpqls::net

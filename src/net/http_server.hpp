@@ -1,0 +1,107 @@
+// Single-threaded epoll event loop serving HTTP/1.1 with keep-alive and
+// pipelining. The handler runs on the loop thread, so it must be fast and
+// non-blocking — the solver daemon only ever enqueues jobs or snapshots
+// registry/cache state there; solves run on the SolverService pools.
+//
+// Lifecycle: start() binds and spawns the loop thread; stop() flushes
+// pending responses (bounded by a short deadline), closes every
+// connection, and joins. During a daemon drain the listener deliberately
+// stays open — clients reconnecting to poll must still get in; admission
+// is refused at the application layer (503) instead.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/http.hpp"
+#include "net/socket.hpp"
+
+namespace mpqls::net {
+
+class HttpServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral, see port()
+    ParseLimits limits;
+    std::size_t max_connections = 256;  ///< beyond this, accepts get 503+close
+    std::chrono::seconds idle_timeout{60};
+    /// Cap on buffered-but-unsent response bytes per connection: a client
+    /// that pipelines requests without reading responses gets closed
+    /// instead of growing server memory.
+    std::size_t max_write_buffer = 1u << 20;
+  };
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_rejected = 0;  ///< over max_connections
+    std::uint64_t requests = 0;              ///< fully parsed requests
+    std::uint64_t parse_errors = 0;          ///< 4xx/5xx answered by the parser
+    std::size_t connections_open = 0;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(Options options, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind, listen, and spawn the event-loop thread.
+  void start();
+
+  /// Flush pending writes (up to ~2 s), close all connections, join the
+  /// loop thread. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(); }
+
+  /// The bound port (resolves an ephemeral request); valid after start().
+  std::uint16_t port() const { return port_; }
+
+  Stats stats() const;
+
+ private:
+  struct Connection;
+
+  void run_loop();
+  void accept_ready();
+  void connection_io(int fd, std::uint32_t events);
+  void feed(Connection& conn, std::string_view data);
+  void enqueue_response(Connection& conn, const HttpResponse& response);
+  void flush(Connection& conn);
+  void update_interest(Connection& conn);
+  void mark_want_close(Connection& conn);
+  void begin_linger(Connection& conn);
+  void close_connection(int fd);
+  void sweep_idle();
+
+  Options options_;
+  Handler handler_;
+
+  Socket listener_;
+  Socket epoll_;
+  Socket wake_;  ///< eventfd: kicks epoll_wait out of its sleep on stop()
+  std::uint16_t port_ = 0;
+
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;  ///< loop thread only
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+  std::atomic<std::size_t> connections_open_{0};
+};
+
+}  // namespace mpqls::net

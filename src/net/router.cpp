@@ -1,0 +1,74 @@
+#include "net/router.hpp"
+
+#include <utility>
+
+namespace mpqls::net {
+
+const std::string& PathParams::get(std::string_view name) const {
+  static const std::string empty;
+  for (const auto& [k, v] : params_) {
+    if (k == name) return v;
+  }
+  return empty;
+}
+
+void Router::add(std::string method, std::string pattern, Handler handler) {
+  routes_.push_back(Route{std::move(method), split_path(pattern), std::move(handler)});
+}
+
+std::vector<std::string> Router::split_path(std::string_view path) {
+  std::vector<std::string> segments;
+  std::size_t start = 0;
+  while (start < path.size()) {
+    if (path[start] == '/') {
+      ++start;
+      continue;
+    }
+    std::size_t end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    segments.emplace_back(path.substr(start, end - start));
+    start = end;
+  }
+  return segments;
+}
+
+bool Router::match(const Route& route, const std::vector<std::string>& segments,
+                   PathParams* params) {
+  if (route.segments.size() != segments.size()) return false;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::string& pat = route.segments[i];
+    const bool capture = pat.size() >= 2 && pat.front() == '{' && pat.back() == '}';
+    if (capture) {
+      params->add(pat.substr(1, pat.size() - 2), segments[i]);
+    } else if (pat != segments[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HttpResponse Router::dispatch(const HttpRequest& request) const {
+  const auto segments = split_path(request.path);
+  std::string allowed;  // populated when the path matches under other methods
+  for (const auto& route : routes_) {
+    PathParams params;
+    if (!match(route, segments, &params)) continue;
+    if (route.method == request.method) return route.handler(request, params);
+    if (!allowed.empty()) allowed += ", ";
+    allowed += route.method;
+  }
+
+  HttpResponse response;  // keep-alive semantics are owned by HttpServer
+  if (!allowed.empty()) {
+    response.status = 405;
+    response.headers.emplace_back("Allow", allowed);
+    response.body = R"({"error": "method not allowed"})";
+  } else {
+    response.status = 404;
+    response.body = R"({"error": "not found"})";
+  }
+  response.body += "\n";
+  return response;
+}
+
+}  // namespace mpqls::net

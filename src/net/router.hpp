@@ -1,0 +1,53 @@
+// Method + path-pattern dispatch for the daemon's handful of endpoints.
+// Patterns are literal segments with `{name}` captures ("/v1/jobs/{id}").
+// Dispatch answers 404 for unknown paths and 405 (with Allow) when the
+// path exists under a different method — the distinction clients need to
+// fix their request.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/http.hpp"
+
+namespace mpqls::net {
+
+/// Captured `{name}` segments for one match, in pattern order.
+class PathParams {
+ public:
+  void add(std::string name, std::string value) {
+    params_.emplace_back(std::move(name), std::move(value));
+  }
+  /// Value for a capture; empty string when absent.
+  const std::string& get(std::string_view name) const;
+  std::size_t size() const { return params_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> params_;
+};
+
+class Router {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&, const PathParams&)>;
+
+  void add(std::string method, std::string pattern, Handler handler);
+
+  /// Route a parsed request; never throws past handler exceptions.
+  HttpResponse dispatch(const HttpRequest& request) const;
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;  ///< "{x}" entries capture
+    Handler handler;
+  };
+
+  static std::vector<std::string> split_path(std::string_view path);
+  static bool match(const Route& route, const std::vector<std::string>& segments,
+                    PathParams* params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace mpqls::net

@@ -1,0 +1,114 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace mpqls::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* call) {
+  throw std::system_error(errno, std::generic_category(), call);
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    // EINTR on close is not retried: POSIX leaves the fd state unspecified
+    // and Linux guarantees it is released either way.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket listen_tcp(const std::string& bind_address, std::uint16_t port, int backlog) {
+  Socket s(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!s.valid()) throw_errno("socket");
+
+  const int one = 1;
+  if (::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) != 0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    throw std::system_error(EINVAL, std::generic_category(),
+                            "inet_pton: bad bind address '" + bind_address + "'");
+  }
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(s.fd(), backlog) != 0) throw_errno("listen");
+  return s;
+}
+
+std::uint16_t local_port(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &result);
+  if (rc != 0) {
+    throw std::system_error(EHOSTUNREACH, std::generic_category(),
+                            std::string("getaddrinfo: ") + ::gai_strerror(rc));
+  }
+
+  Socket s;
+  int last_errno = ECONNREFUSED;
+  for (const addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    Socket candidate(::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC, ai->ai_protocol));
+    if (!candidate.valid()) {
+      last_errno = errno;
+      continue;
+    }
+    int crc;
+    do {
+      crc = ::connect(candidate.fd(), ai->ai_addr, ai->ai_addrlen);
+    } while (crc != 0 && errno == EINTR);
+    if (crc == 0) {
+      s = std::move(candidate);
+      break;
+    }
+    last_errno = errno;
+  }
+  ::freeaddrinfo(result);
+  if (!s.valid()) {
+    throw std::system_error(last_errno, std::generic_category(),
+                            "connect to " + host + ":" + std::to_string(port));
+  }
+  return s;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) throw_errno("fcntl(O_NONBLOCK)");
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best-effort: latency tweak only, never fatal.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace mpqls::net

@@ -1,0 +1,56 @@
+// Thin RAII layer over POSIX TCP sockets — everything the event loop and
+// the blocking client need, nothing more (no external networking
+// dependency). All helpers throw std::system_error with the failing call
+// in the message; EINTR is retried internally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace mpqls::net {
+
+/// Move-only owner of a file descriptor; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  ~Socket() { close(); }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Release ownership without closing.
+  int release() { return std::exchange(fd_, -1); }
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on `bind_address:port` (port 0 = kernel-assigned
+/// ephemeral port). SO_REUSEADDR is set; the socket is blocking — callers
+/// that want edge-driven accept make it non-blocking themselves.
+Socket listen_tcp(const std::string& bind_address, std::uint16_t port, int backlog = 128);
+
+/// The port a bound socket actually listens on (resolves port 0).
+std::uint16_t local_port(const Socket& socket);
+
+/// Blocking connect to `host:port` (numeric IPv4 or a resolvable name).
+Socket connect_tcp(const std::string& host, std::uint16_t port);
+
+void set_nonblocking(int fd);
+void set_nodelay(int fd);
+
+}  // namespace mpqls::net

@@ -13,6 +13,18 @@ namespace mpqls::service {
 
 namespace {
 
+// Requests arrive from the network, so scenario sizes are attacker
+// controlled: a 70-byte body must not be able to demand a dense
+// 200000^2 matrix (~320 GB) or a million right-hand sides. 4096^2
+// doubles = 128 MiB is the most a single job may materialize.
+constexpr std::size_t kMaxDimension = 4096;
+constexpr std::size_t kMaxRhsCount = 1024;
+
+std::size_t checked_dimension(std::size_t n) {
+  expects(n >= 1 && n <= kMaxDimension, "json: matrix dimension out of range");
+  return n;
+}
+
 // 64-bit hashes do not fit a JSON double losslessly; ship them as hex.
 std::string u64_hex(std::uint64_t v) {
   char buf[24];
@@ -133,10 +145,23 @@ Json options_to_json(const solver::QsvtIrOptions& o) {
   return j;
 }
 
+// Cost knobs are attacker controlled too: without bounds, a tiny body
+// with shots=1e13 or max_iterations=2e9 wedges a job worker for days —
+// the same threat the dimension caps exist for. Bounds are ~100x the
+// largest values the benches use.
+constexpr std::int64_t kMaxIterations = 100000;       ///< refinement + QSP loops
+constexpr std::uint64_t kMaxShots = 1000000000;       ///< 1e9 readout shots
+
+std::int64_t checked_iterations(std::int64_t v) {
+  expects(v >= 1 && v <= kMaxIterations, "json: iteration count out of range");
+  return v;
+}
+
 solver::QsvtIrOptions options_from_json(const Json& j) {
   solver::QsvtIrOptions o;
   o.eps = j.number_or("eps", o.eps);
-  o.max_iterations = static_cast<int>(j.int_or("max_iterations", o.max_iterations));
+  o.max_iterations =
+      static_cast<int>(checked_iterations(j.int_or("max_iterations", o.max_iterations)));
   o.use_brent = j.bool_or("use_brent", o.use_brent);
   o.residual_precision = residual_precision_from(
       j.string_or("residual_precision", residual_precision_name(o.residual_precision)));
@@ -152,6 +177,7 @@ solver::QsvtIrOptions options_from_json(const Json& j) {
     o.qsvt.kappa = q.number_or("kappa", o.qsvt.kappa);
     o.qsvt.kappa_margin = q.number_or("kappa_margin", o.qsvt.kappa_margin);
     o.qsvt.shots = q.uint_or("shots", 0);
+    expects(o.qsvt.shots <= kMaxShots, "json: shots out of range");
     o.qsvt.seed = q.uint_or("seed", o.qsvt.seed);
     if (q.contains("noise")) {
       o.qsvt.noise.depolarizing_per_gate = q.at("noise").number_or("depolarizing", 0.0);
@@ -160,15 +186,16 @@ solver::QsvtIrOptions options_from_json(const Json& j) {
     if (q.contains("qsp")) {
       const Json& qsp = q.at("qsp");
       auto& s = o.qsvt.qsp_options;
-      s.max_fpi_iterations = static_cast<int>(qsp.int_or("max_fpi_iterations", s.max_fpi_iterations));
-      s.max_newton_iterations =
-          static_cast<int>(qsp.int_or("max_newton_iterations", s.max_newton_iterations));
+      s.max_fpi_iterations = static_cast<int>(
+          checked_iterations(qsp.int_or("max_fpi_iterations", s.max_fpi_iterations)));
+      s.max_newton_iterations = static_cast<int>(
+          checked_iterations(qsp.int_or("max_newton_iterations", s.max_newton_iterations)));
       s.tolerance = qsp.number_or("tolerance", s.tolerance);
       s.enable_newton = qsp.bool_or("enable_newton", s.enable_newton);
       s.enable_lbfgs = qsp.bool_or("enable_lbfgs", s.enable_lbfgs);
       s.lbfgs_threshold = qsp.number_or("lbfgs_threshold", s.lbfgs_threshold);
-      s.max_lbfgs_iterations =
-          static_cast<int>(qsp.int_or("max_lbfgs_iterations", s.max_lbfgs_iterations));
+      s.max_lbfgs_iterations = static_cast<int>(
+          checked_iterations(qsp.int_or("max_lbfgs_iterations", s.max_lbfgs_iterations)));
     }
   }
   return o;
@@ -350,26 +377,27 @@ SolveRequest request_from_json(const Json& j) {
   const std::string scenario = m.string_or("scenario", "dense");
   if (scenario == "dense") {
     const auto& rows = m.at("rows").as_array();
-    expects(!rows.empty(), "json: empty matrix");
-    const std::size_t n = rows.size();
-    req.A = linalg::Matrix<double>(n, rows[0].as_array().size());
+    const std::size_t n = checked_dimension(rows.size());
+    req.A = linalg::Matrix<double>(n, checked_dimension(rows[0].as_array().size()));
     for (std::size_t i = 0; i < n; ++i) {
       const auto& row = rows[i].as_array();
       expects(row.size() == req.A.cols(), "json: ragged matrix");
       for (std::size_t c = 0; c < row.size(); ++c) req.A(i, c) = row[c].as_number();
     }
   } else if (scenario == "poisson1d") {
-    req.A = linalg::poisson1d(static_cast<std::size_t>(m.at("n").as_uint()));
+    req.A = linalg::poisson1d(checked_dimension(m.at("n").as_uint()));
   } else if (scenario == "poisson2d") {
-    req.A = linalg::CsrMatrix::dirichlet_laplacian_2d(
-                static_cast<std::size_t>(m.at("nx").as_uint()),
-                static_cast<std::size_t>(m.at("ny").as_uint()))
-                .to_dense();
+    const auto nx = static_cast<std::size_t>(m.at("nx").as_uint());
+    const auto ny = static_cast<std::size_t>(m.at("ny").as_uint());
+    expects(nx >= 1 && ny >= 1 && nx <= kMaxDimension && ny <= kMaxDimension &&
+                nx * ny <= kMaxDimension,
+            "json: matrix dimension out of range");
+    req.A = linalg::CsrMatrix::dirichlet_laplacian_2d(nx, ny).to_dense();
   } else if (scenario == "tridiagonal") {
-    req.A = linalg::dirichlet_laplacian(static_cast<std::size_t>(m.at("n").as_uint()));
+    req.A = linalg::dirichlet_laplacian(checked_dimension(m.at("n").as_uint()));
   } else if (scenario == "random") {
     Xoshiro256 rng(m.uint_or("seed", 1));
-    req.A = linalg::random_with_cond(rng, static_cast<std::size_t>(m.at("n").as_uint()),
+    req.A = linalg::random_with_cond(rng, checked_dimension(m.at("n").as_uint()),
                                      m.number_or("kappa", 10.0));
   } else {
     expects(false, "json: unknown matrix scenario");
@@ -378,6 +406,7 @@ SolveRequest request_from_json(const Json& j) {
   const std::size_t n = req.A.rows();
   const Json& rhs = j.at("rhs");
   if (rhs.contains("vectors")) {
+    expects(rhs.at("vectors").as_array().size() <= kMaxRhsCount, "json: too many right-hand sides");
     for (const auto& v : rhs.at("vectors").as_array()) {
       req.rhs.push_back(vector_from_json(v));
       expects(req.rhs.back().size() == n, "json: rhs dimension mismatch");
@@ -387,6 +416,7 @@ SolveRequest request_from_json(const Json& j) {
     if (kind == "random") {
       Xoshiro256 rng(rhs.uint_or("seed", 7));
       const auto count = static_cast<std::size_t>(rhs.uint_or("count", 1));
+      expects(count <= kMaxRhsCount, "json: too many right-hand sides");
       for (std::size_t k = 0; k < count; ++k) {
         req.rhs.push_back(linalg::random_unit_vector(rng, n));
       }

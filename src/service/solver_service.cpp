@@ -19,11 +19,36 @@ std::size_t default_solve_threads(std::size_t requested) {
 
 }  // namespace
 
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    default: return "failed";
+  }
+}
+
+/// Registry entry. Mutable fields are guarded by registry_mutex_; workers
+/// hold a shared_ptr so pruning a record never races a running job.
+struct SolverService::JobRecord {
+  std::string job_id;
+  JobState state = JobState::kQueued;
+  std::string error;
+  std::shared_ptr<const SolveResult> result;
+  std::shared_ptr<const std::string> rendered;
+  Timer since_submit;   ///< running clock, read while queued
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+  Timer since_start;    ///< re-armed when the worker picks the job up
+};
+
 SolverService::SolverService(ServiceOptions options)
     : options_(options),
       cache_(options.cache_capacity),
       solve_pool_(default_solve_threads(options.solve_threads)),
-      job_pool_(options.job_threads) {}
+      job_pool_(options.job_threads) {
+  queue_stats_.max_pending = options.max_pending_jobs;
+}
 
 SolveResult SolverService::solve(const SolveRequest& request) {
   expects(!request.rhs.empty(), "service: request needs at least one right-hand side");
@@ -76,6 +101,14 @@ SolveResult SolverService::solve(const SolveRequest& request) {
     ++stats_.jobs;
     stats_.rhs_solved += result.solves.size();
     stats_.solve_seconds_total += solve_seconds;
+    stats_.prepare_seconds_total += result.prepare_seconds;
+    if (!result.cache_hit && !result.solves.empty()) {
+      // Program telemetry is per prepared context; count it once, on the
+      // preparation that actually compiled it.
+      const auto& rep0 = result.solves.front().report;
+      stats_.program_compile_seconds_total += rep0.program_compile_seconds;
+      stats_.program_ops_total += rep0.program_ops;
+    }
   }
   return result;
 }
@@ -85,9 +118,120 @@ std::future<SolveResult> SolverService::submit(SolveRequest request) {
       [this, request = std::move(request)] { return solve(request); });
 }
 
+std::optional<std::string> SolverService::submit_job(SolveRequest request) {
+  return submit_job(std::function<SolveRequest()>(
+      [request = std::move(request)]() mutable { return std::move(request); }));
+}
+
+std::optional<std::string> SolverService::submit_job(
+    std::function<SolveRequest()> make_request,
+    std::function<std::string(const SolveResult&)> render) {
+  auto record = std::make_shared<JobRecord>();
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    if (options_.max_pending_jobs != 0 &&
+        queue_stats_.queued + queue_stats_.running >= options_.max_pending_jobs) {
+      ++queue_stats_.rejected;
+      return std::nullopt;
+    }
+    record->job_id = "job-" + std::to_string(next_job_number_++);
+    registry_[record->job_id] = record;
+    ++queue_stats_.accepted;
+    ++queue_stats_.queued;
+  }
+
+  job_pool_.submit(
+      [this, record, make = std::move(make_request), render = std::move(render)]() mutable {
+        {
+          std::lock_guard<std::mutex> lock(registry_mutex_);
+          record->state = JobState::kRunning;
+          record->queue_seconds = record->since_submit.seconds();
+          record->since_start = Timer();
+          --queue_stats_.queued;
+          ++queue_stats_.running;
+        }
+        try {
+          const SolveRequest request = make();
+          auto result = std::make_shared<SolveResult>(solve(request));
+          // Render here, outside any lock: serialization of a large
+          // result is exactly the work the caller wants off its threads.
+          std::shared_ptr<const std::string> rendered;
+          if (render) rendered = std::make_shared<const std::string>(render(*result));
+          finish_job(record, JobState::kDone, std::move(result), std::move(rendered), "");
+        } catch (const std::exception& e) {
+          finish_job(record, JobState::kFailed, nullptr, nullptr, e.what());
+        } catch (...) {
+          finish_job(record, JobState::kFailed, nullptr, nullptr, "unknown error");
+        }
+      });
+  return record->job_id;
+}
+
+void SolverService::finish_job(const std::shared_ptr<JobRecord>& record, JobState final_state,
+                               std::shared_ptr<const SolveResult> result,
+                               std::shared_ptr<const std::string> rendered, std::string error) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    record->state = final_state;
+    record->result = std::move(result);
+    record->rendered = std::move(rendered);
+    record->error = std::move(error);
+    record->run_seconds = record->since_start.seconds();
+    --queue_stats_.running;
+    if (final_state == JobState::kDone) {
+      ++queue_stats_.done;
+    } else {
+      ++queue_stats_.failed;
+    }
+    terminal_order_.push_back(record->job_id);
+    prune_terminal_locked();
+  }
+  registry_cv_.notify_all();
+}
+
+void SolverService::prune_terminal_locked() {
+  const std::size_t keep = options_.retained_jobs == 0 ? 1 : options_.retained_jobs;
+  while (terminal_order_.size() > keep) {
+    registry_.erase(terminal_order_.front());
+    terminal_order_.pop_front();
+  }
+}
+
+std::optional<JobStatus> SolverService::job_status(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = registry_.find(job_id);
+  if (it == registry_.end()) return std::nullopt;
+  const JobRecord& r = *it->second;
+  JobStatus status;
+  status.job_id = r.job_id;
+  status.state = r.state;
+  status.error = r.error;
+  status.result = r.result;
+  status.rendered = r.rendered;
+  status.queue_seconds = r.state == JobState::kQueued ? r.since_submit.seconds() : r.queue_seconds;
+  status.run_seconds = r.state == JobState::kRunning ? r.since_start.seconds() : r.run_seconds;
+  return status;
+}
+
+bool SolverService::wait_idle(std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(registry_mutex_);
+  return registry_cv_.wait_for(lock, timeout, [this] {
+    return queue_stats_.queued == 0 && queue_stats_.running == 0;
+  });
+}
+
+std::future<void> SolverService::run_on_job_pool(std::function<void()> fn) {
+  return job_pool_.submit(std::move(fn));
+}
+
 SolverService::Stats SolverService::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+SolverService::QueueStats SolverService::queue_stats() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return queue_stats_;
 }
 
 }  // namespace mpqls::service

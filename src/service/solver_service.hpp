@@ -3,7 +3,9 @@
 // inversion polynomial, QSP phases — happens once per distinct matrix and
 // is cached; every right-hand side after that pays only the per-solve
 // cost. Independent solves run concurrently on a worker pool; whole jobs
-// can be submitted asynchronously.
+// can be submitted asynchronously, either as a future (submit) or through
+// the admission-controlled job registry (submit_job) the network daemon
+// polls.
 //
 // Thread-safety: all public methods may be called from any thread. Cached
 // contexts are shared immutably (see QsvtSolverContext), and every solve
@@ -11,11 +13,20 @@
 // telemetry.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
 
 #include "common/thread_pool.hpp"
+#include "common/timer.hpp"
 #include "service/context_cache.hpp"
 #include "service/request.hpp"
 
@@ -28,6 +39,33 @@ struct ServiceOptions {
   /// Workers for submitted jobs (they orchestrate and wait on RHS solves,
   /// which run on the solve pool — two pools keep that wait deadlock-free).
   std::size_t job_threads = 2;
+  /// Admission bound for submit_job: queued + running jobs beyond this are
+  /// rejected (the daemon answers 429). 0 disables admission control.
+  std::size_t max_pending_jobs = 64;
+  /// Terminal job records kept for polling; the oldest finished records
+  /// are dropped beyond this (a poll then sees 404, like any registry
+  /// with finite memory).
+  std::size_t retained_jobs = 1024;
+};
+
+/// Lifecycle of a registry job. Terminal states are kDone and kFailed.
+enum class JobState { kQueued, kRunning, kDone, kFailed };
+
+const char* to_string(JobState state);
+
+/// Point-in-time snapshot of a submitted job. `result` is set iff kDone;
+/// `error` is non-empty iff kFailed.
+struct JobStatus {
+  std::string job_id;
+  JobState state = JobState::kQueued;
+  std::string error;
+  std::shared_ptr<const SolveResult> result;
+  /// Output of the submit-time `render` callback (run once, on the job
+  /// worker). Lets a front-end serve a terminal result repeatedly without
+  /// re-serializing it per poll. Null when no renderer was given.
+  std::shared_ptr<const std::string> rendered;
+  double queue_seconds = 0.0;  ///< submit -> worker pickup (live while queued)
+  double run_seconds = 0.0;    ///< worker pickup -> terminal (0 until then)
 };
 
 class SolverService {
@@ -43,16 +81,73 @@ class SolverService {
   /// Queue a whole job; returns immediately.
   std::future<SolveResult> submit(SolveRequest request);
 
+  /// Admission-controlled asynchronous submission: registers the job,
+  /// queues it on the job pool, and returns its registry id — or nullopt
+  /// when queued + running jobs have reached max_pending_jobs (the
+  /// backpressure signal; nothing was enqueued). Never blocks on a solve.
+  std::optional<std::string> submit_job(SolveRequest request);
+
+  /// Deferred-construction variant: `make_request` runs on the job
+  /// worker, so expensive request materialization (scenario matrix
+  /// generation from a network body) never runs on the caller's thread.
+  /// If it throws, the job lands in kFailed with the exception message —
+  /// the same place solve failures land. `render`, when given, runs once
+  /// on the worker after a successful solve; its output is snapshotted as
+  /// JobStatus::rendered (e.g. the serialized result a poll endpoint
+  /// serves verbatim).
+  std::optional<std::string> submit_job(
+      std::function<SolveRequest()> make_request,
+      std::function<std::string(const SolveResult&)> render = {});
+
+  /// Snapshot of a submitted job; nullopt for ids never issued or already
+  /// pruned from the retained-results window.
+  std::optional<JobStatus> job_status(const std::string& job_id) const;
+
+  /// Block until every submit_job()-accepted job reached a terminal
+  /// state, or the timeout expired. Returns true when idle — the drain
+  /// barrier the daemon uses on SIGTERM.
+  bool wait_idle(std::chrono::milliseconds timeout) const;
+
+  /// Run an arbitrary task on the job pool (the same workers submit_job
+  /// uses). Deterministic way for tests and maintenance hooks to occupy
+  /// workers: registry jobs submitted afterwards stay kQueued behind it.
+  std::future<void> run_on_job_pool(std::function<void()> fn);
+
   ContextCache::Stats cache_stats() const { return cache_.stats(); }
 
   struct Stats {
     std::uint64_t jobs = 0;
     std::uint64_t rhs_solved = 0;
-    double solve_seconds_total = 0.0;  ///< summed per-RHS wall clock
+    double solve_seconds_total = 0.0;    ///< summed per-RHS wall clock
+    double prepare_seconds_total = 0.0;  ///< summed get_or_prepare wall clock
+    /// Compiled-program telemetry, accumulated on cache misses (one
+    /// compile per prepared context; hits replay without recompiling).
+    double program_compile_seconds_total = 0.0;
+    std::uint64_t program_ops_total = 0;
   };
   Stats stats() const;
 
+  /// Registry accounting for the async path (all counters cumulative,
+  /// depths instantaneous).
+  struct QueueStats {
+    std::size_t queued = 0;
+    std::size_t running = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;  ///< admission-control refusals
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    std::size_t max_pending = 0;  ///< 0 = unbounded
+  };
+  QueueStats queue_stats() const;
+
  private:
+  struct JobRecord;
+
+  void finish_job(const std::shared_ptr<JobRecord>& record, JobState final_state,
+                  std::shared_ptr<const SolveResult> result,
+                  std::shared_ptr<const std::string> rendered, std::string error);
+  void prune_terminal_locked();
+
   ServiceOptions options_;
   ContextCache cache_;
   // The pools are declared last so they are destroyed FIRST (reverse
@@ -60,6 +155,14 @@ class SolverService {
   // the cache and stats members above — those must outlive the pools.
   mutable std::mutex stats_mutex_;
   Stats stats_{};
+
+  mutable std::mutex registry_mutex_;
+  mutable std::condition_variable registry_cv_;  ///< signalled on terminal transitions
+  std::unordered_map<std::string, std::shared_ptr<JobRecord>> registry_;
+  std::deque<std::string> terminal_order_;  ///< finished ids, oldest first (pruning)
+  QueueStats queue_stats_{};
+  std::uint64_t next_job_number_ = 1;
+
   ThreadPool solve_pool_;
   ThreadPool job_pool_;
 };

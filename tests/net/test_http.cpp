@@ -1,0 +1,236 @@
+// HTTP layer fundamentals: incremental request parsing (byte-at-a-time
+// and pipelined), the request-size/header hardening codes (400, 413, 431,
+// 501, 505), response wire format round trips, and router dispatch with
+// captures, 404 and 405.
+#include "net/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/router.hpp"
+
+namespace mpqls::net {
+namespace {
+
+RequestParser parse_all(std::string_view wire, ParseLimits limits = {}) {
+  RequestParser parser(limits);
+  const std::size_t used = parser.consume(wire);
+  EXPECT_LE(used, wire.size());
+  return parser;
+}
+
+TEST(RequestParser, SimpleGet) {
+  auto p = parse_all("GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_EQ(p.state(), ParseState::kComplete);
+  const auto& req = p.request();
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/v1/healthz");
+  EXPECT_EQ(req.query, "");
+  EXPECT_TRUE(req.keep_alive);
+  ASSERT_NE(req.header("host"), nullptr);  // case-insensitive lookup
+  EXPECT_EQ(*req.header("HOST"), "x");
+}
+
+TEST(RequestParser, PostBodyByteAtATime) {
+  const std::string wire =
+      "POST /v1/jobs HTTP/1.1\r\nContent-Length: 11\r\nContent-Type: application/json\r\n\r\n"
+      "{\"id\": \"x\"}";
+  RequestParser parser;
+  for (char c : wire) {
+    ASSERT_NE(parser.state(), ParseState::kError);
+    EXPECT_EQ(parser.consume(std::string_view(&c, 1)), 1u);
+  }
+  ASSERT_EQ(parser.state(), ParseState::kComplete);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().body, "{\"id\": \"x\"}");
+}
+
+TEST(RequestParser, PipelinedRequestsLeaveTheRemainder) {
+  const std::string wire =
+      "GET /a HTTP/1.1\r\n\r\n"
+      "GET /b HTTP/1.1\r\n\r\n";
+  RequestParser parser;
+  const std::size_t used = parser.consume(wire);
+  ASSERT_EQ(parser.state(), ParseState::kComplete);
+  EXPECT_EQ(parser.request().path, "/a");
+  EXPECT_LT(used, wire.size());  // the second request was not consumed
+
+  parser.reset();
+  parser.consume(std::string_view(wire).substr(used));
+  ASSERT_EQ(parser.state(), ParseState::kComplete);
+  EXPECT_EQ(parser.request().path, "/b");
+}
+
+TEST(RequestParser, LfTerminatedHeadWithCrlfCrlfInsideTheBody) {
+  // The earliest terminator frames the head: a CRLFCRLF sequence inside
+  // the body bytes of the same read must not override the bare-LF blank
+  // line that actually ended an LF-tolerated head.
+  const std::string wire =
+      "POST /v1/jobs HTTP/1.0\nContent-Length: 10\n\n"
+      "ab\r\n\r\ncdef";
+  RequestParser parser;
+  const std::size_t used = parser.consume(wire);
+  ASSERT_EQ(parser.state(), ParseState::kComplete);
+  EXPECT_EQ(used, wire.size());
+  EXPECT_EQ(parser.request().body, "ab\r\n\r\ncdef");
+}
+
+TEST(RequestParser, QueryStringSplits) {
+  auto p = parse_all("GET /v1/jobs?limit=3&offset=2 HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(p.state(), ParseState::kComplete);
+  EXPECT_EQ(p.request().path, "/v1/jobs");
+  EXPECT_EQ(p.request().query, "limit=3&offset=2");
+}
+
+TEST(RequestParser, Http10DefaultsToClose) {
+  auto p = parse_all("GET / HTTP/1.0\r\n\r\n");
+  ASSERT_EQ(p.state(), ParseState::kComplete);
+  EXPECT_FALSE(p.request().keep_alive);
+
+  auto p2 = parse_all("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+  ASSERT_EQ(p2.state(), ParseState::kComplete);
+  EXPECT_TRUE(p2.request().keep_alive);
+
+  auto p3 = parse_all("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  ASSERT_EQ(p3.state(), ParseState::kComplete);
+  EXPECT_FALSE(p3.request().keep_alive);
+}
+
+TEST(RequestParser, MalformedRequestLineIs400) {
+  for (const char* wire : {
+           "GET\r\n\r\n",                        // no target
+           "GET /x\r\n\r\n",                     // no version
+           "G@T /x HTTP/1.1\r\n\r\n",            // bad method token
+           "GET x HTTP/1.1\r\n\r\n",             // target not origin-form
+           "GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n",  // bad header line
+           "GET /x HTTP/1.1\r\nContent-Length: 9q\r\n\r\n",  // bad length
+           "POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\n",
+       }) {
+    auto p = parse_all(wire);
+    ASSERT_EQ(p.state(), ParseState::kError) << wire;
+    EXPECT_EQ(p.error_status(), 400) << wire;
+  }
+}
+
+TEST(RequestParser, UnsupportedVersionIs505) {
+  auto p = parse_all("GET / HTTP/2.0\r\n\r\n");
+  ASSERT_EQ(p.state(), ParseState::kError);
+  EXPECT_EQ(p.error_status(), 505);
+}
+
+TEST(RequestParser, ChunkedUploadIs501) {
+  auto p = parse_all("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_EQ(p.state(), ParseState::kError);
+  EXPECT_EQ(p.error_status(), 501);
+}
+
+TEST(RequestParser, OversizedBodyIs413BeforeAnyBodyByte) {
+  ParseLimits limits;
+  limits.max_body_bytes = 16;
+  auto p = parse_all("POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n", limits);
+  ASSERT_EQ(p.state(), ParseState::kError);
+  EXPECT_EQ(p.error_status(), 413);
+}
+
+TEST(RequestParser, OversizedHeadIs431) {
+  ParseLimits limits;
+  limits.max_head_bytes = 64;
+  const std::string wire =
+      "GET / HTTP/1.1\r\nX-Padding: " + std::string(100, 'a') + "\r\n\r\n";
+  auto p = parse_all(wire, limits);
+  ASSERT_EQ(p.state(), ParseState::kError);
+  EXPECT_EQ(p.error_status(), 431);
+}
+
+TEST(RequestParser, TooManyHeadersIs431) {
+  ParseLimits limits;
+  limits.max_headers = 4;
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 6; ++i) wire += "H" + std::to_string(i) + ": v\r\n";
+  wire += "\r\n";
+  auto p = parse_all(wire, limits);
+  ASSERT_EQ(p.state(), ParseState::kError);
+  EXPECT_EQ(p.error_status(), 431);
+}
+
+TEST(RequestParser, HeadFloodWithoutTerminatorErrorsInsteadOfBuffering) {
+  ParseLimits limits;
+  limits.max_head_bytes = 128;
+  RequestParser parser(limits);
+  // Never sends the blank line; the parser must give up by itself.
+  std::string flood = "GET / HTTP/1.1\r\n";
+  flood += "A: " + std::string(1000, 'x');
+  parser.consume(flood);
+  ASSERT_EQ(parser.state(), ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(ResponseWire, RoundTripsThroughResponseParser) {
+  HttpResponse response;
+  response.status = 202;
+  response.body = "{\"job_id\": \"job-1\"}\n";
+  response.headers.emplace_back("Retry-After", "1");
+  const std::string wire = to_wire(response);
+
+  ResponseParser parser;
+  // Split the wire mid-head and mid-body to exercise incremental feeding.
+  const std::size_t cut = wire.size() / 2;
+  parser.consume(std::string_view(wire).substr(0, cut));
+  parser.consume(std::string_view(wire).substr(cut));
+  ASSERT_EQ(parser.state(), ParseState::kComplete);
+  EXPECT_EQ(parser.status(), 202);
+  EXPECT_EQ(parser.body(), response.body);
+  ASSERT_NE(find_header(parser.headers(), "retry-after"), nullptr);
+  EXPECT_TRUE(parser.keep_alive());
+}
+
+TEST(ResponseWire, RequestWireParsesBack) {
+  const std::string wire =
+      to_wire_request("POST", "/v1/jobs", "127.0.0.1", "{\"id\":1}", "application/json", true);
+  RequestParser parser;
+  parser.consume(wire);
+  ASSERT_EQ(parser.state(), ParseState::kComplete);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().body, "{\"id\":1}");
+  ASSERT_NE(parser.request().header("Host"), nullptr);
+}
+
+TEST(Router, DispatchesWithCaptures) {
+  Router router;
+  router.add("GET", "/v1/jobs/{id}", [](const HttpRequest&, const PathParams& params) {
+    HttpResponse r;
+    r.body = params.get("id");
+    return r;
+  });
+  router.add("POST", "/v1/jobs", [](const HttpRequest&, const PathParams&) {
+    HttpResponse r;
+    r.status = 202;
+    return r;
+  });
+
+  auto p = parse_all("GET /v1/jobs/job-17 HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(p.state(), ParseState::kComplete);
+  const auto response = router.dispatch(p.request());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "job-17");
+}
+
+TEST(Router, UnknownPathIs404AndWrongMethodIs405) {
+  Router router;
+  router.add("POST", "/v1/jobs", [](const HttpRequest&, const PathParams&) {
+    return HttpResponse{};
+  });
+
+  auto missing = parse_all("GET /v1/nope HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(router.dispatch(missing.request()).status, 404);
+
+  auto wrong_method = parse_all("GET /v1/jobs HTTP/1.1\r\n\r\n");
+  const auto response = router.dispatch(wrong_method.request());
+  EXPECT_EQ(response.status, 405);
+  ASSERT_NE(find_header(response.headers, "Allow"), nullptr);
+  EXPECT_EQ(*find_header(response.headers, "Allow"), "POST");
+}
+
+}  // namespace
+}  // namespace mpqls::net

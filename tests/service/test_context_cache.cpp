@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -113,6 +115,72 @@ TEST(ContextCache, FailedPreparationIsNotCached) {
   // again) instead of replaying a stale exception forever.
   EXPECT_THROW(cache.get_or_prepare(singular, fast_options()), contract_violation);
   EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+// Many threads hammering a tiny cache across several keys: eviction churn
+// and in-flight dedup running at once. Asserts the accounting invariants
+// (every request is a hit or a miss; a single-key stampede prepares
+// exactly once) and actually *uses* every returned context, so a
+// use-after-evict would crash here under ASan — the memory-safety gate
+// the CI sanitizer job runs.
+TEST(ContextCache, ConcurrentHammeringWithTinyCapacity) {
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 24;
+  constexpr std::size_t kKeys = 3;
+
+  Xoshiro256 rng(16);
+  std::vector<linalg::Matrix<double>> matrices;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    matrices.push_back(linalg::random_with_cond(rng, 8, 4.0 + static_cast<double>(k)));
+  }
+  const auto opts = fast_options();
+  ContextCache cache(1);  // every distinct-key access evicts something
+
+  std::atomic<int> start_gate{0};
+  std::atomic<std::uint64_t> uses{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ++start_gate;
+      while (start_gate.load() < kThreads) {}  // align the stampede
+      Xoshiro256 local(static_cast<std::uint64_t>(t) + 100);
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const std::size_t key = (static_cast<std::size_t>(t) + static_cast<std::size_t>(i)) % kKeys;
+        const auto ctx = cache.get_or_prepare(matrices[key], opts);
+        // Use the held context after potential eviction by other threads:
+        // a freed context would fault under ASan right here.
+        const auto b = linalg::random_unit_vector(local, 8);
+        const auto outcome = qsvt::qsvt_solve_direction(*ctx, b);
+        if (outcome.success_probability > 0.0) ++uses;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto stats = cache.stats();
+  constexpr std::uint64_t kTotal = static_cast<std::uint64_t>(kThreads) * kItersPerThread;
+  EXPECT_EQ(uses.load(), kTotal);  // every context was valid and usable
+  EXPECT_EQ(stats.hits + stats.misses, kTotal);
+  EXPECT_GE(stats.misses, kKeys);  // each key prepared at least once
+  EXPECT_GT(stats.evictions, 0u);  // capacity 1 with 3 keys must churn
+  EXPECT_LE(stats.size, 1u);
+  // Re-preparation only ever follows an eviction: misses beyond the first
+  // per key are bounded by the eviction count (no gratuitous
+  // double-preparation while an entry is resident or in flight).
+  EXPECT_LE(stats.misses, stats.evictions + kKeys);
+
+  // Cold stampede on a never-seen key: exactly one preparation, everyone
+  // else joins in flight or hits.
+  const auto fresh = linalg::random_with_cond(rng, 8, 9.0);
+  const auto before = cache.stats();
+  std::vector<std::thread> stampede;
+  for (int t = 0; t < kThreads; ++t) {
+    stampede.emplace_back([&] { cache.get_or_prepare(fresh, opts); });
+  }
+  for (auto& th : stampede) th.join();
+  const auto after = cache.stats();
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_EQ(after.hits - before.hits, static_cast<std::uint64_t>(kThreads - 1));
 }
 
 TEST(ContextCache, EvictedContextStaysUsableWhileHeld) {

@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "common/contracts.hpp"
 #include "common/json.hpp"
@@ -51,11 +54,58 @@ TEST(Json, DoublesRoundTripBitwise) {
 }
 
 TEST(Json, RejectsMalformedInput) {
-  EXPECT_THROW(Json::parse("{"), contract_violation);
-  EXPECT_THROW(Json::parse("[1,]"), contract_violation);
-  EXPECT_THROW(Json::parse("12 34"), contract_violation);
-  EXPECT_THROW(Json::parse(R"("\q")"), contract_violation);
-  EXPECT_THROW(Json::parse("nul"), contract_violation);
+  EXPECT_THROW(Json::parse("{"), JsonParseError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonParseError);
+  EXPECT_THROW(Json::parse("12 34"), JsonParseError);
+  EXPECT_THROW(Json::parse(R"("\q")"), JsonParseError);
+  EXPECT_THROW(Json::parse("nul"), JsonParseError);
+  EXPECT_THROW(Json::parse(""), JsonParseError);
+  EXPECT_THROW(Json::parse(R"({"a" 1})"), JsonParseError);
+  EXPECT_THROW(Json::parse(R"("unterminated)"), JsonParseError);
+  EXPECT_THROW(Json::parse(R"("\u12g4")"), JsonParseError);
+  EXPECT_THROW(Json::parse("1.2.3"), JsonParseError);
+}
+
+// Every rejection carries the byte offset where the parser gave up — the
+// daemon echoes it in 400 responses so clients can locate the defect.
+TEST(Json, ParseErrorsCarryThePosition) {
+  const auto position_of = [](std::string_view text) -> std::size_t {
+    try {
+      Json::parse(text);
+    } catch (const JsonParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos);
+      return e.position();
+    }
+    ADD_FAILURE() << "no JsonParseError for: " << text;
+    return static_cast<std::size_t>(-1);
+  };
+
+  // Trailing garbage: position points at the first extra character.
+  EXPECT_EQ(position_of("{} x"), 3u);
+  EXPECT_EQ(position_of("[1, 2] [3]"), 7u);
+  // Malformed syntax: position points at (or just past) the defect.
+  EXPECT_EQ(position_of(R"({"a": 1 "b": 2})"), 8u);  // missing comma
+  EXPECT_EQ(position_of("[1, ]"), 4u);               // dangling comma
+  EXPECT_EQ(position_of("12e"), 0u);                 // bad number (token start)
+  EXPECT_EQ(position_of("{"), 1u);                   // truncated document
+}
+
+TEST(Json, NestingDepthIsCapped) {
+  // One over the cap of 256 throws; exactly at the cap parses.
+  const std::string deep_open(257, '[');
+  EXPECT_THROW(Json::parse(deep_open), JsonParseError);
+
+  std::string balanced(255, '[');
+  balanced += "1";
+  balanced.append(255, ']');
+  EXPECT_NO_THROW(Json::parse(balanced));
+
+  try {
+    Json::parse(std::string(400, '['));
+    FAIL() << "depth cap not enforced";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.position(), 256u);  // the bracket that crossed the limit
+  }
 }
 
 TEST(Json, PrettyAndCompactDumpsParseIdentically) {
@@ -174,6 +224,58 @@ TEST(JsonIo, ScenarioGeneratorsMatchLibrary) {
   EXPECT_THROW(request_from_json(Json::parse(
                    R"({"matrix": {"scenario": "nope"}, "rhs": {"kind": "point", "index": 0}})")),
                contract_violation);
+}
+
+// Scenario sizes come from untrusted network bodies: a few bytes of JSON
+// must not be able to demand an enormous dense allocation or an unbounded
+// fan-out of right-hand sides.
+TEST(JsonIo, RejectsOversizedScenarioRequests) {
+  EXPECT_THROW(request_from_json(Json::parse(
+                   R"({"matrix": {"scenario": "poisson1d", "n": 200000},
+                       "rhs": {"kind": "point", "index": 0}})")),
+               contract_violation);
+  EXPECT_THROW(request_from_json(Json::parse(
+                   R"({"matrix": {"scenario": "random", "n": 1000000, "kappa": 2.0},
+                       "rhs": {"kind": "point", "index": 0}})")),
+               contract_violation);
+  EXPECT_THROW(request_from_json(Json::parse(
+                   R"({"matrix": {"scenario": "poisson2d", "nx": 100000, "ny": 100000},
+                       "rhs": {"kind": "point", "index": 0}})")),
+               contract_violation);
+  EXPECT_THROW(request_from_json(Json::parse(
+                   R"({"matrix": {"scenario": "poisson1d", "n": 0},
+                       "rhs": {"kind": "point", "index": 0}})")),
+               contract_violation);
+  EXPECT_THROW(request_from_json(Json::parse(
+                   R"({"matrix": {"scenario": "poisson1d", "n": 8},
+                       "rhs": {"kind": "random", "count": 1000000, "seed": 1}})")),
+               contract_violation);
+}
+
+// Schema-drift tripwire for the checked-in example workload: every job in
+// examples/jobs/mixed.json must survive parse -> typed request ->
+// serialize -> parse -> serialize with identical dumps. If a field is
+// renamed or dropped in json_io, this fails in CTest instead of at daemon
+// runtime when a client submits the documented example.
+TEST(JsonIo, MixedJobsFileRoundTripsExactly) {
+  const std::string path = std::string(MPQLS_SOURCE_DIR) + "/examples/jobs/mixed.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  const Json doc = Json::parse(buffer.str());
+  const auto& jobs = doc.at("jobs").as_array();
+  ASSERT_GE(jobs.size(), 8u);
+  for (const auto& job_json : jobs) {
+    const SolveRequest first = request_from_json(job_json);
+    const Json dumped = to_json(first);            // normalizes to dense form
+    const SolveRequest second = request_from_json(dumped);
+    const Json dumped_again = to_json(second);
+    EXPECT_EQ(dumped.dump(), dumped_again.dump()) << "job " << first.id;
+    EXPECT_EQ(first.A, second.A);
+    EXPECT_EQ(hash_options(first.options.qsvt), hash_options(second.options.qsvt));
+  }
 }
 
 TEST(JsonIo, JobFileParsesAllJobs) {

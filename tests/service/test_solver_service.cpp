@@ -8,7 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
+#include <optional>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -175,6 +179,116 @@ TEST(SolverService, RejectsEmptyRequest) {
   SolveRequest req;
   req.A = linalg::Matrix<double>::identity(4);
   EXPECT_THROW(service.solve(req), contract_violation);
+}
+
+TEST(SolverService, JobRegistryLifecycleMatchesSynchronousSolve) {
+  const auto req = make_request("registry", 8, 2, 700, qsvt::Backend::kMatrixFunction);
+  SolverService service({.cache_capacity = 2, .solve_threads = 2, .job_threads = 1});
+
+  const auto job_id = service.submit_job(req);
+  ASSERT_TRUE(job_id.has_value());
+
+  // Poll to terminal through the same snapshot API the daemon serves.
+  std::optional<JobStatus> status;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  for (;;) {
+    status = service.job_status(*job_id);
+    ASSERT_TRUE(status.has_value());
+    if (status->state == JobState::kDone || status->state == JobState::kFailed) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "job never finished";
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(status->state, JobState::kDone);
+  ASSERT_NE(status->result, nullptr);
+  EXPECT_TRUE(status->error.empty());
+  EXPECT_GE(status->queue_seconds, 0.0);
+  EXPECT_GT(status->run_seconds, 0.0);
+
+  // Same request through the synchronous path: bitwise-identical x.
+  SolverService reference({.cache_capacity = 2, .solve_threads = 1, .job_threads = 1});
+  const auto want = reference.solve(req);
+  ASSERT_EQ(status->result->solves.size(), want.solves.size());
+  for (std::size_t k = 0; k < want.solves.size(); ++k) {
+    const auto& got_x = status->result->solves[k].report.x;
+    const auto& want_x = want.solves[k].report.x;
+    ASSERT_EQ(got_x.size(), want_x.size());
+    for (std::size_t i = 0; i < want_x.size(); ++i) EXPECT_EQ(got_x[i], want_x[i]);
+  }
+
+  const auto queue = service.queue_stats();
+  EXPECT_EQ(queue.accepted, 1u);
+  EXPECT_EQ(queue.done, 1u);
+  EXPECT_EQ(queue.queued + queue.running, 0u);
+  EXPECT_TRUE(service.wait_idle(std::chrono::milliseconds(100)));
+  EXPECT_FALSE(service.job_status("job-999").has_value());
+}
+
+TEST(SolverService, AdmissionControlRejectsBeyondBound) {
+  SolverService service({.cache_capacity = 2,
+                         .solve_threads = 1,
+                         .job_threads = 1,
+                         .max_pending_jobs = 2});
+  // Occupy the single job worker so accepted jobs stay queued.
+  std::promise<void> release;
+  auto blocker = service.run_on_job_pool([gate = release.get_future().share()] { gate.wait(); });
+
+  const auto req = make_request("bounded", 8, 1, 800, qsvt::Backend::kMatrixFunction);
+  const auto id1 = service.submit_job(req);
+  const auto id2 = service.submit_job(req);
+  ASSERT_TRUE(id1 && id2);
+  EXPECT_NE(*id1, *id2);
+
+  const auto rejected = service.submit_job(req);
+  EXPECT_FALSE(rejected.has_value());  // bound reached: backpressure, not growth
+  EXPECT_EQ(service.queue_stats().rejected, 1u);
+  EXPECT_EQ(service.queue_stats().queued, 2u);
+
+  release.set_value();
+  blocker.get();
+  ASSERT_TRUE(service.wait_idle(std::chrono::milliseconds(60000)));
+  EXPECT_EQ(service.queue_stats().done, 2u);
+
+  // Capacity is back: the retry is admitted.
+  EXPECT_TRUE(service.submit_job(req).has_value());
+  EXPECT_TRUE(service.wait_idle(std::chrono::milliseconds(60000)));
+}
+
+TEST(SolverService, FailedJobCarriesTheErrorString) {
+  SolverService service({.cache_capacity = 2, .solve_threads = 1, .job_threads = 1});
+  SolveRequest req;
+  req.id = "singular";
+  req.A = linalg::Matrix<double>(4, 4);  // all zeros: preparation throws
+  req.rhs.push_back(linalg::Vector<double>(4, 1.0));
+  req.options.qsvt.backend = qsvt::Backend::kMatrixFunction;
+
+  const auto job_id = service.submit_job(req);
+  ASSERT_TRUE(job_id.has_value());
+  ASSERT_TRUE(service.wait_idle(std::chrono::milliseconds(60000)));
+
+  const auto status = service.job_status(*job_id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kFailed);
+  EXPECT_FALSE(status->error.empty());
+  EXPECT_EQ(status->result, nullptr);
+  EXPECT_EQ(service.queue_stats().failed, 1u);
+}
+
+TEST(SolverService, TerminalRecordsArePrunedOldestFirst) {
+  SolverService service({.cache_capacity = 2,
+                         .solve_threads = 1,
+                         .job_threads = 1,
+                         .max_pending_jobs = 0,  // unbounded admission
+                         .retained_jobs = 2});
+  const auto req = make_request("prune", 8, 1, 900, qsvt::Backend::kMatrixFunction);
+  std::vector<std::string> ids;
+  for (int j = 0; j < 4; ++j) ids.push_back(service.submit_job(req).value());
+  ASSERT_TRUE(service.wait_idle(std::chrono::milliseconds(60000)));
+
+  // Only the 2 newest terminal records survive; older polls see "gone".
+  EXPECT_FALSE(service.job_status(ids[0]).has_value());
+  EXPECT_FALSE(service.job_status(ids[1]).has_value());
+  EXPECT_TRUE(service.job_status(ids[2]).has_value());
+  EXPECT_TRUE(service.job_status(ids[3]).has_value());
 }
 
 }  // namespace
