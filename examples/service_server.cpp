@@ -11,6 +11,18 @@
 // jobs finish while clients keep polling, and the server stops.
 // `--port 0` picks an ephemeral port (printed on stdout).
 //
+// Cluster mode — a coordinator sharding jobs across worker daemons by
+// matrix-fingerprint affinity (src/cluster/):
+//
+//   build/examples/service_server cluster --workers 3 [--port 8080]
+//   build/examples/service_server cluster --worker-url 10.0.0.2:8080
+//       --worker-url 10.0.0.3:8080 [--port 8080] [--random-routing]
+//
+// --workers N spins up N in-process worker daemons on ephemeral ports
+// (the single-binary demo); --worker-url fronts externally started
+// `service_server serve` daemons. The coordinator serves the same job
+// API plus aggregated metrics, and drains on SIGINT/SIGTERM.
+//
 // Batch mode — run a JSON job file in-process and exit:
 //
 //   build/examples/service_server [jobs.json] [--trace out.json]
@@ -31,6 +43,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster/coordinator.hpp"
+#include "cluster/test_cluster.hpp"
 #include "common/io.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -115,6 +129,16 @@ std::size_t flag_value(int argc, char** argv, int* i, const char* flag) {
   return static_cast<std::size_t>(v);
 }
 
+/// Block SIGINT/SIGTERM so the caller can take them synchronously with
+/// sigwait(&mask) — call before starting any daemon (spawned threads
+/// inherit the mask). Returns false if the mask could not be installed.
+bool block_shutdown_signals(sigset_t* mask) {
+  sigemptyset(mask);
+  sigaddset(mask, SIGINT);
+  sigaddset(mask, SIGTERM);
+  return pthread_sigmask(SIG_BLOCK, mask, nullptr) == 0;
+}
+
 int run_daemon(int argc, char** argv) {
   using namespace mpqls;
 
@@ -156,10 +180,7 @@ int run_daemon(int argc, char** argv) {
   // inherit the mask), then take them synchronously with sigwait: the
   // drain runs on the main thread with no async-signal-safety caveats.
   sigset_t mask;
-  sigemptyset(&mask);
-  sigaddset(&mask, SIGINT);
-  sigaddset(&mask, SIGTERM);
-  if (pthread_sigmask(SIG_BLOCK, &mask, nullptr) != 0) {
+  if (!block_shutdown_signals(&mask)) {
     std::fprintf(stderr, "pthread_sigmask failed\n");
     return 2;
   }
@@ -198,12 +219,120 @@ int run_daemon(int argc, char** argv) {
   return 0;
 }
 
+int run_cluster(int argc, char** argv) {
+  using namespace mpqls;
+
+  std::size_t inprocess_workers = 0;
+  cluster::CoordinatorOptions coordinator;
+  coordinator.port = 8080;
+  net::DaemonOptions worker;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port") {
+      const std::size_t port = flag_value(argc, argv, &i, "--port");
+      if (port > 65535) {
+        std::fprintf(stderr, "--port: out of range: %zu\n", port);
+        return 2;
+      }
+      coordinator.port = static_cast<std::uint16_t>(port);
+    } else if (arg == "--bind") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--bind needs an address\n");
+        return 2;
+      }
+      coordinator.bind_address = argv[++i];
+    } else if (arg == "--workers") {
+      inprocess_workers = flag_value(argc, argv, &i, "--workers");
+    } else if (arg == "--worker-url") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--worker-url needs host:port\n");
+        return 2;
+      }
+      coordinator.worker_urls.push_back(argv[++i]);
+    } else if (arg == "--random-routing") {
+      coordinator.affinity_routing = false;
+    } else if (arg == "--proxy-threads") {
+      coordinator.proxy_threads = flag_value(argc, argv, &i, "--proxy-threads");
+    } else if (arg == "--solve-threads") {
+      worker.service.solve_threads = flag_value(argc, argv, &i, "--solve-threads");
+    } else if (arg == "--job-threads") {
+      worker.service.job_threads = flag_value(argc, argv, &i, "--job-threads");
+    } else if (arg == "--queue-depth") {
+      worker.service.max_pending_jobs = flag_value(argc, argv, &i, "--queue-depth");
+    } else if (arg == "--cache-capacity") {
+      worker.service.cache_capacity = flag_value(argc, argv, &i, "--cache-capacity");
+    } else if (arg == "--retained-jobs") {
+      worker.service.retained_jobs = flag_value(argc, argv, &i, "--retained-jobs");
+    } else if (arg == "--max-body-mb") {
+      worker.limits.max_body_bytes = flag_value(argc, argv, &i, "--max-body-mb") << 20;
+      coordinator.limits.max_body_bytes = worker.limits.max_body_bytes;
+    } else {
+      std::fprintf(stderr, "unknown cluster flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if ((inprocess_workers > 0) == !coordinator.worker_urls.empty()) {
+    std::fprintf(stderr, "cluster mode needs exactly one of --workers N or --worker-url ...\n");
+    return 2;
+  }
+
+  sigset_t mask;
+  if (!block_shutdown_signals(&mask)) {
+    std::fprintf(stderr, "pthread_sigmask failed\n");
+    return 2;
+  }
+
+  const auto banner = [](const cluster::Coordinator& c, const char* kind) {
+    std::printf("cluster coordinator (%s, %zu workers) listening on port %u\n", kind,
+                c.worker_count(), static_cast<unsigned>(c.port()));
+    std::printf("  POST /v1/jobs | GET /v1/jobs[/{id}] | DELETE /v1/jobs/{id} | /v1/healthz | "
+                "/v1/metrics\n");
+    std::fflush(stdout);
+  };
+  const auto summary = [](const cluster::Coordinator& c) {
+    const auto stats = c.routing_stats();
+    std::printf("routing: %llu accepted (%llu affinity, %llu spillover), %llu retries\n",
+                static_cast<unsigned long long>(stats.submits_accepted),
+                static_cast<unsigned long long>(stats.affinity_hits),
+                static_cast<unsigned long long>(stats.spillovers),
+                static_cast<unsigned long long>(stats.retries));
+  };
+
+  int sig = 0;
+  if (inprocess_workers > 0) {
+    cluster::TestClusterOptions options;
+    options.workers = inprocess_workers;
+    options.worker = worker;
+    options.coordinator = coordinator;
+    cluster::TestCluster clusterd(options);
+    banner(clusterd.coordinator(), "in-process workers");
+    if (sigwait(&mask, &sig) != 0) return 2;
+    std::printf("received %s, stopping coordinator and draining workers...\n",
+                sig == SIGTERM ? "SIGTERM" : "SIGINT");
+    std::fflush(stdout);
+    summary(clusterd.coordinator());
+    clusterd.stop();
+  } else {
+    cluster::Coordinator coordinatord(coordinator);
+    coordinatord.start();
+    banner(coordinatord, "external workers");
+    if (sigwait(&mask, &sig) != 0) return 2;
+    std::printf("received %s, stopping coordinator (workers keep running)...\n",
+                sig == SIGTERM ? "SIGTERM" : "SIGINT");
+    std::fflush(stdout);
+    summary(coordinatord);
+    coordinatord.stop();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   using namespace mpqls;
 
   if (argc >= 2 && std::string(argv[1]) == "serve") return run_daemon(argc, argv);
+  if (argc >= 2 && std::string(argv[1]) == "cluster") return run_cluster(argc, argv);
 
   std::string jobs_text = kDefaultJobs;
   std::string trace_path;

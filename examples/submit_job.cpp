@@ -8,7 +8,14 @@
 // /v1/jobs/{id} until each is terminal and prints a summary table.
 // Backpressure is handled the way a well-behaved client should: 429
 // waits and resubmits, 503 (draining) gives up on the remaining jobs.
+//
+// Works against a single daemon or a cluster coordinator transparently;
+// against a coordinator the status output additionally renders the
+// per-worker routing gauges (breaker state, in-flight, affinity hit
+// ratio) scraped from /v1/metrics. `--cancel JOB_ID` instead issues
+// DELETE /v1/jobs/JOB_ID and exits.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -21,6 +28,47 @@
 #include "common/table.hpp"
 #include "net/http_client.hpp"
 
+namespace {
+
+/// Value of `name{worker="<worker>"} v` in Prometheus exposition text;
+/// NaN when the series is absent.
+double labeled_metric(const std::string& text, const std::string& name,
+                      const std::string& worker) {
+  const std::string needle = name + "{worker=\"" + worker + "\"} ";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return std::nan("");
+  return std::stod(text.substr(pos + needle.size()));
+}
+
+/// When the daemon behind `client` is a cluster coordinator, print its
+/// per-worker routing gauges; against a plain worker daemon this finds
+/// no cluster series and prints nothing.
+void print_cluster_status(mpqls::net::HttpClient& client) {
+  std::string text;
+  try {
+    const auto response = client.get("/v1/metrics");
+    if (response.status != 200) return;
+    text = response.body;
+  } catch (const std::exception&) {
+    return;  // status rendering is best-effort; results already printed
+  }
+  if (text.find("mpqls_cluster_worker_breaker_state") == std::string::npos) return;
+
+  mpqls::TextTable table({"worker", "breaker", "in-flight", "affinity hit ratio"});
+  for (int w = 0;; ++w) {
+    const std::string label = "w" + std::to_string(w);
+    const double breaker = labeled_metric(text, "mpqls_cluster_worker_breaker_state", label);
+    if (std::isnan(breaker)) break;
+    const double in_flight = labeled_metric(text, "mpqls_cluster_worker_in_flight", label);
+    const double ratio = labeled_metric(text, "mpqls_cluster_worker_affinity_hit_ratio", label);
+    const char* state = breaker == 0.0 ? "closed" : (breaker == 1.0 ? "half-open" : "OPEN");
+    table.add_row({label, state, mpqls::fmt_fix(in_flight, 0), mpqls::fmt_fix(ratio, 2)});
+  }
+  std::printf("\ncluster worker status:\n");
+  table.print(std::cout);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) try {
   using namespace mpqls;
@@ -30,6 +78,7 @@ int main(int argc, char** argv) try {
   int poll_ms = 100;
   int timeout_s = 600;
   std::string jobs_path;
+  std::string cancel_id;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--host" && i + 1 < argc) {
@@ -40,14 +89,22 @@ int main(int argc, char** argv) try {
       poll_ms = std::stoi(argv[++i]);
     } else if (arg == "--timeout-s" && i + 1 < argc) {
       timeout_s = std::stoi(argv[++i]);
+    } else if (arg == "--cancel" && i + 1 < argc) {
+      cancel_id = argv[++i];
     } else if (!arg.empty() && arg[0] != '-') {
       jobs_path = arg;
     } else {
       std::fprintf(stderr,
                    "usage: submit_job [--host H] [--port P] [--poll-ms N] [--timeout-s N] "
-                   "jobs.json\n");
+                   "(jobs.json | --cancel JOB_ID)\n");
       return 2;
     }
+  }
+  if (!cancel_id.empty()) {
+    net::HttpClient client(host, port);
+    const auto response = client.del("/v1/jobs/" + cancel_id);
+    std::printf("%d %s", response.status, response.body.c_str());
+    return response.status == 200 ? 0 : 1;
   }
   if (jobs_path.empty()) {
     std::fprintf(stderr, "submit_job: no job file given\n");
@@ -137,6 +194,7 @@ int main(int argc, char** argv) try {
                    state == "failed" ? status.string_or("error", "?") : (converged ? "yes" : "NO")});
   }
   table.print(std::cout);
+  print_cluster_status(client);
   return all_ok ? 0 : 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "submit_job: %s\n", e.what());

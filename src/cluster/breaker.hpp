@@ -1,0 +1,102 @@
+// Per-worker circuit breaker: closed while the worker answers, open after
+// a run of consecutive transport failures (submits skip it outright
+// instead of burning a connect timeout per job), half-open after a cool-off
+// — one trial request is let through, and its outcome decides between
+// closing the breaker and re-arming the cool-off.
+//
+// HTTP-level rejections (429 saturation, 503 drain) are NOT failures: the
+// worker answered, so the breaker stays closed and the router handles the
+// rejection as spillover. Only transport-level errors (connect refused,
+// deadline expired, connection died) count.
+//
+// The breaker is externally synchronized — the coordinator guards each
+// worker's breaker with that worker's mutex — and clock-injected so the
+// state machine is unit-testable without sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mpqls::cluster {
+
+enum class BreakerState { kClosed, kHalfOpen, kOpen };
+
+const char* to_string(BreakerState state);
+
+struct BreakerOptions {
+  /// Consecutive transport failures that trip the breaker open.
+  int failure_threshold = 3;
+  /// Cool-off before an open breaker lets a half-open trial through.
+  std::chrono::milliseconds open_duration{2000};
+};
+
+class CircuitBreaker {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit CircuitBreaker(BreakerOptions options = {}) : options_(options) {}
+
+  /// May a request be sent now? Open: no, until the cool-off elapses —
+  /// then half-open, where exactly one caller at a time gets a trial
+  /// (allow() returns true and latches until record_success/failure).
+  bool allow(TimePoint now) {
+    refresh(now);
+    switch (state_) {
+      case BreakerState::kClosed: return true;
+      case BreakerState::kOpen: return false;
+      case BreakerState::kHalfOpen:
+        if (trial_in_flight_) return false;
+        trial_in_flight_ = true;
+        return true;
+    }
+    return false;
+  }
+
+  void record_success() {
+    trial_in_flight_ = false;
+    consecutive_failures_ = 0;
+    state_ = BreakerState::kClosed;
+  }
+
+  void record_failure(TimePoint now) {
+    trial_in_flight_ = false;
+    if (state_ == BreakerState::kHalfOpen) {
+      trip(now);  // the trial failed: straight back to open
+      return;
+    }
+    if (state_ == BreakerState::kOpen) return;  // a late failure from before the trip
+    if (++consecutive_failures_ >= options_.failure_threshold) trip(now);
+  }
+
+  BreakerState state(TimePoint now) {
+    refresh(now);
+    return state_;
+  }
+
+  /// Cumulative closed/half-open -> open transitions.
+  std::uint64_t trips() const { return trips_; }
+
+ private:
+  void refresh(TimePoint now) {
+    if (state_ == BreakerState::kOpen && now - opened_at_ >= options_.open_duration) {
+      state_ = BreakerState::kHalfOpen;
+      trial_in_flight_ = false;
+    }
+  }
+
+  void trip(TimePoint now) {
+    state_ = BreakerState::kOpen;
+    opened_at_ = now;
+    consecutive_failures_ = 0;
+    ++trips_;
+  }
+
+  BreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  bool trial_in_flight_ = false;
+  TimePoint opened_at_{};
+  std::uint64_t trips_ = 0;
+};
+
+}  // namespace mpqls::cluster

@@ -1,0 +1,674 @@
+#include "cluster/coordinator.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "cluster/metrics_aggregate.hpp"
+#include "common/contracts.hpp"
+#include "common/hash.hpp"
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+
+namespace mpqls::cluster {
+
+namespace {
+
+using net::HttpRequest;
+using net::HttpResponse;
+
+HttpResponse json_response(int status, Json body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = body.dump() + "\n";
+  return r;
+}
+
+HttpResponse error_json(int status, const std::string& message) {
+  Json j = Json::object();
+  j["error"] = message;
+  return json_response(status, std::move(j));
+}
+
+/// Mirror a worker's answer to the cluster client. Framing headers
+/// (Content-Length, Connection) are regenerated on serialize; semantic
+/// ones (Retry-After, Allow, Content-Type) pass through.
+HttpResponse mirror(const net::HttpClient::Response& upstream) {
+  HttpResponse r;
+  r.status = upstream.status;
+  r.body = upstream.body;
+  for (const auto& [name, value] : upstream.headers) {
+    if (name == "Content-Length" || name == "Connection") continue;
+    if (name == "Content-Type") {
+      r.content_type = value;
+      continue;
+    }
+    r.headers.emplace_back(name, value);
+  }
+  return r;
+}
+
+/// Rewrite the worker's own job id to the cluster id in a JSON payload,
+/// without parsing it: result bodies can be megabytes, and the daemon
+/// always renders `"job_id":"job-N"` verbatim. A miss leaves the body
+/// untouched (the client still has the cluster id it submitted with).
+std::string rewrite_job_id(std::string body, const std::string& worker_id,
+                           const std::string& cluster_id) {
+  const std::string needle = "\"job_id\":\"" + worker_id + "\"";
+  const auto pos = body.find(needle);
+  if (pos != std::string::npos) {
+    body.replace(pos, needle.size(), "\"job_id\":\"" + cluster_id + "\"");
+  }
+  return body;
+}
+
+}  // namespace
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kHalfOpen: return "half-open";
+    default: return "open";
+  }
+}
+
+struct Coordinator::Worker {
+  Worker(WorkerEndpoint ep, const CoordinatorOptions& options)
+      : endpoint(ep),
+        pool(ep, options.worker_deadlines, options.max_idle_connections),
+        probe_client(ep.host, ep.port, options.probe_deadlines),
+        breaker(options.breaker) {}
+
+  WorkerEndpoint endpoint;
+  WorkerClientPool pool;
+  net::HttpClient probe_client;  ///< prober thread only
+  mutable std::mutex mutex;      ///< guards breaker + the counters below
+  CircuitBreaker breaker;
+  std::size_t in_flight = 0;
+  std::uint64_t submits_accepted = 0;
+  std::uint64_t affinity_wins = 0;
+  std::uint64_t transport_failures = 0;
+  bool probe_ok = true;
+};
+
+Coordinator::Coordinator(CoordinatorOptions options)
+    : options_(std::move(options)),
+      ring_([&] {
+        expects(!options_.worker_urls.empty(), "cluster: at least one worker url required");
+        std::vector<std::string> ids;
+        for (const auto& url : options_.worker_urls) ids.push_back(parse_endpoint(url).id);
+        return WorkerRing(ids);
+      }()),
+      proxy_pool_(options_.proxy_threads),
+      server_(
+          net::HttpServer::Options{options_.bind_address, options_.port, options_.limits,
+                                   options_.max_connections, options_.idle_timeout},
+          net::HttpServer::AsyncHandler(
+              [this](const HttpRequest& request, net::HttpServer::ResponseHandle responder) {
+                handle(request, responder);
+              })) {
+  for (const auto& url : options_.worker_urls) {
+    workers_.push_back(std::make_unique<Worker>(parse_endpoint(url), options_));
+  }
+
+  // The router runs on proxy threads (blocking outbound I/O is fine
+  // there); only healthz bypasses it and answers on the event loop.
+  router_.add("POST", "/v1/jobs",
+              [this](const HttpRequest& request, const net::PathParams&) {
+                return do_submit(request);
+              });
+  router_.add("GET", "/v1/jobs",
+              [this](const HttpRequest& request, const net::PathParams&) {
+                return do_list(request);
+              });
+  router_.add("GET", "/v1/jobs/{id}",
+              [this](const HttpRequest& request, const net::PathParams& params) {
+                return do_job_request(request, params.get("id"), /*is_cancel=*/false);
+              });
+  router_.add("DELETE", "/v1/jobs/{id}",
+              [this](const HttpRequest& request, const net::PathParams& params) {
+                return do_job_request(request, params.get("id"), /*is_cancel=*/true);
+              });
+  router_.add("GET", "/v1/metrics", [this](const HttpRequest&, const net::PathParams&) {
+    HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = metrics_text();
+    return r;
+  });
+}
+
+Coordinator::~Coordinator() { stop(); }
+
+void Coordinator::start() {
+  server_.start();
+  probing_.store(true);
+  probe_thread_ = std::thread([this] { probe_loop(); });
+}
+
+void Coordinator::stop() {
+  if (probe_thread_.joinable()) {
+    probing_.store(false);
+    probe_cv_.notify_all();
+    probe_thread_.join();
+  }
+  server_.stop();
+}
+
+void Coordinator::handle(const HttpRequest& request,
+                         net::HttpServer::ResponseHandle responder) {
+  if (request.method == "GET" && request.path == "/v1/healthz") {
+    responder.respond(healthz_now());
+    return;
+  }
+  // Admission control on the proxy pool: a backlog this deep means every
+  // proxy thread is stuck on slow workers — shed load instead of queueing
+  // unboundedly behind them.
+  if (proxy_backlog_.load() >= options_.max_proxy_backlog) {
+    HttpResponse r = error_json(503, "coordinator proxy backlog full; retry later");
+    r.headers.emplace_back("Retry-After", "1");
+    responder.respond(std::move(r));
+    return;
+  }
+  ++proxy_backlog_;
+  proxy_pool_.submit([this, request = HttpRequest(request), responder]() mutable {
+    HttpResponse response;
+    try {
+      response = router_.dispatch(request);
+    } catch (const std::exception& e) {
+      response = error_json(500, e.what());
+    } catch (...) {
+      response = error_json(500, "internal error");
+    }
+    --proxy_backlog_;
+    responder.respond(std::move(response));
+  });
+}
+
+std::uint64_t Coordinator::affinity_key(const Json& parsed, const std::string& body) const {
+  // The request-side stand-in for service::fingerprint: hash the matrix
+  // description plus the preparation-relevant options. Two submits of the
+  // same job JSON always key identically (and so land on the same warm
+  // worker); semantically-equal-but-reformatted specs may key differently,
+  // which only costs one extra preparation, never correctness.
+  try {
+    Fnv1a h;
+    if (parsed.contains("matrix")) {
+      h.str(parsed.at("matrix").dump());
+      if (parsed.contains("options")) h.str(parsed.at("options").dump());
+      return h.digest();
+    }
+    return h.str(body).digest();
+  } catch (const std::exception&) {
+    return Fnv1a().str(body).digest();
+  }
+}
+
+std::vector<std::size_t> Coordinator::candidate_order(std::uint64_t key) {
+  if (options_.affinity_routing) return ring_.candidates(key);
+  // Cache-blind baseline: pick a pseudo-random start worker and rotate
+  // from there (still deterministic failover order). The start is a
+  // mixed counter, NOT counter % N — a plain rotation against a periodic
+  // workload aliases into accidental affinity, which would make the
+  // baseline meaningless.
+  const std::uint64_t z = mix64(rotation_.fetch_add(1) + 0x9E3779B97F4A7C15ull);
+  std::vector<std::size_t> order(workers_.size());
+  const std::size_t start = static_cast<std::size_t>(z % workers_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = (start + i) % workers_.size();
+  return order;
+}
+
+HttpResponse Coordinator::do_submit(const HttpRequest& request) {
+  // Malformed JSON dies here (mirroring the worker's 400 contract)
+  // instead of being posted N times to the ring; the parsed value is
+  // reused for the affinity key so large bodies are parsed exactly once.
+  Json parsed_body;
+  try {
+    parsed_body = Json::parse(request.body);
+  } catch (const JsonParseError& e) {
+    return error_json(400, e.what());
+  }
+
+  const std::uint64_t key = affinity_key(parsed_body, request.body);
+  const std::size_t preferred = ring_.home(key);
+  const auto order = candidate_order(key);
+
+  bool saw_saturated = false;
+  HttpResponse saturated_response;
+  for (const std::size_t index : order) {
+    Worker& worker = *workers_[index];
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      if (!worker.breaker.allow(std::chrono::steady_clock::now())) {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.retries;
+        continue;  // breaker open: excluded without burning a connect
+      }
+      ++worker.in_flight;
+    }
+
+    net::HttpClient::Response response;
+    bool transport_ok = false;
+    std::string transport_error;
+    {
+      auto lease = worker.pool.acquire();
+      try {
+        response = lease->post("/v1/jobs", request.body);
+        transport_ok = true;
+      } catch (const std::exception& e) {
+        // Broader than HttpError on purpose: wait_fd can throw
+        // std::system_error on poll failure, and ANY exception here must
+        // still discard the mid-exchange client, settle in_flight, and
+        // release a latched half-open trial — or the worker is excluded
+        // forever and the poisoned connection returns to the pool.
+        lease.discard();
+        transport_error = e.what();
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      --worker.in_flight;
+      if (transport_ok) {
+        worker.breaker.record_success();
+      } else {
+        worker.breaker.record_failure(std::chrono::steady_clock::now());
+        ++worker.transport_failures;
+      }
+    }
+
+    if (!transport_ok) {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.retries;  // next ring candidate, this worker excluded
+      continue;
+    }
+
+    if (response.status == 202) {
+      std::string worker_job_id;
+      try {
+        worker_job_id = Json::parse(response.body).at("job_id").as_string();
+      } catch (const std::exception&) {
+        // The worker admitted the job but we cannot name it — a 502 the
+        // client can act on beats a generic 500 (the job itself is
+        // orphaned on the worker either way).
+        return error_json(502, "worker " + worker.endpoint.id + " answered 202 without a job id");
+      }
+      const std::string cluster_id = "w" + std::to_string(index) + "-" + worker_job_id;
+      remember_route(cluster_id, index);
+
+      const bool is_affinity_hit = index == preferred;
+      {
+        std::lock_guard<std::mutex> lock(worker.mutex);
+        ++worker.submits_accepted;
+        if (is_affinity_hit) ++worker.affinity_wins;
+      }
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.submits_accepted;
+        if (is_affinity_hit) {
+          ++stats_.affinity_hits;
+        } else {
+          ++stats_.spillovers;
+        }
+      }
+
+      Json j = Json::object();
+      j["job_id"] = cluster_id;
+      j["state"] = "queued";
+      j["status_url"] = "/v1/jobs/" + cluster_id;
+      j["worker"] = worker.endpoint.id;
+      return json_response(202, std::move(j));
+    }
+
+    if (response.status == 429 || response.status == 503) {
+      // Saturated or draining: the worker is alive, this is spillover
+      // pressure, not a breaker event.
+      saw_saturated = true;
+      saturated_response = mirror(response);
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.retries;
+      continue;
+    }
+
+    if (response.status >= 400 && response.status < 500) {
+      return mirror(response);  // deterministic rejection (schema, size): don't spread it
+    }
+
+    // 5xx: treat like saturation — try the next candidate.
+    saw_saturated = true;
+    saturated_response = mirror(response);
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.retries;
+  }
+
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  if (saw_saturated) {
+    ++stats_.saturated_rejects;
+    return saturated_response;  // mirror the 429/503 (keeps the Retry-After)
+  }
+  ++stats_.unroutable;
+  return error_json(503, "no cluster worker reachable");
+}
+
+void Coordinator::remember_route(const std::string& cluster_id, std::size_t worker) {
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  routed_[cluster_id] = worker;
+  routed_order_.push_back(cluster_id);
+  while (routed_order_.size() > options_.routing_table_capacity) {
+    routed_.erase(routed_order_.front());
+    routed_order_.pop_front();
+  }
+}
+
+std::optional<std::pair<std::size_t, std::string>> Coordinator::resolve(
+    const std::string& cluster_id) const {
+  // The id embeds its route ("w<k>-<worker job id>"), so resolution
+  // survives routing-table eviction; the table is still consulted first
+  // as the authoritative record for ids it remembers.
+  std::size_t index = workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    const auto it = routed_.find(cluster_id);
+    if (it != routed_.end()) index = it->second;
+  }
+  if (cluster_id.size() < 3 || cluster_id[0] != 'w') return std::nullopt;
+  const auto dash = cluster_id.find('-');
+  if (dash == std::string::npos || dash + 1 >= cluster_id.size()) return std::nullopt;
+  if (index == workers_.size()) {
+    std::size_t parsed = 0;
+    const char* begin = cluster_id.data() + 1;
+    const char* end = cluster_id.data() + dash;
+    const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+    if (ec != std::errc() || ptr != end || parsed >= workers_.size()) return std::nullopt;
+    index = parsed;
+  }
+  return std::make_pair(index, cluster_id.substr(dash + 1));
+}
+
+HttpResponse Coordinator::do_job_request(const HttpRequest& request,
+                                         const std::string& cluster_id, bool is_cancel) {
+  const auto route = resolve(cluster_id);
+  if (!route) return error_json(404, "unknown job id");
+  const auto [index, worker_job_id] = *route;
+  Worker& worker = *workers_[index];
+
+  {
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    if (worker.breaker.state(std::chrono::steady_clock::now()) == BreakerState::kOpen) {
+      return error_json(502, "worker " + worker.endpoint.id + " is unavailable (breaker open)");
+    }
+    ++worker.in_flight;
+  }
+
+  net::HttpClient::Response response;
+  bool transport_ok = false;
+  std::string transport_error;
+  {
+    auto lease = worker.pool.acquire();
+    try {
+      const std::string target = "/v1/jobs/" + worker_job_id;
+      response = is_cancel ? lease->del(target) : lease->get(target);
+      transport_ok = true;
+    } catch (const std::exception& e) {  // see do_submit: must settle state on ANY throw
+      lease.discard();
+      transport_error = e.what();
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    --worker.in_flight;
+    if (transport_ok) {
+      worker.breaker.record_success();
+    } else {
+      worker.breaker.record_failure(std::chrono::steady_clock::now());
+      ++worker.transport_failures;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    if (is_cancel) {
+      ++stats_.proxied_cancels;
+    } else {
+      ++stats_.proxied_polls;
+    }
+  }
+
+  if (!transport_ok) {
+    return error_json(502, "worker " + worker.endpoint.id + " unreachable: " + transport_error);
+  }
+  HttpResponse out = mirror(response);
+  out.body = rewrite_job_id(std::move(out.body), worker_job_id, cluster_id);
+  return out;
+}
+
+HttpResponse Coordinator::do_list(const HttpRequest& request) {
+  const std::string target =
+      request.query.empty() ? "/v1/jobs" : "/v1/jobs?" + request.query;
+  // Honor ?limit=N as a bound on the MERGED answer, not per worker.
+  // Workers have no cross-worker clock, so true global newest-first is
+  // not reconstructible; interleaving the per-worker newest-first lists
+  // round-robin is the closest deterministic approximation and keeps the
+  // daemon's bound intact (documented in DESIGN.md).
+  std::size_t limit = 100;
+  if (!net::parse_limit_param(request.query, 1000, &limit)) {
+    return error_json(400, "limit must be a non-negative integer");
+  }
+
+  std::vector<std::vector<Json>> per_worker(workers_.size());
+  std::size_t unreachable = 0;
+  for (std::size_t index = 0; index < workers_.size(); ++index) {
+    Worker& worker = *workers_[index];
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      if (worker.breaker.state(std::chrono::steady_clock::now()) == BreakerState::kOpen) {
+        ++unreachable;
+        continue;
+      }
+    }
+    // Ephemeral short-deadline client (not the pool): a scrape fan-out
+    // over N workers runs sequentially on one proxy thread, so one slow
+    // worker must cost probe-scale seconds, not the 15 s submit budget.
+    try {
+      net::HttpClient scrape(worker.endpoint.host, worker.endpoint.port,
+                             options_.probe_deadlines);
+      const auto response = scrape.get(target);
+      if (response.status != 200) {
+        ++unreachable;
+        continue;
+      }
+      const Json body = Json::parse(response.body);
+      for (const auto& entry : body.at("jobs").as_array()) {
+        Json withRoute = entry;
+        withRoute["job_id"] =
+            "w" + std::to_string(index) + "-" + entry.at("job_id").as_string();
+        withRoute["worker"] = worker.endpoint.id;
+        per_worker[index].push_back(std::move(withRoute));
+      }
+    } catch (const std::exception&) {
+      ++unreachable;
+    }
+  }
+
+  Json jobs = Json::array();
+  std::size_t taken = 0;
+  for (std::size_t rank = 0; taken < limit; ++rank) {
+    bool any = false;
+    for (std::size_t index = 0; index < per_worker.size() && taken < limit; ++index) {
+      if (rank >= per_worker[index].size()) continue;
+      any = true;
+      jobs.push_back(std::move(per_worker[index][rank]));
+      ++taken;
+    }
+    if (!any) break;
+  }
+
+  Json body = Json::object();
+  body["count"] = static_cast<std::uint64_t>(taken);
+  body["workers_unreachable"] = static_cast<std::uint64_t>(unreachable);
+  body["jobs"] = std::move(jobs);
+  return json_response(200, std::move(body));
+}
+
+HttpResponse Coordinator::healthz_now() {
+  std::size_t healthy = 0;
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    if (worker->breaker.state(std::chrono::steady_clock::now()) != BreakerState::kOpen &&
+        worker->probe_ok) {
+      ++healthy;
+    }
+  }
+  Json j = Json::object();
+  j["status"] = healthy > 0 ? "ok" : "degraded";
+  j["workers"] = static_cast<std::uint64_t>(workers_.size());
+  j["workers_healthy"] = static_cast<std::uint64_t>(healthy);
+  return json_response(healthy > 0 ? 200 : 503, std::move(j));
+}
+
+Coordinator::RoutingStats Coordinator::routing_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+std::vector<Coordinator::WorkerSnapshot> Coordinator::workers() const {
+  std::vector<WorkerSnapshot> out;
+  out.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    WorkerSnapshot s;
+    s.id = worker->endpoint.id;
+    s.breaker = worker->breaker.state(std::chrono::steady_clock::now());
+    s.breaker_trips = worker->breaker.trips();
+    s.in_flight = worker->in_flight;
+    s.submits_accepted = worker->submits_accepted;
+    s.affinity_wins = worker->affinity_wins;
+    s.transport_failures = worker->transport_failures;
+    s.probe_ok = worker->probe_ok;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string Coordinator::metrics_text() {
+  const auto stats = routing_stats();
+  const auto snapshots = workers();
+
+  MetricsWriter m;
+  m.gauge("mpqls_cluster_workers", "Configured cluster workers.",
+          static_cast<std::uint64_t>(workers_.size()));
+  std::uint64_t trips_total = 0;
+  for (const auto& s : snapshots) trips_total += s.breaker_trips;
+  m.counter("mpqls_cluster_submits_total", "Jobs a worker answered 202 for.",
+            stats.submits_accepted);
+  m.counter("mpqls_cluster_affinity_hits_total",
+            "Accepted submits that landed on the ring-preferred worker.", stats.affinity_hits);
+  m.counter("mpqls_cluster_spillovers_total",
+            "Accepted submits that landed on a non-preferred worker.", stats.spillovers);
+  m.counter("mpqls_cluster_retries_total",
+            "Per-attempt failures or breaker skips that moved to the next candidate.",
+            stats.retries);
+  m.counter("mpqls_cluster_breaker_trips_total", "Circuit-breaker open transitions.",
+            trips_total);
+  m.counter("mpqls_cluster_saturated_rejects_total",
+            "Submits refused because every candidate answered 429/503/5xx.",
+            stats.saturated_rejects);
+  m.counter("mpqls_cluster_unroutable_total",
+            "Submits refused because no worker was reachable at all.", stats.unroutable);
+  m.counter("mpqls_cluster_proxied_polls_total", "GET /v1/jobs/{id} requests proxied.",
+            stats.proxied_polls);
+  m.counter("mpqls_cluster_proxied_cancels_total", "DELETE /v1/jobs/{id} requests proxied.",
+            stats.proxied_cancels);
+  m.gauge("mpqls_cluster_proxy_backlog", "Deferred requests awaiting a proxy thread.",
+          static_cast<std::uint64_t>(proxy_backlog_.load()));
+
+  // Per-worker routing gauges, one labeled series per worker.
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    const auto& s = snapshots[i];
+    const std::string label = "w" + std::to_string(i);
+    m.gauge("mpqls_cluster_worker_breaker_state",
+            "0 closed, 1 half-open, 2 open.",
+            std::uint64_t{s.breaker == BreakerState::kClosed
+                              ? 0u
+                              : (s.breaker == BreakerState::kHalfOpen ? 1u : 2u)},
+            {{"worker", label}});
+  }
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    const std::string label = "w" + std::to_string(i);
+    m.gauge("mpqls_cluster_worker_in_flight", "Proxied requests on the wire to this worker.",
+            static_cast<std::uint64_t>(snapshots[i].in_flight), {{"worker", label}});
+  }
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    const std::string label = "w" + std::to_string(i);
+    const auto& s = snapshots[i];
+    const double ratio =
+        s.submits_accepted == 0
+            ? 0.0
+            : static_cast<double>(s.affinity_wins) / static_cast<double>(s.submits_accepted);
+    m.gauge("mpqls_cluster_worker_affinity_hit_ratio",
+            "Fraction of this worker's accepted submits it was the ring home for.", ratio,
+            {{"worker", label}});
+  }
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    const std::string label = "w" + std::to_string(i);
+    m.counter("mpqls_cluster_worker_transport_failures_total",
+              "Connect/timeout/closed failures talking to this worker.",
+              snapshots[i].transport_failures, {{"worker", label}});
+  }
+
+  // Fetch and merge every reachable worker's own families, relabeled.
+  std::vector<std::pair<std::string, std::string>> bodies;
+  for (std::size_t index = 0; index < workers_.size(); ++index) {
+    Worker& worker = *workers_[index];
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      if (worker.breaker.state(std::chrono::steady_clock::now()) == BreakerState::kOpen) {
+        continue;
+      }
+    }
+    // Short-deadline ephemeral client, same reasoning as do_list: a
+    // stalled worker must not pin a proxy thread for the submit budget.
+    try {
+      net::HttpClient scrape(worker.endpoint.host, worker.endpoint.port,
+                             options_.probe_deadlines);
+      const auto response = scrape.get("/v1/metrics");
+      if (response.status == 200) {
+        bodies.emplace_back("w" + std::to_string(index), response.body);
+      }
+    } catch (const std::exception&) {
+      // Omitted from the merge; breaker bookkeeping is the prober's job.
+    }
+  }
+  m.raw(merge_worker_metrics(bodies));
+  return m.str();
+}
+
+void Coordinator::probe_loop() {
+  while (probing_.load()) {
+    for (std::size_t index = 0; index < workers_.size() && probing_.load(); ++index) {
+      Worker& worker = *workers_[index];
+      {
+        std::lock_guard<std::mutex> lock(worker.mutex);
+        // allow() doubles as the half-open gate: when the cool-off
+        // elapses, the probe itself is the trial request.
+        if (!worker.breaker.allow(std::chrono::steady_clock::now())) continue;
+      }
+      bool ok = false;
+      try {
+        ok = worker.probe_client.get("/v1/healthz").status == 200;
+      } catch (const std::exception&) {
+        ok = false;
+      }
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      worker.probe_ok = ok;
+      if (ok) {
+        worker.breaker.record_success();
+      } else {
+        worker.breaker.record_failure(std::chrono::steady_clock::now());
+        ++worker.transport_failures;
+      }
+    }
+    std::unique_lock<std::mutex> lock(probe_mutex_);
+    probe_cv_.wait_for(lock, options_.probe_interval, [this] { return !probing_.load(); });
+  }
+}
+
+}  // namespace mpqls::cluster

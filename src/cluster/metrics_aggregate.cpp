@@ -1,0 +1,101 @@
+#include "cluster/metrics_aggregate.hpp"
+
+#include <string_view>
+#include <unordered_map>
+
+namespace mpqls::cluster {
+
+namespace {
+
+struct Family {
+  std::string help;  ///< full "# HELP ..." line (first worker wins)
+  std::string type;  ///< full "# TYPE ..." line
+  std::vector<std::string> samples;
+};
+
+/// Family name of a sample line: everything before '{' or the first space.
+std::string_view sample_name(std::string_view line) {
+  const auto cut = line.find_first_of("{ ");
+  return cut == std::string_view::npos ? line : line.substr(0, cut);
+}
+
+/// Inject worker="<label>" as the first label of a sample line.
+std::string relabel(std::string_view line, const std::string& label) {
+  const std::string inject = "worker=\"" + label + "\"";
+  const auto brace = line.find('{');
+  const auto space = line.find(' ');
+  std::string out;
+  if (brace != std::string_view::npos && (space == std::string_view::npos || brace < space)) {
+    if (brace + 1 >= line.size()) return std::string(line);  // truncated line: pass through
+    out.assign(line.substr(0, brace + 1));
+    out += inject;
+    if (line[brace + 1] != '}') out += ',';
+    out += line.substr(brace + 1);
+  } else if (space != std::string_view::npos) {
+    out.assign(line.substr(0, space));
+    out += '{';
+    out += inject;
+    out += '}';
+    out += line.substr(space);
+  } else {
+    return std::string(line);  // malformed; pass through untouched
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string merge_worker_metrics(
+    const std::vector<std::pair<std::string, std::string>>& bodies) {
+  std::vector<std::string> family_order;
+  std::unordered_map<std::string, Family> families;
+
+  for (const auto& [label, body] : bodies) {
+    std::string_view rest = body;
+    while (!rest.empty()) {
+      auto eol = rest.find('\n');
+      if (eol == std::string_view::npos) eol = rest.size();
+      const std::string_view line = rest.substr(0, eol);
+      rest.remove_prefix(eol == rest.size() ? eol : eol + 1);
+      if (line.empty()) continue;
+
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+        const std::string_view after = line.substr(7);
+        const auto name = std::string(sample_name(after));
+        auto [it, inserted] = families.try_emplace(name);
+        if (inserted) family_order.push_back(name);
+        std::string& slot = line[2] == 'H' ? it->second.help : it->second.type;
+        if (slot.empty()) slot.assign(line);
+        continue;
+      }
+      if (line[0] == '#') continue;  // other comments
+
+      const auto name = std::string(sample_name(line));
+      if (name.empty()) continue;
+      auto [it, inserted] = families.try_emplace(name);
+      if (inserted) family_order.push_back(name);
+      it->second.samples.push_back(relabel(line, label));
+    }
+  }
+
+  std::string out;
+  for (const auto& name : family_order) {
+    const Family& family = families[name];
+    if (family.samples.empty()) continue;
+    if (!family.help.empty()) {
+      out += family.help;
+      out += '\n';
+    }
+    if (!family.type.empty()) {
+      out += family.type;
+      out += '\n';
+    }
+    for (const auto& sample : family.samples) {
+      out += sample;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace mpqls::cluster

@@ -1,0 +1,18 @@
+// Merging N workers' Prometheus text expositions into one: every sample
+// gets a worker="<label>" label injected, and families are regrouped so
+// each `# HELP`/`# TYPE` preamble appears exactly once with all its
+// labeled series consecutive — scrapers reject duplicate family
+// preambles, which naive concatenation would produce.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mpqls::cluster {
+
+/// `bodies` pairs a worker label ("w0", "w1", ...) with that worker's
+/// /v1/metrics payload. Unparseable lines are dropped, not propagated.
+std::string merge_worker_metrics(const std::vector<std::pair<std::string, std::string>>& bodies);
+
+}  // namespace mpqls::cluster

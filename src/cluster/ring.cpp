@@ -1,0 +1,48 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/hash.hpp"
+
+namespace mpqls::cluster {
+
+WorkerRing::WorkerRing(const std::vector<std::string>& worker_ids) {
+  seeds_.reserve(worker_ids.size());
+  for (const auto& id : worker_ids) seeds_.push_back(Fnv1a().str(id).digest());
+}
+
+std::uint64_t WorkerRing::score(std::size_t worker, std::uint64_t key) const {
+  // mix64 over the combined (worker, key) digest. FNV-1a alone is too
+  // weak here: with a handful of similar worker ids its scores are
+  // correlated enough that one worker wins most keys, which defeats the
+  // whole point of sharding (observed: 5 of 8 keys on one of 4 workers).
+  return mix64(seeds_[worker] ^ (key + 0x9E3779B97F4A7C15ull));
+}
+
+std::vector<std::size_t> WorkerRing::candidates(std::uint64_t key) const {
+  std::vector<std::size_t> order(seeds_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::uint64_t> scores(seeds_.size());
+  for (std::size_t i = 0; i < seeds_.size(); ++i) scores[i] = score(i, key);
+  std::sort(order.begin(), order.end(), [&scores](std::size_t a, std::size_t b) {
+    // Index breaks score ties so the order is total and deterministic.
+    return scores[a] != scores[b] ? scores[a] > scores[b] : a < b;
+  });
+  return order;
+}
+
+std::size_t WorkerRing::home(std::uint64_t key) const {
+  std::size_t best = 0;
+  std::uint64_t best_score = 0;
+  for (std::size_t i = 0; i < seeds_.size(); ++i) {
+    const std::uint64_t s = score(i, key);
+    if (i == 0 || s > best_score) {
+      best = i;
+      best_score = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace mpqls::cluster

@@ -1,0 +1,41 @@
+// Rendezvous (highest-random-weight) hashing over the worker set: every
+// (worker, key) pair gets a score, and a key's candidate order is the
+// workers sorted by descending score. Properties the router leans on:
+//
+//  - Affinity: the same key always prefers the same worker, so repeated
+//    matrices land where the ContextCache is already warm.
+//  - Minimal disruption: removing a worker only re-homes the keys it
+//    owned; every other key's order among the survivors is unchanged —
+//    exactly what failover spillover needs (the next candidate is the
+//    same worker whether computed before or after the loss).
+//  - Statelessness: no token table to rebalance; scores are recomputed
+//    per lookup from the worker ids (cheap FNV mixes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpqls::cluster {
+
+class WorkerRing {
+ public:
+  /// Worker ids must be distinct (typically "host:port").
+  explicit WorkerRing(const std::vector<std::string>& worker_ids);
+
+  /// All worker indices ordered by descending rendezvous score for `key`:
+  /// element 0 is the affinity home, the rest is the spillover order.
+  std::vector<std::size_t> candidates(std::uint64_t key) const;
+
+  /// The affinity home alone (candidates(key)[0]).
+  std::size_t home(std::uint64_t key) const;
+
+  std::size_t size() const { return seeds_.size(); }
+
+ private:
+  std::uint64_t score(std::size_t worker, std::uint64_t key) const;
+
+  std::vector<std::uint64_t> seeds_;  ///< per-worker digest of its id
+};
+
+}  // namespace mpqls::cluster

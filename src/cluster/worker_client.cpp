@@ -1,0 +1,52 @@
+#include "cluster/worker_client.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace mpqls::cluster {
+
+WorkerEndpoint parse_endpoint(const std::string& url) {
+  std::string rest = url;
+  const std::string scheme = "http://";
+  if (rest.rfind(scheme, 0) == 0) rest = rest.substr(scheme.size());
+  while (!rest.empty() && rest.back() == '/') rest.pop_back();
+
+  const auto colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= rest.size()) {
+    throw std::invalid_argument("worker url must be host:port, got: " + url);
+  }
+  unsigned port = 0;
+  const char* begin = rest.data() + colon + 1;
+  const char* end = rest.data() + rest.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, port);
+  if (ec != std::errc() || ptr != end || port == 0 || port > 65535) {
+    throw std::invalid_argument("worker url has a bad port: " + url);
+  }
+
+  WorkerEndpoint e;
+  e.host = rest.substr(0, colon);
+  e.port = static_cast<std::uint16_t>(port);
+  e.id = e.host + ":" + rest.substr(colon + 1);
+  return e;
+}
+
+WorkerClientPool::Lease WorkerClientPool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!idle_.empty()) {
+      auto client = std::move(idle_.back());
+      idle_.pop_back();
+      return Lease(this, std::move(client));
+    }
+  }
+  // Construction is cheap (no connect until the first request), so a cold
+  // pool never serializes callers behind the mutex.
+  return Lease(this, std::make_unique<net::HttpClient>(endpoint_.host, endpoint_.port, deadlines_));
+}
+
+void WorkerClientPool::release(std::unique_ptr<net::HttpClient> client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (idle_.size() < max_idle_) idle_.push_back(std::move(client));
+}
+
+}  // namespace mpqls::cluster

@@ -1,0 +1,77 @@
+// Outbound side of the coordinator: one WorkerClientPool per worker
+// daemon, handing out deadline-bounded keep-alive HttpClients (the
+// deadline logic lives in net::connect_tcp/wait_fd — the same single
+// implementation the blocking CLI client uses). Proxy threads check a
+// client out, run one or more round trips, and return it; up to
+// `max_idle` warm connections are kept per worker, the rest are simply
+// dropped (the kernel closes them).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/http_client.hpp"
+
+namespace mpqls::cluster {
+
+struct WorkerEndpoint {
+  std::string host;
+  std::uint16_t port = 0;
+  std::string id;  ///< "host:port" — the ring identity and metrics label
+};
+
+/// Parse "host:port" (an optional "http://" prefix is tolerated).
+/// Throws std::invalid_argument on anything else.
+WorkerEndpoint parse_endpoint(const std::string& url);
+
+class WorkerClientPool {
+ public:
+  WorkerClientPool(WorkerEndpoint endpoint, net::Deadlines deadlines, std::size_t max_idle = 4)
+      : endpoint_(std::move(endpoint)), deadlines_(deadlines), max_idle_(max_idle) {}
+
+  /// RAII checkout: returns the client to the pool on destruction unless
+  /// discard() was called (use after a transport error, where the
+  /// connection state is unknown — HttpClient closes its socket on error
+  /// anyway, but a failing worker's stale clients are not worth keeping).
+  class Lease {
+   public:
+    Lease(WorkerClientPool* pool, std::unique_ptr<net::HttpClient> client)
+        : pool_(pool), client_(std::move(client)) {}
+    Lease(Lease&&) = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (pool_ && client_ && !discarded_) pool_->release(std::move(client_));
+    }
+
+    net::HttpClient& operator*() { return *client_; }
+    net::HttpClient* operator->() { return client_.get(); }
+    void discard() { discarded_ = true; }
+
+   private:
+    WorkerClientPool* pool_;
+    std::unique_ptr<net::HttpClient> client_;
+    bool discarded_ = false;
+  };
+
+  Lease acquire();
+
+  const WorkerEndpoint& endpoint() const { return endpoint_; }
+  const net::Deadlines& deadlines() const { return deadlines_; }
+
+ private:
+  void release(std::unique_ptr<net::HttpClient> client);
+
+  WorkerEndpoint endpoint_;
+  net::Deadlines deadlines_;
+  std::size_t max_idle_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<net::HttpClient>> idle_;
+};
+
+}  // namespace mpqls::cluster

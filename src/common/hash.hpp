@@ -54,4 +54,17 @@ class Fnv1a {
   std::uint64_t state_ = kOffset;
 };
 
+/// splitmix64 finalizer: full-avalanche mixing of a 64-bit value. Used
+/// where FNV digests are compared against each other (rendezvous-ring
+/// scores, round-robin spreading) — raw FNV output over similar inputs
+/// is correlated enough to skew such comparisons badly.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ull;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z;
+}
+
 }  // namespace mpqls

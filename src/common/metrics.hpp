@@ -42,6 +42,16 @@ class MetricsWriter {
     sample(name, help, "gauge", static_cast<double>(value), labels);
   }
 
+  /// Append pre-rendered exposition text verbatim (e.g. another
+  /// endpoint's already-labeled families, merged by the cluster
+  /// coordinator). Resets the preamble tracker so a family emitted after
+  /// the raw block gets its own HELP/TYPE again.
+  void raw(std::string_view text) {
+    out_ += text;
+    if (!out_.empty() && out_.back() != '\n') out_ += '\n';
+    last_name_.clear();
+  }
+
   const std::string& str() const { return out_; }
 
  private:

@@ -1,5 +1,8 @@
 #include "net/daemon.hpp"
 
+#include <algorithm>
+#include <charconv>
+#include <string_view>
 #include <utility>
 
 #include "common/json.hpp"
@@ -34,8 +37,12 @@ SolverDaemon::SolverDaemon(DaemonOptions options)
           [this](const HttpRequest& request) { return handle(request); }) {
   router_.add("POST", "/v1/jobs",
               [this](const HttpRequest& request, const PathParams&) { return submit_job(request); });
+  router_.add("GET", "/v1/jobs",
+              [this](const HttpRequest& request, const PathParams&) { return list_jobs(request); });
   router_.add("GET", "/v1/jobs/{id}",
               [this](const HttpRequest&, const PathParams& params) { return job_status(params); });
+  router_.add("DELETE", "/v1/jobs/{id}",
+              [this](const HttpRequest&, const PathParams& params) { return cancel_job(params); });
   router_.add("GET", "/v1/healthz",
               [this](const HttpRequest&, const PathParams&) { return healthz(); });
   router_.add("GET", "/v1/metrics", [this](const HttpRequest&, const PathParams&) {
@@ -117,6 +124,44 @@ HttpResponse SolverDaemon::job_status(const PathParams& params) {
   return response;
 }
 
+HttpResponse SolverDaemon::cancel_job(const PathParams& params) {
+  const std::string& id = params.get("id");
+  switch (service_.cancel_job(id)) {
+    case service::CancelOutcome::kNotFound: return error_json(404, "unknown job id");
+    case service::CancelOutcome::kNotCancellable:
+      return error_json(409, "job is running or already terminal");
+    case service::CancelOutcome::kCancelled: break;
+  }
+  Json j = Json::object();
+  j["job_id"] = id;
+  j["state"] = "cancelled";
+  return json_response(200, std::move(j));
+}
+
+HttpResponse SolverDaemon::list_jobs(const HttpRequest& request) {
+  // ?limit=N caps the answer; the default and ceiling keep a registry of
+  // thousands of retained jobs from turning a poll into a megabyte dump.
+  std::size_t limit = 100;
+  if (!parse_limit_param(request.query, 1000, &limit)) {
+    return error_json(400, "limit must be a non-negative integer");
+  }
+
+  Json jobs = Json::array();
+  for (const auto& status : service_.list_jobs(limit)) {
+    Json j = Json::object();
+    j["job_id"] = status.job_id;
+    j["state"] = service::to_string(status.state);
+    j["queue_seconds"] = status.queue_seconds;
+    j["run_seconds"] = status.run_seconds;
+    if (!status.error.empty()) j["error"] = status.error;
+    jobs.push_back(std::move(j));
+  }
+  Json body = Json::object();
+  body["count"] = static_cast<double>(jobs.as_array().size());
+  body["jobs"] = std::move(jobs);
+  return json_response(200, std::move(body));
+}
+
 HttpResponse SolverDaemon::healthz() const {
   Json j = Json::object();
   j["status"] = draining_.load() ? "draining" : "ok";
@@ -173,6 +218,8 @@ std::string SolverDaemon::metrics_text() const {
             queue.rejected);
   m.counter("mpqls_jobs_done_total", "Async jobs that reached state done.", queue.done);
   m.counter("mpqls_jobs_failed_total", "Async jobs that reached state failed.", queue.failed);
+  m.counter("mpqls_jobs_cancelled_total", "Queued jobs cancelled via DELETE before pickup.",
+            queue.cancelled);
 
   m.counter("mpqls_http_requests_total", "Fully parsed HTTP requests.", http.requests);
   m.counter("mpqls_http_parse_errors_total",

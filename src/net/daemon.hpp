@@ -1,12 +1,14 @@
 // The networked front-end of the solver service: routes
 //
-//   POST /v1/jobs       enqueue a JSON job     -> 202 {job_id}
-//                       queue full             -> 429 (+Retry-After)
-//                       draining               -> 503
-//                       malformed body         -> 400 (with byte offset)
-//   GET  /v1/jobs/{id}  poll status/result     -> 200 / 404
-//   GET  /v1/healthz    liveness               -> 200
-//   GET  /v1/metrics    Prometheus text        -> 200
+//   POST   /v1/jobs       enqueue a JSON job     -> 202 {job_id}
+//                         queue full             -> 429 (+Retry-After)
+//                         draining               -> 503
+//                         malformed body         -> 400 (with byte offset)
+//   GET    /v1/jobs       bounded listing        -> 200 (?limit=N, newest first)
+//   GET    /v1/jobs/{id}  poll status/result     -> 200 / 404
+//   DELETE /v1/jobs/{id}  cancel a queued job    -> 200 / 404 / 409 (not queued)
+//   GET    /v1/healthz    liveness               -> 200
+//   GET    /v1/metrics    Prometheus text        -> 200
 //
 // onto SolverService. Handlers run on the HTTP event-loop thread and only
 // parse (byte-capped), enqueue, or snapshot — request materialization
@@ -45,6 +47,12 @@ class SolverDaemon {
   /// Bind and serve; returns once the listener is up.
   void start();
 
+  /// Maintenance mode: close job admission (POST answers 503) while the
+  /// server keeps serving polls, listings and metrics — what a cluster
+  /// coordinator sees as a saturated-forever worker and routes around.
+  /// drain() later completes the shutdown.
+  void close_admission() { draining_.store(true); }
+
   /// Graceful shutdown (the SIGINT/SIGTERM path): stop admitting jobs
   /// (POST answers 503), keep serving polls until every accepted job is
   /// terminal or `grace` expires, then stop the HTTP server. Returns true
@@ -62,6 +70,8 @@ class SolverDaemon {
   HttpResponse handle(const HttpRequest& request);
   HttpResponse submit_job(const HttpRequest& request);
   HttpResponse job_status(const PathParams& params);
+  HttpResponse cancel_job(const PathParams& params);
+  HttpResponse list_jobs(const HttpRequest& request);
   HttpResponse healthz() const;
 
   DaemonOptions options_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 
 namespace mpqls::net {
 
@@ -134,6 +135,22 @@ const std::string* find_header(const HeaderList& headers, std::string_view name)
   return nullptr;
 }
 
+bool parse_limit_param(std::string_view query, std::size_t cap, std::size_t* out) {
+  while (!query.empty()) {
+    const auto amp = query.find('&');
+    const std::string_view param = query.substr(0, amp);
+    query.remove_prefix(amp == std::string_view::npos ? query.size() : amp + 1);
+    if (param.rfind("limit=", 0) != 0) continue;
+    std::size_t parsed = 0;
+    const char* begin = param.data() + 6;
+    const char* end = param.data() + param.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+    if (ec != std::errc() || ptr != end) return false;
+    *out = std::min(parsed, cap);
+  }
+  return true;
+}
+
 const char* status_reason(int status) {
   switch (status) {
     case 200: return "OK";
@@ -143,12 +160,15 @@ const char* status_reason(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 409: return "Conflict";
     case 413: return "Content Too Large";
     case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
+    case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     case 505: return "HTTP Version Not Supported";
     default: return "Unknown";
   }

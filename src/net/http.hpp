@@ -20,6 +20,15 @@ using HeaderList = std::vector<std::pair<std::string, std::string>>;
 /// Case-insensitive header lookup; nullptr when absent.
 const std::string* find_header(const HeaderList& headers, std::string_view name);
 
+/// Parse `limit=N` from a query string ("limit=5", "a=b&limit=5"). The
+/// key match is anchored per '&'-separated parameter, so "unlimit=9" is
+/// ignored. On success *out is min(N, cap); a present-but-malformed
+/// limit returns false (callers answer 400); an absent limit leaves *out
+/// untouched and returns true. Shared by the daemon's listing endpoint
+/// and the cluster coordinator's merged listing so the two contracts
+/// cannot drift.
+bool parse_limit_param(std::string_view query, std::size_t cap, std::size_t* out);
+
 struct HttpRequest {
   std::string method;  ///< uppercase token, e.g. "GET"
   std::string target;  ///< raw request target ("/v1/jobs?limit=2")

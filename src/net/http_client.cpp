@@ -1,10 +1,11 @@
 #include "net/http_client.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <stdexcept>
+#include <system_error>
 
 namespace mpqls::net {
 
@@ -19,34 +20,82 @@ struct StaleConnection : std::runtime_error {
 
 }  // namespace
 
+const char* to_string(HttpErrorCategory category) {
+  switch (category) {
+    case HttpErrorCategory::kConnect: return "connect";
+    case HttpErrorCategory::kTimeout: return "timeout";
+    case HttpErrorCategory::kClosed: return "closed";
+    default: return "protocol";
+  }
+}
+
 HttpClient::Response HttpClient::request(const std::string& method, const std::string& target,
                                          std::string body, std::string content_type) {
   const std::string wire = to_wire_request(method, target, host_, body, content_type,
                                            /*keep_alive=*/true);
   const bool reused = sock_.valid();
-  if (!reused) sock_ = connect_tcp(host_, port_);
+  if (!reused) {
+    try {
+      sock_ = connect_tcp(host_, port_, deadlines_.connect);
+    } catch (const std::system_error& e) {
+      throw HttpError(e.code().value() == ETIMEDOUT ? HttpErrorCategory::kTimeout
+                                                    : HttpErrorCategory::kConnect,
+                      e.what());
+    }
+  }
   try {
     return round_trip(wire);
   } catch (const StaleConnection&) {
     sock_.close();
-    if (!reused) throw;
-    sock_ = connect_tcp(host_, port_);
-    return round_trip(wire);
+    if (!reused) throw HttpError(HttpErrorCategory::kClosed, "connection closed before response");
+    try {
+      sock_ = connect_tcp(host_, port_, deadlines_.connect);
+    } catch (const std::system_error& e) {
+      throw HttpError(e.code().value() == ETIMEDOUT ? HttpErrorCategory::kTimeout
+                                                    : HttpErrorCategory::kConnect,
+                      e.what());
+    }
+    try {
+      return round_trip(wire);
+    } catch (const StaleConnection&) {
+      sock_.close();
+      throw HttpError(HttpErrorCategory::kClosed, "connection closed before response");
+    } catch (const HttpError&) {
+      // Thrown inside this StaleConnection handler, so the sibling
+      // catch below never sees it — close here too, or the poisoned
+      // half-finished exchange would be reused by the next request.
+      sock_.close();
+      throw;
+    }
+  } catch (const HttpError&) {
+    // The connection's state is unknown after any mid-exchange failure;
+    // never reuse it.
+    sock_.close();
+    throw;
   }
 }
 
 HttpClient::Response HttpClient::round_trip(const std::string& wire) {
+  const auto write_deadline = std::chrono::steady_clock::now() + deadlines_.write;
   std::size_t sent = 0;
   while (sent < wire.size()) {
     const ssize_t n = ::send(sock_.fd(), wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!wait_fd(sock_.fd(), POLLOUT, write_deadline)) {
+          throw HttpError(HttpErrorCategory::kTimeout, "send timed out to " + host_);
+        }
+        continue;
+      }
       if (errno == EPIPE || errno == ECONNRESET) throw StaleConnection{};
-      throw std::runtime_error("HttpClient: send failed");
+      throw HttpError(HttpErrorCategory::kClosed, "send failed");
     }
     sent += static_cast<std::size_t>(n);
   }
 
+  // One budget for the whole response, armed once the request is out.
+  const auto read_deadline = std::chrono::steady_clock::now() + deadlines_.read;
   ResponseParser parser;
   char buf[16384];
   std::size_t received = 0;
@@ -54,16 +103,24 @@ HttpClient::Response HttpClient::round_trip(const std::string& wire) {
     const ssize_t got = ::read(sock_.fd(), buf, sizeof buf);
     if (got < 0) {
       if (errno == EINTR) continue;
-      throw std::runtime_error("HttpClient: read failed");
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!wait_fd(sock_.fd(), POLLIN, read_deadline)) {
+          throw HttpError(HttpErrorCategory::kTimeout,
+                          "response timed out after " +
+                              std::to_string(deadlines_.read.count()) + " ms from " + host_);
+        }
+        continue;
+      }
+      throw HttpError(HttpErrorCategory::kClosed, "read failed");
     }
     if (got == 0) {
       if (received == 0) throw StaleConnection{};  // server never saw the request
-      throw std::runtime_error("HttpClient: connection closed mid-response");
+      throw HttpError(HttpErrorCategory::kClosed, "connection closed mid-response");
     }
     received += static_cast<std::size_t>(got);
     parser.consume(std::string_view(buf, static_cast<std::size_t>(got)));
     if (parser.state() == ParseState::kError) {
-      throw std::runtime_error("HttpClient: bad response: " + parser.error_message());
+      throw HttpError(HttpErrorCategory::kProtocol, "bad response: " + parser.error_message());
     }
   }
 

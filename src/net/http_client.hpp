@@ -1,17 +1,52 @@
-// Tiny blocking HTTP/1.1 client — just enough for the submit_job CLI and
-// the loopback integration tests: keep-alive connection reuse, one
-// in-flight request at a time, Content-Length bodies. Throws
-// std::runtime_error on transport or parse failures; HTTP error statuses
-// are returned, not thrown.
+// Small deadline-bounded HTTP/1.1 client — what the submit_job CLI, the
+// loopback integration tests, and the cluster coordinator's outbound
+// worker pool all speak: keep-alive connection reuse, one in-flight
+// request at a time, Content-Length bodies. Every phase is bounded —
+// connect, send, and the whole response each get their own budget from
+// `Deadlines` — so a dead or wedged peer costs a bounded wait instead of
+// blocking forever. Failures throw `HttpError` with a machine-readable
+// category (the coordinator's retry/circuit-breaker policy keys on it);
+// HTTP error statuses are returned, not thrown.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "net/http.hpp"
 #include "net/socket.hpp"
 
 namespace mpqls::net {
+
+/// Per-phase time budgets for one request. `read` covers the whole
+/// response (first byte through last), not each read() call — a peer
+/// trickling one byte per second cannot stretch it.
+struct Deadlines {
+  std::chrono::milliseconds connect{5000};
+  std::chrono::milliseconds write{10000};
+  std::chrono::milliseconds read{60000};
+};
+
+/// What failed, coarsely — the split a caller's retry policy needs.
+/// kConnect: never reached the peer (always safe to try elsewhere).
+/// kTimeout: a phase deadline expired (the request MAY be processing).
+/// kClosed:  the connection died mid-exchange (send or response cut off).
+/// kProtocol: the peer answered bytes that do not parse as HTTP.
+enum class HttpErrorCategory { kConnect, kTimeout, kClosed, kProtocol };
+
+const char* to_string(HttpErrorCategory category);
+
+class HttpError : public std::runtime_error {
+ public:
+  HttpError(HttpErrorCategory category, const std::string& what)
+      : std::runtime_error("HttpClient: " + what), category_(category) {}
+
+  HttpErrorCategory category() const { return category_; }
+
+ private:
+  HttpErrorCategory category_;
+};
 
 class HttpClient {
  public:
@@ -21,24 +56,32 @@ class HttpClient {
     std::string body;
   };
 
-  HttpClient(std::string host, std::uint16_t port) : host_(std::move(host)), port_(port) {}
+  HttpClient(std::string host, std::uint16_t port, Deadlines deadlines = {})
+      : host_(std::move(host)), port_(port), deadlines_(deadlines) {}
 
   Response get(const std::string& target) { return request("GET", target, ""); }
   Response post(const std::string& target, std::string body,
                 std::string content_type = "application/json") {
     return request("POST", target, std::move(body), std::move(content_type));
   }
+  Response del(const std::string& target) { return request("DELETE", target, ""); }
+
+  /// Generic request entry point (the worker pool forwards arbitrary
+  /// method/target pairs through this).
+  Response request(const std::string& method, const std::string& target, std::string body,
+                   std::string content_type = "application/json");
 
   /// Drop the cached connection; the next request reconnects.
   void disconnect() { sock_.close(); }
 
+  const Deadlines& deadlines() const { return deadlines_; }
+
  private:
-  Response request(const std::string& method, const std::string& target, std::string body,
-                   std::string content_type = "application/json");
   Response round_trip(const std::string& wire);
 
   std::string host_;
   std::uint16_t port_;
+  Deadlines deadlines_;
   Socket sock_;
 };
 

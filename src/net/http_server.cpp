@@ -30,17 +30,50 @@ HttpResponse error_response(int status, const std::string& message) {
 
 }  // namespace
 
+/// Completion mailbox shared between the server loop and every
+/// outstanding ResponseHandle. wake_fd belongs to the server and is
+/// invalidated (under the mutex) before the server closes it, so a late
+/// respond() can never write into a recycled file descriptor.
+struct HttpServer::ResponseHandle::DeferredQueue {
+  std::mutex mutex;
+  std::vector<std::pair<std::uint64_t, HttpResponse>> completed;
+  int wake_fd = -1;
+};
+
+HttpServer::ResponseHandle::ResponseHandle(std::shared_ptr<DeferredQueue> queue,
+                                           std::uint64_t conn_id)
+    : queue_(std::move(queue)),
+      conn_id_(conn_id),
+      used_(std::make_shared<std::atomic<bool>>(false)) {}
+
+void HttpServer::ResponseHandle::respond(HttpResponse response) const {
+  if (!queue_ || !used_ || used_->exchange(true)) return;
+  std::lock_guard<std::mutex> lock(queue_->mutex);
+  if (queue_->wake_fd < 0) return;  // server already shut down
+  queue_->completed.emplace_back(conn_id_, std::move(response));
+  const std::uint64_t one = 1;
+  [[maybe_unused]] auto r = ::write(queue_->wake_fd, &one, sizeof one);
+}
+
+bool HttpServer::ResponseHandle::responded() const { return used_ && used_->load(); }
+
 struct HttpServer::Connection {
-  explicit Connection(Socket s, ParseLimits limits) : sock(std::move(s)), parser(limits) {}
+  explicit Connection(Socket s, ParseLimits limits, std::uint64_t id_)
+      : sock(std::move(s)), parser(limits), id(id_) {}
 
   Socket sock;
   RequestParser parser;
+  std::uint64_t id = 0;      ///< generation id (never reused, unlike the fd)
+  bool awaiting = false;     ///< async response outstanding; reads paused
+  bool deferred_keep_alive = true;  ///< the deferred request's keep-alive wish
+  std::string stash;         ///< pipelined bytes parked while awaiting
   std::string out;           ///< serialized responses awaiting write
   std::size_t out_off = 0;   ///< bytes of `out` already written
   bool want_close = false;   ///< close once `out` is flushed
   bool peer_eof = false;     ///< peer shut down its write side
   bool lingering = false;    ///< response flushed + FIN sent; draining reads
   bool want_write = false;   ///< EPOLLOUT currently registered
+  bool want_read = true;     ///< EPOLLIN currently registered
   std::chrono::steady_clock::time_point last_active = std::chrono::steady_clock::now();
   /// Hard close time once want_close is set: bounds both a peer that
   /// never reads its responses and the post-error linger drain.
@@ -51,6 +84,11 @@ struct HttpServer::Connection {
 
 HttpServer::HttpServer(Options options, Handler handler)
     : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::HttpServer(Options options, AsyncHandler handler)
+    : options_(std::move(options)),
+      async_handler_(std::move(handler)),
+      deferred_(std::make_shared<ResponseHandle::DeferredQueue>()) {}
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -64,6 +102,10 @@ void HttpServer::start() {
   if (!epoll_.valid()) throw std::system_error(errno, std::generic_category(), "epoll_create1");
   wake_ = Socket(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
   if (!wake_.valid()) throw std::system_error(errno, std::generic_category(), "eventfd");
+  if (deferred_) {
+    std::lock_guard<std::mutex> lock(deferred_->mutex);
+    deferred_->wake_fd = wake_.fd();
+  }
 
   epoll_event ev{};
   ev.events = EPOLLIN;
@@ -90,9 +132,17 @@ void HttpServer::stop() {
   }
   loop_thread_.join();
   connections_.clear();
+  awaiting_.clear();
   connections_open_.store(0);
   listener_.close();
   epoll_.close();
+  if (deferred_) {
+    // Invalidate the wake fd before closing it: a straggling respond()
+    // must find -1, not a recycled descriptor.
+    std::lock_guard<std::mutex> lock(deferred_->mutex);
+    deferred_->wake_fd = -1;
+    deferred_->completed.clear();
+  }
   wake_.close();
   running_.store(false);
 }
@@ -127,6 +177,8 @@ void HttpServer::run_loop() {
         connection_io(fd, events[i].events);
       }
     }
+
+    if (deferred_) drain_deferred();
 
     if (stop_requested_.load() && listener_open) {
       ::epoll_ctl(epoll_.fd(), EPOLL_CTL_DEL, listener_.fd(), nullptr);
@@ -172,7 +224,8 @@ void HttpServer::accept_ready() {
     ev.events = EPOLLIN;
     ev.data.fd = fd;
     if (::epoll_ctl(epoll_.fd(), EPOLL_CTL_ADD, fd, &ev) != 0) continue;
-    connections_.emplace(fd, std::make_unique<Connection>(std::move(client), options_.limits));
+    connections_.emplace(
+        fd, std::make_unique<Connection>(std::move(client), options_.limits, next_conn_id_++));
     ++connections_accepted_;
     connections_open_.store(connections_.size());
   }
@@ -200,6 +253,13 @@ void HttpServer::connection_io(int fd, std::uint32_t io_events) {
         if (!conn.lingering && !conn.want_close) {
           feed(conn, std::string_view(buf, static_cast<std::size_t>(got)));
         }
+        // Parked on a deferred response: stop reading NOW — the epoll
+        // re-arm only protects future iterations, not this loop, and
+        // feeding a parked parser would fabricate a second request from
+        // its moved-from state. Unread bytes wait in the kernel buffer
+        // until the completion re-arms EPOLLIN (level-triggered, so the
+        // event re-fires immediately).
+        if (conn.awaiting) break;
         continue;
       }
       if (got == 0) {  // peer shut down its write side; nothing left to drain
@@ -228,31 +288,44 @@ void HttpServer::connection_io(int fd, std::uint32_t io_events) {
 }
 
 void HttpServer::feed(Connection& conn, std::string_view data) {
-  while (!data.empty() && !conn.want_close) {
+  // Defense in depth: a parked connection's parser must not be consulted
+  // (state is still kComplete with the request moved out). Callers
+  // already stop feeding while awaiting; if bytes arrive here anyway they
+  // join the stash rather than corrupting the stream.
+  if (conn.awaiting) {
+    conn.stash.append(data);
+    return;
+  }
+  while (!data.empty() && !conn.want_close && !conn.awaiting) {
     const std::size_t used = conn.parser.consume(data);
     data.remove_prefix(used);
 
     if (conn.parser.state() == ParseState::kComplete) {
       ++requests_;
       const HttpRequest request = conn.parser.take_request();
+      if (async_handler_) {
+        // Park the connection until the handle completes: reads pause
+        // (update_interest drops EPOLLIN) and already-received pipelined
+        // bytes wait in the stash, so responses stay in request order.
+        conn.awaiting = true;
+        conn.deferred_keep_alive = request.keep_alive;
+        conn.stash.assign(data.data(), data.size());
+        awaiting_[conn.id] = conn.sock.fd();
+        ResponseHandle handle(deferred_, conn.id);
+        try {
+          async_handler_(request, handle);
+        } catch (...) {
+          handle.respond(error_response(500, "internal error"));
+        }
+        break;
+      }
       HttpResponse response;
       try {
         response = handler_(request);
       } catch (...) {
         response = error_response(500, "internal error");
       }
-      response.keep_alive = response.keep_alive && request.keep_alive;
-      // Backpressure on the write side: the backlog is measured BEFORE
-      // appending this response, so a single large reply never trips it —
-      // only a peer that pipelines requests without reading what it
-      // already got, which gets cut off instead of growing `out`.
-      const std::size_t backlog = conn.out.size() - conn.out_off;
-      enqueue_response(conn, response);
-      if (!response.keep_alive || backlog > options_.max_write_buffer) {
-        mark_want_close(conn);  // pipelined leftovers are dropped by design
-      } else {
-        conn.parser.reset();
-      }
+      complete_request(conn, std::move(response), request.keep_alive);
     } else if (conn.parser.state() == ParseState::kError) {
       ++parse_errors_;
       enqueue_response(conn,
@@ -264,6 +337,53 @@ void HttpServer::feed(Connection& conn, std::string_view data) {
   }
   flush(conn);
   update_interest(conn);
+}
+
+/// Queue one handler response, applying keep-alive and write-backpressure
+/// policy (shared by the sync path and deferred completions).
+void HttpServer::complete_request(Connection& conn, HttpResponse response,
+                                  bool request_keep_alive) {
+  response.keep_alive = response.keep_alive && request_keep_alive;
+  // Backpressure on the write side: the backlog is measured BEFORE
+  // appending this response, so a single large reply never trips it —
+  // only a peer that pipelines requests without reading what it
+  // already got, which gets cut off instead of growing `out`.
+  const std::size_t backlog = conn.out.size() - conn.out_off;
+  enqueue_response(conn, response);
+  if (!response.keep_alive || backlog > options_.max_write_buffer) {
+    mark_want_close(conn);  // pipelined leftovers are dropped by design
+  } else {
+    conn.parser.reset();
+  }
+}
+
+void HttpServer::drain_deferred() {
+  std::vector<std::pair<std::uint64_t, HttpResponse>> done;
+  {
+    std::lock_guard<std::mutex> lock(deferred_->mutex);
+    done.swap(deferred_->completed);
+  }
+  for (auto& [conn_id, response] : done) {
+    const auto where = awaiting_.find(conn_id);
+    if (where == awaiting_.end()) continue;  // connection closed meanwhile
+    const auto it = connections_.find(where->second);
+    awaiting_.erase(where);
+    if (it == connections_.end()) continue;
+    Connection& conn = *it->second;
+    conn.awaiting = false;
+    conn.last_active = std::chrono::steady_clock::now();
+    complete_request(conn, std::move(response), conn.deferred_keep_alive);
+    if (!conn.want_close && !conn.stash.empty()) {
+      const std::string stash = std::move(conn.stash);
+      conn.stash.clear();
+      feed(conn, stash);  // may re-enter awaiting for the next request
+    } else if (conn.want_close) {
+      conn.stash.clear();  // closing: pipelined leftovers are dropped by design
+    }
+    flush(conn);
+    if (conn.want_close && conn.flushed()) begin_linger(conn);
+    update_interest(conn);
+  }
 }
 
 void HttpServer::enqueue_response(Connection& conn, const HttpResponse& response) {
@@ -294,12 +414,17 @@ void HttpServer::flush(Connection& conn) {
 
 void HttpServer::update_interest(Connection& conn) {
   const bool want_write = !conn.flushed();
-  if (want_write == conn.want_write) return;
+  // Reads pause while a deferred response is outstanding: with
+  // level-triggered epoll, leaving EPOLLIN armed on unread bytes would
+  // spin the loop; the stash already holds what arrived with the request.
+  const bool want_read = !conn.awaiting;
+  if (want_write == conn.want_write && want_read == conn.want_read) return;
   epoll_event ev{};
-  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
   ev.data.fd = conn.sock.fd();
   if (::epoll_ctl(epoll_.fd(), EPOLL_CTL_MOD, conn.sock.fd(), &ev) == 0) {
     conn.want_write = want_write;
+    conn.want_read = want_read;
   }
 }
 
@@ -325,6 +450,7 @@ void HttpServer::begin_linger(Connection& conn) {
 void HttpServer::close_connection(int fd) {
   auto it = connections_.find(fd);
   if (it == connections_.end()) return;
+  awaiting_.erase(it->second->id);  // a late respond() now finds nobody
   ::epoll_ctl(epoll_.fd(), EPOLL_CTL_DEL, fd, nullptr);
   connections_.erase(it);
   connections_open_.store(connections_.size());
@@ -337,7 +463,12 @@ void HttpServer::sweep_idle() {
   for (const auto& [fd, conn] : connections_) {
     // Unflushed bytes don't protect an idle connection: a peer that
     // stopped reading mid-response would otherwise pin its slot forever.
-    const bool idle = now - conn->last_active > options_.idle_timeout;
+    // An outstanding deferred response DOES protect it — reaping the
+    // connection mid-await would discard a response the handler is still
+    // producing (the async handler owns bounding that work; the
+    // coordinator's proxy calls are all deadline-bounded).
+    const bool idle =
+        !conn->awaiting && now - conn->last_active > options_.idle_timeout;
     const bool overdue = conn->want_close && now >= conn->close_deadline;
     if (idle || overdue) expired.push_back(fd);
   }

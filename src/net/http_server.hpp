@@ -1,13 +1,21 @@
 // Single-threaded epoll event loop serving HTTP/1.1 with keep-alive and
-// pipelining. The handler runs on the loop thread, so it must be fast and
-// non-blocking — the solver daemon only ever enqueues jobs or snapshots
-// registry/cache state there; solves run on the SolverService pools.
+// pipelining. Two handler shapes:
+//
+//  - Handler (sync): runs on the loop thread, so it must be fast and
+//    non-blocking — the solver daemon only ever enqueues jobs or snapshots
+//    registry/cache state there; solves run on the SolverService pools.
+//  - AsyncHandler (deferred): receives a ResponseHandle and may complete
+//    it later from ANY thread — the cluster coordinator hands the request
+//    to its proxy pool and the loop thread moves on immediately. While a
+//    connection's response is outstanding its reads are paused (pipelined
+//    bytes are stashed), so responses always go out in request order.
 //
 // Lifecycle: start() binds and spawns the loop thread; stop() flushes
 // pending responses (bounded by a short deadline), closes every
-// connection, and joins. During a daemon drain the listener deliberately
-// stays open — clients reconnecting to poll must still get in; admission
-// is refused at the application layer (503) instead.
+// connection, and joins. ResponseHandles may outlive the server: a late
+// respond() is dropped safely. During a daemon drain the listener
+// deliberately stays open — clients reconnecting to poll must still get
+// in; admission is refused at the application layer (503) instead.
 #pragma once
 
 #include <atomic>
@@ -48,7 +56,29 @@ class HttpServer {
 
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
+  /// One-shot completion token for a deferred response. Copyable (copies
+  /// share the one-shot latch); respond() may be called from any thread,
+  /// at most once across all copies — later calls and calls after the
+  /// connection or server went away are silently dropped.
+  class ResponseHandle {
+   public:
+    ResponseHandle() = default;
+    void respond(HttpResponse response) const;
+    bool responded() const;
+
+   private:
+    friend class HttpServer;
+    struct DeferredQueue;
+    ResponseHandle(std::shared_ptr<DeferredQueue> queue, std::uint64_t conn_id);
+    std::shared_ptr<DeferredQueue> queue_;
+    std::uint64_t conn_id_ = 0;
+    std::shared_ptr<std::atomic<bool>> used_;
+  };
+
+  using AsyncHandler = std::function<void(const HttpRequest&, ResponseHandle)>;
+
   HttpServer(Options options, Handler handler);
+  HttpServer(Options options, AsyncHandler handler);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -75,6 +105,8 @@ class HttpServer {
   void accept_ready();
   void connection_io(int fd, std::uint32_t events);
   void feed(Connection& conn, std::string_view data);
+  void drain_deferred();
+  void complete_request(Connection& conn, HttpResponse response, bool request_keep_alive);
   void enqueue_response(Connection& conn, const HttpResponse& response);
   void flush(Connection& conn);
   void update_interest(Connection& conn);
@@ -84,7 +116,9 @@ class HttpServer {
   void sweep_idle();
 
   Options options_;
-  Handler handler_;
+  Handler handler_;             ///< exactly one of handler_ / async_handler_ is set
+  AsyncHandler async_handler_;
+  std::shared_ptr<ResponseHandle::DeferredQueue> deferred_;  ///< null in sync mode
 
   Socket listener_;
   Socket epoll_;
@@ -96,6 +130,11 @@ class HttpServer {
   std::atomic<bool> stop_requested_{false};
 
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;  ///< loop thread only
+  /// Deferred bookkeeping (loop thread only): connections awaiting an
+  /// async response, keyed by their generation id — fds get reused, ids
+  /// never do, so a late respond() can never hit the wrong connection.
+  std::unordered_map<std::uint64_t, int> awaiting_;
+  std::uint64_t next_conn_id_ = 1;
 
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> connections_rejected_{0};

@@ -5,9 +5,11 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <system_error>
@@ -64,6 +66,39 @@ std::uint16_t local_port(const Socket& socket) {
 }
 
 Socket connect_tcp(const std::string& host, std::uint16_t port) {
+  // One resolve-and-connect implementation: delegate to the deadline
+  // overload with an effectively-unbounded budget, then restore blocking
+  // mode (that overload leaves sockets non-blocking by contract).
+  Socket s = connect_tcp(host, port, std::chrono::hours(24 * 365));
+  const int flags = ::fcntl(s.fd(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(s.fd(), F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    throw_errno("fcntl(~O_NONBLOCK)");
+  }
+  return s;
+}
+
+bool wait_fd(int fd, short events, std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    // poll takes int milliseconds; clamp huge deadlines and wake at least
+    // every ~49 days (re-looping is harmless).
+    const int budget = static_cast<int>(
+        std::min<std::chrono::milliseconds::rep>(left.count() + 1, 0x7FFFFFFF));
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, budget);
+    if (rc > 0) return true;  // ready, or HUP/ERR — the I/O call reports it
+    if (rc == 0) continue;    // re-check the deadline at the top
+    if (errno == EINTR) continue;
+    throw_errno("poll");
+  }
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   std::chrono::milliseconds timeout) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -76,28 +111,53 @@ Socket connect_tcp(const std::string& host, std::uint16_t port) {
 
   Socket s;
   int last_errno = ECONNREFUSED;
-  for (const addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
-    Socket candidate(::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC, ai->ai_protocol));
-    if (!candidate.valid()) {
+  try {
+    for (const addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+      Socket candidate(::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC | SOCK_NONBLOCK,
+                                ai->ai_protocol));
+      if (!candidate.valid()) {
+        last_errno = errno;
+        continue;
+      }
+      int crc;
+      do {
+        crc = ::connect(candidate.fd(), ai->ai_addr, ai->ai_addrlen);
+      } while (crc != 0 && errno == EINTR);
+      // EALREADY: a retried connect() after EINTR reports the handshake
+      // is still in flight — same wait-for-writable path as EINPROGRESS.
+      if (crc != 0 && (errno == EINPROGRESS || errno == EALREADY)) {
+        const auto deadline = std::chrono::steady_clock::now() + timeout;
+        if (!wait_fd(candidate.fd(), POLLOUT, deadline)) {
+          last_errno = ETIMEDOUT;
+          continue;
+        }
+        int err = 0;
+        socklen_t len = sizeof err;
+        if (::getsockopt(candidate.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) err = errno;
+        if (err != 0) {
+          last_errno = err;
+          continue;
+        }
+        crc = 0;
+      }
+      if (crc == 0) {
+        s = std::move(candidate);
+        break;
+      }
       last_errno = errno;
-      continue;
     }
-    int crc;
-    do {
-      crc = ::connect(candidate.fd(), ai->ai_addr, ai->ai_addrlen);
-    } while (crc != 0 && errno == EINTR);
-    if (crc == 0) {
-      s = std::move(candidate);
-      break;
-    }
-    last_errno = errno;
+  } catch (...) {
+    // wait_fd can throw on poll() failure; the addrinfo chain must not
+    // outlive this frame either way.
+    ::freeaddrinfo(result);
+    throw;
   }
   ::freeaddrinfo(result);
   if (!s.valid()) {
     throw std::system_error(last_errno, std::generic_category(),
                             "connect to " + host + ":" + std::to_string(port));
   }
-  return s;
+  return s;  // still non-blocking: callers gate I/O through wait_fd
 }
 
 void set_nonblocking(int fd) {

@@ -2,8 +2,15 @@
 // the blocking client need, nothing more (no external networking
 // dependency). All helpers throw std::system_error with the failing call
 // in the message; EINTR is retried internally.
+//
+// Deadline support: wait_fd() + the timeout overload of connect_tcp() are
+// the one shared implementation of I/O deadlines — HttpClient and the
+// cluster coordinator's outbound worker pool both bound their connects,
+// sends and reads through them, so "how long do we wait for a dead peer"
+// has a single answer.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -49,6 +56,21 @@ std::uint16_t local_port(const Socket& socket);
 
 /// Blocking connect to `host:port` (numeric IPv4 or a resolvable name).
 Socket connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Deadline-bounded connect: the socket is non-blocking from birth, the
+/// three-way handshake gets at most `timeout` (per resolved address), and
+/// the returned socket STAYS non-blocking — callers pair every read/write
+/// with wait_fd(). Throws std::system_error; a timeout surfaces as
+/// ETIMEDOUT.
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   std::chrono::milliseconds timeout);
+
+/// Wait until `fd` is ready for `events` (POLLIN and/or POLLOUT) or the
+/// deadline passes. Returns true when ready, false on timeout; EINTR
+/// re-waits with the remaining budget. Throws std::system_error on poll
+/// failure. A peer hangup/error counts as "ready" — the following I/O
+/// call reports the real error.
+bool wait_fd(int fd, short events, std::chrono::steady_clock::time_point deadline);
 
 void set_nonblocking(int fd);
 void set_nodelay(int fd);

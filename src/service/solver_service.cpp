@@ -1,5 +1,6 @@
 #include "service/solver_service.hpp"
 
+#include <algorithm>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -24,6 +25,7 @@ const char* to_string(JobState state) {
     case JobState::kQueued: return "queued";
     case JobState::kRunning: return "running";
     case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
     default: return "failed";
   }
 }
@@ -32,6 +34,7 @@ const char* to_string(JobState state) {
 /// hold a shared_ptr so pruning a record never races a running job.
 struct SolverService::JobRecord {
   std::string job_id;
+  std::uint64_t seq = 0;  ///< submission order, for newest-first listing
   JobState state = JobState::kQueued;
   std::string error;
   std::shared_ptr<const SolveResult> result;
@@ -134,6 +137,7 @@ std::optional<std::string> SolverService::submit_job(
       ++queue_stats_.rejected;
       return std::nullopt;
     }
+    record->seq = next_job_number_;
     record->job_id = "job-" + std::to_string(next_job_number_++);
     registry_[record->job_id] = record;
     ++queue_stats_.accepted;
@@ -144,6 +148,9 @@ std::optional<std::string> SolverService::submit_job(
       [this, record, make = std::move(make_request), render = std::move(render)]() mutable {
         {
           std::lock_guard<std::mutex> lock(registry_mutex_);
+          // Cancelled while queued: the record is already terminal and its
+          // queue accounting settled — skip the work entirely.
+          if (record->state == JobState::kCancelled) return;
           record->state = JobState::kRunning;
           record->queue_seconds = record->since_submit.seconds();
           record->since_start = Timer();
@@ -197,11 +204,7 @@ void SolverService::prune_terminal_locked() {
   }
 }
 
-std::optional<JobStatus> SolverService::job_status(const std::string& job_id) const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
-  const auto it = registry_.find(job_id);
-  if (it == registry_.end()) return std::nullopt;
-  const JobRecord& r = *it->second;
+JobStatus SolverService::snapshot_locked(const JobRecord& r) const {
   JobStatus status;
   status.job_id = r.job_id;
   status.state = r.state;
@@ -211,6 +214,46 @@ std::optional<JobStatus> SolverService::job_status(const std::string& job_id) co
   status.queue_seconds = r.state == JobState::kQueued ? r.since_submit.seconds() : r.queue_seconds;
   status.run_seconds = r.state == JobState::kRunning ? r.since_start.seconds() : r.run_seconds;
   return status;
+}
+
+std::optional<JobStatus> SolverService::job_status(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = registry_.find(job_id);
+  if (it == registry_.end()) return std::nullopt;
+  return snapshot_locked(*it->second);
+}
+
+CancelOutcome SolverService::cancel_job(const std::string& job_id) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    const auto it = registry_.find(job_id);
+    if (it == registry_.end()) return CancelOutcome::kNotFound;
+    JobRecord& r = *it->second;
+    if (r.state != JobState::kQueued) return CancelOutcome::kNotCancellable;
+    r.state = JobState::kCancelled;
+    r.queue_seconds = r.since_submit.seconds();
+    --queue_stats_.queued;
+    ++queue_stats_.cancelled;
+    terminal_order_.push_back(r.job_id);
+    prune_terminal_locked();
+  }
+  // Cancellation frees queue capacity, which wait_idle watchers count.
+  registry_cv_.notify_all();
+  return CancelOutcome::kCancelled;
+}
+
+std::vector<JobStatus> SolverService::list_jobs(std::size_t limit) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::vector<const JobRecord*> records;
+  records.reserve(registry_.size());
+  for (const auto& [id, record] : registry_) records.push_back(record.get());
+  std::sort(records.begin(), records.end(),
+            [](const JobRecord* a, const JobRecord* b) { return a->seq > b->seq; });
+  if (records.size() > limit) records.resize(limit);
+  std::vector<JobStatus> out;
+  out.reserve(records.size());
+  for (const JobRecord* r : records) out.push_back(snapshot_locked(*r));
+  return out;
 }
 
 bool SolverService::wait_idle(std::chrono::milliseconds timeout) const {

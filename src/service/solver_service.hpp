@@ -48,10 +48,16 @@ struct ServiceOptions {
   std::size_t retained_jobs = 1024;
 };
 
-/// Lifecycle of a registry job. Terminal states are kDone and kFailed.
-enum class JobState { kQueued, kRunning, kDone, kFailed };
+/// Lifecycle of a registry job. Terminal states are kDone, kFailed and
+/// kCancelled (only queued jobs can be cancelled — a running solve is
+/// never interrupted mid-refinement).
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
 
 const char* to_string(JobState state);
+
+/// Outcome of cancel_job. kNotCancellable covers running and terminal
+/// jobs alike: in both cases the job's work can no longer be unspent.
+enum class CancelOutcome { kCancelled, kNotFound, kNotCancellable };
 
 /// Point-in-time snapshot of a submitted job. `result` is set iff kDone;
 /// `error` is non-empty iff kFailed.
@@ -103,6 +109,15 @@ class SolverService {
   /// pruned from the retained-results window.
   std::optional<JobStatus> job_status(const std::string& job_id) const;
 
+  /// Cancel a still-queued job: it transitions to kCancelled and the
+  /// worker skips it on pickup. Running and terminal jobs are not
+  /// cancellable; unknown/pruned ids report kNotFound.
+  CancelOutcome cancel_job(const std::string& job_id);
+
+  /// Snapshots of the most recently submitted jobs (newest first), capped
+  /// at `limit` — the bounded listing GET /v1/jobs serves.
+  std::vector<JobStatus> list_jobs(std::size_t limit) const;
+
   /// Block until every submit_job()-accepted job reached a terminal
   /// state, or the timeout expired. Returns true when idle — the drain
   /// barrier the daemon uses on SIGTERM.
@@ -136,6 +151,7 @@ class SolverService {
     std::uint64_t rejected = 0;  ///< admission-control refusals
     std::uint64_t done = 0;
     std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;  ///< queued jobs cancelled before pickup
     std::size_t max_pending = 0;  ///< 0 = unbounded
   };
   QueueStats queue_stats() const;
@@ -147,6 +163,7 @@ class SolverService {
                   std::shared_ptr<const SolveResult> result,
                   std::shared_ptr<const std::string> rendered, std::string error);
   void prune_terminal_locked();
+  JobStatus snapshot_locked(const JobRecord& record) const;
 
   ServiceOptions options_;
   ContextCache cache_;

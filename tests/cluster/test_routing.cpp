@@ -1,0 +1,195 @@
+// Unit coverage for the cluster building blocks: rendezvous-ring
+// determinism, balance, and minimal-disruption on worker loss; the
+// circuit-breaker state machine (clock-injected, no sleeping); endpoint
+// parsing; and the Prometheus merge/relabel used by the aggregated
+// metrics endpoint.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/breaker.hpp"
+#include "cluster/metrics_aggregate.hpp"
+#include "cluster/ring.hpp"
+#include "cluster/worker_client.hpp"
+
+namespace mpqls::cluster {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<std::string> worker_ids(std::size_t n, int base_port = 9000) {
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back("127.0.0.1:" + std::to_string(base_port + static_cast<int>(i)));
+  }
+  return ids;
+}
+
+TEST(WorkerRing, SameKeyAlwaysGetsTheSameCandidateOrder) {
+  const WorkerRing ring(worker_ids(5));
+  for (std::uint64_t key : {0ull, 1ull, 0xDEADBEEFull, ~0ull}) {
+    const auto a = ring.candidates(key);
+    const auto b = ring.candidates(key);
+    EXPECT_EQ(a, b);
+    ASSERT_EQ(a.size(), 5u);
+    EXPECT_EQ(a[0], ring.home(key));
+  }
+}
+
+TEST(WorkerRing, KeysSpreadRoughlyEvenly) {
+  const WorkerRing ring(worker_ids(4));
+  std::map<std::size_t, int> owned;
+  const int keys = 4000;
+  for (int k = 0; k < keys; ++k) owned[ring.home(static_cast<std::uint64_t>(k) * 2654435761u)]++;
+  for (const auto& [worker, count] : owned) {
+    // Within 25% of the fair share — catches the correlated-score failure
+    // mode where one worker wins most keys (seen with raw FNV mixing).
+    EXPECT_GT(count, keys / 4 * 3 / 4) << "worker " << worker << " starved";
+    EXPECT_LT(count, keys / 4 * 5 / 4) << "worker " << worker << " dominates";
+  }
+}
+
+TEST(WorkerRing, SequentialEphemeralPortsStillSpreadASmallKeySet) {
+  // The exact shape of the scaling bench: 4 workers on consecutive ports,
+  // 8 distinct matrices, per-worker cache of 4 — no worker may own more
+  // keys than the cache holds, else affinity routing thrashes by design.
+  for (int base : {35001, 40123, 51234}) {
+    const WorkerRing ring(worker_ids(4, base));
+    std::map<std::size_t, int> owned;
+    for (int k = 0; k < 8; ++k) {
+      owned[ring.home(0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(k + 1))]++;
+    }
+    for (const auto& [worker, count] : owned) {
+      EXPECT_LE(count, 4) << "worker " << worker << " owns too many of 8 keys (base " << base
+                          << ")";
+    }
+  }
+}
+
+TEST(WorkerRing, RemovingAWorkerOnlyRehomesItsOwnKeys) {
+  const auto ids = worker_ids(4);
+  const WorkerRing full(ids);
+  // Survivors' ring with worker 2 removed.
+  std::vector<std::string> surviving = {ids[0], ids[1], ids[3]};
+  const WorkerRing reduced(surviving);
+  const auto reduced_index = [&](std::size_t full_index) {
+    return full_index < 2 ? full_index : full_index - 1;  // 3 -> 2
+  };
+
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    const std::uint64_t key = k * 0x9E3779B97F4A7C15ull;
+    const std::size_t before = full.home(key);
+    if (before != 2) {
+      // Keys not homed on the lost worker keep their home — exactly the
+      // property that makes failover spillover cache-friendly.
+      EXPECT_EQ(reduced.home(key), reduced_index(before)) << "key " << k << " re-homed";
+    } else {
+      // The lost worker's keys land on their old SECOND choice.
+      const auto order = full.candidates(key);
+      EXPECT_EQ(reduced.home(key), reduced_index(order[1])) << "key " << k;
+    }
+  }
+}
+
+TEST(CircuitBreaker, OpensAfterThresholdAndRecoversThroughHalfOpen) {
+  CircuitBreaker breaker(BreakerOptions{.failure_threshold = 3, .open_duration = 1000ms});
+  auto t = std::chrono::steady_clock::time_point{} + 1h;
+
+  EXPECT_TRUE(breaker.allow(t));
+  breaker.record_failure(t);
+  breaker.record_failure(t);
+  EXPECT_EQ(breaker.state(t), BreakerState::kClosed);  // below threshold
+  EXPECT_TRUE(breaker.allow(t));
+  breaker.record_failure(t);
+  EXPECT_EQ(breaker.state(t), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.allow(t));
+  EXPECT_FALSE(breaker.allow(t + 999ms));
+
+  // Cool-off elapsed: half-open, exactly one trial at a time.
+  t += 1001ms;
+  EXPECT_EQ(breaker.state(t), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.allow(t));
+  EXPECT_FALSE(breaker.allow(t)) << "second concurrent trial must wait";
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(t), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow(t));
+}
+
+TEST(CircuitBreaker, FailedTrialReopensImmediately) {
+  CircuitBreaker breaker(BreakerOptions{.failure_threshold = 1, .open_duration = 500ms});
+  auto t = std::chrono::steady_clock::time_point{} + 1h;
+  breaker.record_failure(t);
+  EXPECT_EQ(breaker.state(t), BreakerState::kOpen);
+  t += 501ms;
+  EXPECT_TRUE(breaker.allow(t));  // the trial
+  breaker.record_failure(t);
+  EXPECT_EQ(breaker.state(t), BreakerState::kOpen) << "failed trial re-arms the cool-off";
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_FALSE(breaker.allow(t + 499ms));
+  EXPECT_TRUE(breaker.allow(t + 501ms));
+}
+
+TEST(CircuitBreaker, SuccessResetsTheConsecutiveFailureRun) {
+  CircuitBreaker breaker(BreakerOptions{.failure_threshold = 2, .open_duration = 500ms});
+  auto t = std::chrono::steady_clock::time_point{} + 1h;
+  breaker.record_failure(t);
+  breaker.record_success();
+  breaker.record_failure(t);
+  EXPECT_EQ(breaker.state(t), BreakerState::kClosed) << "run was broken by the success";
+  breaker.record_failure(t);
+  EXPECT_EQ(breaker.state(t), BreakerState::kOpen);
+}
+
+TEST(ParseEndpoint, AcceptsHostPortAndHttpUrls) {
+  const auto plain = parse_endpoint("10.1.2.3:8080");
+  EXPECT_EQ(plain.host, "10.1.2.3");
+  EXPECT_EQ(plain.port, 8080);
+  EXPECT_EQ(plain.id, "10.1.2.3:8080");
+
+  const auto url = parse_endpoint("http://worker-a:9000/");
+  EXPECT_EQ(url.host, "worker-a");
+  EXPECT_EQ(url.port, 9000);
+
+  EXPECT_THROW(parse_endpoint("no-port"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("host:"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("host:99999"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint(":8080"), std::invalid_argument);
+}
+
+TEST(MergeWorkerMetrics, RelabelsAndRegroupsFamilies) {
+  const std::string w0 =
+      "# HELP mpqls_up 1 while serving.\n# TYPE mpqls_up gauge\nmpqls_up 1\n"
+      "# HELP mpqls_cache_hits_total Hits.\n# TYPE mpqls_cache_hits_total counter\n"
+      "mpqls_cache_hits_total 5\n";
+  const std::string w1 =
+      "# HELP mpqls_up 1 while serving.\n# TYPE mpqls_up gauge\nmpqls_up 1\n"
+      "# HELP mpqls_cache_hits_total Hits.\n# TYPE mpqls_cache_hits_total counter\n"
+      "mpqls_cache_hits_total 7\n";
+  const std::string merged = merge_worker_metrics({{"w0", w0}, {"w1", w1}});
+
+  // One preamble per family, all labeled series consecutive.
+  EXPECT_EQ(merged.find("# HELP mpqls_up"), merged.rfind("# HELP mpqls_up"));
+  EXPECT_NE(merged.find("mpqls_up{worker=\"w0\"} 1"), std::string::npos);
+  EXPECT_NE(merged.find("mpqls_up{worker=\"w1\"} 1"), std::string::npos);
+  EXPECT_NE(merged.find("mpqls_cache_hits_total{worker=\"w1\"} 7"), std::string::npos);
+  const auto f0 = merged.find("mpqls_cache_hits_total{worker=\"w0\"}");
+  const auto f1 = merged.find("mpqls_cache_hits_total{worker=\"w1\"}");
+  const auto up1 = merged.find("mpqls_up{worker=\"w1\"}");
+  ASSERT_NE(f0, std::string::npos);
+  EXPECT_LT(up1, f0) << "family series must be grouped, not interleaved by worker";
+  EXPECT_LT(f0, f1);
+}
+
+TEST(MergeWorkerMetrics, InjectsIntoExistingLabelSets) {
+  const std::string body = "mpqls_thing{kind=\"a\"} 3\nmpqls_thing{kind=\"b\"} 4\n";
+  const std::string merged = merge_worker_metrics({{"w2", body}});
+  EXPECT_NE(merged.find("mpqls_thing{worker=\"w2\",kind=\"a\"} 3"), std::string::npos);
+  EXPECT_NE(merged.find("mpqls_thing{worker=\"w2\",kind=\"b\"} 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpqls::cluster

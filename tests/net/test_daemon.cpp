@@ -61,7 +61,7 @@ Json poll_until_terminal(HttpClient& client, const std::string& job_id,
     EXPECT_EQ(response.status, 200) << response.body;
     Json status = Json::parse(response.body);
     const std::string state = status.at("state").as_string();
-    if (state == "done" || state == "failed") return status;
+    if (state == "done" || state == "failed" || state == "cancelled") return status;
     if (std::chrono::steady_clock::now() > deadline) {
       ADD_FAILURE() << "timed out polling " << job_id;
       return status;
@@ -282,6 +282,82 @@ TEST(SolverDaemon, HostileInputGetsPreciseStatusCodes) {
   const auto huge = client.post("/v1/jobs", std::string(600, ' '));
   EXPECT_EQ(huge.status, 413);
 
+  daemon.drain(5000ms);
+}
+
+TEST(SolverDaemon, KeepAliveSurvives4xxAndOversizedJobIds) {
+  SolverDaemon daemon(loopback_options());
+  daemon.start();
+  HttpClient client("127.0.0.1", daemon.port());
+
+  // Router-level 4xx responses (404/405/409) keep the connection open —
+  // only parser-level errors close it. A polling client that hits an
+  // unknown id must not pay a reconnect per poll.
+  EXPECT_EQ(client.get("/v1/jobs/job-42").status, 404);
+  EXPECT_EQ(client.post("/v1/healthz", "{}").status, 405);
+  // An id as long as the head cap allows round-trips to a clean 404.
+  EXPECT_EQ(client.get("/v1/jobs/" + std::string(4096, 'z')).status, 404);
+  EXPECT_EQ(client.get("/v1/healthz").status, 200);
+
+  // All of it parsed cleanly on ONE TCP connection: router 4xx is not a
+  // parse error and must not cost the keep-alive.
+  const auto metrics = client.get("/v1/metrics").body;
+  EXPECT_EQ(metric_value(metrics, "mpqls_http_parse_errors_total"), 0.0);
+  EXPECT_EQ(metric_value(metrics, "mpqls_http_connections_accepted_total"), 1.0);
+  daemon.drain(5000ms);
+}
+
+TEST(SolverDaemon, CancelEndpointCancelsQueuedJobsOnly) {
+  auto options = loopback_options();
+  options.service.job_threads = 1;
+  SolverDaemon daemon(options);
+  daemon.start();
+  HttpClient client("127.0.0.1", daemon.port());
+
+  // Hold the single job worker so submissions stay queued.
+  std::promise<void> release;
+  auto blocker = daemon.service().run_on_job_pool(
+      [gate = release.get_future().share()] { gate.wait(); });
+
+  const std::string doomed = submit(client, kPoissonJob);
+  const std::string kept = submit(client, kTridiagJob);
+
+  const auto cancelled = client.del("/v1/jobs/" + doomed);
+  EXPECT_EQ(cancelled.status, 200) << cancelled.body;
+  EXPECT_EQ(Json::parse(cancelled.body).at("state").as_string(), "cancelled");
+  EXPECT_EQ(client.del("/v1/jobs/" + doomed).status, 409);  // already terminal
+  EXPECT_EQ(client.del("/v1/jobs/job-987654").status, 404);
+
+  release.set_value();
+  blocker.get();
+
+  EXPECT_EQ(poll_until_terminal(client, doomed).at("state").as_string(), "cancelled");
+  EXPECT_EQ(poll_until_terminal(client, kept).at("state").as_string(), "done");
+  const auto metrics = client.get("/v1/metrics").body;
+  EXPECT_EQ(metric_value(metrics, "mpqls_jobs_cancelled_total"), 1.0);
+  EXPECT_EQ(metric_value(metrics, "mpqls_jobs_done_total"), 1.0);
+  daemon.drain(5000ms);
+}
+
+TEST(SolverDaemon, ListingIsBoundedNewestFirstWithQueryLimit) {
+  SolverDaemon daemon(loopback_options());
+  daemon.start();
+  HttpClient client("127.0.0.1", daemon.port());
+
+  std::vector<std::string> ids;
+  for (int i = 0; i < 3; ++i) ids.push_back(submit(client, kPoissonJob));
+  for (const auto& id : ids) poll_until_terminal(client, id);
+
+  const auto all = Json::parse(client.get("/v1/jobs").body);
+  ASSERT_EQ(all.at("count").as_number(), 3.0);
+  EXPECT_EQ(all.at("jobs").as_array()[0].at("job_id").as_string(), ids[2]);
+
+  const auto limited = Json::parse(client.get("/v1/jobs?limit=2").body);
+  ASSERT_EQ(limited.at("count").as_number(), 2.0);
+  EXPECT_EQ(limited.at("jobs").as_array()[0].at("job_id").as_string(), ids[2]);
+  EXPECT_EQ(limited.at("jobs").as_array()[1].at("job_id").as_string(), ids[1]);
+
+  EXPECT_EQ(client.get("/v1/jobs?limit=bogus").status, 400);
   daemon.drain(5000ms);
 }
 

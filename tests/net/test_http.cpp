@@ -232,5 +232,72 @@ TEST(Router, UnknownPathIs404AndWrongMethodIs405) {
   EXPECT_EQ(*find_header(response.headers, "Allow"), "POST");
 }
 
+// --- Edge cases the cluster coordinator's proxying relies on -------------
+
+TEST(RequestParser, DuplicateHeadersAreAllKeptAndLookupFindsTheFirst) {
+  auto p = parse_all(
+      "GET / HTTP/1.1\r\nX-Trace: one\r\nX-Trace: two\r\nHost: h\r\n\r\n");
+  ASSERT_EQ(p.state(), ParseState::kComplete);
+  std::size_t count = 0;
+  for (const auto& [k, v] : p.request().headers) {
+    if (k == "X-Trace") ++count;
+  }
+  EXPECT_EQ(count, 2u);  // nothing silently dropped
+  ASSERT_NE(p.request().header("X-Trace"), nullptr);
+  EXPECT_EQ(*p.request().header("X-Trace"), "one");
+}
+
+TEST(RequestParser, DuplicateContentLengthAgreeingIsAcceptedConflictingIs400) {
+  auto agree = parse_all(
+      "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok");
+  EXPECT_EQ(agree.state(), ParseState::kComplete);
+  EXPECT_EQ(agree.request().body, "ok");
+
+  // Conflicting lengths are the classic request-smuggling vector: the
+  // proxy and the worker must never disagree about where the body ends.
+  auto conflict = parse_all(
+      "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 9\r\n\r\nok");
+  ASSERT_EQ(conflict.state(), ParseState::kError);
+  EXPECT_EQ(conflict.error_status(), 400);
+}
+
+TEST(RequestParser, ChunkedIs501EvenWithAContentLengthAlongside) {
+  auto p = parse_all(
+      "POST / HTTP/1.1\r\nContent-Length: 4\r\nTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_EQ(p.state(), ParseState::kError);
+  EXPECT_EQ(p.error_status(), 501);
+}
+
+TEST(Router, OversizedJobIdCaptureIsReturnedIntactNotTruncated) {
+  Router router;
+  router.add("GET", "/v1/jobs/{id}", [](const HttpRequest&, const PathParams& params) {
+    HttpResponse r;
+    r.body = params.get("id");
+    return r;
+  });
+  // A hostile id as long as the head cap allows must come back byte-for-
+  // byte (the daemon answers 404 from the registry; nothing may truncate
+  // or crash en route).
+  const std::string huge_id(4096, 'a');
+  auto p = parse_all("GET /v1/jobs/" + huge_id + " HTTP/1.1\r\n\r\n",
+                     ParseLimits{.max_head_bytes = 8192});
+  ASSERT_EQ(p.state(), ParseState::kComplete);
+  const auto response = router.dispatch(p.request());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, huge_id);
+}
+
+TEST(Router, ClusterIdWithEmbeddedSlashIsA404NotAMisroute) {
+  Router router;
+  router.add("GET", "/v1/jobs/{id}", [](const HttpRequest&, const PathParams&) {
+    return HttpResponse{};
+  });
+  // "w0-job-1/../../etc" adds path segments, so the 2-segment pattern
+  // must NOT match — the capture never swallows a '/'.
+  auto p = parse_all("GET /v1/jobs/w0-job-1/extra HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(p.state(), ParseState::kComplete);
+  EXPECT_EQ(router.dispatch(p.request()).status, 404);
+}
+
 }  // namespace
 }  // namespace mpqls::net

@@ -291,5 +291,80 @@ TEST(SolverService, TerminalRecordsArePrunedOldestFirst) {
   EXPECT_TRUE(service.job_status(ids[3]).has_value());
 }
 
+TEST(SolverService, CancelQueuedJobSkipsTheWorkAndSettlesAccounting) {
+  SolverService service({.cache_capacity = 2, .solve_threads = 1, .job_threads = 1});
+  std::promise<void> release;
+  auto blocker = service.run_on_job_pool([gate = release.get_future().share()] { gate.wait(); });
+
+  const auto req = make_request("cancel-me", 8, 1, 900, qsvt::Backend::kMatrixFunction);
+  const auto id = service.submit_job(req);
+  ASSERT_TRUE(id.has_value());
+
+  EXPECT_EQ(service.cancel_job(*id), CancelOutcome::kCancelled);
+  EXPECT_EQ(service.cancel_job(*id), CancelOutcome::kNotCancellable);  // already terminal
+  EXPECT_EQ(service.cancel_job("job-999999"), CancelOutcome::kNotFound);
+
+  // The cancellation alone makes the registry idle — capacity freed
+  // without the worker ever touching the job.
+  EXPECT_TRUE(service.wait_idle(std::chrono::milliseconds(0)));
+  release.set_value();
+  blocker.get();
+
+  const auto status = service.job_status(*id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kCancelled);
+  EXPECT_EQ(status->result, nullptr);
+  const auto stats = service.queue_stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.done, 0u);
+  EXPECT_EQ(service.stats().jobs, 0u) << "a cancelled job must never run";
+}
+
+TEST(SolverService, CancelRunningOrDoneJobIsRefused) {
+  SolverService service({.cache_capacity = 2, .solve_threads = 1, .job_threads = 1});
+  // The deferred-construction hook runs on the job worker, so blocking in
+  // it holds the job deterministically in kRunning.
+  std::promise<void> started;
+  std::promise<void> release;
+  auto gate = release.get_future().share();
+  const auto id = service.submit_job(std::function<SolveRequest()>([&started, gate] {
+    started.set_value();
+    gate.wait();
+    return make_request("run-then-done", 8, 1, 901, qsvt::Backend::kMatrixFunction);
+  }));
+  ASSERT_TRUE(id.has_value());
+  started.get_future().wait();
+
+  EXPECT_EQ(service.job_status(*id)->state, JobState::kRunning);
+  EXPECT_EQ(service.cancel_job(*id), CancelOutcome::kNotCancellable) << "running is too late";
+
+  release.set_value();
+  ASSERT_TRUE(service.wait_idle(std::chrono::milliseconds(60000)));
+  EXPECT_EQ(service.cancel_job(*id), CancelOutcome::kNotCancellable) << "done is too late";
+  EXPECT_EQ(service.job_status(*id)->state, JobState::kDone);
+}
+
+TEST(SolverService, ListJobsIsNewestFirstAndBounded) {
+  SolverService service({.cache_capacity = 2, .solve_threads = 1, .job_threads = 1});
+  const auto req = make_request("list", 8, 1, 902, qsvt::Backend::kMatrixFunction);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(*service.submit_job(req));
+  ASSERT_TRUE(service.wait_idle(std::chrono::milliseconds(60000)));
+
+  const auto all = service.list_jobs(100);
+  ASSERT_EQ(all.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(all[i].job_id, ids[3 - i]) << "newest first";
+    EXPECT_EQ(all[i].state, JobState::kDone);
+  }
+
+  const auto bounded = service.list_jobs(2);
+  ASSERT_EQ(bounded.size(), 2u);
+  EXPECT_EQ(bounded[0].job_id, ids[3]);
+  EXPECT_EQ(bounded[1].job_id, ids[2]);
+  EXPECT_TRUE(service.list_jobs(0).empty());
+}
+
 }  // namespace
 }  // namespace mpqls::service
