@@ -5,6 +5,11 @@
 //   build/examples/service_server serve [--port 8080] [--bind 127.0.0.1]
 //       [--solve-threads N] [--job-threads N] [--queue-depth N]
 //       [--cache-capacity N] [--retained-jobs N] [--max-body-mb N]
+//       [--panel-width N]
+//
+// --panel-width N sets how many right-hand sides share one compiled-
+// program sweep (the multi-RHS panel executor; default 8, small powers
+// of two vectorize best). 0 or 1 forces the scalar per-RHS path.
 //
 // serves POST /v1/jobs, GET /v1/jobs/{id}, /v1/healthz and /v1/metrics
 // until SIGINT/SIGTERM, then drains: admission closes (503), in-flight
@@ -168,6 +173,8 @@ int run_daemon(int argc, char** argv) {
       options.service.cache_capacity = flag_value(argc, argv, &i, "--cache-capacity");
     } else if (arg == "--retained-jobs") {
       options.service.retained_jobs = flag_value(argc, argv, &i, "--retained-jobs");
+    } else if (arg == "--panel-width") {
+      options.service.panel_width = flag_value(argc, argv, &i, "--panel-width");
     } else if (arg == "--max-body-mb") {
       options.limits.max_body_bytes = flag_value(argc, argv, &i, "--max-body-mb") << 20;
     } else {
@@ -263,6 +270,8 @@ int run_cluster(int argc, char** argv) {
       worker.service.cache_capacity = flag_value(argc, argv, &i, "--cache-capacity");
     } else if (arg == "--retained-jobs") {
       worker.service.retained_jobs = flag_value(argc, argv, &i, "--retained-jobs");
+    } else if (arg == "--panel-width") {
+      worker.service.panel_width = flag_value(argc, argv, &i, "--panel-width");
     } else if (arg == "--max-body-mb") {
       worker.limits.max_body_bytes = flag_value(argc, argv, &i, "--max-body-mb") << 20;
       coordinator.limits.max_body_bytes = worker.limits.max_body_bytes;
@@ -408,6 +417,13 @@ int main(int argc, char** argv) try {
               static_cast<unsigned long long>(cache.hits),
               static_cast<unsigned long long>(cache.misses),
               static_cast<unsigned long long>(cache.evictions), cache.size);
+  if (stats.panels_executed > 0) {
+    std::printf("panel executor: %llu panels, %llu lanes (%.1f lanes/panel)\n",
+                static_cast<unsigned long long>(stats.panels_executed),
+                static_cast<unsigned long long>(stats.panel_lanes_total),
+                static_cast<double>(stats.panel_lanes_total) /
+                    static_cast<double>(stats.panels_executed));
+  }
 
   if (!trace_path.empty()) {
     std::ofstream out(trace_path);

@@ -40,20 +40,66 @@ double labeled_metric(const std::string& text, const std::string& name,
   return std::stod(text.substr(pos + needle.size()));
 }
 
-/// When the daemon behind `client` is a cluster coordinator, print its
-/// per-worker routing gauges; against a plain worker daemon this finds
-/// no cluster series and prints nothing.
-void print_cluster_status(mpqls::net::HttpClient& client) {
-  std::string text;
+/// Value of an unlabeled `name v` sample line; NaN when absent. Anchored
+/// to a line start so `mpqls_panel_lanes_total` cannot match inside a
+/// longer family name.
+double scalar_metric(const std::string& text, const std::string& name) {
+  const std::string needle = "\n" + name + " ";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return std::nan("");
+  return std::stod(text.substr(pos + needle.size()));
+}
+
+/// Panel-executor stats scraped from /v1/metrics — the server-side
+/// counterpart of the table above: how many compiled-program sweeps were
+/// shared across RHS lanes and how full they ran. A plain daemon exports
+/// the unlabeled family; a cluster coordinator relabels each worker's
+/// families with worker="wk", so those series are summed instead.
+void print_panel_status(const std::string& metrics_text) {
+  double panels = scalar_metric(metrics_text, "mpqls_panels_executed_total");
+  double lanes = scalar_metric(metrics_text, "mpqls_panel_lanes_total");
+  double width = scalar_metric(metrics_text, "mpqls_panel_width");
+  if (std::isnan(panels)) {
+    panels = lanes = 0.0;
+    width = std::nan("");
+    bool any = false;
+    for (int w = 0;; ++w) {
+      const std::string label = "w" + std::to_string(w);
+      const double p = labeled_metric(metrics_text, "mpqls_panels_executed_total", label);
+      if (std::isnan(p)) break;
+      any = true;
+      panels += p;
+      const double l = labeled_metric(metrics_text, "mpqls_panel_lanes_total", label);
+      if (!std::isnan(l)) lanes += l;
+      if (std::isnan(width)) {
+        width = labeled_metric(metrics_text, "mpqls_panel_width", label);
+      }
+    }
+    if (!any) return;
+  }
+  if (panels <= 0.0) return;
+  std::printf("\npanel executor: width %.0f, %.0f panels, %.0f lanes", width, panels, lanes);
+  if (width > 0.0) std::printf(", mean occupancy %.2f", lanes / (panels * width));
+  std::printf("\n");
+}
+
+/// Scrape /v1/metrics once for the status renderings below; empty on any
+/// failure (status rendering is best-effort; results already printed).
+std::string fetch_metrics(mpqls::net::HttpClient& client) {
   try {
     const auto response = client.get("/v1/metrics");
-    if (response.status != 200) return;
-    text = response.body;
+    if (response.status != 200) return {};
+    return response.body;
   } catch (const std::exception&) {
-    return;  // status rendering is best-effort; results already printed
+    return {};
   }
-  if (text.find("mpqls_cluster_worker_breaker_state") == std::string::npos) return;
+}
 
+/// When the daemon is a cluster coordinator, print its per-worker routing
+/// gauges; against a plain worker daemon this finds no cluster series and
+/// prints nothing.
+void print_cluster_status(const std::string& text) {
+  if (text.find("mpqls_cluster_worker_breaker_state") == std::string::npos) return;
   mpqls::TextTable table({"worker", "breaker", "in-flight", "affinity hit ratio"});
   for (int w = 0;; ++w) {
     const std::string label = "w" + std::to_string(w);
@@ -194,7 +240,9 @@ int main(int argc, char** argv) try {
                    state == "failed" ? status.string_or("error", "?") : (converged ? "yes" : "NO")});
   }
   table.print(std::cout);
-  print_cluster_status(client);
+  const std::string metrics_text = fetch_metrics(client);
+  print_panel_status(metrics_text);
+  print_cluster_status(metrics_text);
   return all_ok ? 0 : 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "submit_job: %s\n", e.what());

@@ -197,6 +197,21 @@ std::string SolverDaemon::metrics_text() const {
   m.counter("mpqls_program_ops_total", "Fused executor ops across compiled programs.",
             stats.program_ops_total);
 
+  m.gauge("mpqls_panel_width", "Configured RHS lanes per execution panel (<2 = scalar path).",
+          static_cast<std::uint64_t>(options_.service.panel_width));
+  m.counter("mpqls_panels_executed_total",
+            "Compiled-program sweeps that carried a panel of RHS lanes.",
+            stats.panels_executed);
+  m.counter("mpqls_panel_lanes_total", "RHS lanes carried by executed panels.",
+            stats.panel_lanes_total);
+  m.gauge("mpqls_panel_mean_lane_occupancy",
+          "Mean fraction of the configured panel width occupied per sweep.",
+          (stats.panels_executed > 0 && options_.service.panel_width > 0)
+              ? static_cast<double>(stats.panel_lanes_total) /
+                    (static_cast<double>(stats.panels_executed) *
+                     static_cast<double>(options_.service.panel_width))
+              : 0.0);
+
   m.counter("mpqls_cache_hits_total", "Context-cache hits (includes in-flight joins).",
             cache.hits);
   m.counter("mpqls_cache_misses_total", "Context-cache misses (each runs a preparation).",

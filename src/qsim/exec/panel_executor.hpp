@@ -1,0 +1,314 @@
+// Replays a compiled Program<T> against a StatePanel<T>: one sweep of the
+// gate stream updates every lane. The kernels mirror Executor<T>'s — same
+// compacted-index enumeration, same per-amplitude arithmetic — but the
+// innermost loop runs over the panel's lane dimension, which is unit
+// stride by construction. That turns the memory-bound per-RHS replay into
+// small matrix–panel products: each gate's matrix entries and index
+// expansions are paid once per amplitude block and applied to B lanes, so
+// B right-hand sides cost one traversal of the program instead of B.
+//
+// The lane count is a template parameter of the kernel bodies: QSVT
+// programs are dominated by heavily-controlled ops that enumerate only a
+// handful of amplitudes, so the inner loops are short — a runtime trip
+// count leaves them as scalar loop skeletons, while a compile-time lane
+// count of 2/4/8/16 unrolls them into straight-line SIMD. `run` dispatches
+// on the panel's width (other widths take the generic runtime path).
+//
+// OpenMP parallelism splits over amplitude blocks (never over lanes — the
+// lane loop is the SIMD dimension); thresholds scale with the lane count
+// so a panel enters a parallel region at 1/B of the scalar executor's
+// register size. Like Executor, the replayer is stateless and reentrant.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "qsim/exec/panel.hpp"
+#include "qsim/exec/program.hpp"
+
+namespace mpqls::qsim::exec {
+
+template <typename T>
+class PanelExecutor {
+ public:
+  /// Apply every op of `program` to all lanes of `panel` in order. The
+  /// program may be narrower than the register (mirrors Executor::run).
+  void run(const Program<T>& program, StatePanel<T>& panel) const {
+    expects((std::size_t{1} << program.num_qubits) <= panel.dim(),
+            "panel exec: program wider than register");
+    switch (panel.lanes()) {
+      case 1: run_impl<1>(program, panel); break;
+      case 2: run_impl<2>(program, panel); break;
+      case 4: run_impl<4>(program, panel); break;
+      case 8: run_impl<8>(program, panel); break;
+      case 16: run_impl<16>(program, panel); break;
+      default: run_impl<0>(program, panel); break;  // generic runtime width
+    }
+  }
+
+ private:
+  template <int kLanes>
+  void run_impl(const Program<T>& program, StatePanel<T>& panel) const {
+    T* re = panel.re();
+    T* im = panel.im();
+    const std::int64_t n = static_cast<std::int64_t>(panel.dim());
+    const std::int64_t lanes = static_cast<std::int64_t>(panel.lanes());
+    std::vector<T> scratch;  // shared by the serial dense ops
+    for (const auto& op : program.ops) {
+      switch (op.kind) {
+        case OpKind::kApply1q:
+          apply_1q<kLanes>(op, re, im, n, lanes);
+          break;
+        case OpKind::kDense:
+          apply_dense<kLanes>(op, re, im, n, lanes, scratch);
+          break;
+        case OpKind::kDiagonal:
+          apply_diagonal<kLanes>(op, re, im, n, lanes);
+          break;
+        case OpKind::kGlobalPhase:
+          apply_phase(op, re, im, n, lanes);
+          break;
+      }
+    }
+  }
+
+  static std::uint64_t expand_at(std::uint64_t compact, std::uint64_t bit) {
+    const std::uint64_t low = compact & (bit - 1);
+    return ((compact ^ low) << 1) | low;
+  }
+
+  static std::uint64_t expand_index(std::uint64_t compact, const CompiledOp<T>& op) {
+    for (const auto bit : op.insert_bits) compact = expand_at(compact, bit);
+    return compact | op.set_mask;
+  }
+
+  // Same region-entry economics as Executor, divided by the lane count:
+  // every enumerated amplitude does `lanes` lanes of work, so a panel
+  // reaches the scalar thresholds at 1/B of the register size.
+  static constexpr std::int64_t kParallelPairWork = std::int64_t{1} << 13;
+  static constexpr std::int64_t kParallelBlockWork = std::int64_t{1} << 11;
+  static constexpr std::int64_t kParallelAmpWork = std::int64_t{1} << 14;
+
+  template <int kLanes>
+  static void apply_1q(const CompiledOp<T>& op, T* re, T* im, std::int64_t n,
+                       std::int64_t lanes_rt) {
+    const std::int64_t lanes = kLanes > 0 ? kLanes : lanes_rt;
+    const std::uint64_t bit = op.target_bit;
+    const std::int64_t pairs = n >> op.free_shift;
+    // Same chunking as the scalar executor: below the lowest re-inserted
+    // bit, consecutive loop indices map to consecutive amplitudes — and in
+    // the panel layout consecutive amplitudes are contiguous blocks of
+    // `lanes` elements, so a chunk of C pairs is one flat unit-stride run
+    // of C*lanes scalars per plane. One index expansion covers the whole
+    // run; the batch dimension rides inside the same SIMD loop.
+    const std::int64_t chunk =
+        std::min<std::int64_t>(static_cast<std::int64_t>(op.insert_bits[0]), pairs);
+    const std::int64_t flat = chunk * lanes;
+    const T m00r = op.m00.real(), m00i = op.m00.imag();
+    const T m01r = op.m01.real(), m01i = op.m01.imag();
+    const T m10r = op.m10.real(), m10i = op.m10.imag();
+    const T m11r = op.m11.real(), m11i = op.m11.imag();
+    auto chunk_kernel = [&](std::int64_t ii) {
+      const std::uint64_t i0 = expand_index(static_cast<std::uint64_t>(ii), op);
+      const std::uint64_t i1 = i0 | bit;
+      T* r0 = re + static_cast<std::int64_t>(i0) * lanes;
+      T* q0 = im + static_cast<std::int64_t>(i0) * lanes;
+      T* r1 = re + static_cast<std::int64_t>(i1) * lanes;
+      T* q1 = im + static_cast<std::int64_t>(i1) * lanes;
+#pragma omp simd
+      for (std::int64_t j = 0; j < flat; ++j) {
+        const T re0 = r0[j], im0 = q0[j];
+        const T re1 = r1[j], im1 = q1[j];
+        r0[j] = m00r * re0 - m00i * im0 + m01r * re1 - m01i * im1;
+        q0[j] = m00r * im0 + m00i * re0 + m01r * im1 + m01i * re1;
+        r1[j] = m10r * re0 - m10i * im0 + m11r * re1 - m11i * im1;
+        q1[j] = m10r * im0 + m10i * re0 + m11r * im1 + m11i * re1;
+      }
+    };
+    if (pairs * lanes >= kParallelPairWork) {
+#pragma omp parallel for
+      for (std::int64_t ii = 0; ii < pairs; ii += chunk) chunk_kernel(ii);
+    } else {
+      for (std::int64_t ii = 0; ii < pairs; ii += chunk) chunk_kernel(ii);
+    }
+  }
+
+  /// Dense block kernel for compile-time lane count AND sub-dimension:
+  /// the r/s loops fully unroll and the row accumulators are fixed-size
+  /// locals (registers, not scratch memory — a heap accumulator would
+  /// alias the gathered sub-panel and force a reload/spill per multiply).
+  template <int kLanes, int kSub>
+  static void dense_block(const CompiledOp<T>& op, T* __restrict__ re, T* __restrict__ im,
+                          std::int64_t bb, T* __restrict__ sre, T* __restrict__ sim) {
+    const std::uint64_t* offsets = op.offsets.data();
+    const T* __restrict__ mre = op.payload_re.data();
+    const T* __restrict__ mim = op.payload_im.data();
+    const std::uint64_t base = expand_index(static_cast<std::uint64_t>(bb), op);
+    for (int s = 0; s < kSub; ++s) {
+      const T* __restrict__ src_re = re + static_cast<std::int64_t>(base | offsets[s]) * kLanes;
+      const T* __restrict__ src_im = im + static_cast<std::int64_t>(base | offsets[s]) * kLanes;
+#pragma omp simd
+      for (std::int64_t l = 0; l < kLanes; ++l) {
+        sre[s * kLanes + l] = src_re[l];
+        sim[s * kLanes + l] = src_im[l];
+      }
+    }
+    for (int r = 0; r < kSub; ++r) {
+      const T* __restrict__ rre = mre + r * kSub;
+      const T* __restrict__ rim = mim + r * kSub;
+      T acc_re[kLanes] = {};
+      T acc_im[kLanes] = {};
+      for (int s = 0; s < kSub; ++s) {
+        const T mr = rre[s], mi = rim[s];
+        const T* __restrict__ xr = sre + s * kLanes;
+        const T* __restrict__ xi = sim + s * kLanes;
+#pragma omp simd
+        for (std::int64_t l = 0; l < kLanes; ++l) {
+          acc_re[l] += mr * xr[l] - mi * xi[l];
+          acc_im[l] += mr * xi[l] + mi * xr[l];
+        }
+      }
+      T* __restrict__ dst_re = re + static_cast<std::int64_t>(base | offsets[r]) * kLanes;
+      T* __restrict__ dst_im = im + static_cast<std::int64_t>(base | offsets[r]) * kLanes;
+#pragma omp simd
+      for (std::int64_t l = 0; l < kLanes; ++l) {
+        dst_re[l] = acc_re[l];
+        dst_im[l] = acc_im[l];
+      }
+    }
+  }
+
+  /// Generic-width dense block (runtime lane count; accumulators live at
+  /// the end of the scratch buffer).
+  static void dense_block_generic(const CompiledOp<T>& op, T* re, T* im, std::size_t sub_dim,
+                                  std::int64_t lanes, std::int64_t bb, T* scratch) {
+    const std::uint64_t* offsets = op.offsets.data();
+    const T* mre = op.payload_re.data();
+    const T* mim = op.payload_im.data();
+    T* sre = scratch;
+    T* sim = scratch + sub_dim * static_cast<std::size_t>(lanes);
+    T* acc_re = scratch + 2 * sub_dim * static_cast<std::size_t>(lanes);
+    T* acc_im = acc_re + lanes;
+    const std::uint64_t base = expand_index(static_cast<std::uint64_t>(bb), op);
+    for (std::size_t s = 0; s < sub_dim; ++s) {
+      const std::int64_t src = static_cast<std::int64_t>(base | offsets[s]) * lanes;
+      std::copy(re + src, re + src + lanes, sre + s * static_cast<std::size_t>(lanes));
+      std::copy(im + src, im + src + lanes, sim + s * static_cast<std::size_t>(lanes));
+    }
+    for (std::size_t r = 0; r < sub_dim; ++r) {
+      const T* rre = mre + r * sub_dim;
+      const T* rim = mim + r * sub_dim;
+      for (std::int64_t l = 0; l < lanes; ++l) {
+        acc_re[l] = T{};
+        acc_im[l] = T{};
+      }
+      for (std::size_t s = 0; s < sub_dim; ++s) {
+        const T mr = rre[s], mi = rim[s];
+        const T* xr = sre + s * static_cast<std::size_t>(lanes);
+        const T* xi = sim + s * static_cast<std::size_t>(lanes);
+#pragma omp simd
+        for (std::int64_t l = 0; l < lanes; ++l) {
+          acc_re[l] += mr * xr[l] - mi * xi[l];
+          acc_im[l] += mr * xi[l] + mi * xr[l];
+        }
+      }
+      const std::int64_t dst = static_cast<std::int64_t>(base | offsets[r]) * lanes;
+      std::copy(acc_re, acc_re + lanes, re + dst);
+      std::copy(acc_im, acc_im + lanes, im + dst);
+    }
+  }
+
+  template <int kLanes>
+  static void apply_dense(const CompiledOp<T>& op, T* re, T* im, std::int64_t n,
+                          std::int64_t lanes_rt, std::vector<T>& run_scratch) {
+    const std::int64_t lanes = kLanes > 0 ? kLanes : lanes_rt;
+    const std::size_t sub_dim = std::size_t{1} << op.num_targets;
+    const std::int64_t blocks = n >> op.free_shift;
+    // Gathered sub-panel in split planes ([sub_dim][lanes] re then im);
+    // the generic path also keeps one accumulator row here.
+    const std::size_t scratch_len = (2 * sub_dim + 2) * static_cast<std::size_t>(lanes);
+    auto block_kernel = [&](std::int64_t bb, T* scratch) {
+      if constexpr (kLanes > 0) {
+        T* sim = scratch + sub_dim * static_cast<std::size_t>(kLanes);
+        // Fused windows are <= 3 qubits by default; wider payloads (a
+        // raised max_fuse_qubits) take the generic loop.
+        switch (op.num_targets) {
+          case 1: dense_block<kLanes, 2>(op, re, im, bb, scratch, sim); return;
+          case 2: dense_block<kLanes, 4>(op, re, im, bb, scratch, sim); return;
+          case 3: dense_block<kLanes, 8>(op, re, im, bb, scratch, sim); return;
+          default: dense_block_generic(op, re, im, sub_dim, lanes, bb, scratch); return;
+        }
+      } else {
+        dense_block_generic(op, re, im, sub_dim, lanes, bb, scratch);
+      }
+    };
+    if (blocks * lanes >= kParallelBlockWork) {
+#pragma omp parallel
+      {
+        std::vector<T> scratch(scratch_len);
+#pragma omp for
+        for (std::int64_t bb = 0; bb < blocks; ++bb) block_kernel(bb, scratch.data());
+      }
+    } else {
+      if (run_scratch.size() < scratch_len) run_scratch.resize(scratch_len);
+      for (std::int64_t bb = 0; bb < blocks; ++bb) block_kernel(bb, run_scratch.data());
+    }
+  }
+
+  template <int kLanes>
+  static void apply_diagonal(const CompiledOp<T>& op, T* re, T* im, std::int64_t n,
+                             std::int64_t lanes_rt) {
+    const std::int64_t lanes = kLanes > 0 ? kLanes : lanes_rt;
+    const std::uint32_t k = op.num_targets;
+    const std::int64_t count = n >> op.free_shift;  // firing amplitudes only
+    const std::uint64_t* target_bits = op.target_bits.data();
+    const std::complex<T>* d = op.payload.data();
+    auto amp_kernel = [&](std::int64_t ii) {
+      const std::uint64_t i = expand_index(static_cast<std::uint64_t>(ii), op);
+      std::uint64_t sub = 0;
+      for (std::uint32_t t = 0; t < k; ++t) {
+        if (i & target_bits[t]) sub |= std::uint64_t{1} << t;
+      }
+      const T dr = d[sub].real(), di = d[sub].imag();
+      T* r = re + static_cast<std::int64_t>(i) * lanes;
+      T* q = im + static_cast<std::int64_t>(i) * lanes;
+#pragma omp simd
+      for (std::int64_t l = 0; l < lanes; ++l) {
+        const T ar = r[l], ai = q[l];
+        r[l] = dr * ar - di * ai;
+        q[l] = dr * ai + di * ar;
+      }
+    };
+    if (count * lanes >= kParallelAmpWork) {
+#pragma omp parallel for
+      for (std::int64_t i = 0; i < count; ++i) amp_kernel(i);
+    } else {
+      for (std::int64_t i = 0; i < count; ++i) amp_kernel(i);
+    }
+  }
+
+  static void apply_phase(const CompiledOp<T>& op, T* re, T* im, std::int64_t n,
+                          std::int64_t lanes) {
+    const T pr = op.phase.real(), pi = op.phase.imag();
+    const std::int64_t total = n * lanes;  // lanes are contiguous: one flat sweep
+    if (total >= kParallelAmpWork) {
+#pragma omp parallel for
+      for (std::int64_t i = 0; i < total; ++i) {
+        const T ar = re[i], ai = im[i];
+        re[i] = pr * ar - pi * ai;
+        im[i] = pr * ai + pi * ar;
+      }
+    } else {
+#pragma omp simd
+      for (std::int64_t i = 0; i < total; ++i) {
+        const T ar = re[i], ai = im[i];
+        re[i] = pr * ar - pi * ai;
+        im[i] = pr * ai + pi * ar;
+      }
+    }
+  }
+};
+
+}  // namespace mpqls::qsim::exec

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "blockenc/block_encoding.hpp"
 #include "common/rng.hpp"
@@ -81,6 +83,12 @@ struct QsvtSolverContext {
   /// re-interpret the gate list; only noise trajectories do.
   std::shared_ptr<const qsim::exec::Program<float>> program_f32;
   std::shared_ptr<const qsim::exec::Program<double>> program_f64;
+  /// Gate count of SP(rhs) for this register size. The KP-tree circuit's
+  /// structure depends only on the vector length, so it is counted once
+  /// here; the clean gate-level path embeds rhs_unit directly into the
+  /// register (the circuit applied to |0…0> is exactly that embedding)
+  /// and reports these gates without rebuilding the circuit per solve.
+  std::uint64_t sp_circuit_gates = 0;
   std::uint64_t prepare_classical_flops = 0;
 };
 
@@ -108,5 +116,33 @@ struct QsvtSolveOutcome {
 /// Solve A x ~ rhs (rhs need not be normalized) for the direction of x.
 QsvtSolveOutcome qsvt_solve_direction(const QsvtSolverContext& ctx,
                                       const linalg::Vector<double>& rhs);
+
+/// Panel-execution accounting for the batch API: how many compiled-program
+/// panel sweeps ran and how many RHS lanes they carried. Lanes per panel /
+/// the configured panel width is the service's lane-occupancy telemetry.
+struct PanelExecStats {
+  std::uint64_t panels = 0;  ///< panel sweeps of the compiled program
+  std::uint64_t lanes = 0;   ///< right-hand sides carried by those sweeps
+};
+
+/// Batched variant of `qsvt_solve_direction`: solve every right-hand side
+/// against the same context in ONE sweep of the cached compiled program.
+/// Each RHS is normalized and embedded directly into its own lane of a
+/// StatePanel (no per-solve state-prep circuit), the program is replayed
+/// once over the panel, and every lane is post-selected and extracted.
+/// Outcomes match the scalar path per RHS up to vectorization-dependent
+/// rounding. Falls back to sequential scalar solves — and leaves `stats`
+/// untouched — for the matrix-function backend, noisy contexts, and
+/// single-RHS batches, so callers may use it unconditionally.
+std::vector<QsvtSolveOutcome> qsvt_solve_directions(
+    const QsvtSolverContext& ctx, std::span<const linalg::Vector<double>> rhs,
+    PanelExecStats* stats = nullptr);
+
+/// Pointer-batch overload for callers whose right-hand sides are not
+/// contiguous (the lockstep refinement loop batches per-lane residual
+/// vectors that live in separate lane states).
+std::vector<QsvtSolveOutcome> qsvt_solve_directions(
+    const QsvtSolverContext& ctx, const std::vector<const linalg::Vector<double>*>& rhs,
+    PanelExecStats* stats = nullptr);
 
 }  // namespace mpqls::qsvt

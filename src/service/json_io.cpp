@@ -318,6 +318,8 @@ Json to_json(const SolveResult& result) {
   j["prepare_seconds"] = result.prepare_seconds;
   j["total_seconds"] = result.total_seconds;
   j["all_converged"] = result.all_converged;
+  j["panels_executed"] = static_cast<double>(result.panels_executed);
+  j["panel_lanes"] = static_cast<double>(result.panel_lanes);
   Json solves = Json::array();
   for (const auto& s : result.solves) {
     Json sj = Json::object();
@@ -338,6 +340,9 @@ SolveResult result_from_json(const Json& j) {
   r.prepare_seconds = j.at("prepare_seconds").as_number();
   r.total_seconds = j.at("total_seconds").as_number();
   r.all_converged = j.at("all_converged").as_bool();
+  // Panel telemetry arrived after the trace format; old traces omit it.
+  if (j.contains("panels_executed")) r.panels_executed = j.at("panels_executed").as_uint();
+  if (j.contains("panel_lanes")) r.panel_lanes = j.at("panel_lanes").as_uint();
   for (const auto& sj : j.at("solves").as_array()) {
     RhsResult s;
     s.solve_seconds = sj.at("solve_seconds").as_number();

@@ -1,6 +1,7 @@
 #include "service/solver_service.hpp"
 
 #include <algorithm>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -68,30 +69,74 @@ SolveResult SolverService::solve(const SolveRequest& request) {
   result.cache_hit = hit;
   result.prepare_seconds = prep.seconds();
 
-  // Fan the right-hand sides out; each solve shares the immutable context.
-  std::vector<std::future<RhsResult>> pending;
-  pending.reserve(request.rhs.size());
-  for (const auto& b : request.rhs) {
-    pending.push_back(solve_pool_.submit([ctx, &b, &options = request.options] {
-      Timer t;
-      RhsResult r;
-      r.report = solver::solve_qsvt_ir(*ctx, b, options);
-      r.solve_seconds = t.seconds();
-      return r;
-    }));
+  // Panel-eligible jobs group their right-hand sides into panels of
+  // `panel_width` lanes: each group replays the cached program in one
+  // sweep (lockstep refinement, see solve_qsvt_ir_batch). Singleton jobs
+  // gain nothing from a one-lane panel; noise trajectories need per-gate
+  // injection the panel kernels cannot do; and shot-seeded readouts keep
+  // the scalar path so their per-solve RNG consumption stays identical to
+  // historical results. Those all fan out one task per RHS as before.
+  const auto& qsvt_opts = request.options.qsvt;
+  const bool noisy = qsvt_opts.noise.depolarizing_per_gate > 0.0 ||
+                     qsvt_opts.noise.damping_per_gate > 0.0;
+  const std::size_t panel_width = options_.panel_width;
+  const bool panelize = panel_width >= 2 && request.rhs.size() >= 2 &&
+                        qsvt_opts.backend == qsvt::Backend::kGateLevel && !noisy &&
+                        qsvt_opts.shots == 0;
+
+  struct GroupOutcome {
+    std::vector<RhsResult> results;
+    solver::BatchSolveStats stats;
+  };
+  std::vector<std::future<GroupOutcome>> pending;
+  if (panelize) {
+    for (std::size_t begin = 0; begin < request.rhs.size(); begin += panel_width) {
+      const std::size_t count = std::min(panel_width, request.rhs.size() - begin);
+      pending.push_back(solve_pool_.submit([ctx, &request, begin, count] {
+        Timer t;
+        GroupOutcome out;
+        auto reports = solver::solve_qsvt_ir_batch(
+            *ctx,
+            std::span<const linalg::Vector<double>>(request.rhs.data() + begin, count),
+            request.options, &out.stats);
+        // The panel's wall clock is shared work; report it amortized so
+        // per-RHS and job-level timings stay additive.
+        const double per_rhs_seconds = t.seconds() / static_cast<double>(count);
+        out.results.reserve(reports.size());
+        for (auto& rep : reports) out.results.push_back({std::move(rep), per_rhs_seconds});
+        return out;
+      }));
+    }
+  } else {
+    for (const auto& b : request.rhs) {
+      pending.push_back(solve_pool_.submit([ctx, &b, &options = request.options] {
+        Timer t;
+        GroupOutcome out;
+        RhsResult r;
+        r.report = solver::solve_qsvt_ir(*ctx, b, options);
+        r.solve_seconds = t.seconds();
+        out.results.push_back(std::move(r));
+        return out;
+      }));
+    }
   }
 
   result.all_converged = true;
-  result.solves.reserve(pending.size());
+  result.solves.reserve(request.rhs.size());
   double solve_seconds = 0.0;
   // Drain every future even if one throws: the queued tasks hold
   // references into `request`, so none may outlive this frame.
   std::exception_ptr first_error;
   for (auto& f : pending) {
     try {
-      result.solves.push_back(f.get());
-      result.all_converged = result.all_converged && result.solves.back().report.converged;
-      solve_seconds += result.solves.back().solve_seconds;
+      GroupOutcome group = f.get();
+      result.panels_executed += group.stats.panels_executed;
+      result.panel_lanes += group.stats.panel_lanes_total;
+      for (auto& r : group.results) {
+        result.all_converged = result.all_converged && r.report.converged;
+        solve_seconds += r.solve_seconds;
+        result.solves.push_back(std::move(r));
+      }
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
     }
@@ -105,6 +150,8 @@ SolveResult SolverService::solve(const SolveRequest& request) {
     stats_.rhs_solved += result.solves.size();
     stats_.solve_seconds_total += solve_seconds;
     stats_.prepare_seconds_total += result.prepare_seconds;
+    stats_.panels_executed += result.panels_executed;
+    stats_.panel_lanes_total += result.panel_lanes;
     if (!result.cache_hit && !result.solves.empty()) {
       // Program telemetry is per prepared context; count it once, on the
       // preparation that actually compiled it.

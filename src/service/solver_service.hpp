@@ -46,6 +46,12 @@ struct ServiceOptions {
   /// are dropped beyond this (a poll then sees 404, like any registry
   /// with finite memory).
   std::size_t retained_jobs = 1024;
+  /// RHS lanes per execution panel: a job's right-hand sides are grouped
+  /// into panels of this many lanes, each replaying the cached compiled
+  /// program in ONE sweep (see qsim/exec/panel.hpp). Small powers of two
+  /// vectorize best. Values < 2 disable panel execution; singleton,
+  /// noisy and shot-seeded jobs always fall back to the scalar path.
+  std::size_t panel_width = 8;
 };
 
 /// Lifecycle of a registry job. Terminal states are kDone, kFailed and
@@ -139,6 +145,11 @@ class SolverService {
     /// compile per prepared context; hits replay without recompiling).
     double program_compile_seconds_total = 0.0;
     std::uint64_t program_ops_total = 0;
+    /// Panel-execution telemetry: program sweeps that carried a panel of
+    /// RHS lanes, and how many lanes in total. Mean lane occupancy is
+    /// panel_lanes_total / (panels_executed * panel_width).
+    std::uint64_t panels_executed = 0;
+    std::uint64_t panel_lanes_total = 0;
   };
   Stats stats() const;
 

@@ -35,14 +35,10 @@ linalg::Vector<double> residual_high_precision(const linalg::Matrix<double>& A,
   return r;
 }
 
-}  // namespace
-
-QsvtIrReport solve_qsvt_ir(const qsvt::QsvtSolverContext& ctx, const linalg::Vector<double>& b,
-                           const QsvtIrOptions& options) {
-  const auto& A = ctx.A;
-  const std::size_t n = b.size();
-  expects(A.rows() == n, "solve_qsvt_ir: dimension mismatch");
-
+/// Static per-solve report header: context telemetry plus the Theorem
+/// III.1 iteration bound — identical for every right-hand side served
+/// from one context, shared by the scalar and batched loops.
+QsvtIrReport init_report(const qsvt::QsvtSolverContext& ctx, const QsvtIrOptions& options) {
   QsvtIrReport rep;
   rep.kappa = ctx.kappa_effective;
   rep.eps_l_requested = ctx.options.eps_l;
@@ -64,82 +60,170 @@ QsvtIrReport solve_qsvt_ir(const qsvt::QsvtSolverContext& ctx, const linalg::Vec
       (rho > 0.0 && rho < 1.0)
           ? iteration_bound(options.eps, rho / rep.kappa, rep.kappa)
           : 0;
-
-  const double norm_b = linalg::nrm2(b);
-  expects(norm_b > 0.0, "solve_qsvt_ir: zero right-hand side");
-
-  // Setup transfers (Fig. 1): BE(A^T), the phase vector, SP(b).
-  const std::uint64_t be_gates = std::max<std::uint64_t>(ctx.be.circuit.size(), 1);
-  rep.comm.record(hybrid::Direction::kCpuToQpu, "BE(A^T)",
-                  hybrid::circuit_wire_bytes(be_gates), -1);
-  rep.comm.record(hybrid::Direction::kCpuToQpu, "Phi",
-                  hybrid::vector_wire_bytes(ctx.phases.phases.size()), -1);
-  rep.comm.record(hybrid::Direction::kCpuToQpu, "SP(b)", hybrid::vector_wire_bytes(n), -1);
-
-  auto fit_step = [&](const linalg::Vector<double>& x_base,
-                      const linalg::Vector<double>& eta) {
-    return options.use_brent ? qsvt::fit_step_brent(A, x_base, eta, b)
-                             : qsvt::fit_step_closed_form(A, x_base, eta, b);
-  };
-
-  // --- First solve: x_0 = mu_0 * eta_0 ------------------------------------
-  {
-    const auto outcome = qsvt_solve_direction(ctx, b);
-    rep.comm.record(hybrid::Direction::kQpuToCpu, "x_0", hybrid::vector_wire_bytes(n), -1);
-    const auto fit = fit_step({}, outcome.direction);
-    rep.x.assign(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) rep.x[i] = fit.mu * outcome.direction[i];
-    rep.solves.push_back({fit.mu, outcome.success_probability, outcome.be_calls,
-                          outcome.circuit_gates});
-    rep.total_be_calls += outcome.be_calls;
-  }
-
-  auto scaled_residual = [&](const linalg::Vector<double>& x, linalg::Vector<double>& r) {
-    r = residual_high_precision(A, x, b, options.residual_precision);
-    return linalg::nrm2(r) / norm_b;
-  };
-
-  linalg::Vector<double> r(n);
-  double omega = scaled_residual(rep.x, r);
-  rep.scaled_residuals.push_back(omega);
-
-  // --- Refinement loop ------------------------------------------------------
-  for (int it = 0; it < options.max_iterations; ++it) {
-    if (omega <= options.eps) {
-      rep.converged = true;
-      break;
-    }
-    // SP(r_i) is the only CPU->QPU transfer per iteration (Fig. 1).
-    rep.comm.record(hybrid::Direction::kCpuToQpu, "SP(r_" + std::to_string(it) + ")",
-                    hybrid::vector_wire_bytes(n), it);
-    const auto outcome = qsvt_solve_direction(ctx, r);  // normalizes internally
-    rep.comm.record(hybrid::Direction::kQpuToCpu, "x_" + std::to_string(it + 1),
-                    hybrid::vector_wire_bytes(n), it);
-
-    // De-normalize: e_i = mu * eta minimizing ||A(x + mu eta) - b||.
-    const auto fit = fit_step(rep.x, outcome.direction);
-    for (std::size_t i = 0; i < n; ++i) rep.x[i] += fit.mu * outcome.direction[i];
-    rep.solves.push_back({fit.mu, outcome.success_probability, outcome.be_calls,
-                          outcome.circuit_gates});
-    rep.total_be_calls += outcome.be_calls;
-    rep.iterations = it + 1;
-
-    const double omega_new = scaled_residual(rep.x, r);
-    rep.scaled_residuals.push_back(omega_new);
-    if (omega_new >= omega && omega_new > options.eps) {
-      // Stagnation: the QSVT accuracy floor or u has been reached.
-      break;
-    }
-    omega = omega_new;
-  }
-  rep.converged = rep.converged || omega <= options.eps;
   return rep;
+}
+
+/// Setup transfers (Fig. 1): BE(A^T), the phase vector, SP(b).
+void record_setup_comm(const qsvt::QsvtSolverContext& ctx, std::size_t n, hybrid::CommLog& comm) {
+  const std::uint64_t be_gates = std::max<std::uint64_t>(ctx.be.circuit.size(), 1);
+  comm.record(hybrid::Direction::kCpuToQpu, "BE(A^T)", hybrid::circuit_wire_bytes(be_gates), -1);
+  comm.record(hybrid::Direction::kCpuToQpu, "Phi",
+              hybrid::vector_wire_bytes(ctx.phases.phases.size()), -1);
+  comm.record(hybrid::Direction::kCpuToQpu, "SP(b)", hybrid::vector_wire_bytes(n), -1);
+}
+
+}  // namespace
+
+QsvtIrReport solve_qsvt_ir(const qsvt::QsvtSolverContext& ctx, const linalg::Vector<double>& b,
+                           const QsvtIrOptions& options) {
+  // One-lane batch: Algorithm 2 lives once, in solve_qsvt_ir_batch. A
+  // singleton batch takes the scalar QSVT path inside
+  // qsvt_solve_directions, so this performs the historical scalar loop's
+  // arithmetic in the same order (bitwise — the service determinism
+  // tests pin it).
+  return std::move(
+      solve_qsvt_ir_batch(ctx, std::span<const linalg::Vector<double>>(&b, 1), options)[0]);
 }
 
 QsvtIrReport solve_qsvt_ir(const linalg::Matrix<double>& A, const linalg::Vector<double>& b,
                            const QsvtIrOptions& options) {
   const auto ctx = qsvt::prepare_qsvt_solver(A, options.qsvt);
   return solve_qsvt_ir(ctx, b, options);
+}
+
+std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx,
+                                              std::span<const linalg::Vector<double>> bs,
+                                              const QsvtIrOptions& options,
+                                              BatchSolveStats* stats) {
+  const auto& A = ctx.A;
+  const std::size_t n = A.rows();
+  expects(!bs.empty(), "solve_qsvt_ir_batch: at least one right-hand side");
+
+  // Per-lane refinement state: each lane runs exactly the scalar loop's
+  // decisions (de-normalization, convergence and stagnation checks, comm
+  // records); only the QSVT calls are batched across lanes.
+  struct Lane {
+    const linalg::Vector<double>* b = nullptr;
+    QsvtIrReport rep;
+    linalg::Vector<double> r;    ///< current residual (the next lane RHS)
+    double norm_b = 0.0;
+    double omega = 0.0;          ///< last accepted scaled residual
+    int it = 0;                  ///< refinement iterations completed
+    bool active = true;
+  };
+  std::vector<Lane> lanes(bs.size());
+  for (std::size_t l = 0; l < bs.size(); ++l) {
+    Lane& lane = lanes[l];
+    lane.b = &bs[l];
+    expects(lane.b->size() == n, "solve_qsvt_ir_batch: dimension mismatch");
+    lane.rep = init_report(ctx, options);
+    lane.norm_b = linalg::nrm2(*lane.b);
+    expects(lane.norm_b > 0.0, "solve_qsvt_ir_batch: zero right-hand side");
+    record_setup_comm(ctx, n, lane.rep.comm);
+  }
+
+  auto lane_fit = [&](const Lane& lane, const linalg::Vector<double>& x_base,
+                      const linalg::Vector<double>& eta) {
+    return options.use_brent ? qsvt::fit_step_brent(A, x_base, eta, *lane.b)
+                             : qsvt::fit_step_closed_form(A, x_base, eta, *lane.b);
+  };
+  auto scaled_residual = [&](Lane& lane) {
+    lane.r = residual_high_precision(A, lane.rep.x, *lane.b, options.residual_precision);
+    return linalg::nrm2(lane.r) / lane.norm_b;
+  };
+
+  qsvt::PanelExecStats pstats;
+
+  // --- First solve on every lane: x_0 = mu_0 * eta_0, one panel sweep ---
+  {
+    std::vector<const linalg::Vector<double>*> batch;
+    batch.reserve(lanes.size());
+    for (const Lane& lane : lanes) batch.push_back(lane.b);
+    const auto outcomes = qsvt::qsvt_solve_directions(ctx, batch, &pstats);
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      Lane& lane = lanes[l];
+      const auto& outcome = outcomes[l];
+      lane.rep.comm.record(hybrid::Direction::kQpuToCpu, "x_0", hybrid::vector_wire_bytes(n), -1);
+      const auto fit = lane_fit(lane, {}, outcome.direction);
+      lane.rep.x.assign(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) lane.rep.x[i] = fit.mu * outcome.direction[i];
+      lane.rep.solves.push_back({fit.mu, outcome.success_probability, outcome.be_calls,
+                                 outcome.circuit_gates});
+      lane.rep.total_be_calls += outcome.be_calls;
+      lane.omega = scaled_residual(lane);
+      lane.rep.scaled_residuals.push_back(lane.omega);
+    }
+  }
+
+  // --- Lockstep refinement: active lanes advance one iteration per round,
+  // their residuals sharing one panel sweep. Converged and stagnated
+  // lanes drop out, so occupancy may shrink round over round. ---
+  for (;;) {
+    std::vector<std::size_t> roster;
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      Lane& lane = lanes[l];
+      if (!lane.active) continue;
+      if (lane.omega <= options.eps) {
+        lane.rep.converged = true;
+        lane.active = false;
+        continue;
+      }
+      if (lane.it >= options.max_iterations) {
+        lane.active = false;
+        continue;
+      }
+      roster.push_back(l);
+    }
+    if (roster.empty()) break;
+
+    std::vector<const linalg::Vector<double>*> batch;
+    batch.reserve(roster.size());
+    for (const std::size_t l : roster) {
+      Lane& lane = lanes[l];
+      // SP(r_i) is the only CPU->QPU transfer per iteration (Fig. 1).
+      lane.rep.comm.record(hybrid::Direction::kCpuToQpu, "SP(r_" + std::to_string(lane.it) + ")",
+                           hybrid::vector_wire_bytes(n), lane.it);
+      batch.push_back(&lane.r);
+    }
+    const auto outcomes = qsvt::qsvt_solve_directions(ctx, batch, &pstats);
+    for (std::size_t k = 0; k < roster.size(); ++k) {
+      Lane& lane = lanes[roster[k]];
+      const auto& outcome = outcomes[k];
+      const int it = lane.it;
+      lane.rep.comm.record(hybrid::Direction::kQpuToCpu, "x_" + std::to_string(it + 1),
+                           hybrid::vector_wire_bytes(n), it);
+
+      // De-normalize: e_i = mu * eta minimizing ||A(x + mu eta) - b||.
+      const auto fit = lane_fit(lane, lane.rep.x, outcome.direction);
+      for (std::size_t i = 0; i < n; ++i) lane.rep.x[i] += fit.mu * outcome.direction[i];
+      lane.rep.solves.push_back({fit.mu, outcome.success_probability, outcome.be_calls,
+                                 outcome.circuit_gates});
+      lane.rep.total_be_calls += outcome.be_calls;
+      lane.rep.iterations = it + 1;
+      lane.it = it + 1;
+
+      const double omega_new = scaled_residual(lane);
+      lane.rep.scaled_residuals.push_back(omega_new);
+      if (omega_new >= lane.omega && omega_new > options.eps) {
+        // Stagnation: the QSVT accuracy floor or u has been reached.
+        lane.active = false;
+      } else {
+        lane.omega = omega_new;
+      }
+    }
+  }
+
+  std::vector<QsvtIrReport> reports;
+  reports.reserve(lanes.size());
+  for (Lane& lane : lanes) {
+    lane.rep.converged = lane.rep.converged || lane.omega <= options.eps;
+    reports.push_back(std::move(lane.rep));
+  }
+  if (stats) {
+    stats->panels_executed += pstats.panels;
+    stats->panel_lanes_total += pstats.lanes;
+  }
+  return reports;
 }
 
 }  // namespace mpqls::solver

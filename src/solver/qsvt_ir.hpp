@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hybrid/comm.hpp"
@@ -71,5 +72,26 @@ QsvtIrReport solve_qsvt_ir(const linalg::Matrix<double>& A, const linalg::Vector
 /// benchmarks use to sweep right-hand sides).
 QsvtIrReport solve_qsvt_ir(const qsvt::QsvtSolverContext& ctx, const linalg::Vector<double>& b,
                            const QsvtIrOptions& options);
+
+/// Panel accounting of a batched refinement run (see solve_qsvt_ir_batch):
+/// cumulative sweep and lane counts, the numbers the service exports as
+/// its panel-occupancy telemetry.
+struct BatchSolveStats {
+  std::uint64_t panels_executed = 0;   ///< compiled-program panel sweeps
+  std::uint64_t panel_lanes_total = 0; ///< RHS lanes those sweeps carried
+};
+
+/// Algorithm 2 over a batch of right-hand sides in lockstep: every
+/// refinement round batches the still-active lanes' residuals into ONE
+/// panel replay of the context's compiled program (qsvt_solve_directions),
+/// then de-normalizes, updates and checks convergence per lane exactly as
+/// the scalar loop does. Lanes drop out as they converge or stagnate, so
+/// later panels may run below full occupancy. Reports are ordered like
+/// `bs` and agree with per-RHS solve_qsvt_ir up to the panel kernels'
+/// vectorization-dependent rounding (bitwise on the scalar fallback).
+std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx,
+                                              std::span<const linalg::Vector<double>> bs,
+                                              const QsvtIrOptions& options,
+                                              BatchSolveStats* stats = nullptr);
 
 }  // namespace mpqls::solver

@@ -3,12 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/random_matrix.hpp"
+#include "qsim/exec/compile.hpp"
+#include "qsim/exec/executor.hpp"
+#include "qsim/statevector.hpp"
 #include "qsvt/denormalize.hpp"
+#include "stateprep/kp_tree.hpp"
 
 namespace mpqls::qsvt {
 namespace {
@@ -179,6 +185,140 @@ TEST(QsvtSolve, TridiagonalEncodingRejectsOtherMatrices) {
   QsvtOptions opts;
   opts.encoding = EncodingKind::kTridiagonal;
   EXPECT_THROW(prepare_qsvt_solver(A, opts), contract_violation);
+}
+
+TEST(QsvtSolve, DirectStatePrepMatchesPreparationCircuit) {
+  // The clean gate-level path embeds rhs_unit directly into the register;
+  // the KP-tree circuit applied to |0…0> must produce the same state, so
+  // the two pipelines must agree. This reference re-runs the old per-solve
+  // round trip (synthesize SP(b), compile it, replay) explicitly.
+  Xoshiro256 rng(34);
+  const auto A = linalg::random_with_cond(rng, 8, 6.0);
+  auto b = linalg::random_unit_vector(rng, 8);  // random signs included
+  QsvtOptions opts;
+  opts.backend = Backend::kGateLevel;
+  opts.eps_l = 1e-3;
+  const auto ctx = prepare_qsvt_solver(A, opts);
+  const auto direct = qsvt_solve_direction(ctx, b);
+
+  linalg::Vector<double> unit = b;
+  const double nb = linalg::nrm2(unit);
+  for (auto& v : unit) v /= nb;
+  const auto sp = stateprep::kp_state_preparation(unit);
+  const QsvtCircuit& qc = *ctx.circuit;
+  qsim::Statevector<double> sv(qc.circuit.num_qubits());
+  const qsim::exec::Executor<double> executor;
+  executor.run(qsim::exec::compile<double>(sp.circuit), sv);
+  executor.run(*ctx.program_f64, sv);
+  qsim::Circuit flip(qc.circuit.num_qubits());
+  flip.x(qc.realpart_qubit);
+  sv.apply(flip);
+  auto zeros = qc.zero_postselect();
+  zeros.push_back(qc.realpart_qubit);
+  sv.postselect_zero(zeros);
+  linalg::Vector<double> want(b.size());
+  for (std::size_t i = 0; i < want.size(); ++i) want[i] = sv[i].real();
+  const double nw = linalg::nrm2(want);
+  for (auto& v : want) v /= nw;
+
+  ASSERT_EQ(direct.direction.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(direct.direction[i], want[i], 1e-10) << "component " << i;
+  }
+  // Telemetry still counts the SP gates the QPU would run: the context's
+  // per-matrix constant equals the real circuit's size.
+  EXPECT_EQ(ctx.sp_circuit_gates, sp.circuit.size());
+  EXPECT_EQ(direct.circuit_gates, qc.circuit.size() + sp.circuit.size());
+}
+
+TEST(QsvtSolve, PanelBatchMatchesScalarDirections) {
+  Xoshiro256 rng(35);
+  const auto A = linalg::random_with_cond(rng, 8, 6.0);
+  std::vector<linalg::Vector<double>> rhs;
+  for (int k = 0; k < 5; ++k) rhs.push_back(linalg::random_unit_vector(rng, 8));
+  QsvtOptions opts;
+  opts.backend = Backend::kGateLevel;
+  opts.eps_l = 1e-3;
+  const auto ctx = prepare_qsvt_solver(A, opts);
+
+  PanelExecStats stats;
+  const auto batch =
+      qsvt_solve_directions(ctx, std::span<const linalg::Vector<double>>(rhs), &stats);
+  EXPECT_EQ(stats.panels, 1u);
+  EXPECT_EQ(stats.lanes, 5u);
+  ASSERT_EQ(batch.size(), rhs.size());
+  for (std::size_t k = 0; k < rhs.size(); ++k) {
+    const auto scalar = qsvt_solve_direction(ctx, rhs[k]);
+    ASSERT_EQ(batch[k].direction.size(), scalar.direction.size());
+    for (std::size_t i = 0; i < scalar.direction.size(); ++i) {
+      EXPECT_NEAR(batch[k].direction[i], scalar.direction[i], 1e-10)
+          << "rhs " << k << " component " << i;
+    }
+    EXPECT_NEAR(batch[k].success_probability, scalar.success_probability, 1e-12);
+    EXPECT_EQ(batch[k].be_calls, scalar.be_calls);
+    EXPECT_EQ(batch[k].circuit_gates, scalar.circuit_gates);
+  }
+}
+
+TEST(QsvtSolve, PanelBatchSinglePrecision) {
+  Xoshiro256 rng(36);
+  const auto A = linalg::random_with_cond(rng, 4, 4.0);
+  std::vector<linalg::Vector<double>> rhs;
+  for (int k = 0; k < 3; ++k) rhs.push_back(linalg::random_unit_vector(rng, 4));
+  QsvtOptions opts;
+  opts.backend = Backend::kGateLevel;
+  opts.precision = QpuPrecision::kSingle;
+  opts.eps_l = 1e-3;
+  const auto ctx = prepare_qsvt_solver(A, opts);
+
+  PanelExecStats stats;
+  const auto batch =
+      qsvt_solve_directions(ctx, std::span<const linalg::Vector<double>>(rhs), &stats);
+  EXPECT_EQ(stats.panels, 1u);
+  EXPECT_EQ(stats.lanes, 3u);
+  for (std::size_t k = 0; k < rhs.size(); ++k) {
+    const auto scalar = qsvt_solve_direction(ctx, rhs[k]);
+    for (std::size_t i = 0; i < scalar.direction.size(); ++i) {
+      EXPECT_NEAR(batch[k].direction[i], scalar.direction[i], 1e-4)
+          << "rhs " << k << " component " << i;
+    }
+  }
+}
+
+TEST(QsvtSolve, PanelBatchFallsBackForMatrixBackendAndSingletons) {
+  Xoshiro256 rng(37);
+  const auto A = linalg::random_with_cond(rng, 8, 5.0);
+  std::vector<linalg::Vector<double>> rhs;
+  for (int k = 0; k < 3; ++k) rhs.push_back(linalg::random_unit_vector(rng, 8));
+
+  QsvtOptions opts;
+  opts.backend = Backend::kMatrixFunction;
+  opts.eps_l = 1e-4;
+  const auto ctx = prepare_qsvt_solver(A, opts);
+  PanelExecStats stats;
+  const auto batch =
+      qsvt_solve_directions(ctx, std::span<const linalg::Vector<double>>(rhs), &stats);
+  EXPECT_EQ(stats.panels, 0u);  // scalar fallback: no panel sweeps
+  EXPECT_EQ(stats.lanes, 0u);
+  for (std::size_t k = 0; k < rhs.size(); ++k) {
+    const auto scalar = qsvt_solve_direction(ctx, rhs[k]);
+    for (std::size_t i = 0; i < scalar.direction.size(); ++i) {
+      EXPECT_EQ(batch[k].direction[i], scalar.direction[i]);  // same code path: bitwise
+    }
+  }
+
+  QsvtOptions gate_opts;
+  gate_opts.backend = Backend::kGateLevel;
+  gate_opts.eps_l = 1e-3;
+  const auto gate_ctx = prepare_qsvt_solver(A, gate_opts);
+  PanelExecStats gate_stats;
+  const auto single = qsvt_solve_directions(
+      gate_ctx, std::span<const linalg::Vector<double>>(rhs.data(), 1), &gate_stats);
+  EXPECT_EQ(gate_stats.panels, 0u);  // one lane: scalar path
+  const auto scalar = qsvt_solve_direction(gate_ctx, rhs[0]);
+  for (std::size_t i = 0; i < scalar.direction.size(); ++i) {
+    EXPECT_EQ(single[0].direction[i], scalar.direction[i]);
+  }
 }
 
 TEST(Denormalize, BrentMatchesClosedForm) {

@@ -1,9 +1,11 @@
 // SolverService end to end: batch solves share one prepared context and
-// reproduce the single-solve path bitwise; concurrent scheduling does not
-// perturb results under a fixed seed; the cache spans jobs; async submit
-// works. (Bitwise holds at a fixed OpenMP thread count: registers of
-// >= 2^15 amplitudes reduce norms/probabilities in parallel, and the
-// summation order follows the thread count — see qsim/statevector.hpp.)
+// (on the scalar per-RHS path) reproduce the single-solve path bitwise;
+// panelized jobs match the scalar path within kernel rounding and fall
+// back for scalar-only workloads; concurrent scheduling does not perturb
+// results under a fixed seed; the cache spans jobs; async submit works.
+// (Bitwise holds at a fixed OpenMP thread count: registers of >= 2^15
+// amplitudes reduce norms/probabilities in parallel, and the summation
+// order follows the thread count — see qsim/statevector.hpp.)
 #include "service/solver_service.hpp"
 
 #include <gtest/gtest.h>
@@ -53,7 +55,12 @@ TEST(SolverService, BatchMatchesSequentialBitwise) {
   std::vector<solver::QsvtIrReport> reference;
   for (const auto& b : req.rhs) reference.push_back(solver::solve_qsvt_ir(ctx, b, req.options));
 
-  SolverService service({.cache_capacity = 4, .solve_threads = 4, .job_threads = 1});
+  // panel_width 1 pins the scalar per-RHS path: this test asserts that
+  // concurrent scheduling alone never perturbs results. Panel execution
+  // has its own parity test below (tolerance — the lane-vectorized
+  // kernels round differently).
+  SolverService service(
+      {.cache_capacity = 4, .solve_threads = 4, .job_threads = 1, .panel_width = 1});
   const auto result = service.solve(req);
 
   ASSERT_EQ(result.solves.size(), reference.size());
@@ -71,6 +78,76 @@ TEST(SolverService, BatchMatchesSequentialBitwise) {
       EXPECT_EQ(got.scaled_residuals[i], want.scaled_residuals[i]);
     }
   }
+}
+
+TEST(SolverService, PanelizedJobMatchesScalarPath) {
+  // 5 right-hand sides at panel width 4: one full panel plus a singleton
+  // tail (which falls back to the scalar path), so this also covers the
+  // ragged-batch grouping.
+  const auto req = make_request("panel-vs-scalar", 8, 5, 500);
+
+  SolverService scalar(
+      {.cache_capacity = 2, .solve_threads = 2, .job_threads = 1, .panel_width = 1});
+  SolverService panel(
+      {.cache_capacity = 2, .solve_threads = 2, .job_threads = 1, .panel_width = 4});
+  const auto want = scalar.solve(req);
+  const auto got = panel.solve(req);
+
+  EXPECT_EQ(want.panels_executed, 0u);
+  EXPECT_GE(got.panels_executed, 1u);  // the 4-lane group, one sweep per round
+  EXPECT_GE(got.panel_lanes, 4u);
+  EXPECT_EQ(panel.stats().panels_executed, got.panels_executed);
+  EXPECT_EQ(panel.stats().panel_lanes_total, got.panel_lanes);
+
+  ASSERT_EQ(got.solves.size(), want.solves.size());
+  EXPECT_EQ(got.all_converged, want.all_converged);
+  EXPECT_TRUE(got.all_converged);
+  for (std::size_t k = 0; k < want.solves.size(); ++k) {
+    const auto& g = got.solves[k].report;
+    const auto& w = want.solves[k].report;
+    EXPECT_EQ(g.iterations, w.iterations) << "rhs " << k;
+    EXPECT_EQ(g.converged, w.converged) << "rhs " << k;
+    ASSERT_EQ(g.x.size(), w.x.size());
+    for (std::size_t i = 0; i < w.x.size(); ++i) {
+      // The lane-vectorized kernels perform the scalar path's arithmetic
+      // per lane but round through different instruction sequences.
+      EXPECT_NEAR(g.x[i], w.x[i], 1e-9) << "rhs " << k << " component " << i;
+    }
+    EXPECT_EQ(g.solves.size(), w.solves.size()) << "rhs " << k;
+    EXPECT_EQ(g.total_be_calls, w.total_be_calls) << "rhs " << k;
+  }
+}
+
+TEST(SolverService, PanelFallsBackForScalarOnlyWorkloads) {
+  SolverService service(
+      {.cache_capacity = 4, .solve_threads = 2, .job_threads = 1, .panel_width = 4});
+
+  // Singleton job: nothing to batch.
+  const auto single = service.solve(make_request("single", 8, 1, 600));
+  EXPECT_EQ(single.panels_executed, 0u);
+
+  // Matrix-function backend: no compiled program to replay.
+  const auto matrix =
+      service.solve(make_request("matrix", 8, 3, 700, qsvt::Backend::kMatrixFunction));
+  EXPECT_EQ(matrix.panels_executed, 0u);
+
+  // Shot-seeded readout: the scalar path keeps historical RNG consumption.
+  auto shots = make_request("shots", 8, 3, 800);
+  shots.options.eps = 1e-2;
+  shots.options.max_iterations = 8;
+  shots.options.qsvt.shots = 200000;
+  const auto shot_result = service.solve(shots);
+  EXPECT_EQ(shot_result.panels_executed, 0u);
+
+  // Noise trajectories need per-gate injection.
+  auto noisy = make_request("noisy", 8, 2, 900);
+  noisy.options.eps = 1e-2;
+  noisy.options.max_iterations = 4;
+  noisy.options.qsvt.noise.depolarizing_per_gate = 1e-6;
+  const auto noisy_result = service.solve(noisy);
+  EXPECT_EQ(noisy_result.panels_executed, 0u);
+
+  EXPECT_EQ(service.stats().panels_executed, 0u);
 }
 
 TEST(SolverService, ConcurrentBatchIsDeterministic) {

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 #include <tuple>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "linalg/blas.hpp"
@@ -119,6 +121,46 @@ TEST(QsvtIr, CommLogFollowsFigureOne) {
   int be_transfers = 0;
   for (const auto& e : events) be_transfers += (e.payload == "BE(A^T)");
   EXPECT_EQ(be_transfers, 1);
+}
+
+TEST(QsvtIr, BatchLockstepMatchesScalarRefinement) {
+  // One lockstep batch over 5 right-hand sides (panel sweeps under the
+  // hood) must reproduce the 5 scalar refinement runs: same iteration
+  // counts, comm timelines and — up to the panel kernels' rounding — the
+  // same solutions and residual histories.
+  Xoshiro256 rng(48);
+  const auto A = linalg::random_with_cond(rng, 16, 10.0);
+  std::vector<linalg::Vector<double>> bs;
+  for (int k = 0; k < 5; ++k) bs.push_back(linalg::random_unit_vector(rng, 16));
+  const auto options = make_options(1e-10, 1e-2);
+  const auto ctx = qsvt::prepare_qsvt_solver(A, options.qsvt);
+
+  BatchSolveStats stats;
+  const auto batch = solve_qsvt_ir_batch(
+      ctx, std::span<const linalg::Vector<double>>(bs), options, &stats);
+  ASSERT_EQ(batch.size(), bs.size());
+  EXPECT_GE(stats.panels_executed, 1u);
+  EXPECT_GE(stats.panel_lanes_total, bs.size());  // round 0 carries all lanes
+
+  for (std::size_t k = 0; k < bs.size(); ++k) {
+    const auto want = solve_qsvt_ir(ctx, bs[k], options);
+    const auto& got = batch[k];
+    EXPECT_TRUE(got.converged);
+    EXPECT_EQ(got.converged, want.converged) << "lane " << k;
+    EXPECT_EQ(got.iterations, want.iterations) << "lane " << k;
+    EXPECT_EQ(got.solves.size(), want.solves.size()) << "lane " << k;
+    EXPECT_EQ(got.total_be_calls, want.total_be_calls) << "lane " << k;
+    ASSERT_EQ(got.x.size(), want.x.size());
+    for (std::size_t i = 0; i < want.x.size(); ++i) {
+      EXPECT_NEAR(got.x[i], want.x[i], 1e-9) << "lane " << k << " component " << i;
+    }
+    ASSERT_EQ(got.scaled_residuals.size(), want.scaled_residuals.size());
+    ASSERT_EQ(got.comm.events().size(), want.comm.events().size());
+    for (std::size_t e = 0; e < want.comm.events().size(); ++e) {
+      EXPECT_EQ(got.comm.events()[e].payload, want.comm.events()[e].payload)
+          << "lane " << k << " event " << e;
+    }
+  }
 }
 
 TEST(QsvtIr, TotalBeCallsAccumulateAcrossSolves)
