@@ -1,0 +1,62 @@
+// Machine-readable benchmark output: a perf_* bench builds a BenchReport
+// alongside its stdout table and writes BENCH_<name>.json so CI jobs and
+// plotting scripts consume the numbers without scraping text. The file
+// lands in $MPQLS_BENCH_DIR when set (CI points it at the artifact
+// directory), otherwise the current working directory.
+//
+// Shape, by convention:
+//
+//   {
+//     "bench":   "wire_store",
+//     "pass":    true,                 // acceptance verdict (absent in smoke)
+//     "labels":  {"mode": "full"},    // free-form strings
+//     "metrics": {"speedup": 7.31}    // every number the table printed
+//   }
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "common/json.hpp"
+
+namespace mpqls::bench {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    doc_ = Json::object();
+    doc_["bench"] = name_;
+    doc_["labels"] = Json::object();
+    doc_["metrics"] = Json::object();
+  }
+
+  void metric(const std::string& key, double value) { doc_["metrics"][key] = value; }
+  void label(const std::string& key, const std::string& value) { doc_["labels"][key] = value; }
+  void pass(bool ok) { doc_["pass"] = ok; }
+
+  /// Serialize to BENCH_<name>.json and print a one-line pointer. Write
+  /// failures warn and return empty — a bench never fails because the
+  /// artifact directory is missing.
+  std::string write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("MPQLS_BENCH_DIR"); env && *env) dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bench_io: cannot write %s\n", path.c_str());
+      return {};
+    }
+    out << doc_.dump(2) << "\n";
+    std::printf("wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string name_;
+  Json doc_;
+};
+
+}  // namespace mpqls::bench

@@ -11,6 +11,8 @@
 //
 //   build/bench/perf_panel_exec            # full run + acceptance check
 //   build/bench/perf_panel_exec --smoke    # one tiny rep, no acceptance
+//
+// Emits BENCH_panel_exec.json (see bench_io.hpp) next to the tables.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +25,7 @@
 #include <omp.h>
 #endif
 
+#include "bench_io.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -168,9 +171,15 @@ int run(bool smoke) {
   acceptance_omp = acceptance_serial;  // one runtime: the serial numbers stand for both
 #endif
 
+  bench::BenchReport report("panel_exec");
+  report.label("mode", smoke ? "smoke" : "full");
+  report.metric("n_rhs", static_cast<double>(n_rhs));
+  report.metric("exact", exact ? 1.0 : 0.0);
+
   if (smoke) {
     std::printf("smoke mode: kernels exercised, acceptance not evaluated (diff %s)\n",
                 exact ? "ok" : "ABOVE TOLERANCE");
+    report.write();
     return exact ? 0 : 1;
   }
 
@@ -180,7 +189,12 @@ int run(bool smoke) {
   std::printf("  openmp: %.2fx -> %s\n", acceptance_omp,
               acceptance_omp >= 2.0 ? "PASS" : "FAIL");
   if (!exact) std::printf("WARNING: direction mismatch above 1e-9\n");
-  return (exact && acceptance_serial >= 2.0 && acceptance_omp >= 2.0) ? 0 : 1;
+  const bool pass = exact && acceptance_serial >= 2.0 && acceptance_omp >= 2.0;
+  report.metric("serial_speedup_w8", acceptance_serial);
+  report.metric("openmp_speedup_w8", acceptance_omp);
+  report.pass(pass);
+  report.write();
+  return pass ? 0 : 1;
 }
 
 }  // namespace

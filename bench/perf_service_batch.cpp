@@ -6,10 +6,13 @@
 // paper amortizes).
 //
 //   build/bench/perf_service_batch
+//
+// Emits BENCH_service_batch.json (see bench_io.hpp) next to the table.
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
+#include "bench_io.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -94,6 +97,9 @@ int main() {
   std::printf("batched service vs cold synthesis: %zux%zu, kappa 10, %zu rhs\n\n", n, n, n_rhs);
   TextTable table({"backend", "cold 16x (ms)", "service (ms)", "cached (ms)", "speedup",
                    "cached speedup"});
+  bench::BenchReport report("service_batch");
+  report.metric("n", static_cast<double>(n));
+  report.metric("n_rhs", static_cast<double>(n_rhs));
   bool ok = true;
   double acceptance_ratio = 0.0;
   for (const auto& sc : scenarios) {
@@ -103,6 +109,11 @@ int main() {
     table.add_row({sc.name, fmt_fix(m.cold_seconds * 1e3, 1), fmt_fix(m.warm_seconds * 1e3, 1),
                    fmt_fix(m.hot_seconds * 1e3, 1), fmt_fix(speedup, 2) + "x",
                    fmt_fix(hot_speedup, 2) + "x"});
+    const std::string prefix(sc.name);
+    report.metric(prefix + "_cold_ms", m.cold_seconds * 1e3);
+    report.metric(prefix + "_service_ms", m.warm_seconds * 1e3);
+    report.metric(prefix + "_cached_ms", m.hot_seconds * 1e3);
+    report.metric(prefix + "_speedup", speedup);
     ok = ok && m.converged;
     // The acceptance criterion is judged on the paper's matrix-function
     // configuration, where per-solve cost is small against synthesis; the
@@ -115,5 +126,9 @@ int main() {
   std::printf("\nacceptance: service batch >= 5x over cold calls: %.2fx -> %s\n",
               acceptance_ratio, acceptance_ratio >= 5.0 ? "PASS" : "FAIL");
   if (!ok) std::printf("WARNING: some solves did not converge\n");
-  return (ok && acceptance_ratio >= 5.0) ? 0 : 1;
+  const bool pass = ok && acceptance_ratio >= 5.0;
+  report.metric("acceptance_speedup", acceptance_ratio);
+  report.pass(pass);
+  report.write();
+  return pass ? 0 : 1;
 }

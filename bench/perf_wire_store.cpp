@@ -1,0 +1,195 @@
+// Submit-path throughput of the binary wire protocol + content-addressed
+// matrix store versus inline-JSON bodies — the acceptance benchmark for
+// the transport subsystem: with the matrix warm in the store, binary
+// by-ref submits (a few hundred bytes on the wire, no JSON parse, no
+// matrix copy) must sustain >= 5x the jobs/sec of inline dense-JSON
+// submits at n >= 1024.
+//
+// This measures ADMISSION, not solves. The daemon's single job worker is
+// parked on a latch (run_on_job_pool), so every accepted job stays
+// kQueued and is cancelled after each burst; admission control is
+// disabled (max_pending_jobs = 0) so no burst hits 429. What remains is
+// exactly what the wire/store subsystem changes — body transport,
+// parse/decode, and matrix materialization — while solver time (identical
+// on both paths) never runs.
+//
+//   build/bench/perf_wire_store            # full run + acceptance check
+//   build/bench/perf_wire_store --smoke    # tiny dims, no acceptance
+//
+// Emits BENCH_wire.json (see bench_io.hpp) next to the stdout table.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_io.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "linalg/random_matrix.hpp"
+#include "net/daemon.hpp"
+#include "net/http_client.hpp"
+#include "service/json_io.hpp"
+#include "service/limits.hpp"
+#include "wire/codec.hpp"
+
+namespace {
+
+using namespace mpqls;
+
+struct Series {
+  double jobs_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t body_bytes = 0;
+  bool ok = true;
+};
+
+double percentile(std::vector<double> sorted_seconds, double q) {
+  std::sort(sorted_seconds.begin(), sorted_seconds.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted_seconds.size() - 1));
+  return sorted_seconds[idx] * 1e3;
+}
+
+/// One burst of `count` identical submits; every accepted job is
+/// cancelled afterwards so the next burst starts from an empty queue.
+Series run_burst(net::HttpClient& client, const std::string& body, const char* content_type,
+                 std::size_t count) {
+  Series s;
+  s.body_bytes = body.size();
+  std::vector<double> latencies;
+  latencies.reserve(count);
+  std::vector<std::string> ids;
+  ids.reserve(count);
+
+  Timer total;
+  for (std::size_t k = 0; k < count; ++k) {
+    Timer t;
+    const auto response = client.post("/v1/jobs", body, content_type);
+    latencies.push_back(t.seconds());
+    if (response.status != 202) {
+      std::fprintf(stderr, "submit refused (%d): %s\n", response.status, response.body.c_str());
+      s.ok = false;
+      break;
+    }
+    ids.push_back(Json::parse(response.body).at("job_id").as_string());
+  }
+  const double wall = total.seconds();
+
+  for (const auto& id : ids) client.del("/v1/jobs/" + id);
+
+  if (!latencies.empty() && wall > 0.0) {
+    s.jobs_per_sec = static_cast<double>(latencies.size()) / wall;
+    s.p50_ms = percentile(latencies, 0.50);
+    s.p99_ms = percentile(latencies, 0.99);
+  }
+  return s;
+}
+
+int run(bool smoke) {
+  const std::size_t n = smoke ? 96 : 1024;
+  const std::size_t json_jobs = smoke ? 4 : 24;
+  const std::size_t binary_jobs = smoke ? 16 : 200;
+
+  net::DaemonOptions options;
+  options.port = 0;  // ephemeral
+  // A 1024x1024 dense matrix is ~25 MB as JSON text; lift the body cap
+  // well past it so the inline path is bounded by parsing, not refused.
+  options.limits.max_body_bytes = 256u << 20;
+  options.service.solve_threads = 1;
+  options.service.job_threads = 1;
+  options.service.max_pending_jobs = 0;  // unbounded: bursts never see 429
+  options.service.cache_capacity = 2;
+  net::SolverDaemon daemon(options);
+  daemon.start();
+
+  // Park the single job worker: admitted jobs stay kQueued (cancellable),
+  // so bursts measure the admission path only.
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future().share());
+  auto parked = daemon.service().run_on_job_pool([released] { released.wait(); });
+
+  Xoshiro256 rng(7);
+  service::SolveRequest req;
+  req.id = "wire-bench";
+  req.A = linalg::random_with_cond(rng, n, 10.0);
+  req.rhs.push_back(linalg::random_unit_vector(rng, n));
+
+  const std::string json_body = service::to_json(req).dump();
+
+  net::HttpClient client("127.0.0.1", daemon.port());
+
+  // Warm the store once; from then on by-ref submits carry 8 bytes of
+  // matrix identity instead of n^2 doubles.
+  const auto uploaded =
+      client.put("/v1/matrices", wire::encode_matrix(req.A), wire::kContentType);
+  if (uploaded.status != 201 && uploaded.status != 200) {
+    std::fprintf(stderr, "matrix upload failed (%d): %s\n", uploaded.status,
+                 uploaded.body.c_str());
+    release.set_value();
+    return 1;
+  }
+  req.matrix_ref = service::u64_from_hex(Json::parse(uploaded.body).at("matrix_ref").as_string());
+  const std::string frame_body = wire::encode_request(req);
+
+  std::printf("wire+store submit path: n=%zu, inline JSON %zu jobs vs binary by-ref %zu jobs\n\n",
+              n, json_jobs, binary_jobs);
+
+  const Series json_series = run_burst(client, json_body, "application/json", json_jobs);
+  const Series frame_series = run_burst(client, frame_body, wire::kContentType, binary_jobs);
+
+  release.set_value();  // unpark; the queue is already drained by cancels
+  parked.get();
+
+  TextTable table({"path", "body (bytes)", "jobs/s", "p50 (ms)", "p99 (ms)"});
+  table.add_row({"inline JSON", std::to_string(json_series.body_bytes),
+                 fmt_fix(json_series.jobs_per_sec, 1), fmt_fix(json_series.p50_ms, 2),
+                 fmt_fix(json_series.p99_ms, 2)});
+  table.add_row({"binary + matrix_ref", std::to_string(frame_series.body_bytes),
+                 fmt_fix(frame_series.jobs_per_sec, 1), fmt_fix(frame_series.p50_ms, 2),
+                 fmt_fix(frame_series.p99_ms, 2)});
+  table.print(std::cout);
+
+  const bool ok = json_series.ok && frame_series.ok;
+  const double speedup =
+      json_series.jobs_per_sec > 0.0 ? frame_series.jobs_per_sec / json_series.jobs_per_sec : 0.0;
+
+  bench::BenchReport report("wire");
+  report.label("mode", smoke ? "smoke" : "full");
+  report.metric("n", static_cast<double>(n));
+  report.metric("json_jobs_per_sec", json_series.jobs_per_sec);
+  report.metric("json_p50_ms", json_series.p50_ms);
+  report.metric("json_p99_ms", json_series.p99_ms);
+  report.metric("json_body_bytes", static_cast<double>(json_series.body_bytes));
+  report.metric("binary_jobs_per_sec", frame_series.jobs_per_sec);
+  report.metric("binary_p50_ms", frame_series.p50_ms);
+  report.metric("binary_p99_ms", frame_series.p99_ms);
+  report.metric("binary_body_bytes", static_cast<double>(frame_series.body_bytes));
+  report.metric("speedup", speedup);
+
+  if (smoke) {
+    std::printf("\nsmoke mode: both submit paths exercised, acceptance not evaluated "
+                "(speedup %.2fx)\n", speedup);
+    report.write();
+    return ok ? 0 : 1;
+  }
+
+  const bool pass = ok && speedup >= 5.0;
+  std::printf("\nacceptance: binary+ref submit throughput >= 5x inline JSON at n>=1024: "
+              "%.2fx -> %s\n", speedup, pass ? "PASS" : "FAIL");
+  report.pass(pass);
+  report.write();
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+  return run(smoke);
+}

@@ -5,15 +5,19 @@
 //   build/examples/service_server serve [--port 8080] [--bind 127.0.0.1]
 //       [--solve-threads N] [--job-threads N] [--queue-depth N]
 //       [--cache-capacity N] [--retained-jobs N] [--max-body-mb N]
-//       [--panel-width N]
+//       [--panel-width N] [--store-mb N]
 //
 // --panel-width N sets how many right-hand sides share one compiled-
 // program sweep (the multi-RHS panel executor; default 8, small powers
 // of two vectorize best). 0 or 1 forces the scalar per-RHS path.
+// --store-mb N sets the byte budget of the content-addressed matrix
+// store behind PUT /v1/matrices (default 512; clamped up so one
+// max-dimension matrix always fits).
 //
-// serves POST /v1/jobs, GET /v1/jobs/{id}, /v1/healthz and /v1/metrics
-// until SIGINT/SIGTERM, then drains: admission closes (503), in-flight
-// jobs finish while clients keep polling, and the server stops.
+// serves POST /v1/jobs (JSON or binary application/x-mpqls-frame),
+// GET /v1/jobs/{id}[/result], PUT /v1/matrices, /v1/healthz and
+// /v1/metrics until SIGINT/SIGTERM, then drains: admission closes (503),
+// in-flight jobs finish while clients keep polling, and the server stops.
 // `--port 0` picks an ephemeral port (printed on stdout).
 //
 // Cluster mode — a coordinator sharding jobs across worker daemons by
@@ -175,6 +179,8 @@ int run_daemon(int argc, char** argv) {
       options.service.retained_jobs = flag_value(argc, argv, &i, "--retained-jobs");
     } else if (arg == "--panel-width") {
       options.service.panel_width = flag_value(argc, argv, &i, "--panel-width");
+    } else if (arg == "--store-mb") {
+      options.service.matrix_store_bytes = flag_value(argc, argv, &i, "--store-mb") << 20;
     } else if (arg == "--max-body-mb") {
       options.limits.max_body_bytes = flag_value(argc, argv, &i, "--max-body-mb") << 20;
     } else {
@@ -196,7 +202,9 @@ int run_daemon(int argc, char** argv) {
   daemon.start();
   std::printf("solver daemon listening on %s:%u\n", options.bind_address.c_str(),
               static_cast<unsigned>(daemon.port()));
-  std::printf("  POST /v1/jobs | GET /v1/jobs/{id} | GET /v1/healthz | GET /v1/metrics\n");
+  std::printf(
+      "  POST /v1/jobs | GET /v1/jobs/{id}[/result] | PUT /v1/matrices | GET /v1/healthz | "
+      "GET /v1/metrics\n");
   std::fflush(stdout);
 
   int sig = 0;
@@ -272,6 +280,8 @@ int run_cluster(int argc, char** argv) {
       worker.service.retained_jobs = flag_value(argc, argv, &i, "--retained-jobs");
     } else if (arg == "--panel-width") {
       worker.service.panel_width = flag_value(argc, argv, &i, "--panel-width");
+    } else if (arg == "--store-mb") {
+      worker.service.matrix_store_bytes = flag_value(argc, argv, &i, "--store-mb") << 20;
     } else if (arg == "--max-body-mb") {
       worker.limits.max_body_bytes = flag_value(argc, argv, &i, "--max-body-mb") << 20;
       coordinator.limits.max_body_bytes = worker.limits.max_body_bytes;
@@ -294,8 +304,8 @@ int run_cluster(int argc, char** argv) {
   const auto banner = [](const cluster::Coordinator& c, const char* kind) {
     std::printf("cluster coordinator (%s, %zu workers) listening on port %u\n", kind,
                 c.worker_count(), static_cast<unsigned>(c.port()));
-    std::printf("  POST /v1/jobs | GET /v1/jobs[/{id}] | DELETE /v1/jobs/{id} | /v1/healthz | "
-                "/v1/metrics\n");
+    std::printf("  POST /v1/jobs | GET /v1/jobs[/{id}[/result]] | DELETE /v1/jobs/{id} | "
+                "PUT /v1/matrices | /v1/healthz | /v1/metrics\n");
     std::fflush(stdout);
   };
   const auto summary = [](const cluster::Coordinator& c) {

@@ -9,6 +9,17 @@
 // Backpressure is handled the way a well-behaved client should: 429
 // waits and resubmits, 503 (draining) gives up on the remaining jobs.
 //
+// Transport flags exercise the binary protocol (src/wire) and the
+// content-addressed matrix store:
+//
+//   --binary  encode requests as application/x-mpqls-frame frames and
+//             fetch results through GET /v1/jobs/{id}/result with the
+//             frame Accept header (JSON stays the default).
+//   --upload  PUT each job's matrix to /v1/matrices first and submit
+//             by matrix_ref. A 404 on submit (worker restarted or the
+//             store evicted the entry) re-uploads and retries — the
+//             self-healing client loop the protocol is designed around.
+//
 // Works against a single daemon or a cluster coordinator transparently;
 // against a coordinator the status output additionally renders the
 // per-worker routing gauges (breaker state, in-flight, affinity hit
@@ -19,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +39,9 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "net/http_client.hpp"
+#include "service/json_io.hpp"
+#include "service/limits.hpp"
+#include "wire/codec.hpp"
 
 namespace {
 
@@ -83,6 +98,62 @@ void print_panel_status(const std::string& metrics_text) {
   std::printf("\n");
 }
 
+/// Sum of every sample line of one family whose label set contains
+/// `label_filter` (empty = all samples). Covers the plain daemon
+/// (unlabeled or encoding-labeled) and the cluster merge (worker-
+/// relabeled, label order unspecified) with one scan. NaN when no
+/// sample matched.
+double family_sum(const std::string& text, const std::string& name,
+                  const std::string& label_filter = {}) {
+  double sum = 0.0;
+  bool any = false;
+  std::size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    // Anchor to a line start and require '{' or ' ' next, so a family
+    // cannot match inside a longer name or a HELP/TYPE line.
+    const std::size_t start = pos;
+    const std::size_t after = pos + name.size();
+    pos = after;
+    if (start != 0 && text[start - 1] != '\n') continue;
+    if (after >= text.size() || (text[after] != '{' && text[after] != ' ')) continue;
+    std::size_t eol = text.find('\n', after);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(start, eol - start);
+    if (!label_filter.empty() && line.find(label_filter) == std::string::npos) continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    try {
+      sum += std::stod(line.substr(space + 1));
+      any = true;
+    } catch (const std::exception&) {
+    }
+  }
+  return any ? sum : std::nan("");
+}
+
+/// Matrix-store occupancy and wire traffic split, scraped from
+/// /v1/metrics (summed across workers against a cluster coordinator).
+/// Prints nothing against a daemon predating the store.
+void print_store_status(const std::string& text) {
+  const double entries = family_sum(text, "mpqls_store_entries");
+  if (std::isnan(entries)) return;
+  std::printf("\nmatrix store: %.0f entries, %.1f MiB resident, %.0f hits / %.0f misses, "
+              "%.0f evictions\n",
+              entries, family_sum(text, "mpqls_store_bytes") / (1024.0 * 1024.0),
+              family_sum(text, "mpqls_store_hits_total"),
+              family_sum(text, "mpqls_store_misses_total"),
+              family_sum(text, "mpqls_store_evictions_total"));
+  const auto encoded = [&text](const char* name, const char* encoding) {
+    const double v = family_sum(text, name, std::string("encoding=\"") + encoding + "\"");
+    return std::isnan(v) ? 0.0 : v;
+  };
+  std::printf("wire traffic: json %.0f req / %.0f B in, binary %.0f req / %.0f B in\n",
+              encoded("mpqls_wire_requests_total", "json"),
+              encoded("mpqls_wire_request_bytes_total", "json"),
+              encoded("mpqls_wire_requests_total", "binary"),
+              encoded("mpqls_wire_request_bytes_total", "binary"));
+}
+
 /// Scrape /v1/metrics once for the status renderings below; empty on any
 /// failure (status rendering is best-effort; results already printed).
 std::string fetch_metrics(mpqls::net::HttpClient& client) {
@@ -123,6 +194,8 @@ int main(int argc, char** argv) try {
   std::uint16_t port = 8080;
   int poll_ms = 100;
   int timeout_s = 600;
+  bool use_binary = false;
+  bool use_upload = false;
   std::string jobs_path;
   std::string cancel_id;
   for (int i = 1; i < argc; ++i) {
@@ -135,6 +208,10 @@ int main(int argc, char** argv) try {
       poll_ms = std::stoi(argv[++i]);
     } else if (arg == "--timeout-s" && i + 1 < argc) {
       timeout_s = std::stoi(argv[++i]);
+    } else if (arg == "--binary") {
+      use_binary = true;
+    } else if (arg == "--upload") {
+      use_upload = true;
     } else if (arg == "--cancel" && i + 1 < argc) {
       cancel_id = argv[++i];
     } else if (!arg.empty() && arg[0] != '-') {
@@ -142,7 +219,7 @@ int main(int argc, char** argv) try {
     } else {
       std::fprintf(stderr,
                    "usage: submit_job [--host H] [--port P] [--poll-ms N] [--timeout-s N] "
-                   "(jobs.json | --cancel JOB_ID)\n");
+                   "[--binary] [--upload] (jobs.json | --cancel JOB_ID)\n");
       return 2;
     }
   }
@@ -171,22 +248,62 @@ int main(int argc, char** argv) try {
   }
 
   net::HttpClient client(host, port);
-  std::printf("submitting %zu jobs to %s:%u\n", jobs.size(), host.c_str(),
-              static_cast<unsigned>(port));
+  std::printf("submitting %zu jobs to %s:%u%s%s\n", jobs.size(), host.c_str(),
+              static_cast<unsigned>(port), use_binary ? " [binary frames]" : "",
+              use_upload ? " [by matrix_ref]" : "");
 
   // One deadline bounds the whole run — 429 retries included, so a
   // permanently saturated daemon cannot hang the client.
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(timeout_s);
+
+  // PUT a kMatrix frame and return the server-assigned content hash.
+  const auto upload_matrix = [&client](const std::string& frame) {
+    const auto response = client.put("/v1/matrices", frame, wire::kContentType);
+    if (response.status != 200 && response.status != 201) {
+      throw std::runtime_error("matrix upload failed (" + std::to_string(response.status) +
+                               "): " + response.body);
+    }
+    return service::u64_from_hex(Json::parse(response.body).at("matrix_ref").as_string());
+  };
+
+  // Materialize each job's transport body once. Under --binary/--upload
+  // the job JSON is parsed into a SolveRequest first (scenario generators
+  // run client-side; the frame codec ships explicit matrices only).
+  struct Prepared {
+    std::string label;
+    std::string body;
+    std::string matrix_frame;  ///< nonempty under --upload: the re-upload payload
+  };
+  std::vector<Prepared> prepared;
+  prepared.reserve(jobs.size());
+  const std::string content_type = use_binary ? wire::kContentType : "application/json";
+  for (const auto& job : jobs) {
+    Prepared p;
+    p.label = job.string_or("id", "(unnamed)");
+    if (use_binary || use_upload) {
+      service::SolveRequest req = service::request_from_json(job);
+      if (use_upload) {
+        p.matrix_frame = wire::encode_matrix(req.matrix());
+        req.matrix_ref = upload_matrix(p.matrix_frame);
+      }
+      // With matrix_ref set both encoders emit the by-ref form; the dense
+      // matrix bytes never travel with the job again.
+      p.body = use_binary ? wire::encode_request(req) : service::to_json(req).dump();
+    } else {
+      p.body = job.dump();
+    }
+    prepared.push_back(std::move(p));
+  }
 
   struct Submitted {
     std::string label;
     std::string job_id;
   };
   std::vector<Submitted> submitted;
-  for (const auto& job : jobs) {
-    const std::string label = job.string_or("id", "(unnamed)");
+  for (const auto& p : prepared) {
+    const std::string& label = p.label;
     for (;;) {
-      const auto response = client.post("/v1/jobs", job.dump());
+      const auto response = client.post("/v1/jobs", p.body, content_type);
       if (response.status == 202) {
         const auto body = Json::parse(response.body);
         submitted.push_back({label, body.at("job_id").as_string()});
@@ -198,6 +315,19 @@ int main(int argc, char** argv) try {
           return 4;
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+        continue;
+      }
+      if (response.status == 404 && !p.matrix_frame.empty()) {
+        // Store miss — the worker restarted or evicted our entry. The ref
+        // is a content hash, so re-uploading the same frame restores it
+        // and the already-encoded body stays valid: re-upload and retry.
+        if (std::chrono::steady_clock::now() > deadline) {
+          std::fprintf(stderr, "timed out re-uploading matrix for '%s'\n", label.c_str());
+          return 4;
+        }
+        std::fprintf(stderr, "job '%s': matrix_ref unknown to server, re-uploading\n",
+                     label.c_str());
+        upload_matrix(p.matrix_frame);
         continue;
       }
       std::fprintf(stderr, "job '%s' refused (%d): %s", label.c_str(), response.status,
@@ -231,9 +361,25 @@ int main(int argc, char** argv) try {
     }
     if (!status.is_object()) continue;
     const std::string state = status.at("state").as_string();
-    const bool converged =
-        state == "done" && status.at("result").at("all_converged").as_bool();
-    all_ok = all_ok && converged;
+    bool converged = false;
+    if (state == "done") {
+      if (use_binary) {
+        // Pull the result through the binary route — a kSolveResult frame
+        // instead of the JSON splice the status poll carries.
+        const auto response =
+            client.get("/v1/jobs/" + s.job_id + "/result", {{"Accept", wire::kContentType}});
+        if (response.status != 200) {
+          std::fprintf(stderr, "result fetch %s failed (%d)\n", s.job_id.c_str(),
+                       response.status);
+          all_ok = false;
+        } else {
+          converged = wire::decode_result(response.body).all_converged;
+        }
+      } else {
+        converged = status.at("result").at("all_converged").as_bool();
+      }
+    }
+    all_ok = all_ok && (state == "done" && converged);
     table.add_row({s.label, s.job_id, state,
                    fmt_fix(status.at("queue_seconds").as_number() * 1e3, 1),
                    fmt_fix(status.at("run_seconds").as_number() * 1e3, 1),
@@ -242,6 +388,7 @@ int main(int argc, char** argv) try {
   table.print(std::cout);
   const std::string metrics_text = fetch_metrics(client);
   print_panel_status(metrics_text);
+  print_store_status(metrics_text);
   print_cluster_status(metrics_text);
   return all_ok ? 0 : 1;
 } catch (const std::exception& e) {

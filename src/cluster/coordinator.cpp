@@ -8,6 +8,10 @@
 #include "common/hash.hpp"
 #include "common/json.hpp"
 #include "common/metrics.hpp"
+#include "service/fingerprint.hpp"
+#include "service/json_io.hpp"
+#include "service/limits.hpp"
+#include "wire/codec.hpp"
 
 namespace mpqls::cluster {
 
@@ -124,9 +128,17 @@ Coordinator::Coordinator(CoordinatorOptions options)
               [this](const HttpRequest& request, const net::PathParams& params) {
                 return do_job_request(request, params.get("id"), /*is_cancel=*/false);
               });
+  router_.add("GET", "/v1/jobs/{id}/result",
+              [this](const HttpRequest& request, const net::PathParams& params) {
+                return do_job_request(request, params.get("id"), /*is_cancel=*/false, "/result");
+              });
   router_.add("DELETE", "/v1/jobs/{id}",
               [this](const HttpRequest& request, const net::PathParams& params) {
                 return do_job_request(request, params.get("id"), /*is_cancel=*/true);
+              });
+  router_.add("PUT", "/v1/matrices",
+              [this](const HttpRequest& request, const net::PathParams&) {
+                return do_upload(request);
               });
   router_.add("GET", "/v1/metrics", [this](const HttpRequest&, const net::PathParams&) {
     HttpResponse r;
@@ -190,6 +202,12 @@ std::uint64_t Coordinator::affinity_key(const Json& parsed, const std::string& b
   // worker); semantically-equal-but-reformatted specs may key differently,
   // which only costs one extra preparation, never correctness.
   try {
+    // A by-ref request keys on the matrix_ref itself: uploads route by
+    // the same content hash, so the ref's ring home is the worker whose
+    // store (and context cache) is warm for it.
+    if (parsed.contains("matrix_ref")) {
+      return service::u64_from_hex(parsed.at("matrix_ref").as_string());
+    }
     Fnv1a h;
     if (parsed.contains("matrix")) {
       h.str(parsed.at("matrix").dump());
@@ -217,17 +235,31 @@ std::vector<std::size_t> Coordinator::candidate_order(std::uint64_t key) {
 }
 
 HttpResponse Coordinator::do_submit(const HttpRequest& request) {
-  // Malformed JSON dies here (mirroring the worker's 400 contract)
-  // instead of being posted N times to the ring; the parsed value is
-  // reused for the affinity key so large bodies are parsed exactly once.
-  Json parsed_body;
-  try {
-    parsed_body = Json::parse(request.body);
-  } catch (const JsonParseError& e) {
-    return error_json(400, e.what());
+  // Malformed bodies die here (mirroring the worker's 400 contract)
+  // instead of being posted N times to the ring. A binary frame is never
+  // JSON-parsed anywhere on this path: its affinity key streams straight
+  // off the frame prefix (the matrix_ref, or the content hash of the
+  // inline matrix), so by-ref submits key identically to the upload that
+  // created the ref. JSON bodies parse once, reused for the key.
+  const std::string* ctype = request.header("Content-Type");
+  const bool is_frame = ctype != nullptr && wire::is_frame_content_type(*ctype);
+  std::uint64_t key = 0;
+  if (is_frame) {
+    try {
+      key = wire::request_affinity_key(request.body);
+    } catch (const wire::WireError& e) {
+      return error_json(400, e.what());
+    }
+  } else {
+    Json parsed_body;
+    try {
+      parsed_body = Json::parse(request.body);
+    } catch (const JsonParseError& e) {
+      return error_json(400, e.what());
+    }
+    key = affinity_key(parsed_body, request.body);
   }
-
-  const std::uint64_t key = affinity_key(parsed_body, request.body);
+  const std::string forward_type = ctype != nullptr ? *ctype : "application/json";
   const std::size_t preferred = ring_.home(key);
   const auto order = candidate_order(key);
 
@@ -251,7 +283,7 @@ HttpResponse Coordinator::do_submit(const HttpRequest& request) {
     {
       auto lease = worker.pool.acquire();
       try {
-        response = lease->post("/v1/jobs", request.body);
+        response = lease->post("/v1/jobs", request.body, forward_type);
         transport_ok = true;
       } catch (const std::exception& e) {
         // Broader than HttpError on purpose: wait_fd can throw
@@ -384,7 +416,8 @@ std::optional<std::pair<std::size_t, std::string>> Coordinator::resolve(
 }
 
 HttpResponse Coordinator::do_job_request(const HttpRequest& request,
-                                         const std::string& cluster_id, bool is_cancel) {
+                                         const std::string& cluster_id, bool is_cancel,
+                                         const std::string& suffix) {
   const auto route = resolve(cluster_id);
   if (!route) return error_json(404, "unknown job id");
   const auto [index, worker_job_id] = *route;
@@ -404,8 +437,14 @@ HttpResponse Coordinator::do_job_request(const HttpRequest& request,
   {
     auto lease = worker.pool.acquire();
     try {
-      const std::string target = "/v1/jobs/" + worker_job_id;
-      response = is_cancel ? lease->del(target) : lease->get(target);
+      const std::string target = "/v1/jobs/" + worker_job_id + suffix;
+      // Forward Accept so a client can pull the binary result encoding
+      // straight through the proxy.
+      net::HeaderList extra;
+      if (const std::string* accept = request.header("Accept")) {
+        extra.emplace_back("Accept", *accept);
+      }
+      response = is_cancel ? lease->del(target) : lease->get(target, extra);
       transport_ok = true;
     } catch (const std::exception& e) {  // see do_submit: must settle state on ANY throw
       lease.discard();
@@ -438,6 +477,83 @@ HttpResponse Coordinator::do_job_request(const HttpRequest& request,
   HttpResponse out = mirror(response);
   out.body = rewrite_job_id(std::move(out.body), worker_job_id, cluster_id);
   return out;
+}
+
+HttpResponse Coordinator::do_upload(const HttpRequest& request) {
+  // Compute the content hash locally — it IS the matrix_ref the workers
+  // will answer with, and the ring key by-ref submits route on.
+  const std::string* ctype = request.header("Content-Type");
+  const bool is_frame = ctype != nullptr && wire::is_frame_content_type(*ctype);
+  std::uint64_t key = 0;
+  try {
+    if (is_frame) {
+      key = wire::hash_matrix_frame(request.body);
+    } else {
+      const Json parsed = Json::parse(request.body);
+      key = service::hash_matrix(
+          service::matrix_from_json(parsed.contains("matrix") ? parsed.at("matrix") : parsed));
+    }
+  } catch (const std::exception& e) {
+    return error_json(400, e.what());
+  }
+  const std::string forward_type = ctype != nullptr ? *ctype : "application/json";
+
+  // Replicate to every reachable worker, ring home first. Uploads are
+  // rare, bounded (the body cap) and idempotent by content hash, and a
+  // warm replica on every worker means a spillover submit never bounces
+  // through the 404 re-upload protocol. Workers that are down or fail
+  // mid-upload simply stay cold: the first by-ref submit they see answers
+  // 404, the client re-uploads, and this fan-out heals them — that
+  // round-trip is the self-healing contract, not an error path.
+  bool have_primary = false;
+  HttpResponse primary;
+  for (const std::size_t index : ring_.candidates(key)) {
+    Worker& worker = *workers_[index];
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      if (!worker.breaker.allow(std::chrono::steady_clock::now())) continue;
+      ++worker.in_flight;
+    }
+
+    net::HttpClient::Response response;
+    bool transport_ok = false;
+    {
+      auto lease = worker.pool.acquire();
+      try {
+        response = lease->put("/v1/matrices", request.body, forward_type);
+        transport_ok = true;
+      } catch (const std::exception&) {  // see do_submit: settle state on ANY throw
+        lease.discard();
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      --worker.in_flight;
+      if (transport_ok) {
+        worker.breaker.record_success();
+      } else {
+        worker.breaker.record_failure(std::chrono::steady_clock::now());
+        ++worker.transport_failures;
+      }
+    }
+    if (!transport_ok) continue;
+
+    if (response.status >= 400 && response.status < 500) {
+      return mirror(response);  // deterministic rejection: don't spread it
+    }
+    if (!have_primary && response.status < 300) {
+      primary = mirror(response);
+      have_primary = true;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.proxied_uploads;
+  }
+  if (!have_primary) return error_json(503, "no cluster worker accepted the upload");
+  return primary;
 }
 
 HttpResponse Coordinator::do_list(const HttpRequest& request) {
@@ -577,6 +693,8 @@ std::string Coordinator::metrics_text() {
             stats.proxied_polls);
   m.counter("mpqls_cluster_proxied_cancels_total", "DELETE /v1/jobs/{id} requests proxied.",
             stats.proxied_cancels);
+  m.counter("mpqls_cluster_proxied_uploads_total",
+            "PUT /v1/matrices uploads fanned out to the workers.", stats.proxied_uploads);
   m.gauge("mpqls_cluster_proxy_backlog", "Deferred requests awaiting a proxy thread.",
           static_cast<std::uint64_t>(proxy_backlog_.load()));
 

@@ -3,11 +3,17 @@
 // matrix-fingerprint affinity.
 //
 //   POST   /v1/jobs       route by affinity      -> 202 {job_id: "w<k>-job-<n>"}
+//                         (JSON or binary application/x-mpqls-frame
+//                         bodies; frames route without a JSON parse)
 //                         every worker saturated -> 429/503 mirrored
 //                         no worker reachable    -> 503
 //   GET    /v1/jobs       merged bounded listing -> 200
 //   GET    /v1/jobs/{id}  proxied poll           -> worker's answer
+//   GET    /v1/jobs/{id}/result  proxied result  -> worker's answer
+//                         (Accept forwarded, so binary results proxy too)
 //   DELETE /v1/jobs/{id}  proxied cancel         -> worker's answer
+//   PUT    /v1/matrices   content-addressed upload, replicated to every
+//                         reachable worker (ring home's answer mirrored)
 //   GET    /v1/healthz    cluster liveness       -> 200 (never blocks)
 //   GET    /v1/metrics    own counters + every worker's metrics,
 //                         relabeled with worker="w<k>"
@@ -108,6 +114,7 @@ class Coordinator {
     std::uint64_t unroutable = 0;         ///< no worker reachable at all
     std::uint64_t proxied_polls = 0;
     std::uint64_t proxied_cancels = 0;
+    std::uint64_t proxied_uploads = 0;  ///< PUT /v1/matrices fan-outs
   };
   RoutingStats routing_stats() const;
 
@@ -137,9 +144,12 @@ class Coordinator {
   void handle(const net::HttpRequest& request, net::HttpServer::ResponseHandle responder);
 
   net::HttpResponse do_submit(const net::HttpRequest& request);
+  /// Proxy GET/DELETE for one job; `suffix` extends the worker target
+  /// ("" for the status poll, "/result" for the result route).
   net::HttpResponse do_job_request(const net::HttpRequest& request, const std::string& cluster_id,
-                                   bool is_cancel);
+                                   bool is_cancel, const std::string& suffix = "");
   net::HttpResponse do_list(const net::HttpRequest& request);
+  net::HttpResponse do_upload(const net::HttpRequest& request);
   net::HttpResponse healthz_now();
 
   std::uint64_t affinity_key(const Json& parsed, const std::string& body) const;

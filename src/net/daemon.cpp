@@ -1,17 +1,36 @@
 #include "net/daemon.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <charconv>
 #include <string_view>
 #include <utility>
 
 #include "common/json.hpp"
 #include "common/metrics.hpp"
+#include "service/fingerprint.hpp"
 #include "service/json_io.hpp"
+#include "service/limits.hpp"
+#include "wire/codec.hpp"
 
 namespace mpqls::net {
 
 namespace {
+
+/// Replace bytes that would corrupt a terminal or log when an error
+/// message is echoed into a response body. Parser messages carry byte
+/// offsets, never payload bytes, by design — this is defense in depth so
+/// a binary request body can NEVER leak control bytes through a 4xx/5xx,
+/// whatever the message source.
+std::string printable(std::string_view message) {
+  std::string out;
+  out.reserve(message.size());
+  for (const char c : message) {
+    const auto u = static_cast<unsigned char>(c);
+    out += (u >= 0x20 && u != 0x7f) ? c : '.';
+  }
+  return out;
+}
 
 HttpResponse json_response(int status, Json body) {
   HttpResponse r;
@@ -22,8 +41,43 @@ HttpResponse json_response(int status, Json body) {
 
 HttpResponse error_json(int status, const std::string& message) {
   Json j = Json::object();
-  j["error"] = message;
+  j["error"] = printable(message);
   return json_response(status, std::move(j));
+}
+
+/// The cold-ref signal of the re-upload protocol (see wire/DESIGN.md):
+/// the client PUTs the matrix to /v1/matrices and resubmits.
+HttpResponse matrix_miss_json(std::uint64_t ref) {
+  Json j = Json::object();
+  j["error"] = "unknown matrix_ref";
+  j["matrix_ref"] = service::u64_hex(ref);
+  return json_response(404, std::move(j));
+}
+
+enum class BodyEncoding { kJson, kFrame, kUnknown };
+
+/// No Content-Type keeps the historical JSON default; anything naming
+/// "json" is JSON; the frame media type selects the binary codec;
+/// everything else is a 415.
+BodyEncoding body_encoding(const HttpRequest& request) {
+  const std::string* ct = request.header("Content-Type");
+  if (ct == nullptr || ct->empty()) return BodyEncoding::kJson;
+  if (wire::is_frame_content_type(*ct)) return BodyEncoding::kFrame;
+  std::string lower(*ct);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower.find("json") != std::string::npos) return BodyEncoding::kJson;
+  // `curl -d` stamps this without being asked; every documented walkthrough
+  // uses it with a JSON body, so it keeps the historical JSON default.
+  if (lower.find("application/x-www-form-urlencoded") != std::string::npos) {
+    return BodyEncoding::kJson;
+  }
+  return BodyEncoding::kUnknown;
+}
+
+HttpResponse unsupported_media_type() {
+  return error_json(415, std::string("unsupported Content-Type; use application/json or ") +
+                             wire::kContentType);
 }
 
 }  // namespace
@@ -41,8 +95,17 @@ SolverDaemon::SolverDaemon(DaemonOptions options)
               [this](const HttpRequest& request, const PathParams&) { return list_jobs(request); });
   router_.add("GET", "/v1/jobs/{id}",
               [this](const HttpRequest&, const PathParams& params) { return job_status(params); });
+  router_.add("GET", "/v1/jobs/{id}/result", [this](const HttpRequest& request,
+                                                    const PathParams& params) {
+    return job_result(request, params);
+  });
   router_.add("DELETE", "/v1/jobs/{id}",
               [this](const HttpRequest&, const PathParams& params) { return cancel_job(params); });
+  router_.add("PUT", "/v1/matrices", [this](const HttpRequest& request, const PathParams&) {
+    return upload_matrix(request);
+  });
+  router_.add("GET", "/v1/matrices/{ref}",
+              [this](const HttpRequest&, const PathParams& params) { return matrix_info(params); });
   router_.add("GET", "/v1/healthz",
               [this](const HttpRequest&, const PathParams&) { return healthz(); });
   router_.add("GET", "/v1/metrics", [this](const HttpRequest&, const PathParams&) {
@@ -69,23 +132,69 @@ HttpResponse SolverDaemon::handle(const HttpRequest& request) { return router_.d
 HttpResponse SolverDaemon::submit_job(const HttpRequest& request) {
   if (draining_.load()) return error_json(503, "daemon is draining; job admission closed");
 
-  // Only the (byte-capped) JSON parse runs here on the loop thread.
-  // Materializing the request — scenario matrices can be O(n^3) to
-  // generate — is deferred to the job worker, so a heavy or semantically
-  // bogus body can never stall the event loop: schema defects surface as
-  // state=failed with the validation message when the job is polled.
-  Json body;
-  try {
-    body = Json::parse(request.body);
-  } catch (const JsonParseError& e) {
-    return error_json(400, e.what());
+  const BodyEncoding encoding = body_encoding(request);
+  if (encoding == BodyEncoding::kUnknown) return unsupported_media_type();
+  EncodingCounters& counters = encoding == BodyEncoding::kFrame ? wire_binary_ : wire_json_;
+  counters.requests.fetch_add(1, std::memory_order_relaxed);
+  counters.request_bytes.fetch_add(request.body.size(), std::memory_order_relaxed);
+
+  // Only cheap admission work runs here on the loop thread: a byte-capped
+  // JSON parse, or for frames just a header + matrix-ref peek. Full
+  // materialization — payload decode, O(n^3) scenario generation — is
+  // deferred to the job worker, so a heavy or semantically bogus body can
+  // never stall the event loop: schema defects surface as state=failed
+  // with the validation message when the job is polled. A by-ref request
+  // IS resolved now (one hash-map probe) so a cold ref answers 404
+  // synchronously — the client's signal to re-upload and retry — and the
+  // resolved matrix rides into the worker closure as a shared_ptr, immune
+  // to store eviction between admission and pickup.
+  std::function<service::SolveRequest()> make_request;
+  if (encoding == BodyEncoding::kFrame) {
+    std::optional<std::uint64_t> ref;
+    try {
+      ref = wire::peek_request_matrix_ref(request.body);
+    } catch (const wire::WireError& e) {
+      return error_json(400, e.what());
+    }
+    std::shared_ptr<const linalg::Matrix<double>> resolved;
+    if (ref) {
+      resolved = service_.matrix_store().get(*ref);
+      if (!resolved) return matrix_miss_json(*ref);
+    }
+    make_request = [body = request.body, resolved = std::move(resolved)] {
+      service::MatrixResolver resolve;
+      if (resolved) resolve = [&resolved](std::uint64_t) { return resolved; };
+      return wire::decode_request(body, resolve);
+    };
+  } else {
+    Json body;
+    try {
+      body = Json::parse(request.body);
+    } catch (const JsonParseError& e) {
+      return error_json(400, e.what());
+    }
+    std::shared_ptr<const linalg::Matrix<double>> resolved;
+    if (body.contains("matrix_ref")) {
+      std::uint64_t ref = 0;
+      try {
+        ref = service::u64_from_hex(body.at("matrix_ref").as_string());
+      } catch (const std::exception& e) {
+        return error_json(400, e.what());
+      }
+      resolved = service_.matrix_store().get(ref);
+      if (!resolved) return matrix_miss_json(ref);
+    }
+    make_request = [body = std::move(body), resolved = std::move(resolved)] {
+      service::MatrixResolver resolve;
+      if (resolved) resolve = [&resolved](std::uint64_t) { return resolved; };
+      return service::request_from_json(body, resolve);
+    };
   }
 
   // The render callback also runs on the worker, so a terminal result is
   // serialized exactly once no matter how often it is polled.
   const auto job_id = service_.submit_job(
-      std::function<service::SolveRequest()>(
-          [body = std::move(body)] { return service::request_from_json(body); }),
+      std::move(make_request),
       [](const service::SolveResult& result) { return service::to_json(result).dump(); });
   if (!job_id) {
     HttpResponse r = error_json(429, "job queue full; retry later");
@@ -119,9 +228,96 @@ HttpResponse SolverDaemon::job_status(const PathParams& params) {
     // thread for every poll. The envelope dump is a non-empty object, so
     // inserting before its closing '}' keeps the body valid JSON.
     response.body.insert(response.body.size() - 1, ",\"result\":" + *status->rendered);
+    wire_json_.responses.fetch_add(1, std::memory_order_relaxed);
+    wire_json_.response_bytes.fetch_add(status->rendered->size(), std::memory_order_relaxed);
   }
   response.body += "\n";
   return response;
+}
+
+HttpResponse SolverDaemon::job_result(const HttpRequest& request, const PathParams& params) {
+  const auto status = service_.job_status(params.get("id"));
+  if (!status) return error_json(404, "unknown job id");
+  if (status->state != service::JobState::kDone || !status->result) {
+    Json j = Json::object();
+    j["error"] = "job has no result";
+    j["state"] = service::to_string(status->state);
+    if (!status->error.empty()) j["detail"] = printable(status->error);
+    return json_response(409, std::move(j));
+  }
+
+  const std::string* accept = request.header("Accept");
+  if (accept != nullptr && wire::is_frame_content_type(*accept)) {
+    HttpResponse r;
+    r.content_type = wire::kContentType;
+    r.body = wire::encode_result(*status->result);
+    wire_binary_.responses.fetch_add(1, std::memory_order_relaxed);
+    wire_binary_.response_bytes.fetch_add(r.body.size(), std::memory_order_relaxed);
+    return r;
+  }
+  HttpResponse r;
+  r.body = status->rendered ? *status->rendered : service::to_json(*status->result).dump();
+  wire_json_.responses.fetch_add(1, std::memory_order_relaxed);
+  wire_json_.response_bytes.fetch_add(r.body.size(), std::memory_order_relaxed);
+  r.body += "\n";
+  return r;
+}
+
+HttpResponse SolverDaemon::upload_matrix(const HttpRequest& request) {
+  const BodyEncoding encoding = body_encoding(request);
+  if (encoding == BodyEncoding::kUnknown) return unsupported_media_type();
+  EncodingCounters& counters = encoding == BodyEncoding::kFrame ? wire_binary_ : wire_json_;
+  counters.requests.fetch_add(1, std::memory_order_relaxed);
+  counters.request_bytes.fetch_add(request.body.size(), std::memory_order_relaxed);
+
+  // Decoding runs on the loop thread: a kMatrix frame decodes as one
+  // bounds check plus a memcpy, and uploads are rare next to submits.
+  linalg::Matrix<double> A;
+  try {
+    if (encoding == BodyEncoding::kFrame) {
+      A = wire::decode_matrix(request.body);
+    } else {
+      const Json body = Json::parse(request.body);
+      A = service::matrix_from_json(body.contains("matrix") ? body.at("matrix") : body);
+    }
+  } catch (const std::exception& e) {  // WireError / JsonParseError / validation
+    return error_json(400, e.what());
+  }
+  if (A.rows() != A.cols()) return error_json(400, "store: square matrix required");
+
+  const std::uint64_t hash = service::hash_matrix(A);
+  const std::size_t rows = A.rows();
+  const bool created = !service_.matrix_store().contains(hash);
+  service_.matrix_store().put(hash, std::move(A));
+
+  Json j = Json::object();
+  j["matrix_ref"] = service::u64_hex(hash);
+  j["rows"] = static_cast<double>(rows);
+  j["cols"] = static_cast<double>(rows);
+  j["bytes"] = static_cast<double>(rows * rows * sizeof(double));
+  j["created"] = created;
+  return json_response(created ? 201 : 200, std::move(j));
+}
+
+HttpResponse SolverDaemon::matrix_info(const PathParams& params) {
+  std::uint64_t ref = 0;
+  try {
+    ref = service::u64_from_hex(params.get("ref"));
+  } catch (const std::exception& e) {
+    return error_json(400, e.what());
+  }
+  // get(), not contains(): a probe refreshes recency (a client checking
+  // before a burst of by-ref submits keeps the entry warm) and shows up
+  // in the hit/miss counters like any other resolution.
+  const auto m = service_.matrix_store().get(ref);
+  if (!m) return matrix_miss_json(ref);
+
+  Json j = Json::object();
+  j["matrix_ref"] = service::u64_hex(ref);
+  j["rows"] = static_cast<double>(m->rows());
+  j["cols"] = static_cast<double>(m->cols());
+  j["bytes"] = static_cast<double>(m->rows() * m->cols() * sizeof(double));
+  return json_response(200, std::move(j));
 }
 
 HttpResponse SolverDaemon::cancel_job(const PathParams& params) {
@@ -235,6 +431,40 @@ std::string SolverDaemon::metrics_text() const {
   m.counter("mpqls_jobs_failed_total", "Async jobs that reached state failed.", queue.failed);
   m.counter("mpqls_jobs_cancelled_total", "Queued jobs cancelled via DELETE before pickup.",
             queue.cancelled);
+
+  const auto store = service_.matrix_store().stats();
+  m.gauge("mpqls_store_entries", "Matrices resident in the content-addressed store.",
+          static_cast<std::uint64_t>(store.entries));
+  m.gauge("mpqls_store_bytes", "Bytes resident in the content-addressed store.",
+          static_cast<std::uint64_t>(store.bytes));
+  m.gauge("mpqls_store_capacity_bytes", "Byte budget of the content-addressed store.",
+          static_cast<std::uint64_t>(store.capacity_bytes));
+  m.counter("mpqls_store_hits_total", "matrix_ref resolutions served from the store.",
+            store.hits);
+  m.counter("mpqls_store_misses_total",
+            "matrix_ref resolutions that missed (each answers 404: re-upload and retry).",
+            store.misses);
+  m.counter("mpqls_store_puts_total",
+            "Matrix uploads accepted (idempotent re-puts of a resident hash included).",
+            store.puts);
+  m.counter("mpqls_store_evictions_total", "Matrices evicted by LRU byte pressure.",
+            store.evictions);
+
+  const auto wire_family = [&m](const char* name, const char* help, std::uint64_t json_value,
+                                std::uint64_t binary_value) {
+    m.counter(name, help, json_value, {{"encoding", "json"}});
+    m.counter(name, help, binary_value, {{"encoding", "binary"}});
+  };
+  wire_family("mpqls_wire_requests_total",
+              "Job submissions and matrix uploads received, by body encoding.",
+              wire_json_.requests.load(), wire_binary_.requests.load());
+  wire_family("mpqls_wire_request_bytes_total",
+              "Body bytes received by submits and uploads, by encoding.",
+              wire_json_.request_bytes.load(), wire_binary_.request_bytes.load());
+  wire_family("mpqls_wire_responses_total", "Result payloads served, by encoding.",
+              wire_json_.responses.load(), wire_binary_.responses.load());
+  wire_family("mpqls_wire_response_bytes_total", "Result payload bytes served, by encoding.",
+              wire_json_.response_bytes.load(), wire_binary_.response_bytes.load());
 
   m.counter("mpqls_http_requests_total", "Fully parsed HTTP requests.", http.requests);
   m.counter("mpqls_http_parse_errors_total",

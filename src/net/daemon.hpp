@@ -1,21 +1,39 @@
 // The networked front-end of the solver service: routes
 //
-//   POST   /v1/jobs       enqueue a JSON job     -> 202 {job_id}
-//                         queue full             -> 429 (+Retry-After)
-//                         draining               -> 503
-//                         malformed body         -> 400 (with byte offset)
-//   GET    /v1/jobs       bounded listing        -> 200 (?limit=N, newest first)
-//   GET    /v1/jobs/{id}  poll status/result     -> 200 / 404
-//   DELETE /v1/jobs/{id}  cancel a queued job    -> 200 / 404 / 409 (not queued)
-//   GET    /v1/healthz    liveness               -> 200
-//   GET    /v1/metrics    Prometheus text        -> 200
+//   POST   /v1/jobs            enqueue a job          -> 202 {job_id}
+//                              (JSON body by default; Content-Type:
+//                              application/x-mpqls-frame selects the
+//                              binary codec in src/wire)
+//                              queue full             -> 429 (+Retry-After)
+//                              draining               -> 503
+//                              malformed body         -> 400 (byte offset,
+//                              never payload bytes)
+//                              unknown Content-Type   -> 415
+//                              cold matrix_ref        -> 404 (re-upload, retry)
+//   GET    /v1/jobs            bounded listing        -> 200 (?limit=N)
+//   GET    /v1/jobs/{id}       poll status/result     -> 200 / 404
+//   GET    /v1/jobs/{id}/result  finished result only -> 200 / 404 / 409;
+//                              Accept: application/x-mpqls-frame returns
+//                              the binary encoding
+//   DELETE /v1/jobs/{id}       cancel a queued job    -> 200 / 404 / 409
+//   PUT    /v1/matrices        content-addressed upload -> 201/200
+//                              {matrix_ref} (binary kMatrix frame or JSON
+//                              matrix object; idempotent by content hash)
+//   GET    /v1/matrices/{ref}  store probe            -> 200 / 404
+//   GET    /v1/healthz         liveness               -> 200
+//   GET    /v1/metrics         Prometheus text        -> 200
 //
 // onto SolverService. Handlers run on the HTTP event-loop thread and only
 // parse (byte-capped), enqueue, or snapshot — request materialization
 // (scenario matrices are O(n^3) to generate) and every solve happen on
-// the service's pools, so the loop never blocks. Consequence: schema
-// defects in well-formed JSON are admitted and surface as state=failed
-// with the validation message, not as a 400.
+// the service's pools, so the loop never blocks. Binary admission goes one
+// step further: only the frame prefix (id + matrix kind/ref) is examined
+// on the loop; full payload decode happens on the job worker. Consequence:
+// schema defects in a well-formed body are admitted and surface as
+// state=failed with the validation message, not as a 400. The exception is
+// a cold matrix_ref, which IS checked at admission (a store lookup is one
+// hash-map probe) so the client gets the 404 re-upload signal
+// synchronously instead of a failed job.
 #pragma once
 
 #include <atomic>
@@ -70,9 +88,24 @@ class SolverDaemon {
   HttpResponse handle(const HttpRequest& request);
   HttpResponse submit_job(const HttpRequest& request);
   HttpResponse job_status(const PathParams& params);
+  HttpResponse job_result(const HttpRequest& request, const PathParams& params);
   HttpResponse cancel_job(const PathParams& params);
   HttpResponse list_jobs(const HttpRequest& request);
+  HttpResponse upload_matrix(const HttpRequest& request);
+  HttpResponse matrix_info(const PathParams& params);
   HttpResponse healthz() const;
+
+  /// Traffic accounting for one body encoding (the mpqls_wire_* metric
+  /// families, labeled encoding="json"/"binary"). Requests count job
+  /// submissions and matrix uploads; responses count result payloads
+  /// served. Atomics: handlers run on the event loop but metrics_text()
+  /// may be called from any thread.
+  struct EncodingCounters {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> request_bytes{0};
+    std::atomic<std::uint64_t> responses{0};
+    std::atomic<std::uint64_t> response_bytes{0};
+  };
 
   DaemonOptions options_;
   service::SolverService service_;
@@ -80,6 +113,8 @@ class SolverDaemon {
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopped_{false};
   Timer uptime_;
+  EncodingCounters wire_json_;
+  EncodingCounters wire_binary_;
   // Declared last so it is destroyed FIRST: ~HttpServer joins the event
   // loop, which may still be dispatching into handle() — every member it
   // touches must outlive it (same pattern as SolverService's pools).

@@ -154,6 +154,7 @@ bool parse_limit_param(std::string_view query, std::size_t cap, std::size_t* out
 const char* status_reason(int status) {
   switch (status) {
     case 200: return "OK";
+    case 201: return "Created";
     case 202: return "Accepted";
     case 204: return "No Content";
     case 400: return "Bad Request";
@@ -162,6 +163,7 @@ const char* status_reason(int status) {
     case 408: return "Request Timeout";
     case 409: return "Conflict";
     case 413: return "Content Too Large";
+    case 415: return "Unsupported Media Type";
     case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
@@ -201,7 +203,8 @@ std::string to_wire(const HttpResponse& response) {
 
 std::string to_wire_request(const std::string& method, const std::string& target,
                             const std::string& host, const std::string& body,
-                            const std::string& content_type, bool keep_alive) {
+                            const std::string& content_type, bool keep_alive,
+                            const HeaderList& extra) {
   std::string out;
   out.reserve(128 + body.size());
   out += method;
@@ -210,6 +213,12 @@ std::string to_wire_request(const std::string& method, const std::string& target
   out += " HTTP/1.1\r\nHost: ";
   out += host;
   out += "\r\n";
+  for (const auto& [k, v] : extra) {
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
   if (!body.empty()) {
     out += "Content-Type: ";
     out += content_type;

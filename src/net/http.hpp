@@ -58,9 +58,11 @@ const char* status_reason(int status);
 std::string to_wire(const HttpResponse& response);
 
 /// Wire form of a client request (adds Host, Content-Length, Connection).
+/// `extra` headers (e.g. Accept) are emitted verbatim after Host.
 std::string to_wire_request(const std::string& method, const std::string& target,
                             const std::string& host, const std::string& body,
-                            const std::string& content_type, bool keep_alive);
+                            const std::string& content_type, bool keep_alive,
+                            const HeaderList& extra = {});
 
 enum class ParseState {
   kHead,      ///< accumulating request/status line + headers

@@ -30,9 +30,10 @@ const char* to_string(HttpErrorCategory category) {
 }
 
 HttpClient::Response HttpClient::request(const std::string& method, const std::string& target,
-                                         std::string body, std::string content_type) {
+                                         std::string body, std::string content_type,
+                                         const HeaderList& extra_headers) {
   const std::string wire = to_wire_request(method, target, host_, body, content_type,
-                                           /*keep_alive=*/true);
+                                           /*keep_alive=*/true, extra_headers);
   const bool reused = sock_.valid();
   if (!reused) {
     try {

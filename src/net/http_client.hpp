@@ -59,17 +59,27 @@ class HttpClient {
   HttpClient(std::string host, std::uint16_t port, Deadlines deadlines = {})
       : host_(std::move(host)), port_(port), deadlines_(deadlines) {}
 
-  Response get(const std::string& target) { return request("GET", target, ""); }
+  Response get(const std::string& target, const HeaderList& extra_headers = {}) {
+    return request("GET", target, "", "application/json", extra_headers);
+  }
   Response post(const std::string& target, std::string body,
-                std::string content_type = "application/json") {
-    return request("POST", target, std::move(body), std::move(content_type));
+                std::string content_type = "application/json",
+                const HeaderList& extra_headers = {}) {
+    return request("POST", target, std::move(body), std::move(content_type), extra_headers);
+  }
+  Response put(const std::string& target, std::string body,
+               std::string content_type = "application/json",
+               const HeaderList& extra_headers = {}) {
+    return request("PUT", target, std::move(body), std::move(content_type), extra_headers);
   }
   Response del(const std::string& target) { return request("DELETE", target, ""); }
 
   /// Generic request entry point (the worker pool forwards arbitrary
-  /// method/target pairs through this).
+  /// method/target pairs through this). `extra_headers` ride along
+  /// verbatim — how callers negotiate binary responses (Accept).
   Response request(const std::string& method, const std::string& target, std::string body,
-                   std::string content_type = "application/json");
+                   std::string content_type = "application/json",
+                   const HeaderList& extra_headers = {});
 
   /// Drop the cached connection; the next request reconnects.
   void disconnect() { sock_.close(); }

@@ -8,43 +8,11 @@
 #include "common/rng.hpp"
 #include "linalg/random_matrix.hpp"
 #include "linalg/sparse.hpp"
+#include "service/limits.hpp"
 
 namespace mpqls::service {
 
 namespace {
-
-// Requests arrive from the network, so scenario sizes are attacker
-// controlled: a 70-byte body must not be able to demand a dense
-// 200000^2 matrix (~320 GB) or a million right-hand sides. 4096^2
-// doubles = 128 MiB is the most a single job may materialize.
-constexpr std::size_t kMaxDimension = 4096;
-constexpr std::size_t kMaxRhsCount = 1024;
-
-std::size_t checked_dimension(std::size_t n) {
-  expects(n >= 1 && n <= kMaxDimension, "json: matrix dimension out of range");
-  return n;
-}
-
-// 64-bit hashes do not fit a JSON double losslessly; ship them as hex.
-std::string u64_hex(std::uint64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
-  return buf;
-}
-
-std::uint64_t u64_from_hex(const std::string& s) {
-  // Strict: hex digits only (strtoull alone would accept "-1" or "0x..").
-  expects(!s.empty() && s.size() <= 16, "json: bad hex hash length");
-  std::uint64_t v = 0;
-  for (char c : s) {
-    v <<= 4;
-    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
-    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
-    else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint64_t>(c - 'A' + 10);
-    else expects(false, "json: bad hex hash");
-  }
-  return v;
-}
 
 Json vector_to_json(const linalg::Vector<double>& v) {
   Json a = Json::array();
@@ -143,18 +111,6 @@ Json options_to_json(const solver::QsvtIrOptions& o) {
   j["residual_precision"] = residual_precision_name(o.residual_precision);
   j["qsvt"] = std::move(q);
   return j;
-}
-
-// Cost knobs are attacker controlled too: without bounds, a tiny body
-// with shots=1e13 or max_iterations=2e9 wedges a job worker for days —
-// the same threat the dimension caps exist for. Bounds are ~100x the
-// largest values the benches use.
-constexpr std::int64_t kMaxIterations = 100000;       ///< refinement + QSP loops
-constexpr std::uint64_t kMaxShots = 1000000000;       ///< 1e9 readout shots
-
-std::int64_t checked_iterations(std::int64_t v) {
-  expects(v >= 1 && v <= kMaxIterations, "json: iteration count out of range");
-  return v;
 }
 
 solver::QsvtIrOptions options_from_json(const Json& j) {
@@ -355,16 +311,21 @@ SolveResult result_from_json(const Json& j) {
 Json to_json(const SolveRequest& request) {
   Json j = Json::object();
   j["id"] = request.id;
-  Json m = Json::object();
-  m["scenario"] = "dense";
-  Json rows = Json::array();
-  for (std::size_t i = 0; i < request.A.rows(); ++i) {
-    Json row = Json::array();
-    for (std::size_t c = 0; c < request.A.cols(); ++c) row.push_back(request.A(i, c));
-    rows.push_back(std::move(row));
+  if (request.matrix_ref != 0) {
+    // By-reference form: the 16-char hash replaces the matrix object.
+    j["matrix_ref"] = u64_hex(request.matrix_ref);
+  } else {
+    Json m = Json::object();
+    m["scenario"] = "dense";
+    Json rows = Json::array();
+    for (std::size_t i = 0; i < request.A.rows(); ++i) {
+      Json row = Json::array();
+      for (std::size_t c = 0; c < request.A.cols(); ++c) row.push_back(request.A(i, c));
+      rows.push_back(std::move(row));
+    }
+    m["rows"] = std::move(rows);
+    j["matrix"] = std::move(m);
   }
-  m["rows"] = std::move(rows);
-  j["matrix"] = std::move(m);
   Json rhs = Json::object();
   Json vectors = Json::array();
   for (const auto& b : request.rhs) vectors.push_back(vector_to_json(b));
@@ -374,49 +335,75 @@ Json to_json(const SolveRequest& request) {
   return j;
 }
 
-SolveRequest request_from_json(const Json& j) {
-  SolveRequest req;
-  req.id = j.string_or("id", "");
-
-  const Json& m = j.at("matrix");
+linalg::Matrix<double> matrix_from_json(const Json& m) {
+  linalg::Matrix<double> A;
   const std::string scenario = m.string_or("scenario", "dense");
   if (scenario == "dense") {
     const auto& rows = m.at("rows").as_array();
     const std::size_t n = checked_dimension(rows.size());
-    req.A = linalg::Matrix<double>(n, checked_dimension(rows[0].as_array().size()));
+    A = linalg::Matrix<double>(n, checked_dimension(rows[0].as_array().size()));
     for (std::size_t i = 0; i < n; ++i) {
       const auto& row = rows[i].as_array();
-      expects(row.size() == req.A.cols(), "json: ragged matrix");
-      for (std::size_t c = 0; c < row.size(); ++c) req.A(i, c) = row[c].as_number();
+      expects(row.size() == A.cols(), "json: ragged matrix");
+      for (std::size_t c = 0; c < row.size(); ++c) A(i, c) = row[c].as_number();
     }
   } else if (scenario == "poisson1d") {
-    req.A = linalg::poisson1d(checked_dimension(m.at("n").as_uint()));
+    A = linalg::poisson1d(checked_dimension(m.at("n").as_uint()));
   } else if (scenario == "poisson2d") {
     const auto nx = static_cast<std::size_t>(m.at("nx").as_uint());
     const auto ny = static_cast<std::size_t>(m.at("ny").as_uint());
     expects(nx >= 1 && ny >= 1 && nx <= kMaxDimension && ny <= kMaxDimension &&
                 nx * ny <= kMaxDimension,
             "json: matrix dimension out of range");
-    req.A = linalg::CsrMatrix::dirichlet_laplacian_2d(nx, ny).to_dense();
+    A = linalg::CsrMatrix::dirichlet_laplacian_2d(nx, ny).to_dense();
   } else if (scenario == "tridiagonal") {
-    req.A = linalg::dirichlet_laplacian(checked_dimension(m.at("n").as_uint()));
+    A = linalg::dirichlet_laplacian(checked_dimension(m.at("n").as_uint()));
   } else if (scenario == "random") {
     Xoshiro256 rng(m.uint_or("seed", 1));
-    req.A = linalg::random_with_cond(rng, checked_dimension(m.at("n").as_uint()),
-                                     m.number_or("kappa", 10.0));
+    A = linalg::random_with_cond(rng, checked_dimension(m.at("n").as_uint()),
+                                 m.number_or("kappa", 10.0));
   } else {
     expects(false, "json: unknown matrix scenario");
   }
+  return A;
+}
 
-  const std::size_t n = req.A.rows();
+SolveRequest request_from_json(const Json& j, const MatrixResolver& resolve) {
+  SolveRequest req;
+  req.id = j.string_or("id", "");
+
+  if (j.contains("matrix_ref")) {
+    // By-reference request: the matrix was uploaded ahead of time
+    // (PUT /v1/matrices) and travels as its content hash. Resolution needs
+    // a store behind the resolver; a miss is the resolver's to signal
+    // (MatrixRefMiss -> 404 at the daemon). Without a resolver the ref is
+    // parsed but left unresolved — rhs generators that need dimensions
+    // will then reject the request.
+    req.matrix_ref = u64_from_hex(j.at("matrix_ref").as_string());
+    expects(req.matrix_ref != 0, "json: matrix_ref must be nonzero");
+    if (resolve) {
+      req.shared_A = resolve(req.matrix_ref);
+      expects(req.shared_A != nullptr, "json: unknown matrix_ref");
+    }
+  } else {
+    req.A = matrix_from_json(j.at("matrix"));
+  }
+
+  // 0 only for an unresolved matrix_ref; explicit rhs vectors then check
+  // mutual consistency here and against the store entry at solve time.
+  const std::size_t n = req.matrix().rows();
   const Json& rhs = j.at("rhs");
   if (rhs.contains("vectors")) {
     expects(rhs.at("vectors").as_array().size() <= kMaxRhsCount, "json: too many right-hand sides");
     for (const auto& v : rhs.at("vectors").as_array()) {
       req.rhs.push_back(vector_from_json(v));
-      expects(req.rhs.back().size() == n, "json: rhs dimension mismatch");
+      const std::size_t want = n != 0 ? n : req.rhs.front().size();
+      expects(!req.rhs.back().empty() && req.rhs.back().size() <= kMaxDimension &&
+                  req.rhs.back().size() == want,
+              "json: rhs dimension mismatch");
     }
   } else {
+    expects(n != 0, "json: generated rhs needs a resolvable matrix");
     const std::string kind = rhs.at("kind").as_string();
     if (kind == "random") {
       Xoshiro256 rng(rhs.uint_or("seed", 7));

@@ -21,16 +21,24 @@ SolveResult result_from_json(const Json& j);
 /// Serialize with the matrix and right-hand sides inline (dense).
 Json to_json(const SolveRequest& request);
 
+/// Build a matrix from a request's "matrix" object (any scenario listed
+/// under request_from_json). Also the body PUT /v1/matrices accepts.
+linalg::Matrix<double> matrix_from_json(const Json& m);
+
 /// Build a request from JSON. The "matrix" object is either
 ///   {"scenario": "dense", "rows": [[...], ...]}
 ///   {"scenario": "poisson1d", "n": 16}
 ///   {"scenario": "poisson2d", "nx": 8, "ny": 8}
 ///   {"scenario": "tridiagonal", "n": 16}          (unscaled tridiag(-1,2,-1))
 ///   {"scenario": "random", "n": 16, "kappa": 10.0, "seed": 1}
-/// and "rhs" is either {"vectors": [[...], ...]},
+/// or, for a matrix uploaded to the daemon's store beforehand, a top-level
+///   "matrix_ref": "<16-char content hash>"
+/// resolved through `resolve` (see MatrixResolver; the daemon passes a
+/// store lookup that throws store::MatrixRefMiss on a cold ref).
+/// "rhs" is either {"vectors": [[...], ...]},
 /// {"kind": "random", "count": 4, "seed": 7}, or
 /// {"kind": "point", "index": 3}. "options" mirrors QsvtIrOptions.
-SolveRequest request_from_json(const Json& j);
+SolveRequest request_from_json(const Json& j, const MatrixResolver& resolve = {});
 
 /// Parse a job file: {"jobs": [<request>, ...]}.
 std::vector<SolveRequest> jobs_from_json(const Json& j);

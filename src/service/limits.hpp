@@ -1,0 +1,58 @@
+// Bounds on attacker-controlled request parameters, shared by every
+// deserializer that admits work from the network (JSON in json_io, binary
+// frames in wire/codec). Both front doors must enforce the same caps or
+// the cheaper encoding becomes the bigger attack surface: a 70-byte body
+// must not be able to demand a dense 200000^2 matrix (~320 GB), a million
+// right-hand sides, or a shot count that wedges a worker for days.
+// 4096^2 doubles = 128 MiB is the most a single job may materialize.
+//
+// Also hosts the u64 <-> hex helpers: 64-bit content hashes do not fit a
+// JSON double losslessly, so every textual surface (fingerprints,
+// matrix_ref) ships them as 16-digit hex.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/contracts.hpp"
+
+namespace mpqls::service {
+
+constexpr std::size_t kMaxDimension = 4096;
+constexpr std::size_t kMaxRhsCount = 1024;
+constexpr std::int64_t kMaxIterations = 100000;  ///< refinement + QSP loops
+constexpr std::uint64_t kMaxShots = 1000000000;  ///< 1e9 readout shots
+
+inline std::size_t checked_dimension(std::size_t n) {
+  expects(n >= 1 && n <= kMaxDimension, "request: matrix dimension out of range");
+  return n;
+}
+
+inline std::int64_t checked_iterations(std::int64_t v) {
+  expects(v >= 1 && v <= kMaxIterations, "request: iteration count out of range");
+  return v;
+}
+
+inline std::string u64_hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return buf;
+}
+
+inline std::uint64_t u64_from_hex(const std::string& s) {
+  // Strict: hex digits only (strtoull alone would accept "-1" or "0x..").
+  expects(!s.empty() && s.size() <= 16, "request: bad hex hash length");
+  std::uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else expects(false, "request: bad hex hash");
+  }
+  return v;
+}
+
+}  // namespace mpqls::service

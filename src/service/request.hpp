@@ -5,6 +5,9 @@
 // wall-clock per phase.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,11 +17,27 @@
 
 namespace mpqls::service {
 
+/// Looks up a matrix by content hash (see store::MatrixStore). Returns
+/// nullptr on a miss, or throws a caller-specific miss exception the
+/// deserializers propagate unchanged (the daemon maps it to a 404).
+using MatrixResolver =
+    std::function<std::shared_ptr<const linalg::Matrix<double>>(std::uint64_t)>;
+
 struct SolveRequest {
   std::string id;                           ///< caller-chosen job label
-  linalg::Matrix<double> A;                 ///< square system matrix
+  linalg::Matrix<double> A;                 ///< square system matrix (inline form)
   std::vector<linalg::Vector<double>> rhs;  ///< >= 1 right-hand sides
   solver::QsvtIrOptions options;            ///< eps, refinement + QSVT knobs
+
+  /// By-reference form: the content hash (service::hash_matrix) of a
+  /// matrix uploaded to the daemon's store. Nonzero means `A` is empty
+  /// and the matrix travels as `shared_A` once resolved — a store entry
+  /// shared with the cache instead of a per-job 128 MiB copy.
+  std::uint64_t matrix_ref = 0;
+  std::shared_ptr<const linalg::Matrix<double>> shared_A;
+
+  /// The system matrix regardless of how it arrived.
+  const linalg::Matrix<double>& matrix() const { return shared_A ? *shared_A : A; }
 };
 
 /// Outcome for one right-hand side of a request.

@@ -49,6 +49,7 @@ struct SolverService::JobRecord {
 SolverService::SolverService(ServiceOptions options)
     : options_(options),
       cache_(options.cache_capacity),
+      matrix_store_(options.matrix_store_bytes),
       solve_pool_(default_solve_threads(options.solve_threads)),
       job_pool_(options.job_threads) {
   queue_stats_.max_pending = options.max_pending_jobs;
@@ -56,16 +57,34 @@ SolverService::SolverService(ServiceOptions options)
 
 SolveResult SolverService::solve(const SolveRequest& request) {
   expects(!request.rhs.empty(), "service: request needs at least one right-hand side");
-  expects(request.A.rows() == request.A.cols(), "service: square matrix required");
+
+  // By-ref requests that reached us unresolved (direct service callers —
+  // the daemon resolves at admission so it can answer 404 synchronously)
+  // are looked up here; a cold ref fails the job with the miss message.
+  SolveRequest resolved;
+  const SolveRequest* req = &request;
+  if (request.matrix_ref != 0 && !request.shared_A) {
+    resolved = request;
+    resolved.shared_A = matrix_store_.get(request.matrix_ref);
+    if (!resolved.shared_A) throw store::MatrixRefMiss(request.matrix_ref);
+    req = &resolved;
+  }
+  const linalg::Matrix<double>& A = req->matrix();
+  expects(A.rows() == A.cols(), "service: square matrix required");
+  for (const auto& b : req->rhs) {
+    expects(b.size() == A.rows(), "service: rhs dimension mismatch");
+  }
 
   Timer total;
   SolveResult result;
   result.id = request.id;
-  result.fp = fingerprint(request.A, request.options.qsvt);
+  // A by-ref submit skips the O(n^2) matrix hash: the ref IS that hash.
+  result.fp.matrix_hash = req->matrix_ref != 0 ? req->matrix_ref : hash_matrix(A);
+  result.fp.options_hash = hash_options(request.options.qsvt);
 
   Timer prep;
   bool hit = false;
-  auto ctx = cache_.get_or_prepare(result.fp, request.A, request.options.qsvt, &hit);
+  auto ctx = cache_.get_or_prepare(result.fp, A, request.options.qsvt, &hit);
   result.cache_hit = hit;
   result.prepare_seconds = prep.seconds();
 
@@ -80,7 +99,7 @@ SolveResult SolverService::solve(const SolveRequest& request) {
   const bool noisy = qsvt_opts.noise.depolarizing_per_gate > 0.0 ||
                      qsvt_opts.noise.damping_per_gate > 0.0;
   const std::size_t panel_width = options_.panel_width;
-  const bool panelize = panel_width >= 2 && request.rhs.size() >= 2 &&
+  const bool panelize = panel_width >= 2 && req->rhs.size() >= 2 &&
                         qsvt_opts.backend == qsvt::Backend::kGateLevel && !noisy &&
                         qsvt_opts.shots == 0;
 
@@ -88,17 +107,18 @@ SolveResult SolverService::solve(const SolveRequest& request) {
     std::vector<RhsResult> results;
     solver::BatchSolveStats stats;
   };
+  const SolveRequest& active = *req;  ///< what the queued tasks reference
   std::vector<std::future<GroupOutcome>> pending;
   if (panelize) {
-    for (std::size_t begin = 0; begin < request.rhs.size(); begin += panel_width) {
-      const std::size_t count = std::min(panel_width, request.rhs.size() - begin);
-      pending.push_back(solve_pool_.submit([ctx, &request, begin, count] {
+    for (std::size_t begin = 0; begin < active.rhs.size(); begin += panel_width) {
+      const std::size_t count = std::min(panel_width, active.rhs.size() - begin);
+      pending.push_back(solve_pool_.submit([ctx, &active, begin, count] {
         Timer t;
         GroupOutcome out;
         auto reports = solver::solve_qsvt_ir_batch(
             *ctx,
-            std::span<const linalg::Vector<double>>(request.rhs.data() + begin, count),
-            request.options, &out.stats);
+            std::span<const linalg::Vector<double>>(active.rhs.data() + begin, count),
+            active.options, &out.stats);
         // The panel's wall clock is shared work; report it amortized so
         // per-RHS and job-level timings stay additive.
         const double per_rhs_seconds = t.seconds() / static_cast<double>(count);

@@ -29,6 +29,7 @@
 #include "common/timer.hpp"
 #include "service/context_cache.hpp"
 #include "service/request.hpp"
+#include "store/matrix_store.hpp"
 
 namespace mpqls::service {
 
@@ -52,6 +53,10 @@ struct ServiceOptions {
   /// vectorize best. Values < 2 disable panel execution; singleton,
   /// noisy and shot-seeded jobs always fall back to the scalar path.
   std::size_t panel_width = 8;
+  /// Byte budget of the content-addressed matrix store (uploads via
+  /// PUT /v1/matrices that jobs reference as {"matrix_ref": ...}). The
+  /// store clamps this up so at least one max-dimension matrix fits.
+  std::size_t matrix_store_bytes = 512u << 20;
 };
 
 /// Lifecycle of a registry job. Terminal states are kDone, kFailed and
@@ -136,6 +141,11 @@ class SolverService {
 
   ContextCache::Stats cache_stats() const { return cache_.stats(); }
 
+  /// The content-addressed matrix store by-ref submissions resolve
+  /// against (uploads, admission-time lookups, metrics).
+  store::MatrixStore& matrix_store() { return matrix_store_; }
+  const store::MatrixStore& matrix_store() const { return matrix_store_; }
+
   struct Stats {
     std::uint64_t jobs = 0;
     std::uint64_t rhs_solved = 0;
@@ -178,6 +188,7 @@ class SolverService {
 
   ServiceOptions options_;
   ContextCache cache_;
+  store::MatrixStore matrix_store_;
   // The pools are declared last so they are destroyed FIRST (reverse
   // declaration order): ~ThreadPool drains queued jobs, which still touch
   // the cache and stats members above — those must outlive the pools.

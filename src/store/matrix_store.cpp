@@ -1,0 +1,100 @@
+#include "store/matrix_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "service/fingerprint.hpp"
+
+namespace mpqls::store {
+
+namespace {
+
+std::size_t matrix_bytes(const linalg::Matrix<double>& A) {
+  return A.rows() * A.cols() * sizeof(double);
+}
+
+// The request caps admit one kMaxDimension^2 matrix = 128 MiB; any
+// smaller floor would make the largest legal upload evict itself.
+constexpr std::size_t kMinCapacityBytes =
+    service::kMaxDimension * service::kMaxDimension * sizeof(double);
+
+}  // namespace
+
+MatrixStore::MatrixStore(std::size_t capacity_bytes)
+    : capacity_bytes_(std::max(capacity_bytes, kMinCapacityBytes)) {}
+
+std::uint64_t MatrixStore::put(linalg::Matrix<double> A) {
+  const std::uint64_t hash = service::hash_matrix(A);
+  return put(hash, std::move(A));
+}
+
+std::uint64_t MatrixStore::put(std::uint64_t hash, linalg::Matrix<double> A) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++puts_;
+  const auto it = index_.find(hash);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency only
+    return hash;
+  }
+  Entry entry;
+  entry.hash = hash;
+  entry.bytes = matrix_bytes(A);
+  entry.matrix = std::make_shared<const linalg::Matrix<double>>(std::move(A));
+  bytes_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  index_[hash] = lru_.begin();
+  evict_over_capacity_locked();
+  return hash;
+}
+
+MatrixStore::MatrixPtr MatrixStore::get(std::uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(hash);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->matrix;
+}
+
+bool MatrixStore::contains(std::uint64_t hash) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.count(hash) != 0;
+}
+
+MatrixStore::Stats MatrixStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.puts = puts_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  s.capacity_bytes = capacity_bytes_;
+  return s;
+}
+
+void MatrixStore::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+void MatrixStore::evict_over_capacity_locked() {
+  // The newest entry is never evicted (size() > 1): an oversized upload
+  // stays resident until something newer arrives, which is strictly more
+  // useful than admitting it and dropping it in the same call.
+  while (bytes_ > capacity_bytes_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.hash);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace mpqls::store

@@ -1,0 +1,95 @@
+// Content-addressed LRU store of decoded matrices, sitting in front of
+// the service's ContextCache: a client uploads a matrix once
+// (PUT /v1/matrices), gets back its content hash (service::hash_matrix —
+// the same value the context cache keys on), and every later job submits
+// the 8-byte reference instead of re-shipping ~128 MiB of matrix text.
+//
+// Entries are shared_ptr<const Matrix>, so an eviction never invalidates
+// a matrix a queued or running job still holds — the same ownership rule
+// ContextCache uses for prepared contexts. Eviction is by resident bytes
+// (matrices dominate; bookkeeping is ignored), least recently *referenced*
+// first: both put() of an existing hash and get() refresh recency.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "linalg/matrix.hpp"
+#include "service/limits.hpp"
+
+namespace mpqls::store {
+
+/// Thrown where a matrix_ref names nothing resident — the daemon maps it
+/// to 404 so the client re-uploads (the self-heal half of the protocol).
+class MatrixRefMiss : public std::runtime_error {
+ public:
+  explicit MatrixRefMiss(std::uint64_t ref)
+      : std::runtime_error("store: unknown matrix_ref " + service::u64_hex(ref)), ref_(ref) {}
+
+  std::uint64_t ref() const { return ref_; }
+
+ private:
+  std::uint64_t ref_;
+};
+
+class MatrixStore {
+ public:
+  using MatrixPtr = std::shared_ptr<const linalg::Matrix<double>>;
+
+  /// `capacity_bytes` = max resident matrix bytes (clamped so at least one
+  /// kMaxDimension^2 matrix always fits — a store that cannot hold what
+  /// the request caps admit would evict every upload immediately).
+  explicit MatrixStore(std::size_t capacity_bytes);
+
+  /// Insert (or refresh) a matrix; returns its content hash. Idempotent:
+  /// re-uploading resident content only touches recency.
+  std::uint64_t put(linalg::Matrix<double> A);
+
+  /// Variant for callers that already hashed the matrix.
+  std::uint64_t put(std::uint64_t hash, linalg::Matrix<double> A);
+
+  /// The entry for `hash`, refreshing recency; nullptr on a miss.
+  MatrixPtr get(std::uint64_t hash);
+
+  /// Presence check; counts neither as hit nor miss and leaves recency
+  /// untouched (metrics probes must not distort the LRU order).
+  bool contains(std::uint64_t hash) const;
+
+  struct Stats {
+    std::uint64_t hits = 0;        ///< get() found the entry
+    std::uint64_t misses = 0;      ///< get() found nothing
+    std::uint64_t puts = 0;        ///< uploads, including re-uploads
+    std::uint64_t evictions = 0;   ///< entries dropped by byte pressure
+    std::size_t entries = 0;       ///< resident matrices
+    std::size_t bytes = 0;         ///< resident matrix bytes
+    std::size_t capacity_bytes = 0;
+  };
+  Stats stats() const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::size_t bytes = 0;
+    MatrixPtr matrix;
+  };
+
+  void evict_over_capacity_locked();
+
+  std::size_t capacity_bytes_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t puts_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace mpqls::store

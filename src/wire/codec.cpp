@@ -1,0 +1,385 @@
+#include "wire/codec.hpp"
+
+#include <cctype>
+
+#include "common/contracts.hpp"
+#include "common/hash.hpp"
+#include "service/limits.hpp"
+#include "wire/frame.hpp"
+
+namespace mpqls::wire {
+
+namespace {
+
+using service::kMaxDimension;
+using service::kMaxRhsCount;
+
+constexpr std::size_t kMaxIdBytes = 4096;       ///< job labels are short strings
+constexpr std::size_t kMaxPayloadString = 65536;  ///< comm-event payload names
+// One residual per refinement iteration plus the initial solve; telemetry
+// entries follow the same count.
+constexpr std::size_t kMaxPerSolveEntries =
+    static_cast<std::size_t>(service::kMaxIterations) + 2;
+
+std::uint8_t checked_enum(WireReader& r, std::uint8_t max, const char* what) {
+  const std::size_t at = r.offset();
+  const std::uint8_t v = r.u8();
+  if (v > max) throw WireError(what, at);
+  return v;
+}
+
+std::size_t read_dimension(WireReader& r) {
+  const std::size_t at = r.offset();
+  const std::uint32_t n = r.u32();
+  if (n < 1 || n > kMaxDimension) throw WireError("matrix dimension out of range", at);
+  return n;
+}
+
+// --- options ---------------------------------------------------------------
+// Fixed-size block, every QsvtIrOptions field in declaration order. The
+// encoder and decoder must stay in lockstep; the JSON round-trip parity
+// test is what catches a drifted field.
+
+void write_options(WireWriter& w, const solver::QsvtIrOptions& o) {
+  w.u8(static_cast<std::uint8_t>(o.qsvt.backend))
+      .u8(static_cast<std::uint8_t>(o.qsvt.precision))
+      .u8(static_cast<std::uint8_t>(o.qsvt.poly_method))
+      .u8(static_cast<std::uint8_t>(o.qsvt.encoding))
+      .u8(o.use_brent ? 1 : 0)
+      .u8(static_cast<std::uint8_t>(o.residual_precision))
+      .f64(o.eps)
+      .i64(o.max_iterations)
+      .f64(o.qsvt.eps_l)
+      .f64(o.qsvt.kappa)
+      .f64(o.qsvt.kappa_margin)
+      .u64(o.qsvt.shots)
+      .u64(o.qsvt.seed)
+      .f64(o.qsvt.noise.depolarizing_per_gate)
+      .f64(o.qsvt.noise.damping_per_gate)
+      .i64(o.qsvt.qsp_options.max_fpi_iterations)
+      .i64(o.qsvt.qsp_options.max_newton_iterations)
+      .i64(o.qsvt.qsp_options.max_lbfgs_iterations)
+      .f64(o.qsvt.qsp_options.tolerance)
+      .f64(o.qsvt.qsp_options.lbfgs_threshold)
+      .u8(o.qsvt.qsp_options.enable_newton ? 1 : 0)
+      .u8(o.qsvt.qsp_options.enable_lbfgs ? 1 : 0);
+}
+
+solver::QsvtIrOptions read_options(WireReader& r) {
+  solver::QsvtIrOptions o;
+  o.qsvt.backend = static_cast<qsvt::Backend>(checked_enum(r, 1, "unknown backend"));
+  o.qsvt.precision = static_cast<qsvt::QpuPrecision>(checked_enum(r, 1, "unknown precision"));
+  o.qsvt.poly_method =
+      static_cast<qsvt::PolyMethod>(checked_enum(r, 1, "unknown poly method"));
+  o.qsvt.encoding = static_cast<qsvt::EncodingKind>(checked_enum(r, 2, "unknown encoding"));
+  o.use_brent = checked_enum(r, 1, "bad use_brent flag") != 0;
+  o.residual_precision = static_cast<solver::ResidualPrecision>(
+      checked_enum(r, 1, "unknown residual precision"));
+  o.eps = r.f64();
+  o.max_iterations = static_cast<int>(service::checked_iterations(r.i64()));
+  o.qsvt.eps_l = r.f64();
+  o.qsvt.kappa = r.f64();
+  o.qsvt.kappa_margin = r.f64();
+  o.qsvt.shots = r.u64();
+  expects(o.qsvt.shots <= service::kMaxShots, "request: shots out of range");
+  o.qsvt.seed = r.u64();
+  o.qsvt.noise.depolarizing_per_gate = r.f64();
+  o.qsvt.noise.damping_per_gate = r.f64();
+  auto& s = o.qsvt.qsp_options;
+  s.max_fpi_iterations = static_cast<int>(service::checked_iterations(r.i64()));
+  s.max_newton_iterations = static_cast<int>(service::checked_iterations(r.i64()));
+  s.max_lbfgs_iterations = static_cast<int>(service::checked_iterations(r.i64()));
+  s.tolerance = r.f64();
+  s.lbfgs_threshold = r.f64();
+  s.enable_newton = checked_enum(r, 1, "bad enable_newton flag") != 0;
+  s.enable_lbfgs = checked_enum(r, 1, "bad enable_lbfgs flag") != 0;
+  return o;
+}
+
+// --- matrices --------------------------------------------------------------
+
+void write_matrix(WireWriter& w, const linalg::Matrix<double>& A) {
+  w.u32(static_cast<std::uint32_t>(A.rows())).u32(static_cast<std::uint32_t>(A.cols()));
+  w.f64_array(A.data(), A.rows() * A.cols());
+}
+
+linalg::Matrix<double> read_matrix(WireReader& r) {
+  const std::size_t rows = read_dimension(r);
+  const std::size_t cols = read_dimension(r);
+  const std::size_t at = r.offset();
+  const std::uint64_t declared = r.u64();
+  if (declared != rows * cols) throw WireError("matrix element count mismatch", at);
+  linalg::Matrix<double> A(rows, cols);
+  r.read_doubles(A.data(), rows * cols);
+  return A;
+}
+
+// --- vectors ---------------------------------------------------------------
+
+void write_vector(WireWriter& w, const linalg::Vector<double>& v) {
+  w.f64_array(v.data(), v.size());
+}
+
+linalg::Vector<double> read_vector(WireReader& r, std::size_t max_len) {
+  std::vector<double> out;
+  r.f64_array(out, max_len);
+  return out;
+}
+
+// --- comm log --------------------------------------------------------------
+
+void write_comm(WireWriter& w, const hybrid::CommLog& log) {
+  w.u32(static_cast<std::uint32_t>(log.events().size()));
+  for (const auto& e : log.events()) {
+    w.u8(e.direction == hybrid::Direction::kCpuToQpu ? 0 : 1)
+        .str(e.payload)
+        .u64(e.bytes)
+        .i64(e.iteration);
+  }
+}
+
+hybrid::CommLog read_comm(WireReader& r) {
+  hybrid::CommLog log;
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto dir = checked_enum(r, 1, "unknown comm direction") == 0
+                         ? hybrid::Direction::kCpuToQpu
+                         : hybrid::Direction::kQpuToCpu;
+    std::string payload = r.str(kMaxPayloadString);
+    const std::uint64_t bytes = r.u64();
+    const int iteration = static_cast<int>(r.i64());
+    log.record(dir, std::move(payload), bytes, iteration);
+  }
+  return log;
+}
+
+// --- reports ---------------------------------------------------------------
+
+void write_report(WireWriter& w, const solver::QsvtIrReport& rep) {
+  write_vector(w, rep.x);
+  w.f64_array(rep.scaled_residuals.data(), rep.scaled_residuals.size());
+  w.i64(rep.iterations)
+      .u8(rep.converged ? 1 : 0)
+      .f64(rep.kappa)
+      .f64(rep.eps_l_requested)
+      .f64(rep.eps_l_effective)
+      .i64(rep.poly_degree)
+      .f64(rep.poly_scale)
+      .u64(rep.theoretical_iteration_bound)
+      .u64(rep.total_be_calls)
+      .u64(rep.program_source_gates)
+      .u64(rep.program_ops)
+      .u64(rep.program_depth)
+      .f64(rep.program_compile_seconds);
+  w.u32(static_cast<std::uint32_t>(rep.solves.size()));
+  for (const auto& s : rep.solves) {
+    w.f64(s.mu).f64(s.success_probability).u64(s.be_calls).u64(s.circuit_gates);
+  }
+  write_comm(w, rep.comm);
+}
+
+solver::QsvtIrReport read_report(WireReader& r) {
+  solver::QsvtIrReport rep;
+  rep.x = read_vector(r, kMaxDimension);
+  r.f64_array(rep.scaled_residuals, kMaxPerSolveEntries);
+  rep.iterations = static_cast<int>(r.i64());
+  rep.converged = r.u8() != 0;
+  rep.kappa = r.f64();
+  rep.eps_l_requested = r.f64();
+  rep.eps_l_effective = r.f64();
+  rep.poly_degree = static_cast<int>(r.i64());
+  rep.poly_scale = r.f64();
+  rep.theoretical_iteration_bound = r.u64();
+  rep.total_be_calls = r.u64();
+  rep.program_source_gates = r.u64();
+  rep.program_ops = r.u64();
+  rep.program_depth = r.u64();
+  rep.program_compile_seconds = r.f64();
+  const std::size_t at = r.offset();
+  const std::uint32_t telemetry = r.u32();
+  if (telemetry > kMaxPerSolveEntries) throw WireError("telemetry count over cap", at);
+  rep.solves.reserve(telemetry);
+  for (std::uint32_t i = 0; i < telemetry; ++i) {
+    solver::SolveTelemetry s;
+    s.mu = r.f64();
+    s.success_probability = r.f64();
+    s.be_calls = r.u64();
+    s.circuit_gates = r.u64();
+    rep.solves.push_back(s);
+  }
+  rep.comm = read_comm(r);
+  return rep;
+}
+
+/// Reader over a frame's payload with absolute (whole-frame) offsets in
+/// the errors, plus the tag check every decode entry point shares.
+WireReader payload_reader(std::string_view frame, FrameTag want) {
+  const FrameView view = open_frame(frame);
+  if (view.tag != want) throw WireError("unexpected frame tag", 5);
+  return WireReader(view.payload, kFrameHeaderBytes);
+}
+
+}  // namespace
+
+bool is_frame_content_type(std::string_view value) {
+  // Strip parameters (";charset=...") and surrounding spaces.
+  const auto semi = value.find(';');
+  if (semi != std::string_view::npos) value = value.substr(0, semi);
+  while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+  while (!value.empty() && value.back() == ' ') value.remove_suffix(1);
+  const std::string_view want = kContentType;
+  if (value.size() != want.size()) return false;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(value[i])) != want[i]) return false;
+  }
+  return true;
+}
+
+std::string encode_request(const service::SolveRequest& request) {
+  WireWriter w;
+  w.str(request.id);
+  if (request.matrix_ref != 0) {
+    w.u8(1).u64(request.matrix_ref);
+  } else {
+    w.u8(0);
+    write_matrix(w, request.A);
+  }
+  write_options(w, request.options);
+  w.u32(static_cast<std::uint32_t>(request.rhs.size()));
+  for (const auto& b : request.rhs) write_vector(w, b);
+  return seal_frame(FrameTag::kSolveRequest, w.take());
+}
+
+service::SolveRequest decode_request(std::string_view frame,
+                                     const service::MatrixResolver& resolve) {
+  WireReader r = payload_reader(frame, FrameTag::kSolveRequest);
+  service::SolveRequest req;
+  req.id = r.str(kMaxIdBytes);
+  const std::uint8_t kind = checked_enum(r, 1, "unknown matrix kind");
+  if (kind == 1) {
+    req.matrix_ref = r.u64();
+    if (resolve) {
+      req.shared_A = resolve(req.matrix_ref);
+      expects(req.shared_A != nullptr, "wire: unknown matrix_ref");
+    }
+  } else {
+    req.A = read_matrix(r);
+  }
+  req.options = read_options(r);
+
+  const std::size_t at = r.offset();
+  const std::uint32_t count = r.u32();
+  if (count < 1) throw WireError("request needs at least one rhs", at);
+  if (count > kMaxRhsCount) throw WireError("too many right-hand sides", at);
+  // Resolved requests check RHS length against the matrix; unresolved
+  // by-ref ones can only check mutual consistency here — the final check
+  // against the store entry runs at solve time.
+  const std::size_t n = req.matrix().rows();
+  req.rhs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t vec_at = r.offset();
+    auto b = read_vector(r, kMaxDimension);
+    const std::size_t want = n != 0 ? n : (req.rhs.empty() ? b.size() : req.rhs.front().size());
+    if (b.empty() || b.size() != want) throw WireError("rhs dimension mismatch", vec_at);
+    req.rhs.push_back(std::move(b));
+  }
+  r.expect_done();
+  return req;
+}
+
+std::optional<std::uint64_t> peek_request_matrix_ref(std::string_view frame) {
+  WireReader r = payload_reader(frame, FrameTag::kSolveRequest);
+  r.str(kMaxIdBytes);
+  const std::uint8_t kind = checked_enum(r, 1, "unknown matrix kind");
+  if (kind == 1) return r.u64();
+  return std::nullopt;
+}
+
+std::uint64_t request_affinity_key(std::string_view frame) {
+  WireReader r = payload_reader(frame, FrameTag::kSolveRequest);
+  r.str(kMaxIdBytes);
+  const std::uint8_t kind = checked_enum(r, 1, "unknown matrix kind");
+  if (kind == 1) return r.u64();
+  // Inline matrix: stream the content hash without materializing it, so
+  // the key equals the matrix_ref a PUT of the same matrix would return.
+  const std::size_t rows = read_dimension(r);
+  const std::size_t cols = read_dimension(r);
+  const std::size_t at = r.offset();
+  if (r.u64() != rows * cols) throw WireError("matrix element count mismatch", at);
+  Fnv1a h;
+  h.u64(rows).u64(cols);
+  for (std::size_t i = 0; i < rows * cols; ++i) h.f64(r.f64());
+  return h.digest();
+}
+
+std::string encode_result(const service::SolveResult& result) {
+  WireWriter w;
+  w.str(result.id)
+      .u64(result.fp.matrix_hash)
+      .u64(result.fp.options_hash)
+      .u8(result.cache_hit ? 1 : 0)
+      .u8(result.all_converged ? 1 : 0)
+      .f64(result.prepare_seconds)
+      .f64(result.total_seconds)
+      .u64(result.panels_executed)
+      .u64(result.panel_lanes);
+  w.u32(static_cast<std::uint32_t>(result.solves.size()));
+  for (const auto& s : result.solves) {
+    w.f64(s.solve_seconds);
+    write_report(w, s.report);
+  }
+  return seal_frame(FrameTag::kSolveResult, w.take());
+}
+
+service::SolveResult decode_result(std::string_view frame) {
+  WireReader r = payload_reader(frame, FrameTag::kSolveResult);
+  service::SolveResult result;
+  result.id = r.str(kMaxIdBytes);
+  result.fp.matrix_hash = r.u64();
+  result.fp.options_hash = r.u64();
+  result.cache_hit = r.u8() != 0;
+  result.all_converged = r.u8() != 0;
+  result.prepare_seconds = r.f64();
+  result.total_seconds = r.f64();
+  result.panels_executed = r.u64();
+  result.panel_lanes = r.u64();
+  const std::size_t at = r.offset();
+  const std::uint32_t count = r.u32();
+  if (count > kMaxRhsCount) throw WireError("too many solve entries", at);
+  result.solves.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    service::RhsResult s;
+    s.solve_seconds = r.f64();
+    s.report = read_report(r);
+    result.solves.push_back(std::move(s));
+  }
+  r.expect_done();
+  return result;
+}
+
+std::string encode_matrix(const linalg::Matrix<double>& A) {
+  WireWriter w;
+  write_matrix(w, A);
+  return seal_frame(FrameTag::kMatrix, w.take());
+}
+
+linalg::Matrix<double> decode_matrix(std::string_view frame) {
+  WireReader r = payload_reader(frame, FrameTag::kMatrix);
+  linalg::Matrix<double> A = read_matrix(r);
+  r.expect_done();
+  return A;
+}
+
+std::uint64_t hash_matrix_frame(std::string_view frame) {
+  WireReader r = payload_reader(frame, FrameTag::kMatrix);
+  const std::size_t rows = read_dimension(r);
+  const std::size_t cols = read_dimension(r);
+  const std::size_t at = r.offset();
+  if (r.u64() != rows * cols) throw WireError("matrix element count mismatch", at);
+  Fnv1a h;
+  h.u64(rows).u64(cols);
+  for (std::size_t i = 0; i < rows * cols; ++i) h.f64(r.f64());
+  return h.digest();
+}
+
+}  // namespace mpqls::wire

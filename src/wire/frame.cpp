@@ -1,0 +1,57 @@
+#include "wire/frame.hpp"
+
+namespace mpqls::wire {
+
+namespace {
+
+/// Parse and validate the 16-byte header; returns the declared payload
+/// length. Shared by open_frame and peek_tag so the two cannot drift.
+std::uint64_t check_header(std::string_view frame, FrameTag* tag) {
+  if (frame.size() < kFrameHeaderBytes) throw WireError("truncated frame header", frame.size());
+  WireReader r(frame);
+  if (r.u32() != kWireMagic) throw WireError("bad frame magic", 0);
+  const std::uint8_t version = r.u8();
+  if (version != kWireVersion) throw WireError("unsupported frame version", 4);
+  const std::uint8_t raw_tag = r.u8();
+  if (raw_tag < 1 || raw_tag > 3) throw WireError("unknown frame tag", 5);
+  if (r.u16() != 0) throw WireError("nonzero reserved field", 6);
+  *tag = static_cast<FrameTag>(raw_tag);
+  return r.u64();
+}
+
+}  // namespace
+
+std::string seal_frame(FrameTag tag, std::string payload) {
+  WireWriter head;
+  head.u32(kWireMagic)
+      .u8(kWireVersion)
+      .u8(static_cast<std::uint8_t>(tag))
+      .u16(0)
+      .u64(payload.size());
+  std::string frame = head.take();
+  frame += payload;
+  return frame;
+}
+
+FrameView open_frame(std::string_view frame) {
+  FrameTag tag;
+  const std::uint64_t declared = check_header(frame, &tag);
+  const std::size_t actual = frame.size() - kFrameHeaderBytes;
+  if (declared != actual) {
+    throw WireError(declared > actual ? "frame shorter than declared length"
+                                      : "frame longer than declared length",
+                    kFrameHeaderBytes);
+  }
+  // Every current payload starts with at least one mandatory field, so an
+  // empty payload can only be a truncation upstream of us.
+  if (actual == 0) throw WireError("empty frame payload", kFrameHeaderBytes);
+  return {tag, frame.substr(kFrameHeaderBytes)};
+}
+
+FrameTag peek_tag(std::string_view frame) {
+  FrameTag tag;
+  check_header(frame, &tag);
+  return tag;
+}
+
+}  // namespace mpqls::wire

@@ -1,0 +1,175 @@
+// Cluster-level tests for the binary protocol + content-addressed store:
+// a by-ref submit against a cluster that has never seen the matrix gets
+// the worker's 404 mirrored back with the ref, one PUT through the
+// coordinator broadcast-heals every reachable worker, and the same bytes
+// resubmitted then solve to done — the self-healing re-upload contract
+// from src/wire/DESIGN.md, exercised end to end through the routing
+// layer. Also covers binary result proxying and the aggregated
+// store/wire metric families.
+#include "cluster/test_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "linalg/random_matrix.hpp"
+#include "net/http_client.hpp"
+#include "service/fingerprint.hpp"
+#include "service/json_io.hpp"
+#include "service/limits.hpp"
+#include "wire/codec.hpp"
+
+namespace mpqls::cluster {
+namespace {
+
+using namespace std::chrono_literals;
+
+TestClusterOptions wire_cluster(std::size_t workers) {
+  TestClusterOptions o;
+  o.workers = workers;
+  o.worker.service.cache_capacity = 4;
+  o.worker.service.solve_threads = 1;
+  o.worker.service.job_threads = 1;
+  o.coordinator.probe_interval = 100ms;
+  return o;
+}
+
+/// A small dense by-ref request: the matrix is known to the client (and
+/// hashed locally), but never inlined in the submit body.
+service::SolveRequest dense_request(const std::string& id) {
+  Xoshiro256 rng(77);
+  service::SolveRequest req;
+  req.id = id;
+  req.A = linalg::random_with_cond(rng, 8, 6.0);
+  req.rhs.push_back(linalg::random_unit_vector(rng, 8));
+  req.rhs.push_back(linalg::random_unit_vector(rng, 8));
+  req.options.eps = 1e-10;
+  req.options.qsvt.eps_l = 1e-2;
+  req.matrix_ref = service::hash_matrix(req.A);
+  return req;
+}
+
+Json poll_until_terminal(net::HttpClient& client, const std::string& job_id,
+                         std::chrono::seconds timeout = 60s) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto response = client.get("/v1/jobs/" + job_id);
+    EXPECT_EQ(response.status, 200) << response.body;
+    Json status = Json::parse(response.body);
+    const std::string state = status.at("state").as_string();
+    if (state == "done" || state == "failed" || state == "cancelled") return status;
+    if (std::chrono::steady_clock::now() > deadline) {
+      ADD_FAILURE() << "timed out polling " << job_id;
+      return status;
+    }
+    std::this_thread::sleep_for(5ms);
+  }
+}
+
+TEST(WireCluster, ColdRefAnswersMirrored404AndOneUploadHealsTheCluster) {
+  TestCluster cluster(wire_cluster(2));
+  net::HttpClient client("127.0.0.1", cluster.port());
+
+  service::SolveRequest req = dense_request("cold-ref");
+  const std::string ref_hex = service::u64_hex(req.matrix_ref);
+  const std::string frame_body = wire::encode_request(req);
+  const std::string json_body = service::to_json(req).dump();
+  ASSERT_NE(json_body.find(ref_hex), std::string::npos)
+      << "by-ref JSON must carry the ref, not the matrix";
+
+  // Every worker is cold: the coordinator routes the by-ref submit to the
+  // ring home, the worker answers 404 carrying the ref, and the
+  // coordinator mirrors it verbatim — for both encodings.
+  for (const auto& [body, ctype] :
+       {std::pair{frame_body, std::string(wire::kContentType)},
+        std::pair{json_body, std::string("application/json")}}) {
+    const auto miss = client.post("/v1/jobs", body, ctype);
+    EXPECT_EQ(miss.status, 404) << miss.body;
+    Json parsed = Json::parse(miss.body);
+    EXPECT_EQ(parsed.at("error").as_string(), "unknown matrix_ref");
+    EXPECT_EQ(parsed.at("matrix_ref").as_string(), ref_hex);
+  }
+
+  // One binary upload through the coordinator. It broadcasts to every
+  // reachable worker, so the ref is warm cluster-wide afterwards.
+  const auto created = client.put("/v1/matrices", wire::encode_matrix(req.A),
+                                  wire::kContentType);
+  ASSERT_EQ(created.status, 201) << created.body;
+  EXPECT_EQ(Json::parse(created.body).at("matrix_ref").as_string(), ref_hex);
+  for (std::size_t w = 0; w < cluster.worker_count(); ++w) {
+    net::HttpClient direct("127.0.0.1", cluster.worker(w).port());
+    EXPECT_EQ(direct.get("/v1/matrices/" + ref_hex).status, 200)
+        << "worker " << w << " missed the broadcast";
+  }
+
+  // The exact bytes that 404ed now sail through — the client-side heal is
+  // literally "PUT once, resend the same buffer".
+  const auto accepted = client.post("/v1/jobs", frame_body, wire::kContentType);
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  const std::string binary_id = Json::parse(accepted.body).at("job_id").as_string();
+  const auto json_accepted = client.post("/v1/jobs", json_body, "application/json");
+  ASSERT_EQ(json_accepted.status, 202) << json_accepted.body;
+  const std::string json_id = Json::parse(json_accepted.body).at("job_id").as_string();
+
+  EXPECT_EQ(poll_until_terminal(client, binary_id).at("state").as_string(), "done");
+  EXPECT_EQ(poll_until_terminal(client, json_id).at("state").as_string(), "done");
+
+  // Binary result negotiation proxies through the coordinator unchanged.
+  const auto result = client.get("/v1/jobs/" + binary_id + "/result",
+                                 {{"Accept", wire::kContentType}});
+  ASSERT_EQ(result.status, 200);
+  const std::string* ctype = net::find_header(result.headers, "Content-Type");
+  ASSERT_TRUE(ctype != nullptr && wire::is_frame_content_type(*ctype));
+  const service::SolveResult decoded = wire::decode_result(result.body);
+  EXPECT_EQ(decoded.id, "cold-ref");
+  EXPECT_TRUE(decoded.all_converged);
+
+  EXPECT_GE(cluster.coordinator().routing_stats().proxied_uploads, 1u);
+
+  // The aggregated /metrics endpoint re-exports the workers' store and
+  // per-encoding wire families.
+  const auto metrics = client.get("/v1/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  for (const char* family :
+       {"mpqls_store_puts_total", "mpqls_store_hits_total",
+        "mpqls_wire_requests_total"}) {
+    EXPECT_NE(metrics.body.find(family), std::string::npos) << family;
+  }
+  cluster.stop();
+}
+
+TEST(WireCluster, UploadSkipsADeadWorkerAndTheSurvivorStaysWarm) {
+  auto options = wire_cluster(2);
+  options.coordinator.breaker.failure_threshold = 1;
+  options.coordinator.worker_deadlines.connect = 500ms;
+  TestCluster cluster(options);
+  net::HttpClient client("127.0.0.1", cluster.port());
+
+  // Kill one worker outright: the broadcast must still succeed via the
+  // survivor instead of failing the whole upload.
+  cluster.worker(0).drain(5000ms);
+
+  service::SolveRequest req = dense_request("half-warm");
+  const auto created = client.put("/v1/matrices", wire::encode_matrix(req.A),
+                                  wire::kContentType);
+  ASSERT_EQ(created.status, 201) << created.body;
+
+  net::HttpClient survivor("127.0.0.1", cluster.worker(1).port());
+  EXPECT_EQ(survivor.get("/v1/matrices/" + service::u64_hex(req.matrix_ref)).status,
+            200);
+
+  // And the by-ref solve completes on what's left of the cluster.
+  const auto accepted =
+      client.post("/v1/jobs", wire::encode_request(req), wire::kContentType);
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  const std::string id = Json::parse(accepted.body).at("job_id").as_string();
+  EXPECT_EQ(poll_until_terminal(client, id).at("state").as_string(), "done");
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace mpqls::cluster

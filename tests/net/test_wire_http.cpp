@@ -1,0 +1,305 @@
+// Loopback tests for the daemon's binary protocol + matrix store surface:
+// dual-encoding submits that solve to identical solutions, the
+// upload/by-ref/404-miss/re-upload self-heal loop, content negotiation on
+// the result route, 415 for unknown media types, binary-safe 400s (no
+// payload bytes echoed), and the mpqls_store_*/mpqls_wire_* metric
+// families.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "linalg/random_matrix.hpp"
+#include "net/daemon.hpp"
+#include "net/http_client.hpp"
+#include "service/json_io.hpp"
+#include "service/limits.hpp"
+#include "wire/codec.hpp"
+
+namespace mpqls::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+DaemonOptions loopback_options() {
+  DaemonOptions o;
+  o.port = 0;  // ephemeral
+  o.service.cache_capacity = 4;
+  o.service.solve_threads = 2;
+  o.service.job_threads = 2;
+  return o;
+}
+
+/// A small dense job with explicit matrix and right-hand sides — the only
+/// request shape the binary codec ships, so both encodings describe the
+/// exact same solve.
+service::SolveRequest dense_request(const std::string& id) {
+  Xoshiro256 rng(31);
+  service::SolveRequest req;
+  req.id = id;
+  req.A = linalg::random_with_cond(rng, 8, 6.0);
+  req.rhs.push_back(linalg::random_unit_vector(rng, 8));
+  req.rhs.push_back(linalg::random_unit_vector(rng, 8));
+  req.options.eps = 1e-10;
+  req.options.qsvt.eps_l = 1e-2;
+  return req;
+}
+
+std::string submit_expect_202(HttpClient& client, const std::string& body,
+                              const std::string& content_type) {
+  const auto response = client.post("/v1/jobs", body, content_type);
+  EXPECT_EQ(response.status, 202) << response.body;
+  return Json::parse(response.body).at("job_id").as_string();
+}
+
+Json poll_until_terminal(HttpClient& client, const std::string& job_id,
+                         std::chrono::seconds timeout = 60s) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto response = client.get("/v1/jobs/" + job_id);
+    EXPECT_EQ(response.status, 200) << response.body;
+    Json status = Json::parse(response.body);
+    const std::string state = status.at("state").as_string();
+    if (state == "done" || state == "failed" || state == "cancelled") return status;
+    if (std::chrono::steady_clock::now() > deadline) {
+      ADD_FAILURE() << "timed out polling " << job_id;
+      return status;
+    }
+    std::this_thread::sleep_for(5ms);
+  }
+}
+
+/// Fetch the finished result through the binary route.
+service::SolveResult binary_result(HttpClient& client, const std::string& job_id) {
+  const auto response =
+      client.get("/v1/jobs/" + job_id + "/result", {{"Accept", wire::kContentType}});
+  EXPECT_EQ(response.status, 200);
+  const std::string* ctype = find_header(response.headers, "Content-Type");
+  EXPECT_TRUE(ctype != nullptr && wire::is_frame_content_type(*ctype));
+  return wire::decode_result(response.body);
+}
+
+TEST(WireHttp, BinaryAndJsonSubmissionsSolveIdentically) {
+  SolverDaemon daemon(loopback_options());
+  daemon.start();
+  HttpClient client("127.0.0.1", daemon.port());
+
+  const auto req = dense_request("parity");
+  const std::string json_id =
+      submit_expect_202(client, service::to_json(req).dump(), "application/json");
+  const std::string wire_id =
+      submit_expect_202(client, wire::encode_request(req), wire::kContentType);
+
+  const Json json_status = poll_until_terminal(client, json_id);
+  const Json wire_status = poll_until_terminal(client, wire_id);
+  ASSERT_EQ(json_status.at("state").as_string(), "done") << json_status.dump();
+  ASSERT_EQ(wire_status.at("state").as_string(), "done") << wire_status.dump();
+
+  // Same job, same deterministic solver: solutions agree bitwise across
+  // encodings — fetched through the JSON splice and the binary route.
+  const auto via_wire = binary_result(client, wire_id);
+  const Json json_result = json_status.at("result");
+  EXPECT_TRUE(via_wire.all_converged);
+  EXPECT_TRUE(json_result.at("all_converged").as_bool());
+  const auto& json_solves = json_result.at("solves").as_array();
+  ASSERT_EQ(via_wire.solves.size(), json_solves.size());
+  for (std::size_t k = 0; k < via_wire.solves.size(); ++k) {
+    const auto& x_json = json_solves[k].at("report").at("x").as_array();
+    const auto& x_wire = via_wire.solves[k].report.x;
+    ASSERT_EQ(x_wire.size(), x_json.size());
+    for (std::size_t i = 0; i < x_wire.size(); ++i) {
+      EXPECT_EQ(x_wire[i], x_json[i].as_number()) << "solve " << k << " x[" << i << "]";
+    }
+  }
+  daemon.drain(5000ms);
+}
+
+TEST(WireHttp, UploadByRefSolveAndStoreProbe) {
+  SolverDaemon daemon(loopback_options());
+  daemon.start();
+  HttpClient client("127.0.0.1", daemon.port());
+
+  auto req = dense_request("by-ref");
+  const auto uploaded =
+      client.put("/v1/matrices", wire::encode_matrix(req.A), wire::kContentType);
+  ASSERT_EQ(uploaded.status, 201) << uploaded.body;
+  const Json up = Json::parse(uploaded.body);
+  EXPECT_TRUE(up.at("created").as_bool());
+  EXPECT_EQ(up.at("rows").as_uint(), 8u);
+  const std::string ref_hex = up.at("matrix_ref").as_string();
+  req.matrix_ref = service::u64_from_hex(ref_hex);
+
+  // Idempotent re-upload: 200, created=false.
+  const auto again =
+      client.put("/v1/matrices", wire::encode_matrix(req.A), wire::kContentType);
+  EXPECT_EQ(again.status, 200);
+  EXPECT_FALSE(Json::parse(again.body).at("created").as_bool());
+
+  // The probe route sees it; an unknown ref is a 404.
+  EXPECT_EQ(client.get("/v1/matrices/" + ref_hex).status, 200);
+  EXPECT_EQ(client.get("/v1/matrices/00000000deadbeef").status, 404);
+  EXPECT_EQ(client.get("/v1/matrices/not-hex").status, 400);
+
+  // By-ref submits through BOTH encodings; neither body carries the matrix.
+  const std::string wire_body = wire::encode_request(req);
+  EXPECT_LT(wire_body.size(), 1024u);
+  Json json_body = service::to_json(req);
+  ASSERT_TRUE(json_body.contains("matrix_ref"));
+  const std::string wire_id = submit_expect_202(client, wire_body, wire::kContentType);
+  const std::string json_id =
+      submit_expect_202(client, json_body.dump(), "application/json");
+
+  EXPECT_EQ(poll_until_terminal(client, wire_id).at("state").as_string(), "done");
+  EXPECT_EQ(poll_until_terminal(client, json_id).at("state").as_string(), "done");
+  EXPECT_TRUE(binary_result(client, wire_id).all_converged);
+  daemon.drain(5000ms);
+}
+
+TEST(WireHttp, ColdRefAnswers404AndReUploadHeals) {
+  SolverDaemon daemon(loopback_options());
+  daemon.start();
+  HttpClient client("127.0.0.1", daemon.port());
+
+  auto req = dense_request("self-heal");
+  req.matrix_ref = service::hash_matrix(req.A);  // never uploaded
+
+  // Both encodings get the synchronous 404 carrying the ref.
+  for (const auto& [body, ctype] :
+       std::vector<std::pair<std::string, std::string>>{
+           {wire::encode_request(req), wire::kContentType},
+           {service::to_json(req).dump(), "application/json"}}) {
+    const auto response = client.post("/v1/jobs", body, ctype);
+    EXPECT_EQ(response.status, 404) << response.body;
+    const Json error = Json::parse(response.body);
+    EXPECT_EQ(error.at("error").as_string(), "unknown matrix_ref");
+    EXPECT_EQ(service::u64_from_hex(error.at("matrix_ref").as_string()), req.matrix_ref);
+  }
+
+  // The client-side healing loop: upload, resubmit the SAME bytes, done.
+  ASSERT_EQ(client.put("/v1/matrices", wire::encode_matrix(req.A), wire::kContentType).status,
+            201);
+  const std::string id =
+      submit_expect_202(client, wire::encode_request(req), wire::kContentType);
+  EXPECT_EQ(poll_until_terminal(client, id).at("state").as_string(), "done");
+  daemon.drain(5000ms);
+}
+
+TEST(WireHttp, UnknownMediaTypesAndBinaryJunkAreRejectedSafely) {
+  SolverDaemon daemon(loopback_options());
+  daemon.start();
+  HttpClient client("127.0.0.1", daemon.port());
+
+  // Unknown Content-Type on both upload and submit: 415.
+  EXPECT_EQ(client.post("/v1/jobs", "{}", "application/xml").status, 415);
+  EXPECT_EQ(client.put("/v1/matrices", "{}", "text/csv").status, 415);
+
+  // Binary junk under the frame content type: a 400 whose body is pure
+  // printable JSON — no payload byte ever echoed back.
+  std::string junk = "\x01\x02\x7f garbage \xff\xfe";
+  for (const char* target : {"/v1/jobs", "/v1/matrices"}) {
+    const auto response = target == std::string("/v1/jobs")
+                              ? client.post(target, junk, wire::kContentType)
+                              : client.put(target, junk, wire::kContentType);
+    EXPECT_EQ(response.status, 400) << target;
+    for (const unsigned char c : response.body) {
+      EXPECT_TRUE(c == '\n' || (c >= 0x20 && c < 0x7f))
+          << "non-printable byte in 400 body for " << target;
+    }
+    EXPECT_NO_THROW(Json::parse(response.body));
+  }
+
+  // A valid matrix frame on the job route is the wrong tag: still a clean 400.
+  const auto wrong_tag =
+      client.post("/v1/jobs", wire::encode_matrix(linalg::Matrix<double>(2, 2)),
+                  wire::kContentType);
+  EXPECT_EQ(wrong_tag.status, 400);
+
+  // Non-square JSON upload: rejected with the constraint, not a crash.
+  const auto nonsquare = client.put(
+      "/v1/matrices", R"({"scenario": "dense", "rows": [[1, 2, 3], [4, 5, 6]]})",
+      "application/json");
+  EXPECT_EQ(nonsquare.status, 400);
+  EXPECT_NE(nonsquare.body.find("square"), std::string::npos);
+  daemon.drain(5000ms);
+}
+
+TEST(WireHttp, ResultRouteNegotiatesEncodingAndGuardsStates) {
+  SolverDaemon daemon(loopback_options());
+  daemon.start();
+  HttpClient client("127.0.0.1", daemon.port());
+
+  // Unknown id.
+  EXPECT_EQ(client.get("/v1/jobs/nope/result").status, 404);
+
+  // A job that fails at materialization has no result: 409 with the state.
+  const std::string failed_id = submit_expect_202(
+      client, R"({"id": "ragged", "matrix": {"scenario": "dense", "rows": [[1, 2], [3]]},
+                  "rhs": {"kind": "random", "count": 1, "seed": 1}, "options": {}})",
+      "application/json");
+  EXPECT_EQ(poll_until_terminal(client, failed_id).at("state").as_string(), "failed");
+  const auto conflict = client.get("/v1/jobs/" + failed_id + "/result");
+  EXPECT_EQ(conflict.status, 409);
+  EXPECT_EQ(Json::parse(conflict.body).at("state").as_string(), "failed");
+
+  // A finished job serves both encodings of the same result.
+  const auto req = dense_request("negotiate");
+  const std::string id =
+      submit_expect_202(client, service::to_json(req).dump(), "application/json");
+  ASSERT_EQ(poll_until_terminal(client, id).at("state").as_string(), "done");
+
+  const auto as_json = client.get("/v1/jobs/" + id + "/result");
+  EXPECT_EQ(as_json.status, 200);
+  const Json parsed = Json::parse(as_json.body);
+  const auto as_frame = binary_result(client, id);
+  EXPECT_EQ(as_frame.id, parsed.at("id").as_string());
+  EXPECT_EQ(as_frame.all_converged, parsed.at("all_converged").as_bool());
+  daemon.drain(5000ms);
+}
+
+TEST(WireHttp, MetricsExposeStoreAndPerEncodingWireFamilies) {
+  SolverDaemon daemon(loopback_options());
+  daemon.start();
+  HttpClient client("127.0.0.1", daemon.port());
+
+  const auto req = dense_request("metrics");
+  const auto uploaded =
+      client.put("/v1/matrices", wire::encode_matrix(req.A), wire::kContentType);
+  ASSERT_EQ(uploaded.status, 201);
+  auto by_ref = req;
+  by_ref.matrix_ref =
+      service::u64_from_hex(Json::parse(uploaded.body).at("matrix_ref").as_string());
+  const std::string wire_id =
+      submit_expect_202(client, wire::encode_request(by_ref), wire::kContentType);
+  const std::string json_id =
+      submit_expect_202(client, service::to_json(req).dump(), "application/json");
+  poll_until_terminal(client, wire_id);
+  poll_until_terminal(client, json_id);
+
+  const auto metrics = client.get("/v1/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  const std::string& text = metrics.body;
+  for (const char* family :
+       {"mpqls_store_entries", "mpqls_store_bytes", "mpqls_store_capacity_bytes",
+        "mpqls_store_hits_total", "mpqls_store_misses_total", "mpqls_store_puts_total",
+        "mpqls_store_evictions_total"}) {
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+  }
+  // One labeled sample per encoding on every wire family.
+  for (const char* family :
+       {"mpqls_wire_requests_total", "mpqls_wire_request_bytes_total",
+        "mpqls_wire_responses_total", "mpqls_wire_response_bytes_total"}) {
+    EXPECT_NE(text.find(std::string(family) + "{encoding=\"json\"}"), std::string::npos)
+        << family;
+    EXPECT_NE(text.find(std::string(family) + "{encoding=\"binary\"}"), std::string::npos)
+        << family;
+  }
+  daemon.drain(5000ms);
+}
+
+}  // namespace
+}  // namespace mpqls::net
