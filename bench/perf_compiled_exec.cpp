@@ -87,7 +87,7 @@ Measurement run_scenario(const Scenario& sc) {
         const auto sp = stateprep::kp_state_preparation(rhs[r]);
         qsim::Statevector<double> sv(width);
         executor.run(qsim::exec::compile<double>(sp.circuit), sv);
-        executor.run(*ctx.program_f64, sv);
+        executor.run(ctx.programs->get<double>(), sv);
         sv.apply(flip);
         sv.postselect_zero(zeros);
         compiled[r].resize(N);

@@ -154,6 +154,27 @@ void print_store_status(const std::string& text) {
               encoded("mpqls_wire_request_bytes_total", "binary"));
 }
 
+/// Per-precision-tier execution split scraped from /v1/metrics (summed
+/// across workers against a cluster coordinator). Prints nothing against
+/// a daemon predating adaptive precision, and stays quiet when no tiered
+/// work has run yet.
+void print_precision_status(const std::string& text) {
+  const auto tier = [&text](const char* name, const char* precision) {
+    const double v =
+        family_sum(text, name, std::string("precision=\"") + precision + "\"");
+    return std::isnan(v) ? 0.0 : v;
+  };
+  const double switches = family_sum(text, "mpqls_precision_switches_total");
+  if (std::isnan(switches)) return;
+  const double half = tier("mpqls_precision_solves_total", "half");
+  const double single = tier("mpqls_precision_solves_total", "single");
+  const double dbl = tier("mpqls_precision_solves_total", "double");
+  if (half + single + dbl == 0.0) return;
+  std::printf("precision tiers: %.0f half / %.0f single / %.0f double solves, "
+              "%.0f escalations\n",
+              half, single, dbl, switches);
+}
+
 /// Scrape /v1/metrics once for the status renderings below; empty on any
 /// failure (status rendering is best-effort; results already printed).
 std::string fetch_metrics(mpqls::net::HttpClient& client) {
@@ -388,6 +409,7 @@ int main(int argc, char** argv) try {
   table.print(std::cout);
   const std::string metrics_text = fetch_metrics(client);
   print_panel_status(metrics_text);
+  print_precision_status(metrics_text);
   print_store_status(metrics_text);
   print_cluster_status(metrics_text);
   return all_ok ? 0 : 1;

@@ -1,6 +1,7 @@
 #include "net/daemon.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <charconv>
 #include <string_view>
@@ -11,6 +12,7 @@
 #include "service/fingerprint.hpp"
 #include "service/json_io.hpp"
 #include "service/limits.hpp"
+#include "solver/qsvt_ir.hpp"
 #include "wire/codec.hpp"
 
 namespace mpqls::net {
@@ -407,6 +409,23 @@ std::string SolverDaemon::metrics_text() const {
                     (static_cast<double>(stats.panels_executed) *
                      static_cast<double>(options_.service.panel_width))
               : 0.0);
+
+  // Per-precision-tier execution telemetry (the adaptive-precision
+  // schedule's footprint; fixed-precision jobs land entirely in one tier).
+  const auto tier_family = [&m](const char* name, const char* help,
+                                        const std::array<std::uint64_t, 3>& values) {
+    m.counter(name, help, values[solver::kTierHalf], {{"precision", "half"}});
+    m.counter(name, help, values[solver::kTierSingle], {{"precision", "single"}});
+    m.counter(name, help, values[solver::kTierDouble], {{"precision", "double"}});
+  };
+  tier_family("mpqls_precision_solves_total", "QSVT replays executed, by precision tier.",
+              stats.tier_solves_total);
+  tier_family("mpqls_precision_iterations_total",
+              "Refinement iterations executed, by precision tier.",
+              stats.tier_iterations_total);
+  m.counter("mpqls_precision_switches_total",
+            "Tier escalations taken by adaptive-precision solves.",
+            stats.precision_switches_total);
 
   m.counter("mpqls_cache_hits_total", "Context-cache hits (includes in-flight joins).",
             cache.hits);

@@ -6,7 +6,10 @@
 // front door and stamps the compile time into the program stats.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <type_traits>
 #include <utility>
 
 #include "common/timer.hpp"
@@ -28,9 +31,14 @@ struct CompileOptions {
 /// and fuse neighbours. Deterministic; no precision loss (all double).
 FusedIr lower_and_fuse(const Circuit& circuit, const CompileOptions& options = {});
 
-/// Pass 3: round payloads to precision T and precompute per-op tables.
+/// Pass 3: round payloads to the *storage* precision T (then hold them in
+/// the compute precision — identity for float/double, binary16-round-then-
+/// widen-to-float for the f16 tier) and precompute per-op tables.
 template <typename T>
 Program<T> specialize(const FusedIr& ir) {
+  using C = exec_compute_t<T>;
+  // Model the QPU storing this value at precision T.
+  const auto qround = [](double v) { return static_cast<C>(static_cast<T>(v)); };
   Program<T> program;
   program.num_qubits = ir.num_qubits;
   program.stats = ir.stats;
@@ -54,18 +62,13 @@ Program<T> specialize(const FusedIr& ir) {
     switch (op.kind) {
       case OpKind::kApply1q:
         c.target_bit = std::uint64_t{1} << op.targets[0];
-        c.m00 = std::complex<T>(static_cast<T>(op.payload[0].real()),
-                                static_cast<T>(op.payload[0].imag()));
-        c.m01 = std::complex<T>(static_cast<T>(op.payload[1].real()),
-                                static_cast<T>(op.payload[1].imag()));
-        c.m10 = std::complex<T>(static_cast<T>(op.payload[2].real()),
-                                static_cast<T>(op.payload[2].imag()));
-        c.m11 = std::complex<T>(static_cast<T>(op.payload[3].real()),
-                                static_cast<T>(op.payload[3].imag()));
+        c.m00 = std::complex<C>(qround(op.payload[0].real()), qround(op.payload[0].imag()));
+        c.m01 = std::complex<C>(qround(op.payload[1].real()), qround(op.payload[1].imag()));
+        c.m10 = std::complex<C>(qround(op.payload[2].real()), qround(op.payload[2].imag()));
+        c.m11 = std::complex<C>(qround(op.payload[3].real()), qround(op.payload[3].imag()));
         break;
       case OpKind::kGlobalPhase:
-        c.phase = std::complex<T>(static_cast<T>(op.payload[0].real()),
-                                  static_cast<T>(op.payload[0].imag()));
+        c.phase = std::complex<C>(qround(op.payload[0].real()), qround(op.payload[0].imag()));
         break;
       case OpKind::kDense:
       case OpKind::kDiagonal: {
@@ -77,7 +80,7 @@ Program<T> specialize(const FusedIr& ir) {
         }
         c.payload.reserve(op.payload.size());
         for (const auto& v : op.payload) {
-          c.payload.emplace_back(static_cast<T>(v.real()), static_cast<T>(v.imag()));
+          c.payload.emplace_back(qround(v.real()), qround(v.imag()));
         }
         if (op.kind == OpKind::kDense) {
           // Gather offsets: sub-state s lives at base | offsets[s].
@@ -113,5 +116,55 @@ Program<T> compile(const Circuit& circuit, const CompileOptions& options = {}) {
   program.stats.compile_seconds = timer.seconds();
   return program;
 }
+
+/// All precision specializations of one `FusedIr`. The expensive passes
+/// (lower + fuse) run exactly once, up front; each `Program<T>` is
+/// specialized lazily on first request and cached for the lifetime of the
+/// set, so the adaptive solver can hop between precision tiers without ever
+/// recompiling. Thread-safe: `get<T>()` may race from many solve threads
+/// (std::call_once per tier), which is what lets a shared-const
+/// `QsvtSolverContext` hand out programs on demand.
+class ProgramSet {
+ public:
+  explicit ProgramSet(FusedIr ir) : ir_(std::move(ir)) {}
+
+  const FusedIr& ir() const { return ir_; }
+
+  /// Lazily specialize (once) and return the tier-T program.
+  template <typename T>
+  const Program<T>& get() const {
+    if constexpr (std::is_same_v<T, f16>) {
+      return materialize(once_f16_, f16_);
+    } else if constexpr (std::is_same_v<T, float>) {
+      return materialize(once_f32_, f32_);
+    } else {
+      static_assert(std::is_same_v<T, double>, "unsupported program precision");
+      return materialize(once_f64_, f64_);
+    }
+  }
+
+  /// How many tiers have been specialized so far (test seam for the
+  /// no-recompilation contract: repeated get<T>() must not move this).
+  std::uint64_t specializations() const { return specializations_.load(std::memory_order_relaxed); }
+
+ private:
+  template <typename T>
+  const Program<T>& materialize(std::once_flag& once, Program<T>& slot) const {
+    std::call_once(once, [&] {
+      Timer timer;
+      slot = specialize<T>(ir_);
+      slot.stats.compile_seconds = ir_.stats.compile_seconds + timer.seconds();
+      specializations_.fetch_add(1, std::memory_order_relaxed);
+    });
+    return slot;
+  }
+
+  FusedIr ir_;
+  mutable std::once_flag once_f16_, once_f32_, once_f64_;
+  mutable Program<f16> f16_;
+  mutable Program<float> f32_;
+  mutable Program<double> f64_;
+  mutable std::atomic<std::uint64_t> specializations_{0};
+};
 
 }  // namespace mpqls::qsim::exec

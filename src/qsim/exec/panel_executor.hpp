@@ -32,6 +32,12 @@ namespace mpqls::qsim::exec {
 
 template <typename T>
 class PanelExecutor {
+  /// Amplitudes load/store through the storage precision T but all kernel
+  /// arithmetic happens in the compute precision C (float for the f16
+  /// tier, T itself for float/double — where every cast below is a no-op
+  /// and the generated code is unchanged).
+  using C = exec_compute_t<T>;
+
  public:
   /// Apply every op of `program` to all lanes of `panel` in order. The
   /// program may be narrower than the register (mirrors Executor::run).
@@ -55,7 +61,7 @@ class PanelExecutor {
     T* im = panel.im();
     const std::int64_t n = static_cast<std::int64_t>(panel.dim());
     const std::int64_t lanes = static_cast<std::int64_t>(panel.lanes());
-    std::vector<T> scratch;  // shared by the serial dense ops
+    std::vector<C> scratch;  // shared by the serial dense ops
     for (const auto& op : program.ops) {
       switch (op.kind) {
         case OpKind::kApply1q:
@@ -106,10 +112,10 @@ class PanelExecutor {
     const std::int64_t chunk =
         std::min<std::int64_t>(static_cast<std::int64_t>(op.insert_bits[0]), pairs);
     const std::int64_t flat = chunk * lanes;
-    const T m00r = op.m00.real(), m00i = op.m00.imag();
-    const T m01r = op.m01.real(), m01i = op.m01.imag();
-    const T m10r = op.m10.real(), m10i = op.m10.imag();
-    const T m11r = op.m11.real(), m11i = op.m11.imag();
+    const C m00r = op.m00.real(), m00i = op.m00.imag();
+    const C m01r = op.m01.real(), m01i = op.m01.imag();
+    const C m10r = op.m10.real(), m10i = op.m10.imag();
+    const C m11r = op.m11.real(), m11i = op.m11.imag();
     auto chunk_kernel = [&](std::int64_t ii) {
       const std::uint64_t i0 = expand_index(static_cast<std::uint64_t>(ii), op);
       const std::uint64_t i1 = i0 | bit;
@@ -119,12 +125,12 @@ class PanelExecutor {
       T* q1 = im + static_cast<std::int64_t>(i1) * lanes;
 #pragma omp simd
       for (std::int64_t j = 0; j < flat; ++j) {
-        const T re0 = r0[j], im0 = q0[j];
-        const T re1 = r1[j], im1 = q1[j];
-        r0[j] = m00r * re0 - m00i * im0 + m01r * re1 - m01i * im1;
-        q0[j] = m00r * im0 + m00i * re0 + m01r * im1 + m01i * re1;
-        r1[j] = m10r * re0 - m10i * im0 + m11r * re1 - m11i * im1;
-        q1[j] = m10r * im0 + m10i * re0 + m11r * im1 + m11i * re1;
+        const C re0 = static_cast<C>(r0[j]), im0 = static_cast<C>(q0[j]);
+        const C re1 = static_cast<C>(r1[j]), im1 = static_cast<C>(q1[j]);
+        r0[j] = static_cast<T>(m00r * re0 - m00i * im0 + m01r * re1 - m01i * im1);
+        q0[j] = static_cast<T>(m00r * im0 + m00i * re0 + m01r * im1 + m01i * re1);
+        r1[j] = static_cast<T>(m10r * re0 - m10i * im0 + m11r * re1 - m11i * im1);
+        q1[j] = static_cast<T>(m10r * im0 + m10i * re0 + m11r * im1 + m11i * re1);
       }
     };
     if (pairs * lanes >= kParallelPairWork) {
@@ -141,29 +147,29 @@ class PanelExecutor {
   /// alias the gathered sub-panel and force a reload/spill per multiply).
   template <int kLanes, int kSub>
   static void dense_block(const CompiledOp<T>& op, T* __restrict__ re, T* __restrict__ im,
-                          std::int64_t bb, T* __restrict__ sre, T* __restrict__ sim) {
+                          std::int64_t bb, C* __restrict__ sre, C* __restrict__ sim) {
     const std::uint64_t* offsets = op.offsets.data();
-    const T* __restrict__ mre = op.payload_re.data();
-    const T* __restrict__ mim = op.payload_im.data();
+    const C* __restrict__ mre = op.payload_re.data();
+    const C* __restrict__ mim = op.payload_im.data();
     const std::uint64_t base = expand_index(static_cast<std::uint64_t>(bb), op);
     for (int s = 0; s < kSub; ++s) {
       const T* __restrict__ src_re = re + static_cast<std::int64_t>(base | offsets[s]) * kLanes;
       const T* __restrict__ src_im = im + static_cast<std::int64_t>(base | offsets[s]) * kLanes;
 #pragma omp simd
       for (std::int64_t l = 0; l < kLanes; ++l) {
-        sre[s * kLanes + l] = src_re[l];
-        sim[s * kLanes + l] = src_im[l];
+        sre[s * kLanes + l] = static_cast<C>(src_re[l]);
+        sim[s * kLanes + l] = static_cast<C>(src_im[l]);
       }
     }
     for (int r = 0; r < kSub; ++r) {
-      const T* __restrict__ rre = mre + r * kSub;
-      const T* __restrict__ rim = mim + r * kSub;
-      T acc_re[kLanes] = {};
-      T acc_im[kLanes] = {};
+      const C* __restrict__ rre = mre + r * kSub;
+      const C* __restrict__ rim = mim + r * kSub;
+      C acc_re[kLanes] = {};
+      C acc_im[kLanes] = {};
       for (int s = 0; s < kSub; ++s) {
-        const T mr = rre[s], mi = rim[s];
-        const T* __restrict__ xr = sre + s * kLanes;
-        const T* __restrict__ xi = sim + s * kLanes;
+        const C mr = rre[s], mi = rim[s];
+        const C* __restrict__ xr = sre + s * kLanes;
+        const C* __restrict__ xi = sim + s * kLanes;
 #pragma omp simd
         for (std::int64_t l = 0; l < kLanes; ++l) {
           acc_re[l] += mr * xr[l] - mi * xi[l];
@@ -174,8 +180,8 @@ class PanelExecutor {
       T* __restrict__ dst_im = im + static_cast<std::int64_t>(base | offsets[r]) * kLanes;
 #pragma omp simd
       for (std::int64_t l = 0; l < kLanes; ++l) {
-        dst_re[l] = acc_re[l];
-        dst_im[l] = acc_im[l];
+        dst_re[l] = static_cast<T>(acc_re[l]);
+        dst_im[l] = static_cast<T>(acc_im[l]);
       }
     }
   }
@@ -183,31 +189,36 @@ class PanelExecutor {
   /// Generic-width dense block (runtime lane count; accumulators live at
   /// the end of the scratch buffer).
   static void dense_block_generic(const CompiledOp<T>& op, T* re, T* im, std::size_t sub_dim,
-                                  std::int64_t lanes, std::int64_t bb, T* scratch) {
+                                  std::int64_t lanes, std::int64_t bb, C* scratch) {
     const std::uint64_t* offsets = op.offsets.data();
-    const T* mre = op.payload_re.data();
-    const T* mim = op.payload_im.data();
-    T* sre = scratch;
-    T* sim = scratch + sub_dim * static_cast<std::size_t>(lanes);
-    T* acc_re = scratch + 2 * sub_dim * static_cast<std::size_t>(lanes);
-    T* acc_im = acc_re + lanes;
+    const C* mre = op.payload_re.data();
+    const C* mim = op.payload_im.data();
+    C* sre = scratch;
+    C* sim = scratch + sub_dim * static_cast<std::size_t>(lanes);
+    C* acc_re = scratch + 2 * sub_dim * static_cast<std::size_t>(lanes);
+    C* acc_im = acc_re + lanes;
     const std::uint64_t base = expand_index(static_cast<std::uint64_t>(bb), op);
     for (std::size_t s = 0; s < sub_dim; ++s) {
       const std::int64_t src = static_cast<std::int64_t>(base | offsets[s]) * lanes;
-      std::copy(re + src, re + src + lanes, sre + s * static_cast<std::size_t>(lanes));
-      std::copy(im + src, im + src + lanes, sim + s * static_cast<std::size_t>(lanes));
+      C* row_re = sre + s * static_cast<std::size_t>(lanes);
+      C* row_im = sim + s * static_cast<std::size_t>(lanes);
+#pragma omp simd
+      for (std::int64_t l = 0; l < lanes; ++l) {
+        row_re[l] = static_cast<C>(re[src + l]);
+        row_im[l] = static_cast<C>(im[src + l]);
+      }
     }
     for (std::size_t r = 0; r < sub_dim; ++r) {
-      const T* rre = mre + r * sub_dim;
-      const T* rim = mim + r * sub_dim;
+      const C* rre = mre + r * sub_dim;
+      const C* rim = mim + r * sub_dim;
       for (std::int64_t l = 0; l < lanes; ++l) {
-        acc_re[l] = T{};
-        acc_im[l] = T{};
+        acc_re[l] = C{};
+        acc_im[l] = C{};
       }
       for (std::size_t s = 0; s < sub_dim; ++s) {
-        const T mr = rre[s], mi = rim[s];
-        const T* xr = sre + s * static_cast<std::size_t>(lanes);
-        const T* xi = sim + s * static_cast<std::size_t>(lanes);
+        const C mr = rre[s], mi = rim[s];
+        const C* xr = sre + s * static_cast<std::size_t>(lanes);
+        const C* xi = sim + s * static_cast<std::size_t>(lanes);
 #pragma omp simd
         for (std::int64_t l = 0; l < lanes; ++l) {
           acc_re[l] += mr * xr[l] - mi * xi[l];
@@ -215,23 +226,26 @@ class PanelExecutor {
         }
       }
       const std::int64_t dst = static_cast<std::int64_t>(base | offsets[r]) * lanes;
-      std::copy(acc_re, acc_re + lanes, re + dst);
-      std::copy(acc_im, acc_im + lanes, im + dst);
+#pragma omp simd
+      for (std::int64_t l = 0; l < lanes; ++l) {
+        re[dst + l] = static_cast<T>(acc_re[l]);
+        im[dst + l] = static_cast<T>(acc_im[l]);
+      }
     }
   }
 
   template <int kLanes>
   static void apply_dense(const CompiledOp<T>& op, T* re, T* im, std::int64_t n,
-                          std::int64_t lanes_rt, std::vector<T>& run_scratch) {
+                          std::int64_t lanes_rt, std::vector<C>& run_scratch) {
     const std::int64_t lanes = kLanes > 0 ? kLanes : lanes_rt;
     const std::size_t sub_dim = std::size_t{1} << op.num_targets;
     const std::int64_t blocks = n >> op.free_shift;
     // Gathered sub-panel in split planes ([sub_dim][lanes] re then im);
     // the generic path also keeps one accumulator row here.
     const std::size_t scratch_len = (2 * sub_dim + 2) * static_cast<std::size_t>(lanes);
-    auto block_kernel = [&](std::int64_t bb, T* scratch) {
+    auto block_kernel = [&](std::int64_t bb, C* scratch) {
       if constexpr (kLanes > 0) {
-        T* sim = scratch + sub_dim * static_cast<std::size_t>(kLanes);
+        C* sim = scratch + sub_dim * static_cast<std::size_t>(kLanes);
         // Fused windows are <= 3 qubits by default; wider payloads (a
         // raised max_fuse_qubits) take the generic loop.
         switch (op.num_targets) {
@@ -247,7 +261,7 @@ class PanelExecutor {
     if (blocks * lanes >= kParallelBlockWork) {
 #pragma omp parallel
       {
-        std::vector<T> scratch(scratch_len);
+        std::vector<C> scratch(scratch_len);
 #pragma omp for
         for (std::int64_t bb = 0; bb < blocks; ++bb) block_kernel(bb, scratch.data());
       }
@@ -264,21 +278,21 @@ class PanelExecutor {
     const std::uint32_t k = op.num_targets;
     const std::int64_t count = n >> op.free_shift;  // firing amplitudes only
     const std::uint64_t* target_bits = op.target_bits.data();
-    const std::complex<T>* d = op.payload.data();
+    const std::complex<C>* d = op.payload.data();
     auto amp_kernel = [&](std::int64_t ii) {
       const std::uint64_t i = expand_index(static_cast<std::uint64_t>(ii), op);
       std::uint64_t sub = 0;
       for (std::uint32_t t = 0; t < k; ++t) {
         if (i & target_bits[t]) sub |= std::uint64_t{1} << t;
       }
-      const T dr = d[sub].real(), di = d[sub].imag();
+      const C dr = d[sub].real(), di = d[sub].imag();
       T* r = re + static_cast<std::int64_t>(i) * lanes;
       T* q = im + static_cast<std::int64_t>(i) * lanes;
 #pragma omp simd
       for (std::int64_t l = 0; l < lanes; ++l) {
-        const T ar = r[l], ai = q[l];
-        r[l] = dr * ar - di * ai;
-        q[l] = dr * ai + di * ar;
+        const C ar = static_cast<C>(r[l]), ai = static_cast<C>(q[l]);
+        r[l] = static_cast<T>(dr * ar - di * ai);
+        q[l] = static_cast<T>(dr * ai + di * ar);
       }
     };
     if (count * lanes >= kParallelAmpWork) {
@@ -291,21 +305,21 @@ class PanelExecutor {
 
   static void apply_phase(const CompiledOp<T>& op, T* re, T* im, std::int64_t n,
                           std::int64_t lanes) {
-    const T pr = op.phase.real(), pi = op.phase.imag();
+    const C pr = op.phase.real(), pi = op.phase.imag();
     const std::int64_t total = n * lanes;  // lanes are contiguous: one flat sweep
     if (total >= kParallelAmpWork) {
 #pragma omp parallel for
       for (std::int64_t i = 0; i < total; ++i) {
-        const T ar = re[i], ai = im[i];
-        re[i] = pr * ar - pi * ai;
-        im[i] = pr * ai + pi * ar;
+        const C ar = static_cast<C>(re[i]), ai = static_cast<C>(im[i]);
+        re[i] = static_cast<T>(pr * ar - pi * ai);
+        im[i] = static_cast<T>(pr * ai + pi * ar);
       }
     } else {
 #pragma omp simd
       for (std::int64_t i = 0; i < total; ++i) {
-        const T ar = re[i], ai = im[i];
-        re[i] = pr * ar - pi * ai;
-        im[i] = pr * ai + pi * ar;
+        const C ar = static_cast<C>(re[i]), ai = static_cast<C>(im[i]);
+        re[i] = static_cast<T>(pr * ar - pi * ai);
+        im[i] = static_cast<T>(pr * ai + pi * ar);
       }
     }
   }

@@ -18,7 +18,33 @@
 #include <cstdint>
 #include <vector>
 
+#include "linalg/half.hpp"
+
 namespace mpqls::qsim::exec {
+
+// Half-precision statevector storage. gcc/clang expose the native binary16
+// type `_Float16` on x86-64 (F16C converts under -march=x86-64-v3); the
+// software `linalg::half` is the fallback so the f16 tier always exists.
+#if defined(__FLT16_MAX__)
+using f16 = _Float16;
+#else
+using f16 = linalg::half;
+#endif
+
+/// Storage precision vs compute precision. The half tier stores amplitudes
+/// in binary16 but computes in float: matrices and kernel arithmetic stay
+/// fp32, only the statevector (the memory-bound side) narrows. For float
+/// and double, storage == compute and nothing changes.
+template <typename T>
+struct ExecTraits {
+  using compute = T;
+};
+template <>
+struct ExecTraits<f16> {
+  using compute = float;
+};
+template <typename T>
+using exec_compute_t = typename ExecTraits<T>::compute;
 
 enum class OpKind : std::uint8_t {
   kApply1q,      ///< 2x2 matrix on one target qubit
@@ -65,6 +91,12 @@ struct FusedIr {
 /// with a mask branch per index.
 template <typename T>
 struct CompiledOp {
+  /// Payloads live in the *compute* precision. For the f16 tier the matrix
+  /// entries are rounded through binary16 at specialization time (modelling
+  /// the QPU's storage precision) but held widened to float so the kernels
+  /// never do fp16 arithmetic.
+  using C = exec_compute_t<T>;
+
   OpKind kind = OpKind::kApply1q;
   std::uint64_t pos_mask = 0;
   std::uint64_t neg_mask = 0;
@@ -78,21 +110,21 @@ struct CompiledOp {
 
   // kApply1q
   std::uint64_t target_bit = 0;
-  std::complex<T> m00, m01, m10, m11;
+  std::complex<C> m00, m01, m10, m11;
 
   // kDense / kDiagonal
   std::uint32_t num_targets = 0;
   std::uint64_t target_mask = 0;
   std::vector<std::uint64_t> target_bits;  ///< sorted single-bit masks
-  std::vector<std::complex<T>> payload;    ///< dense matrix or diagonal
+  std::vector<std::complex<C>> payload;    ///< dense matrix or diagonal
   /// kDense: the matrix split into real/imaginary planes (row-major, same
   /// indexing as payload) so the matmul inner loop vectorizes — the
   /// interleaved complex layout defeats SIMD.
-  std::vector<T> payload_re, payload_im;
+  std::vector<C> payload_re, payload_im;
   std::vector<std::uint64_t> offsets;      ///< dense: 2^k gather offsets
 
   // kGlobalPhase
-  std::complex<T> phase;
+  std::complex<C> phase;
 };
 
 template <typename T>

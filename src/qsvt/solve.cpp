@@ -96,15 +96,25 @@ QsvtSolverContext prepare_qsvt_solver(linalg::Matrix<double> A, QsvtOptions opti
     ctx.phases = qsp::solve_symmetric_qsp(ctx.target, options.qsp_options);
     expects(ctx.phases.converged, "qsvt solver: QSP phase finding failed");
     ctx.circuit = build_qsvt_circuit(ctx.be, ctx.phases.phases);
-    // Lower the circuit to an executable program in the QPU precision.
-    // Like the circuit itself this is a one-off synthesis cost amortized
-    // across every right-hand side served from this context.
-    if (options.precision == QpuPrecision::kSingle) {
-      ctx.program_f32 = std::make_shared<const qsim::exec::Program<float>>(
-          qsim::exec::compile<float>(ctx.circuit->circuit));
-    } else {
-      ctx.program_f64 = std::make_shared<const qsim::exec::Program<double>>(
-          qsim::exec::compile<double>(ctx.circuit->circuit));
+    // Lower + fuse the circuit once into a precision-agnostic IR. Like the
+    // circuit itself this is a one-off synthesis cost amortized across
+    // every right-hand side served from this context; the per-tier
+    // Program<T> specializations hang off the shared IR and materialize
+    // lazily, so the adaptive loop hops precisions without recompiling.
+    {
+      Timer timer;
+      auto ir = qsim::exec::lower_and_fuse(ctx.circuit->circuit);
+      ir.stats.compile_seconds = timer.seconds();
+      ctx.programs = std::make_shared<qsim::exec::ProgramSet>(std::move(ir));
+    }
+    // Fixed-precision contexts specialize their one tier eagerly so the
+    // cost lands in prepare (where the old per-precision compile lived);
+    // adaptive contexts leave every tier lazy.
+    switch (options.precision) {
+      case QpuPrecision::kSingle: ctx.programs->get<float>(); break;
+      case QpuPrecision::kDouble: ctx.programs->get<double>(); break;
+      case QpuPrecision::kHalf: ctx.programs->get<qsim::exec::f16>(); break;
+      case QpuPrecision::kAdaptive: break;
     }
     // The KP-tree preparation emits the same gate structure for every
     // vector of this length (only the angles differ), so its gate count is
@@ -126,16 +136,20 @@ std::shared_ptr<const QsvtSolverContext> prepare_qsvt_solver_shared(linalg::Matr
 
 namespace {
 
-/// The context's compiled program in precision T (nullptr if absent).
+/// The context's compiled program in precision T (nullptr if the context
+/// has no program set; specializes lazily from the shared IR otherwise).
 template <typename T>
-const qsim::exec::Program<T>* context_program(const QsvtSolverContext& ctx);
-template <>
-const qsim::exec::Program<float>* context_program<float>(const QsvtSolverContext& ctx) {
-  return ctx.program_f32.get();
+const qsim::exec::Program<T>* context_program(const QsvtSolverContext& ctx) {
+  return ctx.programs ? &ctx.programs->get<T>() : nullptr;
 }
-template <>
-const qsim::exec::Program<double>* context_program<double>(const QsvtSolverContext& ctx) {
-  return ctx.program_f64.get();
+
+/// Map an optional override to the concrete tier a solve call runs at: the
+/// override wins, else the context's configured precision; kAdaptive is a
+/// schedule, not a tier, and defaults to its most accurate member.
+QpuPrecision resolve_tier(const QsvtSolverContext& ctx, std::optional<QpuPrecision> tier) {
+  QpuPrecision t = tier.value_or(ctx.options.precision);
+  if (t == QpuPrecision::kAdaptive) t = QpuPrecision::kDouble;
+  return t;
 }
 
 linalg::Vector<double> normalized(const linalg::Vector<double>& v) {
@@ -335,7 +349,11 @@ std::vector<QsvtSolveOutcome> run_gate_level_panel(
       o.direction[i] = a.real();
       imag_mass += a.imag() * a.imag();
     }
-    ensures(imag_mass < 1e-6, "qsvt panel backend: unexpected imaginary amplitudes");
+    // Half-precision storage rounds each amplitude at ~2^-11 relative, so
+    // residual imaginary mass sits orders of magnitude above the
+    // float/double tiers'; the convention check just needs a looser gate.
+    constexpr double imag_tol = std::is_same_v<T, qsim::exec::f16> ? 1e-2 : 1e-6;
+    ensures(imag_mass < imag_tol, "qsvt panel backend: unexpected imaginary amplitudes");
     const double n = linalg::nrm2(o.direction);
     expects(n > 0.0, "qsvt panel backend: zero-probability postselection");
     for (auto& x : o.direction) x /= n;
@@ -349,21 +367,34 @@ std::vector<QsvtSolveOutcome> run_gate_level_panel(
 }  // namespace
 
 const qsim::exec::ProgramStats* compiled_program_stats(const QsvtSolverContext& ctx) {
-  if (ctx.program_f32) return &ctx.program_f32->stats;
-  if (ctx.program_f64) return &ctx.program_f64->stats;
-  return nullptr;
+  return ctx.programs ? &ctx.programs->ir().stats : nullptr;
 }
 
 QsvtSolveOutcome qsvt_solve_direction(const QsvtSolverContext& ctx,
                                       const linalg::Vector<double>& rhs) {
-  const auto rhs_unit = normalized(rhs);
+  return qsvt_solve_direction(ctx, rhs, resolve_tier(ctx, std::nullopt));
+}
+
+QsvtSolveOutcome qsvt_solve_direction(const QsvtSolverContext& ctx,
+                                      const linalg::Vector<double>& rhs, QpuPrecision tier) {
+  expects(tier != QpuPrecision::kAdaptive, "qsvt solve: tier must be a concrete precision");
   QsvtSolveOutcome out;
   if (ctx.options.backend == Backend::kGateLevel) {
-    out = (ctx.options.precision == QpuPrecision::kSingle)
-              ? run_gate_level<float>(ctx, rhs_unit)
-              : run_gate_level<double>(ctx, rhs_unit);
+    const bool noisy = ctx.options.noise.depolarizing_per_gate > 0.0 ||
+                       ctx.options.noise.damping_per_gate > 0.0;
+    if (tier == QpuPrecision::kHalf && !noisy && ctx.programs) {
+      // There is no Statevector<f16>: the half tier always runs the panel
+      // machinery, here as a one-lane panel (storage-narrow, float math).
+      out = std::move(run_gate_level_panel<qsim::exec::f16>(ctx, {&rhs})[0]);
+    } else if (tier == QpuPrecision::kDouble) {
+      out = run_gate_level<double>(ctx, normalized(rhs));
+    } else {
+      // kSingle — and the half tier's fallback when noise trajectories
+      // need the gate interpreter (which has no fp16 register either).
+      out = run_gate_level<float>(ctx, normalized(rhs));
+    }
   } else {
-    out = run_matrix_function(ctx, rhs_unit);
+    out = run_matrix_function(ctx, normalized(rhs));
   }
   apply_shot_noise(out.direction, ctx.options.shots, ctx.options.seed);
   return out;
@@ -371,27 +402,36 @@ QsvtSolveOutcome qsvt_solve_direction(const QsvtSolverContext& ctx,
 
 std::vector<QsvtSolveOutcome> qsvt_solve_directions(
     const QsvtSolverContext& ctx, const std::vector<const linalg::Vector<double>*>& rhs,
-    PanelExecStats* stats) {
+    PanelExecStats* stats, std::optional<QpuPrecision> tier) {
   expects(!rhs.empty(), "qsvt_solve_directions: at least one right-hand side");
+  const QpuPrecision t = resolve_tier(ctx, tier);
   const bool noisy = ctx.options.noise.depolarizing_per_gate > 0.0 ||
                      ctx.options.noise.damping_per_gate > 0.0;
-  const bool have_program = (ctx.options.precision == QpuPrecision::kSingle)
-                                ? ctx.program_f32 != nullptr
-                                : ctx.program_f64 != nullptr;
+  // Half-tier solves have no scalar register, so even a singleton batch
+  // takes the (one-lane) panel path.
   const bool panel_path = ctx.options.backend == Backend::kGateLevel && !noisy &&
-                          have_program && rhs.size() >= 2;
+                          ctx.programs != nullptr &&
+                          (rhs.size() >= 2 || t == QpuPrecision::kHalf);
   std::vector<QsvtSolveOutcome> out;
   if (!panel_path) {
     // Matrix-function backend, noise trajectories, and singleton batches
     // keep the scalar path: trajectories need per-gate noise injection,
     // and a one-lane panel is just a worse-laid-out statevector.
     out.reserve(rhs.size());
-    for (const auto* b : rhs) out.push_back(qsvt_solve_direction(ctx, *b));
+    for (const auto* b : rhs) out.push_back(qsvt_solve_direction(ctx, *b, t));
     return out;
   }
-  out = (ctx.options.precision == QpuPrecision::kSingle)
-            ? run_gate_level_panel<float>(ctx, rhs)
-            : run_gate_level_panel<double>(ctx, rhs);
+  switch (t) {
+    case QpuPrecision::kHalf:
+      out = run_gate_level_panel<qsim::exec::f16>(ctx, rhs);
+      break;
+    case QpuPrecision::kSingle:
+      out = run_gate_level_panel<float>(ctx, rhs);
+      break;
+    default:
+      out = run_gate_level_panel<double>(ctx, rhs);
+      break;
+  }
   // Shot readout per lane, seeded exactly like the scalar path.
   for (auto& o : out) apply_shot_noise(o.direction, ctx.options.shots, ctx.options.seed);
   if (stats) {
@@ -403,11 +443,12 @@ std::vector<QsvtSolveOutcome> qsvt_solve_directions(
 
 std::vector<QsvtSolveOutcome> qsvt_solve_directions(const QsvtSolverContext& ctx,
                                                     std::span<const linalg::Vector<double>> rhs,
-                                                    PanelExecStats* stats) {
+                                                    PanelExecStats* stats,
+                                                    std::optional<QpuPrecision> tier) {
   std::vector<const linalg::Vector<double>*> ptrs;
   ptrs.reserve(rhs.size());
   for (const auto& b : rhs) ptrs.push_back(&b);
-  return qsvt_solve_directions(ctx, ptrs, stats);
+  return qsvt_solve_directions(ctx, ptrs, stats, tier);
 }
 
 }  // namespace mpqls::qsvt

@@ -25,6 +25,7 @@
 #include "linalg/jacobi_svd.hpp"
 #include "linalg/matrix.hpp"
 #include "poly/inverse_poly.hpp"
+#include "qsim/exec/compile.hpp"
 #include "qsim/exec/program.hpp"
 #include "qsim/noise.hpp"
 #include "qsp/symmetric_qsp.hpp"
@@ -33,7 +34,12 @@
 namespace mpqls::qsvt {
 
 enum class Backend { kGateLevel, kMatrixFunction };
-enum class QpuPrecision { kSingle, kDouble };
+/// QPU statevector precision. The first two are fixed tiers (wire-encoded
+/// values — append only). kHalf stores amplitudes in binary16 and computes
+/// in float (the panel path; scalar half solves run a one-lane panel).
+/// kAdaptive is not a tier: the refinement loop starts cheap and escalates
+/// half -> single -> double per lane as the residual contracts.
+enum class QpuPrecision { kSingle, kDouble, kHalf, kAdaptive };
 enum class PolyMethod { kInterpolated, kAnalytic };
 enum class EncodingKind {
   kDenseEmbedding,  ///< 1-ancilla SVD completion (oracle-level; default)
@@ -77,12 +83,14 @@ struct QsvtSolverContext {
   double eps_l_effective = 0.0;     ///< measured polynomial accuracy
   qsp::SymQspResult phases;         ///< symmetric QSP phases (gate backend)
   std::optional<QsvtCircuit> circuit;  ///< built for the gate backend
-  /// The QSVT circuit lowered to an executable program in the context's
-  /// QPU precision (the other slot stays empty) — compiled once here,
-  /// replayed per right-hand side by the gate backend. Clean solves never
-  /// re-interpret the gate list; only noise trajectories do.
-  std::shared_ptr<const qsim::exec::Program<float>> program_f32;
-  std::shared_ptr<const qsim::exec::Program<double>> program_f64;
+  /// The QSVT circuit lowered once (lower + fuse) to a precision-agnostic
+  /// FusedIr; every precision tier's Program<T> is specialized lazily from
+  /// it on first use and cached — one IR, no recompilation when the
+  /// adaptive loop hops tiers. ProgramSet is internally synchronized, so a
+  /// shared-const context still hands out programs from many threads.
+  /// Clean solves never re-interpret the gate list; only noise
+  /// trajectories do.
+  std::shared_ptr<qsim::exec::ProgramSet> programs;
   /// Gate count of SP(rhs) for this register size. The KP-tree circuit's
   /// structure depends only on the vector length, so it is counted once
   /// here; the clean gate-level path embeds rhs_unit directly into the
@@ -117,6 +125,13 @@ struct QsvtSolveOutcome {
 QsvtSolveOutcome qsvt_solve_direction(const QsvtSolverContext& ctx,
                                       const linalg::Vector<double>& rhs);
 
+/// Tier-override variant for the adaptive refinement loop: run this solve
+/// at the given concrete precision tier (kHalf/kSingle/kDouble — never
+/// kAdaptive) regardless of the context's configured precision. A context
+/// configured kAdaptive defaults to kDouble when no tier is given.
+QsvtSolveOutcome qsvt_solve_direction(const QsvtSolverContext& ctx,
+                                      const linalg::Vector<double>& rhs, QpuPrecision tier);
+
 /// Panel-execution accounting for the batch API: how many compiled-program
 /// panel sweeps ran and how many RHS lanes they carried. Lanes per panel /
 /// the configured panel width is the service's lane-occupancy telemetry.
@@ -136,13 +151,17 @@ struct PanelExecStats {
 /// single-RHS batches, so callers may use it unconditionally.
 std::vector<QsvtSolveOutcome> qsvt_solve_directions(
     const QsvtSolverContext& ctx, std::span<const linalg::Vector<double>> rhs,
-    PanelExecStats* stats = nullptr);
+    PanelExecStats* stats = nullptr,
+    std::optional<QpuPrecision> tier = std::nullopt);
 
 /// Pointer-batch overload for callers whose right-hand sides are not
 /// contiguous (the lockstep refinement loop batches per-lane residual
-/// vectors that live in separate lane states).
+/// vectors that live in separate lane states). `tier` overrides the
+/// context's precision for this batch (see qsvt_solve_direction above) —
+/// the adaptive loop issues one call per tier group per round.
 std::vector<QsvtSolveOutcome> qsvt_solve_directions(
     const QsvtSolverContext& ctx, const std::vector<const linalg::Vector<double>*>& rhs,
-    PanelExecStats* stats = nullptr);
+    PanelExecStats* stats = nullptr,
+    std::optional<QpuPrecision> tier = std::nullopt);
 
 }  // namespace mpqls::qsvt

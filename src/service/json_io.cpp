@@ -37,10 +37,17 @@ qsvt::Backend backend_from(const std::string& s) {
 }
 
 const char* precision_name(qsvt::QpuPrecision p) {
-  return p == qsvt::QpuPrecision::kSingle ? "single" : "double";
+  switch (p) {
+    case qsvt::QpuPrecision::kSingle: return "single";
+    case qsvt::QpuPrecision::kHalf: return "half";
+    case qsvt::QpuPrecision::kAdaptive: return "adaptive";
+    default: return "double";
+  }
 }
 qsvt::QpuPrecision precision_from(const std::string& s) {
   if (s == "single") return qsvt::QpuPrecision::kSingle;
+  if (s == "half") return qsvt::QpuPrecision::kHalf;
+  if (s == "adaptive") return qsvt::QpuPrecision::kAdaptive;
   expects(s == "double", "json: unknown precision");
   return qsvt::QpuPrecision::kDouble;
 }
@@ -109,6 +116,11 @@ Json options_to_json(const solver::QsvtIrOptions& o) {
   j["max_iterations"] = o.max_iterations;
   j["use_brent"] = o.use_brent;
   j["residual_precision"] = residual_precision_name(o.residual_precision);
+  Json esc = Json::object();
+  esc["stall_ratio"] = o.escalation.stall_ratio;
+  esc["half_floor"] = o.escalation.half_floor;
+  esc["single_floor"] = o.escalation.single_floor;
+  j["escalation"] = std::move(esc);
   j["qsvt"] = std::move(q);
   return j;
 }
@@ -121,6 +133,12 @@ solver::QsvtIrOptions options_from_json(const Json& j) {
   o.use_brent = j.bool_or("use_brent", o.use_brent);
   o.residual_precision = residual_precision_from(
       j.string_or("residual_precision", residual_precision_name(o.residual_precision)));
+  if (j.contains("escalation")) {
+    const Json& esc = j.at("escalation");
+    o.escalation.stall_ratio = esc.number_or("stall_ratio", o.escalation.stall_ratio);
+    o.escalation.half_floor = esc.number_or("half_floor", o.escalation.half_floor);
+    o.escalation.single_floor = esc.number_or("single_floor", o.escalation.single_floor);
+  }
   if (j.contains("qsvt")) {
     const Json& q = j.at("qsvt");
     o.qsvt.backend = backend_from(q.string_or("backend", backend_name(o.qsvt.backend)));
@@ -213,6 +231,18 @@ Json report_to_json(const solver::QsvtIrReport& r) {
   program["depth"] = r.program_depth;
   program["compile_seconds"] = r.program_compile_seconds;
   j["program"] = std::move(program);
+  // Adaptive-precision schedule telemetry: which tier ran what.
+  Json tiers = Json::object();
+  tiers["half_solves"] = r.tier_solves[solver::kTierHalf];
+  tiers["single_solves"] = r.tier_solves[solver::kTierSingle];
+  tiers["double_solves"] = r.tier_solves[solver::kTierDouble];
+  tiers["half_iterations"] = r.tier_iterations[solver::kTierHalf];
+  tiers["single_iterations"] = r.tier_iterations[solver::kTierSingle];
+  tiers["double_iterations"] = r.tier_iterations[solver::kTierDouble];
+  j["precision_tiers"] = std::move(tiers);
+  j["precision_switches"] = r.precision_switches;
+  j["dd128_verified"] = r.dd128_verified;
+  j["dd128_final_residual"] = r.dd128_final_residual;
   Json solves = Json::array();
   for (const auto& s : r.solves) {
     Json sj = Json::object();
@@ -248,6 +278,20 @@ solver::QsvtIrReport report_from_json(const Json& j) {
     r.program_ops = program.uint_or("ops", 0);
     r.program_depth = program.uint_or("depth", 0);
     r.program_compile_seconds = program.number_or("compile_seconds", 0.0);
+  }
+  if (j.contains("precision_tiers")) {  // absent in pre-adaptive traces
+    const Json& tiers = j.at("precision_tiers");
+    r.tier_solves[solver::kTierHalf] = tiers.uint_or("half_solves", 0);
+    r.tier_solves[solver::kTierSingle] = tiers.uint_or("single_solves", 0);
+    r.tier_solves[solver::kTierDouble] = tiers.uint_or("double_solves", 0);
+    r.tier_iterations[solver::kTierHalf] = tiers.uint_or("half_iterations", 0);
+    r.tier_iterations[solver::kTierSingle] = tiers.uint_or("single_iterations", 0);
+    r.tier_iterations[solver::kTierDouble] = tiers.uint_or("double_iterations", 0);
+  }
+  if (j.contains("precision_switches")) r.precision_switches = j.at("precision_switches").as_uint();
+  if (j.contains("dd128_verified")) r.dd128_verified = j.at("dd128_verified").as_bool();
+  if (j.contains("dd128_final_residual")) {
+    r.dd128_final_residual = j.at("dd128_final_residual").as_number();
   }
   for (const auto& sj : j.at("solves").as_array()) {
     solver::SolveTelemetry s;

@@ -98,7 +98,12 @@ SolveResult SolverService::solve(const SolveRequest& request) {
   const auto& qsvt_opts = request.options.qsvt;
   const bool noisy = qsvt_opts.noise.depolarizing_per_gate > 0.0 ||
                      qsvt_opts.noise.damping_per_gate > 0.0;
-  const std::size_t panel_width = options_.panel_width;
+  // Adaptive-precision jobs run most of their sweeps on the half/single
+  // tiers, whose lanes cost roughly half a double lane, so their panels
+  // carry twice the configured width at the same per-sweep footprint.
+  const std::size_t panel_width = qsvt_opts.precision == qsvt::QpuPrecision::kAdaptive
+                                      ? options_.panel_width * 2
+                                      : options_.panel_width;
   const bool panelize = panel_width >= 2 && req->rhs.size() >= 2 &&
                         qsvt_opts.backend == qsvt::Backend::kGateLevel && !noisy &&
                         qsvt_opts.shots == 0;
@@ -172,6 +177,13 @@ SolveResult SolverService::solve(const SolveRequest& request) {
     stats_.prepare_seconds_total += result.prepare_seconds;
     stats_.panels_executed += result.panels_executed;
     stats_.panel_lanes_total += result.panel_lanes;
+    for (const auto& s : result.solves) {
+      for (int t = 0; t < 3; ++t) {
+        stats_.tier_solves_total[t] += s.report.tier_solves[t];
+        stats_.tier_iterations_total[t] += s.report.tier_iterations[t];
+      }
+      stats_.precision_switches_total += s.report.precision_switches;
+    }
     if (!result.cache_hit && !result.solves.empty()) {
       // Program telemetry is per prepared context; count it once, on the
       // preparation that actually compiled it.

@@ -13,6 +13,7 @@
 // telemetry.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -160,6 +161,13 @@ class SolverService {
     /// panel_lanes_total / (panels_executed * panel_width).
     std::uint64_t panels_executed = 0;
     std::uint64_t panel_lanes_total = 0;
+    /// Precision-tier telemetry, summed over every solved RHS report
+    /// (indexed by solver::kTierHalf/kTierSingle/kTierDouble). Fixed-
+    /// precision jobs land entirely in their one tier; adaptive jobs
+    /// spread across the escalation schedule.
+    std::array<std::uint64_t, 3> tier_solves_total{};
+    std::array<std::uint64_t, 3> tier_iterations_total{};
+    std::uint64_t precision_switches_total = 0;
   };
   Stats stats() const;
 

@@ -99,6 +99,42 @@ std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx
   const std::size_t n = A.rows();
   expects(!bs.empty(), "solve_qsvt_ir_batch: at least one right-hand side");
 
+  const bool adaptive = ctx.options.precision == qsvt::QpuPrecision::kAdaptive;
+  const auto tier_precision = [](int tier) {
+    return tier == kTierHalf     ? qsvt::QpuPrecision::kHalf
+           : tier == kTierSingle ? qsvt::QpuPrecision::kSingle
+                                 : qsvt::QpuPrecision::kDouble;
+  };
+  const auto tier_floor = [&](int tier) {
+    return tier == kTierHalf     ? options.escalation.half_floor
+           : tier == kTierSingle ? options.escalation.single_floor
+                                 : 0.0;
+  };
+  // Where the schedule starts. Fixed-precision contexts pin their tier for
+  // the whole run (telemetry lands on it, no escalation). Adaptive starts
+  // at half on the clean compiled gate path; noise trajectories run on the
+  // interpreter, which has no fp16 register, so they start at single; the
+  // matrix-function backend does all arithmetic in double regardless, so
+  // adaptive is a no-op there.
+  int initial_tier = kTierDouble;
+  if (adaptive) {
+    const bool noisy = ctx.options.noise.depolarizing_per_gate > 0.0 ||
+                       ctx.options.noise.damping_per_gate > 0.0;
+    if (ctx.options.backend != qsvt::Backend::kGateLevel) {
+      initial_tier = kTierDouble;
+    } else if (noisy || !ctx.programs) {
+      initial_tier = kTierSingle;
+    } else {
+      initial_tier = kTierHalf;
+    }
+  } else {
+    switch (ctx.options.precision) {
+      case qsvt::QpuPrecision::kHalf: initial_tier = kTierHalf; break;
+      case qsvt::QpuPrecision::kSingle: initial_tier = kTierSingle; break;
+      default: initial_tier = kTierDouble; break;
+    }
+  }
+
   // Per-lane refinement state: each lane runs exactly the scalar loop's
   // decisions (de-normalization, convergence and stagnation checks, comm
   // records); only the QSVT calls are batched across lanes.
@@ -109,6 +145,8 @@ std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx
     double norm_b = 0.0;
     double omega = 0.0;          ///< last accepted scaled residual
     int it = 0;                  ///< refinement iterations completed
+    int tier = kTierDouble;      ///< current precision tier of this lane
+    bool dd_checked = false;     ///< dd128 verification already recorded
     bool active = true;
   };
   std::vector<Lane> lanes(bs.size());
@@ -119,6 +157,7 @@ std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx
     lane.rep = init_report(ctx, options);
     lane.norm_b = linalg::nrm2(*lane.b);
     expects(lane.norm_b > 0.0, "solve_qsvt_ir_batch: zero right-hand side");
+    lane.tier = initial_tier;
     record_setup_comm(ctx, n, lane.rep.comm);
   }
 
@@ -131,15 +170,30 @@ std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx
     lane.r = residual_high_precision(A, lane.rep.x, *lane.b, options.residual_precision);
     return linalg::nrm2(lane.r) / lane.norm_b;
   };
+  // The one place dd128 enters the adaptive schedule: recompute the final
+  // residual at u ~ 2^-104 to verify the double-precision convergence
+  // signal is not a rounding artifact. The factor-2 guard matches the
+  // bench's equal-accuracy window (‖r‖/‖b‖ within 2× counts as equal).
+  auto dd128_scaled_residual = [&](const Lane& lane) {
+    const auto r =
+        residual_high_precision(A, lane.rep.x, *lane.b, ResidualPrecision::kDoubleDouble);
+    return linalg::nrm2(r) / lane.norm_b;
+  };
+  auto escalate = [](Lane& lane, int to_tier) {
+    lane.tier = to_tier;
+    ++lane.rep.precision_switches;
+  };
 
   qsvt::PanelExecStats pstats;
 
   // --- First solve on every lane: x_0 = mu_0 * eta_0, one panel sweep ---
+  // All lanes share the initial tier, so this is a single tier group.
   {
     std::vector<const linalg::Vector<double>*> batch;
     batch.reserve(lanes.size());
     for (const Lane& lane : lanes) batch.push_back(lane.b);
-    const auto outcomes = qsvt::qsvt_solve_directions(ctx, batch, &pstats);
+    const auto outcomes =
+        qsvt::qsvt_solve_directions(ctx, batch, &pstats, tier_precision(initial_tier));
     for (std::size_t l = 0; l < lanes.size(); ++l) {
       Lane& lane = lanes[l];
       const auto& outcome = outcomes[l];
@@ -150,65 +204,123 @@ std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx
       lane.rep.solves.push_back({fit.mu, outcome.success_probability, outcome.be_calls,
                                  outcome.circuit_gates});
       lane.rep.total_be_calls += outcome.be_calls;
+      ++lane.rep.tier_solves[static_cast<std::size_t>(lane.tier)];
       lane.omega = scaled_residual(lane);
       lane.rep.scaled_residuals.push_back(lane.omega);
     }
   }
 
   // --- Lockstep refinement: active lanes advance one iteration per round,
-  // their residuals sharing one panel sweep. Converged and stagnated
-  // lanes drop out, so occupancy may shrink round over round. ---
+  // their residuals sharing one panel sweep per precision tier. Converged
+  // and stagnated lanes drop out, so occupancy may shrink round over
+  // round; adaptive lanes escalate tiers independently, so a round may
+  // split into up to three tier-group sweeps. ---
   for (;;) {
     std::vector<std::size_t> roster;
     for (std::size_t l = 0; l < lanes.size(); ++l) {
       Lane& lane = lanes[l];
       if (!lane.active) continue;
       if (lane.omega <= options.eps) {
-        lane.rep.converged = true;
-        lane.active = false;
-        continue;
+        if (adaptive && !lane.dd_checked) {
+          // Final verification: confirm convergence at u ~ 2^-104 before
+          // trusting a residual produced by a cheap-tier schedule. A
+          // failed check keeps the lane refining on the double tier.
+          const double dd = dd128_scaled_residual(lane);
+          lane.dd_checked = true;
+          lane.rep.dd128_final_residual = dd;
+          if (dd > 2.0 * options.eps && lane.tier < kTierDouble) {
+            escalate(lane, kTierDouble);
+          } else {
+            lane.rep.dd128_verified = dd <= 2.0 * options.eps;
+            lane.rep.converged = true;
+            lane.active = false;
+            continue;
+          }
+        } else {
+          lane.rep.converged = true;
+          lane.active = false;
+          continue;
+        }
       }
       if (lane.it >= options.max_iterations) {
         lane.active = false;
         continue;
       }
+      if (adaptive) {
+        // Proactive floors: below a tier's floor its roundoff stops the
+        // contraction, so the next iteration runs one tier up.
+        while (lane.tier < kTierDouble && lane.omega <= tier_floor(lane.tier)) {
+          escalate(lane, lane.tier + 1);
+        }
+      }
       roster.push_back(l);
     }
     if (roster.empty()) break;
 
-    std::vector<const linalg::Vector<double>*> batch;
-    batch.reserve(roster.size());
+    // Snapshot the tier groups before any solve: a lane that escalates
+    // after its group's sweep must not be swept again by a higher tier's
+    // group in the same round.
+    std::array<std::vector<std::size_t>, 3> groups;
     for (const std::size_t l : roster) {
-      Lane& lane = lanes[l];
-      // SP(r_i) is the only CPU->QPU transfer per iteration (Fig. 1).
-      lane.rep.comm.record(hybrid::Direction::kCpuToQpu, "SP(r_" + std::to_string(lane.it) + ")",
-                           hybrid::vector_wire_bytes(n), lane.it);
-      batch.push_back(&lane.r);
+      groups[static_cast<std::size_t>(lanes[l].tier)].push_back(l);
     }
-    const auto outcomes = qsvt::qsvt_solve_directions(ctx, batch, &pstats);
-    for (std::size_t k = 0; k < roster.size(); ++k) {
-      Lane& lane = lanes[roster[k]];
-      const auto& outcome = outcomes[k];
-      const int it = lane.it;
-      lane.rep.comm.record(hybrid::Direction::kQpuToCpu, "x_" + std::to_string(it + 1),
-                           hybrid::vector_wire_bytes(n), it);
+    for (int tier = kTierHalf; tier <= kTierDouble; ++tier) {
+      const auto& group = groups[static_cast<std::size_t>(tier)];
+      if (group.empty()) continue;
 
-      // De-normalize: e_i = mu * eta minimizing ||A(x + mu eta) - b||.
-      const auto fit = lane_fit(lane, lane.rep.x, outcome.direction);
-      for (std::size_t i = 0; i < n; ++i) lane.rep.x[i] += fit.mu * outcome.direction[i];
-      lane.rep.solves.push_back({fit.mu, outcome.success_probability, outcome.be_calls,
-                                 outcome.circuit_gates});
-      lane.rep.total_be_calls += outcome.be_calls;
-      lane.rep.iterations = it + 1;
-      lane.it = it + 1;
+      std::vector<const linalg::Vector<double>*> batch;
+      batch.reserve(group.size());
+      for (const std::size_t l : group) {
+        Lane& lane = lanes[l];
+        // SP(r_i) is the only CPU->QPU transfer per iteration (Fig. 1).
+        lane.rep.comm.record(hybrid::Direction::kCpuToQpu,
+                             "SP(r_" + std::to_string(lane.it) + ")",
+                             hybrid::vector_wire_bytes(n), lane.it);
+        batch.push_back(&lane.r);
+      }
+      const auto outcomes = qsvt::qsvt_solve_directions(ctx, batch, &pstats,
+                                                        tier_precision(tier));
+      for (std::size_t k = 0; k < group.size(); ++k) {
+        Lane& lane = lanes[group[k]];
+        const auto& outcome = outcomes[k];
+        const int it = lane.it;
+        lane.rep.comm.record(hybrid::Direction::kQpuToCpu, "x_" + std::to_string(it + 1),
+                             hybrid::vector_wire_bytes(n), it);
 
-      const double omega_new = scaled_residual(lane);
-      lane.rep.scaled_residuals.push_back(omega_new);
-      if (omega_new >= lane.omega && omega_new > options.eps) {
-        // Stagnation: the QSVT accuracy floor or u has been reached.
-        lane.active = false;
-      } else {
-        lane.omega = omega_new;
+        // De-normalize: e_i = mu * eta minimizing ||A(x + mu eta) - b||.
+        const auto fit = lane_fit(lane, lane.rep.x, outcome.direction);
+        for (std::size_t i = 0; i < n; ++i) lane.rep.x[i] += fit.mu * outcome.direction[i];
+        lane.rep.solves.push_back({fit.mu, outcome.success_probability, outcome.be_calls,
+                                   outcome.circuit_gates});
+        lane.rep.total_be_calls += outcome.be_calls;
+        ++lane.rep.tier_solves[static_cast<std::size_t>(tier)];
+        ++lane.rep.tier_iterations[static_cast<std::size_t>(tier)];
+        lane.rep.iterations = it + 1;
+        lane.it = it + 1;
+
+        const double prev = lane.omega;
+        const double omega_new = scaled_residual(lane);
+        lane.rep.scaled_residuals.push_back(omega_new);
+        if (adaptive) {
+          // The fit minimizes over mu (mu = 0 allowed), so accepting the
+          // update never worsens the residual; "stall" means insufficient
+          // contraction, answered by escalating rather than giving up.
+          if (omega_new < lane.omega) lane.omega = omega_new;
+          if (omega_new > options.eps &&
+              omega_new > options.escalation.stall_ratio * prev) {
+            if (lane.tier < kTierDouble) {
+              escalate(lane, lane.tier + 1);
+            } else if (omega_new >= prev) {
+              // Double-tier stagnation: the precision-u floor is reached.
+              lane.active = false;
+            }
+          }
+        } else if (omega_new >= lane.omega && omega_new > options.eps) {
+          // Stagnation: the QSVT accuracy floor or u has been reached.
+          lane.active = false;
+        } else {
+          lane.omega = omega_new;
+        }
       }
     }
   }
@@ -216,7 +328,18 @@ std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx
   std::vector<QsvtIrReport> reports;
   reports.reserve(lanes.size());
   for (Lane& lane : lanes) {
-    lane.rep.converged = lane.rep.converged || lane.omega <= options.eps;
+    if (!lane.rep.converged && lane.omega <= options.eps) {
+      // Lanes that hit eps on their very last permitted iteration exit the
+      // round loop before the roster sees them; give adaptive lanes the
+      // same final dd128 verification they would have received there.
+      if (adaptive && !lane.dd_checked) {
+        const double dd = dd128_scaled_residual(lane);
+        lane.dd_checked = true;
+        lane.rep.dd128_final_residual = dd;
+        lane.rep.dd128_verified = dd <= 2.0 * options.eps;
+      }
+      lane.rep.converged = true;
+    }
     reports.push_back(std::move(lane.rep));
   }
   if (stats) {

@@ -7,6 +7,7 @@
 // residual omega = ||b - A x|| / ||b|| <= eps.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -22,11 +23,35 @@ enum class ResidualPrecision {
   kDoubleDouble  ///< u ~ 2^-104 via dd128 (headroom ablation)
 };
 
+/// When `qsvt.precision == kAdaptive`, how the refinement loop escalates a
+/// lane's tier (half -> single -> double). Two triggers, both per lane:
+///  * proactive floors — once the residual drops to a tier's floor the next
+///    iteration runs one tier up (the cheap tier has done all the work its
+///    roundoff lets it contribute; Remark 2 normalization is what makes the
+///    cheap iterations contract at full rate above the floor);
+///  * stall — an iteration that contracts by less than `stall_ratio`
+///    escalates immediately (catches whatever the static floors miss).
+/// Escalation is monotone; the double tier keeps the fixed-precision
+/// stagnation rule (deactivate when the residual stops improving).
+/// Default floors come from the measured tier behavior: the half tier's
+/// ~2^-11 amplitude rounding caps its contraction near 1e-2 per iteration,
+/// so it only pays for the large-residual solves (floor 3e-2 ≈ first solve
+/// plus change); the single tier contracts at the double tier's full rate
+/// arbitrarily deep — normalized residuals absorb its roundoff exactly as
+/// Remark 2 argues — so its floor sits below any practical eps and the
+/// stall trigger alone decides when double is really needed.
+struct EscalationPolicy {
+  double stall_ratio = 0.5;   ///< escalate when omega_new > stall_ratio * omega
+  double half_floor = 3e-2;   ///< leave the half tier at this scaled residual
+  double single_floor = 1e-12;  ///< leave the single tier at this scaled residual
+};
+
 struct QsvtIrOptions {
   double eps = 1e-11;    ///< target scaled residual
   int max_iterations = 60;
   bool use_brent = true;  ///< Brent de-normalization (paper) vs closed form
   ResidualPrecision residual_precision = ResidualPrecision::kDouble;
+  EscalationPolicy escalation = {};  ///< adaptive-precision schedule knobs
   qsvt::QsvtOptions qsvt = {};  ///< eps_l, backend, precision, shots, ...
 };
 
@@ -59,9 +84,27 @@ struct QsvtIrReport {
   std::uint64_t program_depth = 0;         ///< greedy depth of the program
   double program_compile_seconds = 0.0;
 
+  /// Per-precision-tier execution telemetry, indexed half/single/double
+  /// (kTierHalf..kTierDouble). Fixed-precision runs report everything
+  /// under their single tier; adaptive runs spread across the schedule.
+  std::array<std::uint64_t, 3> tier_solves{};      ///< QSVT replays per tier
+  std::array<std::uint64_t, 3> tier_iterations{};  ///< refinement iterations per tier
+  std::uint64_t precision_switches = 0;            ///< tier escalations taken
+  /// Adaptive runs re-verify the final double-precision residual in dd128
+  /// before declaring convergence (the only place dd128 enters the
+  /// adaptive schedule). False for fixed-precision runs and for the rare
+  /// adaptive run whose dd128 residual disagreed with double's.
+  bool dd128_verified = false;
+  double dd128_final_residual = 0.0;  ///< the dd128-recomputed scaled residual
+
   std::vector<SolveTelemetry> solves;  ///< per QSVT call (first + iterations)
   hybrid::CommLog comm;                ///< Fig. 1 transfer timeline
 };
+
+/// Tier indices of the per-precision telemetry arrays.
+inline constexpr int kTierHalf = 0;
+inline constexpr int kTierSingle = 1;
+inline constexpr int kTierDouble = 2;
 
 /// Solve A x = b with Algorithm 2.
 QsvtIrReport solve_qsvt_ir(const linalg::Matrix<double>& A, const linalg::Vector<double>& b,

@@ -62,13 +62,16 @@ void write_options(WireWriter& w, const solver::QsvtIrOptions& o) {
       .f64(o.qsvt.qsp_options.tolerance)
       .f64(o.qsvt.qsp_options.lbfgs_threshold)
       .u8(o.qsvt.qsp_options.enable_newton ? 1 : 0)
-      .u8(o.qsvt.qsp_options.enable_lbfgs ? 1 : 0);
+      .u8(o.qsvt.qsp_options.enable_lbfgs ? 1 : 0)
+      .f64(o.escalation.stall_ratio)
+      .f64(o.escalation.half_floor)
+      .f64(o.escalation.single_floor);
 }
 
 solver::QsvtIrOptions read_options(WireReader& r) {
   solver::QsvtIrOptions o;
   o.qsvt.backend = static_cast<qsvt::Backend>(checked_enum(r, 1, "unknown backend"));
-  o.qsvt.precision = static_cast<qsvt::QpuPrecision>(checked_enum(r, 1, "unknown precision"));
+  o.qsvt.precision = static_cast<qsvt::QpuPrecision>(checked_enum(r, 3, "unknown precision"));
   o.qsvt.poly_method =
       static_cast<qsvt::PolyMethod>(checked_enum(r, 1, "unknown poly method"));
   o.qsvt.encoding = static_cast<qsvt::EncodingKind>(checked_enum(r, 2, "unknown encoding"));
@@ -93,6 +96,9 @@ solver::QsvtIrOptions read_options(WireReader& r) {
   s.lbfgs_threshold = r.f64();
   s.enable_newton = checked_enum(r, 1, "bad enable_newton flag") != 0;
   s.enable_lbfgs = checked_enum(r, 1, "bad enable_lbfgs flag") != 0;
+  o.escalation.stall_ratio = r.f64();
+  o.escalation.half_floor = r.f64();
+  o.escalation.single_floor = r.f64();
   return o;
 }
 
@@ -171,6 +177,11 @@ void write_report(WireWriter& w, const solver::QsvtIrReport& rep) {
       .u64(rep.program_ops)
       .u64(rep.program_depth)
       .f64(rep.program_compile_seconds);
+  for (const auto v : rep.tier_solves) w.u64(v);
+  for (const auto v : rep.tier_iterations) w.u64(v);
+  w.u64(rep.precision_switches)
+      .u8(rep.dd128_verified ? 1 : 0)
+      .f64(rep.dd128_final_residual);
   w.u32(static_cast<std::uint32_t>(rep.solves.size()));
   for (const auto& s : rep.solves) {
     w.f64(s.mu).f64(s.success_probability).u64(s.be_calls).u64(s.circuit_gates);
@@ -195,6 +206,11 @@ solver::QsvtIrReport read_report(WireReader& r) {
   rep.program_ops = r.u64();
   rep.program_depth = r.u64();
   rep.program_compile_seconds = r.f64();
+  for (auto& v : rep.tier_solves) v = r.u64();
+  for (auto& v : rep.tier_iterations) v = r.u64();
+  rep.precision_switches = r.u64();
+  rep.dd128_verified = r.u8() != 0;
+  rep.dd128_final_residual = r.f64();
   const std::size_t at = r.offset();
   const std::uint32_t telemetry = r.u32();
   if (telemetry > kMaxPerSolveEntries) throw WireError("telemetry count over cap", at);

@@ -31,7 +31,7 @@
 namespace mpqls::wire {
 
 inline constexpr std::uint32_t kWireMagic = 0x4251504Du;  // "MPQB" on the wire
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;  // v2: adaptive-precision options + per-tier report telemetry
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 
 /// What a frame's payload is. Unknown tags are a decode error, so new

@@ -76,6 +76,102 @@ TEST(Half, ComparisonOperators) {
   EXPECT_EQ(half(0.0f), half(-0.0f));  // +0 == -0
 }
 
+TEST(Half, InfinityPropagates) {
+  const half inf = std::numeric_limits<half>::infinity();
+  EXPECT_TRUE(std::isinf(float(inf)));
+  EXPECT_TRUE(std::isinf(float(inf + half(1.0f))));
+  EXPECT_TRUE(std::isinf(float(-inf)));
+  EXPECT_LT(float(-inf), 0.0f);
+  // inf - inf is the canonical NaN-producing case.
+  EXPECT_TRUE(std::isnan(float(inf - inf)));
+  // Division by zero in the float detour must come back as infinity.
+  EXPECT_TRUE(std::isinf(float(half(1.0f) / half(0.0f))));
+}
+
+TEST(Half, DoubleConversionsRoundTrip) {
+  // Construction from double must round exactly like construction from
+  // the float the double narrows to, and the double read-back must equal
+  // the float read-back widened.
+  for (std::uint32_t b = 0; b < 0x10000u; ++b) {
+    const half h = half::from_bits(static_cast<std::uint16_t>(b));
+    const double d = double(h);
+    if (std::isnan(d)) continue;
+    EXPECT_EQ(d, static_cast<double>(float(h))) << "bits=" << b;
+    EXPECT_EQ(half(d).bits(), h.bits()) << "bits=" << b;
+  }
+  // A double halfway between two halves ties to even exactly like float.
+  EXPECT_EQ(float(half(1.0 + std::ldexp(1.0, -11))), 1.0f);
+}
+
+TEST(Half, NegativeZeroKeepsItsSign) {
+  const half nz(-0.0f);
+  EXPECT_EQ(nz.bits(), 0x8000u);
+  EXPECT_EQ(half(0.0f).bits(), 0x0000u);
+  EXPECT_TRUE(std::signbit(float(nz)));
+  EXPECT_EQ(nz, half(0.0f));  // compares equal nonetheless
+}
+
+TEST(Half, SubnormalTiesRoundToEven) {
+  // Halfway between the smallest subnormal (2^-24) and zero: ties to
+  // even -> 0.
+  EXPECT_EQ(half(std::ldexp(1.0f, -25)).bits(), 0x0000u);
+  // Halfway between the first (2^-24) and second (2^-23) subnormal:
+  // ties to even -> 2 ulps (even mantissa).
+  EXPECT_EQ(half(3.0f * std::ldexp(1.0f, -25)).bits(), 0x0002u);
+  // Just above the tie must round up to the nearest subnormal.
+  EXPECT_EQ(half(std::nextafterf(std::ldexp(1.0f, -25), 1.0f)).bits(), 0x0001u);
+}
+
+#if defined(__FLT16_MAX__)
+// The execution engine stores amplitudes as _Float16 when the compiler
+// provides it (qsim::exec::f16); this software class is the fallback and
+// the reference for tests. The two must agree bit-for-bit in both
+// directions, or the panel kernels' results would depend on which one the
+// build picked.
+TEST(Half, MatchesHardwareFloat16Exhaustively) {
+  for (std::uint32_t b = 0; b < 0x10000u; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    _Float16 hw;
+    __builtin_memcpy(&hw, &bits, 2);
+    const float via_hw = static_cast<float>(hw);
+    const float via_sw = float(half::from_bits(bits));
+    if (std::isnan(via_hw) || std::isnan(via_sw)) {
+      EXPECT_TRUE(std::isnan(via_hw) && std::isnan(via_sw)) << "bits=" << b;
+      continue;
+    }
+    EXPECT_EQ(via_sw, via_hw) << "bits=" << b;
+
+    // Narrowing the widened value must also agree (covers the rounding
+    // paths: these are all exact, so this checks the normal/subnormal
+    // classification more than the ties).
+    const _Float16 narrowed = static_cast<_Float16>(via_hw);
+    std::uint16_t hw_bits;
+    __builtin_memcpy(&hw_bits, &narrowed, 2);
+    EXPECT_EQ(half(via_sw).bits(), hw_bits) << "bits=" << b;
+  }
+}
+
+TEST(Half, MatchesHardwareFloat16Rounding) {
+  // Inexact narrowings: sweep floats that fall between half values, with
+  // ties, overflow and underflow represented.
+  const float cases[] = {1.0f + std::ldexp(1.0f, -11),          // tie -> even
+                         1.0f + 3.0f * std::ldexp(1.0f, -11),   // tie -> even (up)
+                         1.0f + std::ldexp(1.0f, -12),          // below tie -> down
+                         65519.9f,                              // rounds to max
+                         65520.0f,                              // ties to inf
+                         1.0e6f,                                // overflow
+                         std::ldexp(1.0f, -25),                 // subnormal tie
+                         std::ldexp(1.0f, -26),                 // underflow to 0
+                         -2.718281828f, 3.14159265f, 0.1f, -0.3f};
+  for (const float f : cases) {
+    const _Float16 hw = static_cast<_Float16>(f);
+    std::uint16_t hw_bits;
+    __builtin_memcpy(&hw_bits, &hw, 2);
+    EXPECT_EQ(half(f).bits(), hw_bits) << "f=" << f;
+  }
+}
+#endif  // __FLT16_MAX__
+
 TEST(Half, ExhaustiveRoundTripThroughFloat) {
   // Every finite half bit pattern must survive half -> float -> half.
   for (std::uint32_t b = 0; b < 0x10000u; ++b) {

@@ -79,6 +79,16 @@ double metric_value(const std::string& text, const std::string& name) {
   return std::stod(text.substr(pos + needle.size()));
 }
 
+/// Value of a sample line carrying a single precision="..." label.
+double tier_metric_value(const std::string& text, const std::string& name,
+                         const std::string& tier) {
+  const std::string needle = "\n" + name + "{precision=\"" + tier + "\"} ";
+  const auto pos = text.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "metric " << name << "{" << tier << "} missing";
+  if (pos == std::string::npos) return -1.0;
+  return std::stod(text.substr(pos + needle.size()));
+}
+
 TEST(SolverDaemon, HealthzAnswersOnEphemeralPort) {
   SolverDaemon daemon(loopback_options());
   daemon.start();
@@ -157,10 +167,54 @@ TEST(SolverDaemon, ConcurrentJobsMatchSynchronousPathBitwise) {
   EXPECT_EQ(metric_value(text, "mpqls_queue_depth"), 0.0);
   EXPECT_EQ(metric_value(text, "mpqls_jobs_running"), 0.0);
   EXPECT_EQ(metric_value(text, "mpqls_rhs_solved_total"), 8.0);  // 3 + 3 + 2
+  // Fixed-precision jobs attribute every replay to the double tier: at
+  // least the 8 initial solves, plus however many refinement rounds.
+  EXPECT_GE(tier_metric_value(text, "mpqls_precision_solves_total", "double"), 8.0);
+  EXPECT_EQ(tier_metric_value(text, "mpqls_precision_solves_total", "half"), 0.0);
+  EXPECT_EQ(metric_value(text, "mpqls_precision_switches_total"), 0.0);
   EXPECT_GT(metric_value(text, "mpqls_solve_seconds_total"), 0.0);
   EXPECT_GE(metric_value(text, "mpqls_http_requests_total"), 7.0);  // 3 posts + polls
 
   EXPECT_TRUE(daemon.drain(5000ms));
+}
+
+TEST(SolverDaemon, AdaptiveJobExportsPrecisionTierMetrics) {
+  // A gate-level adaptive job reached purely through the HTTP front door
+  // (the JSON knob, not C++ options) must run the escalation schedule and
+  // surface it in /v1/metrics as the labeled mpqls_precision_* families.
+  // Matrix/seed match the service-level adaptive test, where the schedule
+  // provably visits the half and single tiers before converging.
+  constexpr const char* kAdaptiveGateJob = R"({
+    "id": "adaptive-gate",
+    "matrix": {"scenario": "random", "n": 16, "kappa": 10, "seed": 601},
+    "rhs": {"kind": "random", "count": 2, "seed": 24},
+    "options": {"eps": 1e-10,
+                "qsvt": {"backend": "gate", "eps_l": 1e-2, "precision": "adaptive"}}
+  })";
+
+  SolverDaemon daemon(loopback_options());
+  daemon.start();
+  HttpClient client("127.0.0.1", daemon.port());
+
+  const auto status = poll_until_terminal(client, submit(client, kAdaptiveGateJob));
+  ASSERT_EQ(status.at("state").as_string(), "done") << status.dump();
+  EXPECT_TRUE(status.at("result").at("all_converged").as_bool());
+
+  const std::string text = client.get("/v1/metrics").body;
+  // Every tier label renders on both per-tier families, even idle ones.
+  for (const char* tier : {"half", "single", "double"}) {
+    EXPECT_GE(tier_metric_value(text, "mpqls_precision_solves_total", tier), 0.0);
+    EXPECT_GE(tier_metric_value(text, "mpqls_precision_iterations_total", tier), 0.0);
+  }
+  // The schedule started low and escalated: cheap tiers did real work
+  // (half handles the initial solve, single the refinement rounds) and at
+  // least one switch per solve was counted.
+  EXPECT_GT(tier_metric_value(text, "mpqls_precision_solves_total", "half"), 0.0);
+  EXPECT_GT(tier_metric_value(text, "mpqls_precision_solves_total", "single"), 0.0);
+  EXPECT_GT(tier_metric_value(text, "mpqls_precision_iterations_total", "single"), 0.0);
+  EXPECT_GE(metric_value(text, "mpqls_precision_switches_total"), 2.0);  // 2 RHS
+
+  daemon.drain(5000ms);
 }
 
 TEST(SolverDaemon, SaturatedQueueAnswers429InsteadOfGrowing) {

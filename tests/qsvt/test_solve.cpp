@@ -209,7 +209,7 @@ TEST(QsvtSolve, DirectStatePrepMatchesPreparationCircuit) {
   qsim::Statevector<double> sv(qc.circuit.num_qubits());
   const qsim::exec::Executor<double> executor;
   executor.run(qsim::exec::compile<double>(sp.circuit), sv);
-  executor.run(*ctx.program_f64, sv);
+  executor.run(ctx.programs->get<double>(), sv);
   qsim::Circuit flip(qc.circuit.num_qubits());
   flip.x(qc.realpart_qubit);
   sv.apply(flip);

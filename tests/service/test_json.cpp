@@ -148,6 +148,11 @@ TEST(JsonIo, SolveResultRoundTripsLosslessly) {
     EXPECT_EQ(got.poly_scale, want.poly_scale);
     EXPECT_EQ(got.theoretical_iteration_bound, want.theoretical_iteration_bound);
     EXPECT_EQ(got.total_be_calls, want.total_be_calls);
+    EXPECT_EQ(got.tier_solves, want.tier_solves);
+    EXPECT_EQ(got.tier_iterations, want.tier_iterations);
+    EXPECT_EQ(got.precision_switches, want.precision_switches);
+    EXPECT_EQ(got.dd128_verified, want.dd128_verified);
+    EXPECT_EQ(got.dd128_final_residual, want.dd128_final_residual);
     ASSERT_EQ(got.x.size(), want.x.size());
     for (std::size_t i = 0; i < want.x.size(); ++i) EXPECT_EQ(got.x[i], want.x[i]);
     ASSERT_EQ(got.scaled_residuals.size(), want.scaled_residuals.size());
@@ -199,6 +204,44 @@ TEST(JsonIo, RequestRoundTripsThroughDenseForm) {
   EXPECT_EQ(back.options.residual_precision, req.options.residual_precision);
   // The fingerprint must survive the round trip too — qsp knobs are hashed.
   EXPECT_EQ(hash_options(back.options.qsvt), hash_options(req.options.qsvt));
+}
+
+TEST(JsonIo, AdaptivePrecisionKnobsRoundTrip) {
+  Xoshiro256 rng(902);
+  SolveRequest req;
+  req.id = "adaptive-rt";
+  req.A = linalg::random_with_cond(rng, 4, 3.0);
+  req.rhs.push_back(linalg::random_unit_vector(rng, 4));
+  req.options.qsvt.precision = qsvt::QpuPrecision::kAdaptive;
+  req.options.escalation.stall_ratio = 0.25;
+  req.options.escalation.half_floor = 5e-3;
+  req.options.escalation.single_floor = 2e-11;
+
+  const auto text = to_json(req).dump(2);
+  // The knob travels by name, not enum value.
+  EXPECT_NE(text.find("\"precision\": \"adaptive\""), std::string::npos);
+  const auto back = request_from_json(Json::parse(text));
+  EXPECT_EQ(back.options.qsvt.precision, qsvt::QpuPrecision::kAdaptive);
+  EXPECT_EQ(back.options.escalation.stall_ratio, req.options.escalation.stall_ratio);
+  EXPECT_EQ(back.options.escalation.half_floor, req.options.escalation.half_floor);
+  EXPECT_EQ(back.options.escalation.single_floor, req.options.escalation.single_floor);
+
+  // The half tier travels by name too.
+  req.options.qsvt.precision = qsvt::QpuPrecision::kHalf;
+  const auto half_back = request_from_json(Json::parse(to_json(req).dump()));
+  EXPECT_EQ(half_back.options.qsvt.precision, qsvt::QpuPrecision::kHalf);
+
+  // A request predating the escalation block keeps the defaults.
+  const auto legacy = request_from_json(Json::parse(R"({
+    "id": "legacy",
+    "matrix": {"scenario": "tridiagonal", "n": 4},
+    "rhs": {"kind": "point", "index": 0},
+    "options": {"eps": 1e-9, "qsvt": {"precision": "adaptive"}}
+  })"));
+  const solver::EscalationPolicy defaults;
+  EXPECT_EQ(legacy.options.escalation.stall_ratio, defaults.stall_ratio);
+  EXPECT_EQ(legacy.options.escalation.half_floor, defaults.half_floor);
+  EXPECT_EQ(legacy.options.escalation.single_floor, defaults.single_floor);
 }
 
 TEST(JsonIo, ScenarioGeneratorsMatchLibrary) {

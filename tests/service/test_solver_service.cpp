@@ -251,6 +251,47 @@ TEST(SolverService, TelemetryIsPopulated) {
   }
 }
 
+TEST(SolverService, AdaptivePrecisionJobEndToEnd) {
+  // The adaptive schedule reached through the service front door (as a
+  // JSON submit would configure it): panelized lockstep batch, per-tier
+  // telemetry in every report, and the per-precision counters accumulated
+  // into the service stats the daemon exports as mpqls_precision_*.
+  auto req = make_request("adaptive", 16, 4, 601);
+  req.options.qsvt.precision = qsvt::QpuPrecision::kAdaptive;
+  SolverService service({.cache_capacity = 2, .solve_threads = 2, .job_threads = 1,
+                         .panel_width = 4});
+  const auto result = service.solve(req);
+
+  EXPECT_TRUE(result.all_converged);
+  EXPECT_GE(result.panels_executed, 1u);  // adaptive jobs still panelize
+  std::uint64_t half = 0, single = 0, dbl = 0, switches = 0;
+  for (const auto& s : result.solves) {
+    const auto& rep = s.report;
+    EXPECT_LE(rep.scaled_residuals.back(), req.options.eps);
+    EXPECT_TRUE(rep.dd128_verified);
+    EXPECT_GE(rep.precision_switches, 1u);
+    half += rep.tier_solves[solver::kTierHalf];
+    single += rep.tier_solves[solver::kTierSingle];
+    dbl += rep.tier_solves[solver::kTierDouble];
+    switches += rep.precision_switches;
+  }
+  EXPECT_GT(half, 0u);    // the schedule started low
+  EXPECT_GT(single, 0u);  // and escalated through single
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.tier_solves_total[solver::kTierHalf], half);
+  EXPECT_EQ(stats.tier_solves_total[solver::kTierSingle], single);
+  EXPECT_EQ(stats.tier_solves_total[solver::kTierDouble], dbl);
+  EXPECT_EQ(stats.precision_switches_total, switches);
+
+  // Fixed-precision jobs land entirely in their tier.
+  auto fixed = make_request("fixed", 16, 2, 602);
+  (void)service.solve(fixed);
+  const auto after = service.stats();
+  EXPECT_EQ(after.tier_solves_total[solver::kTierHalf], half);  // unchanged
+  EXPECT_GT(after.tier_solves_total[solver::kTierDouble], dbl);
+}
+
 TEST(SolverService, RejectsEmptyRequest) {
   SolverService service({.cache_capacity = 2, .solve_threads = 1, .job_threads = 1});
   SolveRequest req;

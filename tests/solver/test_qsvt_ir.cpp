@@ -227,6 +227,164 @@ TEST(QsvtIr, StrongNoiseStallsRefinement) {
   EXPECT_GT(rep.scaled_residuals.back(), 1e-10);
 }
 
+// --- adaptive precision escalation ----------------------------------------
+
+TEST(QsvtIrAdaptive, MatchesFixedDoubleAccuracyWellConditioned) {
+  Xoshiro256 rng(60);
+  const auto A = linalg::random_with_cond(rng, 16, 10.0);
+  const auto b = linalg::random_unit_vector(rng, 16);
+  auto opts = make_options(1e-11, 1e-2);
+  const auto fixed = solve_qsvt_ir(A, b, opts);
+  opts.qsvt.precision = qsvt::QpuPrecision::kAdaptive;
+  const auto adaptive = solve_qsvt_ir(A, b, opts);
+
+  ASSERT_TRUE(fixed.converged);
+  ASSERT_TRUE(adaptive.converged);
+  // Equal final accuracy: within 2x of fixed-double (or below target).
+  EXPECT_LE(adaptive.scaled_residuals.back(),
+            2.0 * std::fmax(fixed.scaled_residuals.back(), opts.eps));
+  // The schedule actually ran tiered: it started below double and
+  // escalated at least once, and the final residual was dd128-verified.
+  EXPECT_GT(adaptive.tier_solves[kTierHalf], 0u);
+  EXPECT_GE(adaptive.precision_switches, 1u);
+  EXPECT_TRUE(adaptive.dd128_verified);
+  EXPECT_LE(adaptive.dd128_final_residual, 2.0 * opts.eps);
+  // Tier accounting covers every solve exactly once.
+  EXPECT_EQ(adaptive.tier_solves[kTierHalf] + adaptive.tier_solves[kTierSingle] +
+                adaptive.tier_solves[kTierDouble],
+            adaptive.solves.size());
+  // Fixed-precision runs land entirely in their one tier and skip dd128.
+  EXPECT_EQ(fixed.tier_solves[kTierDouble], fixed.solves.size());
+  EXPECT_EQ(fixed.precision_switches, 0u);
+  EXPECT_FALSE(fixed.dd128_verified);
+}
+
+TEST(QsvtIrAdaptive, MatchesFixedDoubleAccuracyIllConditioned) {
+  Xoshiro256 rng(61);
+  const auto A = linalg::random_with_cond(rng, 16, 30.0);
+  const auto b = linalg::random_unit_vector(rng, 16);
+  auto opts = make_options(1e-11, 1e-2);
+  const auto fixed = solve_qsvt_ir(A, b, opts);
+  opts.qsvt.precision = qsvt::QpuPrecision::kAdaptive;
+  const auto adaptive = solve_qsvt_ir(A, b, opts);
+  ASSERT_TRUE(fixed.converged);
+  ASSERT_TRUE(adaptive.converged);
+  EXPECT_LE(adaptive.scaled_residuals.back(),
+            2.0 * std::fmax(fixed.scaled_residuals.back(), opts.eps));
+  EXPECT_TRUE(adaptive.dd128_verified);
+}
+
+TEST(QsvtIrAdaptive, PolicyFloorsDriveTheSchedule) {
+  Xoshiro256 rng(62);
+  const auto A = linalg::random_with_cond(rng, 8, 5.0);
+  const auto b = linalg::random_unit_vector(rng, 8);
+  auto opts = make_options(1e-11, 1e-2);
+  opts.qsvt.precision = qsvt::QpuPrecision::kAdaptive;
+
+  // A floor above any residual escalates straight through to double after
+  // the first solve: one half solve, no single solves, two switches.
+  opts.escalation.half_floor = 1e300;
+  opts.escalation.single_floor = 1e300;
+  const auto eager = solve_qsvt_ir(A, b, opts);
+  EXPECT_TRUE(eager.converged);
+  EXPECT_EQ(eager.tier_solves[kTierHalf], 1u);
+  EXPECT_EQ(eager.tier_solves[kTierSingle], 0u);
+  EXPECT_GT(eager.tier_solves[kTierDouble], 0u);
+  EXPECT_EQ(eager.precision_switches, 2u);
+
+  // Floors at zero and a stall ratio nothing exceeds pin the lane to the
+  // half tier: the proactive and stall triggers must both stay silent, so
+  // every solve runs on the half program. (At this tiny, well-conditioned
+  // system the half tier's roundoff is benign enough to keep contracting —
+  // whether it converges is the system's business; the policy's is that
+  // no escalation ever fires.)
+  opts.escalation.half_floor = 0.0;
+  opts.escalation.single_floor = 0.0;
+  opts.escalation.stall_ratio = 1e300;
+  opts.max_iterations = 6;
+  const auto pinned = solve_qsvt_ir(A, b, opts);
+  EXPECT_EQ(pinned.precision_switches, 0u);
+  EXPECT_EQ(pinned.tier_solves[kTierSingle], 0u);
+  EXPECT_EQ(pinned.tier_solves[kTierDouble], 0u);
+  EXPECT_EQ(pinned.tier_solves[kTierHalf], pinned.solves.size());
+  if (pinned.converged) EXPECT_TRUE(pinned.dd128_verified);
+}
+
+TEST(QsvtIrAdaptive, BatchLanesEscalateIndependently) {
+  // Lockstep adaptive batch: every lane runs its own escalation state
+  // (tier, switches, dd128 check) while sharing panel sweeps with the
+  // lanes currently at the same tier.
+  Xoshiro256 rng(63);
+  const auto A = linalg::random_with_cond(rng, 16, 10.0);
+  std::vector<linalg::Vector<double>> bs;
+  for (int k = 0; k < 6; ++k) bs.push_back(linalg::random_unit_vector(rng, 16));
+  auto options = make_options(1e-11, 1e-2);
+  options.qsvt.precision = qsvt::QpuPrecision::kAdaptive;
+  const auto ctx = qsvt::prepare_qsvt_solver(A, options.qsvt);
+
+  BatchSolveStats stats;
+  const auto batch = solve_qsvt_ir_batch(
+      ctx, std::span<const linalg::Vector<double>>(bs), options, &stats);
+  ASSERT_EQ(batch.size(), bs.size());
+  EXPECT_GE(stats.panels_executed, 1u);
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const auto& rep = batch[k];
+    EXPECT_TRUE(rep.converged) << "lane " << k;
+    EXPECT_LE(rep.scaled_residuals.back(), options.eps) << "lane " << k;
+    EXPECT_TRUE(rep.dd128_verified) << "lane " << k;
+    EXPECT_GE(rep.precision_switches, 1u) << "lane " << k;
+    EXPECT_EQ(rep.tier_solves[kTierHalf] + rep.tier_solves[kTierSingle] +
+                  rep.tier_solves[kTierDouble],
+              rep.solves.size())
+        << "lane " << k;
+    EXPECT_EQ(rep.tier_iterations[kTierHalf] + rep.tier_iterations[kTierSingle] +
+                  rep.tier_iterations[kTierDouble],
+              static_cast<std::uint64_t>(rep.iterations))
+        << "lane " << k;
+  }
+  // The scalar adaptive run agrees on the solution (panel kernels round
+  // differently, so compare to tolerance, not bitwise).
+  for (std::size_t k = 0; k < bs.size(); ++k) {
+    const auto want = solve_qsvt_ir(ctx, bs[k], options);
+    ASSERT_EQ(batch[k].x.size(), want.x.size());
+    for (std::size_t i = 0; i < want.x.size(); ++i) {
+      EXPECT_NEAR(batch[k].x[i], want.x[i], 1e-9) << "lane " << k << " component " << i;
+    }
+  }
+}
+
+TEST(QsvtIrAdaptive, ContextSpecializesLazilyAndOnce) {
+  Xoshiro256 rng(64);
+  const auto A = linalg::random_with_cond(rng, 16, 10.0);
+  const auto b = linalg::random_unit_vector(rng, 16);
+  auto options = make_options(1e-11, 1e-2);
+  options.qsvt.precision = qsvt::QpuPrecision::kAdaptive;
+  const auto ctx = qsvt::prepare_qsvt_solver(A, options.qsvt);
+  ASSERT_NE(ctx.programs, nullptr);
+  // Adaptive preparation compiles the shared IR but specializes nothing
+  // until a tier actually executes.
+  EXPECT_EQ(ctx.programs->specializations(), 0u);
+
+  const auto first = solve_qsvt_ir(ctx, b, options);
+  EXPECT_TRUE(first.converged);
+  const auto after_first = ctx.programs->specializations();
+  EXPECT_GE(after_first, 2u);  // at least the half and single tiers ran
+  EXPECT_LE(after_first, 3u);
+
+  // Re-solving against the same context — same or different tier mix —
+  // reuses the cached specializations: the counter must not move.
+  const auto second = solve_qsvt_ir(ctx, b, options);
+  EXPECT_TRUE(second.converged);
+  EXPECT_EQ(ctx.programs->specializations(), after_first);
+
+  // Forcing the remaining tier explicitly compiles it exactly once.
+  ctx.programs->get<double>();
+  ctx.programs->get<double>();
+  ctx.programs->get<float>();
+  ctx.programs->get<qsim::exec::f16>();
+  EXPECT_EQ(ctx.programs->specializations(), 3u);
+}
+
 TEST(Theory, IterationBoundFormula) {
   // eps = 1e-12, rho = 1e-2 -> exactly 6 solves.
   EXPECT_EQ(iteration_bound(1e-12, 1e-3, 10.0), 6u);

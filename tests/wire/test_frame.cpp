@@ -40,7 +40,7 @@ service::SolveRequest sample_request(std::size_t n = 6, std::size_t n_rhs = 3) {
   o.use_brent = true;
   o.residual_precision = static_cast<solver::ResidualPrecision>(1);
   o.qsvt.backend = qsvt::Backend::kGateLevel;
-  o.qsvt.precision = static_cast<qsvt::QpuPrecision>(1);
+  o.qsvt.precision = qsvt::QpuPrecision::kAdaptive;  // highest wire value (3)
   o.qsvt.poly_method = static_cast<qsvt::PolyMethod>(1);
   o.qsvt.encoding = static_cast<qsvt::EncodingKind>(1);
   o.qsvt.eps_l = 7e-3;
@@ -57,6 +57,9 @@ service::SolveRequest sample_request(std::size_t n = 6, std::size_t n_rhs = 3) {
   o.qsvt.qsp_options.lbfgs_threshold = 0.75;
   o.qsvt.qsp_options.enable_newton = false;
   o.qsvt.qsp_options.enable_lbfgs = true;
+  o.escalation.stall_ratio = 0.375;
+  o.escalation.half_floor = 4e-3;
+  o.escalation.single_floor = 6e-11;
   return req;
 }
 
@@ -90,6 +93,11 @@ service::SolveResult sample_result() {
     rep.program_ops = 900;
     rep.program_depth = 500;
     rep.program_compile_seconds = 0.002;
+    rep.tier_solves = {2, 3, 1};
+    rep.tier_iterations = {1, 3, 1};
+    rep.precision_switches = 2 + static_cast<std::uint64_t>(k);
+    rep.dd128_verified = (k == 0);
+    rep.dd128_final_residual = 3e-13;
     for (int i = 0; i < 3; ++i) {
       solver::SolveTelemetry t;
       t.mu = 0.5 + i;
@@ -128,6 +136,9 @@ void expect_options_eq(const solver::QsvtIrOptions& a, const solver::QsvtIrOptio
   EXPECT_EQ(a.qsvt.qsp_options.lbfgs_threshold, b.qsvt.qsp_options.lbfgs_threshold);
   EXPECT_EQ(a.qsvt.qsp_options.enable_newton, b.qsvt.qsp_options.enable_newton);
   EXPECT_EQ(a.qsvt.qsp_options.enable_lbfgs, b.qsvt.qsp_options.enable_lbfgs);
+  EXPECT_EQ(a.escalation.stall_ratio, b.escalation.stall_ratio);
+  EXPECT_EQ(a.escalation.half_floor, b.escalation.half_floor);
+  EXPECT_EQ(a.escalation.single_floor, b.escalation.single_floor);
 }
 
 void expect_request_eq(const service::SolveRequest& a, const service::SolveRequest& b) {
@@ -178,6 +189,11 @@ void expect_result_eq(const service::SolveResult& a, const service::SolveResult&
     EXPECT_EQ(ra.program_ops, rb.program_ops);
     EXPECT_EQ(ra.program_depth, rb.program_depth);
     EXPECT_EQ(ra.program_compile_seconds, rb.program_compile_seconds);
+    EXPECT_EQ(ra.tier_solves, rb.tier_solves);
+    EXPECT_EQ(ra.tier_iterations, rb.tier_iterations);
+    EXPECT_EQ(ra.precision_switches, rb.precision_switches);
+    EXPECT_EQ(ra.dd128_verified, rb.dd128_verified);
+    EXPECT_EQ(ra.dd128_final_residual, rb.dd128_final_residual);
     ASSERT_EQ(ra.solves.size(), rb.solves.size());
     for (std::size_t i = 0; i < ra.solves.size(); ++i) {
       EXPECT_EQ(ra.solves[i].mu, rb.solves[i].mu);
