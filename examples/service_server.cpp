@@ -5,7 +5,7 @@
 //   build/examples/service_server serve [--port 8080] [--bind 127.0.0.1]
 //       [--solve-threads N] [--job-threads N] [--queue-depth N]
 //       [--cache-capacity N] [--retained-jobs N] [--max-body-mb N]
-//       [--panel-width N] [--store-mb N]
+//       [--panel-width N] [--store-mb N] [--retained-slow K]
 //
 // --panel-width N sets how many right-hand sides share one compiled-
 // program sweep (the multi-RHS panel executor; default 8, small powers
@@ -177,6 +177,8 @@ int run_daemon(int argc, char** argv) {
       options.service.cache_capacity = flag_value(argc, argv, &i, "--cache-capacity");
     } else if (arg == "--retained-jobs") {
       options.service.retained_jobs = flag_value(argc, argv, &i, "--retained-jobs");
+    } else if (arg == "--retained-slow") {
+      options.service.slow_jobs_retained = flag_value(argc, argv, &i, "--retained-slow");
     } else if (arg == "--panel-width") {
       options.service.panel_width = flag_value(argc, argv, &i, "--panel-width");
     } else if (arg == "--store-mb") {
@@ -203,8 +205,8 @@ int run_daemon(int argc, char** argv) {
   std::printf("solver daemon listening on %s:%u\n", options.bind_address.c_str(),
               static_cast<unsigned>(daemon.port()));
   std::printf(
-      "  POST /v1/jobs | GET /v1/jobs/{id}[/result] | PUT /v1/matrices | GET /v1/healthz | "
-      "GET /v1/metrics\n");
+      "  POST /v1/jobs | GET /v1/jobs/{id}[/result|/trace] | PUT /v1/matrices | "
+      "GET /v1/debug/slow | GET /v1/healthz | GET /v1/metrics\n");
   std::fflush(stdout);
 
   int sig = 0;
@@ -278,6 +280,8 @@ int run_cluster(int argc, char** argv) {
       worker.service.cache_capacity = flag_value(argc, argv, &i, "--cache-capacity");
     } else if (arg == "--retained-jobs") {
       worker.service.retained_jobs = flag_value(argc, argv, &i, "--retained-jobs");
+    } else if (arg == "--retained-slow") {
+      worker.service.slow_jobs_retained = flag_value(argc, argv, &i, "--retained-slow");
     } else if (arg == "--panel-width") {
       worker.service.panel_width = flag_value(argc, argv, &i, "--panel-width");
     } else if (arg == "--store-mb") {

@@ -24,7 +24,10 @@
 // against a coordinator the status output additionally renders the
 // per-worker routing gauges (breaker state, in-flight, affinity hit
 // ratio) scraped from /v1/metrics. `--cancel JOB_ID` instead issues
-// DELETE /v1/jobs/JOB_ID and exits.
+// DELETE /v1/jobs/JOB_ID and exits; `--trace JOB_ID` fetches
+// GET /v1/jobs/JOB_ID/trace and pretty-prints the span tree (indented by
+// parentage, with durations, percent-of-parent, and span attributes such
+// as precision tier and panel lanes).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -175,6 +178,73 @@ void print_precision_status(const std::string& text) {
               half, single, dbl, switches);
 }
 
+/// Recursive indented rendering of one span and its children. Spans
+/// arrive as a flat list with parent ids; children print in start order.
+void print_span_tree(const std::vector<mpqls::Json>& spans, std::uint64_t parent_id,
+                     double parent_us, int depth) {
+  for (const auto& span : spans) {
+    if (span.uint_or("parent", 0) != parent_id) continue;
+    const double us = span.number_or("duration_us", 0.0);
+    std::printf("%*s%-*s %9.3f ms", depth * 2, "", 24 - depth * 2,
+                span.string_or("name", "?").c_str(), us / 1e3);
+    if (parent_us > 0.0) {
+      std::printf("  %5.1f%%", 100.0 * us / parent_us);
+    } else {
+      std::printf("        ");
+    }
+    if (span.bool_or("running", false)) std::printf("  [running]");
+    if (span.contains("attrs") && !span.at("attrs").as_object().empty()) {
+      std::printf("  ");
+      bool first = true;
+      for (const auto& [key, value] : span.at("attrs").as_object()) {
+        std::printf("%s%s=%s", first ? "" : " ", key.c_str(),
+                    value.is_string() ? value.as_string().c_str() : value.dump().c_str());
+        first = false;
+      }
+    }
+    std::printf("\n");
+    print_span_tree(spans, span.uint_or("id", 0), us, depth + 1);
+  }
+}
+
+/// `--trace JOB_ID`: fetch and render the span tree of one job.
+int print_trace(mpqls::net::HttpClient& client, const std::string& job_id) {
+  const auto response = client.get("/v1/jobs/" + job_id + "/trace");
+  if (response.status != 200) {
+    std::fprintf(stderr, "trace fetch failed (%d): %s", response.status, response.body.c_str());
+    return 1;
+  }
+  const mpqls::Json body = mpqls::Json::parse(response.body);
+  std::printf("trace %s  job %s  state %s\n", body.string_or("trace_id", "?").c_str(),
+              body.string_or("job_id", job_id).c_str(), body.string_or("state", "?").c_str());
+  const auto dropped = body.uint_or("spans_dropped", 0);
+  if (dropped > 0) std::printf("(%llu spans dropped: buffer full)\n",
+                               static_cast<unsigned long long>(dropped));
+  if (!body.contains("spans")) {
+    std::printf("(no spans recorded)\n");
+    return 0;
+  }
+  std::vector<mpqls::Json> spans;
+  for (const auto& span : body.at("spans").as_array()) spans.push_back(span);
+  // Orphans (parent span dropped or still unpublished) would vanish from
+  // a strict tree walk; promote them to top level so nothing is hidden.
+  std::vector<mpqls::Json> roots_fixed = spans;
+  for (auto& span : roots_fixed) {
+    const std::uint64_t parent = span.uint_or("parent", 0);
+    if (parent == 0) continue;
+    bool found = false;
+    for (const auto& other : spans) {
+      if (other.uint_or("id", 0) == parent) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) span["parent"] = std::uint64_t{0};
+  }
+  print_span_tree(roots_fixed, 0, 0.0, 0);
+  return 0;
+}
+
 /// Scrape /v1/metrics once for the status renderings below; empty on any
 /// failure (status rendering is best-effort; results already printed).
 std::string fetch_metrics(mpqls::net::HttpClient& client) {
@@ -219,6 +289,7 @@ int main(int argc, char** argv) try {
   bool use_upload = false;
   std::string jobs_path;
   std::string cancel_id;
+  std::string trace_id;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--host" && i + 1 < argc) {
@@ -235,12 +306,14 @@ int main(int argc, char** argv) try {
       use_upload = true;
     } else if (arg == "--cancel" && i + 1 < argc) {
       cancel_id = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_id = argv[++i];
     } else if (!arg.empty() && arg[0] != '-') {
       jobs_path = arg;
     } else {
       std::fprintf(stderr,
                    "usage: submit_job [--host H] [--port P] [--poll-ms N] [--timeout-s N] "
-                   "[--binary] [--upload] (jobs.json | --cancel JOB_ID)\n");
+                   "[--binary] [--upload] (jobs.json | --cancel JOB_ID | --trace JOB_ID)\n");
       return 2;
     }
   }
@@ -249,6 +322,10 @@ int main(int argc, char** argv) try {
     const auto response = client.del("/v1/jobs/" + cancel_id);
     std::printf("%d %s", response.status, response.body.c_str());
     return response.status == 200 ? 0 : 1;
+  }
+  if (!trace_id.empty()) {
+    net::HttpClient client(host, port);
+    return print_trace(client, trace_id);
   }
   if (jobs_path.empty()) {
     std::fprintf(stderr, "submit_job: no job file given\n");

@@ -8,6 +8,7 @@
 #include "common/hash.hpp"
 #include "common/json.hpp"
 #include "common/metrics.hpp"
+#include "common/timer.hpp"
 #include "service/fingerprint.hpp"
 #include "service/json_io.hpp"
 #include "service/limits.hpp"
@@ -132,6 +133,10 @@ Coordinator::Coordinator(CoordinatorOptions options)
               [this](const HttpRequest& request, const net::PathParams& params) {
                 return do_job_request(request, params.get("id"), /*is_cancel=*/false, "/result");
               });
+  router_.add("GET", "/v1/jobs/{id}/trace",
+              [this](const HttpRequest& request, const net::PathParams& params) {
+                return do_job_trace(request, params.get("id"));
+              });
   router_.add("DELETE", "/v1/jobs/{id}",
               [this](const HttpRequest& request, const net::PathParams& params) {
                 return do_job_request(request, params.get("id"), /*is_cancel=*/true);
@@ -235,6 +240,7 @@ std::vector<std::size_t> Coordinator::candidate_order(std::uint64_t key) {
 }
 
 HttpResponse Coordinator::do_submit(const HttpRequest& request) {
+  const Timer route_timer;
   // Malformed bodies die here (mirroring the worker's 400 contract)
   // instead of being posted N times to the ring. A binary frame is never
   // JSON-parsed anywhere on this path: its affinity key streams straight
@@ -243,10 +249,19 @@ HttpResponse Coordinator::do_submit(const HttpRequest& request) {
   // created the ref. JSON bodies parse once, reused for the key.
   const std::string* ctype = request.header("Content-Type");
   const bool is_frame = ctype != nullptr && wire::is_frame_content_type(*ctype);
+  // Same adoption order as the worker front door: header, body-level id,
+  // mint. Whatever wins here is what the worker adopts too — the
+  // x-mpqls-trace header forwarded with the submit POST outranks the
+  // body field on the worker, so one id names the job end to end.
+  trace::TraceId trace_id{};
+  if (const std::string* th = request.header("x-mpqls-trace")) {
+    trace::TraceId::parse(*th, trace_id);
+  }
   std::uint64_t key = 0;
   if (is_frame) {
     try {
       key = wire::request_affinity_key(request.body);
+      if (trace_id.zero()) trace_id = wire::peek_request_trace(request.body);
     } catch (const wire::WireError& e) {
       return error_json(400, e.what());
     }
@@ -257,11 +272,24 @@ HttpResponse Coordinator::do_submit(const HttpRequest& request) {
     } catch (const JsonParseError& e) {
       return error_json(400, e.what());
     }
+    if (trace_id.zero() && parsed_body.contains("trace_id") &&
+        parsed_body.at("trace_id").is_string()) {
+      trace::TraceId::parse(parsed_body.at("trace_id").as_string(), trace_id);
+    }
     key = affinity_key(parsed_body, request.body);
   }
   const std::string forward_type = ctype != nullptr ? *ctype : "application/json";
   const std::size_t preferred = ring_.home(key);
   const auto order = candidate_order(key);
+
+  // Coordinator-side trace: the proxy span covers the candidate loop
+  // (every attempt, spills included); the worker's own span tree is
+  // stitched under it by do_job_trace.
+  auto trace_ctx = trace::make_trace(trace_id);
+  trace::ScopedSpan proxy_span(trace_ctx, "proxy");
+  net::HeaderList trace_header;
+  trace_header.emplace_back("x-mpqls-trace", trace_ctx->id().hex());
+  std::uint64_t attempts = 0;
 
   bool saw_saturated = false;
   HttpResponse saturated_response;
@@ -283,7 +311,8 @@ HttpResponse Coordinator::do_submit(const HttpRequest& request) {
     {
       auto lease = worker.pool.acquire();
       try {
-        response = lease->post("/v1/jobs", request.body, forward_type);
+        ++attempts;
+        response = lease->post("/v1/jobs", request.body, forward_type, trace_header);
         transport_ok = true;
       } catch (const std::exception& e) {
         // Broader than HttpError on purpose: wait_fd can throw
@@ -324,9 +353,19 @@ HttpResponse Coordinator::do_submit(const HttpRequest& request) {
         return error_json(502, "worker " + worker.endpoint.id + " answered 202 without a job id");
       }
       const std::string cluster_id = "w" + std::to_string(index) + "-" + worker_job_id;
-      remember_route(cluster_id, index);
-
       const bool is_affinity_hit = index == preferred;
+      // Grab the span id BEFORE finish() (which releases it), then close
+      // the proxy span at the moment the worker's 202 is in hand — its
+      // duration is the submit round-trip, spills included.
+      const std::uint64_t proxy_span_id = proxy_span.id();
+      // The ring name ("w<k>"), not endpoint.id: it matches the cluster
+      // job-id prefix and the worker="..." metric labels.
+      proxy_span.attr("worker", "w" + std::to_string(index));
+      proxy_span.attr("attempts", attempts);
+      if (!is_affinity_hit) proxy_span.attr("spillover", std::uint64_t{1});
+      proxy_span.finish();
+      remember_route(cluster_id, Route{index, trace_ctx, proxy_span_id});
+      route_latency_.observe(route_timer.seconds());
       {
         std::lock_guard<std::mutex> lock(worker.mutex);
         ++worker.submits_accepted;
@@ -347,6 +386,7 @@ HttpResponse Coordinator::do_submit(const HttpRequest& request) {
       j["state"] = "queued";
       j["status_url"] = "/v1/jobs/" + cluster_id;
       j["worker"] = worker.endpoint.id;
+      j["trace_id"] = trace_ctx->id().hex();
       return json_response(202, std::move(j));
     }
 
@@ -380,14 +420,22 @@ HttpResponse Coordinator::do_submit(const HttpRequest& request) {
   return error_json(503, "no cluster worker reachable");
 }
 
-void Coordinator::remember_route(const std::string& cluster_id, std::size_t worker) {
+void Coordinator::remember_route(const std::string& cluster_id, Route route) {
   std::lock_guard<std::mutex> lock(table_mutex_);
-  routed_[cluster_id] = worker;
+  routed_[cluster_id] = std::move(route);
   routed_order_.push_back(cluster_id);
   while (routed_order_.size() > options_.routing_table_capacity) {
     routed_.erase(routed_order_.front());
     routed_order_.pop_front();
   }
+}
+
+std::optional<Coordinator::Route> Coordinator::routed_record(
+    const std::string& cluster_id) const {
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  const auto it = routed_.find(cluster_id);
+  if (it == routed_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::optional<std::pair<std::size_t, std::string>> Coordinator::resolve(
@@ -399,7 +447,7 @@ std::optional<std::pair<std::size_t, std::string>> Coordinator::resolve(
   {
     std::lock_guard<std::mutex> lock(table_mutex_);
     const auto it = routed_.find(cluster_id);
-    if (it != routed_.end()) index = it->second;
+    if (it != routed_.end()) index = it->second.worker;
   }
   if (cluster_id.size() < 3 || cluster_id[0] != 'w') return std::nullopt;
   const auto dash = cluster_id.find('-');
@@ -477,6 +525,55 @@ HttpResponse Coordinator::do_job_request(const HttpRequest& request,
   HttpResponse out = mirror(response);
   out.body = rewrite_job_id(std::move(out.body), worker_job_id, cluster_id);
   return out;
+}
+
+HttpResponse Coordinator::do_job_trace(const HttpRequest& request,
+                                       const std::string& cluster_id) {
+  HttpResponse upstream = do_job_request(request, cluster_id, /*is_cancel=*/false, "/trace");
+  if (upstream.status != 200) return upstream;
+
+  // Stitch the worker's span tree under the coordinator's proxy span:
+  // worker span ids shift by a fixed base (they can never collide with
+  // coordinator ids — span buffers are far smaller than the base),
+  // top-level worker spans (parent 0) re-parent onto the proxy span, and
+  // worker start offsets rebase onto the proxy span's start so the
+  // merged timeline is consistent. If the route record was evicted (or
+  // predates tracing), the worker's answer passes through unstitched —
+  // still a complete single-daemon trace.
+  const auto record = routed_record(cluster_id);
+  if (!record || !record->trace) return upstream;
+
+  Json worker_json;
+  try {
+    worker_json = Json::parse(upstream.body);
+  } catch (const JsonParseError&) {
+    return upstream;
+  }
+  if (!worker_json.contains("spans")) return upstream;
+
+  constexpr std::uint64_t kWorkerSpanBase = 1u << 20;
+  Json merged = service::trace_to_json(*record->trace);
+  merged["job_id"] = cluster_id;
+  if (worker_json.contains("state")) merged["state"] = worker_json.at("state");
+  merged["spans_dropped"] =
+      merged.uint_or("spans_dropped", 0) + worker_json.uint_or("spans_dropped", 0);
+
+  double proxy_start_us = 0.0;
+  for (const auto& span : merged.at("spans").as_array()) {
+    if (span.uint_or("id", 0) == record->proxy_span) {
+      proxy_start_us = span.number_or("start_us", 0.0);
+      break;
+    }
+  }
+  for (const auto& span : worker_json.at("spans").as_array()) {
+    Json shifted = span;
+    shifted["id"] = span.uint_or("id", 0) + kWorkerSpanBase;
+    const std::uint64_t parent = span.uint_or("parent", 0);
+    shifted["parent"] = parent == 0 ? record->proxy_span : parent + kWorkerSpanBase;
+    shifted["start_us"] = span.number_or("start_us", 0.0) + proxy_start_us;
+    merged["spans"].push_back(std::move(shifted));
+  }
+  return json_response(200, std::move(merged));
 }
 
 HttpResponse Coordinator::do_upload(const HttpRequest& request) {
@@ -697,6 +794,14 @@ std::string Coordinator::metrics_text() {
             "PUT /v1/matrices uploads fanned out to the workers.", stats.proxied_uploads);
   m.gauge("mpqls_cluster_proxy_backlog", "Deferred requests awaiting a proxy thread.",
           static_cast<std::uint64_t>(proxy_backlog_.load()));
+
+  // Same family name (and bucket bounds) as the workers' per-stage
+  // histograms; the worker copies arrive below relabeled with worker="w<k>",
+  // so the coordinator's stage="route" series never collides.
+  m.histogram("mpqls_latency_seconds",
+              "Coordinator submit latency: body parse + routing + worker POST "
+              "(spillover attempts included).",
+              route_latency_, {{"stage", "route"}});
 
   // Per-worker routing gauges, one labeled series per worker.
   for (std::size_t i = 0; i < snapshots.size(); ++i) {

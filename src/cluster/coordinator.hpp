@@ -11,6 +11,10 @@
 //   GET    /v1/jobs/{id}  proxied poll           -> worker's answer
 //   GET    /v1/jobs/{id}/result  proxied result  -> worker's answer
 //                         (Accept forwarded, so binary results proxy too)
+//   GET    /v1/jobs/{id}/trace  stitched trace   -> coordinator spans
+//                         (admission, submit proxy) with the worker's
+//                         span tree re-parented under the proxy span
+//                         (see net/DESIGN.md, "Trace propagation")
 //   DELETE /v1/jobs/{id}  proxied cancel         -> worker's answer
 //   PUT    /v1/matrices   content-addressed upload, replicated to every
 //                         reachable worker (ring home's answer mirrored)
@@ -50,7 +54,9 @@
 #include "cluster/ring.hpp"
 #include "cluster/worker_client.hpp"
 #include "common/json.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "net/http_server.hpp"
 #include "net/router.hpp"
 
@@ -148,14 +154,26 @@ class Coordinator {
   /// ("" for the status poll, "/result" for the result route).
   net::HttpResponse do_job_request(const net::HttpRequest& request, const std::string& cluster_id,
                                    bool is_cancel, const std::string& suffix = "");
+  net::HttpResponse do_job_trace(const net::HttpRequest& request, const std::string& cluster_id);
   net::HttpResponse do_list(const net::HttpRequest& request);
   net::HttpResponse do_upload(const net::HttpRequest& request);
   net::HttpResponse healthz_now();
 
+  /// What the routing table remembers per cluster job id: the worker it
+  /// landed on, plus the coordinator-side trace whose proxy span the
+  /// worker's span tree is stitched under by do_job_trace. The trace
+  /// costs one bounded span buffer per retained route entry.
+  struct Route {
+    std::size_t worker = 0;
+    trace::TraceContext trace;
+    std::uint64_t proxy_span = 0;
+  };
+
   std::uint64_t affinity_key(const Json& parsed, const std::string& body) const;
   std::vector<std::size_t> candidate_order(std::uint64_t key);
-  void remember_route(const std::string& cluster_id, std::size_t worker);
+  void remember_route(const std::string& cluster_id, Route route);
   std::optional<std::pair<std::size_t, std::string>> resolve(const std::string& cluster_id) const;
+  std::optional<Route> routed_record(const std::string& cluster_id) const;
   void probe_loop();
 
   CoordinatorOptions options_;
@@ -167,8 +185,12 @@ class Coordinator {
   RoutingStats stats_;
 
   mutable std::mutex table_mutex_;
-  std::unordered_map<std::string, std::size_t> routed_;  ///< cluster job id -> worker
-  std::deque<std::string> routed_order_;                 ///< insertion order (pruning)
+  std::unordered_map<std::string, Route> routed_;  ///< cluster job id -> route + trace
+  std::deque<std::string> routed_order_;           ///< insertion order (pruning)
+
+  /// Submit-handler wall clock (parse + routing + worker POST) — the
+  /// stage="route" series of the coordinator's mpqls_latency_seconds.
+  Histogram route_latency_;
 
   std::atomic<std::uint64_t> rotation_{0};      ///< round-robin cursor (random mode)
   std::atomic<std::size_t> proxy_backlog_{0};   ///< deferred requests in flight

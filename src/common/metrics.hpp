@@ -6,10 +6,14 @@
 // values are a consistent snapshot.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <charconv>
 #include <cmath>
 #include <cstdint>
 #include <initializer_list>
+#include <limits>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -17,6 +21,63 @@
 #include "common/contracts.hpp"
 
 namespace mpqls {
+
+/// Canonical rendering of a histogram `le` bound. Every emit site MUST
+/// go through this helper: Prometheus matches bucket series by the
+/// literal label string, so "0.01" and "1e-02" would be two different
+/// buckets of the same family. Shortest-round-trip `std::to_chars` is
+/// the canon (never the integral shortcut `write_value` applies to
+/// sample values); +Inf renders as the exposition-format "+Inf".
+inline std::string format_le(double bound) {
+  if (std::isinf(bound)) return "+Inf";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, bound);
+  return std::string(buf, res.ptr);
+}
+
+/// Fixed-bucket latency histogram: lock-free `observe()`, rendered by
+/// `MetricsWriter::histogram()` as the Prometheus `_bucket`/`_sum`/
+/// `_count` family. Bounds are exponential from 10 µs to 30 s — wide
+/// enough to cover HTTP admission (~µs) through gate-level solves (~s)
+/// with one shared shape, so every `mpqls_latency_seconds` stage series
+/// has identical `le` labels.
+class Histogram {
+ public:
+  static constexpr std::array<double, 14> kBounds = {
+      1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0, 30.0};
+
+  void observe(double value) {
+    std::size_t bucket = kBounds.size();  // overflow bucket (+Inf)
+    for (std::size_t i = 0; i < kBounds.size(); ++i) {
+      if (value <= kBounds[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    double sum = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(sum, sum + value, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Non-cumulative count of observations in bucket `i` (the +Inf
+  /// overflow bucket is index `kBounds.size()`).
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBounds.size() + 1> counts_{};
+  std::atomic<double> sum_{0.0};
+};
 
 class MetricsWriter {
  public:
@@ -42,6 +103,33 @@ class MetricsWriter {
     sample(name, help, "gauge", static_cast<double>(value), labels);
   }
 
+  /// Emit one histogram series: cumulative `_bucket` lines (le labels
+  /// via `format_le`), the `+Inf` bucket, `_sum`, and `_count`. The
+  /// HELP/TYPE preamble is written once per family, so stage-labelled
+  /// series of one family must arrive consecutively (same contract as
+  /// counters/gauges).
+  void histogram(std::string_view name, std::string_view help, const Histogram& hist,
+                 std::initializer_list<Label> labels = {}) {
+    preamble(name, help, "histogram");
+    std::string bucket_name(name);
+    bucket_name += "_bucket";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBounds.size(); ++i) {
+      cumulative += hist.bucket_count(i);
+      const std::string le = format_le(Histogram::kBounds[i]);
+      line(bucket_name, labels, Label{"le", le}, static_cast<double>(cumulative));
+    }
+    cumulative += hist.bucket_count(Histogram::kBounds.size());
+    const std::string inf = format_le(std::numeric_limits<double>::infinity());
+    line(bucket_name, labels, Label{"le", inf}, static_cast<double>(cumulative));
+    std::string sum_name(name);
+    sum_name += "_sum";
+    line(sum_name, labels, std::nullopt, hist.sum());
+    std::string count_name(name);
+    count_name += "_count";
+    line(count_name, labels, std::nullopt, static_cast<double>(cumulative));
+  }
+
   /// Append pre-rendered exposition text verbatim (e.g. another
   /// endpoint's already-labeled families, merged by the cluster
   /// coordinator). Resets the preamble tracker so a family emitted after
@@ -57,31 +145,41 @@ class MetricsWriter {
  private:
   void sample(std::string_view name, std::string_view help, std::string_view type, double value,
               std::initializer_list<Label> labels) {
-    // HELP/TYPE preamble once per metric family; labelled series of one
-    // family arrive consecutively, so comparing against the previous name
-    // is enough.
-    if (name != last_name_) {
-      out_ += "# HELP ";
-      out_ += name;
-      out_ += ' ';
-      out_ += help;
-      out_ += "\n# TYPE ";
-      out_ += name;
-      out_ += ' ';
-      out_ += type;
-      out_ += '\n';
-      last_name_.assign(name);
-    }
+    preamble(name, help, type);
+    line(name, labels, std::nullopt, value);
+  }
+
+  // HELP/TYPE once per metric family; labelled series of one family
+  // arrive consecutively, so comparing against the previous name is
+  // enough.
+  void preamble(std::string_view name, std::string_view help, std::string_view type) {
+    if (name == last_name_) return;
+    out_ += "# HELP ";
     out_ += name;
-    if (labels.size() > 0) {
+    out_ += ' ';
+    out_ += help;
+    out_ += "\n# TYPE ";
+    out_ += name;
+    out_ += ' ';
+    out_ += type;
+    out_ += '\n';
+    last_name_.assign(name);
+  }
+
+  // One sample line. `extra` (the histogram `le` label) is appended
+  // after the caller's labels.
+  void line(std::string_view name, std::initializer_list<Label> labels,
+            std::optional<Label> extra, double value) {
+    out_ += name;
+    if (labels.size() > 0 || extra) {
       out_ += '{';
       bool first = true;
-      for (const auto& [k, v] : labels) {
+      auto emit = [&](const Label& label) {
         if (!first) out_ += ',';
         first = false;
-        out_ += k;
+        out_ += label.first;
         out_ += "=\"";
-        for (char c : v) {  // escape per the exposition format
+        for (char c : label.second) {  // escape per the exposition format
           if (c == '\\' || c == '"') out_ += '\\';
           if (c == '\n') {
             out_ += "\\n";
@@ -90,7 +188,9 @@ class MetricsWriter {
           out_ += c;
         }
         out_ += '"';
-      }
+      };
+      for (const auto& label : labels) emit(label);
+      if (extra) emit(*extra);
       out_ += '}';
     }
     out_ += ' ';

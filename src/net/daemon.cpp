@@ -101,6 +101,10 @@ SolverDaemon::SolverDaemon(DaemonOptions options)
                                                     const PathParams& params) {
     return job_result(request, params);
   });
+  router_.add("GET", "/v1/jobs/{id}/trace",
+              [this](const HttpRequest&, const PathParams& params) { return job_trace(params); });
+  router_.add("GET", "/v1/debug/slow",
+              [this](const HttpRequest&, const PathParams&) { return debug_slow(); });
   router_.add("DELETE", "/v1/jobs/{id}",
               [this](const HttpRequest&, const PathParams& params) { return cancel_job(params); });
   router_.add("PUT", "/v1/matrices", [this](const HttpRequest& request, const PathParams&) {
@@ -132,6 +136,7 @@ bool SolverDaemon::drain(std::chrono::milliseconds grace) {
 HttpResponse SolverDaemon::handle(const HttpRequest& request) { return router_.dispatch(request); }
 
 HttpResponse SolverDaemon::submit_job(const HttpRequest& request) {
+  const Timer admission_timer;
   if (draining_.load()) return error_json(503, "daemon is draining; job admission closed");
 
   const BodyEncoding encoding = body_encoding(request);
@@ -139,6 +144,15 @@ HttpResponse SolverDaemon::submit_job(const HttpRequest& request) {
   EncodingCounters& counters = encoding == BodyEncoding::kFrame ? wire_binary_ : wire_json_;
   counters.requests.fetch_add(1, std::memory_order_relaxed);
   counters.request_bytes.fetch_add(request.body.size(), std::memory_order_relaxed);
+
+  // Trace adoption (see net/DESIGN.md): an `x-mpqls-trace` header wins —
+  // that is the coordinator's propagation path — else the body-level id
+  // (wire-v3 trailer / JSON "trace_id"), else a fresh mint below.
+  // Malformed ids parse to zero and fall through to the mint.
+  trace::TraceId trace_id{};
+  if (const std::string* th = request.header("x-mpqls-trace")) {
+    trace::TraceId::parse(*th, trace_id);
+  }
 
   // Only cheap admission work runs here on the loop thread: a byte-capped
   // JSON parse, or for frames just a header + matrix-ref peek. Full
@@ -155,6 +169,7 @@ HttpResponse SolverDaemon::submit_job(const HttpRequest& request) {
     std::optional<std::uint64_t> ref;
     try {
       ref = wire::peek_request_matrix_ref(request.body);
+      if (trace_id.zero()) trace_id = wire::peek_request_trace(request.body);
     } catch (const wire::WireError& e) {
       return error_json(400, e.what());
     }
@@ -175,6 +190,10 @@ HttpResponse SolverDaemon::submit_job(const HttpRequest& request) {
     } catch (const JsonParseError& e) {
       return error_json(400, e.what());
     }
+    if (trace_id.zero() && body.is_object() && body.contains("trace_id") &&
+        body.at("trace_id").is_string()) {
+      trace::TraceId::parse(body.at("trace_id").as_string(), trace_id);
+    }
     std::shared_ptr<const linalg::Matrix<double>> resolved;
     if (body.contains("matrix_ref")) {
       std::uint64_t ref = 0;
@@ -193,21 +212,35 @@ HttpResponse SolverDaemon::submit_job(const HttpRequest& request) {
     };
   }
 
+  // The job's span buffer, minted (or adopted) here at the front door so
+  // the admission span is the first entry every trace shares. The parse
+  // and store-probe work above is cheap enough that folding it into the
+  // span would not change its shape; the admission HISTOGRAM does cover
+  // it (admission_timer spans the whole handler).
+  auto trace_ctx = trace::make_trace(trace_id);
+  {
+    trace::ScopedSpan admission_span(trace_ctx, "admission");
+    admission_span.attr("encoding", encoding == BodyEncoding::kFrame ? "binary" : "json");
+  }
+
   // The render callback also runs on the worker, so a terminal result is
   // serialized exactly once no matter how often it is polled.
   const auto job_id = service_.submit_job(
       std::move(make_request),
-      [](const service::SolveResult& result) { return service::to_json(result).dump(); });
+      [](const service::SolveResult& result) { return service::to_json(result).dump(); },
+      trace_ctx);
   if (!job_id) {
     HttpResponse r = error_json(429, "job queue full; retry later");
     r.headers.emplace_back("Retry-After", "1");
     return r;
   }
+  admission_latency_.observe(admission_timer.seconds());
 
   Json j = Json::object();
   j["job_id"] = *job_id;
   j["state"] = "queued";
   j["status_url"] = "/v1/jobs/" + *job_id;
+  j["trace_id"] = trace_ctx->id().hex();
   return json_response(202, std::move(j));
 }
 
@@ -220,6 +253,7 @@ HttpResponse SolverDaemon::job_status(const PathParams& params) {
   j["state"] = service::to_string(status->state);
   j["queue_seconds"] = status->queue_seconds;
   j["run_seconds"] = status->run_seconds;
+  if (status->trace) j["trace_id"] = status->trace->id().hex();
   if (!status->error.empty()) j["error"] = status->error;
 
   HttpResponse response;
@@ -263,6 +297,39 @@ HttpResponse SolverDaemon::job_result(const HttpRequest& request, const PathPara
   wire_json_.response_bytes.fetch_add(r.body.size(), std::memory_order_relaxed);
   r.body += "\n";
   return r;
+}
+
+HttpResponse SolverDaemon::job_trace(const PathParams& params) {
+  const auto status = service_.job_status(params.get("id"));
+  if (!status) return error_json(404, "unknown job id");
+
+  // Every registry job has a trace (minted at admission when the client
+  // supplied none), but records from before the tracing rollout — or a
+  // cancel that raced submission — may lack one; serve an empty span
+  // list rather than a confusing 404 for a job that clearly exists.
+  Json j = status->trace ? service::trace_to_json(*status->trace) : Json::object();
+  j["job_id"] = status->job_id;
+  j["state"] = service::to_string(status->state);
+  return json_response(200, std::move(j));
+}
+
+HttpResponse SolverDaemon::debug_slow() {
+  Json entries = Json::array();
+  for (const auto& rec : service_.flight_recorder().snapshot()) {
+    Json j = Json::object();
+    j["job_id"] = rec.job_id;
+    j["state"] = rec.state;
+    j["total_seconds"] = rec.total_seconds;
+    j["queue_seconds"] = rec.queue_seconds;
+    j["run_seconds"] = rec.run_seconds;
+    if (rec.trace) j["trace"] = service::trace_to_json(*rec.trace);
+    entries.push_back(std::move(j));
+  }
+  Json body = Json::object();
+  body["count"] = static_cast<double>(entries.as_array().size());
+  body["capacity"] = static_cast<double>(service_.flight_recorder().capacity());
+  body["slow_jobs"] = std::move(entries);
+  return json_response(200, std::move(body));
 }
 
 HttpResponse SolverDaemon::upload_matrix(const HttpRequest& request) {
@@ -450,6 +517,22 @@ std::string SolverDaemon::metrics_text() const {
   m.counter("mpqls_jobs_failed_total", "Async jobs that reached state failed.", queue.failed);
   m.counter("mpqls_jobs_cancelled_total", "Queued jobs cancelled via DELETE before pickup.",
             queue.cancelled);
+
+  // One histogram family, stage-labelled; consecutive calls share the
+  // HELP/TYPE preamble and every series has identical `le` buckets (the
+  // shared Histogram::kBounds), so PromQL can aggregate across stages.
+  const auto& lat = service_.stage_latency();
+  const char* lat_name = "mpqls_latency_seconds";
+  const char* lat_help =
+      "Per-stage job latency: admission (HTTP parse+admit), queue (submit->pickup), "
+      "prepare (context fetch/compile), solve (summed per-RHS refinement), render "
+      "(result serialization), total (submit->terminal).";
+  m.histogram(lat_name, lat_help, admission_latency_, {{"stage", "admission"}});
+  m.histogram(lat_name, lat_help, lat.queue, {{"stage", "queue"}});
+  m.histogram(lat_name, lat_help, lat.prepare, {{"stage", "prepare"}});
+  m.histogram(lat_name, lat_help, lat.solve, {{"stage", "solve"}});
+  m.histogram(lat_name, lat_help, lat.render, {{"stage", "render"}});
+  m.histogram(lat_name, lat_help, lat.total, {{"stage", "total"}});
 
   const auto store = service_.matrix_store().stats();
   m.gauge("mpqls_store_entries", "Matrices resident in the content-addressed store.",

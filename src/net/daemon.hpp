@@ -15,6 +15,11 @@
 //   GET    /v1/jobs/{id}/result  finished result only -> 200 / 404 / 409;
 //                              Accept: application/x-mpqls-frame returns
 //                              the binary encoding
+//   GET    /v1/jobs/{id}/trace span-list trace JSON   -> 200 / 404
+//                              (admission -> queue -> run -> prepare ->
+//                              panel/rhs_solve -> replay rounds -> render)
+//   GET    /v1/debug/slow      K worst-latency traces -> 200 (flight
+//                              recorder; bounded by slow_jobs_retained)
 //   DELETE /v1/jobs/{id}       cancel a queued job    -> 200 / 404 / 409
 //   PUT    /v1/matrices        content-addressed upload -> 201/200
 //                              {matrix_ref} (binary kMatrix frame or JSON
@@ -42,6 +47,7 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics.hpp"
 #include "common/timer.hpp"
 #include "net/http_server.hpp"
 #include "net/router.hpp"
@@ -89,6 +95,8 @@ class SolverDaemon {
   HttpResponse submit_job(const HttpRequest& request);
   HttpResponse job_status(const PathParams& params);
   HttpResponse job_result(const HttpRequest& request, const PathParams& params);
+  HttpResponse job_trace(const PathParams& params);
+  HttpResponse debug_slow();
   HttpResponse cancel_job(const PathParams& params);
   HttpResponse list_jobs(const HttpRequest& request);
   HttpResponse upload_matrix(const HttpRequest& request);
@@ -115,6 +123,10 @@ class SolverDaemon {
   Timer uptime_;
   EncodingCounters wire_json_;
   EncodingCounters wire_binary_;
+  /// Wall clock of the submit handler itself (parse + admission on the
+  /// event loop) — the stage="admission" series of mpqls_latency_seconds.
+  /// The service owns the other stages (queue/prepare/solve/render/total).
+  Histogram admission_latency_;
   // Declared last so it is destroyed FIRST: ~HttpServer joins the event
   // loop, which may still be dispatching into handle() — every member it
   // touches must outlive it (same pattern as SolverService's pools).

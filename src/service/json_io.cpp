@@ -376,6 +376,9 @@ Json to_json(const SolveRequest& request) {
   rhs["vectors"] = std::move(vectors);
   j["rhs"] = std::move(rhs);
   j["options"] = options_to_json(request.options);
+  // Optional body-level trace id — parity with the wire-v3 trailing
+  // field (zero = absent in both codecs).
+  if (!request.trace_id.zero()) j["trace_id"] = request.trace_id.hex();
   return j;
 }
 
@@ -469,6 +472,10 @@ SolveRequest request_from_json(const Json& j, const MatrixResolver& resolve) {
   expects(!req.rhs.empty(), "json: request needs at least one rhs");
 
   if (j.contains("options")) req.options = options_from_json(j.at("options"));
+  if (j.contains("trace_id")) {
+    expects(trace::TraceId::parse(j.at("trace_id").as_string(), req.trace_id),
+            "json: trace_id must be 32 hex chars");
+  }
   return req;
 }
 
@@ -476,6 +483,41 @@ std::vector<SolveRequest> jobs_from_json(const Json& j) {
   std::vector<SolveRequest> jobs;
   for (const auto& job : j.at("jobs").as_array()) jobs.push_back(request_from_json(job));
   return jobs;
+}
+
+Json trace_to_json(const trace::Trace& trace) {
+  Json j = Json::object();
+  j["trace_id"] = trace.id().hex();
+  j["spans_dropped"] = trace.dropped();
+  Json spans = Json::array();
+  for (const auto& span : trace.snapshot()) {
+    Json s = Json::object();
+    s["id"] = span.id;
+    s["parent"] = span.parent;
+    s["name"] = span.name;
+    // Microseconds as doubles: lossless for any span a service job can
+    // record, and directly human-scaled for latency work.
+    s["start_us"] = static_cast<double>(span.start_ns) / 1e3;
+    s["duration_us"] = static_cast<double>(span.duration_ns) / 1e3;
+    if (span.running) s["running"] = true;
+    if (!span.attrs.empty()) {
+      // Split the recorder's compact "k=v,k=v" form into an object.
+      Json attrs = Json::object();
+      std::string_view rest = span.attrs;
+      while (!rest.empty()) {
+        const auto comma = rest.find(',');
+        const std::string_view pair = rest.substr(0, comma);
+        rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+        const auto eq = pair.find('=');
+        if (eq == std::string_view::npos) continue;
+        attrs[std::string(pair.substr(0, eq))] = std::string(pair.substr(eq + 1));
+      }
+      s["attrs"] = std::move(attrs);
+    }
+    spans.push_back(std::move(s));
+  }
+  j["spans"] = std::move(spans);
+  return j;
 }
 
 }  // namespace mpqls::service

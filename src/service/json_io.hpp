@@ -43,4 +43,16 @@ SolveRequest request_from_json(const Json& j, const MatrixResolver& resolve = {}
 /// Parse a job file: {"jobs": [<request>, ...]}.
 std::vector<SolveRequest> jobs_from_json(const Json& j);
 
+// --- traces ----------------------------------------------------------------
+
+/// Flat span-list rendering of a trace — the body of
+/// GET /v1/jobs/{id}/trace and each /v1/debug/slow entry:
+///   {"trace_id": "<32 hex>", "spans_dropped": N, "spans": [
+///     {"id": 1, "parent": 0, "name": "run", "start_us": 12.5,
+///      "duration_us": 830.1, "attrs": {"tier": "half", ...}},
+///     ...]}
+/// Parents reference span ids (0 = top level); clients build the tree.
+/// Still-running spans carry "running": true and a live duration.
+Json trace_to_json(const trace::Trace& trace);
+
 }  // namespace mpqls::service

@@ -29,6 +29,13 @@ struct SolveRequest {
   std::vector<linalg::Vector<double>> rhs;  ///< >= 1 right-hand sides
   solver::QsvtIrOptions options;            ///< eps, refinement + QSVT knobs
 
+  /// Client-supplied trace id (zero = none): the body-level twin of the
+  /// `x-mpqls-trace` header, carried by wire-v3 frames and the optional
+  /// JSON "trace_id" field so a binary submit keeps its distributed
+  /// trace identity without HTTP header plumbing. The runtime span sink
+  /// travels separately, in `options.trace`.
+  trace::TraceId trace_id{};
+
   /// By-reference form: the content hash (service::hash_matrix) of a
   /// matrix uploaded to the daemon's store. Nonzero means `A` is empty
   /// and the matrix travels as `shared_A` once resolved — a store entry

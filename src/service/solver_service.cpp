@@ -44,12 +44,15 @@ struct SolverService::JobRecord {
   double queue_seconds = 0.0;
   double run_seconds = 0.0;
   Timer since_start;    ///< re-armed when the worker picks the job up
+  trace::TraceContext trace;      ///< span buffer, never null once registered
+  std::uint64_t queue_span = 0;   ///< open "queue" span, ended at pickup/cancel
 };
 
 SolverService::SolverService(ServiceOptions options)
     : options_(options),
       cache_(options.cache_capacity),
       matrix_store_(options.matrix_store_bytes),
+      flight_recorder_(options.slow_jobs_retained),
       solve_pool_(default_solve_threads(options.solve_threads)),
       job_pool_(options.job_threads) {
   queue_stats_.max_pending = options.max_pending_jobs;
@@ -84,9 +87,15 @@ SolveResult SolverService::solve(const SolveRequest& request) {
 
   Timer prep;
   bool hit = false;
-  auto ctx = cache_.get_or_prepare(result.fp, A, request.options.qsvt, &hit);
+  const auto ctx = [&] {
+    MPQLS_TRACE_SPAN(prep_span, request.options.trace, "prepare", request.options.trace_span);
+    auto prepared = cache_.get_or_prepare(result.fp, A, request.options.qsvt, &hit);
+    prep_span.attr("cache", hit ? "hit" : "miss");
+    return prepared;
+  }();
   result.cache_hit = hit;
   result.prepare_seconds = prep.seconds();
+  stage_latency_.prepare.observe(result.prepare_seconds);
 
   // Panel-eligible jobs group their right-hand sides into panels of
   // `panel_width` lanes: each group replays the cached program in one
@@ -120,10 +129,17 @@ SolveResult SolverService::solve(const SolveRequest& request) {
       pending.push_back(solve_pool_.submit([ctx, &active, begin, count] {
         Timer t;
         GroupOutcome out;
+        // Each panel group gets its own span; the replay rounds recorded
+        // inside solve_qsvt_ir_batch nest under it via the options copy.
+        MPQLS_TRACE_SPAN(panel_span, active.options.trace, "panel", active.options.trace_span);
+        panel_span.attr("lanes", static_cast<std::uint64_t>(count));
+        panel_span.attr("rhs_begin", static_cast<std::uint64_t>(begin));
+        solver::QsvtIrOptions opts = active.options;
+        if (panel_span) opts.trace_span = panel_span.id();
         auto reports = solver::solve_qsvt_ir_batch(
             *ctx,
             std::span<const linalg::Vector<double>>(active.rhs.data() + begin, count),
-            active.options, &out.stats);
+            opts, &out.stats);
         // The panel's wall clock is shared work; report it amortized so
         // per-RHS and job-level timings stay additive.
         const double per_rhs_seconds = t.seconds() / static_cast<double>(count);
@@ -137,8 +153,11 @@ SolveResult SolverService::solve(const SolveRequest& request) {
       pending.push_back(solve_pool_.submit([ctx, &b, &options = request.options] {
         Timer t;
         GroupOutcome out;
+        MPQLS_TRACE_SPAN(rhs_span, options.trace, "rhs_solve", options.trace_span);
+        solver::QsvtIrOptions opts = options;
+        if (rhs_span) opts.trace_span = rhs_span.id();
         RhsResult r;
-        r.report = solver::solve_qsvt_ir(*ctx, b, options);
+        r.report = solver::solve_qsvt_ir(*ctx, b, opts);
         r.solve_seconds = t.seconds();
         out.results.push_back(std::move(r));
         return out;
@@ -168,6 +187,7 @@ SolveResult SolverService::solve(const SolveRequest& request) {
   }
   if (first_error) std::rethrow_exception(first_error);
   result.total_seconds = total.seconds();
+  stage_latency_.solve.observe(solve_seconds);
 
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -200,15 +220,21 @@ std::future<SolveResult> SolverService::submit(SolveRequest request) {
       [this, request = std::move(request)] { return solve(request); });
 }
 
-std::optional<std::string> SolverService::submit_job(SolveRequest request) {
+std::optional<std::string> SolverService::submit_job(SolveRequest request,
+                                                     trace::TraceContext trace) {
   return submit_job(std::function<SolveRequest()>(
-      [request = std::move(request)]() mutable { return std::move(request); }));
+                        [request = std::move(request)]() mutable { return std::move(request); }),
+                    {}, std::move(trace));
 }
 
 std::optional<std::string> SolverService::submit_job(
     std::function<SolveRequest()> make_request,
-    std::function<std::string(const SolveResult&)> render) {
+    std::function<std::string(const SolveResult&)> render, trace::TraceContext trace) {
   auto record = std::make_shared<JobRecord>();
+  // Every registry job carries a trace: callers that minted one at the
+  // front door (the daemon) hand it in, everyone else gets a fresh one
+  // here — the flight recorder depends on traces existing unconditionally.
+  record->trace = trace ? std::move(trace) : trace::make_trace();
   {
     std::lock_guard<std::mutex> lock(registry_mutex_);
     if (options_.max_pending_jobs != 0 &&
@@ -222,6 +248,7 @@ std::optional<std::string> SolverService::submit_job(
     ++queue_stats_.accepted;
     ++queue_stats_.queued;
   }
+  record->queue_span = record->trace->begin_span("queue");
 
   job_pool_.submit(
       [this, record, make = std::move(make_request), render = std::move(render)]() mutable {
@@ -236,17 +263,38 @@ std::optional<std::string> SolverService::submit_job(
           --queue_stats_.queued;
           ++queue_stats_.running;
         }
+        // The kRunning transition above settles the cancel race: from here
+        // this worker is the only writer of the queue span.
+        record->trace->end_span(record->queue_span);
+        record->queue_span = 0;
+        stage_latency_.queue.observe(record->queue_seconds);
+        trace::ScopedSpan run_span(record->trace, "run");
         try {
-          const SolveRequest request = make();
+          SolveRequest request;
+          {
+            MPQLS_TRACE_SPAN(mat_span, record->trace, "materialize", run_span.id());
+            request = make();
+          }
+          request.options.trace = record->trace;
+          request.options.trace_span = run_span.id();
           auto result = std::make_shared<SolveResult>(solve(request));
           // Render here, outside any lock: serialization of a large
           // result is exactly the work the caller wants off its threads.
           std::shared_ptr<const std::string> rendered;
-          if (render) rendered = std::make_shared<const std::string>(render(*result));
+          if (render) {
+            Timer render_timer;
+            MPQLS_TRACE_SPAN(render_span, record->trace, "render", run_span.id());
+            rendered = std::make_shared<const std::string>(render(*result));
+            render_span.finish();
+            stage_latency_.render.observe(render_timer.seconds());
+          }
+          run_span.finish();
           finish_job(record, JobState::kDone, std::move(result), std::move(rendered), "");
         } catch (const std::exception& e) {
+          run_span.finish();
           finish_job(record, JobState::kFailed, nullptr, nullptr, e.what());
         } catch (...) {
+          run_span.finish();
           finish_job(record, JobState::kFailed, nullptr, nullptr, "unknown error");
         }
       });
@@ -273,6 +321,18 @@ void SolverService::finish_job(const std::shared_ptr<JobRecord>& record, JobStat
     prune_terminal_locked();
   }
   registry_cv_.notify_all();
+  // The record is terminal: queue/run_seconds have their final values and
+  // no other thread writes them again.
+  const double total_seconds = record->queue_seconds + record->run_seconds;
+  stage_latency_.total.observe(total_seconds);
+  trace::FlightRecord flight;
+  flight.job_id = record->job_id;
+  flight.state = to_string(final_state);
+  flight.total_seconds = total_seconds;
+  flight.queue_seconds = record->queue_seconds;
+  flight.run_seconds = record->run_seconds;
+  flight.trace = record->trace;
+  flight_recorder_.record(std::move(flight));
 }
 
 void SolverService::prune_terminal_locked() {
@@ -292,6 +352,7 @@ JobStatus SolverService::snapshot_locked(const JobRecord& r) const {
   status.rendered = r.rendered;
   status.queue_seconds = r.state == JobState::kQueued ? r.since_submit.seconds() : r.queue_seconds;
   status.run_seconds = r.state == JobState::kRunning ? r.since_start.seconds() : r.run_seconds;
+  status.trace = r.trace;
   return status;
 }
 
@@ -311,6 +372,11 @@ CancelOutcome SolverService::cancel_job(const std::string& job_id) {
     if (r.state != JobState::kQueued) return CancelOutcome::kNotCancellable;
     r.state = JobState::kCancelled;
     r.queue_seconds = r.since_submit.seconds();
+    // Close the open queue span: the worker will skip this job on pickup
+    // (the kQueued check above settles the race — only one of cancel and
+    // pickup transitions the state).
+    if (r.trace) r.trace->end_span(r.queue_span, "cancelled=1");
+    r.queue_span = 0;
     --queue_stats_.queued;
     ++queue_stats_.cancelled;
     terminal_order_.push_back(r.job_id);

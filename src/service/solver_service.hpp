@@ -26,8 +26,10 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "service/context_cache.hpp"
 #include "service/request.hpp"
 #include "store/matrix_store.hpp"
@@ -58,6 +60,10 @@ struct ServiceOptions {
   /// PUT /v1/matrices that jobs reference as {"matrix_ref": ...}). The
   /// store clamps this up so at least one max-dimension matrix fits.
   std::size_t matrix_store_bytes = 512u << 20;
+  /// Slow-job flight recorder: full traces of the K worst finished jobs
+  /// by total (queue + run) latency are retained for GET /v1/debug/slow.
+  /// 0 disables the recorder.
+  std::size_t slow_jobs_retained = 8;
 };
 
 /// Lifecycle of a registry job. Terminal states are kDone, kFailed and
@@ -84,6 +90,10 @@ struct JobStatus {
   std::shared_ptr<const std::string> rendered;
   double queue_seconds = 0.0;  ///< submit -> worker pickup (live while queued)
   double run_seconds = 0.0;    ///< worker pickup -> terminal (0 until then)
+  /// The job's span buffer (every registry job has one — minted at
+  /// submission when the caller supplied none). Readable while the job
+  /// runs; GET /v1/jobs/{id}/trace serves it.
+  trace::TraceContext trace;
 };
 
 class SolverService {
@@ -103,7 +113,8 @@ class SolverService {
   /// queues it on the job pool, and returns its registry id — or nullopt
   /// when queued + running jobs have reached max_pending_jobs (the
   /// backpressure signal; nothing was enqueued). Never blocks on a solve.
-  std::optional<std::string> submit_job(SolveRequest request);
+  std::optional<std::string> submit_job(SolveRequest request,
+                                        trace::TraceContext trace = {});
 
   /// Deferred-construction variant: `make_request` runs on the job
   /// worker, so expensive request materialization (scenario matrix
@@ -112,10 +123,13 @@ class SolverService {
   /// the same place solve failures land. `render`, when given, runs once
   /// on the worker after a successful solve; its output is snapshotted as
   /// JobStatus::rendered (e.g. the serialized result a poll endpoint
-  /// serves verbatim).
+  /// serves verbatim). `trace` is the job's span buffer — the daemon
+  /// passes the one it minted (or adopted) at the front door; when null,
+  /// the service mints its own so every job is traceable.
   std::optional<std::string> submit_job(
       std::function<SolveRequest()> make_request,
-      std::function<std::string(const SolveResult&)> render = {});
+      std::function<std::string(const SolveResult&)> render = {},
+      trace::TraceContext trace = {});
 
   /// Snapshot of a submitted job; nullopt for ids never issued or already
   /// pruned from the retained-results window.
@@ -185,6 +199,23 @@ class SolverService {
   };
   QueueStats queue_stats() const;
 
+  /// Per-stage latency histograms, all rendered under one
+  /// `mpqls_latency_seconds{stage=...}` family by the daemon. `queue`,
+  /// `render` and `total` are observed on the submit_job path only;
+  /// `prepare` and `solve` cover every solve() including synchronous
+  /// callers.
+  struct StageLatency {
+    Histogram queue;    ///< submit -> worker pickup
+    Histogram prepare;  ///< get_or_prepare (context fetch or compile)
+    Histogram solve;    ///< summed per-RHS refinement wall clock per job
+    Histogram render;   ///< result serialization on the job worker
+    Histogram total;    ///< submit -> terminal (queue + run)
+  };
+  const StageLatency& stage_latency() const { return stage_latency_; }
+
+  /// The K-worst-jobs-by-latency recorder GET /v1/debug/slow serves.
+  const trace::FlightRecorder& flight_recorder() const { return flight_recorder_; }
+
  private:
   struct JobRecord;
 
@@ -202,6 +233,8 @@ class SolverService {
   // the cache and stats members above — those must outlive the pools.
   mutable std::mutex stats_mutex_;
   Stats stats_{};
+  StageLatency stage_latency_{};
+  trace::FlightRecorder flight_recorder_;
 
   mutable std::mutex registry_mutex_;
   mutable std::condition_variable registry_cv_;  ///< signalled on terminal transitions

@@ -105,6 +105,9 @@ std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx
            : tier == kTierSingle ? qsvt::QpuPrecision::kSingle
                                  : qsvt::QpuPrecision::kDouble;
   };
+  const auto tier_name = [](int tier) -> std::string_view {
+    return tier == kTierHalf ? "half" : tier == kTierSingle ? "single" : "double";
+  };
   const auto tier_floor = [&](int tier) {
     return tier == kTierHalf     ? options.escalation.half_floor
            : tier == kTierSingle ? options.escalation.single_floor
@@ -175,6 +178,7 @@ std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx
   // signal is not a rounding artifact. The factor-2 guard matches the
   // bench's equal-accuracy window (‖r‖/‖b‖ within 2× counts as equal).
   auto dd128_scaled_residual = [&](const Lane& lane) {
+    MPQLS_TRACE_SPAN(dd_span, options.trace, "dd128_verify", options.trace_span);
     const auto r =
         residual_high_precision(A, lane.rep.x, *lane.b, ResidualPrecision::kDoubleDouble);
     return linalg::nrm2(r) / lane.norm_b;
@@ -189,6 +193,10 @@ std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx
   // --- First solve on every lane: x_0 = mu_0 * eta_0, one panel sweep ---
   // All lanes share the initial tier, so this is a single tier group.
   {
+    MPQLS_TRACE_SPAN(replay_span, options.trace, "replay", options.trace_span);
+    replay_span.attr("round", std::uint64_t{0});
+    replay_span.attr("tier", tier_name(initial_tier));
+    replay_span.attr("lanes", static_cast<std::uint64_t>(lanes.size()));
     std::vector<const linalg::Vector<double>*> batch;
     batch.reserve(lanes.size());
     for (const Lane& lane : lanes) batch.push_back(lane.b);
@@ -215,7 +223,9 @@ std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx
   // and stagnated lanes drop out, so occupancy may shrink round over
   // round; adaptive lanes escalate tiers independently, so a round may
   // split into up to three tier-group sweeps. ---
+  int round = 0;
   for (;;) {
+    ++round;
     std::vector<std::size_t> roster;
     for (std::size_t l = 0; l < lanes.size(); ++l) {
       Lane& lane = lanes[l];
@@ -264,9 +274,20 @@ std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx
     for (const std::size_t l : roster) {
       groups[static_cast<std::size_t>(lanes[l].tier)].push_back(l);
     }
+    const auto group_switches = [&](const std::vector<std::size_t>& group) {
+      std::uint64_t total = 0;
+      for (const std::size_t l : group) total += lanes[l].rep.precision_switches;
+      return total;
+    };
     for (int tier = kTierHalf; tier <= kTierDouble; ++tier) {
       const auto& group = groups[static_cast<std::size_t>(tier)];
       if (group.empty()) continue;
+
+      MPQLS_TRACE_SPAN(replay_span, options.trace, "replay", options.trace_span);
+      replay_span.attr("round", static_cast<std::uint64_t>(round));
+      replay_span.attr("tier", tier_name(tier));
+      replay_span.attr("lanes", static_cast<std::uint64_t>(group.size()));
+      const std::uint64_t switches_before = replay_span ? group_switches(group) : 0;
 
       std::vector<const linalg::Vector<double>*> batch;
       batch.reserve(group.size());
@@ -321,6 +342,10 @@ std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx
         } else {
           lane.omega = omega_new;
         }
+      }
+      if (replay_span) {
+        const std::uint64_t escalated = group_switches(group) - switches_before;
+        if (escalated != 0) replay_span.attr("escalations", escalated);
       }
     }
   }

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "common/trace.hpp"
 #include "hybrid/comm.hpp"
 #include "linalg/matrix.hpp"
 #include "qsvt/solve.hpp"
@@ -53,6 +54,14 @@ struct QsvtIrOptions {
   ResidualPrecision residual_precision = ResidualPrecision::kDouble;
   EscalationPolicy escalation = {};  ///< adaptive-precision schedule knobs
   qsvt::QsvtOptions qsvt = {};  ///< eps_l, backend, precision, shots, ...
+
+  /// Runtime-only span sink (never hashed into fingerprints, never wire
+  /// encoded): when set, the refinement loop records one "replay" span
+  /// per tier-group sweep (attrs: round, tier, lanes, escalations) and a
+  /// "dd128_verify" span per final verification, parented under
+  /// `trace_span`. Null = no recording.
+  trace::TraceContext trace = {};
+  std::uint64_t trace_span = 0;
 };
 
 struct SolveTelemetry {

@@ -229,9 +229,13 @@ solver::QsvtIrReport read_report(WireReader& r) {
 
 /// Reader over a frame's payload with absolute (whole-frame) offsets in
 /// the errors, plus the tag check every decode entry point shares.
-WireReader payload_reader(std::string_view frame, FrameTag want) {
+/// `version_out` receives the negotiated frame version for decoders that
+/// branch on it (the request decoder's v3 trailing trace field).
+WireReader payload_reader(std::string_view frame, FrameTag want,
+                          std::uint8_t* version_out = nullptr) {
   const FrameView view = open_frame(frame);
   if (view.tag != want) throw WireError("unexpected frame tag", 5);
+  if (version_out) *version_out = view.version;
   return WireReader(view.payload, kFrameHeaderBytes);
 }
 
@@ -263,12 +267,17 @@ std::string encode_request(const service::SolveRequest& request) {
   write_options(w, request.options);
   w.u32(static_cast<std::uint32_t>(request.rhs.size()));
   for (const auto& b : request.rhs) write_vector(w, b);
+  // v3 append-only extension: the client trace id rides at the END of
+  // the payload (zero = none), so the field is also reachable by a
+  // fixed-offset-from-the-end peek without decoding the vectors.
+  w.u64(request.trace_id.hi).u64(request.trace_id.lo);
   return seal_frame(FrameTag::kSolveRequest, w.take());
 }
 
 service::SolveRequest decode_request(std::string_view frame,
                                      const service::MatrixResolver& resolve) {
-  WireReader r = payload_reader(frame, FrameTag::kSolveRequest);
+  std::uint8_t version = kWireVersion;
+  WireReader r = payload_reader(frame, FrameTag::kSolveRequest, &version);
   service::SolveRequest req;
   req.id = r.str(kMaxIdBytes);
   const std::uint8_t kind = checked_enum(r, 1, "unknown matrix kind");
@@ -299,8 +308,26 @@ service::SolveRequest decode_request(std::string_view frame,
     if (b.empty() || b.size() != want) throw WireError("rhs dimension mismatch", vec_at);
     req.rhs.push_back(std::move(b));
   }
+  // v2 frames end here; v3 appended the trace id (v2 defaults to zero).
+  if (version >= 3) {
+    req.trace_id.hi = r.u64();
+    req.trace_id.lo = r.u64();
+  }
   r.expect_done();
   return req;
+}
+
+trace::TraceId peek_request_trace(std::string_view frame) {
+  const FrameView view = open_frame(frame);
+  if (view.tag != FrameTag::kSolveRequest) throw WireError("unexpected frame tag", 5);
+  trace::TraceId id;
+  if (view.version >= 3 && view.payload.size() >= 16) {
+    WireReader r(view.payload.substr(view.payload.size() - 16),
+                 kFrameHeaderBytes + view.payload.size() - 16);
+    id.hi = r.u64();
+    id.lo = r.u64();
+  }
+  return id;
 }
 
 std::optional<std::uint64_t> peek_request_matrix_ref(std::string_view frame) {

@@ -46,6 +46,13 @@ service::SolveRequest decode_request(std::string_view frame,
 /// (no payload decode); throws WireError if even the prefix is malformed.
 std::optional<std::uint64_t> peek_request_matrix_ref(std::string_view frame);
 
+/// The client trace id of a request frame without decoding the body: v3
+/// appended it as the final 16 payload bytes, so this is a
+/// fixed-offset-from-the-end read. Zero for v2 frames (which predate the
+/// field) and for v3 frames whose client supplied none — the front door
+/// mints an id in both cases.
+trace::TraceId peek_request_trace(std::string_view frame);
+
 /// Routing key for a request frame without materializing it: the
 /// matrix_ref if present, otherwise the content hash
 /// (service::hash_matrix) streamed over the inline matrix bytes. By-ref

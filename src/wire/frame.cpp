@@ -6,16 +6,19 @@ namespace {
 
 /// Parse and validate the 16-byte header; returns the declared payload
 /// length. Shared by open_frame and peek_tag so the two cannot drift.
-std::uint64_t check_header(std::string_view frame, FrameTag* tag) {
+std::uint64_t check_header(std::string_view frame, FrameTag* tag, std::uint8_t* version_out) {
   if (frame.size() < kFrameHeaderBytes) throw WireError("truncated frame header", frame.size());
   WireReader r(frame);
   if (r.u32() != kWireMagic) throw WireError("bad frame magic", 0);
   const std::uint8_t version = r.u8();
-  if (version != kWireVersion) throw WireError("unsupported frame version", 4);
+  if (version < kWireMinVersion || version > kWireVersion) {
+    throw WireError("unsupported frame version", 4);
+  }
   const std::uint8_t raw_tag = r.u8();
   if (raw_tag < 1 || raw_tag > 3) throw WireError("unknown frame tag", 5);
   if (r.u16() != 0) throw WireError("nonzero reserved field", 6);
   *tag = static_cast<FrameTag>(raw_tag);
+  if (version_out) *version_out = version;
   return r.u64();
 }
 
@@ -35,7 +38,8 @@ std::string seal_frame(FrameTag tag, std::string payload) {
 
 FrameView open_frame(std::string_view frame) {
   FrameTag tag;
-  const std::uint64_t declared = check_header(frame, &tag);
+  std::uint8_t version = kWireVersion;
+  const std::uint64_t declared = check_header(frame, &tag, &version);
   const std::size_t actual = frame.size() - kFrameHeaderBytes;
   if (declared != actual) {
     throw WireError(declared > actual ? "frame shorter than declared length"
@@ -45,12 +49,12 @@ FrameView open_frame(std::string_view frame) {
   // Every current payload starts with at least one mandatory field, so an
   // empty payload can only be a truncation upstream of us.
   if (actual == 0) throw WireError("empty frame payload", kFrameHeaderBytes);
-  return {tag, frame.substr(kFrameHeaderBytes)};
+  return {tag, version, frame.substr(kFrameHeaderBytes)};
 }
 
 FrameTag peek_tag(std::string_view frame) {
   FrameTag tag;
-  check_header(frame, &tag);
+  check_header(frame, &tag, nullptr);
   return tag;
 }
 

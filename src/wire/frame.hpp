@@ -31,7 +31,12 @@
 namespace mpqls::wire {
 
 inline constexpr std::uint32_t kWireMagic = 0x4251504Du;  // "MPQB" on the wire
-inline constexpr std::uint8_t kWireVersion = 2;  // v2: adaptive-precision options + per-tier report telemetry
+inline constexpr std::uint8_t kWireVersion = 3;  // v3: optional trace id appended to SolveRequest
+// Oldest version this decoder still accepts. v3 only APPENDS fields to
+// the request payload (the DESIGN.md append-only rule), so v2 frames
+// decode unchanged — new fields take their defaults. Anything older or
+// newer is rejected.
+inline constexpr std::uint8_t kWireMinVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 
 /// What a frame's payload is. Unknown tags are a decode error, so new
@@ -181,12 +186,15 @@ class WireReader {
 /// Prepend the 16-byte header to a finished payload.
 std::string seal_frame(FrameTag tag, std::string payload);
 
-/// Validate the header of `frame` (magic, version, known tag, exact
-/// declared length) and return the payload view plus its tag. Throws
-/// WireError on any violation, including a zero-length frame of a tag
-/// whose payload cannot be empty (every current tag).
+/// Validate the header of `frame` (magic, version within
+/// [kWireMinVersion, kWireVersion], known tag, exact declared length)
+/// and return the payload view plus its tag and negotiated version —
+/// decoders branch on `version` to skip fields an older writer did not
+/// emit. Throws WireError on any violation, including a zero-length
+/// frame of a tag whose payload cannot be empty (every current tag).
 struct FrameView {
   FrameTag tag;
+  std::uint8_t version = kWireVersion;
   std::string_view payload;
 };
 FrameView open_frame(std::string_view frame);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/trace.hpp"
 #include "net/http_client.hpp"
 #include "service/json_io.hpp"
 #include "service/solver_service.hpp"
@@ -266,6 +267,65 @@ TEST(Cluster, ProxiesCancelAndListingWithClusterIds) {
   const auto routing = cluster.coordinator().routing_stats();
   EXPECT_GE(routing.proxied_cancels, 2u);
   EXPECT_GE(routing.proxied_polls, 2u);
+  cluster.stop();
+}
+
+TEST(Cluster, TracePropagatesToTheWorkerAndStitchesUnderTheProxySpan) {
+  TestCluster cluster(small_cluster(2));
+  net::HttpClient client("127.0.0.1", cluster.port());
+
+  // The client's trace id must survive two hops: coordinator adoption,
+  // then header propagation to whichever worker won the route.
+  const std::string want_trace = trace::mint_trace_id().hex();
+  const auto accepted = client.post("/v1/jobs", job_json(17, "stitched"), "application/json",
+                                    {{"x-mpqls-trace", want_trace}});
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  const Json ack = Json::parse(accepted.body);
+  EXPECT_EQ(ack.at("trace_id").as_string(), want_trace);
+  const std::string job_id = ack.at("job_id").as_string();
+  ASSERT_EQ(poll_until_terminal(client, job_id).at("state").as_string(), "done");
+
+  // The stitched tree: the coordinator's own proxy span at the root, the
+  // worker's spans re-parented beneath it with collision-proofed ids.
+  const auto response = client.get("/v1/jobs/" + job_id + "/trace");
+  ASSERT_EQ(response.status, 200) << response.body;
+  const Json trace = Json::parse(response.body);
+  EXPECT_EQ(trace.at("trace_id").as_string(), want_trace);
+  EXPECT_EQ(trace.at("job_id").as_string(), job_id);
+  EXPECT_EQ(trace.at("state").as_string(), "done");
+
+  constexpr double kWorkerSpanBase = static_cast<double>(1u << 20);
+  double proxy_id = 0.0;
+  for (const auto& span : trace.at("spans").as_array()) {
+    if (span.at("name").as_string() == "proxy") {
+      proxy_id = span.at("id").as_number();
+      EXPECT_EQ(span.at("parent").as_number(), 0.0);
+      EXPECT_EQ(span.at("attrs").at("worker").as_string(), job_id.substr(0, 2));
+      EXPECT_EQ(span.at("attrs").at("attempts").as_string(), "1");
+    }
+  }
+  ASSERT_NE(proxy_id, 0.0) << "coordinator proxy span missing";
+
+  bool saw_worker_root = false, saw_nested = false;
+  for (const auto& span : trace.at("spans").as_array()) {
+    if (span.at("id").as_number() < kWorkerSpanBase) continue;  // coordinator's own
+    const double parent = span.at("parent").as_number();
+    if (parent == proxy_id) {
+      saw_worker_root = true;  // worker top-level (admission/queue/run)
+    } else {
+      // Nested worker spans keep their (shifted) worker-side parent.
+      EXPECT_GE(parent, kWorkerSpanBase) << span.dump();
+      saw_nested = true;
+    }
+    EXPECT_FALSE(span.contains("running")) << span.dump();
+  }
+  EXPECT_TRUE(saw_worker_root);
+  EXPECT_TRUE(saw_nested);
+
+  // The coordinator's own routing latency rides the shared family name.
+  const std::string metrics = client.get("/v1/metrics").body;
+  EXPECT_NE(metrics.find("mpqls_latency_seconds_bucket{stage=\"route\",le=\"+Inf\"} 1"),
+            std::string::npos);
   cluster.stop();
 }
 

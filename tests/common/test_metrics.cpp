@@ -1,0 +1,124 @@
+// Unit tests for the Prometheus exposition writer (common/metrics.hpp):
+// the canonical `le` bound formatting (the satellite fix — exponent
+// renderings like "1e-05" must be stable and identical at every emit
+// site), histogram bucket/cumulative semantics, and the one-preamble-
+// per-family contract across stage-labelled series.
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace mpqls {
+namespace {
+
+TEST(FormatLe, CanonicalRenderings) {
+  // Shortest-round-trip to_chars: sub-1 bounds keep their exponent form,
+  // integral bounds drop the fraction, +Inf uses the exposition spelling.
+  EXPECT_EQ(format_le(1e-5), "1e-05");
+  EXPECT_EQ(format_le(3e-5), "3e-05");
+  EXPECT_EQ(format_le(1e-4), "1e-04");  // shortest form wins over "0.0001"
+  EXPECT_EQ(format_le(1e-3), "0.001");
+  EXPECT_EQ(format_le(0.03), "0.03");
+  EXPECT_EQ(format_le(0.1), "0.1");
+  EXPECT_EQ(format_le(1.0), "1");
+  EXPECT_EQ(format_le(3.0), "3");
+  EXPECT_EQ(format_le(30.0), "30");
+  EXPECT_EQ(format_le(std::numeric_limits<double>::infinity()), "+Inf");
+}
+
+TEST(FormatLe, EveryHistogramBoundIsUniqueAndStable) {
+  // Two bounds rendering to the same string would silently merge buckets.
+  std::string last;
+  for (const double bound : Histogram::kBounds) {
+    const std::string rendered = format_le(bound);
+    EXPECT_NE(rendered, last);
+    EXPECT_EQ(rendered, format_le(bound));  // deterministic
+    last = rendered;
+  }
+}
+
+TEST(Histogram, ObservationsLandInTheRightBucket) {
+  Histogram h;
+  h.observe(0.0);      // below the first bound -> bucket 0 (le 1e-5)
+  h.observe(1e-5);     // exactly on a bound is inclusive
+  h.observe(2e-5);     // bucket 1 (le 3e-5)
+  h.observe(0.5);      // le 1.0
+  h.observe(100.0);    // above every bound -> +Inf overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(10), 1u);  // kBounds[10] == 1.0
+  EXPECT_EQ(h.bucket_count(Histogram::kBounds.size()), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_NEAR(h.sum(), 100.50003, 1e-9);
+}
+
+TEST(MetricsWriter, HistogramRendersCumulativeBucketsSumAndCount) {
+  Histogram h;
+  h.observe(2e-5);   // le 3e-5 and every later bucket
+  h.observe(0.5);    // le 1.0 onward
+  h.observe(100.0);  // +Inf only
+
+  MetricsWriter m;
+  m.histogram("mpqls_latency_seconds", "Per-stage latency.", h, {{"stage", "queue"}});
+  const std::string& text = m.str();
+
+  EXPECT_NE(text.find("# HELP mpqls_latency_seconds Per-stage latency.\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mpqls_latency_seconds histogram\n"), std::string::npos);
+  // Cumulative: the first bucket is empty, 3e-5 holds 1, 1.0 holds 2,
+  // +Inf holds all 3 and equals _count.
+  EXPECT_NE(text.find("mpqls_latency_seconds_bucket{stage=\"queue\",le=\"1e-05\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mpqls_latency_seconds_bucket{stage=\"queue\",le=\"3e-05\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mpqls_latency_seconds_bucket{stage=\"queue\",le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mpqls_latency_seconds_bucket{stage=\"queue\",le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mpqls_latency_seconds_count{stage=\"queue\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("mpqls_latency_seconds_sum{stage=\"queue\"} 100.50002\n"),
+            std::string::npos);
+}
+
+TEST(MetricsWriter, StageSeriesOfOneFamilyShareOnePreamble) {
+  Histogram a, b;
+  a.observe(0.5);
+  b.observe(0.5);
+
+  MetricsWriter m;
+  m.histogram("mpqls_latency_seconds", "Per-stage latency.", a, {{"stage", "queue"}});
+  m.histogram("mpqls_latency_seconds", "Per-stage latency.", b, {{"stage", "solve"}});
+  const std::string& text = m.str();
+
+  // Exactly one HELP and one TYPE line despite two labelled series —
+  // Prometheus rejects duplicated metadata within one exposition.
+  std::size_t help_count = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("# HELP mpqls_latency_seconds", pos)) != std::string::npos; ++pos) {
+    ++help_count;
+  }
+  EXPECT_EQ(help_count, 1u);
+  EXPECT_NE(text.find("{stage=\"queue\",le=\"+Inf\"}"), std::string::npos);
+  EXPECT_NE(text.find("{stage=\"solve\",le=\"+Inf\"}"), std::string::npos);
+}
+
+TEST(MetricsWriter, EmptyHistogramStillRendersEveryBucket) {
+  Histogram h;
+  MetricsWriter m;
+  m.histogram("empty_hist", "Nothing observed.", h);
+  const std::string& text = m.str();
+  // One line per bound, plus +Inf, _sum and _count — scrapers expect the
+  // full shape even before the first observation.
+  EXPECT_NE(text.find("empty_hist_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("empty_hist_sum 0\n"), std::string::npos);
+  EXPECT_NE(text.find("empty_hist_count 0\n"), std::string::npos);
+  for (const double bound : Histogram::kBounds) {
+    EXPECT_NE(text.find("empty_hist_bucket{le=\"" + format_le(bound) + "\"} 0\n"),
+              std::string::npos)
+        << "missing bucket for le=" << format_le(bound);
+  }
+}
+
+}  // namespace
+}  // namespace mpqls

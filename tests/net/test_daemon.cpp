@@ -9,12 +9,14 @@
 
 #include <chrono>
 #include <future>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/trace.hpp"
 #include "net/http_client.hpp"
 #include "service/json_io.hpp"
 
@@ -390,6 +392,118 @@ TEST(SolverDaemon, CancelEndpointCancelsQueuedJobsOnly) {
   const auto metrics = client.get("/v1/metrics").body;
   EXPECT_EQ(metric_value(metrics, "mpqls_jobs_cancelled_total"), 1.0);
   EXPECT_EQ(metric_value(metrics, "mpqls_jobs_done_total"), 1.0);
+  daemon.drain(5000ms);
+}
+
+TEST(SolverDaemon, TraceHeaderIsAdoptedAndSpansCoverTheLifecycle) {
+  SolverDaemon daemon(loopback_options());
+  daemon.start();
+  HttpClient client("127.0.0.1", daemon.port());
+
+  // A client-minted id in x-mpqls-trace must be adopted, not replaced —
+  // this is the propagation contract the coordinator relies on.
+  const std::string want_trace = trace::mint_trace_id().hex();
+  const auto accepted =
+      client.post("/v1/jobs", kPoissonJob, "application/json", {{"x-mpqls-trace", want_trace}});
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  const Json ack = Json::parse(accepted.body);
+  EXPECT_EQ(ack.at("trace_id").as_string(), want_trace);
+  const std::string job_id = ack.at("job_id").as_string();
+
+  const Json status = poll_until_terminal(client, job_id);
+  ASSERT_EQ(status.at("state").as_string(), "done") << status.dump();
+  EXPECT_EQ(status.at("trace_id").as_string(), want_trace);
+
+  // The trace endpoint returns the finished span tree for the whole job
+  // lifecycle: front-door admission, queue wait, the run umbrella and the
+  // prepare/render stages under it.
+  const auto response = client.get("/v1/jobs/" + job_id + "/trace");
+  ASSERT_EQ(response.status, 200) << response.body;
+  const Json trace = Json::parse(response.body);
+  EXPECT_EQ(trace.at("trace_id").as_string(), want_trace);
+  EXPECT_EQ(trace.at("job_id").as_string(), job_id);
+  EXPECT_EQ(trace.at("state").as_string(), "done");
+  EXPECT_EQ(trace.at("spans_dropped").as_number(), 0.0);
+
+  std::set<std::string> names;
+  double run_id = 0.0;
+  for (const auto& span : trace.at("spans").as_array()) {
+    names.insert(span.at("name").as_string());
+    EXPECT_FALSE(span.contains("running")) << span.dump();  // all finished
+    EXPECT_GE(span.at("duration_us").as_number(), 0.0);
+    if (span.at("name").as_string() == "run") run_id = span.at("id").as_number();
+  }
+  for (const char* want : {"admission", "queue", "run", "prepare", "render"}) {
+    EXPECT_EQ(names.count(want), 1u) << "missing span " << want;
+  }
+  // Stage spans hang off the run umbrella, not the root.
+  for (const auto& span : trace.at("spans").as_array()) {
+    if (span.at("name").as_string() == "render") {
+      EXPECT_EQ(span.at("parent").as_number(), run_id);
+    }
+  }
+
+  // Unknown job: 404, same as the status route.
+  EXPECT_EQ(client.get("/v1/jobs/job-999/trace").status, 404);
+
+  // The per-stage latency histograms saw the job...
+  const std::string metrics = client.get("/v1/metrics").body;
+  for (const char* stage : {"admission", "queue", "prepare", "solve", "render", "total"}) {
+    const std::string needle =
+        "mpqls_latency_seconds_bucket{stage=\"" + std::string(stage) + "\",le=\"+Inf\"} ";
+    const auto pos = metrics.find(needle);
+    ASSERT_NE(pos, std::string::npos) << "missing histogram stage " << stage;
+    EXPECT_GE(std::stod(metrics.substr(pos + needle.size())), 1.0) << stage;
+  }
+
+  // ...and the flight recorder retained it (every job ranks among the
+  // 8 slowest of a 1-job run), trace attached.
+  const Json slow = Json::parse(client.get("/v1/debug/slow").body);
+  ASSERT_GE(slow.at("count").as_number(), 1.0);
+  const auto& worst = slow.at("slow_jobs").as_array()[0];
+  EXPECT_EQ(worst.at("job_id").as_string(), job_id);
+  EXPECT_EQ(worst.at("state").as_string(), "done");
+  EXPECT_GT(worst.at("total_seconds").as_number(), 0.0);
+  EXPECT_EQ(worst.at("trace").at("trace_id").as_string(), want_trace);
+
+  daemon.drain(5000ms);
+}
+
+TEST(SolverDaemon, BodyTraceIdIsAdoptedWhenNoHeaderIsPresent) {
+  SolverDaemon daemon(loopback_options());
+  daemon.start();
+  HttpClient client("127.0.0.1", daemon.port());
+
+  // JSON bodies can carry the id inline (parity with the wire-v3 trailing
+  // field); the header still wins when both are present.
+  const std::string body_trace = trace::mint_trace_id().hex();
+  Json job = Json::parse(kPoissonJob);
+  job["trace_id"] = body_trace;
+  const auto from_body = Json::parse(client.post("/v1/jobs", job.dump()).body);
+  EXPECT_EQ(from_body.at("trace_id").as_string(), body_trace);
+
+  const std::string header_trace = trace::mint_trace_id().hex();
+  const auto from_header = Json::parse(
+      client.post("/v1/jobs", job.dump(), "application/json", {{"x-mpqls-trace", header_trace}})
+          .body);
+  EXPECT_EQ(from_header.at("trace_id").as_string(), header_trace);
+
+  // No id anywhere: the front door mints one, and it is well-formed.
+  const auto minted = Json::parse(client.post("/v1/jobs", kPoissonJob).body);
+  trace::TraceId parsed;
+  EXPECT_TRUE(trace::TraceId::parse(minted.at("trace_id").as_string(), parsed));
+  EXPECT_FALSE(parsed.zero());
+
+  // A malformed header is ignored, not an error: the job is admitted
+  // under a fresh id.
+  const auto garbled =
+      client.post("/v1/jobs", kPoissonJob, "application/json", {{"x-mpqls-trace", "not-hex"}});
+  EXPECT_EQ(garbled.status, 202);
+  EXPECT_NE(Json::parse(garbled.body).at("trace_id").as_string(), "not-hex");
+
+  for (const auto* ack : {&from_body, &from_header, &minted}) {
+    poll_until_terminal(client, ack->at("job_id").as_string());
+  }
   daemon.drain(5000ms);
 }
 

@@ -14,6 +14,7 @@
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "hybrid/comm.hpp"
 #include "linalg/random_matrix.hpp"
 #include "service/fingerprint.hpp"
@@ -60,6 +61,9 @@ service::SolveRequest sample_request(std::size_t n = 6, std::size_t n_rhs = 3) {
   o.escalation.stall_ratio = 0.375;
   o.escalation.half_floor = 4e-3;
   o.escalation.single_floor = 6e-11;
+  // Nonzero client trace id: the wire-v3 trailing field rides every
+  // round trip below, and the JSON parity check carries it too.
+  req.trace_id = trace::TraceId{0x0123456789ABCDEFull, 0x0FEDCBA987654321ull};
   return req;
 }
 
@@ -156,6 +160,7 @@ void expect_request_eq(const service::SolveRequest& a, const service::SolveReque
     for (std::size_t i = 0; i < a.rhs[k].size(); ++i) EXPECT_EQ(a.rhs[k][i], b.rhs[k][i]);
   }
   expect_options_eq(a.options, b.options);
+  EXPECT_EQ(a.trace_id, b.trace_id);
 }
 
 void expect_result_eq(const service::SolveResult& a, const service::SolveResult& b) {
@@ -401,9 +406,9 @@ TEST(WireRequest, PayloadCapsAreEnforced) {
   {
     auto req = sample_request(4, 1);
     std::string frame = encode_request(req);
-    // The rhs count u32 sits 8 + vector bytes from the end: count(4) +
-    // u64 len(8) + 4 doubles(32) = 44 from the end.
-    const std::size_t count_at = frame.size() - 44;
+    // The rhs count u32 sits vector + trace-trailer bytes from the end:
+    // count(4) + u64 len(8) + 4 doubles(32) + v3 trace id(16) = 60.
+    const std::size_t count_at = frame.size() - 60;
     std::memset(frame.data() + count_at, 0, 4);
     // Re-seal with the payload truncated after the count so lengths agree.
     const std::string payload(frame.substr(kFrameHeaderBytes, count_at + 4 - kFrameHeaderBytes));
@@ -424,6 +429,57 @@ TEST(WireRequest, PayloadCapsAreEnforced) {
     req.rhs[1] = linalg::Vector<double>{1.0, 2.0, 3.0};  // 3 != 4
     EXPECT_THROW(decode_request(encode_request(req)), WireError);
   }
+}
+
+// --- wire v3 trace field ---------------------------------------------------
+
+TEST(WireTrace, PeekAgreesWithFullDecode) {
+  const auto req = sample_request(4, 2);
+  const std::string frame = encode_request(req);
+  EXPECT_EQ(peek_request_trace(frame), req.trace_id);
+  EXPECT_EQ(decode_request(frame).trace_id, req.trace_id);
+
+  // A request without a client trace id still carries the (zero) field on
+  // the wire — both reads report it as absent.
+  auto plain_req = req;
+  plain_req.trace_id = trace::TraceId{};
+  const std::string plain = encode_request(plain_req);
+  EXPECT_EQ(plain.size(), frame.size());  // the field is fixed-width
+  EXPECT_TRUE(peek_request_trace(plain).zero());
+  EXPECT_TRUE(decode_request(plain).trace_id.zero());
+
+  // The peek refuses non-request frames instead of misreading bytes.
+  EXPECT_THROW(peek_request_trace(encode_matrix(linalg::Matrix<double>(2, 2))), WireError);
+}
+
+TEST(WireTrace, V2FramesDecodeWithZeroTraceId) {
+  const auto req = sample_request(4, 2);
+  const std::string v3 = encode_request(req);
+
+  // Rebuild the frame a v2 sender would have produced: same payload minus
+  // the 16-byte trailer, version byte (offset 4) stamped 2.
+  const std::string bare_payload(
+      v3.substr(kFrameHeaderBytes, v3.size() - kFrameHeaderBytes - 16));
+  std::string v2 = seal_frame(FrameTag::kSolveRequest, bare_payload);
+  v2[4] = 2;
+  const auto decoded = decode_request(v2);
+  EXPECT_TRUE(decoded.trace_id.zero());
+  EXPECT_EQ(decoded.id, req.id);
+  ASSERT_EQ(decoded.rhs.size(), req.rhs.size());
+  expect_options_eq(decoded.options, req.options);
+  EXPECT_TRUE(peek_request_trace(v2).zero());
+
+  // A frame stamped v3 but missing the trailer is truncated, not legacy.
+  EXPECT_THROW(decode_request(seal_frame(FrameTag::kSolveRequest, bare_payload)), WireError);
+
+  // Versions outside [kWireMinVersion, kWireVersion] are refused outright:
+  // v1 predates the format, v4 would mean fields we cannot know about.
+  std::string v1 = v2;
+  v1[4] = 1;
+  EXPECT_THROW(decode_request(v1), WireError);
+  std::string v4 = v3;
+  v4[4] = 4;
+  EXPECT_THROW(decode_request(v4), WireError);
 }
 
 // --- result codec ----------------------------------------------------------
