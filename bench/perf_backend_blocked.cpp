@@ -1,0 +1,290 @@
+// Cache-blocked gate-batching executor ("blocked") vs the gate-at-a-time
+// reference backend — the acceptance benchmark for the execution-backend
+// subsystem. Both backends come out of the process registry and replay
+// the SAME compiled program; the blocked backend partitions the register
+// into L2-sized tiles and applies runs of fused ops per tile per pass, so
+// a deep program touches each cache line once per run instead of once
+// per op.
+//
+//   build/bench/perf_backend_blocked            # full run + acceptance
+//   build/bench/perf_backend_blocked --smoke    # one tiny rep, no acceptance
+//
+// Workload: a deep gate-level QSVT replay over the tridiagonal block
+// encoding at n_data = 7 — an 18-qubit register (2^18 amplitudes, a 4 MB
+// double statevector, well past L2) once the encoding ancillas, signal
+// and real-part qubits are added. The circuit is constructed DIRECTLY —
+// fabricated QSP phases, since phase values are irrelevant for replay
+// cost — so the bench never runs the O(n^3) SVD that prepare_qsvt_solver
+// would. Acceptance: register >= 2^12 amplitudes, >= 500 fused ops, and
+// blocked >= 1.15x reference on at least one leg (scalar double, scalar
+// float, 8-lane double panel), with final statevectors agreeing within
+// tolerance.
+//
+// The blocked backend's margin comes from two places: tile-resident L2
+// reuse across a run of ops, and one OpenMP region per *run* instead of
+// per op (the reference replay forks/joins once per fused op). Both
+// effects grow with core count and with state size relative to the LLC;
+// on a single-core container whose LLC holds the whole register the
+// honest margin shrinks to a few percent and this gate rides the noise
+// floor — CI evaluates it on multi-core runners in both OpenMP matrix
+// legs, requiring a pass in at least one.
+//
+// Emits BENCH_backend_blocked.json (see bench_io.hpp).
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "bench_io.hpp"
+#include "blockenc/tridiagonal.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "qsim/exec/backend/backend.hpp"
+#include "qsim/exec/compile.hpp"
+#include "qsim/exec/panel.hpp"
+#include "qsim/statevector.hpp"
+#include "qsvt/qsvt_circuit.hpp"
+
+namespace {
+
+using namespace mpqls;
+using qsim::exec::ExecBackend;
+
+struct Workload {
+  qsim::exec::Program<double> program_d;
+  qsim::exec::Program<float> program_f;
+  std::uint32_t register_qubits = 0;
+};
+
+Workload build_workload(std::uint32_t n_data, std::size_t degree) {
+  const auto be = blockenc::tridiagonal_block_encoding(n_data);
+  // Fabricated phases: the replay cost depends only on the program shape
+  // (one BE application + phase gadget per degree step), never on the
+  // polynomial the phases encode.
+  std::vector<double> qsp_phases(degree + 1);
+  for (std::size_t k = 0; k < qsp_phases.size(); ++k) {
+    qsp_phases[k] = 0.2 * std::sin(0.7 * static_cast<double>(k) + 0.3);
+  }
+  const auto qc = qsvt::build_qsvt_circuit(be, qsp_phases);
+  const auto ir = qsim::exec::lower_and_fuse(qc.circuit);
+  Workload w;
+  w.program_d = qsim::exec::specialize<double>(ir);
+  w.program_f = qsim::exec::specialize<float>(ir);
+  w.register_qubits = qc.circuit.num_qubits();
+  return w;
+}
+
+template <typename T>
+void randomize_state(Xoshiro256& rng, qsim::Statevector<T>& sv) {
+  double norm = 0.0;
+  for (std::size_t i = 0; i < sv.dim(); ++i) {
+    const double re = rng.uniform() - 0.5;
+    const double im = rng.uniform() - 0.5;
+    sv[i] = {static_cast<T>(re), static_cast<T>(im)};
+    norm += re * re + im * im;
+  }
+  const T scale = static_cast<T>(1.0 / std::sqrt(norm));
+  for (std::size_t i = 0; i < sv.dim(); ++i) sv[i] *= scale;
+}
+
+struct LegResult {
+  double reference_seconds = 0.0;  ///< per replay
+  double blocked_seconds = 0.0;    ///< per replay
+  double max_diff = 0.0;           ///< final-state disagreement
+};
+
+/// One scalar leg: the same seeded state replayed `reps` times through
+/// each backend; the final states must agree.
+template <typename T>
+LegResult run_scalar_leg(const qsim::exec::Program<T>& program, std::uint32_t qubits,
+                         int reps) {
+  const ExecBackend* reference = qsim::exec::find_backend("reference");
+  const ExecBackend* blocked = qsim::exec::find_backend("blocked");
+  LegResult leg;
+
+  qsim::Statevector<T> sv_ref(qubits);
+  qsim::Statevector<T> sv_blk(qubits);
+  {
+    Xoshiro256 rng(99);
+    randomize_state(rng, sv_ref);
+  }
+  {
+    Xoshiro256 rng(99);
+    randomize_state(rng, sv_blk);
+  }
+
+  // Interleaved best-of-rounds: machine noise (CPU steal on shared hosts)
+  // comes in windows long enough to depress a whole back-to-back batch, so
+  // timing all reference reps then all blocked reps would let one backend
+  // eat the interference alone. Alternating per round and keeping each
+  // side's minimum makes the gate compare two quiet-window measurements.
+  const auto ref_handle = reference->create_handle();
+  const auto blk_handle = blocked->create_handle();
+  // Warm replay outside the clock so plan construction (once per program
+  // per handle) is not billed to the steady state; mirrored on the
+  // reference state so both see identical op sequences for the parity
+  // check below.
+  reference->apply_program(*ref_handle, program, sv_ref);
+  blocked->apply_program(*blk_handle, program, sv_blk);
+  leg.reference_seconds = 1e300;
+  leg.blocked_seconds = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    {
+      Timer t;
+      reference->apply_program(*ref_handle, program, sv_ref);
+      leg.reference_seconds = std::fmin(leg.reference_seconds, t.seconds());
+    }
+    {
+      Timer t;
+      blocked->apply_program(*blk_handle, program, sv_blk);
+      leg.blocked_seconds = std::fmin(leg.blocked_seconds, t.seconds());
+    }
+  }
+  for (std::size_t i = 0; i < sv_ref.dim(); ++i) {
+    leg.max_diff = std::fmax(leg.max_diff, std::abs(std::complex<double>(sv_ref[i]) -
+                                                    std::complex<double>(sv_blk[i])));
+  }
+  return leg;
+}
+
+/// The 8-lane double panel leg (the shape service panel jobs replay).
+LegResult run_panel_leg(const qsim::exec::Program<double>& program, std::uint32_t qubits,
+                        std::size_t lanes, int reps) {
+  const ExecBackend* reference = qsim::exec::find_backend("reference");
+  const ExecBackend* blocked = qsim::exec::find_backend("blocked");
+  LegResult leg;
+
+  const std::size_t dim = std::size_t{1} << qubits;
+  qsim::exec::StatePanel<double> panel_ref(qubits, lanes);
+  qsim::exec::StatePanel<double> panel_blk(qubits, lanes);
+  Xoshiro256 rng(7);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    double norm = 0.0;
+    std::vector<std::complex<double>> amps(dim);
+    for (auto& a : amps) {
+      a = {rng.uniform() - 0.5, rng.uniform() - 0.5};
+      norm += std::norm(a);
+    }
+    const double scale = 1.0 / std::sqrt(norm);
+    for (std::size_t i = 0; i < dim; ++i) {
+      panel_ref.set_amp(i, l, amps[i] * scale);
+      panel_blk.set_amp(i, l, amps[i] * scale);
+    }
+  }
+
+  // Same interleaved best-of-rounds discipline as the scalar legs.
+  const auto ref_handle = reference->create_handle();
+  const auto blk_handle = blocked->create_handle();
+  reference->apply_program_panel(*ref_handle, program, panel_ref);  // mirror warm-up
+  blocked->apply_program_panel(*blk_handle, program, panel_blk);    // plan warm-up
+  leg.reference_seconds = 1e300;
+  leg.blocked_seconds = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    {
+      Timer t;
+      reference->apply_program_panel(*ref_handle, program, panel_ref);
+      leg.reference_seconds = std::fmin(leg.reference_seconds, t.seconds());
+    }
+    {
+      Timer t;
+      blocked->apply_program_panel(*blk_handle, program, panel_blk);
+      leg.blocked_seconds = std::fmin(leg.blocked_seconds, t.seconds());
+    }
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      leg.max_diff =
+          std::fmax(leg.max_diff, std::abs(panel_ref.amp(i, l) - panel_blk.amp(i, l)));
+    }
+  }
+  return leg;
+}
+
+int run(bool smoke) {
+  const std::uint32_t n_data = smoke ? 4 : 7;
+  const std::size_t degree = smoke ? 8 : 14;
+  const int reps = smoke ? 1 : 7;
+  const int panel_reps = smoke ? 1 : 3;  // lanes already multiply the per-replay work
+  const std::size_t panel_lanes = 8;
+
+  const Workload w = build_workload(n_data, degree);
+  const std::size_t ops = w.program_d.ops.size();
+
+#ifdef _OPENMP
+  const int threads = omp_get_max_threads();
+#else
+  const int threads = 1;
+#endif
+  std::printf(
+      "blocked vs reference backend: register %u qubits (2^%u amps), %zu fused ops, "
+      "%d thread%s\n\n",
+      w.register_qubits, w.register_qubits, ops, threads, threads == 1 ? "" : "s");
+
+  struct Row {
+    const char* name;
+    LegResult leg;
+    double tolerance;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"scalar double", run_scalar_leg(w.program_d, w.register_qubits, reps), 1e-10});
+  rows.push_back({"scalar float", run_scalar_leg(w.program_f, w.register_qubits, reps), 1e-4});
+  rows.push_back({"panel double@8",
+                  run_panel_leg(w.program_d, w.register_qubits, panel_lanes, panel_reps), 1e-10});
+
+  TextTable table({"leg", "reference (ms)", "blocked (ms)", "speedup", "max |diff|"});
+  bool exact = true;
+  double best_speedup = 0.0;
+  for (const auto& row : rows) {
+    const double speedup = row.leg.reference_seconds / row.leg.blocked_seconds;
+    best_speedup = std::fmax(best_speedup, speedup);
+    exact = exact && row.leg.max_diff < row.tolerance;
+    table.add_row({row.name, fmt_fix(row.leg.reference_seconds * 1e3, 2),
+                   fmt_fix(row.leg.blocked_seconds * 1e3, 2), fmt_fix(speedup, 2) + "x",
+                   fmt_sci(row.leg.max_diff)});
+  }
+  table.print(std::cout);
+  std::printf("\n");
+
+  bench::BenchReport report("backend_blocked");
+  report.label("mode", smoke ? "smoke" : "full");
+  report.metric("register_qubits", static_cast<double>(w.register_qubits));
+  report.metric("program_ops", static_cast<double>(ops));
+  report.metric("exact", exact ? 1.0 : 0.0);
+  report.metric("speedup_scalar_double", rows[0].leg.reference_seconds / rows[0].leg.blocked_seconds);
+  report.metric("speedup_scalar_float", rows[1].leg.reference_seconds / rows[1].leg.blocked_seconds);
+  report.metric("speedup_panel8_double", rows[2].leg.reference_seconds / rows[2].leg.blocked_seconds);
+
+  if (smoke) {
+    std::printf("smoke mode: backends exercised, acceptance not evaluated (diff %s)\n",
+                exact ? "ok" : "ABOVE TOLERANCE");
+    report.write();
+    return exact ? 0 : 1;
+  }
+
+  const bool deep_enough = ops >= 500 && w.register_qubits >= 12;
+  const bool pass = exact && deep_enough && best_speedup >= 1.15;
+  std::printf("acceptance: parity within tolerance, register >= 2^12 (2^%u), >= 500 fused "
+              "ops (%zu), and blocked >= 1.15x reference on at least one leg\n",
+              w.register_qubits, ops);
+  std::printf("  best leg: %.2fx -> %s\n", best_speedup, pass ? "PASS" : "FAIL");
+  if (!exact) std::printf("WARNING: statevector disagreement above tolerance\n");
+  report.pass(pass);
+  report.write();
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+  return run(smoke);
+}

@@ -1,0 +1,695 @@
+// The "blocked" backend: a cache-blocked gate-batching executor. The
+// reference executor streams the whole statevector once per op — on deep
+// QSVT programs (hundreds of fused ops against a register that dwarfs L2)
+// that is one full memory round trip per gate. This backend restructures
+// the replay around *tiles*:
+//
+//  1. Plan (once per program, cached in the handle): walk the op stream
+//     and greedily group consecutive ops into runs whose high target
+//     qubits (>= block_bits) fit a small union H (|H| <= max_high_bits).
+//     Control bits above the tile never force a split — within a tile
+//     they are constant, so they compile into a per-tile fire predicate
+//     instead of a gather dimension. Ops whose own high-target footprint
+//     exceeds |H|max (e.g. a dense-embedding's register-wide unitary) and
+//     runs too short to amortize the gather become full-state barriers.
+//  2. Execute: for each run, partition the register into 2^(w-m) tiles of
+//     2^m amplitudes (m = block_bits + |H|): the low block_bits qubits
+//     plus the run's H qubits. Each tile is gathered into an L2-resident
+//     scratch register with 2^|H| contiguous block copies, the whole run
+//     of ops — remapped into the m-qubit tile index space at plan time —
+//     is applied in-cache through the same shared kernels the reference
+//     backend uses, and the tile is scattered back. One streaming pass
+//     over the state per *run* instead of per *op*.
+//
+// OpenMP parallelizes over tiles (disjoint regions, no synchronization);
+// the in-tile kernels run with allow_parallel = false so nothing nests.
+// Because the tile ops reuse the kernel bodies verbatim and the remapping
+// only relabels index bits, per-amplitude arithmetic matches the reference
+// backend exactly.
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <complex>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "common/contracts.hpp"
+#include "qsim/exec/backend/backend.hpp"
+#include "qsim/exec/kernels.hpp"
+
+namespace mpqls::qsim::exec {
+
+namespace {
+
+/// One op of a local run, remapped into the tile register. Outer control
+/// bits (constant within a tile) became the fire predicate.
+template <typename T>
+struct TileOp {
+  CompiledOp<T> op;
+  std::uint64_t pos_outer = 0;  ///< global bits that must be 1 for the tile to fire
+  std::uint64_t neg_outer = 0;  ///< global bits that must be 0
+};
+
+template <typename T>
+struct PlanSegment {
+  bool local = false;
+  // local runs
+  std::vector<TileOp<T>> tile_ops;
+  std::uint32_t block_bits = 0;            ///< contiguous low bits of this run's tiles
+  std::uint32_t tile_qubits = 0;           ///< m = block_bits + |H|
+  /// The run's whole target footprint sits below block_bits: tiles are
+  /// contiguous register slices and ops apply in place — no gather.
+  bool contiguous = false;
+  std::vector<std::uint64_t> inner_masks;  ///< single-bit masks of the tile's qubits, ascending
+  std::vector<std::uint64_t> spread;       ///< sub-block s -> OR of its high-bit masks
+  // barriers (indices into program.ops, replayed on the full register)
+  std::vector<std::uint32_t> op_indices;
+};
+
+template <typename T>
+struct BlockedPlan {
+  std::uint32_t register_qubits = 0;
+  std::uint32_t block_bits = 0;
+  /// Whole register fits one tile: replay ops directly (plain reference
+  /// sweep — blocking would only add copies).
+  bool passthrough = false;
+  std::vector<PlanSegment<T>> segments;
+};
+
+/// Tile-index relabeling for one run: global bit p < block_bits keeps its
+/// position, the run's high bits map to block_bits + rank, everything else
+/// is outer (constant within a tile).
+struct BitMap {
+  std::uint32_t block_bits = 0;
+  std::uint64_t low_mask = 0;
+  std::uint64_t high_mask = 0;
+  std::vector<std::uint32_t> high_pos;  ///< sorted ascending
+
+  std::uint64_t remap_bit(std::uint64_t bit) const {
+    if (bit & low_mask) return bit;
+    const auto p = static_cast<std::uint32_t>(std::countr_zero(bit));
+    for (std::uint32_t rank = 0; rank < high_pos.size(); ++rank) {
+      if (high_pos[rank] == p) return std::uint64_t{1} << (block_bits + rank);
+    }
+    expects(false, "blocked plan: bit escaped the tile map");
+    return 0;
+  }
+
+  /// Split a control mask into its tile-remapped inner part and the outer
+  /// bits that become the fire predicate.
+  std::pair<std::uint64_t, std::uint64_t> split(std::uint64_t mask) const {
+    std::uint64_t inner = 0, outer = 0;
+    while (mask != 0) {
+      const std::uint64_t bit = mask & (~mask + 1);
+      mask ^= bit;
+      if ((bit & low_mask) != 0 || (bit & high_mask) != 0) {
+        inner |= remap_bit(bit);
+      } else {
+        outer |= bit;
+      }
+    }
+    return {inner, outer};
+  }
+};
+
+/// The target-bit footprint that decides run membership (controls never
+/// force a gather — they predicate).
+template <typename T>
+std::uint64_t target_mask_of(const CompiledOp<T>& op) {
+  switch (op.kind) {
+    case OpKind::kApply1q: return op.target_bit;
+    case OpKind::kDense:
+    case OpKind::kDiagonal: return op.target_mask;
+    case OpKind::kGlobalPhase: return 0;
+  }
+  return 0;
+}
+
+/// Rebuild a CompiledOp in the tile's index space. Payload values are
+/// copied bit-for-bit (they were rounded once at specialization time);
+/// only the index machinery — masks, insert_bits, target bits, gather
+/// offsets — is recomputed, mirroring specialize<T>.
+template <typename T>
+TileOp<T> remap_op(const CompiledOp<T>& op, const BitMap& map) {
+  TileOp<T> out;
+  CompiledOp<T>& c = out.op;
+  c.kind = op.kind;
+  const auto [pos_in, pos_out] = map.split(op.pos_mask);
+  const auto [neg_in, neg_out] = map.split(op.neg_mask);
+  c.pos_mask = pos_in;
+  c.neg_mask = neg_in;
+  c.set_mask = pos_in;
+  out.pos_outer = pos_out;
+  out.neg_outer = neg_out;
+  std::uint64_t skip = pos_in | neg_in;
+  switch (op.kind) {
+    case OpKind::kApply1q:
+      c.target_bit = map.remap_bit(op.target_bit);
+      c.m00 = op.m00;
+      c.m01 = op.m01;
+      c.m10 = op.m10;
+      c.m11 = op.m11;
+      skip |= c.target_bit;
+      break;
+    case OpKind::kGlobalPhase:
+      c.phase = op.phase;
+      break;
+    case OpKind::kDense:
+    case OpKind::kDiagonal: {
+      c.num_targets = op.num_targets;
+      c.target_bits.reserve(op.target_bits.size());
+      // remap_bit is monotonic over tile bits, so sortedness survives and
+      // the payload's target ordering is untouched.
+      for (const auto bit : op.target_bits) {
+        const std::uint64_t nb = map.remap_bit(bit);
+        c.target_bits.push_back(nb);
+        c.target_mask |= nb;
+      }
+      c.payload = op.payload;
+      if (op.kind == OpKind::kDense) {
+        c.payload_re = op.payload_re;
+        c.payload_im = op.payload_im;
+        const std::size_t sub_dim = std::size_t{1} << c.num_targets;
+        c.offsets.resize(sub_dim);
+        for (std::size_t s = 0; s < sub_dim; ++s) {
+          std::uint64_t off = 0;
+          for (std::uint32_t t = 0; t < c.num_targets; ++t) {
+            if (s & (std::size_t{1} << t)) off |= c.target_bits[t];
+          }
+          c.offsets[s] = off;
+        }
+        skip |= c.target_mask;
+      }
+      break;
+    }
+  }
+  for (std::uint32_t q = 0; q < 64 && (skip >> q) != 0; ++q) {
+    if (skip & (std::uint64_t{1} << q)) c.insert_bits.push_back(std::uint64_t{1} << q);
+  }
+  c.free_shift = static_cast<std::uint32_t>(c.insert_bits.size());
+  return out;
+}
+
+template <typename T>
+BlockedPlan<T> build_plan(const Program<T>& program, std::uint32_t register_qubits,
+                          const BlockedBackendOptions& opt, std::size_t bytes_per_amp) {
+  BlockedPlan<T> plan;
+  plan.register_qubits = register_qubits;
+
+  // Largest tile the scratch budget holds.
+  std::uint32_t m_max = 0;
+  while (m_max < 30 && (std::size_t{1} << (m_max + 1)) * bytes_per_amp <= opt.tile_bytes) {
+    ++m_max;
+  }
+  // Blocking needs headroom: the whole register fitting one tile means
+  // there is nothing to block, and a tiny low-bit block would shred the
+  // gather into sub-cacheline copies.
+  if (m_max >= register_qubits || m_max < opt.max_high_bits + 4) {
+    plan.passthrough = true;
+    return plan;
+  }
+  const std::uint32_t b_min = m_max - opt.max_high_bits;
+  plan.block_bits = b_min;
+
+  // Per-run geometry: the largest contiguous low block b (>= b_min) whose
+  // tile — b low bits plus the footprint bits at or above b — still fits
+  // the scratch budget. Growing b swallows low-lying "high" targets into
+  // the contiguous block (they stop costing a gather dimension), so a run
+  // whose footprint sits just above b_min often collapses to b = m_max
+  // with NO high bits left: contiguous tiles, ops applied in place.
+  // Returns -1 when no b fits (a register-spanning dense op).
+  auto best_b = [&](std::uint64_t target_union) -> std::int32_t {
+    for (std::int32_t b = static_cast<std::int32_t>(m_max);
+         b >= static_cast<std::int32_t>(b_min); --b) {
+      const std::uint32_t high = static_cast<std::uint32_t>(std::popcount(target_union >> b));
+      if (static_cast<std::uint32_t>(b) + high <= m_max) return b;
+    }
+    return -1;
+  };
+
+  auto append_barrier = [&](std::uint32_t idx) {
+    if (plan.segments.empty() || plan.segments.back().local) {
+      plan.segments.emplace_back();
+    }
+    plan.segments.back().op_indices.push_back(idx);
+  };
+
+  std::vector<std::uint32_t> run;
+  std::uint64_t run_targets = 0;
+  auto flush_run = [&]() {
+    if (run.empty()) return;
+    const auto b = static_cast<std::uint32_t>(best_b(run_targets));
+    const std::uint64_t low_mask = (std::uint64_t{1} << b) - 1;
+    const std::uint64_t run_high = run_targets & ~low_mask;
+    if (run_high != 0 && run.size() < opt.min_run_ops) {
+      // Too short to pay for the gather/scatter round trip. (Contiguous
+      // runs skip the round trip, so any length is profitable there.)
+      for (const auto idx : run) append_barrier(idx);
+      run.clear();
+      run_targets = 0;
+      return;
+    }
+    PlanSegment<T> seg;
+    seg.local = true;
+    seg.block_bits = b;
+    seg.contiguous = run_high == 0;
+    BitMap map;
+    map.block_bits = b;
+    map.low_mask = low_mask;
+    map.high_mask = run_high;
+    std::vector<std::uint64_t> high_masks;
+    for (std::uint64_t rest = run_high; rest != 0;) {
+      const std::uint64_t bit = rest & (~rest + 1);
+      rest ^= bit;
+      map.high_pos.push_back(static_cast<std::uint32_t>(std::countr_zero(bit)));
+      high_masks.push_back(bit);
+    }
+    seg.tile_qubits = b + static_cast<std::uint32_t>(high_masks.size());
+    for (std::uint32_t q = 0; q < b; ++q) seg.inner_masks.push_back(std::uint64_t{1} << q);
+    seg.inner_masks.insert(seg.inner_masks.end(), high_masks.begin(), high_masks.end());
+    seg.spread.resize(std::size_t{1} << high_masks.size());
+    for (std::size_t s = 0; s < seg.spread.size(); ++s) {
+      std::uint64_t off = 0;
+      for (std::size_t j = 0; j < high_masks.size(); ++j) {
+        if (s & (std::size_t{1} << j)) off |= high_masks[j];
+      }
+      seg.spread[s] = off;
+    }
+    seg.tile_ops.reserve(run.size());
+    for (const auto idx : run) seg.tile_ops.push_back(remap_op(program.ops[idx], map));
+    plan.segments.push_back(std::move(seg));
+    run.clear();
+    run_targets = 0;
+  };
+
+  for (std::uint32_t idx = 0; idx < program.ops.size(); ++idx) {
+    const std::uint64_t targets = target_mask_of(program.ops[idx]);
+    if (best_b(targets) < 0) {
+      // Wider than any tile (e.g. a register-spanning dense unitary):
+      // full-state barrier.
+      flush_run();
+      append_barrier(idx);
+      continue;
+    }
+    if (best_b(run_targets | targets) < 0) flush_run();
+    run.push_back(idx);
+    run_targets |= targets;
+  }
+  flush_run();
+  if (std::getenv("MPQLS_BLOCKED_PLAN_DEBUG") != nullptr) {
+    std::size_t runs = 0, run_ops = 0, barrier_ops = 0, max_run = 0;
+    std::size_t contig_runs = 0, contig_ops = 0;
+    for (const auto& seg : plan.segments) {
+      if (seg.local) {
+        ++runs;
+        run_ops += seg.tile_ops.size();
+        max_run = std::max(max_run, seg.tile_ops.size());
+        if (seg.contiguous) {
+          ++contig_runs;
+          contig_ops += seg.tile_ops.size();
+        }
+      } else {
+        barrier_ops += seg.op_indices.size();
+      }
+    }
+    std::size_t tall = 0, tall_controlled = 0;
+    for (const auto& op : program.ops) {
+      if ((target_mask_of(op) >> m_max) != 0) {
+        ++tall;
+        if (op.pos_mask != 0 || op.neg_mask != 0) ++tall_controlled;
+      }
+    }
+    std::fprintf(stderr,
+                 "[blocked plan] w=%u b_min=%u ops=%zu: %zu runs (%zu ops, max %zu, avg %.1f; "
+                 "%zu contiguous with %zu ops), %zu barrier ops, %zu tall (%zu controlled)\n",
+                 register_qubits, b_min, program.ops.size(), runs, run_ops, max_run,
+                 runs ? static_cast<double>(run_ops) / runs : 0.0, contig_runs, contig_ops,
+                 barrier_ops, tall, tall_controlled);
+  }
+  return plan;
+}
+
+// --- execution --------------------------------------------------------------
+
+inline int replay_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+inline int replay_thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Per-thread scratch reused across every segment of a replay. A fresh
+/// tile-sized vector per parallel region would allocate (and, at the
+/// default tile budget, mmap + fault-in) a tile per segment per thread;
+/// one pool entry per thread amortizes that to once per replay.
+template <typename V>
+std::vector<V>& pooled(std::vector<std::vector<V>>& pool, std::size_t min_size) {
+  auto& buf = pool[static_cast<std::size_t>(replay_thread_id())];
+  if (buf.size() < min_size) buf.resize(min_size);
+  return buf;
+}
+
+template <typename T>
+void run_scalar(const BlockedPlan<T>& plan, const Program<T>& program, std::complex<T>* amps,
+                std::int64_t n) {
+  using complex_type = std::complex<T>;
+  std::vector<T> barrier_scratch;
+  if (plan.passthrough) {
+    for (const auto& op : program.ops) kernels::apply_op(op, amps, n, barrier_scratch);
+    return;
+  }
+  std::vector<std::vector<complex_type>> tile_pool(replay_threads());
+  std::vector<std::vector<T>> dscratch_pool(replay_threads());
+  for (const auto& seg : plan.segments) {
+    if (!seg.local) {
+      for (const auto idx : seg.op_indices) {
+        kernels::apply_op(program.ops[idx], amps, n, barrier_scratch);
+      }
+      continue;
+    }
+    const std::size_t block_len = std::size_t{1} << seg.block_bits;
+    const std::int64_t tile_dim = std::int64_t{1} << seg.tile_qubits;
+    const std::int64_t tiles = n >> seg.tile_qubits;
+    if (seg.contiguous) {
+      // The run's footprint sits below block_bits: every tile is a
+      // contiguous register slice, so ops apply in place — no gather.
+      auto process_slice = [&](std::int64_t t, std::vector<T>& dscratch) {
+        const std::uint64_t base = static_cast<std::uint64_t>(t) << seg.tile_qubits;
+        complex_type* tile = amps + base;
+        for (const auto& top : seg.tile_ops) {
+          if ((base & top.pos_outer) == top.pos_outer && (base & top.neg_outer) == 0) {
+            kernels::apply_op(top.op, tile, tile_dim, dscratch, /*allow_parallel=*/false);
+          }
+        }
+      };
+      if (tiles > 1 && n >= kernels::kParallelAmps) {
+#pragma omp parallel
+        {
+          auto& dscratch = pooled(dscratch_pool, 0);
+#pragma omp for
+          for (std::int64_t t = 0; t < tiles; ++t) process_slice(t, dscratch);
+        }
+      } else {
+        for (std::int64_t t = 0; t < tiles; ++t) process_slice(t, dscratch_pool[0]);
+      }
+      continue;
+    }
+    auto process_tile = [&](std::int64_t t, complex_type* tile, std::vector<T>& dscratch) {
+      std::uint64_t base = static_cast<std::uint64_t>(t);
+      for (const auto mask : seg.inner_masks) base = kernels::expand_at(base, mask);
+      // A tile whose outer-control predicate rejects every op is untouched
+      // — checking first saves the whole gather/scatter round trip (common
+      // when a run's ops are all keyed to specific outer ancilla values).
+      bool any_fires = false;
+      for (const auto& top : seg.tile_ops) {
+        if ((base & top.pos_outer) == top.pos_outer && (base & top.neg_outer) == 0) {
+          any_fires = true;
+          break;
+        }
+      }
+      if (!any_fires) return;
+      for (std::size_t s = 0; s < seg.spread.size(); ++s) {
+        std::memcpy(tile + (s << seg.block_bits), amps + (base | seg.spread[s]),
+                    block_len * sizeof(complex_type));
+      }
+      for (const auto& top : seg.tile_ops) {
+        if ((base & top.pos_outer) == top.pos_outer && (base & top.neg_outer) == 0) {
+          kernels::apply_op(top.op, tile, tile_dim, dscratch, /*allow_parallel=*/false);
+        }
+      }
+      for (std::size_t s = 0; s < seg.spread.size(); ++s) {
+        std::memcpy(amps + (base | seg.spread[s]), tile + (s << seg.block_bits),
+                    block_len * sizeof(complex_type));
+      }
+    };
+    if (tiles > 1 && n >= kernels::kParallelAmps) {
+#pragma omp parallel
+      {
+        auto& tile = pooled(tile_pool, static_cast<std::size_t>(tile_dim));
+        auto& dscratch = pooled(dscratch_pool, 0);
+#pragma omp for
+        for (std::int64_t t = 0; t < tiles; ++t) process_tile(t, tile.data(), dscratch);
+      }
+    } else {
+      auto& tile = pooled(tile_pool, static_cast<std::size_t>(tile_dim));
+      for (std::int64_t t = 0; t < tiles; ++t) process_tile(t, tile.data(), dscratch_pool[0]);
+    }
+  }
+}
+
+template <int kLanes, typename T>
+void run_panel(const BlockedPlan<T>& plan, const Program<T>& program, T* re, T* im,
+               std::int64_t n, std::int64_t lanes) {
+  using C = exec_compute_t<T>;
+  std::vector<C> barrier_scratch;
+  if (plan.passthrough) {
+    for (const auto& op : program.ops) {
+      kernels::panel_apply_op<kLanes>(op, re, im, n, lanes, barrier_scratch);
+    }
+    return;
+  }
+  std::vector<std::vector<T>> tre_pool(replay_threads()), tim_pool(replay_threads());
+  std::vector<std::vector<C>> dscratch_pool(replay_threads());
+  for (const auto& seg : plan.segments) {
+    if (!seg.local) {
+      for (const auto idx : seg.op_indices) {
+        kernels::panel_apply_op<kLanes>(program.ops[idx], re, im, n, lanes, barrier_scratch);
+      }
+      continue;
+    }
+    // One gathered block row is block_len amplitudes x lanes contiguous
+    // scalars per plane (the panel's lane-innermost layout keeps tile
+    // copies memcpy-shaped exactly like the scalar path).
+    const std::size_t row_len =
+        (std::size_t{1} << seg.block_bits) * static_cast<std::size_t>(lanes);
+    const std::int64_t tile_dim = std::int64_t{1} << seg.tile_qubits;
+    const std::int64_t tiles = n >> seg.tile_qubits;
+    if (seg.contiguous) {
+      // Contiguous tiles: each is a slice of both planes — apply in place.
+      auto process_slice = [&](std::int64_t t, std::vector<C>& dscratch) {
+        const std::uint64_t base = static_cast<std::uint64_t>(t) << seg.tile_qubits;
+        const std::size_t off = base * static_cast<std::size_t>(lanes);
+        for (const auto& top : seg.tile_ops) {
+          if ((base & top.pos_outer) == top.pos_outer && (base & top.neg_outer) == 0) {
+            kernels::panel_apply_op<kLanes>(top.op, re + off, im + off, tile_dim, lanes,
+                                            dscratch, /*allow_parallel=*/false);
+          }
+        }
+      };
+      if (tiles > 1 && n * lanes >= kernels::kParallelAmpWork) {
+#pragma omp parallel
+        {
+          auto& dscratch = pooled(dscratch_pool, 0);
+#pragma omp for
+          for (std::int64_t t = 0; t < tiles; ++t) process_slice(t, dscratch);
+        }
+      } else {
+        for (std::int64_t t = 0; t < tiles; ++t) process_slice(t, dscratch_pool[0]);
+      }
+      continue;
+    }
+    auto process_tile = [&](std::int64_t t, T* tre, T* tim, std::vector<C>& dscratch) {
+      std::uint64_t base = static_cast<std::uint64_t>(t);
+      for (const auto mask : seg.inner_masks) base = kernels::expand_at(base, mask);
+      // Untouched tile (predicate rejects every op): skip the round trip.
+      bool any_fires = false;
+      for (const auto& top : seg.tile_ops) {
+        if ((base & top.pos_outer) == top.pos_outer && (base & top.neg_outer) == 0) {
+          any_fires = true;
+          break;
+        }
+      }
+      if (!any_fires) return;
+      for (std::size_t s = 0; s < seg.spread.size(); ++s) {
+        const std::size_t src = (base | seg.spread[s]) * static_cast<std::size_t>(lanes);
+        const std::size_t dst = (s << seg.block_bits) * static_cast<std::size_t>(lanes);
+        std::memcpy(tre + dst, re + src, row_len * sizeof(T));
+        std::memcpy(tim + dst, im + src, row_len * sizeof(T));
+      }
+      for (const auto& top : seg.tile_ops) {
+        if ((base & top.pos_outer) == top.pos_outer && (base & top.neg_outer) == 0) {
+          kernels::panel_apply_op<kLanes>(top.op, tre, tim, tile_dim, lanes, dscratch,
+                                          /*allow_parallel=*/false);
+        }
+      }
+      for (std::size_t s = 0; s < seg.spread.size(); ++s) {
+        const std::size_t dst = (base | seg.spread[s]) * static_cast<std::size_t>(lanes);
+        const std::size_t src = (s << seg.block_bits) * static_cast<std::size_t>(lanes);
+        std::memcpy(re + dst, tre + src, row_len * sizeof(T));
+        std::memcpy(im + dst, tim + src, row_len * sizeof(T));
+      }
+    };
+    const std::size_t plane_len = static_cast<std::size_t>(tile_dim) * static_cast<std::size_t>(lanes);
+    if (tiles > 1 && n * lanes >= kernels::kParallelAmpWork) {
+#pragma omp parallel
+      {
+        auto& tre = pooled(tre_pool, plane_len);
+        auto& tim = pooled(tim_pool, plane_len);
+        auto& dscratch = pooled(dscratch_pool, 0);
+#pragma omp for
+        for (std::int64_t t = 0; t < tiles; ++t) process_tile(t, tre.data(), tim.data(), dscratch);
+      }
+    } else {
+      auto& tre = pooled(tre_pool, plane_len);
+      auto& tim = pooled(tim_pool, plane_len);
+      for (std::int64_t t = 0; t < tiles; ++t) process_tile(t, tre.data(), tim.data(), dscratch_pool[0]);
+    }
+  }
+}
+
+// --- handle + backend -------------------------------------------------------
+
+/// Per-consumer plan cache. Programs are immutable and outlive the handle
+/// (they sit in the context's ProgramSet), so the program address plus the
+/// register/lane geometry identifies a plan.
+class BlockedHandle final : public BackendHandle {
+ public:
+  struct Key {
+    const void* program;
+    std::uint32_t qubits;
+    std::uint64_t lanes;  ///< 0 = scalar register
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = std::hash<const void*>{}(k.program);
+      const std::uint64_t geo = (std::uint64_t{k.qubits} << 32) | k.lanes;
+      h ^= std::hash<std::uint64_t>{}(geo) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
+  std::mutex mutex;
+  std::unordered_map<Key, std::shared_ptr<const void>, KeyHash> plans;
+};
+
+template <typename T>
+std::shared_ptr<const BlockedPlan<T>> plan_for(BlockedHandle& handle, const Program<T>& program,
+                                               std::uint32_t register_qubits, std::uint64_t lanes,
+                                               const BlockedBackendOptions& options,
+                                               std::size_t bytes_per_amp) {
+  const BlockedHandle::Key key{&program, register_qubits, lanes};
+  {
+    std::lock_guard<std::mutex> lock(handle.mutex);
+    auto it = handle.plans.find(key);
+    if (it != handle.plans.end()) {
+      return std::static_pointer_cast<const BlockedPlan<T>>(it->second);
+    }
+  }
+  // Build outside the lock (first calls for different programs need not
+  // serialize); a lost race just keeps the other thread's identical plan.
+  auto built = std::make_shared<const BlockedPlan<T>>(
+      build_plan(program, register_qubits, options, bytes_per_amp));
+  std::lock_guard<std::mutex> lock(handle.mutex);
+  auto [it, inserted] = handle.plans.emplace(key, built);
+  return std::static_pointer_cast<const BlockedPlan<T>>(it->second);
+}
+
+class BlockedBackend final : public ExecBackend {
+ public:
+  explicit BlockedBackend(BlockedBackendOptions options) : options_(options) {
+    caps_.name = "blocked";
+    caps_.description =
+        "cache-blocked gate-batching executor (L2-resident tiles, fused-op runs per pass)";
+    caps_.precisions = {"half", "single", "double"};
+    caps_.max_qubits = 30;
+    caps_.panel_widths = {1, 2, 4, 8, 16, 0};
+  }
+
+  const BackendCapabilities& capabilities() const override { return caps_; }
+
+  std::shared_ptr<BackendHandle> create_handle() const override {
+    return std::make_shared<BlockedHandle>();
+  }
+
+  std::size_t workspace_bytes(std::uint32_t /*num_qubits*/) const override {
+    // Tile register + gathered dense scratch, per replay thread.
+    return 2 * options_.tile_bytes;
+  }
+
+  void apply_program(BackendHandle& handle, const Program<float>& program,
+                     Statevector<float>& sv) const override {
+    scalar_entry(handle, program, sv);
+  }
+  void apply_program(BackendHandle& handle, const Program<double>& program,
+                     Statevector<double>& sv) const override {
+    scalar_entry(handle, program, sv);
+  }
+
+  void apply_program_panel(BackendHandle& handle, const Program<f16>& program,
+                           StatePanel<f16>& panel) const override {
+    panel_entry(handle, program, panel);
+  }
+  void apply_program_panel(BackendHandle& handle, const Program<float>& program,
+                           StatePanel<float>& panel) const override {
+    panel_entry(handle, program, panel);
+  }
+  void apply_program_panel(BackendHandle& handle, const Program<double>& program,
+                           StatePanel<double>& panel) const override {
+    panel_entry(handle, program, panel);
+  }
+
+ private:
+  template <typename T>
+  void scalar_entry(BackendHandle& handle, const Program<T>& program, Statevector<T>& sv) const {
+    expects((std::size_t{1} << program.num_qubits) <= sv.dim(),
+            "blocked exec: program wider than register");
+    auto* h = dynamic_cast<BlockedHandle*>(&handle);
+    expects(h != nullptr, "blocked exec: handle belongs to another backend");
+    const auto w = static_cast<std::uint32_t>(std::countr_zero(sv.dim()));
+    const auto plan = plan_for(*h, program, w, 0, options_, sizeof(std::complex<T>));
+    run_scalar(*plan, program, sv.data(), static_cast<std::int64_t>(sv.dim()));
+  }
+
+  template <typename T>
+  void panel_entry(BackendHandle& handle, const Program<T>& program, StatePanel<T>& panel) const {
+    expects((std::size_t{1} << program.num_qubits) <= panel.dim(),
+            "blocked exec: program wider than register");
+    auto* h = dynamic_cast<BlockedHandle*>(&handle);
+    expects(h != nullptr, "blocked exec: handle belongs to another backend");
+    const auto w = static_cast<std::uint32_t>(std::countr_zero(panel.dim()));
+    const std::size_t bytes_per_amp = 2 * sizeof(T) * panel.lanes();
+    const auto plan = plan_for(*h, program, w, panel.lanes(), options_, bytes_per_amp);
+    T* re = panel.re();
+    T* im = panel.im();
+    const auto n = static_cast<std::int64_t>(panel.dim());
+    const auto lanes = static_cast<std::int64_t>(panel.lanes());
+    switch (panel.lanes()) {
+      case 1: run_panel<1>(*plan, program, re, im, n, lanes); break;
+      case 2: run_panel<2>(*plan, program, re, im, n, lanes); break;
+      case 4: run_panel<4>(*plan, program, re, im, n, lanes); break;
+      case 8: run_panel<8>(*plan, program, re, im, n, lanes); break;
+      case 16: run_panel<16>(*plan, program, re, im, n, lanes); break;
+      default: run_panel<0>(*plan, program, re, im, n, lanes); break;
+    }
+  }
+
+  BlockedBackendOptions options_;
+  BackendCapabilities caps_;
+};
+
+}  // namespace
+
+std::shared_ptr<ExecBackend> make_blocked_backend(const BlockedBackendOptions& options) {
+  BlockedBackendOptions opt = options;
+  if (const char* s = std::getenv("MPQLS_BLOCKED_TILE_BYTES")) opt.tile_bytes = std::strtoull(s, nullptr, 10);
+  if (const char* s = std::getenv("MPQLS_BLOCKED_MAX_HIGH_BITS")) opt.max_high_bits = std::strtoul(s, nullptr, 10);
+  if (const char* s = std::getenv("MPQLS_BLOCKED_MIN_RUN_OPS")) opt.min_run_ops = std::strtoul(s, nullptr, 10);
+  return std::make_shared<BlockedBackend>(opt);
+}
+
+}  // namespace mpqls::qsim::exec

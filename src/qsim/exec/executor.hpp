@@ -5,6 +5,11 @@
 // precomputed from the compiler. The executor is stateless — one program
 // can be replayed from many threads onto distinct statevectors, which is
 // how the solver service runs batched right-hand sides.
+//
+// The op bodies live in qsim/exec/kernels.hpp, shared with the pluggable
+// execution backends (qsim/exec/backend/): this class IS the "reference"
+// backend's scalar path, kept as a concrete type for callers that don't
+// need dynamic backend dispatch.
 #pragma once
 
 #include <complex>
@@ -12,6 +17,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "qsim/exec/kernels.hpp"
 #include "qsim/exec/program.hpp"
 #include "qsim/statevector.hpp"
 
@@ -33,160 +39,7 @@ class Executor {
     const std::int64_t n = static_cast<std::int64_t>(sv.dim());
     std::vector<T> scratch;  // shared by the serial dense ops (re then im plane)
     for (const auto& op : program.ops) {
-      switch (op.kind) {
-        case OpKind::kApply1q:
-          apply_1q(op, amps, n);
-          break;
-        case OpKind::kDense:
-          apply_dense(op, amps, n, scratch);
-          break;
-        case OpKind::kDiagonal:
-          apply_diagonal(op, amps, n);
-          break;
-        case OpKind::kGlobalPhase:
-          apply_phase(op, amps, n);
-          break;
-      }
-    }
-  }
-
- private:
-  /// Insert a zero at bit position `bit` (a single-bit mask) of a compacted
-  /// index: enumerates exactly the indices whose `bit` is 0.
-  static std::uint64_t expand_at(std::uint64_t compact, std::uint64_t bit) {
-    const std::uint64_t low = compact & (bit - 1);
-    return ((compact ^ low) << 1) | low;
-  }
-
-  /// Map a compacted loop index to the amplitude index the op touches:
-  /// zeros inserted at every skipped bit (targets + controls, ascending),
-  /// then the positive-control bits set. Branch-free control handling.
-  static std::uint64_t expand_index(std::uint64_t compact, const CompiledOp<T>& op) {
-    for (const auto bit : op.insert_bits) compact = expand_at(compact, bit);
-    return compact | op.set_mask;
-  }
-
-  // Below-threshold registers skip the OpenMP region entirely: entering a
-  // (even one-thread) parallel region per op costs more than a whole
-  // small-register sweep, and the compiled hot path runs thousands of ops.
-  static constexpr std::int64_t kParallelPairs = std::int64_t{1} << 13;
-  static constexpr std::int64_t kParallelBlocks = std::int64_t{1} << 11;
-  static constexpr std::int64_t kParallelAmps = std::int64_t{1} << 14;
-
-  static void apply_1q(const CompiledOp<T>& op, complex_type* amps, std::int64_t n) {
-    const std::uint64_t bit = op.target_bit;
-    const std::int64_t pairs = n >> op.free_shift;
-    // Below the lowest re-inserted bit, consecutive loop indices map to
-    // consecutive amplitudes — process those runs with a vectorizable
-    // split re/im inner loop. chunk is a power of two and always divides
-    // `pairs` (there are at least log2(chunk) free bits below every
-    // inserted bit).
-    const std::int64_t chunk =
-        std::min<std::int64_t>(static_cast<std::int64_t>(op.insert_bits[0]), pairs);
-    const T m00r = op.m00.real(), m00i = op.m00.imag();
-    const T m01r = op.m01.real(), m01i = op.m01.imag();
-    const T m10r = op.m10.real(), m10i = op.m10.imag();
-    const T m11r = op.m11.real(), m11i = op.m11.imag();
-    auto chunk_kernel = [&](std::int64_t ii) {
-      const std::uint64_t i = expand_index(static_cast<std::uint64_t>(ii), op);
-      T* p0 = reinterpret_cast<T*>(amps + i);
-      T* p1 = reinterpret_cast<T*>(amps + (i | bit));
-#pragma omp simd
-      for (std::int64_t l = 0; l < chunk; ++l) {
-        const T re0 = p0[2 * l], im0 = p0[2 * l + 1];
-        const T re1 = p1[2 * l], im1 = p1[2 * l + 1];
-        p0[2 * l] = m00r * re0 - m00i * im0 + m01r * re1 - m01i * im1;
-        p0[2 * l + 1] = m00r * im0 + m00i * re0 + m01r * im1 + m01i * re1;
-        p1[2 * l] = m10r * re0 - m10i * im0 + m11r * re1 - m11i * im1;
-        p1[2 * l + 1] = m10r * im0 + m10i * re0 + m11r * im1 + m11i * re1;
-      }
-    };
-    if (pairs >= kParallelPairs) {
-#pragma omp parallel for
-      for (std::int64_t ii = 0; ii < pairs; ii += chunk) chunk_kernel(ii);
-    } else {
-      for (std::int64_t ii = 0; ii < pairs; ii += chunk) chunk_kernel(ii);
-    }
-  }
-
-  static void apply_dense(const CompiledOp<T>& op, complex_type* amps, std::int64_t n,
-                          std::vector<T>& run_scratch) {
-    const std::uint32_t k = op.num_targets;
-    const std::size_t sub_dim = std::size_t{1} << k;
-    const std::int64_t blocks = n >> op.free_shift;
-    const std::uint64_t* offsets = op.offsets.data();
-    const T* mre = op.payload_re.data();
-    const T* mim = op.payload_im.data();
-    // The sub-state and the matrix rows are processed in split
-    // real/imaginary planes: the inner product below is then contiguous
-    // scalar arrays, which the compiler vectorizes (the interleaved
-    // complex layout would not).
-    auto block_kernel = [&](std::int64_t bb, T* sre, T* sim) {
-      // Expand the block index into the base index: target and control
-      // bits re-inserted, positive controls set.
-      const std::uint64_t base = expand_index(static_cast<std::uint64_t>(bb), op);
-      for (std::size_t s = 0; s < sub_dim; ++s) {
-        const complex_type a = amps[base | offsets[s]];
-        sre[s] = a.real();
-        sim[s] = a.imag();
-      }
-      for (std::size_t r = 0; r < sub_dim; ++r) {
-        const T* rre = mre + r * sub_dim;
-        const T* rim = mim + r * sub_dim;
-        T acc_re{}, acc_im{};
-#pragma omp simd reduction(+ : acc_re, acc_im)
-        for (std::size_t s = 0; s < sub_dim; ++s) {
-          acc_re += rre[s] * sre[s] - rim[s] * sim[s];
-          acc_im += rre[s] * sim[s] + rim[s] * sre[s];
-        }
-        amps[base | offsets[r]] = complex_type(acc_re, acc_im);
-      }
-    };
-    if (blocks >= kParallelBlocks) {
-#pragma omp parallel
-      {
-        std::vector<T> scratch(2 * sub_dim);
-#pragma omp for
-        for (std::int64_t bb = 0; bb < blocks; ++bb) {
-          block_kernel(bb, scratch.data(), scratch.data() + sub_dim);
-        }
-      }
-    } else {
-      if (run_scratch.size() < 2 * sub_dim) run_scratch.resize(2 * sub_dim);
-      for (std::int64_t bb = 0; bb < blocks; ++bb) {
-        block_kernel(bb, run_scratch.data(), run_scratch.data() + sub_dim);
-      }
-    }
-  }
-
-  static void apply_diagonal(const CompiledOp<T>& op, complex_type* amps, std::int64_t n) {
-    const std::uint32_t k = op.num_targets;
-    const std::int64_t count = n >> op.free_shift;  // firing amplitudes only
-    const std::uint64_t* target_bits = op.target_bits.data();
-    const complex_type* d = op.payload.data();
-    auto amp_kernel = [&](std::int64_t ii) {
-      const std::uint64_t i = expand_index(static_cast<std::uint64_t>(ii), op);
-      std::uint64_t sub = 0;
-      for (std::uint32_t t = 0; t < k; ++t) {
-        if (i & target_bits[t]) sub |= std::uint64_t{1} << t;
-      }
-      amps[i] *= d[sub];
-    };
-    if (count >= kParallelAmps) {
-#pragma omp parallel for
-      for (std::int64_t i = 0; i < count; ++i) amp_kernel(i);
-    } else {
-      for (std::int64_t i = 0; i < count; ++i) amp_kernel(i);
-    }
-  }
-
-  static void apply_phase(const CompiledOp<T>& op, complex_type* amps, std::int64_t n) {
-    const complex_type phase = op.phase;
-    if (n >= kParallelAmps) {
-#pragma omp parallel for
-      for (std::int64_t i = 0; i < n; ++i) amps[i] *= phase;
-    } else {
-      for (std::int64_t i = 0; i < n; ++i) amps[i] *= phase;
+      kernels::apply_op(op, amps, n, scratch);
     }
   }
 };

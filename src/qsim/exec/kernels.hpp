@@ -1,0 +1,473 @@
+// The op kernels shared by every CPU execution backend. These are the
+// bodies that used to live as private statics of Executor<T> and
+// PanelExecutor<T>, extracted verbatim so the "reference" backend and the
+// cache-blocked backend replay *literally the same arithmetic* — the
+// blocked executor reuses them on its gathered tile registers (with
+// `allow_parallel = false`, because it already parallelizes over tiles and
+// a nested OpenMP region per op per tile would swamp the tile work).
+//
+// Per-amplitude arithmetic order is identical in both modes; the
+// allow_parallel flag only picks which loop drives the kernel, so results
+// are reproducible across backends for a fixed thread count.
+#pragma once
+
+#include <algorithm>
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "qsim/exec/program.hpp"
+
+namespace mpqls::qsim::exec::kernels {
+
+/// Insert a zero at bit position `bit` (a single-bit mask) of a compacted
+/// index: enumerates exactly the indices whose `bit` is 0.
+inline std::uint64_t expand_at(std::uint64_t compact, std::uint64_t bit) {
+  const std::uint64_t low = compact & (bit - 1);
+  return ((compact ^ low) << 1) | low;
+}
+
+/// Map a compacted loop index to the amplitude index the op touches:
+/// zeros inserted at every skipped bit (targets + controls, ascending),
+/// then the positive-control bits set. Branch-free control handling.
+template <typename T>
+std::uint64_t expand_index(std::uint64_t compact, const CompiledOp<T>& op) {
+  for (const auto bit : op.insert_bits) compact = expand_at(compact, bit);
+  return compact | op.set_mask;
+}
+
+// Below-threshold registers skip the OpenMP region entirely: entering a
+// (even one-thread) parallel region per op costs more than a whole
+// small-register sweep, and the compiled hot path runs thousands of ops.
+inline constexpr std::int64_t kParallelPairs = std::int64_t{1} << 13;
+inline constexpr std::int64_t kParallelBlocks = std::int64_t{1} << 11;
+inline constexpr std::int64_t kParallelAmps = std::int64_t{1} << 14;
+
+// --- scalar (Statevector<T>) kernels ---------------------------------------
+
+template <typename T>
+void apply_1q(const CompiledOp<T>& op, std::complex<T>* amps, std::int64_t n,
+              bool allow_parallel = true) {
+  const std::uint64_t bit = op.target_bit;
+  const std::int64_t pairs = n >> op.free_shift;
+  // Below the lowest re-inserted bit, consecutive loop indices map to
+  // consecutive amplitudes — process those runs with a vectorizable
+  // split re/im inner loop. chunk is a power of two and always divides
+  // `pairs` (there are at least log2(chunk) free bits below every
+  // inserted bit).
+  const std::int64_t chunk =
+      std::min<std::int64_t>(static_cast<std::int64_t>(op.insert_bits[0]), pairs);
+  const T m00r = op.m00.real(), m00i = op.m00.imag();
+  const T m01r = op.m01.real(), m01i = op.m01.imag();
+  const T m10r = op.m10.real(), m10i = op.m10.imag();
+  const T m11r = op.m11.real(), m11i = op.m11.imag();
+  auto chunk_kernel = [&](std::int64_t ii) {
+    const std::uint64_t i = expand_index(static_cast<std::uint64_t>(ii), op);
+    T* p0 = reinterpret_cast<T*>(amps + i);
+    T* p1 = reinterpret_cast<T*>(amps + (i | bit));
+#pragma omp simd
+    for (std::int64_t l = 0; l < chunk; ++l) {
+      const T re0 = p0[2 * l], im0 = p0[2 * l + 1];
+      const T re1 = p1[2 * l], im1 = p1[2 * l + 1];
+      p0[2 * l] = m00r * re0 - m00i * im0 + m01r * re1 - m01i * im1;
+      p0[2 * l + 1] = m00r * im0 + m00i * re0 + m01r * im1 + m01i * re1;
+      p1[2 * l] = m10r * re0 - m10i * im0 + m11r * re1 - m11i * im1;
+      p1[2 * l + 1] = m10r * im0 + m10i * re0 + m11r * im1 + m11i * re1;
+    }
+  };
+  if (allow_parallel && pairs >= kParallelPairs) {
+#pragma omp parallel for
+    for (std::int64_t ii = 0; ii < pairs; ii += chunk) chunk_kernel(ii);
+  } else {
+    for (std::int64_t ii = 0; ii < pairs; ii += chunk) chunk_kernel(ii);
+  }
+}
+
+template <typename T>
+void apply_dense(const CompiledOp<T>& op, std::complex<T>* amps, std::int64_t n,
+                 std::vector<T>& run_scratch, bool allow_parallel = true) {
+  using complex_type = std::complex<T>;
+  const std::uint32_t k = op.num_targets;
+  const std::size_t sub_dim = std::size_t{1} << k;
+  const std::int64_t blocks = n >> op.free_shift;
+  const std::uint64_t* offsets = op.offsets.data();
+  const T* mre = op.payload_re.data();
+  const T* mim = op.payload_im.data();
+  // The sub-state and the matrix rows are processed in split
+  // real/imaginary planes: the inner product below is then contiguous
+  // scalar arrays, which the compiler vectorizes (the interleaved
+  // complex layout would not).
+  auto block_kernel = [&](std::int64_t bb, T* sre, T* sim) {
+    // Expand the block index into the base index: target and control
+    // bits re-inserted, positive controls set.
+    const std::uint64_t base = expand_index(static_cast<std::uint64_t>(bb), op);
+    for (std::size_t s = 0; s < sub_dim; ++s) {
+      const complex_type a = amps[base | offsets[s]];
+      sre[s] = a.real();
+      sim[s] = a.imag();
+    }
+    for (std::size_t r = 0; r < sub_dim; ++r) {
+      const T* rre = mre + r * sub_dim;
+      const T* rim = mim + r * sub_dim;
+      T acc_re{}, acc_im{};
+#pragma omp simd reduction(+ : acc_re, acc_im)
+      for (std::size_t s = 0; s < sub_dim; ++s) {
+        acc_re += rre[s] * sre[s] - rim[s] * sim[s];
+        acc_im += rre[s] * sim[s] + rim[s] * sre[s];
+      }
+      amps[base | offsets[r]] = complex_type(acc_re, acc_im);
+    }
+  };
+  if (allow_parallel && blocks >= kParallelBlocks) {
+#pragma omp parallel
+    {
+      std::vector<T> scratch(2 * sub_dim);
+#pragma omp for
+      for (std::int64_t bb = 0; bb < blocks; ++bb) {
+        block_kernel(bb, scratch.data(), scratch.data() + sub_dim);
+      }
+    }
+  } else {
+    if (run_scratch.size() < 2 * sub_dim) run_scratch.resize(2 * sub_dim);
+    for (std::int64_t bb = 0; bb < blocks; ++bb) {
+      block_kernel(bb, run_scratch.data(), run_scratch.data() + sub_dim);
+    }
+  }
+}
+
+template <typename T>
+void apply_diagonal(const CompiledOp<T>& op, std::complex<T>* amps, std::int64_t n,
+                    bool allow_parallel = true) {
+  const std::uint32_t k = op.num_targets;
+  const std::int64_t count = n >> op.free_shift;  // firing amplitudes only
+  const std::uint64_t* target_bits = op.target_bits.data();
+  const std::complex<T>* d = op.payload.data();
+  auto amp_kernel = [&](std::int64_t ii) {
+    const std::uint64_t i = expand_index(static_cast<std::uint64_t>(ii), op);
+    std::uint64_t sub = 0;
+    for (std::uint32_t t = 0; t < k; ++t) {
+      if (i & target_bits[t]) sub |= std::uint64_t{1} << t;
+    }
+    amps[i] *= d[sub];
+  };
+  if (allow_parallel && count >= kParallelAmps) {
+#pragma omp parallel for
+    for (std::int64_t i = 0; i < count; ++i) amp_kernel(i);
+  } else {
+    for (std::int64_t i = 0; i < count; ++i) amp_kernel(i);
+  }
+}
+
+template <typename T>
+void apply_phase(const CompiledOp<T>& op, std::complex<T>* amps, std::int64_t n,
+                 bool allow_parallel = true) {
+  const std::complex<T> phase = op.phase;
+  if (allow_parallel && n >= kParallelAmps) {
+#pragma omp parallel for
+    for (std::int64_t i = 0; i < n; ++i) amps[i] *= phase;
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) amps[i] *= phase;
+  }
+}
+
+/// One op against a scalar register (the per-op body of Executor::run).
+template <typename T>
+void apply_op(const CompiledOp<T>& op, std::complex<T>* amps, std::int64_t n,
+              std::vector<T>& dense_scratch, bool allow_parallel = true) {
+  switch (op.kind) {
+    case OpKind::kApply1q:
+      apply_1q(op, amps, n, allow_parallel);
+      break;
+    case OpKind::kDense:
+      apply_dense(op, amps, n, dense_scratch, allow_parallel);
+      break;
+    case OpKind::kDiagonal:
+      apply_diagonal(op, amps, n, allow_parallel);
+      break;
+    case OpKind::kGlobalPhase:
+      apply_phase(op, amps, n, allow_parallel);
+      break;
+  }
+}
+
+// --- panel (StatePanel<T>) kernels -----------------------------------------
+//
+// Amplitudes load/store through the storage precision T but all kernel
+// arithmetic happens in the compute precision exec_compute_t<T> (float for
+// the f16 tier, T itself for float/double). The lane count is a template
+// parameter (kLanes == 0 means runtime width): QSVT programs are dominated
+// by heavily-controlled ops with short inner loops, and a compile-time
+// lane count unrolls them into straight-line SIMD.
+
+// Same region-entry economics as the scalar kernels, divided by the lane
+// count: every enumerated amplitude does `lanes` lanes of work, so a panel
+// reaches the scalar thresholds at 1/B of the register size.
+inline constexpr std::int64_t kParallelPairWork = std::int64_t{1} << 13;
+inline constexpr std::int64_t kParallelBlockWork = std::int64_t{1} << 11;
+inline constexpr std::int64_t kParallelAmpWork = std::int64_t{1} << 14;
+
+template <int kLanes, typename T>
+void panel_apply_1q(const CompiledOp<T>& op, T* re, T* im, std::int64_t n,
+                    std::int64_t lanes_rt, bool allow_parallel = true) {
+  using C = exec_compute_t<T>;
+  const std::int64_t lanes = kLanes > 0 ? kLanes : lanes_rt;
+  const std::uint64_t bit = op.target_bit;
+  const std::int64_t pairs = n >> op.free_shift;
+  // Same chunking as the scalar kernel: below the lowest re-inserted bit,
+  // consecutive loop indices map to consecutive amplitudes — and in the
+  // panel layout consecutive amplitudes are contiguous blocks of `lanes`
+  // elements, so a chunk of C pairs is one flat unit-stride run of
+  // C*lanes scalars per plane. One index expansion covers the whole run;
+  // the batch dimension rides inside the same SIMD loop.
+  const std::int64_t chunk =
+      std::min<std::int64_t>(static_cast<std::int64_t>(op.insert_bits[0]), pairs);
+  const std::int64_t flat = chunk * lanes;
+  const C m00r = op.m00.real(), m00i = op.m00.imag();
+  const C m01r = op.m01.real(), m01i = op.m01.imag();
+  const C m10r = op.m10.real(), m10i = op.m10.imag();
+  const C m11r = op.m11.real(), m11i = op.m11.imag();
+  auto chunk_kernel = [&](std::int64_t ii) {
+    const std::uint64_t i0 = expand_index(static_cast<std::uint64_t>(ii), op);
+    const std::uint64_t i1 = i0 | bit;
+    T* r0 = re + static_cast<std::int64_t>(i0) * lanes;
+    T* q0 = im + static_cast<std::int64_t>(i0) * lanes;
+    T* r1 = re + static_cast<std::int64_t>(i1) * lanes;
+    T* q1 = im + static_cast<std::int64_t>(i1) * lanes;
+#pragma omp simd
+    for (std::int64_t j = 0; j < flat; ++j) {
+      const C re0 = static_cast<C>(r0[j]), im0 = static_cast<C>(q0[j]);
+      const C re1 = static_cast<C>(r1[j]), im1 = static_cast<C>(q1[j]);
+      r0[j] = static_cast<T>(m00r * re0 - m00i * im0 + m01r * re1 - m01i * im1);
+      q0[j] = static_cast<T>(m00r * im0 + m00i * re0 + m01r * im1 + m01i * re1);
+      r1[j] = static_cast<T>(m10r * re0 - m10i * im0 + m11r * re1 - m11i * im1);
+      q1[j] = static_cast<T>(m10r * im0 + m10i * re0 + m11r * im1 + m11i * re1);
+    }
+  };
+  if (allow_parallel && pairs * lanes >= kParallelPairWork) {
+#pragma omp parallel for
+    for (std::int64_t ii = 0; ii < pairs; ii += chunk) chunk_kernel(ii);
+  } else {
+    for (std::int64_t ii = 0; ii < pairs; ii += chunk) chunk_kernel(ii);
+  }
+}
+
+/// Dense block kernel for compile-time lane count AND sub-dimension:
+/// the r/s loops fully unroll and the row accumulators are fixed-size
+/// locals (registers, not scratch memory — a heap accumulator would
+/// alias the gathered sub-panel and force a reload/spill per multiply).
+template <int kLanes, int kSub, typename T>
+void panel_dense_block(const CompiledOp<T>& op, T* __restrict__ re, T* __restrict__ im,
+                       std::int64_t bb, exec_compute_t<T>* __restrict__ sre,
+                       exec_compute_t<T>* __restrict__ sim) {
+  using C = exec_compute_t<T>;
+  const std::uint64_t* offsets = op.offsets.data();
+  const C* __restrict__ mre = op.payload_re.data();
+  const C* __restrict__ mim = op.payload_im.data();
+  const std::uint64_t base = expand_index(static_cast<std::uint64_t>(bb), op);
+  for (int s = 0; s < kSub; ++s) {
+    const T* __restrict__ src_re = re + static_cast<std::int64_t>(base | offsets[s]) * kLanes;
+    const T* __restrict__ src_im = im + static_cast<std::int64_t>(base | offsets[s]) * kLanes;
+#pragma omp simd
+    for (std::int64_t l = 0; l < kLanes; ++l) {
+      sre[s * kLanes + l] = static_cast<C>(src_re[l]);
+      sim[s * kLanes + l] = static_cast<C>(src_im[l]);
+    }
+  }
+  for (int r = 0; r < kSub; ++r) {
+    const C* __restrict__ rre = mre + r * kSub;
+    const C* __restrict__ rim = mim + r * kSub;
+    C acc_re[kLanes] = {};
+    C acc_im[kLanes] = {};
+    for (int s = 0; s < kSub; ++s) {
+      const C mr = rre[s], mi = rim[s];
+      const C* __restrict__ xr = sre + s * kLanes;
+      const C* __restrict__ xi = sim + s * kLanes;
+#pragma omp simd
+      for (std::int64_t l = 0; l < kLanes; ++l) {
+        acc_re[l] += mr * xr[l] - mi * xi[l];
+        acc_im[l] += mr * xi[l] + mi * xr[l];
+      }
+    }
+    T* __restrict__ dst_re = re + static_cast<std::int64_t>(base | offsets[r]) * kLanes;
+    T* __restrict__ dst_im = im + static_cast<std::int64_t>(base | offsets[r]) * kLanes;
+#pragma omp simd
+    for (std::int64_t l = 0; l < kLanes; ++l) {
+      dst_re[l] = static_cast<T>(acc_re[l]);
+      dst_im[l] = static_cast<T>(acc_im[l]);
+    }
+  }
+}
+
+/// Generic-width dense block (runtime lane count; accumulators live at
+/// the end of the scratch buffer).
+template <typename T>
+void panel_dense_block_generic(const CompiledOp<T>& op, T* re, T* im, std::size_t sub_dim,
+                               std::int64_t lanes, std::int64_t bb, exec_compute_t<T>* scratch) {
+  using C = exec_compute_t<T>;
+  const std::uint64_t* offsets = op.offsets.data();
+  const C* mre = op.payload_re.data();
+  const C* mim = op.payload_im.data();
+  C* sre = scratch;
+  C* sim = scratch + sub_dim * static_cast<std::size_t>(lanes);
+  C* acc_re = scratch + 2 * sub_dim * static_cast<std::size_t>(lanes);
+  C* acc_im = acc_re + lanes;
+  const std::uint64_t base = expand_index(static_cast<std::uint64_t>(bb), op);
+  for (std::size_t s = 0; s < sub_dim; ++s) {
+    const std::int64_t src = static_cast<std::int64_t>(base | offsets[s]) * lanes;
+    C* row_re = sre + s * static_cast<std::size_t>(lanes);
+    C* row_im = sim + s * static_cast<std::size_t>(lanes);
+#pragma omp simd
+    for (std::int64_t l = 0; l < lanes; ++l) {
+      row_re[l] = static_cast<C>(re[src + l]);
+      row_im[l] = static_cast<C>(im[src + l]);
+    }
+  }
+  for (std::size_t r = 0; r < sub_dim; ++r) {
+    const C* rre = mre + r * sub_dim;
+    const C* rim = mim + r * sub_dim;
+    for (std::int64_t l = 0; l < lanes; ++l) {
+      acc_re[l] = C{};
+      acc_im[l] = C{};
+    }
+    for (std::size_t s = 0; s < sub_dim; ++s) {
+      const C mr = rre[s], mi = rim[s];
+      const C* xr = sre + s * static_cast<std::size_t>(lanes);
+      const C* xi = sim + s * static_cast<std::size_t>(lanes);
+#pragma omp simd
+      for (std::int64_t l = 0; l < lanes; ++l) {
+        acc_re[l] += mr * xr[l] - mi * xi[l];
+        acc_im[l] += mr * xi[l] + mi * xr[l];
+      }
+    }
+    const std::int64_t dst = static_cast<std::int64_t>(base | offsets[r]) * lanes;
+#pragma omp simd
+    for (std::int64_t l = 0; l < lanes; ++l) {
+      re[dst + l] = static_cast<T>(acc_re[l]);
+      im[dst + l] = static_cast<T>(acc_im[l]);
+    }
+  }
+}
+
+/// Scratch length (in exec_compute_t<T> elements) one dense panel op of
+/// sub-dimension `sub_dim` needs at `lanes` lanes: the gathered sub-panel
+/// in split planes plus one accumulator row for the generic path.
+inline std::size_t panel_dense_scratch_len(std::size_t sub_dim, std::int64_t lanes) {
+  return (2 * sub_dim + 2) * static_cast<std::size_t>(lanes);
+}
+
+template <int kLanes, typename T>
+void panel_apply_dense(const CompiledOp<T>& op, T* re, T* im, std::int64_t n,
+                       std::int64_t lanes_rt, std::vector<exec_compute_t<T>>& run_scratch,
+                       bool allow_parallel = true) {
+  using C = exec_compute_t<T>;
+  const std::int64_t lanes = kLanes > 0 ? kLanes : lanes_rt;
+  const std::size_t sub_dim = std::size_t{1} << op.num_targets;
+  const std::int64_t blocks = n >> op.free_shift;
+  // Gathered sub-panel in split planes ([sub_dim][lanes] re then im);
+  // the generic path also keeps one accumulator row here.
+  const std::size_t scratch_len = panel_dense_scratch_len(sub_dim, lanes);
+  auto block_kernel = [&](std::int64_t bb, C* scratch) {
+    if constexpr (kLanes > 0) {
+      C* sim = scratch + sub_dim * static_cast<std::size_t>(kLanes);
+      // Fused windows are <= 3 qubits by default; wider payloads (a
+      // raised max_fuse_qubits) take the generic loop.
+      switch (op.num_targets) {
+        case 1: panel_dense_block<kLanes, 2>(op, re, im, bb, scratch, sim); return;
+        case 2: panel_dense_block<kLanes, 4>(op, re, im, bb, scratch, sim); return;
+        case 3: panel_dense_block<kLanes, 8>(op, re, im, bb, scratch, sim); return;
+        default: panel_dense_block_generic(op, re, im, sub_dim, lanes, bb, scratch); return;
+      }
+    } else {
+      panel_dense_block_generic(op, re, im, sub_dim, lanes, bb, scratch);
+    }
+  };
+  if (allow_parallel && blocks * lanes >= kParallelBlockWork) {
+#pragma omp parallel
+    {
+      std::vector<C> scratch(scratch_len);
+#pragma omp for
+      for (std::int64_t bb = 0; bb < blocks; ++bb) block_kernel(bb, scratch.data());
+    }
+  } else {
+    if (run_scratch.size() < scratch_len) run_scratch.resize(scratch_len);
+    for (std::int64_t bb = 0; bb < blocks; ++bb) block_kernel(bb, run_scratch.data());
+  }
+}
+
+template <int kLanes, typename T>
+void panel_apply_diagonal(const CompiledOp<T>& op, T* re, T* im, std::int64_t n,
+                          std::int64_t lanes_rt, bool allow_parallel = true) {
+  using C = exec_compute_t<T>;
+  const std::int64_t lanes = kLanes > 0 ? kLanes : lanes_rt;
+  const std::uint32_t k = op.num_targets;
+  const std::int64_t count = n >> op.free_shift;  // firing amplitudes only
+  const std::uint64_t* target_bits = op.target_bits.data();
+  const std::complex<C>* d = op.payload.data();
+  auto amp_kernel = [&](std::int64_t ii) {
+    const std::uint64_t i = expand_index(static_cast<std::uint64_t>(ii), op);
+    std::uint64_t sub = 0;
+    for (std::uint32_t t = 0; t < k; ++t) {
+      if (i & target_bits[t]) sub |= std::uint64_t{1} << t;
+    }
+    const C dr = d[sub].real(), di = d[sub].imag();
+    T* r = re + static_cast<std::int64_t>(i) * lanes;
+    T* q = im + static_cast<std::int64_t>(i) * lanes;
+#pragma omp simd
+    for (std::int64_t l = 0; l < lanes; ++l) {
+      const C ar = static_cast<C>(r[l]), ai = static_cast<C>(q[l]);
+      r[l] = static_cast<T>(dr * ar - di * ai);
+      q[l] = static_cast<T>(dr * ai + di * ar);
+    }
+  };
+  if (allow_parallel && count * lanes >= kParallelAmpWork) {
+#pragma omp parallel for
+    for (std::int64_t i = 0; i < count; ++i) amp_kernel(i);
+  } else {
+    for (std::int64_t i = 0; i < count; ++i) amp_kernel(i);
+  }
+}
+
+template <typename T>
+void panel_apply_phase(const CompiledOp<T>& op, T* re, T* im, std::int64_t n,
+                       std::int64_t lanes, bool allow_parallel = true) {
+  using C = exec_compute_t<T>;
+  const C pr = op.phase.real(), pi = op.phase.imag();
+  const std::int64_t total = n * lanes;  // lanes are contiguous: one flat sweep
+  if (allow_parallel && total >= kParallelAmpWork) {
+#pragma omp parallel for
+    for (std::int64_t i = 0; i < total; ++i) {
+      const C ar = static_cast<C>(re[i]), ai = static_cast<C>(im[i]);
+      re[i] = static_cast<T>(pr * ar - pi * ai);
+      im[i] = static_cast<T>(pr * ai + pi * ar);
+    }
+  } else {
+#pragma omp simd
+    for (std::int64_t i = 0; i < total; ++i) {
+      const C ar = static_cast<C>(re[i]), ai = static_cast<C>(im[i]);
+      re[i] = static_cast<T>(pr * ar - pi * ai);
+      im[i] = static_cast<T>(pr * ai + pi * ar);
+    }
+  }
+}
+
+/// One op against a panel (the per-op body of PanelExecutor::run_impl).
+template <int kLanes, typename T>
+void panel_apply_op(const CompiledOp<T>& op, T* re, T* im, std::int64_t n, std::int64_t lanes,
+                    std::vector<exec_compute_t<T>>& dense_scratch, bool allow_parallel = true) {
+  switch (op.kind) {
+    case OpKind::kApply1q:
+      panel_apply_1q<kLanes>(op, re, im, n, lanes, allow_parallel);
+      break;
+    case OpKind::kDense:
+      panel_apply_dense<kLanes>(op, re, im, n, lanes, dense_scratch, allow_parallel);
+      break;
+    case OpKind::kDiagonal:
+      panel_apply_diagonal<kLanes>(op, re, im, n, lanes, allow_parallel);
+      break;
+    case OpKind::kGlobalPhase:
+      panel_apply_phase(op, re, im, n, lanes, allow_parallel);
+      break;
+  }
+}
+
+}  // namespace mpqls::qsim::exec::kernels

@@ -18,13 +18,17 @@
 // lane loop is the SIMD dimension); thresholds scale with the lane count
 // so a panel enters a parallel region at 1/B of the scalar executor's
 // register size. Like Executor, the replayer is stateless and reentrant.
+//
+// The op bodies live in qsim/exec/kernels.hpp, shared with the pluggable
+// execution backends (qsim/exec/backend/): this class IS the "reference"
+// backend's panel path.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "qsim/exec/kernels.hpp"
 #include "qsim/exec/panel.hpp"
 #include "qsim/exec/program.hpp"
 
@@ -63,264 +67,7 @@ class PanelExecutor {
     const std::int64_t lanes = static_cast<std::int64_t>(panel.lanes());
     std::vector<C> scratch;  // shared by the serial dense ops
     for (const auto& op : program.ops) {
-      switch (op.kind) {
-        case OpKind::kApply1q:
-          apply_1q<kLanes>(op, re, im, n, lanes);
-          break;
-        case OpKind::kDense:
-          apply_dense<kLanes>(op, re, im, n, lanes, scratch);
-          break;
-        case OpKind::kDiagonal:
-          apply_diagonal<kLanes>(op, re, im, n, lanes);
-          break;
-        case OpKind::kGlobalPhase:
-          apply_phase(op, re, im, n, lanes);
-          break;
-      }
-    }
-  }
-
-  static std::uint64_t expand_at(std::uint64_t compact, std::uint64_t bit) {
-    const std::uint64_t low = compact & (bit - 1);
-    return ((compact ^ low) << 1) | low;
-  }
-
-  static std::uint64_t expand_index(std::uint64_t compact, const CompiledOp<T>& op) {
-    for (const auto bit : op.insert_bits) compact = expand_at(compact, bit);
-    return compact | op.set_mask;
-  }
-
-  // Same region-entry economics as Executor, divided by the lane count:
-  // every enumerated amplitude does `lanes` lanes of work, so a panel
-  // reaches the scalar thresholds at 1/B of the register size.
-  static constexpr std::int64_t kParallelPairWork = std::int64_t{1} << 13;
-  static constexpr std::int64_t kParallelBlockWork = std::int64_t{1} << 11;
-  static constexpr std::int64_t kParallelAmpWork = std::int64_t{1} << 14;
-
-  template <int kLanes>
-  static void apply_1q(const CompiledOp<T>& op, T* re, T* im, std::int64_t n,
-                       std::int64_t lanes_rt) {
-    const std::int64_t lanes = kLanes > 0 ? kLanes : lanes_rt;
-    const std::uint64_t bit = op.target_bit;
-    const std::int64_t pairs = n >> op.free_shift;
-    // Same chunking as the scalar executor: below the lowest re-inserted
-    // bit, consecutive loop indices map to consecutive amplitudes — and in
-    // the panel layout consecutive amplitudes are contiguous blocks of
-    // `lanes` elements, so a chunk of C pairs is one flat unit-stride run
-    // of C*lanes scalars per plane. One index expansion covers the whole
-    // run; the batch dimension rides inside the same SIMD loop.
-    const std::int64_t chunk =
-        std::min<std::int64_t>(static_cast<std::int64_t>(op.insert_bits[0]), pairs);
-    const std::int64_t flat = chunk * lanes;
-    const C m00r = op.m00.real(), m00i = op.m00.imag();
-    const C m01r = op.m01.real(), m01i = op.m01.imag();
-    const C m10r = op.m10.real(), m10i = op.m10.imag();
-    const C m11r = op.m11.real(), m11i = op.m11.imag();
-    auto chunk_kernel = [&](std::int64_t ii) {
-      const std::uint64_t i0 = expand_index(static_cast<std::uint64_t>(ii), op);
-      const std::uint64_t i1 = i0 | bit;
-      T* r0 = re + static_cast<std::int64_t>(i0) * lanes;
-      T* q0 = im + static_cast<std::int64_t>(i0) * lanes;
-      T* r1 = re + static_cast<std::int64_t>(i1) * lanes;
-      T* q1 = im + static_cast<std::int64_t>(i1) * lanes;
-#pragma omp simd
-      for (std::int64_t j = 0; j < flat; ++j) {
-        const C re0 = static_cast<C>(r0[j]), im0 = static_cast<C>(q0[j]);
-        const C re1 = static_cast<C>(r1[j]), im1 = static_cast<C>(q1[j]);
-        r0[j] = static_cast<T>(m00r * re0 - m00i * im0 + m01r * re1 - m01i * im1);
-        q0[j] = static_cast<T>(m00r * im0 + m00i * re0 + m01r * im1 + m01i * re1);
-        r1[j] = static_cast<T>(m10r * re0 - m10i * im0 + m11r * re1 - m11i * im1);
-        q1[j] = static_cast<T>(m10r * im0 + m10i * re0 + m11r * im1 + m11i * re1);
-      }
-    };
-    if (pairs * lanes >= kParallelPairWork) {
-#pragma omp parallel for
-      for (std::int64_t ii = 0; ii < pairs; ii += chunk) chunk_kernel(ii);
-    } else {
-      for (std::int64_t ii = 0; ii < pairs; ii += chunk) chunk_kernel(ii);
-    }
-  }
-
-  /// Dense block kernel for compile-time lane count AND sub-dimension:
-  /// the r/s loops fully unroll and the row accumulators are fixed-size
-  /// locals (registers, not scratch memory — a heap accumulator would
-  /// alias the gathered sub-panel and force a reload/spill per multiply).
-  template <int kLanes, int kSub>
-  static void dense_block(const CompiledOp<T>& op, T* __restrict__ re, T* __restrict__ im,
-                          std::int64_t bb, C* __restrict__ sre, C* __restrict__ sim) {
-    const std::uint64_t* offsets = op.offsets.data();
-    const C* __restrict__ mre = op.payload_re.data();
-    const C* __restrict__ mim = op.payload_im.data();
-    const std::uint64_t base = expand_index(static_cast<std::uint64_t>(bb), op);
-    for (int s = 0; s < kSub; ++s) {
-      const T* __restrict__ src_re = re + static_cast<std::int64_t>(base | offsets[s]) * kLanes;
-      const T* __restrict__ src_im = im + static_cast<std::int64_t>(base | offsets[s]) * kLanes;
-#pragma omp simd
-      for (std::int64_t l = 0; l < kLanes; ++l) {
-        sre[s * kLanes + l] = static_cast<C>(src_re[l]);
-        sim[s * kLanes + l] = static_cast<C>(src_im[l]);
-      }
-    }
-    for (int r = 0; r < kSub; ++r) {
-      const C* __restrict__ rre = mre + r * kSub;
-      const C* __restrict__ rim = mim + r * kSub;
-      C acc_re[kLanes] = {};
-      C acc_im[kLanes] = {};
-      for (int s = 0; s < kSub; ++s) {
-        const C mr = rre[s], mi = rim[s];
-        const C* __restrict__ xr = sre + s * kLanes;
-        const C* __restrict__ xi = sim + s * kLanes;
-#pragma omp simd
-        for (std::int64_t l = 0; l < kLanes; ++l) {
-          acc_re[l] += mr * xr[l] - mi * xi[l];
-          acc_im[l] += mr * xi[l] + mi * xr[l];
-        }
-      }
-      T* __restrict__ dst_re = re + static_cast<std::int64_t>(base | offsets[r]) * kLanes;
-      T* __restrict__ dst_im = im + static_cast<std::int64_t>(base | offsets[r]) * kLanes;
-#pragma omp simd
-      for (std::int64_t l = 0; l < kLanes; ++l) {
-        dst_re[l] = static_cast<T>(acc_re[l]);
-        dst_im[l] = static_cast<T>(acc_im[l]);
-      }
-    }
-  }
-
-  /// Generic-width dense block (runtime lane count; accumulators live at
-  /// the end of the scratch buffer).
-  static void dense_block_generic(const CompiledOp<T>& op, T* re, T* im, std::size_t sub_dim,
-                                  std::int64_t lanes, std::int64_t bb, C* scratch) {
-    const std::uint64_t* offsets = op.offsets.data();
-    const C* mre = op.payload_re.data();
-    const C* mim = op.payload_im.data();
-    C* sre = scratch;
-    C* sim = scratch + sub_dim * static_cast<std::size_t>(lanes);
-    C* acc_re = scratch + 2 * sub_dim * static_cast<std::size_t>(lanes);
-    C* acc_im = acc_re + lanes;
-    const std::uint64_t base = expand_index(static_cast<std::uint64_t>(bb), op);
-    for (std::size_t s = 0; s < sub_dim; ++s) {
-      const std::int64_t src = static_cast<std::int64_t>(base | offsets[s]) * lanes;
-      C* row_re = sre + s * static_cast<std::size_t>(lanes);
-      C* row_im = sim + s * static_cast<std::size_t>(lanes);
-#pragma omp simd
-      for (std::int64_t l = 0; l < lanes; ++l) {
-        row_re[l] = static_cast<C>(re[src + l]);
-        row_im[l] = static_cast<C>(im[src + l]);
-      }
-    }
-    for (std::size_t r = 0; r < sub_dim; ++r) {
-      const C* rre = mre + r * sub_dim;
-      const C* rim = mim + r * sub_dim;
-      for (std::int64_t l = 0; l < lanes; ++l) {
-        acc_re[l] = C{};
-        acc_im[l] = C{};
-      }
-      for (std::size_t s = 0; s < sub_dim; ++s) {
-        const C mr = rre[s], mi = rim[s];
-        const C* xr = sre + s * static_cast<std::size_t>(lanes);
-        const C* xi = sim + s * static_cast<std::size_t>(lanes);
-#pragma omp simd
-        for (std::int64_t l = 0; l < lanes; ++l) {
-          acc_re[l] += mr * xr[l] - mi * xi[l];
-          acc_im[l] += mr * xi[l] + mi * xr[l];
-        }
-      }
-      const std::int64_t dst = static_cast<std::int64_t>(base | offsets[r]) * lanes;
-#pragma omp simd
-      for (std::int64_t l = 0; l < lanes; ++l) {
-        re[dst + l] = static_cast<T>(acc_re[l]);
-        im[dst + l] = static_cast<T>(acc_im[l]);
-      }
-    }
-  }
-
-  template <int kLanes>
-  static void apply_dense(const CompiledOp<T>& op, T* re, T* im, std::int64_t n,
-                          std::int64_t lanes_rt, std::vector<C>& run_scratch) {
-    const std::int64_t lanes = kLanes > 0 ? kLanes : lanes_rt;
-    const std::size_t sub_dim = std::size_t{1} << op.num_targets;
-    const std::int64_t blocks = n >> op.free_shift;
-    // Gathered sub-panel in split planes ([sub_dim][lanes] re then im);
-    // the generic path also keeps one accumulator row here.
-    const std::size_t scratch_len = (2 * sub_dim + 2) * static_cast<std::size_t>(lanes);
-    auto block_kernel = [&](std::int64_t bb, C* scratch) {
-      if constexpr (kLanes > 0) {
-        C* sim = scratch + sub_dim * static_cast<std::size_t>(kLanes);
-        // Fused windows are <= 3 qubits by default; wider payloads (a
-        // raised max_fuse_qubits) take the generic loop.
-        switch (op.num_targets) {
-          case 1: dense_block<kLanes, 2>(op, re, im, bb, scratch, sim); return;
-          case 2: dense_block<kLanes, 4>(op, re, im, bb, scratch, sim); return;
-          case 3: dense_block<kLanes, 8>(op, re, im, bb, scratch, sim); return;
-          default: dense_block_generic(op, re, im, sub_dim, lanes, bb, scratch); return;
-        }
-      } else {
-        dense_block_generic(op, re, im, sub_dim, lanes, bb, scratch);
-      }
-    };
-    if (blocks * lanes >= kParallelBlockWork) {
-#pragma omp parallel
-      {
-        std::vector<C> scratch(scratch_len);
-#pragma omp for
-        for (std::int64_t bb = 0; bb < blocks; ++bb) block_kernel(bb, scratch.data());
-      }
-    } else {
-      if (run_scratch.size() < scratch_len) run_scratch.resize(scratch_len);
-      for (std::int64_t bb = 0; bb < blocks; ++bb) block_kernel(bb, run_scratch.data());
-    }
-  }
-
-  template <int kLanes>
-  static void apply_diagonal(const CompiledOp<T>& op, T* re, T* im, std::int64_t n,
-                             std::int64_t lanes_rt) {
-    const std::int64_t lanes = kLanes > 0 ? kLanes : lanes_rt;
-    const std::uint32_t k = op.num_targets;
-    const std::int64_t count = n >> op.free_shift;  // firing amplitudes only
-    const std::uint64_t* target_bits = op.target_bits.data();
-    const std::complex<C>* d = op.payload.data();
-    auto amp_kernel = [&](std::int64_t ii) {
-      const std::uint64_t i = expand_index(static_cast<std::uint64_t>(ii), op);
-      std::uint64_t sub = 0;
-      for (std::uint32_t t = 0; t < k; ++t) {
-        if (i & target_bits[t]) sub |= std::uint64_t{1} << t;
-      }
-      const C dr = d[sub].real(), di = d[sub].imag();
-      T* r = re + static_cast<std::int64_t>(i) * lanes;
-      T* q = im + static_cast<std::int64_t>(i) * lanes;
-#pragma omp simd
-      for (std::int64_t l = 0; l < lanes; ++l) {
-        const C ar = static_cast<C>(r[l]), ai = static_cast<C>(q[l]);
-        r[l] = static_cast<T>(dr * ar - di * ai);
-        q[l] = static_cast<T>(dr * ai + di * ar);
-      }
-    };
-    if (count * lanes >= kParallelAmpWork) {
-#pragma omp parallel for
-      for (std::int64_t i = 0; i < count; ++i) amp_kernel(i);
-    } else {
-      for (std::int64_t i = 0; i < count; ++i) amp_kernel(i);
-    }
-  }
-
-  static void apply_phase(const CompiledOp<T>& op, T* re, T* im, std::int64_t n,
-                          std::int64_t lanes) {
-    const C pr = op.phase.real(), pi = op.phase.imag();
-    const std::int64_t total = n * lanes;  // lanes are contiguous: one flat sweep
-    if (total >= kParallelAmpWork) {
-#pragma omp parallel for
-      for (std::int64_t i = 0; i < total; ++i) {
-        const C ar = static_cast<C>(re[i]), ai = static_cast<C>(im[i]);
-        re[i] = static_cast<T>(pr * ar - pi * ai);
-        im[i] = static_cast<T>(pr * ai + pi * ar);
-      }
-    } else {
-#pragma omp simd
-      for (std::int64_t i = 0; i < total; ++i) {
-        const C ar = static_cast<C>(re[i]), ai = static_cast<C>(im[i]);
-        re[i] = static_cast<T>(pr * ar - pi * ai);
-        im[i] = static_cast<T>(pr * ai + pi * ar);
-      }
+      kernels::panel_apply_op<kLanes>(op, re, im, n, lanes, scratch);
     }
   }
 };

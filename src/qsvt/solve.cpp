@@ -93,6 +93,14 @@ QsvtSolverContext prepare_qsvt_solver(linalg::Matrix<double> A, QsvtOptions opti
   }
 
   if (options.backend == Backend::kGateLevel) {
+    // Resolve the execution backend up front so an unknown name fails at
+    // prepare time (where the service can 400 it), not mid-solve.
+    const std::string backend_name =
+        options.exec_backend.empty() ? qsim::exec::kDefaultBackendName : options.exec_backend;
+    ctx.exec_backend = qsim::exec::find_backend(backend_name);
+    expects(ctx.exec_backend != nullptr, "qsvt solver: unknown execution backend");
+    ctx.backend_handle = ctx.exec_backend->create_handle();
+
     ctx.phases = qsp::solve_symmetric_qsp(ctx.target, options.qsp_options);
     expects(ctx.phases.converged, "qsvt solver: QSP phase finding failed");
     ctx.circuit = build_qsvt_circuit(ctx.be, ctx.phases.phases);
@@ -225,8 +233,9 @@ QsvtSolveOutcome run_gate_level(const QsvtSolverContext& ctx,
       sv[i] = typename qsim::Statevector<T>::complex_type(static_cast<T>(rhs_unit[i]), T{});
     }
     if (const auto* program = context_program<T>(ctx)) {
-      const qsim::exec::Executor<T> executor;
-      executor.run(*program, sv);
+      // Replay through the context's execution backend (reference =
+      // exactly the old Executor<T> path, dispatched).
+      ctx.exec_backend->apply_program(*ctx.backend_handle, *program, sv);
     } else {
       sv.apply(qc.circuit);
     }
@@ -328,8 +337,7 @@ std::vector<QsvtSolveOutcome> run_gate_level_panel(
     expects(rhs[lane]->size() == N, "qsvt panel: dimension mismatch");
     panel.load_lane_real(lane, normalized(*rhs[lane]));
   }
-  const qsim::exec::PanelExecutor<T> executor;
-  executor.run(*context_program<T>(ctx), panel);
+  ctx.exec_backend->apply_program_panel(*ctx.backend_handle, *context_program<T>(ctx), panel);
 
   // Postselect every lane at once: BE ancillas and signal at |0>, the
   // real-part qubit at |1>. (The scalar path X-flips that qubit so one

@@ -65,6 +65,10 @@ struct SolveResult {
   /// compiled-program panel sweeps and the RHS lanes they carried.
   std::uint64_t panels_executed = 0;
   std::uint64_t panel_lanes = 0;
+  /// The execution backend the job actually ran on — the resolved name,
+  /// never empty on a fresh result (a request's empty exec_backend becomes
+  /// the service's configured default here).
+  std::string backend;
 };
 
 }  // namespace mpqls::service

@@ -8,6 +8,7 @@
 
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
+#include "qsim/exec/backend/backend.hpp"
 
 namespace mpqls::service {
 
@@ -78,18 +79,27 @@ SolveResult SolverService::solve(const SolveRequest& request) {
     expects(b.size() == A.rows(), "service: rhs dimension mismatch");
   }
 
+  // Resolve the execution backend BEFORE fingerprinting: an empty name
+  // becomes the configured default here, so default-routed jobs and jobs
+  // that name the default explicitly share one cached context. Unknown or
+  // disabled names throw (the daemon pre-validates at admission and
+  // answers 400; direct callers get the same contract message).
+  solver::QsvtIrOptions options = req->options;
+  options.qsvt.exec_backend = resolve_backend(options.qsvt.exec_backend);
+
   Timer total;
   SolveResult result;
   result.id = request.id;
+  result.backend = options.qsvt.exec_backend;
   // A by-ref submit skips the O(n^2) matrix hash: the ref IS that hash.
   result.fp.matrix_hash = req->matrix_ref != 0 ? req->matrix_ref : hash_matrix(A);
-  result.fp.options_hash = hash_options(request.options.qsvt);
+  result.fp.options_hash = hash_options(options.qsvt);
 
   Timer prep;
   bool hit = false;
   const auto ctx = [&] {
-    MPQLS_TRACE_SPAN(prep_span, request.options.trace, "prepare", request.options.trace_span);
-    auto prepared = cache_.get_or_prepare(result.fp, A, request.options.qsvt, &hit);
+    MPQLS_TRACE_SPAN(prep_span, options.trace, "prepare", options.trace_span);
+    auto prepared = cache_.get_or_prepare(result.fp, A, options.qsvt, &hit);
     prep_span.attr("cache", hit ? "hit" : "miss");
     return prepared;
   }();
@@ -104,7 +114,7 @@ SolveResult SolverService::solve(const SolveRequest& request) {
   // injection the panel kernels cannot do; and shot-seeded readouts keep
   // the scalar path so their per-solve RNG consumption stays identical to
   // historical results. Those all fan out one task per RHS as before.
-  const auto& qsvt_opts = request.options.qsvt;
+  const auto& qsvt_opts = options.qsvt;
   const bool noisy = qsvt_opts.noise.depolarizing_per_gate > 0.0 ||
                      qsvt_opts.noise.damping_per_gate > 0.0;
   // Adaptive-precision jobs run most of their sweeps on the half/single
@@ -126,15 +136,15 @@ SolveResult SolverService::solve(const SolveRequest& request) {
   if (panelize) {
     for (std::size_t begin = 0; begin < active.rhs.size(); begin += panel_width) {
       const std::size_t count = std::min(panel_width, active.rhs.size() - begin);
-      pending.push_back(solve_pool_.submit([ctx, &active, begin, count] {
+      pending.push_back(solve_pool_.submit([ctx, &active, &options, begin, count] {
         Timer t;
         GroupOutcome out;
         // Each panel group gets its own span; the replay rounds recorded
         // inside solve_qsvt_ir_batch nest under it via the options copy.
-        MPQLS_TRACE_SPAN(panel_span, active.options.trace, "panel", active.options.trace_span);
+        MPQLS_TRACE_SPAN(panel_span, options.trace, "panel", options.trace_span);
         panel_span.attr("lanes", static_cast<std::uint64_t>(count));
         panel_span.attr("rhs_begin", static_cast<std::uint64_t>(begin));
-        solver::QsvtIrOptions opts = active.options;
+        solver::QsvtIrOptions opts = options;
         if (panel_span) opts.trace_span = panel_span.id();
         auto reports = solver::solve_qsvt_ir_batch(
             *ctx,
@@ -150,7 +160,7 @@ SolveResult SolverService::solve(const SolveRequest& request) {
     }
   } else {
     for (const auto& b : request.rhs) {
-      pending.push_back(solve_pool_.submit([ctx, &b, &options = request.options] {
+      pending.push_back(solve_pool_.submit([ctx, &b, &options] {
         Timer t;
         GroupOutcome out;
         MPQLS_TRACE_SPAN(rhs_span, options.trace, "rhs_solve", options.trace_span);
@@ -211,6 +221,11 @@ SolveResult SolverService::solve(const SolveRequest& request) {
       stats_.program_compile_seconds_total += rep0.program_compile_seconds;
       stats_.program_ops_total += rep0.program_ops;
     }
+    auto& backend_stats = stats_.backends[result.backend];
+    ++backend_stats.jobs;
+    backend_stats.rhs_solved += result.solves.size();
+    backend_stats.panels += result.panels_executed;
+    for (const auto& s : result.solves) backend_stats.replays += s.report.solves.size();
   }
   return result;
 }
@@ -420,6 +435,30 @@ SolverService::Stats SolverService::stats() const {
 SolverService::QueueStats SolverService::queue_stats() const {
   std::lock_guard<std::mutex> lock(registry_mutex_);
   return queue_stats_;
+}
+
+std::vector<std::string> SolverService::enabled_backends() const {
+  std::vector<std::string> names;
+  for (const auto& name : qsim::exec::backend_registry().names()) {
+    if (options_.enabled_backends.empty() ||
+        std::find(options_.enabled_backends.begin(), options_.enabled_backends.end(), name) !=
+            options_.enabled_backends.end()) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+std::string SolverService::resolve_backend(const std::string& requested) const {
+  const std::string& name = requested.empty() ? options_.default_backend : requested;
+  expects(qsim::exec::find_backend(name) != nullptr,
+          "service: unknown execution backend");
+  if (!options_.enabled_backends.empty()) {
+    expects(std::find(options_.enabled_backends.begin(), options_.enabled_backends.end(), name) !=
+                options_.enabled_backends.end(),
+            "service: execution backend disabled on this instance");
+  }
+  return name;
 }
 
 }  // namespace mpqls::service
