@@ -14,6 +14,8 @@
 //   - >= 2.5x job throughput with 4 in-process workers vs 1
 //   - affinity routing beats random routing's aggregate cache hit rate
 //
+// Emits BENCH_cluster_scaling.json (see bench_io.hpp).
+//
 //   build/bench/perf_cluster_scaling
 #include <chrono>
 #include <cstdio>
@@ -22,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_io.hpp"
 #include "cluster/test_cluster.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
@@ -177,5 +180,15 @@ int main() {
     std::printf("FAIL: affinity hit rate did not beat random routing\n");
     ok = false;
   }
+
+  bench::BenchReport report("cluster_scaling");
+  report.metric("jobs", static_cast<double>(kJobs));
+  report.metric("speedup_4workers", speedup);
+  report.metric("jobs_per_second_1", one.jobs_per_second);
+  report.metric("jobs_per_second_4", four.jobs_per_second);
+  report.metric("hit_rate_affinity", four.hit_rate());
+  report.metric("hit_rate_random", random4.hit_rate());
+  report.pass(ok);
+  report.write();
   return ok ? 0 : 1;
 }

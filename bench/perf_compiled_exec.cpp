@@ -5,12 +5,15 @@
 // context's fused, precision-specialized program. Acceptance: >= 2x
 // wall-clock with amplitudes agreeing within precision tolerance.
 //
+// Emits BENCH_compiled_exec.json (see bench_io.hpp).
+//
 //   build/bench/perf_compiled_exec
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
+#include "bench_io.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -131,6 +134,7 @@ int main() {
   TextTable table({"scenario", "gates", "ops", "depth", "compile (ms)", "interp (ms)",
                    "compiled (ms)", "speedup", "max |d amp|"});
   bool exact = true;
+  bench::BenchReport report("compiled_exec");
   // The acceptance workload is the first scenario (repeated right-hand
   // sides against one cached gate-level QSVT circuit, the banded
   // encoding): compiled must win by >= 2x there. The remaining scenarios
@@ -147,6 +151,8 @@ int main() {
                    fmt_fix(m.interpreted_seconds * 1e3, 1), fmt_fix(m.compiled_seconds * 1e3, 1),
                    fmt_fix(speedup, 2) + "x", fmt_sci(m.worst_amp_diff)});
     exact = exact && m.worst_amp_diff < 1e-9;
+    report.metric(std::string("speedup_") + sc.name, speedup);
+    report.metric(std::string("compiled_ms_") + sc.name, m.compiled_seconds * 1e3);
     if (&sc == &scenarios[0]) {
       acceptance = speedup;
     } else {
@@ -161,5 +167,11 @@ int main() {
   std::printf("regression guard: >= 1.2x on the remaining scenarios: %.2fx -> %s\n", guard,
               guard >= 1.2 ? "PASS" : "FAIL");
   if (!exact) std::printf("WARNING: amplitude mismatch above 1e-9\n");
-  return (exact && acceptance >= 2.0 && guard >= 1.2) ? 0 : 1;
+  const bool pass = exact && acceptance >= 2.0 && guard >= 1.2;
+  report.metric("exact", exact ? 1.0 : 0.0);
+  report.metric("acceptance_speedup", acceptance);
+  report.metric("guard_speedup", guard);
+  report.pass(pass);
+  report.write();
+  return pass ? 0 : 1;
 }

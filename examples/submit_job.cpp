@@ -27,7 +27,11 @@
 // DELETE /v1/jobs/JOB_ID and exits; `--trace JOB_ID` fetches
 // GET /v1/jobs/JOB_ID/trace and pretty-prints the span tree (indented by
 // parentage, with durations, percent-of-parent, and span attributes such
-// as precision tier and panel lanes).
+// as precision tier and panel lanes). Jobs that ran as shard-group
+// members get their dist telemetry (rank/world, exchange rounds, bytes
+// moved) rendered under the summary table, and the daemon's distributed
+// posture (qubit cap, active shard groups with peers) is scraped from
+// /v1/healthz after the run.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -330,6 +334,53 @@ void print_cluster_status(const std::string& text) {
   table.print(std::cout);
 }
 
+/// Distributed-execution posture scraped from /v1/healthz: the worker's
+/// statevector qubit cap and every shard group it is currently a member
+/// of (role, group size, peer endpoints). Prints nothing against a daemon
+/// predating distributed execution or with no dist block to report.
+void print_dist_status(mpqls::net::HttpClient& client) {
+  using mpqls::Json;
+  std::string body;
+  try {
+    const auto response = client.get("/v1/healthz");
+    if (response.status != 200) return;
+    body = response.body;
+  } catch (const std::exception&) {
+    return;
+  }
+  Json health;
+  try {
+    health = Json::parse(body);
+  } catch (const std::exception&) {
+    return;
+  }
+  if (!health.contains("dist")) return;
+  const Json& dist = health.at("dist");
+  const auto cap = dist.uint_or("max_statevector_qubits", 0);
+  const auto& groups = dist.at("active_groups").as_array();
+  if (cap == 0 && groups.empty()) return;
+
+  std::printf("\ndistributed execution:");
+  if (cap > 0) {
+    std::printf(" local cap %llu qubits", static_cast<unsigned long long>(cap));
+  } else {
+    std::printf(" no local qubit cap");
+  }
+  std::printf(", %zu active shard group%s\n", groups.size(), groups.size() == 1 ? "" : "s");
+  for (const auto& group : groups) {
+    std::printf("  group %s: rank %llu of %llu, peers [",
+                group.string_or("group", "?").c_str(),
+                static_cast<unsigned long long>(group.uint_or("rank", 0)),
+                static_cast<unsigned long long>(group.uint_or("world", 0)));
+    bool first = true;
+    for (const auto& peer : group.at("peers").as_array()) {
+      std::printf("%s%s", first ? "" : ", ", peer.as_string().c_str());
+      first = false;
+    }
+    std::printf("]\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -468,6 +519,7 @@ int main(int argc, char** argv) try {
     std::string job_id;
   };
   std::vector<Submitted> submitted;
+  std::vector<std::string> dist_notes;
   for (const auto& p : prepared) {
     const std::string& label = p.label;
     for (;;) {
@@ -552,14 +604,31 @@ int main(int argc, char** argv) try {
                    fmt_fix(status.at("queue_seconds").as_number() * 1e3, 1),
                    fmt_fix(status.at("run_seconds").as_number() * 1e3, 1),
                    state == "failed" ? status.string_or("error", "?") : (converged ? "yes" : "NO")});
+    // Jobs that ran as a shard-group member carry a dist telemetry block:
+    // render the rank's place in the group and what the exchanges cost.
+    if (status.contains("result") && status.at("result").contains("dist")) {
+      const Json& dist = status.at("result").at("dist");
+      dist_notes.push_back(
+          s.label + ": shard rank " + std::to_string(dist.uint_or("shard_rank", 0)) + "/" +
+          std::to_string(dist.uint_or("shard_world", 0)) + ", " +
+          std::to_string(dist.uint_or("exchange_rounds", 0)) + " exchange rounds (" +
+          std::to_string(dist.uint_or("plan_naive_rounds", 0)) + " naive), " +
+          fmt_fix(static_cast<double>(dist.uint_or("bytes_moved", 0)) / (1024.0 * 1024.0), 1) +
+          " MiB moved");
+    }
   }
   table.print(std::cout);
+  if (!dist_notes.empty()) {
+    std::printf("\ndistributed solves:\n");
+    for (const auto& note : dist_notes) std::printf("  %s\n", note.c_str());
+  }
   const std::string metrics_text = fetch_metrics(client);
   print_panel_status(metrics_text);
   print_precision_status(metrics_text);
   print_backend_status(metrics_text);
   print_store_status(metrics_text);
   print_cluster_status(metrics_text);
+  print_dist_status(client);
   return all_ok ? 0 : 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "submit_job: %s\n", e.what());

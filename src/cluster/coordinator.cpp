@@ -306,6 +306,9 @@ HttpResponse Coordinator::do_submit(const HttpRequest& request) {
     }
     key = affinity_key(parsed_body, request.body);
     backend = service::requested_backend(parsed_body);
+    if (parsed_body.is_object() && parsed_body.contains("dist_workers")) {
+      return do_submit_dist(request, parsed_body, key, trace_id);
+    }
   }
   const std::string forward_type = ctype != nullptr ? *ctype : "application/json";
   const std::size_t preferred = ring_.home(key);
@@ -468,6 +471,185 @@ HttpResponse Coordinator::do_submit(const HttpRequest& request) {
   }
   ++stats_.unroutable;
   return error_json(503, "no cluster worker reachable");
+}
+
+HttpResponse Coordinator::do_submit_dist(const HttpRequest& request, const Json& parsed,
+                                         std::uint64_t key, trace::TraceId trace_id) {
+  const Timer route_timer;
+  std::size_t world = 0;
+  try {
+    world = static_cast<std::size_t>(parsed.at("dist_workers").as_uint());
+  } catch (const std::exception& e) {
+    return error_json(400, std::string("dist_workers: ") + e.what());
+  }
+  if (world < 2 || world > 64 || (world & (world - 1)) != 0) {
+    return error_json(400, "dist_workers must be a power of two in [2, 64]");
+  }
+  if (parsed.contains("shard")) {
+    return error_json(400, "dist_workers and an explicit shard block are mutually exclusive");
+  }
+  const std::string backend = service::requested_backend(parsed);
+
+  // Membership in ring order for the job's affinity key: resubmits of
+  // the same job re-form the same group (warm context caches on every
+  // rank). Health filter mirrors do_submit — skip open breakers, failed
+  // probes, and workers whose capability list lacks the backend — but
+  // runs BEFORE any admission POST: a partially-admitted group is worse
+  // than useless (its admitted ranks would block in their first exchange
+  // until the await timeout), so the group is formed all-or-nothing.
+  std::vector<std::size_t> members;
+  for (const std::size_t index : candidate_order(key)) {
+    Worker& worker = *workers_[index];
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    if (!worker.probe_ok) continue;
+    if (worker.breaker.state(std::chrono::steady_clock::now()) == BreakerState::kOpen) continue;
+    if (!backend.empty() && !worker.backends.empty() &&
+        std::find(worker.backends.begin(), worker.backends.end(), backend) ==
+            worker.backends.end()) {
+      continue;
+    }
+    members.push_back(index);
+    if (members.size() == world) break;
+  }
+  if (members.size() < world) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.dist_rejects;
+    return error_json(503, "shard group incomplete: " + std::to_string(world) +
+                               " workers required, " + std::to_string(members.size()) +
+                               " healthy");
+  }
+
+  // The group id names this one solve's rendezvous on every member's
+  // exchange hub. Mixing a monotone sequence in keeps two concurrent
+  // submits of the SAME job (same key) in disjoint groups.
+  const std::uint64_t group =
+      mix64(key ^ mix64(group_seq_.fetch_add(1) + 0x9E3779B97F4A7C15ull));
+  std::vector<std::string> peers;
+  peers.reserve(world);
+  for (const std::size_t index : members) peers.push_back(workers_[index]->endpoint.id);
+
+  auto trace_ctx = trace::make_trace(trace_id);
+  trace::ScopedSpan proxy_span(trace_ctx, "dist_proxy");
+  proxy_span.attr("world", static_cast<std::uint64_t>(world));
+  net::HeaderList trace_header;
+  trace_header.emplace_back("x-mpqls-trace", trace_ctx->id().hex());
+
+  // Fan the admissions out, rank by rank. Each rank's body is the
+  // original minus "dist_workers" plus its own "shard" block; the peers
+  // list is identical everywhere (rank r's own endpoint included, at
+  // position r), which is what lets every member compute the same
+  // exchange schedule.
+  std::vector<std::string> worker_job_ids(world);
+  std::size_t admitted = 0;
+  std::string failure;
+  for (std::size_t rank = 0; rank < world; ++rank) {
+    Json body = parsed;
+    body.as_object().erase("dist_workers");
+    Json shard = Json::object();
+    shard["group"] = service::u64_hex(group);
+    shard["rank"] = static_cast<std::uint64_t>(rank);
+    shard["world"] = static_cast<std::uint64_t>(world);
+    Json peer_list = Json::array();
+    for (const auto& p : peers) peer_list.push_back(p);
+    shard["peers"] = std::move(peer_list);
+    body["shard"] = std::move(shard);
+
+    Worker& worker = *workers_[members[rank]];
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      ++worker.in_flight;
+    }
+    net::HttpClient::Response response;
+    bool transport_ok = false;
+    {
+      auto lease = worker.pool.acquire();
+      try {
+        response = lease->post("/v1/jobs", body.dump(), "application/json", trace_header);
+        transport_ok = true;
+      } catch (const std::exception& e) {  // see do_submit: settle state on ANY throw
+        lease.discard();
+        failure = "rank " + std::to_string(rank) + " (" + worker.endpoint.id +
+                  ") unreachable: " + e.what();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      --worker.in_flight;
+      if (transport_ok) {
+        worker.breaker.record_success();
+      } else {
+        worker.breaker.record_failure(std::chrono::steady_clock::now());
+        ++worker.transport_failures;
+      }
+    }
+    if (!transport_ok) break;
+    if (response.status != 202) {
+      failure = "rank " + std::to_string(rank) + " (" + worker.endpoint.id +
+                ") refused admission with status " + std::to_string(response.status);
+      break;
+    }
+    try {
+      worker_job_ids[rank] = Json::parse(response.body).at("job_id").as_string();
+    } catch (const std::exception&) {
+      failure = "rank " + std::to_string(rank) + " (" + worker.endpoint.id +
+                ") answered 202 without a job id";
+      break;
+    }
+    ++admitted;
+  }
+
+  if (admitted < world) {
+    // Unwind: cancel what was admitted so no rank sits blocked in its
+    // first exchange until the await timeout. Best effort — a rank whose
+    // job already started answers 409 and fails on its own via the
+    // transport timeout, which is the designed backstop.
+    for (std::size_t rank = 0; rank < admitted; ++rank) {
+      Worker& worker = *workers_[members[rank]];
+      auto lease = worker.pool.acquire();
+      try {
+        lease->del("/v1/jobs/" + worker_job_ids[rank]);
+      } catch (const std::exception&) {
+        lease.discard();
+      }
+    }
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.dist_rejects;
+    return error_json(502, "shard group admission failed: " + failure);
+  }
+
+  const std::string cluster_id =
+      "w" + std::to_string(members[0]) + "-" + worker_job_ids[0];
+  const std::uint64_t proxy_span_id = proxy_span.id();
+  proxy_span.attr("worker", "w" + std::to_string(members[0]));
+  proxy_span.finish();
+  // Every rank's job is pollable through the coordinator; rank 0's id is
+  // the primary (its result is what the client reads — all ranks render
+  // identical solutions, see qsvt/dist_solve).
+  for (std::size_t rank = 0; rank < world; ++rank) {
+    remember_route("w" + std::to_string(members[rank]) + "-" + worker_job_ids[rank],
+                   Route{members[rank], rank == 0 ? trace_ctx : nullptr,
+                         rank == 0 ? proxy_span_id : 0});
+  }
+  route_latency_.observe(route_timer.seconds());
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.dist_submits;
+    stats_.submits_accepted += world;
+  }
+
+  Json j = Json::object();
+  j["job_id"] = cluster_id;
+  j["state"] = "queued";
+  j["status_url"] = "/v1/jobs/" + cluster_id;
+  j["shard_group"] = service::u64_hex(group);
+  j["shard_world"] = static_cast<std::uint64_t>(world);
+  Json shard_jobs = Json::array();
+  for (std::size_t rank = 0; rank < world; ++rank) {
+    shard_jobs.push_back("w" + std::to_string(members[rank]) + "-" + worker_job_ids[rank]);
+  }
+  j["shard_jobs"] = std::move(shard_jobs);
+  j["trace_id"] = trace_ctx->id().hex();
+  return json_response(202, std::move(j));
 }
 
 void Coordinator::remember_route(const std::string& cluster_id, Route route) {
@@ -861,6 +1043,12 @@ std::string Coordinator::metrics_text() {
             stats.proxied_cancels);
   m.counter("mpqls_cluster_proxied_uploads_total",
             "PUT /v1/matrices uploads fanned out to the workers.", stats.proxied_uploads);
+  m.counter("mpqls_cluster_dist_submits_total",
+            "Distributed submits fully admitted (every shard rank answered 202).",
+            stats.dist_submits);
+  m.counter("mpqls_cluster_dist_rejects_total",
+            "Distributed submits refused (shard group incomplete or partial admission).",
+            stats.dist_rejects);
   m.gauge("mpqls_cluster_proxy_backlog", "Deferred requests awaiting a proxy thread.",
           static_cast<std::uint64_t>(proxy_backlog_.load()));
 

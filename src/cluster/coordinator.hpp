@@ -5,6 +5,11 @@
 //   POST   /v1/jobs       route by affinity      -> 202 {job_id: "w<k>-job-<n>"}
 //                         (JSON or binary application/x-mpqls-frame
 //                         bodies; frames route without a JSON parse)
+//                         "dist_workers": W in a JSON body fans the job
+//                         out to a W-member shard group (one submit per
+//                         rank, 202 names rank 0; shard_jobs lists all);
+//                         too few healthy workers -> 503 (binary frames
+//                         carry no dist field and always route whole)
 //                         every worker saturated -> 429/503 mirrored
 //                         no worker reachable    -> 503
 //   GET    /v1/jobs       merged bounded listing -> 200
@@ -122,6 +127,8 @@ class Coordinator {
     std::uint64_t proxied_polls = 0;
     std::uint64_t proxied_cancels = 0;
     std::uint64_t proxied_uploads = 0;  ///< PUT /v1/matrices fan-outs
+    std::uint64_t dist_submits = 0;     ///< shard groups fully admitted (all ranks 202)
+    std::uint64_t dist_rejects = 0;     ///< dist submits refused (group incomplete/partial)
   };
   RoutingStats routing_stats() const;
 
@@ -154,6 +161,15 @@ class Coordinator {
   void handle(const net::HttpRequest& request, net::HttpServer::ResponseHandle responder);
 
   net::HttpResponse do_submit(const net::HttpRequest& request);
+  /// Distributed submit (JSON body carried "dist_workers": W): form a
+  /// W-member shard group from healthy workers, rewrite the body per rank
+  /// (a "shard" block naming the group, rank and peer endpoints replaces
+  /// "dist_workers"), fan the submits out, and answer with rank 0's
+  /// cluster id. All-or-nothing: a rank that refuses admission triggers a
+  /// best-effort cancel of the already-accepted ranks and a 502/503 —
+  /// a partially-admitted group would deadlock in its first exchange.
+  net::HttpResponse do_submit_dist(const net::HttpRequest& request, const Json& parsed,
+                                   std::uint64_t key, trace::TraceId trace_id);
   /// Proxy GET/DELETE for one job; `suffix` extends the worker target
   /// ("" for the status poll, "/result" for the result route).
   net::HttpResponse do_job_request(const net::HttpRequest& request, const std::string& cluster_id,
@@ -197,6 +213,7 @@ class Coordinator {
   Histogram route_latency_;
 
   std::atomic<std::uint64_t> rotation_{0};      ///< round-robin cursor (random mode)
+  std::atomic<std::uint64_t> group_seq_{0};     ///< shard-group id uniquifier
   std::atomic<std::size_t> proxy_backlog_{0};   ///< deferred requests in flight
 
   std::atomic<bool> probing_{false};

@@ -10,6 +10,7 @@
 #include "common/contracts.hpp"
 #include "common/json.hpp"
 #include "common/metrics.hpp"
+#include "net/shard_exchange.hpp"
 #include "qsim/exec/backend/backend.hpp"
 #include "service/fingerprint.hpp"
 #include "service/json_io.hpp"
@@ -84,11 +85,62 @@ HttpResponse unsupported_media_type() {
                              wire::kContentType);
 }
 
+/// Best-effort gate-level circuit width for the admission-time capacity
+/// check: the dense embedding solves an n-dim system on ceil_log2(n)
+/// data qubits plus BE ancilla, signal, and real-part qubits. Returns 0
+/// (no check) when the body does not cheaply reveal the dimension or
+/// would not run that circuit (matrix-function backend, non-dense
+/// encoding) — the service re-checks the exact compiled width at solve
+/// time either way; this only upgrades the failure to a synchronous 413.
+std::size_t estimate_circuit_qubits(const Json& body, std::size_t resolved_rows) {
+  try {
+    if (body.contains("options") && body.at("options").is_object()) {
+      const Json& o = body.at("options");
+      if (o.contains("qsvt") && o.at("qsvt").is_object()) {
+        const Json& q = o.at("qsvt");
+        if (q.string_or("backend", "gate") != "gate") return 0;
+        if (q.string_or("encoding", "dense") != "dense") return 0;
+      }
+    }
+    std::size_t n = resolved_rows;
+    if (n == 0 && body.contains("matrix") && body.at("matrix").is_object()) {
+      const Json& m = body.at("matrix");
+      const std::string scenario = m.string_or("scenario", "dense");
+      if (scenario == "dense" && m.contains("rows") && m.at("rows").is_array()) {
+        n = m.at("rows").as_array().size();
+      } else if (scenario == "poisson2d") {
+        n = static_cast<std::size_t>(m.uint_or("nx", 0)) *
+            static_cast<std::size_t>(m.uint_or("ny", 0));
+      } else if (m.contains("n")) {
+        n = static_cast<std::size_t>(m.at("n").as_uint());
+      }
+    }
+    if (n < 2) return 0;
+    std::size_t data = 0;
+    while ((std::size_t{1} << data) < n) ++data;
+    return data + 3;
+  } catch (const std::exception&) {
+    return 0;  // schema defects surface as a failed job, as before
+  }
+}
+
 }  // namespace
 
 SolverDaemon::SolverDaemon(DaemonOptions options)
     : options_(options),
-      service_(options.service),
+      service_([this] {
+        // Distributed jobs need a transport; unless the embedder injected
+        // one (tests wire LocalPeerGroup endpoints), install the HTTP
+        // channel that exchanges through this daemon's shard hub.
+        service::ServiceOptions s = options_.service;
+        if (!s.shard_channel) {
+          s.shard_channel = [this](const service::ShardSpec& shard) {
+            return std::static_pointer_cast<qsim::exec::dist::PeerChannel>(
+                std::make_shared<HttpPeerChannel>(shard, shard_hub_));
+          };
+        }
+        return s;
+      }()),
       server_(
           HttpServer::Options{options.bind_address, options.port, options.limits,
                               options.max_connections, options.idle_timeout},
@@ -114,6 +166,9 @@ SolverDaemon::SolverDaemon(DaemonOptions options)
   });
   router_.add("GET", "/v1/matrices/{ref}",
               [this](const HttpRequest&, const PathParams& params) { return matrix_info(params); });
+  router_.add("POST", "/v1/shard/exchange", [this](const HttpRequest& request, const PathParams&) {
+    return shard_exchange(request);
+  });
   router_.add("GET", "/v1/healthz",
               [this](const HttpRequest&, const PathParams&) { return healthz(); });
   router_.add("GET", "/v1/metrics", [this](const HttpRequest&, const PathParams&) {
@@ -216,6 +271,32 @@ HttpResponse SolverDaemon::submit_job(const HttpRequest& request) {
     } catch (const contract_violation& e) {
       return error_json(400, e.what());
     }
+    // Capacity admission: when this worker enforces a statevector qubit
+    // cap, an obviously-too-wide gate-level job answers 413 here instead
+    // of a failed job on poll. Sharding across W workers strips log2(W)
+    // qubits from the local statevector, so a job the single node rejects
+    // can still be admitted as part of a large enough shard group. The
+    // estimate is best-effort (0 = no opinion); the service re-checks the
+    // exact compiled width at solve time.
+    if (const std::size_t cap = options_.service.max_statevector_qubits; cap != 0) {
+      const std::size_t width =
+          estimate_circuit_qubits(body, resolved ? resolved->rows() : 0);
+      std::size_t world = 1;
+      if (body.contains("shard") && body.at("shard").is_object()) {
+        world = static_cast<std::size_t>(body.at("shard").uint_or("world", 1));
+      }
+      std::size_t local = width;
+      for (std::size_t w = world; w > 1 && local > 0; w >>= 1) --local;
+      if (width != 0 && local > cap) {
+        Json j = Json::object();
+        j["error"] =
+            "statevector exceeds this worker's qubit cap; submit to a larger shard group";
+        j["estimated_qubits"] = static_cast<std::uint64_t>(width);
+        j["local_qubits"] = static_cast<std::uint64_t>(local);
+        j["max_statevector_qubits"] = static_cast<std::uint64_t>(cap);
+        return json_response(413, std::move(j));
+      }
+    }
     make_request = [body = std::move(body), resolved = std::move(resolved)] {
       service::MatrixResolver resolve;
       if (resolved) resolve = [&resolved](std::uint64_t) { return resolved; };
@@ -253,6 +334,32 @@ HttpResponse SolverDaemon::submit_job(const HttpRequest& request) {
   j["status_url"] = "/v1/jobs/" + *job_id;
   j["trace_id"] = trace_ctx->id().hex();
   return json_response(202, std::move(j));
+}
+
+// The receive half of a pairwise shard exchange: the sending rank's
+// HttpPeerChannel POSTs its amplitude block here; depositing it in the
+// hub wakes the local job's matching await. Runs entirely on the event
+// loop — one decode plus one map insert, no solving work. A deposit the
+// hub refuses (pending-byte budget exhausted) answers 503 so the sender
+// fails fast instead of deadlocking its group.
+HttpResponse SolverDaemon::shard_exchange(const HttpRequest& request) {
+  if (body_encoding(request) != BodyEncoding::kFrame) {
+    return error_json(415, std::string("shard exchange requires ") + wire::kContentType);
+  }
+  wire_binary_.requests.fetch_add(1, std::memory_order_relaxed);
+  wire_binary_.request_bytes.fetch_add(request.body.size(), std::memory_order_relaxed);
+  wire::ShardExchange ex;
+  try {
+    ex = wire::decode_shard_exchange(request.body);
+  } catch (const wire::WireError& e) {
+    return error_json(400, e.what());
+  }
+  if (!shard_hub_.deposit(ex.group, ex.from, ex.seq, std::move(ex.payload))) {
+    return error_json(503, "shard exchange buffer full; peer retries or fails the solve");
+  }
+  Json j = Json::object();
+  j["ok"] = true;
+  return json_response(200, std::move(j));
 }
 
 HttpResponse SolverDaemon::job_status(const PathParams& params) {
@@ -464,6 +571,27 @@ HttpResponse SolverDaemon::healthz() const {
     backends.push_back(std::move(b));
   }
   j["backends"] = std::move(backends);
+  // Distributed-execution posture: the qubit cap that makes this worker
+  // reject too-wide jobs (0 = unlimited) and the shard groups currently
+  // rendezvousing through this daemon's hub. Coordinators consume the cap
+  // for shard-group sizing; operators read active_groups to see which
+  // distributed solves are in flight on this rank.
+  Json dist = Json::object();
+  dist["max_statevector_qubits"] =
+      static_cast<std::uint64_t>(options_.service.max_statevector_qubits);
+  Json groups = Json::array();
+  for (const auto& info : shard_hub_.active_groups()) {
+    Json g = Json::object();
+    g["group"] = service::u64_hex(info.group);
+    g["rank"] = static_cast<std::uint64_t>(info.rank);
+    g["world"] = static_cast<std::uint64_t>(info.world);
+    Json peers = Json::array();
+    for (const auto& p : info.peers) peers.push_back(p);
+    g["peers"] = std::move(peers);
+    groups.push_back(std::move(g));
+  }
+  dist["active_groups"] = std::move(groups);
+  j["dist"] = std::move(dist);
   return json_response(200, std::move(j));
 }
 
@@ -622,6 +750,34 @@ std::string SolverDaemon::metrics_text() const {
               wire_json_.responses.load(), wire_binary_.responses.load());
   wire_family("mpqls_wire_response_bytes_total", "Result payload bytes served, by encoding.",
               wire_json_.response_bytes.load(), wire_binary_.response_bytes.load());
+
+  // Distributed shard-group telemetry: zero on single-node workers, so
+  // the series only move once distributed jobs run here.
+  m.counter("mpqls_dist_jobs_total", "Jobs this rank solved as part of a shard group.",
+            stats.dist.jobs);
+  m.counter("mpqls_dist_solves_total", "Per-RHS distributed solves executed on this rank.",
+            stats.dist.solves);
+  m.counter("mpqls_dist_exchange_rounds_total",
+            "Pairwise amplitude exchanges performed by this rank.",
+            stats.dist.exchange_rounds);
+  m.counter("mpqls_dist_bytes_moved_total",
+            "Amplitude bytes this rank shipped to peers during exchanges.",
+            stats.dist.bytes_moved);
+  m.counter("mpqls_dist_exchange_seconds_total",
+            "Wall clock this rank spent blocked in peer exchanges.",
+            stats.dist.exchange_seconds);
+  m.counter("mpqls_dist_local_seconds_total",
+            "Wall clock this rank spent applying local shard ops.",
+            stats.dist.local_seconds);
+  m.counter("mpqls_dist_plan_naive_rounds_total",
+            "Exchange rounds an unscheduled plan would have executed.",
+            stats.dist.plan_naive_rounds);
+  m.counter("mpqls_dist_plan_scheduled_rounds_total",
+            "Exchange rounds the scheduled plans actually executed.",
+            stats.dist.plan_scheduled_rounds);
+  m.gauge("mpqls_dist_active_groups",
+          "Shard groups currently registered with this daemon's exchange hub.",
+          static_cast<std::uint64_t>(shard_hub_.active_groups().size()));
 
   m.counter("mpqls_http_requests_total", "Fully parsed HTTP requests.", http.requests);
   m.counter("mpqls_http_parse_errors_total",

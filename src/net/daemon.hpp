@@ -25,7 +25,11 @@
 //                              {matrix_ref} (binary kMatrix frame or JSON
 //                              matrix object; idempotent by content hash)
 //   GET    /v1/matrices/{ref}  store probe            -> 200 / 404
-//   GET    /v1/healthz         liveness               -> 200
+//   POST   /v1/shard/exchange  peer amplitude frame in a distributed
+//                              shard-group solve (kShardExchange) -> 200;
+//                              malformed -> 400; buffer full -> 503
+//   GET    /v1/healthz         liveness               -> 200 (includes the
+//                              dist block: qubit cap, active shard groups)
 //   GET    /v1/metrics         Prometheus text        -> 200
 //
 // onto SolverService. Handlers run on the HTTP event-loop thread and only
@@ -93,6 +97,7 @@ class SolverDaemon {
  private:
   HttpResponse handle(const HttpRequest& request);
   HttpResponse submit_job(const HttpRequest& request);
+  HttpResponse shard_exchange(const HttpRequest& request);
   HttpResponse job_status(const PathParams& params);
   HttpResponse job_result(const HttpRequest& request, const PathParams& params);
   HttpResponse job_trace(const PathParams& params);
@@ -116,6 +121,11 @@ class SolverDaemon {
   };
 
   DaemonOptions options_;
+  /// Rendezvous for distributed shard-group exchanges: POST
+  /// /v1/shard/exchange deposits here; the job's HttpPeerChannel awaits.
+  /// Declared before service_ so it outlives the pools (a draining job's
+  /// channel may still be blocked on it during service destruction).
+  qsim::exec::dist::ShardHub shard_hub_;
   service::SolverService service_;
   Router router_;
   std::atomic<bool> draining_{false};

@@ -27,6 +27,7 @@
 // only relabels index bits, per-amplitude arithmetic matches the reference
 // backend exactly.
 #include <bit>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <complex>
@@ -682,13 +683,44 @@ class BlockedBackend final : public ExecBackend {
   BackendCapabilities caps_;
 };
 
+/// Read a tuning override from the environment. A malformed value (not a
+/// bare decimal integer, trailing junk, overflow) or one outside
+/// [lo, hi] earns a one-line stderr warning and leaves the compiled-in
+/// default in place — a typo'd deploy knob must degrade to the default,
+/// never to a zero-byte tile or a 2^64-bit gather.
+std::uint64_t env_tuning(const char* name, std::uint64_t lo, std::uint64_t hi,
+                         std::uint64_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  const bool numeric = end != s && *end == '\0' && errno == 0 && *s != '-' && *s != '+';
+  if (!numeric || v < lo || v > hi) {
+    std::fprintf(stderr,
+                 "blocked backend: ignoring %s=\"%s\" (want an integer in [%llu, %llu]); "
+                 "using default %llu\n",
+                 name, s, static_cast<unsigned long long>(lo),
+                 static_cast<unsigned long long>(hi),
+                 static_cast<unsigned long long>(fallback));
+    return fallback;
+  }
+  return v;
+}
+
 }  // namespace
 
 std::shared_ptr<ExecBackend> make_blocked_backend(const BlockedBackendOptions& options) {
   BlockedBackendOptions opt = options;
-  if (const char* s = std::getenv("MPQLS_BLOCKED_TILE_BYTES")) opt.tile_bytes = std::strtoull(s, nullptr, 10);
-  if (const char* s = std::getenv("MPQLS_BLOCKED_MAX_HIGH_BITS")) opt.max_high_bits = std::strtoul(s, nullptr, 10);
-  if (const char* s = std::getenv("MPQLS_BLOCKED_MIN_RUN_OPS")) opt.min_run_ops = std::strtoul(s, nullptr, 10);
+  // Tile must hold at least one cache line of amplitudes and stay
+  // addressable; high bits beyond 24 would gather a tile larger than any
+  // statevector this process can host.
+  opt.tile_bytes = env_tuning("MPQLS_BLOCKED_TILE_BYTES", 1024, std::uint64_t{1} << 32,
+                              opt.tile_bytes);
+  opt.max_high_bits = static_cast<std::uint32_t>(
+      env_tuning("MPQLS_BLOCKED_MAX_HIGH_BITS", 0, 24, opt.max_high_bits));
+  opt.min_run_ops = static_cast<std::uint32_t>(
+      env_tuning("MPQLS_BLOCKED_MIN_RUN_OPS", 1, 1u << 20, opt.min_run_ops));
   return std::make_shared<BlockedBackend>(opt);
 }
 

@@ -1,0 +1,148 @@
+// One rank's shard of a distributed statevector. The 2^n amplitudes of
+// the full register are partitioned across W = 2^k ranks by the k highest
+// qubit indices: rank r owns every global amplitude whose top-k bits equal
+// r, i.e. global index g = (r << m) | i for local index i < 2^m with
+// m = n - k local qubits. The shard is stored as split re/im planes in
+// the one-lane panel layout, so the exact `panel_apply_op<1, T>` kernels
+// that execute single-node programs execute the local slices here too —
+// which is what makes shard-vs-single-node replay bitwise-comparable.
+//
+// Reductions return *partial* sums over the owned index range, accumulated
+// in double in ascending global-index order (mirroring StatePanel's
+// accumulation); callers combine partials across ranks with the
+// deterministic allreduce in peer_channel.hpp.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace mpqls::qsim::exec::dist {
+
+template <typename T>
+class DistState {
+ public:
+  DistState(std::uint32_t num_qubits, std::uint32_t world_log2, std::uint32_t rank)
+      : num_qubits_(num_qubits), world_log2_(world_log2), rank_(rank) {
+    expects(world_log2 <= num_qubits, "dist: more shard bits than qubits");
+    expects(rank < (1u << world_log2), "dist: rank out of range");
+    local_qubits_ = num_qubits - world_log2;
+    expects(local_qubits_ <= 30, "dist: shard too wide");
+    dim_ = std::size_t{1} << local_qubits_;
+    re_.assign(dim_, T{});
+    im_.assign(dim_, T{});
+    // |0…0> lives on rank 0.
+    if (rank_ == 0) re_[0] = T{1};
+  }
+
+  std::uint32_t num_qubits() const { return num_qubits_; }
+  std::uint32_t local_qubits() const { return local_qubits_; }
+  std::uint32_t world_log2() const { return world_log2_; }
+  std::uint32_t rank() const { return rank_; }
+  std::size_t dim() const { return dim_; }
+  /// First global index this rank owns; the owned range is
+  /// [base_index, base_index + dim).
+  std::uint64_t base_index() const { return std::uint64_t{rank_} << local_qubits_; }
+  bool owns(std::uint64_t global) const { return (global >> local_qubits_) == rank_; }
+
+  T* re() { return re_.data(); }
+  T* im() { return im_.data(); }
+  const T* re() const { return re_.data(); }
+  const T* im() const { return im_.data(); }
+
+  std::complex<double> amp_global(std::uint64_t global) const {
+    expects(owns(global), "dist: amplitude not owned by this rank");
+    const std::size_t i = static_cast<std::size_t>(global & (dim_ - 1));
+    return {static_cast<double>(re_[i]), static_cast<double>(im_[i])};
+  }
+
+  /// Overwrite the shard with this rank's slice of the embedding of a real
+  /// vector: global amplitude g is values[g] for g < values.size() and 0
+  /// above — the distributed form of StatePanel::load_lane_real.
+  void load_global_real(const std::vector<double>& values) {
+    expects(values.size() <= (std::uint64_t{1} << num_qubits_),
+            "dist: vector wider than register");
+    const std::uint64_t base = base_index();
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const std::uint64_t g = base + i;
+      re_[i] = g < values.size() ? static_cast<T>(values[g]) : T{};
+      im_[i] = T{};
+    }
+  }
+
+  /// Partial squared norm over the owned range (double accumulator in
+  /// index order). Allreduce, then sqrt.
+  double norm_squared_partial() const {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      acc += static_cast<double>(re_[i]) * static_cast<double>(re_[i]) +
+             static_cast<double>(im_[i]) * static_cast<double>(im_[i]);
+    }
+    return acc;
+  }
+
+  /// Partial probability that every qubit in `zeros` (global indices)
+  /// measures 0 and every qubit in `ones` measures 1. A rank whose own
+  /// high bits conflict with the masks contributes an exact 0.0, so the
+  /// allreduced total equals the single-node accumulation bitwise whenever
+  /// the matching subspace lives on one rank.
+  double probability_match_partial(const std::vector<std::uint32_t>& zeros,
+                                   const std::vector<std::uint32_t>& ones) const {
+    const auto [zero_mask, one_mask] = masks(zeros, ones);
+    const std::uint64_t base = base_index();
+    if ((base & zero_mask) != 0) return 0.0;
+    double p = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const std::uint64_t g = base + i;
+      if ((g & zero_mask) != 0 || (g & one_mask) != one_mask) continue;
+      p += static_cast<double>(re_[i]) * static_cast<double>(re_[i]) +
+           static_cast<double>(im_[i]) * static_cast<double>(im_[i]);
+    }
+    return p;
+  }
+
+  /// Project onto the subspace where `zeros` measure 0 and `ones` measure
+  /// 1, scaling survivors by 1/sqrt(p) for the *globally allreduced*
+  /// pre-projection probability `p` the caller obtained first. Mirrors
+  /// StatePanel::postselect's arithmetic: inv is rounded to T once, then
+  /// each surviving amplitude is scaled by it; non-matching amplitudes are
+  /// zeroed.
+  void postselect_scale(const std::vector<std::uint32_t>& zeros,
+                        const std::vector<std::uint32_t>& ones, double p) {
+    expects(p > 0.0, "dist postselect: zero-probability branch");
+    const T inv = static_cast<T>(1.0 / std::sqrt(p));
+    const auto [zero_mask, one_mask] = masks(zeros, ones);
+    const std::uint64_t base = base_index();
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const std::uint64_t g = base + i;
+      if ((g & zero_mask) == 0 && (g & one_mask) == one_mask) {
+        re_[i] *= inv;
+        im_[i] *= inv;
+      } else {
+        re_[i] = T{};
+        im_[i] = T{};
+      }
+    }
+  }
+
+ private:
+  static std::pair<std::uint64_t, std::uint64_t> masks(const std::vector<std::uint32_t>& zeros,
+                                                       const std::vector<std::uint32_t>& ones) {
+    std::uint64_t zero_mask = 0, one_mask = 0;
+    for (auto qb : zeros) zero_mask |= std::uint64_t{1} << qb;
+    for (auto qb : ones) one_mask |= std::uint64_t{1} << qb;
+    return {zero_mask, one_mask};
+  }
+
+  std::uint32_t num_qubits_;
+  std::uint32_t world_log2_;
+  std::uint32_t rank_;
+  std::uint32_t local_qubits_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<T> re_, im_;
+};
+
+}  // namespace mpqls::qsim::exec::dist

@@ -1,0 +1,184 @@
+// Compiles a FusedIr into a distributed replay plan for W = 2^k shards.
+//
+// Qubits split at m = n - k: qubits [0, m) are *local* (both halves of any
+// such gate pair live in the same shard), qubits [m, n) are *partition*
+// qubits (their bit value selects the owning rank). An op classifies as:
+//
+//  * local     — no partition-qubit targets. Partition-qubit *controls*
+//                cost nothing: each rank evaluates them against its own
+//                rank bits once at plan time (the op drops out entirely on
+//                ranks where they fail). Diagonal ops are local even with
+//                partition-qubit targets — each rank slices the payload
+//                entries its rank bits select.
+//  * exchange  — a non-diagonal op with h >= 1 partition-qubit targets.
+//                The executor runs it on a widened 2^(m+h) register
+//                assembled from the 2^h partner shards (h pairwise
+//                butterfly rounds), with the partition targets remapped to
+//                qubits m..m+h-1, through the same panel kernels local ops
+//                use. Costs h exchange rounds and (2^h - 1) shard
+//                volumes of traffic.
+//
+// The scheduling pass then shrinks the exchange count without perturbing
+// per-amplitude *values*:
+//
+//  1. Exact-diagonal demotion: kApply1q/kDense ops with partition-qubit
+//     targets whose off-diagonal entries are exact zeros (a structural
+//     check — fusion keeps exact zeros exact) become kDiagonal, turning
+//     would-be exchanges into payload slicing.
+//  2. X-conjugation elimination: an exchange op that is an exact
+//     (controlled) Pauli-X, separated from an identical closing X only by
+//     diagonal-kind ops, is cancelled against it; each diagonal D in the
+//     sandwich is rewritten to X·D·X — a diagonal over the union qubit
+//     set whose entries are D's entries at the X-permuted index, so every
+//     amplitude sees the identical multiplier sequence. This is the QSVT
+//     phase-gadget shape (CPiX · Rz · CRz · CPiX) when compiled without
+//     fusion: 2 exchange rounds per gadget collapse to 0, and the 2d+1
+//     local runs between them collapse into one.
+//
+// Bitwise parity: replaying a plan reproduces a single-node one-lane
+// panel replay of the same FusedIr *bit for bit* whenever no op changed
+// kernel class, i.e. stats.demoted_diagonal == 0 and conjugated_ops == 0
+// — local ops, payload-sliced diagonals, and widened exchange ops all run
+// through the identical kernel instantiation on identical values. That
+// covers the production path: default fusion compiles QSVT/HHL gadgets to
+// kDiagonal windows up front, so neither rewrite fires. When a rewrite
+// does fire (an unfused gate stream), the multiplier values are copied
+// exactly but the multiply routes through the diagonal kernel instead of
+// the 1q/dense kernel, whose FMA contraction may differ in the last ulp.
+//
+// `naive_rounds` counts the rounds a classification-blind schedule pays
+// (one pairwise round per partition-qubit reference of every op, controls
+// included); `scheduled_rounds` is what the plan actually executes. The
+// pass asserts nothing itself — tests and bench/perf_dist_scaling compare
+// the two.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "qsim/exec/compile.hpp"
+#include "qsim/exec/program.hpp"
+
+namespace mpqls::qsim::exec::dist {
+
+class DistPlanError : public std::runtime_error {
+ public:
+  explicit DistPlanError(const std::string& what) : std::runtime_error("dist plan: " + what) {}
+};
+
+struct ScheduleStats {
+  /// Pairwise exchange rounds of a classification-blind schedule: one per
+  /// partition-qubit reference (target or control) of every op.
+  std::uint64_t naive_rounds = 0;
+  /// Rounds the scheduled plan executes (h per exchange op with h
+  /// partition-qubit targets).
+  std::uint64_t scheduled_rounds = 0;
+  std::uint64_t demoted_diagonal = 0;      ///< ops rewritten by pass 1
+  std::uint64_t eliminated_exchanges = 0;  ///< X ops cancelled by pass 2
+  std::uint64_t conjugated_ops = 0;        ///< sandwich ops rewritten by pass 2
+};
+
+struct PlanOptions {
+  /// Run the exchange-minimizing passes; false keeps the naive
+  /// classification (the baseline the round counts are compared against —
+  /// the ops still execute correctly, just with more exchanges).
+  bool schedule = true;
+};
+
+/// One scheduled step, in full-register coordinates.
+struct PlanOp {
+  bool exchange = false;
+  /// Exchange ops: the partition-qubit targets, ascending.
+  std::vector<std::uint32_t> high_targets;
+  FusedOp op;
+};
+
+struct ExchangePlan {
+  std::uint32_t num_qubits = 0;
+  std::uint32_t local_qubits = 0;
+  std::uint32_t world_log2 = 0;
+  std::vector<PlanOp> ops;
+  ScheduleStats stats;
+};
+
+/// Classify + schedule `ir` for W = 2^world_log2 shards. world_log2 must
+/// be >= 1 and < ir.num_qubits.
+ExchangePlan build_exchange_plan(const FusedIr& ir, std::uint32_t world_log2,
+                                 const PlanOptions& options = {});
+
+/// The plan lowered to one rank, precision-agnostic: runs of local ops
+/// (FusedIr over the m local qubits) separated by exchange descriptors
+/// whose single op lives on the widened m+h register.
+struct RankExchangeIr {
+  /// False when the op's non-target partition-qubit controls fail for
+  /// this rank's shard group — every rank of the 2^h partner group agrees
+  /// (they share those bits), so the whole step is skipped: no traffic.
+  bool fires = true;
+  std::vector<std::uint32_t> high_targets;  ///< global qubit indices, ascending
+  std::vector<std::uint32_t> peer_bits;     ///< rank-bit index per high target
+  FusedIr wide;                             ///< single op over m+h qubits
+};
+
+struct RankStepIr {
+  FusedIr local;  ///< over the m local qubits (possibly empty)
+  std::optional<RankExchangeIr> exchange;
+};
+
+struct RankPlan {
+  std::uint32_t num_qubits = 0;
+  std::uint32_t local_qubits = 0;
+  std::uint32_t world_log2 = 0;
+  std::uint32_t rank = 0;
+  std::vector<RankStepIr> steps;
+};
+
+RankPlan build_rank_plan(const ExchangePlan& plan, std::uint32_t rank);
+
+/// RankPlan specialized to a statevector precision (exec::specialize, the
+/// same pass single-node programs go through — op payloads round
+/// identically).
+template <typename T>
+struct RankStep {
+  Program<T> local;
+  bool has_exchange = false;
+  bool fires = true;
+  std::vector<std::uint32_t> peer_bits;
+  Program<T> wide;
+};
+
+template <typename T>
+struct RankProgram {
+  std::uint32_t num_qubits = 0;
+  std::uint32_t local_qubits = 0;
+  std::uint32_t world_log2 = 0;
+  std::uint32_t rank = 0;
+  std::vector<RankStep<T>> steps;
+};
+
+template <typename T>
+RankProgram<T> specialize_rank(const ExchangePlan& plan, std::uint32_t rank) {
+  const RankPlan rp = build_rank_plan(plan, rank);
+  RankProgram<T> out;
+  out.num_qubits = rp.num_qubits;
+  out.local_qubits = rp.local_qubits;
+  out.world_log2 = rp.world_log2;
+  out.rank = rp.rank;
+  out.steps.reserve(rp.steps.size());
+  for (const auto& step : rp.steps) {
+    RankStep<T> s;
+    s.local = specialize<T>(step.local);
+    if (step.exchange) {
+      s.has_exchange = true;
+      s.fires = step.exchange->fires;
+      s.peer_bits = step.exchange->peer_bits;
+      s.wide = specialize<T>(step.exchange->wide);
+    }
+    out.steps.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace mpqls::qsim::exec::dist

@@ -1,0 +1,145 @@
+#include "qsvt/dist_solve.hpp"
+
+#include <cmath>
+#include <type_traits>
+
+#include "common/contracts.hpp"
+#include "linalg/blas.hpp"
+#include "qsim/exec/dist/dist_state.hpp"
+
+namespace mpqls::qsvt::dist {
+
+namespace edist = qsim::exec::dist;
+
+DistSolveSession::DistSolveSession(DistConfig config) : config_(std::move(config)) {
+  expects(config_.world_log2 >= 1, "dist solve: need at least 2 shards");
+  expects(config_.rank < (1u << config_.world_log2), "dist solve: rank out of range");
+  expects(config_.channel != nullptr, "dist solve: no peer channel");
+}
+
+DistSolveSession::~DistSolveSession() = default;
+
+void DistSolveSession::bind(const QsvtSolverContext& ctx) {
+  if (bound_ != nullptr) {
+    expects(bound_ == &ctx, "dist solve: session bound to a different context");
+    return;
+  }
+  expects(ctx.options.backend == Backend::kGateLevel, "dist solve: gate-level contexts only");
+  expects(ctx.programs != nullptr, "dist solve: context has no compiled program");
+  expects(ctx.options.noise.depolarizing_per_gate == 0.0 &&
+              ctx.options.noise.damping_per_gate == 0.0,
+          "dist solve: noise trajectories are single-node only");
+  plan_ = edist::build_exchange_plan(ctx.programs->ir(), config_.world_log2);
+  bound_ = &ctx;
+}
+
+template <typename T>
+const edist::RankProgram<T>& DistSolveSession::rank_program() {
+  auto& slot = [this]() -> std::optional<edist::RankProgram<T>>& {
+    if constexpr (std::is_same_v<T, qsim::exec::f16>) {
+      return prog_half_;
+    } else if constexpr (std::is_same_v<T, float>) {
+      return prog_single_;
+    } else {
+      return prog_double_;
+    }
+  }();
+  if (!slot) slot = edist::specialize_rank<T>(*plan_, config_.rank);
+  return *slot;
+}
+
+template <typename T>
+QsvtSolveOutcome DistSolveSession::solve_one(const QsvtSolverContext& ctx,
+                                             const linalg::Vector<double>& rhs) {
+  const QsvtCircuit& qc = *ctx.circuit;
+  const std::uint32_t width = qc.circuit.num_qubits();
+  const std::size_t N = ctx.A.rows();
+  expects(rhs.size() == N, "dist solve: dimension mismatch");
+
+  // Normalize classically — identical on every rank.
+  linalg::Vector<double> rhs_unit = rhs;
+  {
+    const double n = linalg::nrm2(rhs_unit);
+    expects(n > 0.0, "dist solve: zero right-hand side");
+    for (auto& x : rhs_unit) x /= n;
+  }
+
+  edist::DistState<T> state(width, config_.world_log2, config_.rank);
+  state.load_global_real(rhs_unit);
+
+  edist::DistRunMetrics metrics;
+  edist::run_rank_program<T>(rank_program<T>(), state, *config_.channel, seq_, &metrics);
+
+  // Postselect: BE ancillas and signal at |0>, real-part qubit at |1>.
+  // The probability partial is allreduced so every rank scales by the
+  // same global p (the surviving subspace typically lives on one rank;
+  // the rest contribute exact zeros).
+  const auto zeros = qc.zero_postselect();
+  const std::vector<std::uint32_t> ones = {qc.realpart_qubit};
+  double p = state.probability_match_partial(zeros, ones);
+  edist::allreduce_sum(*config_.channel, config_.rank, config_.world_log2, seq_, &p, 1);
+  expects(p > 0.0, "dist solve: zero-probability postselection");
+  state.postselect_scale(zeros, ones, p);
+
+  // Direction + imaginary-mass partials in one (N+1)-word allreduce: the
+  // owner of each surviving amplitude contributes its value, everyone
+  // else exact zero.
+  const std::uint64_t rp_bit = std::uint64_t{1} << qc.realpart_qubit;
+  std::vector<double> reduce(N + 1, 0.0);
+  for (std::size_t i = 0; i < N; ++i) {
+    const std::uint64_t g = static_cast<std::uint64_t>(i) | rp_bit;
+    if (!state.owns(g)) continue;
+    const auto a = state.amp_global(g);
+    reduce[i] = a.real();
+    reduce[N] += a.imag() * a.imag();
+  }
+  edist::allreduce_sum(*config_.channel, config_.rank, config_.world_log2, seq_, reduce.data(),
+                       reduce.size());
+
+  QsvtSolveOutcome out;
+  out.direction.resize(N);
+  for (std::size_t i = 0; i < N; ++i) out.direction[i] = reduce[i];
+  constexpr double imag_tol = std::is_same_v<T, qsim::exec::f16> ? 1e-2 : 1e-6;
+  ensures(reduce[N] < imag_tol, "dist solve: unexpected imaginary amplitudes");
+  const double n = linalg::nrm2(out.direction);
+  expects(n > 0.0, "dist solve: zero-probability postselection");
+  for (auto& x : out.direction) x /= n;
+  out.success_probability = p;
+  out.be_calls = qc.be_calls;
+  out.circuit_gates = qc.circuit.size() + ctx.sp_circuit_gates;
+
+  ++stats_.solves;
+  stats_.exchange_rounds += metrics.exchange_rounds;
+  stats_.bytes_moved += metrics.bytes_moved;
+  stats_.exchange_seconds += metrics.exchange_seconds;
+  stats_.local_seconds += metrics.local_seconds;
+  stats_.plan_naive_rounds += plan_->stats.naive_rounds;
+  stats_.plan_scheduled_rounds += plan_->stats.scheduled_rounds;
+  return out;
+}
+
+std::vector<QsvtSolveOutcome> DistSolveSession::solve_directions(
+    const QsvtSolverContext& ctx, const std::vector<const linalg::Vector<double>*>& rhs,
+    QpuPrecision tier) {
+  expects(!rhs.empty(), "dist solve: at least one right-hand side");
+  expects(tier != QpuPrecision::kAdaptive, "dist solve: tier must be a concrete precision");
+  bind(ctx);
+  std::vector<QsvtSolveOutcome> out;
+  out.reserve(rhs.size());
+  for (const auto* b : rhs) {
+    switch (tier) {
+      case QpuPrecision::kHalf:
+        out.push_back(solve_one<qsim::exec::f16>(ctx, *b));
+        break;
+      case QpuPrecision::kSingle:
+        out.push_back(solve_one<float>(ctx, *b));
+        break;
+      default:
+        out.push_back(solve_one<double>(ctx, *b));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mpqls::qsvt::dist

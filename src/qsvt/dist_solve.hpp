@@ -1,0 +1,92 @@
+// Distributed gate-level QSVT solves: one rank's view of a shard-group
+// solve. Each of the W = 2^k workers holds a DistState shard of the QSVT
+// register (k top qubits partition the amplitudes), replays the rank's
+// slice of the context's compiled program (exchange_plan.hpp), and
+// reduces postselection probability, direction amplitudes, and imaginary
+// mass across the group with a deterministic allreduce. Every rank
+// computes the full classical epilogue (normalization, outcome assembly)
+// on the identical allreduced values, so every rank returns the identical
+// QsvtSolveOutcome — which is what lets the adaptive-precision refinement
+// loop above run unchanged and stay in lockstep with zero extra
+// synchronization: identical outcomes drive identical tier decisions.
+//
+// Bitwise parity with single-node replay: the postselected subspace fixes
+// the register's top qubits (realpart=1, signal=0, BE ancillas=0), so for
+// world sizes that partition only those qubits the surviving amplitudes —
+// and the reduction partials — live on exactly one rank; the other ranks
+// contribute exact zeros and the double-path outcome equals the one-lane
+// panel solve bit for bit (see exchange_plan.hpp for the replay side).
+//
+// A session serves ONE job: it binds to the job's solver context on first
+// use, compiles the exchange plan once, specializes per-tier rank
+// programs lazily, and threads a single strictly-increasing exchange
+// sequence counter through every replay and allreduce. Calls must arrive
+// in the same order on every rank (the refinement loop guarantees this);
+// the session itself is not thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "qsim/exec/dist/dist_executor.hpp"
+#include "qsim/exec/dist/exchange_plan.hpp"
+#include "qsim/exec/dist/peer_channel.hpp"
+#include "qsvt/solve.hpp"
+
+namespace mpqls::qsvt::dist {
+
+struct DistConfig {
+  std::uint32_t rank = 0;
+  std::uint32_t world_log2 = 0;
+  std::shared_ptr<qsim::exec::dist::PeerChannel> channel;
+};
+
+/// Cumulative per-session counters (the mpqls_dist_* series).
+struct DistSolveStats {
+  std::uint64_t solves = 0;
+  std::uint64_t exchange_rounds = 0;
+  std::uint64_t bytes_moved = 0;
+  double exchange_seconds = 0.0;
+  double local_seconds = 0.0;
+  std::uint64_t plan_naive_rounds = 0;      ///< per replay, before scheduling
+  std::uint64_t plan_scheduled_rounds = 0;  ///< per replay, as executed
+};
+
+class DistSolveSession {
+ public:
+  explicit DistSolveSession(DistConfig config);
+  ~DistSolveSession();
+
+  std::uint32_t rank() const { return config_.rank; }
+  std::uint32_t world_log2() const { return config_.world_log2; }
+
+  /// Drop-in for qsvt_solve_directions on the gate-level panel path: solve
+  /// every right-hand side (one replay each, lockstep across ranks) at the
+  /// given concrete tier. Binds to `ctx` on first call; later calls must
+  /// pass the same context.
+  std::vector<QsvtSolveOutcome> solve_directions(
+      const QsvtSolverContext& ctx, const std::vector<const linalg::Vector<double>*>& rhs,
+      QpuPrecision tier);
+
+  const DistSolveStats& stats() const { return stats_; }
+
+ private:
+  template <typename T>
+  QsvtSolveOutcome solve_one(const QsvtSolverContext& ctx, const linalg::Vector<double>& rhs);
+  void bind(const QsvtSolverContext& ctx);
+  template <typename T>
+  const qsim::exec::dist::RankProgram<T>& rank_program();
+
+  DistConfig config_;
+  const QsvtSolverContext* bound_ = nullptr;
+  std::optional<qsim::exec::dist::ExchangePlan> plan_;
+  std::optional<qsim::exec::dist::RankProgram<qsim::exec::f16>> prog_half_;
+  std::optional<qsim::exec::dist::RankProgram<float>> prog_single_;
+  std::optional<qsim::exec::dist::RankProgram<double>> prog_double_;
+  std::uint64_t seq_ = 0;
+  DistSolveStats stats_;
+};
+
+}  // namespace mpqls::qsvt::dist

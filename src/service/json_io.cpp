@@ -325,6 +325,16 @@ Json to_json(const SolveResult& result) {
   if (!result.backend.empty()) j["backend"] = result.backend;
   j["panels_executed"] = static_cast<double>(result.panels_executed);
   j["panel_lanes"] = static_cast<double>(result.panel_lanes);
+  if (result.shard_world > 1) {
+    Json d = Json::object();
+    d["shard_rank"] = static_cast<double>(result.shard_rank);
+    d["shard_world"] = static_cast<double>(result.shard_world);
+    d["exchange_rounds"] = static_cast<double>(result.dist_exchange_rounds);
+    d["bytes_moved"] = static_cast<double>(result.dist_bytes_moved);
+    d["plan_naive_rounds"] = static_cast<double>(result.dist_plan_naive_rounds);
+    d["plan_scheduled_rounds"] = static_cast<double>(result.dist_plan_scheduled_rounds);
+    j["dist"] = std::move(d);
+  }
   Json solves = Json::array();
   for (const auto& s : result.solves) {
     Json sj = Json::object();
@@ -349,6 +359,15 @@ SolveResult result_from_json(const Json& j) {
   // Panel telemetry arrived after the trace format; old traces omit it.
   if (j.contains("panels_executed")) r.panels_executed = j.at("panels_executed").as_uint();
   if (j.contains("panel_lanes")) r.panel_lanes = j.at("panel_lanes").as_uint();
+  if (j.contains("dist")) {
+    const Json& d = j.at("dist");
+    r.shard_rank = static_cast<std::uint32_t>(d.uint_or("shard_rank", 0));
+    r.shard_world = static_cast<std::uint32_t>(d.uint_or("shard_world", 0));
+    r.dist_exchange_rounds = d.uint_or("exchange_rounds", 0);
+    r.dist_bytes_moved = d.uint_or("bytes_moved", 0);
+    r.dist_plan_naive_rounds = d.uint_or("plan_naive_rounds", 0);
+    r.dist_plan_scheduled_rounds = d.uint_or("plan_scheduled_rounds", 0);
+  }
   for (const auto& sj : j.at("solves").as_array()) {
     RhsResult s;
     s.solve_seconds = sj.at("solve_seconds").as_number();
@@ -385,6 +404,16 @@ Json to_json(const SolveRequest& request) {
   // Optional body-level trace id — parity with the wire-v3 trailing
   // field (zero = absent in both codecs).
   if (!request.trace_id.zero()) j["trace_id"] = request.trace_id.hex();
+  if (request.shard.distributed()) {
+    Json s = Json::object();
+    s["group"] = u64_hex(request.shard.group);
+    s["rank"] = static_cast<double>(request.shard.rank);
+    s["world"] = static_cast<double>(request.shard.world);
+    Json peers = Json::array();
+    for (const auto& p : request.shard.peers) peers.push_back(p);
+    s["peers"] = std::move(peers);
+    j["shard"] = std::move(s);
+  }
   return j;
 }
 
@@ -485,6 +514,24 @@ SolveRequest request_from_json(const Json& j, const MatrixResolver& resolve) {
   if (j.contains("trace_id")) {
     expects(trace::TraceId::parse(j.at("trace_id").as_string(), req.trace_id),
             "json: trace_id must be 32 hex chars");
+  }
+  if (j.contains("shard")) {
+    // Distributed placement, normally injected per rank by the
+    // coordinator's shard-group fan-out (a hand-written block works the
+    // same — the daemon only needs peers it can reach).
+    const Json& s = j.at("shard");
+    req.shard.group = u64_from_hex(s.at("group").as_string());
+    req.shard.rank = static_cast<std::uint32_t>(s.at("rank").as_uint());
+    req.shard.world = static_cast<std::uint32_t>(s.at("world").as_uint());
+    expects(req.shard.world >= 2 && req.shard.world <= 64 &&
+                (req.shard.world & (req.shard.world - 1)) == 0,
+            "json: shard world must be a power of two in [2, 64]");
+    expects(req.shard.rank < req.shard.world, "json: shard rank out of range");
+    for (const auto& p : s.at("peers").as_array()) {
+      req.shard.peers.push_back(p.as_string());
+    }
+    expects(req.shard.peers.size() == req.shard.world,
+            "json: shard peers must list one endpoint per rank");
   }
   return req;
 }

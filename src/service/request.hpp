@@ -23,11 +23,27 @@ namespace mpqls::service {
 using MatrixResolver =
     std::function<std::shared_ptr<const linalg::Matrix<double>>(std::uint64_t)>;
 
+/// One rank's place in a distributed shard-group solve: the coordinator
+/// fans a dist job out to W = 2^k workers, giving each the same group id
+/// and peer list but its own rank. world == 1 (the default) means a
+/// plain single-node job. Carried in the JSON body only — binary-frame
+/// submits stay single-node (the coordinator rejects frame dist submits
+/// with a 400 rather than re-encoding per rank).
+struct ShardSpec {
+  std::uint64_t group = 0;         ///< coordinator-minted shard-group id
+  std::uint32_t rank = 0;          ///< this worker's rank, < world
+  std::uint32_t world = 1;         ///< group size, a power of two
+  std::vector<std::string> peers;  ///< "host:port" per rank, size == world
+
+  bool distributed() const { return world > 1; }
+};
+
 struct SolveRequest {
   std::string id;                           ///< caller-chosen job label
   linalg::Matrix<double> A;                 ///< square system matrix (inline form)
   std::vector<linalg::Vector<double>> rhs;  ///< >= 1 right-hand sides
   solver::QsvtIrOptions options;            ///< eps, refinement + QSVT knobs
+  ShardSpec shard;                          ///< distributed placement (default: single-node)
 
   /// Client-supplied trace id (zero = none): the body-level twin of the
   /// `x-mpqls-trace` header, carried by wire-v3 frames and the optional
@@ -69,6 +85,16 @@ struct SolveResult {
   /// never empty on a fresh result (a request's empty exec_backend becomes
   /// the service's configured default here).
   std::string backend;
+  /// Distributed-execution telemetry, all zero for single-node jobs:
+  /// this rank's shard placement and what the job's exchange plan cost.
+  /// JSON-only (emitted when shard_world > 1); the binary result codec
+  /// does not carry it because frame submits are single-node.
+  std::uint32_t shard_rank = 0;
+  std::uint32_t shard_world = 0;
+  std::uint64_t dist_exchange_rounds = 0;
+  std::uint64_t dist_bytes_moved = 0;
+  std::uint64_t dist_plan_naive_rounds = 0;
+  std::uint64_t dist_plan_scheduled_rounds = 0;
 };
 
 }  // namespace mpqls::service

@@ -9,6 +9,7 @@
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
 #include "qsim/exec/backend/backend.hpp"
+#include "qsvt/dist_solve.hpp"
 
 namespace mpqls::service {
 
@@ -107,6 +108,20 @@ SolveResult SolverService::solve(const SolveRequest& request) {
   result.prepare_seconds = prep.seconds();
   stage_latency_.prepare.observe(result.prepare_seconds);
 
+  // The single-node memory wall: a gate-level job allocates a 2^width
+  // statevector, of which a W = 2^k shard group stores only width - k
+  // qubits per rank. The exact compiled width is known here; the daemon
+  // additionally estimates it at admission so an over-cap submit dies
+  // with a 413 instead of a failed job.
+  if (options_.max_statevector_qubits != 0 &&
+      options.qsvt.backend == qsvt::Backend::kGateLevel && ctx->circuit.has_value()) {
+    std::size_t local_width = ctx->circuit->circuit.num_qubits();
+    for (std::uint32_t w = req->shard.world; w > 1 && local_width > 0; w >>= 1) --local_width;
+    expects(local_width <= options_.max_statevector_qubits,
+            "service: statevector exceeds this worker's qubit cap "
+            "(submit to a larger shard group)");
+  }
+
   // Panel-eligible jobs group their right-hand sides into panels of
   // `panel_width` lanes: each group replays the cached program in one
   // sweep (lockstep refinement, see solve_qsvt_ir_batch). Singleton jobs
@@ -133,7 +148,47 @@ SolveResult SolverService::solve(const SolveRequest& request) {
   };
   const SolveRequest& active = *req;  ///< what the queued tasks reference
   std::vector<std::future<GroupOutcome>> pending;
-  if (panelize) {
+  std::shared_ptr<qsvt::dist::DistSolveSession> dist_session;
+  if (active.shard.distributed()) {
+    // Distributed shard-group job: every rank of the group must issue the
+    // identical sequence of exchanges, so the whole RHS batch runs as ONE
+    // lockstep solve_qsvt_ir_batch on this thread — no panel chunking, no
+    // solve-pool fan-out (either would let rank-local scheduling reorder
+    // exchanges and deadlock the group). The adaptive refinement loop
+    // inside stays in lockstep for free: every rank sees the identical
+    // allreduced outcomes and takes the identical tier decisions.
+    expects(static_cast<bool>(options_.shard_channel),
+            "service: no shard transport configured on this instance");
+    expects(qsvt_opts.backend == qsvt::Backend::kGateLevel,
+            "service: distributed jobs are gate-level only");
+    expects(!noisy, "service: noise trajectories are single-node only");
+    expects(qsvt_opts.shots == 0, "service: shot sampling is single-node only");
+    std::uint32_t world_log2 = 0;
+    while ((1u << world_log2) < active.shard.world) ++world_log2;
+    dist_session = std::make_shared<qsvt::dist::DistSolveSession>(qsvt::dist::DistConfig{
+        active.shard.rank, world_log2, options_.shard_channel(active.shard)});
+
+    std::promise<GroupOutcome> ready;
+    pending.push_back(ready.get_future());
+    try {
+      Timer t;
+      GroupOutcome out;
+      MPQLS_TRACE_SPAN(dist_span, options.trace, "dist_batch", options.trace_span);
+      dist_span.attr("rank", static_cast<std::uint64_t>(active.shard.rank));
+      dist_span.attr("world", static_cast<std::uint64_t>(active.shard.world));
+      solver::QsvtIrOptions opts = options;
+      opts.dist = dist_session;
+      if (dist_span) opts.trace_span = dist_span.id();
+      auto reports = solver::solve_qsvt_ir_batch(
+          *ctx, std::span<const linalg::Vector<double>>(active.rhs), opts, &out.stats);
+      const double per_rhs_seconds = t.seconds() / static_cast<double>(reports.size());
+      out.results.reserve(reports.size());
+      for (auto& rep : reports) out.results.push_back({std::move(rep), per_rhs_seconds});
+      ready.set_value(std::move(out));
+    } catch (...) {
+      ready.set_exception(std::current_exception());
+    }
+  } else if (panelize) {
     for (std::size_t begin = 0; begin < active.rhs.size(); begin += panel_width) {
       const std::size_t count = std::min(panel_width, active.rhs.size() - begin);
       pending.push_back(solve_pool_.submit([ctx, &active, &options, begin, count] {
@@ -198,6 +253,15 @@ SolveResult SolverService::solve(const SolveRequest& request) {
   if (first_error) std::rethrow_exception(first_error);
   result.total_seconds = total.seconds();
   stage_latency_.solve.observe(solve_seconds);
+  if (dist_session) {
+    const auto& ds = dist_session->stats();
+    result.shard_rank = active.shard.rank;
+    result.shard_world = active.shard.world;
+    result.dist_exchange_rounds = ds.exchange_rounds;
+    result.dist_bytes_moved = ds.bytes_moved;
+    result.dist_plan_naive_rounds = ds.plan_naive_rounds;
+    result.dist_plan_scheduled_rounds = ds.plan_scheduled_rounds;
+  }
 
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -226,6 +290,17 @@ SolveResult SolverService::solve(const SolveRequest& request) {
     backend_stats.rhs_solved += result.solves.size();
     backend_stats.panels += result.panels_executed;
     for (const auto& s : result.solves) backend_stats.replays += s.report.solves.size();
+    if (dist_session) {
+      const auto& ds = dist_session->stats();
+      ++stats_.dist.jobs;
+      stats_.dist.solves += ds.solves;
+      stats_.dist.exchange_rounds += ds.exchange_rounds;
+      stats_.dist.bytes_moved += ds.bytes_moved;
+      stats_.dist.exchange_seconds += ds.exchange_seconds;
+      stats_.dist.local_seconds += ds.local_seconds;
+      stats_.dist.plan_naive_rounds += ds.plan_naive_rounds;
+      stats_.dist.plan_scheduled_rounds += ds.plan_scheduled_rounds;
+    }
   }
   return result;
 }

@@ -31,6 +31,7 @@
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
+#include "qsim/exec/dist/peer_channel.hpp"
 #include "service/context_cache.hpp"
 #include "service/request.hpp"
 #include "store/matrix_store.hpp"
@@ -74,6 +75,18 @@ struct ServiceOptions {
   /// outside this set are rejected (the daemon answers 400) — also the
   /// knob cluster tests use to give workers heterogeneous capabilities.
   std::vector<std::string> enabled_backends;
+  /// Hard cap on the LOCAL statevector width (qubits) a gate-level job may
+  /// allocate here — the single-node memory wall a shard group breaks: a
+  /// W = 2^k group stores k of the circuit's qubits in the rank index, so
+  /// each worker allocates width - k qubits. Jobs over the cap are
+  /// rejected (the daemon answers 413 at admission, the service throws at
+  /// solve time). 0 = unlimited.
+  std::size_t max_statevector_qubits = 0;
+  /// Transport factory for distributed jobs: maps the request's ShardSpec
+  /// to this rank's PeerChannel. The daemon installs an HTTP channel
+  /// (POSTs to each peer's /v1/shard/exchange); tests inject
+  /// LocalPeerGroup endpoints. Unset = distributed jobs are rejected.
+  std::function<std::shared_ptr<qsim::exec::dist::PeerChannel>(const ShardSpec&)> shard_channel;
 };
 
 /// Lifecycle of a registry job. Terminal states are kDone, kFailed and
@@ -204,6 +217,19 @@ class SolverService {
       std::uint64_t panels = 0;  ///< panel sweeps executed on this backend
     };
     std::map<std::string, BackendStats> backends;
+    /// Distributed shard-group telemetry (the mpqls_dist_* series),
+    /// accumulated from each dist job's session stats.
+    struct DistStats {
+      std::uint64_t jobs = 0;             ///< dist jobs this rank served
+      std::uint64_t solves = 0;           ///< QSVT replays across dist jobs
+      std::uint64_t exchange_rounds = 0;  ///< pairwise exchange rounds paid
+      std::uint64_t bytes_moved = 0;      ///< amplitude bytes shipped
+      double exchange_seconds = 0.0;
+      double local_seconds = 0.0;
+      std::uint64_t plan_naive_rounds = 0;      ///< rounds before scheduling
+      std::uint64_t plan_scheduled_rounds = 0;  ///< rounds as executed
+    };
+    DistStats dist;
   };
   Stats stats() const;
 

@@ -6,6 +6,7 @@
 #include "linalg/blas.hpp"
 #include "linalg/dd128.hpp"
 #include "qsvt/denormalize.hpp"
+#include "qsvt/dist_solve.hpp"
 #include "solver/theory.hpp"
 
 namespace mpqls::solver {
@@ -201,7 +202,9 @@ std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx
     batch.reserve(lanes.size());
     for (const Lane& lane : lanes) batch.push_back(lane.b);
     const auto outcomes =
-        qsvt::qsvt_solve_directions(ctx, batch, &pstats, tier_precision(initial_tier));
+        options.dist
+            ? options.dist->solve_directions(ctx, batch, tier_precision(initial_tier))
+            : qsvt::qsvt_solve_directions(ctx, batch, &pstats, tier_precision(initial_tier));
     for (std::size_t l = 0; l < lanes.size(); ++l) {
       Lane& lane = lanes[l];
       const auto& outcome = outcomes[l];
@@ -299,8 +302,10 @@ std::vector<QsvtIrReport> solve_qsvt_ir_batch(const qsvt::QsvtSolverContext& ctx
                              hybrid::vector_wire_bytes(n), lane.it);
         batch.push_back(&lane.r);
       }
-      const auto outcomes = qsvt::qsvt_solve_directions(ctx, batch, &pstats,
-                                                        tier_precision(tier));
+      const auto outcomes =
+          options.dist
+              ? options.dist->solve_directions(ctx, batch, tier_precision(tier))
+              : qsvt::qsvt_solve_directions(ctx, batch, &pstats, tier_precision(tier));
       for (std::size_t k = 0; k < group.size(); ++k) {
         Lane& lane = lanes[group[k]];
         const auto& outcome = outcomes[k];

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,6 +17,10 @@
 #include "hybrid/comm.hpp"
 #include "linalg/matrix.hpp"
 #include "qsvt/solve.hpp"
+
+namespace mpqls::qsvt::dist {
+class DistSolveSession;
+}
 
 namespace mpqls::solver {
 
@@ -62,6 +67,15 @@ struct QsvtIrOptions {
   /// `trace_span`. Null = no recording.
   trace::TraceContext trace = {};
   std::uint64_t trace_span = 0;
+
+  /// Runtime-only distributed-execution session (like `trace`, never
+  /// hashed into fingerprints, never wire encoded): when set, every QSVT
+  /// replay runs this rank's shard of the statevector through the
+  /// session instead of the local panel path. The classical refinement
+  /// loop is untouched — each rank receives identical allreduced
+  /// outcomes, takes identical tier decisions, and stays in lockstep
+  /// with its peers without extra synchronization. Null = single-node.
+  std::shared_ptr<qsvt::dist::DistSolveSession> dist;
 };
 
 struct SolveTelemetry {

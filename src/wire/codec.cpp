@@ -413,6 +413,32 @@ linalg::Matrix<double> decode_matrix(std::string_view frame) {
   return A;
 }
 
+std::string encode_shard_exchange(std::uint64_t group, std::uint32_t from, std::uint64_t seq,
+                                  std::string_view payload) {
+  WireWriter w;
+  w.u64(group).u32(from).u64(seq).u64(payload.size());
+  std::string out = w.take();
+  out.append(payload.data(), payload.size());
+  return seal_frame(FrameTag::kShardExchange, std::move(out));
+}
+
+ShardExchange decode_shard_exchange(std::string_view frame) {
+  WireReader r = payload_reader(frame, FrameTag::kShardExchange);
+  ShardExchange ex;
+  ex.group = r.u64();
+  ex.from = r.u32();
+  ex.seq = r.u64();
+  const std::size_t at = r.offset();
+  const std::uint64_t len = r.u64();
+  // The amplitude block is the rest of the frame, exactly: its length is
+  // declared so truncation is distinguishable from trailing garbage.
+  if (len != r.remaining()) throw WireError("shard payload length mismatch", at);
+  ex.payload.resize(static_cast<std::size_t>(len));
+  if (len != 0) r.read_bytes(ex.payload.data(), static_cast<std::size_t>(len));
+  r.expect_done();
+  return ex;
+}
+
 std::uint64_t hash_matrix_frame(std::string_view frame) {
   WireReader r = payload_reader(frame, FrameTag::kMatrix);
   const std::size_t rows = read_dimension(r);

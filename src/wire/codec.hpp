@@ -75,4 +75,21 @@ linalg::Matrix<double> decode_matrix(std::string_view frame);
 /// uploads by without building the 128 MiB matrix.
 std::uint64_t hash_matrix_frame(std::string_view frame);
 
+// --- shard exchanges (POST /v1/shard/exchange payload) ----------------------
+
+/// One rank's half of a pairwise amplitude swap inside a distributed
+/// shard-group solve: which group, which sender rank, which exchange
+/// sequence slot, and the raw amplitude block (opaque bytes — the
+/// receiving executor knows the element type and count from its own plan).
+struct ShardExchange {
+  std::uint64_t group = 0;
+  std::uint32_t from = 0;
+  std::uint64_t seq = 0;
+  std::string payload;
+};
+
+std::string encode_shard_exchange(std::uint64_t group, std::uint32_t from, std::uint64_t seq,
+                                  std::string_view payload);
+ShardExchange decode_shard_exchange(std::string_view frame);
+
 }  // namespace mpqls::wire

@@ -15,7 +15,7 @@ std::uint64_t check_header(std::string_view frame, FrameTag* tag, std::uint8_t* 
     throw WireError("unsupported frame version", 4);
   }
   const std::uint8_t raw_tag = r.u8();
-  if (raw_tag < 1 || raw_tag > 3) throw WireError("unknown frame tag", 5);
+  if (raw_tag < 1 || raw_tag > 4) throw WireError("unknown frame tag", 5);
   if (r.u16() != 0) throw WireError("nonzero reserved field", 6);
   *tag = static_cast<FrameTag>(raw_tag);
   if (version_out) *version_out = version;

@@ -45,6 +45,7 @@ enum class FrameTag : std::uint8_t {
   kSolveRequest = 1,
   kSolveResult = 2,
   kMatrix = 3,
+  kShardExchange = 4,  ///< peer-to-peer amplitude block in a shard-group solve
 };
 
 /// Malformed or truncated frame. The message names the violated rule and
@@ -145,6 +146,15 @@ class WireReader {
     need(count * sizeof(double), "truncated f64 array");
     out.resize(static_cast<std::size_t>(count));
     read_doubles(out.data(), static_cast<std::size_t>(count));
+  }
+
+  /// Raw bytes with an externally-validated count (shard-exchange
+  /// payloads, whose declared length was already checked against the
+  /// frame remainder).
+  void read_bytes(char* out, std::size_t count) {
+    need(count, "truncated byte block");
+    std::memcpy(out, data_.data() + off_, count);
+    off_ += count;
   }
 
   /// Raw doubles with an externally-validated count (matrix payloads,

@@ -433,5 +433,103 @@ TEST(Cluster, AllWorkersLackingTheBackendAnswer503) {
   cluster.stop();
 }
 
+/// A gate-backend job body carrying "dist_workers": the coordinator must
+/// expand it into a shard group rather than routing it whole.
+std::string dist_job_json(std::size_t dist_workers, const std::string& label) {
+  Json j = Json::object();
+  j["id"] = label;
+  Json m = Json::object();
+  m["scenario"] = "random";
+  m["n"] = 8;
+  m["kappa"] = 10.0;
+  m["seed"] = static_cast<std::uint64_t>(21);
+  j["matrix"] = std::move(m);
+  Json rhs = Json::object();
+  rhs["kind"] = "random";
+  rhs["count"] = 1;
+  rhs["seed"] = static_cast<std::uint64_t>(9);
+  j["rhs"] = std::move(rhs);
+  Json opt = Json::object();
+  opt["eps"] = 1e-10;
+  Json qsvt = Json::object();
+  qsvt["backend"] = "gate";
+  qsvt["eps_l"] = 1e-2;
+  opt["qsvt"] = std::move(qsvt);
+  j["options"] = std::move(opt);
+  j["dist_workers"] = static_cast<std::uint64_t>(dist_workers);
+  return j.dump();
+}
+
+TEST(Cluster, DistSubmitFansOutAShardGroupAndEveryRankFinishes) {
+  auto options = small_cluster(2);
+  options.worker.service.job_threads = 2;  // rank job + exchange headroom
+  TestCluster cluster(options);
+  net::HttpClient client("127.0.0.1", cluster.port());
+
+  const auto accepted = client.post("/v1/jobs", dist_job_json(2, "dist-smoke"));
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  const Json ack = Json::parse(accepted.body);
+  EXPECT_EQ(ack.at("shard_world").as_uint(), 2u);
+  const auto& shard_jobs = ack.at("shard_jobs").as_array();
+  ASSERT_EQ(shard_jobs.size(), 2u);
+  EXPECT_EQ(ack.at("job_id").as_string(), shard_jobs[0].as_string());
+
+  // Each rank landed on a distinct worker and every rank reaches done
+  // through the coordinator's proxied poll (the routing table remembers
+  // every rank's cluster id, not just rank 0's).
+  EXPECT_NE(shard_jobs[0].as_string()[1], shard_jobs[1].as_string()[1]);
+  std::vector<Json> statuses;
+  for (const auto& id : shard_jobs) {
+    statuses.push_back(poll_until_terminal(client, id.as_string()));
+    ASSERT_EQ(statuses.back().at("state").as_string(), "done") << statuses.back().dump();
+  }
+
+  // Lockstep: both ranks rendered the identical solution, and the dist
+  // telemetry block names each rank's place in the group.
+  const auto& x0 =
+      statuses[0].at("result").at("solves").as_array()[0].at("report").at("x").as_array();
+  const auto& x1 =
+      statuses[1].at("result").at("solves").as_array()[0].at("report").at("x").as_array();
+  ASSERT_EQ(x0.size(), x1.size());
+  ASSERT_GT(x0.size(), 0u);
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    EXPECT_EQ(x0[i].as_number(), x1[i].as_number()) << "component " << i;
+  }
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    const Json& dist = statuses[r].at("result").at("dist");
+    EXPECT_EQ(dist.at("shard_rank").as_uint(), r);
+    EXPECT_EQ(dist.at("shard_world").as_uint(), 2u);
+    EXPECT_GT(dist.at("exchange_rounds").as_uint(), 0u);
+  }
+
+  const auto routing = cluster.coordinator().routing_stats();
+  EXPECT_EQ(routing.dist_submits, 1u);
+  EXPECT_EQ(routing.submits_accepted, 2u);  // one per rank
+
+  const std::string metrics = client.get("/v1/metrics").body;
+  EXPECT_NE(metrics.find("mpqls_cluster_dist_submits_total 1"), std::string::npos);
+  cluster.stop();
+}
+
+TEST(Cluster, DistSubmitValidatesWorldAndRefusesUndersizedClusters) {
+  TestCluster cluster(small_cluster(2));
+  net::HttpClient client("127.0.0.1", cluster.port());
+
+  // Non-power-of-two world sizes are a client error, not a routing miss.
+  const auto odd = client.post("/v1/jobs", dist_job_json(3, "dist-odd"));
+  EXPECT_EQ(odd.status, 400) << odd.body;
+
+  // A 4-member group cannot form on a 2-worker cluster: 503, and the
+  // reject is counted (no rank was admitted anywhere).
+  const auto wide = client.post("/v1/jobs", dist_job_json(4, "dist-wide"));
+  EXPECT_EQ(wide.status, 503) << wide.body;
+  EXPECT_NE(wide.body.find("shard group incomplete"), std::string::npos) << wide.body;
+
+  const auto routing = cluster.coordinator().routing_stats();
+  EXPECT_EQ(routing.dist_rejects, 1u);
+  EXPECT_EQ(routing.submits_accepted, 0u);
+  cluster.stop();
+}
+
 }  // namespace
 }  // namespace mpqls::cluster

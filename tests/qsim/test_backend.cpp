@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <complex>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -205,6 +206,42 @@ TEST(BackendRegistry, HandlesAreIndependentAndWorkspaceReported) {
   EXPECT_NE(h1.get(), h2.get());
   EXPECT_GT(blocked->workspace_bytes(20), 0u);
   EXPECT_GT(exec::default_backend().workspace_bytes(20), 0u);
+}
+
+/// MPQLS_BLOCKED_* overrides must parse strictly: a malformed or
+/// out-of-range value keeps the compiled-in default (with a stderr
+/// warning), it never produces a degenerate tile geometry. tile_bytes is
+/// observable through workspace_bytes() == 2 * tile_bytes.
+TEST(BackendRegistry, EnvTuningRejectsGarbageAndKeepsDefaults) {
+  exec::BlockedBackendOptions defaults;
+  const auto tile_bytes_of = [] {
+    return exec::make_blocked_backend()->workspace_bytes(20) / 2;
+  };
+
+  ::setenv("MPQLS_BLOCKED_TILE_BYTES", "65536", 1);
+  EXPECT_EQ(tile_bytes_of(), 65536u);
+
+  const char* bad[] = {"banana", "64k", "", "-4096", "1e6", "12 ", "999999999999999999999"};
+  for (const char* value : bad) {
+    ::setenv("MPQLS_BLOCKED_TILE_BYTES", value, 1);
+    EXPECT_EQ(tile_bytes_of(), defaults.tile_bytes) << "value \"" << value << "\"";
+  }
+  // Out of range (below the 1 KiB floor / above the 4 GiB ceiling).
+  ::setenv("MPQLS_BLOCKED_TILE_BYTES", "512", 1);
+  EXPECT_EQ(tile_bytes_of(), defaults.tile_bytes);
+  ::setenv("MPQLS_BLOCKED_TILE_BYTES", "8589934592", 1);
+  EXPECT_EQ(tile_bytes_of(), defaults.tile_bytes);
+  ::unsetenv("MPQLS_BLOCKED_TILE_BYTES");
+
+  // The other two knobs share the parser; spot-check their ranges by
+  // replay parity (a rejected value must leave a working backend).
+  ::setenv("MPQLS_BLOCKED_MAX_HIGH_BITS", "nope", 1);
+  ::setenv("MPQLS_BLOCKED_MIN_RUN_OPS", "0", 1);
+  auto backend = exec::make_blocked_backend(tiny_tiles());
+  ::unsetenv("MPQLS_BLOCKED_MAX_HIGH_BITS");
+  ::unsetenv("MPQLS_BLOCKED_MIN_RUN_OPS");
+  ASSERT_NE(backend, nullptr);
+  EXPECT_GT(backend->workspace_bytes(10), 0u);
 }
 
 template <typename T>

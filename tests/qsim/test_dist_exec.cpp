@@ -1,0 +1,423 @@
+// Distributed statevector execution vs single-node panel replay: the
+// exchange plan's classification and scheduling (exact-diagonal demotion,
+// X-conjugation elimination, naive vs scheduled round counts), and W-shard
+// replay through LocalPeerGroup reproducing a one-lane StatePanel replay
+// of the same compiled program — exactly, in double and float, including
+// the QSVT-shaped stream whose closing H fuses into a dense op with two
+// partition-qubit targets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qsim/circuit.hpp"
+#include "qsim/exec/compile.hpp"
+#include "qsim/exec/dist/dist_executor.hpp"
+#include "qsim/exec/dist/dist_state.hpp"
+#include "qsim/exec/dist/exchange_plan.hpp"
+#include "qsim/exec/dist/peer_channel.hpp"
+#include "qsim/exec/panel.hpp"
+#include "qsim/exec/panel_executor.hpp"
+
+namespace {
+
+using namespace mpqls;
+using namespace mpqls::qsim::exec;
+using c64 = qsim::c64;
+
+// The build_qsvt_circuit shape (H on the top "realpart" qubit, d rounds of
+// block-encoding + phase gadget, closing H + global phase) with a random
+// dense stand-in for the block encoding: data {0,1}, BE ancilla 2, signal
+// 3, realpart 4.
+qsim::Circuit qsvt_shaped_circuit(Xoshiro256& rng, std::size_t d) {
+  qsim::Circuit c(5);
+  linalg::Matrix<c64> be(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) be(i, j) = c64(rng.normal(), rng.normal());
+  }
+  // Orthonormalize columns (Gram-Schmidt) so the stand-in is unitary.
+  for (std::size_t col = 0; col < 8; ++col) {
+    for (std::size_t p = 0; p < col; ++p) {
+      c64 overlap{};
+      for (std::size_t r = 0; r < 8; ++r) overlap += std::conj(be(r, p)) * be(r, col);
+      for (std::size_t r = 0; r < 8; ++r) be(r, col) -= overlap * be(r, p);
+    }
+    double nrm = 0.0;
+    for (std::size_t r = 0; r < 8; ++r) nrm += std::norm(be(r, col));
+    nrm = std::sqrt(nrm);
+    for (std::size_t r = 0; r < 8; ++r) be(r, col) /= nrm;
+  }
+
+  c.h(4);
+  for (std::size_t k = 0; k < d; ++k) {
+    c.unitary({0, 1, 2}, be);
+    const double phi = 0.3 + 0.1 * static_cast<double>(k);
+    qsim::Gate cpix;
+    cpix.kind = qsim::GateKind::kX;
+    cpix.targets = {3};
+    cpix.neg_controls = {2};
+    c.push(cpix);
+    c.rz(3, 2.0 * phi);
+    c.crz(4, 3, -4.0 * phi);
+    c.push(cpix);
+  }
+  c.h(4);
+  c.global_phase(-M_PI / 2.0);
+  return c;
+}
+
+std::vector<std::complex<double>> random_state(Xoshiro256& rng, std::uint32_t n) {
+  std::vector<std::complex<double>> amps(std::size_t{1} << n);
+  double nrm = 0.0;
+  for (auto& a : amps) {
+    a = {rng.normal(), rng.normal()};
+    nrm += std::norm(a);
+  }
+  nrm = std::sqrt(nrm);
+  for (auto& a : amps) a /= nrm;
+  return amps;
+}
+
+// Gate soup over every kernel kind with random controls (the same recipe
+// the panel-exec tests use), so classification sees high/low targets and
+// masks in every combination.
+qsim::Circuit random_circuit(Xoshiro256& rng, std::uint32_t n, std::size_t gates) {
+  qsim::Circuit c(n);
+  for (std::size_t i = 0; i < gates; ++i) {
+    qsim::Gate g;
+    g.adjoint = rng.uniform() < 0.3;
+    std::uint64_t used = 0;
+    auto pick = [&](std::size_t count) {
+      std::vector<std::uint32_t> out;
+      while (out.size() < count) {
+        const auto q = static_cast<std::uint32_t>(rng.uniform_index(n));
+        if (used & (std::uint64_t{1} << q)) continue;
+        used |= std::uint64_t{1} << q;
+        out.push_back(q);
+      }
+      return out;
+    };
+    switch (rng.uniform_index(5)) {
+      case 0:
+        g.kind = qsim::GateKind::kH;
+        g.targets = pick(1);
+        break;
+      case 1:
+        g.kind = qsim::GateKind::kRz;
+        g.param = rng.uniform(-3.0, 3.0);
+        g.targets = pick(1);
+        break;
+      case 2:
+        g.kind = qsim::GateKind::kGlobalPhase;
+        g.param = rng.uniform(-3.0, 3.0);
+        break;
+      case 3: {
+        const std::size_t k = 1 + rng.uniform_index(2);
+        g.kind = qsim::GateKind::kDiagonal;
+        g.targets = pick(k);
+        std::vector<c64> d(std::size_t{1} << k);
+        for (auto& v : d) v = std::exp(c64(0, rng.uniform(-3.0, 3.0)));
+        g.diagonal = std::make_shared<const std::vector<c64>>(std::move(d));
+        break;
+      }
+      default:
+        g.kind = qsim::GateKind::kX;
+        g.targets = pick(1);
+        break;
+    }
+    if (g.kind != qsim::GateKind::kGlobalPhase) {
+      const std::size_t n_ctrl = rng.uniform_index(3);
+      for (std::size_t k = 0; k < n_ctrl && used != (std::uint64_t{1} << n) - 1; ++k) {
+        const auto q = pick(1)[0];
+        if (rng.uniform() < 0.5) {
+          g.controls.push_back(q);
+        } else {
+          g.neg_controls.push_back(q);
+        }
+      }
+    }
+    c.push(std::move(g));
+  }
+  return c;
+}
+
+// Replay `ir` on W shards (threads over a LocalPeerGroup) and on a
+// one-lane StatePanel, from the same initial state. With tol == 0 every
+// global amplitude must match exactly — guaranteed whenever the plan's
+// scheduling passes changed no op's kernel class (demoted_diagonal and
+// conjugated_ops both zero; see exchange_plan.hpp). When a rewrite fires
+// the values are equal but the multiply routes through a different kernel
+// whose FMA contraction may differ in the last ulp, so those replays
+// compare against a tight tolerance instead.
+template <typename T>
+void expect_dist_matches_panel(const FusedIr& ir, std::uint32_t world_log2,
+                               const std::vector<std::complex<double>>& init, double tol = 0.0,
+                               const dist::PlanOptions& popts = {}) {
+  const std::uint32_t n = ir.num_qubits;
+  const auto plan = dist::build_exchange_plan(ir, world_log2, popts);
+  const std::uint32_t world = 1u << world_log2;
+
+  StatePanel<T> panel(n, 1);
+  for (std::size_t i = 0; i < init.size(); ++i) panel.set_amp(i, 0, init[i]);
+  PanelExecutor<T>().run(specialize<T>(ir), panel);
+
+  dist::LocalPeerGroup group(world);
+  std::vector<dist::DistState<T>> shards;
+  shards.reserve(world);
+  for (std::uint32_t r = 0; r < world; ++r) {
+    shards.emplace_back(n, world_log2, r);
+    auto& st = shards.back();
+    const std::uint64_t base = st.base_index();
+    for (std::size_t i = 0; i < st.dim(); ++i) {
+      st.re()[i] = static_cast<T>(init[base + i].real());
+      st.im()[i] = static_cast<T>(init[base + i].imag());
+    }
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(world);
+  for (std::uint32_t r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        const auto rp = dist::specialize_rank<T>(plan, r);
+        auto channel = group.channel(r);
+        std::uint64_t seq = 0;
+        dist::run_rank_program<T>(rp, shards[r], *channel, seq);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::uint32_t r = 0; r < world; ++r) {
+    if (errors[r]) std::rethrow_exception(errors[r]);
+  }
+
+  for (std::uint64_t g = 0; g < (std::uint64_t{1} << n); ++g) {
+    const auto got = shards[g >> plan.local_qubits].amp_global(g);
+    const auto want = panel.amp(g, 0);
+    if (tol == 0.0) {
+      EXPECT_EQ(got.real(), want.real()) << "amp " << g << " W=" << world;
+      EXPECT_EQ(got.imag(), want.imag()) << "amp " << g << " W=" << world;
+    } else {
+      EXPECT_NEAR(std::abs(got - want), 0.0, tol) << "amp " << g << " W=" << world;
+    }
+  }
+}
+
+TEST(ExchangePlan, ClassifiesDiagonalsLocalAndCountsRounds) {
+  qsim::Circuit c(4);
+  c.h(3);                       // high target -> 1 exchange round
+  c.rz(3, 0.7);                 // diagonal payload on high target -> demoted, local
+  c.crz(3, 0, 0.3);             // high control, low target -> local
+  c.diagonal_gate({1, 3}, {1.0, 1.0, 1.0, c64(0, 1)});  // diagonal high target -> local
+  c.x(0);                       // purely local
+  const auto ir = lower_and_fuse(c, {.fuse = false});
+  const auto plan = dist::build_exchange_plan(ir, /*world_log2=*/1);
+  EXPECT_EQ(plan.stats.scheduled_rounds, 1u);
+  // Naive pays one round per high-qubit reference: h, rz, crz, diagonal.
+  EXPECT_EQ(plan.stats.naive_rounds, 4u);
+  EXPECT_EQ(plan.stats.demoted_diagonal, 1u);
+  std::size_t exchanges = 0;
+  for (const auto& p : plan.ops) exchanges += p.exchange ? 1 : 0;
+  EXPECT_EQ(exchanges, 1u);
+}
+
+TEST(ExchangePlan, XConjugationEliminatesGadgetExchanges) {
+  // The unfused QSVT stream: every gadget is CPiX · Rz · CRz · CPiX with
+  // the signal qubit on the partition side (W=4 puts qubits 3 and 4
+  // high). The pass must cancel both CPiX exchanges of every gadget,
+  // leaving only the two H(realpart) rounds.
+  Xoshiro256 rng(17);
+  const std::size_t d = 6;
+  const auto c = qsvt_shaped_circuit(rng, d);
+  const auto ir = lower_and_fuse(c, {.fuse = false});
+
+  const auto naive = dist::build_exchange_plan(ir, 2, {.schedule = false});
+  const auto sched = dist::build_exchange_plan(ir, 2);
+  EXPECT_EQ(sched.stats.scheduled_rounds, 2u);
+  EXPECT_EQ(sched.stats.eliminated_exchanges, 2 * d);
+  EXPECT_GE(sched.stats.naive_rounds, 5 * d);
+  EXPECT_EQ(naive.stats.naive_rounds, sched.stats.naive_rounds);
+  // The naive schedule really pays per gadget (2 CPiX exchanges each).
+  EXPECT_GE(naive.stats.scheduled_rounds, 2 * d + 2);
+  EXPECT_LT(sched.stats.scheduled_rounds, naive.stats.scheduled_rounds);
+}
+
+TEST(ExchangePlan, DefaultFusedQsvtIsExchangeLight) {
+  // Default fusion folds each gadget into an exactly-diagonal window
+  // (local via payload slicing); only the opening H and the closing
+  // window (H fused into a dense op with two partition targets) exchange.
+  Xoshiro256 rng(18);
+  const auto c = qsvt_shaped_circuit(rng, 6);
+  const auto ir = lower_and_fuse(c);
+  const auto plan = dist::build_exchange_plan(ir, 2);
+  EXPECT_LE(plan.stats.scheduled_rounds, 3u);
+  EXPECT_LT(plan.stats.scheduled_rounds, plan.stats.naive_rounds);
+}
+
+TEST(DistExec, QsvtShapedReplayMatchesPanelExactly) {
+  Xoshiro256 rng(21);
+  const auto c = qsvt_shaped_circuit(rng, 4);
+  const auto init = random_state(rng, 5);
+  {
+    // The production path: default fusion emits the gadgets as kDiagonal
+    // windows, no scheduling rewrite fires, replay is bit-identical.
+    const auto ir = lower_and_fuse(c);
+    EXPECT_EQ(dist::build_exchange_plan(ir, 2).stats.demoted_diagonal, 0u);
+    expect_dist_matches_panel<double>(ir, 1, init);
+    expect_dist_matches_panel<double>(ir, 2, init);
+    expect_dist_matches_panel<float>(ir, 2, init);
+  }
+  {
+    // Unfused at W=4 the X-conjugation pass rewrites the gadget interiors
+    // into diagonal-kernel ops: equal values, possibly differing FMA
+    // contraction — compare to a tight tolerance. W=2 leaves the gadgets
+    // local and untouched, so it stays exact.
+    const auto ir = lower_and_fuse(c, {.fuse = false});
+    expect_dist_matches_panel<double>(ir, 1, init);
+    expect_dist_matches_panel<double>(ir, 2, init, 1e-13);
+    expect_dist_matches_panel<float>(ir, 2, init, 1e-5);
+  }
+}
+
+TEST(DistExec, NaiveScheduleReplaysCorrectlyToo) {
+  // The round-count comparison is only honest if the naive plan is
+  // executable: same parity requirement without the scheduling passes.
+  Xoshiro256 rng(22);
+  const auto c = qsvt_shaped_circuit(rng, 3);
+  const auto ir = lower_and_fuse(c, {.fuse = false});
+  const auto init = random_state(rng, 5);
+  expect_dist_matches_panel<double>(ir, 2, init, 0.0, {.schedule = false});
+}
+
+TEST(DistExec, RandomCircuitsMatchPanelExactly) {
+  Xoshiro256 rng(23);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto n = static_cast<std::uint32_t>(3 + rng.uniform_index(4));  // 3..6
+    const auto circ = random_circuit(rng, n, 30);
+    const auto ir = lower_and_fuse(circ);
+    const auto init = random_state(rng, n);
+    // Exact whenever the scheduling passes changed no kernel class;
+    // otherwise equal values through a different kernel — ulp tolerance.
+    auto tol_for = [&](std::uint32_t wl) {
+      const auto stats = dist::build_exchange_plan(ir, wl).stats;
+      return (stats.demoted_diagonal == 0 && stats.conjugated_ops == 0) ? 0.0 : 1e-13;
+    };
+    expect_dist_matches_panel<double>(ir, 1, init, tol_for(1));
+    if (n >= 4) expect_dist_matches_panel<double>(ir, 2, init, tol_for(2));
+  }
+}
+
+TEST(DistExec, HalfTierReplayMatchesPanel) {
+  Xoshiro256 rng(24);
+  const auto c = qsvt_shaped_circuit(rng, 3);
+  const auto ir = lower_and_fuse(c);
+  const auto init = random_state(rng, 5);
+  expect_dist_matches_panel<f16>(ir, 2, init);
+}
+
+TEST(DistExec, MetricsCountRoundsAndBytes) {
+  Xoshiro256 rng(25);
+  const auto c = qsvt_shaped_circuit(rng, 4);
+  const auto ir = lower_and_fuse(c, {.fuse = false});
+  const auto plan = dist::build_exchange_plan(ir, 2);
+  const auto init = random_state(rng, 5);
+
+  dist::LocalPeerGroup group(4);
+  std::vector<dist::DistState<double>> shards;
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    shards.emplace_back(5, 2, r);
+    const std::uint64_t base = shards[r].base_index();
+    for (std::size_t i = 0; i < shards[r].dim(); ++i) {
+      shards[r].re()[i] = init[base + i].real();
+      shards[r].im()[i] = init[base + i].imag();
+    }
+  }
+  std::vector<dist::DistRunMetrics> metrics(4);
+  std::vector<std::thread> threads;
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    threads.emplace_back([&, r] {
+      const auto rp = dist::specialize_rank<double>(plan, r);
+      auto channel = group.channel(r);
+      std::uint64_t seq = 0;
+      dist::run_rank_program<double>(rp, shards[r], *channel, seq, &metrics[r]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(metrics[r].exchange_rounds, plan.stats.scheduled_rounds) << "rank " << r;
+    // Each pairwise round of an h=1 exchange ships both planes of the
+    // 2^3-amplitude shard once.
+    EXPECT_GE(metrics[r].bytes_moved, plan.stats.scheduled_rounds * 2 * 8 * sizeof(double));
+  }
+}
+
+TEST(DistState, ReductionsMatchPanel) {
+  Xoshiro256 rng(26);
+  const std::uint32_t n = 5;
+  const auto init = random_state(rng, n);
+  StatePanel<double> panel(n, 1);
+  for (std::size_t i = 0; i < init.size(); ++i) panel.set_amp(i, 0, init[i]);
+
+  std::vector<dist::DistState<double>> shards;
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    shards.emplace_back(n, 2, r);
+    const std::uint64_t base = shards[r].base_index();
+    for (std::size_t i = 0; i < shards[r].dim(); ++i) {
+      shards[r].re()[i] = init[base + i].real();
+      shards[r].im()[i] = init[base + i].imag();
+    }
+  }
+
+  const std::vector<std::uint32_t> zeros = {2, 3};
+  const std::vector<std::uint32_t> ones = {4};
+  const auto p_panel = panel.probability_match(zeros, ones)[0];
+  double p_dist = 0.0;
+  for (const auto& s : shards) p_dist += s.probability_match_partial(zeros, ones);
+  EXPECT_NEAR(p_dist, p_panel, 1e-15);
+
+  const auto norms = panel.lane_norms();
+  double nsq = 0.0;
+  for (const auto& s : shards) nsq += s.norm_squared_partial();
+  EXPECT_NEAR(std::sqrt(nsq), norms[0], 1e-13);
+
+  // postselect_scale with the global probability mirrors panel.postselect.
+  panel.postselect(zeros, ones);
+  for (auto& s : shards) s.postselect_scale(zeros, ones, p_dist);
+  for (std::uint64_t g = 0; g < (std::uint64_t{1} << n); ++g) {
+    const auto got = shards[g >> 3].amp_global(g);
+    const auto want = panel.amp(g, 0);
+    EXPECT_NEAR(std::abs(got - want), 0.0, 1e-15) << "amp " << g;
+  }
+}
+
+TEST(LocalPeerGroup, AllreduceSumIsRankInvariant) {
+  dist::LocalPeerGroup group(4);
+  std::vector<std::vector<double>> data(4);
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    data[r] = {0.1 * (r + 1), -0.25 * (r + 1), 1e-9 * (r + 1)};
+  }
+  std::vector<double> expect_sum(3, 0.0);
+  std::vector<std::thread> threads;
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    threads.emplace_back([&, r] {
+      auto channel = group.channel(r);
+      std::uint64_t seq = 0;
+      dist::allreduce_sum(*channel, r, 2, seq, data[r].data(), data[r].size());
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::uint32_t r = 1; r < 4; ++r) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(data[r][i], data[0][i]) << "rank " << r << " slot " << i;
+    }
+  }
+  (void)expect_sum;
+}
+
+}  // namespace

@@ -300,7 +300,7 @@ TEST(WireFrame, HeaderViolationsThrowWithOffsets) {
   EXPECT_THROW(open_frame(corrupted(0, 'X')), WireError);   // magic
   EXPECT_THROW(open_frame(corrupted(4, 9)), WireError);     // version
   EXPECT_THROW(open_frame(corrupted(5, 0)), WireError);     // tag zero
-  EXPECT_THROW(open_frame(corrupted(5, 4)), WireError);     // tag unknown
+  EXPECT_THROW(open_frame(corrupted(5, 5)), WireError);     // tag unknown
   EXPECT_THROW(open_frame(corrupted(5, '\xFF')), WireError);
   EXPECT_THROW(open_frame(corrupted(6, 1)), WireError);     // reserved
 
@@ -313,7 +313,7 @@ TEST(WireFrame, HeaderViolationsThrowWithOffsets) {
 
   // The offset in the error is machine-usable.
   try {
-    open_frame(corrupted(5, 4));
+    open_frame(corrupted(5, 5));
     FAIL() << "expected WireError";
   } catch (const WireError& e) {
     EXPECT_EQ(e.offset(), 5u);
@@ -502,6 +502,45 @@ TEST(WireResult, TruncationThrowsNotCrashes) {
   }
   // Wrong tag for the decoder.
   EXPECT_THROW(decode_result(encode_matrix(linalg::Matrix<double>(2, 2))), WireError);
+}
+
+// --- shard exchange codec --------------------------------------------------
+
+TEST(WireShardExchange, RoundTripsOpaquePayload) {
+  // The payload is raw amplitude bytes — opaque to the codec, including
+  // embedded NULs and non-UTF8 bytes.
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  const std::string frame = encode_shard_exchange(0xDEADBEEFCAFEF00Dull, 3, 41, payload);
+  EXPECT_EQ(peek_tag(frame), FrameTag::kShardExchange);
+
+  const ShardExchange ex = decode_shard_exchange(frame);
+  EXPECT_EQ(ex.group, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(ex.from, 3u);
+  EXPECT_EQ(ex.seq, 41u);
+  EXPECT_EQ(ex.payload, payload);
+
+  // An empty block is legal (a rank can own zero amplitudes of a slice).
+  const ShardExchange empty = decode_shard_exchange(encode_shard_exchange(1, 0, 0, ""));
+  EXPECT_TRUE(empty.payload.empty());
+}
+
+TEST(WireShardExchange, LengthLiesAndTruncationThrow) {
+  const std::string frame = encode_shard_exchange(7, 1, 2, "abcdefgh");
+  const std::string payload(frame.substr(kFrameHeaderBytes));
+
+  // Truncating the payload at every offset dies in the decoder, not later.
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    const std::string resealed =
+        seal_frame(FrameTag::kShardExchange, payload.substr(0, len));
+    EXPECT_THROW(decode_shard_exchange(resealed), WireError) << "resealed " << len;
+  }
+  // Trailing garbage makes the declared length disagree with the frame.
+  EXPECT_THROW(
+      decode_shard_exchange(seal_frame(FrameTag::kShardExchange, payload + "z")),
+      WireError);
+  // Wrong tag for the decoder.
+  EXPECT_THROW(decode_shard_exchange(encode_matrix(linalg::Matrix<double>(2, 2))), WireError);
 }
 
 // --- matrix codec ----------------------------------------------------------
